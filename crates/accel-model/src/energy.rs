@@ -1,0 +1,168 @@
+//! Dynamic energy model.
+//!
+//! Energy = MACs·e_mac + scratchpad bytes·e_spad(capacity) + local-memory
+//! bytes·e_local + DRAM bytes·e_dram + NoC byte-hops·e_hop + rearrangement
+//! bytes·e_rearrange. The NoC hop count depends on the interconnect: a
+//! systolic array forwards operands ~√PEs hops on average; a crossbar pays a
+//! capacity-dependent premium; an unconnected array broadcasts from the
+//! scratchpad (one hop, but its scratchpad traffic is charged elsewhere).
+
+use crate::arch::{AcceleratorConfig, Interconnect};
+use crate::plan::ExecutionPlan;
+use crate::tech::TechParams;
+
+/// Breakdown of dynamic energy in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MAC array energy.
+    pub compute_pj: f64,
+    /// Scratchpad access energy.
+    pub spad_pj: f64,
+    /// Per-PE local memory energy.
+    pub local_pj: f64,
+    /// DRAM access energy.
+    pub dram_pj: f64,
+    /// On-chip network energy.
+    pub noc_pj: f64,
+    /// Data-rearrangement energy.
+    pub rearrange_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj
+            + self.spad_pj
+            + self.local_pj
+            + self.dram_pj
+            + self.noc_pj
+            + self.rearrange_pj
+    }
+}
+
+/// Average NoC hops each operand byte travels for the given interconnect.
+pub fn avg_hops(cfg: &AcceleratorConfig) -> f64 {
+    let pes = cfg.pes() as f64;
+    match cfg.interconnect {
+        Interconnect::None => 1.0,
+        Interconnect::Systolic => (pes.sqrt() / 2.0).max(1.0),
+        // A crossbar is one logical hop but its switches burn energy that
+        // grows with radix; fold that into an effective hop count.
+        Interconnect::Full => (pes.powf(0.25)).max(1.0),
+    }
+}
+
+/// Fraction of PE-side traffic served by local memories instead of the
+/// scratchpad (0 when the accelerator has none). Saturates at 60 %:
+/// stationary operands can be pinned but streaming operands cannot.
+pub fn local_service_fraction(cfg: &AcceleratorConfig) -> f64 {
+    if cfg.local_mem_bytes == 0 {
+        return 0.0;
+    }
+    let kb = cfg.local_mem_bytes as f64 / 1024.0;
+    0.6 * (kb / (kb + 1.0))
+}
+
+/// Computes the dynamic-energy breakdown of a plan on a configuration.
+pub fn dynamic_energy(
+    cfg: &AcceleratorConfig,
+    plan: &ExecutionPlan,
+    tech: &TechParams,
+) -> EnergyBreakdown {
+    let local_frac = local_service_fraction(cfg);
+    let spad_bytes = plan.spad_traffic_bytes as f64 * (1.0 - local_frac);
+    let local_bytes = plan.spad_traffic_bytes as f64 * local_frac;
+    EnergyBreakdown {
+        compute_pj: plan.macs_padded as f64 * tech.e_mac_pj,
+        spad_pj: spad_bytes * tech.spad_energy_per_byte(cfg.scratchpad_bytes),
+        local_pj: local_bytes * tech.e_local_pj,
+        dram_pj: plan.dram_bytes() as f64 * tech.e_dram_pj,
+        noc_pj: plan.spad_traffic_bytes as f64 * avg_hops(cfg) * tech.e_hop_pj,
+        rearrange_pj: plan.rearrange_bytes as f64 * tech.e_rearrange_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TensorTraffic;
+    use tensor_ir::intrinsics::IntrinsicKind;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+    }
+
+    fn plan_with_traffic() -> ExecutionPlan {
+        let mut p = ExecutionPlan::compute_only(1_000_000, 1_100_000, 100);
+        p.dram_reads.push(TensorTraffic::new("A", 64_000, 64));
+        p.dram_writes.push(TensorTraffic::new("C", 16_000, 64));
+        p.spad_traffic_bytes = 500_000;
+        p
+    }
+
+    #[test]
+    fn energy_components_all_positive() {
+        let e = dynamic_energy(&cfg(), &plan_with_traffic(), &TechParams::default());
+        assert!(e.compute_pj > 0.0 && e.spad_pj > 0.0 && e.dram_pj > 0.0 && e.noc_pj > 0.0);
+        assert!(e.total_pj() > e.compute_pj);
+    }
+
+    #[test]
+    fn dram_energy_dominates_equal_traffic() {
+        // Per byte, DRAM must cost far more than scratchpad.
+        let t = TechParams::default();
+        let c = cfg();
+        assert!(t.e_dram_pj > 5.0 * t.spad_energy_per_byte(c.scratchpad_bytes));
+    }
+
+    #[test]
+    fn local_memory_cuts_spad_energy() {
+        let mut with_local = cfg();
+        with_local.local_mem_bytes = 2048;
+        let p = plan_with_traffic();
+        let t = TechParams::default();
+        let base = dynamic_energy(&cfg(), &p, &t);
+        let local = dynamic_energy(&with_local, &p, &t);
+        assert!(local.spad_pj < base.spad_pj);
+        assert!(local.local_pj > 0.0);
+        // Net PE-side memory energy should drop (local accesses are cheaper).
+        assert!(local.spad_pj + local.local_pj < base.spad_pj + base.local_pj + 1e-9);
+    }
+
+    #[test]
+    fn systolic_hops_grow_with_array() {
+        let mut small = cfg();
+        small.pe = crate::arch::PeArray::new(4, 4);
+        let mut big = cfg();
+        big.pe = crate::arch::PeArray::new(32, 32);
+        assert!(avg_hops(&big) > avg_hops(&small));
+    }
+
+    #[test]
+    fn interconnect_hop_ordering() {
+        let mut none = cfg();
+        none.interconnect = Interconnect::None;
+        let mut full = cfg();
+        full.interconnect = Interconnect::Full;
+        let systolic = cfg();
+        assert_eq!(avg_hops(&none), 1.0);
+        assert!(avg_hops(&systolic) > avg_hops(&full)); // 256 PEs: 8 vs 4
+    }
+
+    #[test]
+    fn local_fraction_saturates() {
+        let mut c = cfg();
+        c.local_mem_bytes = 1 << 20;
+        assert!(local_service_fraction(&c) < 0.6);
+        c.local_mem_bytes = 0;
+        assert_eq!(local_service_fraction(&c), 0.0);
+    }
+
+    #[test]
+    fn rearrangement_is_charged() {
+        let mut p = plan_with_traffic();
+        p.rearrange_bytes = 1_000_000;
+        let e = dynamic_energy(&cfg(), &p, &TechParams::default());
+        assert!(e.rearrange_pj > 0.0);
+    }
+}

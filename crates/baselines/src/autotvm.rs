@@ -1,0 +1,210 @@
+//! An AutoTVM-style software tuner \[12\] (§VII-D).
+//!
+//! "AutoTVM requires users to manually make tensorize choices and write
+//! primitive templates for each tensor computation. Besides, it only
+//! optimizes the size of tensorized sub-workloads." We reproduce exactly
+//! those two restrictions: the tensorize choice and the loop order come
+//! from a static template; only the split (tile) factors are tuned, by a
+//! simulated-annealing sampler standing in for the XGBoost cost model.
+
+use accel_model::arch::AcceleratorConfig;
+use accel_model::{CostModel, Metrics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use sw_opt::lowering;
+use sw_opt::schedule::{Schedule, ScheduleContext};
+use sw_opt::SwError;
+use tensor_ir::workload::Workload;
+use tensor_ir::IndexId;
+
+/// The AutoTVM-style tuner.
+#[derive(Debug, Clone)]
+pub struct AutoTvm {
+    seed: u64,
+    /// Tuning trials (schedule evaluations).
+    pub trials: usize,
+    model: CostModel,
+}
+
+impl AutoTvm {
+    /// Creates a tuner with a deterministic seed and the default budget.
+    pub fn new(seed: u64) -> Self {
+        AutoTvm { seed, trials: 64, model: CostModel::default() }
+    }
+
+    /// The static template: the first non-rearranged tensorize choice and
+    /// the workload's declaration loop order (spatial outer, reduction
+    /// inner) — what a hand-written AutoTVM template fixes.
+    fn template(ctx: &ScheduleContext) -> (usize, Vec<IndexId>) {
+        let choice_idx = ctx
+            .choices
+            .iter()
+            .position(|c| !c.needs_rearrangement)
+            .unwrap_or(0);
+        let comp = &ctx.workload.comp;
+        let mut order: Vec<IndexId> = comp.spatial_indices();
+        order.extend(comp.reduction_indices());
+        (choice_idx, order)
+    }
+
+    /// Tunes the split factors for one workload on one accelerator and
+    /// returns the best (schedule, metrics).
+    ///
+    /// # Errors
+    /// Returns [`SwError`] when the template admits no valid schedule.
+    pub fn tune(
+        &self,
+        workload: &Workload,
+        cfg: &AcceleratorConfig,
+    ) -> Result<(Schedule, Metrics), SwError> {
+        let ctx = ScheduleContext::new(workload, &cfg.intrinsic_comp())?;
+        let (choice_idx, order) = Self::template(&ctx);
+        let choice = ctx.choices[choice_idx].clone();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let tensorized = choice.tensorized_indices();
+
+        let make = |mults: &BTreeMap<IndexId, u64>| -> Schedule {
+            let mut tiles = BTreeMap::new();
+            for idx in &tensorized {
+                let ext = ctx.workload.comp.index(*idx).extent;
+                let base = ctx.intrinsic_extent(&choice, *idx);
+                tiles.insert(*idx, (base * mults[idx]).min(ext).max(1));
+            }
+            Schedule {
+                choice: choice.clone(),
+                tiles,
+                outer_order: order.clone(),
+                fuse_outer: 0,
+            }
+        };
+
+        // Start with unit multipliers; anneal over tile sizes only.
+        let mut mults: BTreeMap<IndexId, u64> = tensorized.iter().map(|&i| (i, 1)).collect();
+        let mut current: Option<(Schedule, Metrics)> = None;
+        let mut best: Option<(Schedule, Metrics)> = None;
+        let mut temperature = 1.0f64;
+        for _ in 0..self.trials {
+            let proposal = {
+                let mut m = mults.clone();
+                if let Some((&idx, _)) = m
+                    .iter()
+                    .nth(rng.gen_range(0..m.len()))
+                    .map(|(k, v)| (k, v))
+                {
+                    let cur = m[&idx];
+                    let next = if rng.gen_bool(0.5) { cur * 2 } else { (cur / 2).max(1) };
+                    m.insert(idx, next.min(64));
+                }
+                m
+            };
+            let sched = make(&proposal);
+            let Ok(metrics) = lowering::evaluate(&sched, &ctx, cfg, &self.model) else {
+                temperature *= 0.97;
+                continue;
+            };
+            let accept = match &current {
+                None => true,
+                Some((_, cur)) => {
+                    let delta =
+                        (metrics.latency_cycles - cur.latency_cycles) / cur.latency_cycles;
+                    delta < 0.0 || rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
+                }
+            };
+            if accept {
+                mults = proposal;
+                current = Some((sched.clone(), metrics));
+            }
+            let better = best
+                .as_ref()
+                .map_or(true, |(_, b)| metrics.latency_cycles < b.latency_cycles);
+            if better {
+                best = Some((sched, metrics));
+            }
+            temperature *= 0.97;
+        }
+        best.ok_or(SwError::NoValidSchedule)
+    }
+
+    /// Tunes and returns only the metrics.
+    ///
+    /// # Errors
+    /// Propagates [`AutoTvm::tune`] errors.
+    pub fn best_metrics(
+        &self,
+        workload: &Workload,
+        cfg: &AcceleratorConfig,
+    ) -> Result<Metrics, SwError> {
+        Ok(self.tune(workload, cfg)?.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::intrinsics::IntrinsicKind;
+    use tensor_ir::suites;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+    }
+
+    #[test]
+    fn tunes_gemm_and_finds_valid_schedule() {
+        let tvm = AutoTvm::new(0);
+        let wl = suites::gemm_workload("g", 512, 512, 512);
+        let (sched, m) = tvm.tune(&wl, &cfg()).unwrap();
+        assert!(m.latency_cycles > 0.0);
+        let ctx = ScheduleContext::new(&wl, &cfg().intrinsic_comp()).unwrap();
+        assert!(sched.validate(&ctx).is_ok());
+    }
+
+    #[test]
+    fn template_fixes_choice_and_order() {
+        let tvm = AutoTvm::new(1);
+        let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
+        let c = cfg();
+        let ctx = ScheduleContext::new(&wl, &c.intrinsic_comp()).unwrap();
+        let (choice_idx, order) = AutoTvm::template(&ctx);
+        let (sched, _) = tvm.tune(&wl, &c).unwrap();
+        assert_eq!(sched.choice.var_map, ctx.choices[choice_idx].var_map);
+        assert_eq!(sched.outer_order, order);
+        assert_eq!(sched.fuse_outer, 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let wl = suites::gemm_workload("g", 256, 256, 256);
+        let a = AutoTvm::new(9).best_metrics(&wl, &cfg()).unwrap();
+        let b = AutoTvm::new(9).best_metrics(&wl, &cfg()).unwrap();
+        assert_eq!(a.latency_cycles, b.latency_cycles);
+    }
+
+    #[test]
+    fn tuning_beats_unit_tiles() {
+        let tvm = AutoTvm::new(3);
+        let wl = suites::gemm_workload("g", 512, 512, 512);
+        let c = cfg();
+        let ctx = ScheduleContext::new(&wl, &c.intrinsic_comp()).unwrap();
+        let (choice_idx, order) = AutoTvm::template(&ctx);
+        let choice = ctx.choices[choice_idx].clone();
+        // Unit-multiplier schedule.
+        let mut tiles = BTreeMap::new();
+        for idx in choice.tensorized_indices() {
+            tiles.insert(idx, ctx.intrinsic_extent(&choice, idx));
+        }
+        let unit = Schedule { choice, tiles, outer_order: order, fuse_outer: 0 };
+        let unit_m = lowering::evaluate(&unit, &ctx, &c, &CostModel::default()).unwrap();
+        let tuned = tvm.best_metrics(&wl, &c).unwrap();
+        assert!(tuned.latency_cycles <= unit_m.latency_cycles);
+    }
+
+    #[test]
+    fn conv_is_tuned_directly_without_im2col() {
+        // Unlike the library, AutoTVM partitions the convolution directly.
+        let tvm = AutoTvm::new(4);
+        let wl = suites::conv2d_workload("c", 128, 128, 28, 28, 3, 3);
+        let m = tvm.best_metrics(&wl, &cfg()).unwrap();
+        assert!(m.latency_cycles > 0.0);
+    }
+}

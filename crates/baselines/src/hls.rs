@@ -1,0 +1,219 @@
+//! HLS-style fixed-datapath cores (§VII-E, Table III's "HLS-Core" column).
+//!
+//! "In our implementation of HLS-Cores, we unroll the c and k loops to
+//! provide sufficient parallelism and synthesize the remaining loops into
+//! datapaths. ... The datapaths in HLS-Cores lead to fixed sub-workload
+//! sizes and loop orders, making HLS-Cores only efficient for a small
+//! portion of convolutions." We model this as one schedule shape chosen at
+//! synthesis time (from the application's largest layer) and reused —
+//! padded — by every other layer.
+
+use accel_model::arch::AcceleratorConfig;
+use accel_model::{CostModel, Metrics};
+use std::collections::BTreeMap;
+use sw_opt::lowering;
+use sw_opt::schedule::{Schedule, ScheduleContext};
+use sw_opt::SwError;
+use tensor_ir::suites;
+use tensor_ir::workload::Workload;
+
+/// A synthesized fixed-datapath core.
+#[derive(Debug, Clone)]
+pub struct HlsCore {
+    cfg: AcceleratorConfig,
+    model: CostModel,
+    /// The fixed sub-workload tile per loop name, chosen at synthesis.
+    fixed_tiles: BTreeMap<String, u64>,
+}
+
+impl HlsCore {
+    /// "Synthesizes" a core for an application: the datapath's sub-workload
+    /// size is sized for the largest layer and then frozen.
+    ///
+    /// # Errors
+    /// Returns [`SwError`] when the reference layer admits no valid
+    /// schedule on the accelerator.
+    pub fn synthesize(
+        workloads: &[Workload],
+        cfg: &AcceleratorConfig,
+    ) -> Result<Self, SwError> {
+        let reference = workloads
+            .iter()
+            .max_by_key(|w| w.macs())
+            .ok_or(SwError::NoValidSchedule)?;
+        let ctx = ScheduleContext::new(reference, &cfg.intrinsic_comp())?;
+        let choice = ctx
+            .choices
+            .iter()
+            .find(|c| !c.needs_rearrangement)
+            .unwrap_or(&ctx.choices[0])
+            .clone();
+        // Grow tiles uniformly while they fit (single-buffered: HLS
+        // datapaths stream without the double-buffer margin).
+        let mut fixed: Option<Schedule> = None;
+        for m in [1u64, 2, 4, 8, 16] {
+            let mut tiles = BTreeMap::new();
+            for idx in choice.tensorized_indices() {
+                let ext = ctx.workload.comp.index(idx).extent;
+                let base = ctx.intrinsic_extent(&choice, idx);
+                tiles.insert(idx, (base * m).min(ext).max(1));
+            }
+            let sched = Schedule {
+                choice: choice.clone(),
+                tiles,
+                outer_order: Self::fixed_order(&ctx),
+                fuse_outer: 0,
+            };
+            match lowering::lower(&sched, &ctx, cfg) {
+                Ok(_) => fixed = Some(sched),
+                Err(_) => break,
+            }
+        }
+        let sched = fixed.ok_or(SwError::NoValidSchedule)?;
+        let fixed_tiles = sched
+            .tiles
+            .iter()
+            .map(|(&idx, &t)| (ctx.workload.comp.index(idx).name.clone(), t))
+            .collect();
+        Ok(HlsCore { cfg: cfg.clone(), model: CostModel::default(), fixed_tiles })
+    }
+
+    /// The synthesized loop order: declaration order, reductions innermost
+    /// (a datapath's order is baked into RTL).
+    fn fixed_order(ctx: &ScheduleContext) -> Vec<tensor_ir::IndexId> {
+        let comp = &ctx.workload.comp;
+        let mut order = comp.spatial_indices();
+        order.extend(comp.reduction_indices());
+        order
+    }
+
+    /// The frozen tile sizes by loop name.
+    pub fn fixed_tiles(&self) -> &BTreeMap<String, u64> {
+        &self.fixed_tiles
+    }
+
+    /// Runs one workload on the fixed datapath: smaller layers are padded
+    /// up to the datapath's sub-workload size.
+    ///
+    /// # Errors
+    /// Returns [`SwError`] when the padded layer overflows the scratchpad.
+    pub fn run(&self, workload: &Workload) -> Result<Metrics, SwError> {
+        // Pad each tensorized extent up to the fixed tile — the datapath
+        // always processes full sub-workloads.
+        let comp = &workload.comp;
+        let padded = if comp.name == "conv2d" {
+            let get = |n: &str| comp.index(comp.index_by_name(n).expect("conv idx")).extent;
+            let pad = |n: &str, e: u64| match self.fixed_tiles.get(n) {
+                Some(&t) => e.div_ceil(t) * t,
+                None => e,
+            };
+            suites::conv2d_workload(
+                &workload.name,
+                pad("k", get("k")),
+                pad("c", get("c")),
+                pad("x", get("x")),
+                pad("y", get("y")),
+                get("r"),
+                get("s"),
+            )
+        } else {
+            workload.clone()
+        };
+        let ctx = ScheduleContext::new(&padded, &self.cfg.intrinsic_comp())?;
+        let choice = ctx
+            .choices
+            .iter()
+            .find(|c| !c.needs_rearrangement)
+            .unwrap_or(&ctx.choices[0])
+            .clone();
+        let mut tiles = BTreeMap::new();
+        for idx in choice.tensorized_indices() {
+            let name = &ctx.workload.comp.index(idx).name;
+            let ext = ctx.workload.comp.index(idx).extent;
+            let t = self.fixed_tiles.get(name).copied().unwrap_or(1);
+            tiles.insert(idx, t.min(ext).max(1));
+        }
+        let sched = Schedule {
+            choice,
+            tiles,
+            outer_order: Self::fixed_order(&ctx),
+            fuse_outer: 0,
+        };
+        let lowered = lowering::lower(&sched, &ctx, &self.cfg)?;
+        let mut metrics = self.model.evaluate(&self.cfg, &lowered.plan);
+        // Padded iterations are wasted work relative to the real layer.
+        metrics.utilization = workload.macs() as f64 / lowered.plan.macs_padded.max(1) as f64;
+        Ok(metrics)
+    }
+
+    /// Runs all workloads and sums the latency (the Table III per-app
+    /// number).
+    ///
+    /// # Errors
+    /// Propagates per-layer errors.
+    pub fn run_app(&self, workloads: &[Workload]) -> Result<Metrics, SwError> {
+        let mut parts = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            parts.push(self.run(w)?);
+        }
+        Ok(Metrics::sequential(&parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::intrinsics::IntrinsicKind;
+
+    fn convcore() -> AcceleratorConfig {
+        AcceleratorConfig::builder(IntrinsicKind::Conv2d)
+            .pe_array(12, 12)
+            .scratchpad_kb(512)
+            .banks(8)
+            .build()
+            .unwrap()
+    }
+
+    fn small_app() -> Vec<Workload> {
+        vec![
+            suites::conv2d_workload("big", 128, 128, 28, 28, 3, 3),
+            suites::conv2d_workload("small", 32, 32, 14, 14, 3, 3),
+            suites::conv2d_workload("tiny", 16, 16, 7, 7, 3, 3),
+        ]
+    }
+
+    #[test]
+    fn synthesis_freezes_tiles() {
+        let core = HlsCore::synthesize(&small_app(), &convcore()).unwrap();
+        assert!(!core.fixed_tiles().is_empty());
+    }
+
+    #[test]
+    fn small_layers_pay_padding() {
+        let core = HlsCore::synthesize(&small_app(), &convcore()).unwrap();
+        let m_small = core.run(&small_app()[2]).unwrap();
+        let m_big = core.run(&small_app()[0]).unwrap();
+        assert!(
+            m_small.utilization < m_big.utilization,
+            "small layer should be padded: {} vs {}",
+            m_small.utilization,
+            m_big.utilization
+        );
+    }
+
+    #[test]
+    fn app_latency_sums_layers() {
+        let core = HlsCore::synthesize(&small_app(), &convcore()).unwrap();
+        let per: f64 = small_app()
+            .iter()
+            .map(|w| core.run(w).unwrap().latency_cycles)
+            .sum();
+        let total = core.run_app(&small_app()).unwrap();
+        assert!((total.latency_cycles - per).abs() / per < 1e-9);
+    }
+
+    #[test]
+    fn empty_app_fails_synthesis() {
+        assert!(HlsCore::synthesize(&[], &convcore()).is_err());
+    }
+}

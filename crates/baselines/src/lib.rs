@@ -1,0 +1,21 @@
+//! The comparison systems of the paper's evaluation (§VII-D/E):
+//!
+//! * [`library`] — the Gemmini-style hand-tuned software library \[24\] that
+//!   converts convolutions to GEMMs through `im2col`/`col2im`;
+//! * [`autotvm`] — an AutoTVM-style tuner \[12\]: a fixed template with a
+//!   fixed, user-made tensorize choice that "only optimizes the size of
+//!   tensorized sub-workloads";
+//! * [`hls`] — Vivado-HLS-style fixed-datapath cores: one synthesized
+//!   schedule shared by every workload of an application.
+//!
+//! Each baseline reuses the same accelerator model and lowering as HASCO,
+//! so comparisons isolate exactly the software-flexibility differences the
+//! paper attributes its wins to.
+
+pub mod autotvm;
+pub mod hls;
+pub mod library;
+
+pub use autotvm::AutoTvm;
+pub use hls::HlsCore;
+pub use library::{GemmLibrary, LibraryRun};

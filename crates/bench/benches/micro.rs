@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the reproduction's hot paths: the
+//! two-step matcher, schedule lowering, the GP surrogate, the hypervolume
+//! indicator, and one full software-DSE round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use accel_model::arch::AcceleratorConfig;
+use dse::gp::GaussianProcess;
+use dse::hypervolume::hypervolume;
+use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
+use sw_opt::lowering;
+use sw_opt::schedule::ScheduleContext;
+use tensor_ir::intrinsics::{gemm_intrinsic, IntrinsicKind};
+use tensor_ir::matching::{find_tensorize_choices, MatchOptions};
+use tensor_ir::suites;
+
+fn bench_matcher(c: &mut Criterion) {
+    let conv = suites::conv2d_workload("c", 64, 64, 56, 56, 3, 3);
+    let gemm = gemm_intrinsic(16, 16, 16);
+    c.bench_function("matcher/conv_to_gemm_126_subsets", |b| {
+        b.iter(|| {
+            black_box(find_tensorize_choices(
+                black_box(&conv.comp),
+                &gemm.comp,
+                &MatchOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let wl = suites::conv2d_workload("c", 64, 64, 56, 56, 3, 3);
+    let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
+    let sched = (0..50)
+        .map(|_| ctx.random_schedule(&mut rng))
+        .find(|s| lowering::lower(s, &ctx, &cfg).is_ok())
+        .expect("some schedule is valid");
+    c.bench_function("lowering/conv_schedule_to_plan", |b| {
+        b.iter(|| black_box(lowering::lower(black_box(&sched), &ctx, &cfg)))
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..30)
+        .map(|i| vec![(i % 6) as f64 / 5.0, (i / 6) as f64 / 5.0, ((i * 7) % 10) as f64 / 9.0])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] + 2.0 * x[1] - x[2]).sin()).collect();
+    c.bench_function("gp/fit_30_points_3d", |b| {
+        b.iter(|| black_box(GaussianProcess::fit(xs.clone(), &ys)))
+    });
+    let gp = GaussianProcess::fit(xs, &ys).unwrap();
+    c.bench_function("gp/predict", |b| {
+        b.iter(|| black_box(gp.predict(black_box(&[0.3, 0.7, 0.1]))))
+    });
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let front: Vec<Vec<f64>> = (0..20)
+        .map(|i| {
+            let t = i as f64 / 19.0;
+            vec![t, 1.0 - t, 0.5 + 0.4 * (t * 9.0).sin()]
+        })
+        .collect();
+    c.bench_function("hypervolume/20_points_3d", |b| {
+        b.iter(|| black_box(hypervolume(black_box(&front), &[2.0, 2.0, 2.0])))
+    });
+}
+
+fn bench_sw_round(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let wl = suites::gemm_workload("g", 256, 256, 256);
+    let opts = ExplorerOptions { pool: 6, rounds: 4, top_k: 2, ..Default::default() };
+    c.bench_function("sw_dse/gemm_4_rounds", |b| {
+        b.iter(|| {
+            black_box(SoftwareExplorer::new(1).optimize(black_box(&wl), &cfg, &opts)).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matcher, bench_lowering, bench_gp, bench_hypervolume, bench_sw_round
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 (run with `--quick` for reduced budgets).
+fn main() {
+    let scale = hasco_bench::Scale::from_args();
+    let result = hasco_bench::fig11::run(scale);
+    println!("{}", hasco_bench::fig11::render(&result));
+}

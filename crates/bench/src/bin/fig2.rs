@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 (run with `--quick` for reduced budgets).
+fn main() {
+    let scale = hasco_bench::Scale::from_args();
+    let result = hasco_bench::fig2::run(scale);
+    println!("{}", hasco_bench::fig2::render(&result));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 (run with `--quick` for reduced budgets).
+fn main() {
+    let scale = hasco_bench::Scale::from_args();
+    let result = hasco_bench::fig9::run(scale);
+    println!("{}", hasco_bench::fig9::render(&result));
+}

@@ -1,0 +1,196 @@
+//! Shared experiment infrastructure: reference accelerators, software
+//! optimization helpers (with graceful degradation for unmatchable
+//! workloads), and workload subsampling.
+
+use accel_model::arch::{AcceleratorConfig, PeArray};
+use accel_model::Metrics;
+use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
+use sw_opt::SwError;
+use tensor_ir::intrinsics::IntrinsicKind;
+use tensor_ir::workload::Workload;
+
+use crate::Scale;
+
+/// The §VII-D GEMMCore: 16×16 PEs, 256 KB scratchpad, 4 banks.
+pub fn gemmcore() -> AcceleratorConfig {
+    AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .name("gemmcore")
+        .pe_array(16, 16)
+        .scratchpad_kb(256)
+        .banks(4)
+        .build()
+        .expect("gemmcore is valid")
+}
+
+/// The §II-C GA_L: 16×16 PE array, 256 KB scratchpad.
+pub fn ga_l() -> AcceleratorConfig {
+    let mut cfg = gemmcore();
+    cfg.name = "GA_L".into();
+    cfg
+}
+
+/// The §II-C GA_S: 8×8 PE array, 128 KB scratchpad.
+pub fn ga_s() -> AcceleratorConfig {
+    AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .name("GA_S")
+        .pe_array(8, 8)
+        .scratchpad_kb(128)
+        .banks(4)
+        .build()
+        .expect("ga_s is valid")
+}
+
+/// A 64-PE, 256 KB accelerator for each intrinsic (the §VII-B setup: "we
+/// specify an array of 64 PEs and a 256 KB scratchpad memory for all
+/// accelerators and give them different intrinsic functions").
+pub fn accel_64pe(kind: IntrinsicKind) -> AcceleratorConfig {
+    let pe = match kind {
+        // Linear arrays for the vector engines, square for the 2-D ones.
+        IntrinsicKind::Dot | IntrinsicKind::Gemv => PeArray::new(1, 64),
+        _ => PeArray::new(8, 8),
+    };
+    let mut b = AcceleratorConfig::builder(kind);
+    b.name(format!("{kind}-64pe")).pe_array(pe.rows, pe.cols).scratchpad_kb(256).banks(4);
+    b.build().expect("64-PE accelerator is valid")
+}
+
+/// Explorer options per scale.
+pub fn sw_opts(scale: Scale) -> ExplorerOptions {
+    match scale {
+        Scale::Quick => ExplorerOptions { pool: 10, rounds: 12, top_k: 3, ..Default::default() },
+        Scale::Paper => ExplorerOptions { pool: 16, rounds: 24, top_k: 4, ..Default::default() },
+    }
+}
+
+/// Cheaper options for software evaluation inside hardware-DSE loops.
+pub fn sw_inner_opts(scale: Scale) -> ExplorerOptions {
+    match scale {
+        Scale::Quick => ExplorerOptions { pool: 4, rounds: 3, top_k: 2, ..Default::default() },
+        Scale::Paper => ExplorerOptions { pool: 6, rounds: 6, top_k: 2, ..Default::default() },
+    }
+}
+
+/// Host-CPU fallback for sub-workloads that match no intrinsic of the
+/// accelerator (e.g. MTTKRP's second stage on a GEMM core): the host
+/// sustains ~2 MACs/cycle and streams every tensor once over the bus.
+pub fn host_fallback_metrics(workload: &Workload, cfg: &AcceleratorConfig) -> Metrics {
+    const HOST_MACS_PER_CYCLE: f64 = 2.0;
+    let macs = workload.macs() as f64;
+    let bytes = workload.footprint_bytes(cfg.dtype_bytes) as f64;
+    let latency_cycles = macs / HOST_MACS_PER_CYCLE + bytes / cfg.bus_bytes_per_cycle();
+    let latency_ms = cfg.cycles_to_ms(latency_cycles);
+    let tech = accel_model::tech::TechParams::default();
+    let area_mm2 = accel_model::area::area(cfg, &tech).total_mm2();
+    // Host energy: ~4x the accelerator MAC energy plus the DRAM traffic.
+    let energy_uj = (macs * 4.0 * tech.e_mac_pj + bytes * tech.e_dram_pj) / 1e6
+        + area_mm2 * tech.leakage_mw_per_mm2 * latency_ms;
+    Metrics {
+        latency_cycles,
+        latency_ms,
+        energy_uj,
+        power_mw: energy_uj / latency_ms.max(1e-12),
+        area_mm2,
+        throughput_mops: 2.0 * macs / (latency_ms * 1e3).max(1e-12),
+        utilization: 1.0,
+    }
+}
+
+/// Optimizes a workload on an accelerator; when the workload cannot be
+/// tensorized onto the accelerator's intrinsic, the host executes it
+/// ([`host_fallback_metrics`]) — the flow never fails, it just loses the
+/// array-level acceleration for that stage.
+pub fn optimize_degradable(
+    explorer: &SoftwareExplorer,
+    workload: &Workload,
+    cfg: &AcceleratorConfig,
+    opts: &ExplorerOptions,
+) -> Result<Metrics, SwError> {
+    match explorer.optimize(workload, cfg, opts) {
+        Ok(o) => Ok(o.metrics),
+        Err(SwError::NoTensorizeChoice { .. }) => Ok(host_fallback_metrics(workload, cfg)),
+        Err(e) => Err(e),
+    }
+}
+
+/// Sums metrics of sequentially executed workloads, optimizing each with
+/// degradation fallback.
+pub fn app_metrics_degradable(
+    explorer: &SoftwareExplorer,
+    workloads: &[Workload],
+    cfg: &AcceleratorConfig,
+    opts: &ExplorerOptions,
+) -> Result<Metrics, SwError> {
+    let mut parts = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        parts.push(optimize_degradable(explorer, w, cfg, opts)?);
+    }
+    Ok(Metrics::sequential(&parts))
+}
+
+/// Evenly subsamples `n` workloads (keeps endpoints) — used to keep CNN
+/// apps tractable inside DSE loops; documented in EXPERIMENTS.md.
+pub fn subsample(workloads: &[Workload], n: usize) -> Vec<Workload> {
+    if workloads.len() <= n || n == 0 {
+        return workloads.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let idx = k * (workloads.len() - 1) / (n - 1).max(1);
+        out.push(workloads[idx].clone());
+    }
+    out.dedup_by(|a, b| a.name == b.name);
+    out
+}
+
+/// Useful throughput in MOPS from a workload's MAC count and latency.
+pub fn throughput_mops(workload: &Workload, latency_ms: f64) -> f64 {
+    2.0 * workload.macs() as f64 / (latency_ms * 1e3).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::suites;
+
+    #[test]
+    fn reference_accelerators_are_valid() {
+        assert_eq!(gemmcore().pes(), 256);
+        assert_eq!(ga_s().pes(), 64);
+        assert_eq!(ga_l().scratchpad_bytes, 256 * 1024);
+        for k in IntrinsicKind::ALL {
+            assert_eq!(accel_64pe(k).pes(), 64, "{k}");
+        }
+    }
+
+    #[test]
+    fn subsample_keeps_endpoints_and_size() {
+        let ws = suites::resnet50_convs();
+        let s = subsample(&ws, 8);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0].name, ws[0].name);
+        assert_eq!(s.last().unwrap().name, ws.last().unwrap().name);
+        assert_eq!(subsample(&ws[..3], 8).len(), 3);
+    }
+
+    #[test]
+    fn degradable_handles_unmatchable_stage() {
+        // MTTKRP stage 2 cannot be tensorized onto a GEMM core; the
+        // degenerate GEMV path must carry it.
+        let (_, s2) = suites::mttkrp_stages("m", 64, 64, 64, 64);
+        let explorer = SoftwareExplorer::new(0);
+        let cfg = accel_64pe(IntrinsicKind::Gemm);
+        let m =
+            optimize_degradable(&explorer, &s2, &cfg, &sw_opts(Scale::Quick)).unwrap();
+        assert!(m.latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn degradable_direct_path_used_when_possible() {
+        let wl = suites::gemm_workload("g", 128, 128, 128);
+        let explorer = SoftwareExplorer::new(0);
+        let cfg = accel_64pe(IntrinsicKind::Gemm);
+        let direct = explorer.optimize(&wl, &cfg, &sw_opts(Scale::Quick)).unwrap();
+        let via = optimize_degradable(&explorer, &wl, &cfg, &sw_opts(Scale::Quick)).unwrap();
+        assert_eq!(direct.metrics.latency_cycles, via.latency_cycles);
+    }
+}

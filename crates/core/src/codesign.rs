@@ -1,0 +1,411 @@
+//! Step 2 — solution generation (§III, §V, §VI): joint exploration of the
+//! hardware and software design spaces.
+//!
+//! The hardware DSE (MOBO) treats each design point as an accelerator
+//! instance; evaluating a point runs the *software* explorer for every
+//! workload on that accelerator and reports the summed optimized latency,
+//! the average power, and the area — "the Bayesian-based hardware
+//! optimization uses the software latency as the performance metric, while
+//! the heuristic and Q-learning-based software optimization tailors the
+//! software mappings for the hardware parameters".
+
+use std::collections::BTreeMap;
+
+use accel_model::arch::AcceleratorConfig;
+use accel_model::Metrics;
+use dse::mobo::Mobo;
+use dse::problem::{Point, Problem, SearchSpace};
+use dse::Optimizer;
+use hw_gen::space::Generator;
+use hw_gen::{ChiselGenerator, GemminiGenerator};
+use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
+use tensor_ir::workload::Workload;
+
+use crate::input::{GenerationMethod, InputDescription};
+use crate::solution::{Solution, WorkloadSolution};
+use crate::tuning;
+use crate::HascoError;
+
+/// Knobs of one co-design run.
+#[derive(Debug, Clone)]
+pub struct CoDesignOptions {
+    /// Hardware DSE trial budget (the paper uses 20–40).
+    pub hw_trials: usize,
+    /// MOBO prior-sample count.
+    pub mobo_prior: usize,
+    /// Software exploration used *inside* the hardware loop (cheap).
+    pub sw_inner: ExplorerOptions,
+    /// Software exploration for the final chosen accelerator (thorough).
+    pub sw_final: ExplorerOptions,
+    /// Extra constraint-driven DSE rounds when the first solution violates
+    /// the constraints (Step 3: "if the metrics violate the user
+    /// constraints, they will drive the hardware DSE and generate a new
+    /// accelerator"). Each round re-runs the explorer with a fresh seed
+    /// and merges the histories.
+    pub tuning_rounds: usize,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+}
+
+impl CoDesignOptions {
+    /// The paper-sized configuration (20 co-design trials).
+    pub fn paper(seed: u64) -> Self {
+        CoDesignOptions {
+            hw_trials: 20,
+            mobo_prior: 5,
+            sw_inner: ExplorerOptions {
+                pool: 8,
+                rounds: 8,
+                top_k: 3,
+                ..ExplorerOptions::default()
+            },
+            sw_final: ExplorerOptions::default(),
+            tuning_rounds: 2,
+            seed,
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        CoDesignOptions {
+            hw_trials: 8,
+            mobo_prior: 4,
+            sw_inner: ExplorerOptions {
+                pool: 5,
+                rounds: 4,
+                top_k: 2,
+                ..ExplorerOptions::default()
+            },
+            sw_final: ExplorerOptions {
+                pool: 8,
+                rounds: 8,
+                top_k: 3,
+                ..ExplorerOptions::default()
+            },
+            tuning_rounds: 1,
+            seed,
+        }
+    }
+}
+
+/// The hardware design space wrapped as a [`dse::problem::Problem`].
+pub struct HwProblem<'a> {
+    generator: &'a dyn Generator,
+    workloads: &'a [Workload],
+    space: SearchSpace,
+    explorer: SoftwareExplorer,
+    sw_opts: ExplorerOptions,
+    cache: BTreeMap<Point, Option<Vec<f64>>>,
+    /// Evaluated (point, metrics) pairs for later reuse.
+    pub evaluated: Vec<(Point, Metrics)>,
+}
+
+impl<'a> HwProblem<'a> {
+    /// Wraps a generator + workloads as a 3-objective problem
+    /// (latency cycles, power mW, area mm²).
+    pub fn new(
+        generator: &'a dyn Generator,
+        workloads: &'a [Workload],
+        sw_opts: ExplorerOptions,
+        seed: u64,
+    ) -> Self {
+        let dim_sizes = generator.space().dims.iter().map(|d| d.len()).collect();
+        HwProblem {
+            generator,
+            workloads,
+            space: SearchSpace::new(dim_sizes),
+            explorer: SoftwareExplorer::new(seed),
+            sw_opts,
+            cache: BTreeMap::new(),
+            evaluated: Vec::new(),
+        }
+    }
+
+    /// Evaluates an accelerator on all workloads (summed latency).
+    pub fn app_metrics(
+        explorer: &SoftwareExplorer,
+        workloads: &[Workload],
+        cfg: &AcceleratorConfig,
+        sw_opts: &ExplorerOptions,
+    ) -> Option<Metrics> {
+        let mut parts = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            match explorer.best_metrics(w, cfg, sw_opts) {
+                Ok(m) => parts.push(m),
+                Err(_) => return None,
+            }
+        }
+        Some(Metrics::sequential(&parts))
+    }
+}
+
+impl Problem for HwProblem<'_> {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn num_objectives(&self) -> usize {
+        3
+    }
+
+    fn evaluate(&mut self, point: &Point) -> Option<Vec<f64>> {
+        if let Some(cached) = self.cache.get(point) {
+            return cached.clone();
+        }
+        let result = (|| {
+            let cfg = self.generator.generate(point).ok()?;
+            let metrics =
+                Self::app_metrics(&self.explorer, self.workloads, &cfg, &self.sw_opts)?;
+            self.evaluated.push((point.clone(), metrics));
+            Some(vec![metrics.latency_cycles, metrics.power_mw, metrics.area_mm2])
+        })();
+        self.cache.insert(point.clone(), result.clone());
+        result
+    }
+}
+
+/// The co-design driver.
+#[derive(Debug, Clone)]
+pub struct CoDesigner {
+    opts: CoDesignOptions,
+}
+
+impl CoDesigner {
+    /// Creates a driver.
+    pub fn new(opts: CoDesignOptions) -> Self {
+        CoDesigner { opts }
+    }
+
+    fn make_generator(method: GenerationMethod) -> Box<dyn Generator> {
+        match method {
+            GenerationMethod::Gemmini => Box::new(GemminiGenerator::new()),
+            GenerationMethod::Chisel(kind) => Box::new(ChiselGenerator::new(kind)),
+        }
+    }
+
+    /// Runs the full three-step co-design flow.
+    ///
+    /// # Errors
+    /// Returns [`HascoError`] when the app is empty or no accelerator in
+    /// the explored set supports all workloads.
+    pub fn run(&self, input: &InputDescription) -> Result<Solution, HascoError> {
+        if input.app.is_empty() {
+            return Err(HascoError::EmptyApp);
+        }
+        let generator = Self::make_generator(input.method);
+
+        // Step 2: hardware DSE with software-in-the-loop evaluation.
+        let mut problem = HwProblem::new(
+            generator.as_ref(),
+            &input.app.workloads,
+            self.opts.sw_inner.clone(),
+            self.opts.seed,
+        );
+        let mut mobo = Mobo::new(self.opts.seed).with_prior_samples(self.opts.mobo_prior);
+        let mut history = mobo.run(&mut problem, self.opts.hw_trials);
+        if history.evaluations.is_empty() {
+            return Err(HascoError::NoFeasibleAccelerator);
+        }
+
+        // Step 3: pick the Pareto point satisfying the constraints (or the
+        // least-violating one), re-optimizing thoroughly. When the metrics
+        // violate the constraints, they "drive the hardware DSE and
+        // generate a new accelerator": run extra exploration rounds with
+        // fresh seeds and merge the histories before giving up.
+        let mut solution = self.select_and_finalize(input, generator.as_ref(), &history)?;
+        let mut round = 0;
+        while !solution.meets_constraints && round < self.opts.tuning_rounds {
+            round += 1;
+            let mut retune =
+                Mobo::new(self.opts.seed.wrapping_add(round as u64 * 0x9e37))
+                    .with_prior_samples(self.opts.mobo_prior);
+            let extra = retune.run(&mut problem, self.opts.hw_trials);
+            for e in extra.evaluations {
+                if !history.evaluations.iter().any(|h| h.point == e.point) {
+                    history.evaluations.push(e);
+                }
+            }
+            history.infeasible += extra.infeasible;
+            let candidate = self.select_and_finalize(input, generator.as_ref(), &history)?;
+            if candidate.meets_constraints
+                || input.constraints.violation(&candidate.total)
+                    < input.constraints.violation(&solution.total)
+            {
+                solution = candidate;
+            }
+        }
+        // The solution reports the full (merged) exploration history even
+        // when a retuning round did not improve on the incumbent.
+        solution.hw_history = history;
+        Ok(solution)
+    }
+
+    fn select_and_finalize(
+        &self,
+        input: &InputDescription,
+        generator: &dyn Generator,
+        history: &dse::problem::OptimizerResult,
+    ) -> Result<Solution, HascoError> {
+        let chosen = tuning::select_point(history, &input.constraints)
+            .ok_or(HascoError::NoFeasibleAccelerator)?;
+        let cfg = generator
+            .generate(&chosen)
+            .map_err(|e| HascoError::Hardware(e.to_string()))?;
+        self.finalize(input, cfg, history.clone())
+    }
+
+    /// Optimizes the software thoroughly for a fixed accelerator and
+    /// assembles the solution (also used by the "separate design"
+    /// baseline, which skips the hardware DSE).
+    ///
+    /// # Errors
+    /// Returns [`HascoError::Software`] when a workload cannot be mapped.
+    pub fn finalize(
+        &self,
+        input: &InputDescription,
+        cfg: AcceleratorConfig,
+        hw_history: dse::problem::OptimizerResult,
+    ) -> Result<Solution, HascoError> {
+        let explorer = SoftwareExplorer::new(self.opts.seed);
+        let mut per_workload = Vec::with_capacity(input.app.len());
+        let mut parts = Vec::with_capacity(input.app.len());
+        for w in &input.app.workloads {
+            let optimized = explorer
+                .optimize(w, &cfg, &self.opts.sw_final)
+                .map_err(|e| HascoError::Software(format!("{}: {e}", w.name)))?;
+            let intr = cfg.intrinsic_comp();
+            let ctx = sw_opt::schedule::ScheduleContext::new(w, &intr)
+                .map_err(|e| HascoError::Software(e.to_string()))?;
+            let program = sw_opt::codegen::render(&optimized.schedule, &ctx);
+            parts.push(optimized.metrics);
+            per_workload.push(WorkloadSolution {
+                workload: w.name.clone(),
+                schedule: optimized.schedule,
+                metrics: optimized.metrics,
+                program,
+            });
+        }
+        let total = Metrics::sequential(&parts);
+        Ok(Solution {
+            meets_constraints: input.constraints.satisfied_by(&total),
+            accelerator: cfg,
+            per_workload,
+            total,
+            hw_history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::Constraints;
+    use tensor_ir::suites;
+    use tensor_ir::workload::TensorApp;
+
+    fn toy_input() -> InputDescription {
+        InputDescription {
+            app: TensorApp::new(
+                "toy",
+                vec![
+                    suites::gemm_workload("g1", 128, 128, 128),
+                    suites::gemm_workload("g2", 256, 128, 64),
+                ],
+            ),
+            method: GenerationMethod::Gemmini,
+            constraints: Constraints::default(),
+        }
+    }
+
+    #[test]
+    fn codesign_produces_complete_solution() {
+        let solution = CoDesigner::new(CoDesignOptions::quick(1)).run(&toy_input()).unwrap();
+        assert_eq!(solution.per_workload.len(), 2);
+        assert!(solution.total.latency_ms > 0.0);
+        assert!(solution.meets_constraints);
+        assert!(!solution.hw_history.evaluations.is_empty());
+        assert!(solution.per_workload[0].program.contains("Tensorized_gemm"));
+    }
+
+    #[test]
+    fn empty_app_is_rejected() {
+        let mut input = toy_input();
+        input.app = TensorApp::new("empty", vec![]);
+        assert_eq!(
+            CoDesigner::new(CoDesignOptions::quick(0)).run(&input).unwrap_err(),
+            HascoError::EmptyApp
+        );
+    }
+
+    #[test]
+    fn codesign_beats_or_matches_default_hardware() {
+        // The co-design headline: the explored accelerator + tuned software
+        // should not lose to the fixed default accelerator with the same
+        // software effort.
+        let input = toy_input();
+        let designer = CoDesigner::new(CoDesignOptions::quick(3));
+        let co = designer.run(&input).unwrap();
+        let baseline_cfg = hw_gen::GemminiGenerator::baseline(false);
+        let base = designer
+            .finalize(&input, baseline_cfg, dse::problem::OptimizerResult::new("fixed"))
+            .unwrap();
+        assert!(
+            co.total.latency_cycles <= base.total.latency_cycles * 1.05,
+            "co-design {} vs baseline {}",
+            co.total.latency_cycles,
+            base.total.latency_cycles
+        );
+    }
+
+    #[test]
+    fn retuning_rounds_expand_the_history_under_tight_constraints() {
+        let mut input = toy_input();
+        // Unreachable latency: retuning must kick in and merge extra
+        // evaluations while returning a flagged best-effort solution.
+        input.constraints = Constraints::latency_power(1e-9, 1e9);
+        let mut opts = CoDesignOptions::quick(4);
+        opts.hw_trials = 5;
+        opts.tuning_rounds = 2;
+        let with_retune = CoDesigner::new(opts.clone()).run(&input).unwrap();
+        opts.tuning_rounds = 0;
+        let without = CoDesigner::new(opts).run(&input).unwrap();
+        assert!(!with_retune.meets_constraints);
+        assert!(
+            with_retune.hw_history.evaluations.len() > without.hw_history.evaluations.len(),
+            "retuning added no evaluations: {} vs {}",
+            with_retune.hw_history.evaluations.len(),
+            without.hw_history.evaluations.len()
+        );
+        // Retuning never makes the solution worse.
+        assert!(with_retune.total.latency_cycles <= without.total.latency_cycles * 1.0001);
+    }
+
+    #[test]
+    fn hw_problem_caches_points() {
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let mut p = HwProblem::new(
+            &generator,
+            &input.app.workloads,
+            CoDesignOptions::quick(0).sw_inner,
+            0,
+        );
+        let point = vec![0; p.space().len()];
+        let a = p.evaluate(&point);
+        let evals_after_first = p.evaluated.len();
+        let b = p.evaluate(&point);
+        assert_eq!(a, b);
+        assert_eq!(p.evaluated.len(), evals_after_first);
+    }
+
+    #[test]
+    fn chisel_method_works_too() {
+        let mut input = toy_input();
+        input.method =
+            GenerationMethod::Chisel(tensor_ir::intrinsics::IntrinsicKind::Gemm);
+        let mut opts = CoDesignOptions::quick(2);
+        opts.hw_trials = 6;
+        let solution = CoDesigner::new(opts).run(&input).unwrap();
+        assert_eq!(solution.per_workload.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Step 3 — solution tuning (§III): check metrics against the user
+//! constraints and steer the selection along the Pareto set.
+//!
+//! "If the metrics violate the user constraints, they will drive the
+//! hardware DSE and generate a new accelerator." In this reproduction the
+//! DSE history already contains the Pareto set, so tuning selects the
+//! feasible point with the lowest latency and falls back to the
+//! least-violating point when nothing is feasible.
+
+use dse::problem::{OptimizerResult, Point};
+
+use crate::input::Constraints;
+
+/// Approximates [`accel_model::Metrics`] from an objective vector
+/// `(latency cycles, power mW, area mm²)` at a given clock, for constraint
+/// checks. Latency in ms assumes the configured 500 MHz default clock.
+fn objectives_to_view(objs: &[f64]) -> accel_model::Metrics {
+    let latency_cycles = objs[0];
+    let latency_ms = latency_cycles / 5e5;
+    accel_model::Metrics {
+        latency_cycles,
+        latency_ms,
+        energy_uj: objs[1] * latency_ms,
+        power_mw: objs[1],
+        area_mm2: objs[2],
+        throughput_mops: 0.0,
+        utilization: 1.0,
+    }
+}
+
+/// Selects the design point to carry into the final solution: among the
+/// Pareto front of the history, the feasible point with the lowest
+/// latency; otherwise the least-violating point overall.
+pub fn select_point(history: &OptimizerResult, constraints: &Constraints) -> Option<Point> {
+    let front = history.pareto_front();
+    if front.is_empty() {
+        return None;
+    }
+    let feasible = front
+        .iter()
+        .filter(|e| constraints.satisfied_by(&objectives_to_view(&e.objectives)))
+        .min_by(|a, b| {
+            a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite latency")
+        });
+    if let Some(e) = feasible {
+        return Some(e.point.clone());
+    }
+    front
+        .iter()
+        .min_by(|a, b| {
+            let va = constraints.violation(&objectives_to_view(&a.objectives));
+            let vb = constraints.violation(&objectives_to_view(&b.objectives));
+            va.partial_cmp(&vb).expect("finite violations")
+        })
+        .map(|e| e.point.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse::problem::Evaluation;
+
+    fn history(objs: &[[f64; 3]]) -> OptimizerResult {
+        let mut h = OptimizerResult::new("test");
+        for (i, o) in objs.iter().enumerate() {
+            h.evaluations.push(Evaluation { point: vec![i], objectives: o.to_vec() });
+        }
+        h
+    }
+
+    #[test]
+    fn picks_lowest_latency_feasible_pareto_point() {
+        // Points: (cycles, mW, mm2). At 500 MHz, 5e8 cycles = 1000 ms.
+        let h = history(&[
+            [5e8, 100.0, 10.0],  // 1000 ms
+            [2.5e8, 200.0, 20.0], // 500 ms
+            [1e8, 900.0, 50.0],  // 200 ms but power-hungry
+        ]);
+        let c = Constraints::latency_power(800.0, 500.0);
+        // Feasible: #1 (500 ms, 200 mW). #2 violates power.
+        assert_eq!(select_point(&h, &c), Some(vec![1]));
+    }
+
+    #[test]
+    fn unconstrained_picks_fastest() {
+        let h = history(&[[5e8, 100.0, 10.0], [2.5e8, 200.0, 20.0]]);
+        assert_eq!(select_point(&h, &Constraints::default()), Some(vec![1]));
+    }
+
+    #[test]
+    fn infeasible_falls_back_to_least_violation() {
+        let h = history(&[
+            [5e8, 5000.0, 10.0], // 1000 ms, heavy power violation
+            [4e8, 1200.0, 20.0], // 800 ms, small power violation
+        ]);
+        let c = Constraints::latency_power(2000.0, 1000.0);
+        assert_eq!(select_point(&h, &c), Some(vec![1]));
+    }
+
+    #[test]
+    fn dominated_points_are_ignored() {
+        let h = history(&[
+            [1e8, 100.0, 10.0],
+            [2e8, 200.0, 20.0], // dominated by #0
+        ]);
+        assert_eq!(select_point(&h, &Constraints::default()), Some(vec![0]));
+    }
+
+    #[test]
+    fn empty_history_yields_none() {
+        let h = OptimizerResult::new("empty");
+        assert_eq!(select_point(&h, &Constraints::default()), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Multi-objective simulated annealing via Chebyshev scalarization — the
+//! "Simulated Annealing" box of the paper's Fig. 3, offered as an
+//! additional DSE baseline and used by the ablation benches.
+//!
+//! Each restart draws a random weight vector; the walk minimizes the
+//! weighted Chebyshev distance to the running ideal point, accepting uphill
+//! moves with the usual Boltzmann probability. Restarts with different
+//! weights spread the accepted points along the Pareto front.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::problem::{Evaluation, OptimizerResult, Point, Problem};
+use crate::Optimizer;
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone)]
+pub struct Annealer {
+    seed: u64,
+    /// Number of weight-vector restarts (each gets an equal slice of the
+    /// evaluation budget).
+    pub restarts: usize,
+    /// Initial temperature (relative objective scale).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per step.
+    pub cooling: f64,
+}
+
+impl Annealer {
+    /// Creates an annealer with three restarts and a standard schedule.
+    pub fn new(seed: u64) -> Self {
+        Annealer { seed, restarts: 3, initial_temperature: 1.0, cooling: 0.92 }
+    }
+
+    /// Sets the restart count.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+}
+
+fn chebyshev(objs: &[f64], ideal: &[f64], weights: &[f64]) -> f64 {
+    objs.iter()
+        .zip(ideal.iter())
+        .zip(weights.iter())
+        .map(|((&o, &i), &w)| w * ((o.max(1e-12).ln()) - (i.max(1e-12).ln())))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+impl Optimizer for Annealer {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut result = OptimizerResult::new(self.name());
+        let m = problem.num_objectives();
+        let budget_per_restart = (max_evals / self.restarts).max(1);
+        let mut ideal = vec![f64::INFINITY; m];
+        let mut trials = 0usize;
+
+        for _ in 0..self.restarts {
+            if trials >= max_evals {
+                break;
+            }
+            // Random positive weights, normalized.
+            let mut weights: Vec<f64> = (0..m).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let sum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= sum;
+            }
+            // Random feasible start.
+            let mut current: Option<(Point, Vec<f64>)> = None;
+            let mut guard = 0;
+            while current.is_none() && trials < max_evals && guard < max_evals * 10 {
+                guard += 1;
+                let p = problem.space().random_point(&mut rng);
+                trials += 1;
+                match problem.evaluate(&p) {
+                    Some(objs) => {
+                        for (i, &o) in ideal.iter_mut().zip(objs.iter()) {
+                            *i = i.min(o);
+                        }
+                        result
+                            .evaluations
+                            .push(Evaluation { point: p.clone(), objectives: objs.clone() });
+                        current = Some((p, objs));
+                    }
+                    None => result.infeasible += 1,
+                }
+            }
+            let Some((mut cur_p, mut cur_o)) = current else { continue };
+            let mut temperature = self.initial_temperature;
+            let restart_end = (trials + budget_per_restart).min(max_evals);
+            while trials < restart_end {
+                // Temperature-scaled jump: hot walks leap across the grid,
+                // cold walks refine locally.
+                let dims = problem.space().dim_sizes.clone();
+                let d = rng.gen_range(0..dims.len());
+                let span = ((dims[d] as f64 / 2.0) * temperature).ceil().max(1.0) as i64;
+                let step = rng.gen_range(1..=span) * if rng.gen_bool(0.5) { 1 } else { -1 };
+                let mut cand = cur_p.clone();
+                cand[d] =
+                    (cand[d] as i64 + step).clamp(0, dims[d] as i64 - 1) as usize;
+                if cand == cur_p {
+                    temperature *= self.cooling;
+                    continue;
+                }
+                trials += 1;
+                let Some(objs) = problem.evaluate(&cand) else {
+                    result.infeasible += 1;
+                    temperature *= self.cooling;
+                    continue;
+                };
+                for (i, &o) in ideal.iter_mut().zip(objs.iter()) {
+                    *i = i.min(o);
+                }
+                result
+                    .evaluations
+                    .push(Evaluation { point: cand.clone(), objectives: objs.clone() });
+                let delta = chebyshev(&objs, &ideal, &weights)
+                    - chebyshev(&cur_o, &ideal, &weights);
+                let accept = delta < 0.0
+                    || rng.gen_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+                if accept {
+                    cur_p = cand;
+                    cur_o = objs;
+                }
+                temperature *= self.cooling;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SearchSpace;
+    use crate::random::RandomSearch;
+
+    struct Bowl {
+        space: SearchSpace,
+    }
+
+    impl Problem for Bowl {
+        fn space(&self) -> &SearchSpace {
+            &self.space
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+            let x = p[0] as f64 / 30.0;
+            let y = p[1] as f64 / 30.0;
+            Some(vec![
+                0.1 + (x - 0.8).powi(2) + (y - 0.5).powi(2),
+                0.1 + (x - 0.2).powi(2) + (y - 0.5).powi(2),
+            ])
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut prob = Bowl { space: SearchSpace::new(vec![31, 31]) };
+        let r = Annealer::new(1).run(&mut prob, 40);
+        assert!(r.evaluations.len() + r.infeasible <= 40);
+        assert!(!r.evaluations.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut p1 = Bowl { space: SearchSpace::new(vec![31, 31]) };
+        let mut p2 = Bowl { space: SearchSpace::new(vec![31, 31]) };
+        assert_eq!(Annealer::new(5).run(&mut p1, 30), Annealer::new(5).run(&mut p2, 30));
+    }
+
+    #[test]
+    fn converges_better_than_random_on_scalarized_best() {
+        // SA is a point-convergence method: on a large smooth landscape it
+        // should find lower scalarized optima than uniform sampling at the
+        // same budget (spread across the front is MOBO/NSGA-II territory).
+        // Both objectives share one optimum, so every weight vector pulls
+        // the walk toward it.
+        struct Aligned {
+            space: SearchSpace,
+        }
+        impl Problem for Aligned {
+            fn space(&self) -> &SearchSpace {
+                &self.space
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+                let x = p[0] as f64 / 100.0;
+                let y = p[1] as f64 / 100.0;
+                let d2 = (x - 0.73).powi(2) + (y - 0.41).powi(2);
+                Some(vec![0.01 + d2, 0.05 + 2.0 * d2])
+            }
+        }
+        let best = |r: &OptimizerResult| r.best_objective(0).unwrap_or(f64::INFINITY);
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut p1 = Aligned { space: SearchSpace::new(vec![101, 101]) };
+            let mut p2 = Aligned { space: SearchSpace::new(vec![101, 101]) };
+            let a = Annealer::new(seed).with_restarts(2).run(&mut p1, 60);
+            let r = RandomSearch::new(seed).run(&mut p2, 60);
+            if best(&a) <= best(&r) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "annealer won only {wins}/5 seeds");
+    }
+
+    #[test]
+    fn restart_floor_is_one() {
+        assert_eq!(Annealer::new(0).with_restarts(0).restarts, 1);
+    }
+
+    #[test]
+    fn chebyshev_is_zero_at_ideal() {
+        let d = chebyshev(&[1.0, 2.0], &[1.0, 2.0], &[0.5, 0.5]);
+        assert!(d.abs() < 1e-12);
+        let worse = chebyshev(&[2.0, 2.0], &[1.0, 2.0], &[0.5, 0.5]);
+        assert!(worse > 0.0);
+    }
+}

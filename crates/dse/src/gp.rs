@@ -1,0 +1,192 @@
+//! Gaussian-process regression — the MOBO surrogate model (§V-B: "we use a
+//! Gaussian Process as the surrogate model ... cheap to evaluate").
+//!
+//! Squared-exponential (RBF) kernel on inputs normalized to `[0,1]^d`,
+//! targets standardized to zero mean / unit variance, and a small
+//! length-scale grid search by log marginal likelihood.
+
+use crate::linalg::{self, LinalgError, Matrix};
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Matrix,
+    length_scale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+/// Posterior prediction at one input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean (in the original target units).
+    pub mean: f64,
+    /// Posterior standard deviation (original units).
+    pub std: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], length_scale: f64, signal_var: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    signal_var * (-d2 / (2.0 * length_scale * length_scale)).exp()
+}
+
+impl GaussianProcess {
+    /// Fits a GP, selecting the RBF length scale from a small grid by log
+    /// marginal likelihood.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError`] if every candidate kernel matrix fails to
+    /// factorize (practically impossible with jitter).
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` differ in length or are empty.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: &[f64]) -> Result<Self, LinalgError> {
+        assert_eq!(xs.len(), ys.len(), "inputs and targets must align");
+        assert!(!xs.is_empty(), "cannot fit a GP on zero observations");
+        let n = ys.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let var = ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-12);
+        let yn: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let signal_var = 1.0;
+        let noise_var = 1e-4;
+        let mut best: Option<(f64, GaussianProcess)> = None;
+        for &ls in &[0.1, 0.2, 0.35, 0.6, 1.0] {
+            let k = Matrix::from_fn(n, n, |r, c| {
+                rbf(&xs[r], &xs[c], ls, signal_var) + if r == c { noise_var } else { 0.0 }
+            });
+            let chol = match linalg::cholesky(&k) {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            let alpha = linalg::cholesky_solve(&chol, &yn);
+            // log p(y|X) = -0.5 yᵀα - Σ log L_ii - (n/2) log 2π
+            let fit_term: f64 = -0.5 * yn.iter().zip(&alpha).map(|(y, a)| y * a).sum::<f64>();
+            let logdet: f64 = (0..n).map(|i| chol[(i, i)].ln()).sum();
+            let lml = fit_term - logdet - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+            let gp = GaussianProcess {
+                xs: xs.clone(),
+                alpha,
+                chol,
+                length_scale: ls,
+                signal_var,
+                noise_var,
+                y_mean,
+                y_std,
+            };
+            if best.as_ref().map_or(true, |(b, _)| lml > *b) {
+                best = Some((lml, gp));
+            }
+        }
+        best.map(|(_, gp)| gp).ok_or(LinalgError::NotPositiveDefinite)
+    }
+
+    /// The selected RBF length scale.
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// Posterior mean and standard deviation at `x`.
+    pub fn predict(&self, x: &[f64]) -> Posterior {
+        let kstar: Vec<f64> =
+            self.xs.iter().map(|xi| rbf(xi, x, self.length_scale, self.signal_var)).collect();
+        let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        // var = k(x,x) + σn² − k*ᵀ K⁻¹ k* via the Cholesky factor.
+        let v = linalg::solve_lower(&self.chol, &kstar);
+        let explained: f64 = v.iter().map(|x| x * x).sum();
+        let var_n = (self.signal_var + self.noise_var - explained).max(1e-12);
+        Posterior { mean: mean_n * self.y_std + self.y_mean, std: var_n.sqrt() * self.y_std }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
+        let gp = GaussianProcess::fit(xs.clone(), &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x);
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {y}", p.mean);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = vec![0.0, 0.1];
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let near = gp.predict(&[0.05]).std;
+        let far = gp.predict(&[1.0]).std;
+        assert!(far > near);
+    }
+
+    #[test]
+    fn predicts_smooth_function_between_points() {
+        let xs = grid_1d(9);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let p = gp.predict(&[0.3125]);
+        assert!((p.mean - 0.3125f64 * 0.3125).abs() < 0.05);
+    }
+
+    #[test]
+    fn handles_constant_targets() {
+        let xs = grid_1d(4);
+        let ys = vec![5.0; 4];
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_duplicate_inputs() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let ys = vec![1.0, 1.2, 2.0];
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 1.1).abs() < 0.3);
+    }
+
+    #[test]
+    fn multi_dim_inputs() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let x = vec![i as f64 / 4.0, j as f64 / 4.0];
+                ys.push(x[0] + 2.0 * x[1]);
+                xs.push(x);
+            }
+        }
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let p = gp.predict(&[0.5, 0.5]);
+        assert!((p.mean - 1.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn length_scale_is_from_grid() {
+        let xs = grid_1d(5);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        assert!([0.1, 0.2, 0.35, 0.6, 1.0].contains(&gp.length_scale()));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observations")]
+    fn empty_fit_panics() {
+        let _ = GaussianProcess::fit(vec![], &[]);
+    }
+}

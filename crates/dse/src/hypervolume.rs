@@ -1,0 +1,162 @@
+//! Exact hypervolume indicator (minimization) via the "hypervolume by
+//! slicing objectives" (HSO) recursion.
+//!
+//! "In multi-objective optimizations, the hypervolume indicator measures
+//! the size of the space dominated by a set of design points" (§VII-C).
+//! The fronts produced by 20–40-trial DSE runs are tiny, so the exact
+//! recursive algorithm is more than fast enough.
+
+use crate::pareto;
+
+/// Hypervolume of `points` with respect to `reference` (all objectives
+/// minimized; points not strictly better than the reference in every
+/// objective contribute only their clipped region).
+///
+/// # Panics
+/// Panics if a point's dimensionality differs from the reference's.
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let d = reference.len();
+    // Clip to the reference box and drop points outside it.
+    let mut clipped: Vec<Vec<f64>> = Vec::new();
+    for p in points {
+        assert_eq!(p.len(), d, "point dimensionality mismatch");
+        if p.iter().zip(reference.iter()).all(|(x, r)| x < r) {
+            clipped.push(p.clone());
+        }
+    }
+    if clipped.is_empty() {
+        return 0.0;
+    }
+    // Keep only the non-dominated subset.
+    let refs: Vec<&[f64]> = clipped.iter().map(|v| v.as_slice()).collect();
+    let idx = pareto::pareto_indices(&refs);
+    let front: Vec<Vec<f64>> = idx.into_iter().map(|i| clipped[i].clone()).collect();
+    hso(&front, reference)
+}
+
+fn hso(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let d = reference.len();
+    if points.is_empty() {
+        return 0.0;
+    }
+    if d == 1 {
+        let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        return (reference[0] - best).max(0.0);
+    }
+    // Slice along the last objective.
+    let axis = d - 1;
+    let mut sorted: Vec<&Vec<f64>> = points.iter().collect();
+    sorted.sort_by(|a, b| a[axis].partial_cmp(&b[axis]).expect("no NaN objectives"));
+    let mut volume = 0.0;
+    for k in 0..sorted.len() {
+        let z_lo = sorted[k][axis];
+        let z_hi = if k + 1 < sorted.len() { sorted[k + 1][axis] } else { reference[axis] };
+        let depth = z_hi - z_lo;
+        if depth <= 0.0 {
+            continue;
+        }
+        // Points active in this slice: those with coordinate <= z_lo.
+        let active: Vec<Vec<f64>> = sorted[..=k]
+            .iter()
+            .map(|p| p[..axis].to_vec())
+            .collect();
+        let sub_ref = &reference[..axis];
+        // Non-dominated filtering of the projection keeps the recursion
+        // cheap.
+        let refs: Vec<&[f64]> = active.iter().map(|v| v.as_slice()).collect();
+        let idx = pareto::pareto_indices(&refs);
+        let proj: Vec<Vec<f64>> = idx.into_iter().map(|i| active[i].clone()).collect();
+        volume += depth * hso(&proj, sub_ref);
+    }
+    volume
+}
+
+/// Normalized hypervolume: the fraction of the reference box the front
+/// dominates, given the box's ideal corner. Useful for plotting Fig. 10's
+/// "normalized hypervolume" axis.
+pub fn normalized_hypervolume(points: &[Vec<f64>], ideal: &[f64], reference: &[f64]) -> f64 {
+    let total: f64 =
+        ideal.iter().zip(reference.iter()).map(|(i, r)| (r - i).max(1e-300)).product();
+    hypervolume(points, reference) / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_2d() {
+        let hv = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_overlapping_points_2d() {
+        // [1,2] and [2,1] vs ref [3,3]: 2 + 2 - 1 = 3.
+        let hv = hypervolume(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_point_adds_nothing() {
+        let base = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        let more = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+        assert!((base - more).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_outside_reference_is_ignored() {
+        let hv = hypervolume(&[vec![4.0, 1.0]], &[3.0, 3.0]);
+        assert_eq!(hv, 0.0);
+        let hv2 = hypervolume(&[vec![4.0, 1.0], vec![1.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_3d_is_box_volume() {
+        let hv = hypervolume(&[vec![1.0, 1.0, 1.0]], &[2.0, 3.0, 4.0]);
+        assert!((hv - 1.0 * 2.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_union() {
+        // Two boxes: [0,0,0] to ref [2,2,2] clipped at... points [1,1,0] and
+        // [0,0,1] vs ref [2,2,2]:
+        // box A = (2-1)(2-1)(2-0) = 2; box B = (2)(2)(2-1) = 4;
+        // overlap = (2-1)(2-1)(2-1) = 1; union = 5.
+        let hv = hypervolume(&[vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]], &[2.0, 2.0, 2.0]);
+        assert!((hv - 5.0).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn adding_nondominated_point_grows_hv() {
+        let r = [10.0, 10.0, 10.0];
+        let a = hypervolume(&[vec![5.0, 5.0, 5.0]], &r);
+        let b = hypervolume(&[vec![5.0, 5.0, 5.0], vec![1.0, 9.0, 9.0]], &r);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn hv_is_permutation_invariant() {
+        let pts = vec![vec![1.0, 5.0, 3.0], vec![2.0, 2.0, 4.0], vec![4.0, 1.0, 1.0]];
+        let r = [6.0, 6.0, 6.0];
+        let a = hypervolume(&pts, &r);
+        let mut rev = pts.clone();
+        rev.reverse();
+        let b = hypervolume(&rev, &r);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_hv_is_fraction() {
+        let nhv = normalized_hypervolume(&[vec![0.0, 0.0]], &[0.0, 0.0], &[2.0, 2.0]);
+        assert!((nhv - 1.0).abs() < 1e-12);
+        let half = normalized_hypervolume(&[vec![1.0, 0.0]], &[0.0, 0.0], &[2.0, 2.0]);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+    }
+}

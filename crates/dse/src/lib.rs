@@ -1,0 +1,58 @@
+//! Design-space exploration algorithms for HASCO (§V-B, Algorithm 1).
+//!
+//! This crate implements the hardware DSE machinery of the paper from
+//! scratch:
+//!
+//! * [`mobo::Mobo`] — multi-objective Bayesian optimization with a
+//!   Gaussian-process surrogate per objective and a hypervolume-based
+//!   probability-of-improvement acquisition function (the paper's method);
+//! * [`nsga2::Nsga2`] — the NSGA-II genetic algorithm \[22\] baseline;
+//! * [`random::RandomSearch`] — the random-search baseline;
+//! * [`pareto`] / [`hypervolume`] — Pareto-set maintenance and the exact
+//!   hypervolume indicator used to compare convergence (Fig. 10).
+//!
+//! All optimizers minimize a vector of objectives over a discrete
+//! [`problem::SearchSpace`] through the [`problem::Problem`] trait, and
+//! record every evaluation so benches can replay convergence histories.
+//!
+//! # Example
+//!
+//! ```
+//! use dse::problem::{Problem, SearchSpace, Point};
+//! use dse::random::RandomSearch;
+//! use dse::Optimizer;
+//!
+//! struct Toy(SearchSpace);
+//! impl Problem for Toy {
+//!     fn space(&self) -> &SearchSpace { &self.0 }
+//!     fn num_objectives(&self) -> usize { 2 }
+//!     fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+//!         Some(vec![p[0] as f64, (10 - p[1]) as f64])
+//!     }
+//! }
+//! let mut toy = Toy(SearchSpace::new(vec![11, 11]));
+//! let result = RandomSearch::new(42).run(&mut toy, 20);
+//! assert!(!result.pareto_front().is_empty());
+//! ```
+
+pub mod anneal;
+pub mod gp;
+pub mod hypervolume;
+pub mod linalg;
+pub mod mobo;
+pub mod nsga2;
+pub mod pareto;
+pub mod problem;
+pub mod random;
+
+pub use problem::{Evaluation, OptimizerResult, Point, Problem, SearchSpace};
+
+/// A budgeted multi-objective optimizer over a discrete space.
+pub trait Optimizer {
+    /// Runs the optimizer for at most `max_evals` problem evaluations and
+    /// returns the full evaluation history.
+    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}

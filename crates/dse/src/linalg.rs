@@ -1,0 +1,230 @@
+//! Minimal dense linear algebra for the Gaussian-process surrogate:
+//! symmetric matrices, jittered Cholesky factorization, and triangular
+//! solves. Sizes are tiny (≤ the DSE trial budget, ~40), so simplicity wins
+//! over cleverness.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics when `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Errors from the factorization routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite even after adding jitter.
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric matrix, retrying with
+/// exponentially growing diagonal jitter — the standard GP trick for nearly
+/// singular kernel matrices.
+///
+/// # Errors
+/// Returns [`LinalgError::NotPositiveDefinite`] if factorization fails even
+/// with the largest jitter.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    assert_eq!(a.rows, a.cols, "cholesky needs a square matrix");
+    let n = a.rows;
+    let mut jitter = 0.0;
+    for attempt in 0..8 {
+        if attempt > 0 {
+            jitter = 1e-10 * 10f64.powi(attempt);
+        }
+        if let Some(l) = try_cholesky(a, jitter, n) {
+            return Ok(l);
+        }
+    }
+    Err(LinalgError::NotPositiveDefinite)
+}
+
+fn try_cholesky(a: &Matrix, jitter: f64, n: usize) -> Option<Matrix> {
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)] + if i == j { jitter } else { 0.0 };
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L·x = b` (forward substitution, `L` lower triangular).
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows;
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `Lᵀ·x = b` (backward substitution).
+pub fn solve_upper_transposed(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows;
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `A·x = b` given `A = L·Lᵀ`.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    solve_upper_transposed(l, &solve_lower(l, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ·B + I is SPD.
+        Matrix::from_fn(3, 3, |r, c| {
+            let b = [[1.0, 2.0, 0.5], [0.0, 1.0, 1.0], [0.7, 0.3, 2.0]];
+            let mut s = 0.0;
+            for k in 0..3 {
+                s += b[k][r] * b[k][c];
+            }
+            s + if r == c { 1.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrips() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = cholesky_solve(&l, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-deficient Gram matrix of duplicated inputs.
+        let a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let l = cholesky(&a);
+        assert!(l.is_ok());
+    }
+
+    #[test]
+    fn non_pd_fails() {
+        let a = Matrix::from_fn(2, 2, |r, c| if r == c { -1.0 } else { 0.0 });
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let mut l = Matrix::zeros(2, 2);
+        l[(0, 0)] = 2.0;
+        l[(1, 0)] = 1.0;
+        l[(1, 1)] = 3.0;
+        let x = solve_lower(&l, &[4.0, 11.0]);
+        assert_eq!(x, vec![2.0, 3.0]);
+        let y = solve_upper_transposed(&l, &[5.0, 6.0]);
+        // Lᵀ y = b: [2 1; 0 3] y = [5, 6] → y1 = 2, y0 = (5-2)/2 = 1.5
+        assert_eq!(y, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn cholesky_rejects_rectangular() {
+        let _ = cholesky(&Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,121 @@
+//! Random search — the simplest DSE baseline of §VII-C.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+use crate::problem::{Evaluation, OptimizerResult, Problem};
+use crate::Optimizer;
+
+/// Uniform random sampling without replacement (up to a retry budget).
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random search with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch { seed }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut result = OptimizerResult::new(self.name());
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut attempts = 0usize;
+        while result.evaluations.len() + result.infeasible < max_evals
+            && attempts < max_evals * 50
+        {
+            attempts += 1;
+            let p = problem.space().random_point(&mut rng);
+            if !seen.insert(p.clone()) {
+                continue;
+            }
+            match problem.evaluate(&p) {
+                Some(objs) => result.evaluations.push(Evaluation { point: p, objectives: objs }),
+                None => result.infeasible += 1,
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Point, SearchSpace};
+
+    struct Sphere {
+        space: SearchSpace,
+        evals: usize,
+    }
+
+    impl Problem for Sphere {
+        fn space(&self) -> &SearchSpace {
+            &self.space
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+            self.evals += 1;
+            let x = p[0] as f64 - 5.0;
+            let y = p[1] as f64 - 5.0;
+            Some(vec![x * x + y * y, (10.0 - p[0] as f64).abs()])
+        }
+    }
+
+    #[test]
+    fn respects_budget_and_dedup() {
+        let mut prob = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
+        let r = RandomSearch::new(1).run(&mut prob, 30);
+        assert!(r.evaluations.len() <= 30);
+        assert_eq!(prob.evals, r.evaluations.len());
+        // All evaluated points distinct.
+        let set: BTreeSet<_> = r.evaluations.iter().map(|e| &e.point).collect();
+        assert_eq!(set.len(), r.evaluations.len());
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let mut p1 = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
+        let mut p2 = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
+        let a = RandomSearch::new(9).run(&mut p1, 15);
+        let b = RandomSearch::new(9).run(&mut p2, 15);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_infeasible() {
+        struct HalfFeasible(SearchSpace);
+        impl Problem for HalfFeasible {
+            fn space(&self) -> &SearchSpace {
+                &self.0
+            }
+            fn num_objectives(&self) -> usize {
+                1
+            }
+            fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+                (p[0] % 2 == 0).then(|| vec![p[0] as f64])
+            }
+        }
+        let mut prob = HalfFeasible(SearchSpace::new(vec![50]));
+        let r = RandomSearch::new(2).run(&mut prob, 20);
+        assert!(r.infeasible > 0);
+        assert_eq!(r.evaluations.len() + r.infeasible, 20);
+    }
+
+    #[test]
+    fn exhausts_small_space() {
+        let mut prob = Sphere { space: SearchSpace::new(vec![2, 2]), evals: 0 };
+        let r = RandomSearch::new(3).run(&mut prob, 100);
+        assert_eq!(r.evaluations.len(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! A Gemmini-style systolic GEMM generator \[24\].
+//!
+//! Gemmini builds square power-of-two systolic arrays; the paper's Table III
+//! analysis leans on this constraint ("GEMMCore constrains its PE array
+//! shape to be 2^n × 2^n. Under this PE constraint and the power constraint,
+//! MOBO converges to the optimal PE array shape").
+
+use accel_model::{AcceleratorConfig, Dataflow, Interconnect};
+use tensor_ir::intrinsics::IntrinsicKind;
+
+use crate::primitives::ArchDescription;
+use crate::space::{DesignPoint, Generator, HwDesignSpace, ParamDim};
+use crate::GenError;
+
+/// Gemmini-style GEMM accelerator generator.
+#[derive(Debug, Clone)]
+pub struct GemminiGenerator {
+    space: HwDesignSpace,
+}
+
+impl GemminiGenerator {
+    /// Creates the generator with its design space: PE side ∈ {4..64}
+    /// (powers of two), scratchpad 64 KB–2 MB, 1–8 banks, local memory,
+    /// burst and bus knobs.
+    pub fn new() -> Self {
+        let dims = vec![
+            ParamDim::new("pe_exp", vec![2, 3, 4, 5, 6]), // side = 2^exp
+            ParamDim::new("spad_kb", vec![64, 128, 256, 512, 1024, 1536, 2048]),
+            ParamDim::new("banks", vec![1, 2, 3, 4, 5, 6, 7, 8]),
+            ParamDim::new("local_bytes", vec![0, 256, 512]),
+            ParamDim::new("burst_bytes", vec![32, 64, 128, 256]),
+            ParamDim::new("bus_bits", vec![64, 128, 256]),
+        ];
+        GemminiGenerator { space: HwDesignSpace::new(dims) }
+    }
+
+    /// The default configuration used as the paper's Table III baseline in
+    /// the given scenario: 8×8 PEs / 256 KB / 4 banks at the edge,
+    /// 64×64 PEs / 1 MB / 4 banks in the cloud.
+    pub fn baseline(cloud: bool) -> AcceleratorConfig {
+        let mut desc = ArchDescription::new("gemmini", IntrinsicKind::Gemm);
+        if cloud {
+            desc.reshape_array(64, 64).add_cache(1024 * 1024);
+        } else {
+            desc.reshape_array(8, 8).add_cache(256 * 1024);
+        }
+        desc.link_pes(Interconnect::Systolic)
+            .partition_banks(4)
+            .burst_transfer(64, 128)
+            .with_dataflow(Dataflow::OutputStationary);
+        let mut cfg = desc.to_config().expect("baseline config is valid");
+        cfg.name = if cloud { "baseline-gemmcore-cloud" } else { "baseline-gemmcore-edge" }.into();
+        cfg
+    }
+}
+
+impl Default for GemminiGenerator {
+    fn default() -> Self {
+        GemminiGenerator::new()
+    }
+}
+
+impl Generator for GemminiGenerator {
+    fn name(&self) -> &str {
+        "gemmini"
+    }
+
+    fn space(&self) -> &HwDesignSpace {
+        &self.space
+    }
+
+    fn generate(&self, point: &DesignPoint) -> Result<AcceleratorConfig, GenError> {
+        let v = self.space.values(point)?;
+        let side = 1u32 << v[0];
+        let mut desc = ArchDescription::new("gemmini", IntrinsicKind::Gemm);
+        desc.reshape_array(side, side)
+            .link_pes(Interconnect::Systolic)
+            .add_cache(v[1] * 1024)
+            .partition_banks(v[2] as u32)
+            .distribute_cache(v[3])
+            .burst_transfer(v[4], v[5] as u32)
+            .with_dataflow(Dataflow::OutputStationary);
+        desc.to_config().map_err(|e| GenError::InvalidConfig(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrays_are_square_powers_of_two() {
+        let g = GemminiGenerator::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let p = g.space().random_point(&mut rng);
+            let cfg = g.generate(&p).unwrap();
+            assert_eq!(cfg.pe.rows, cfg.pe.cols);
+            assert!(cfg.pe.rows.is_power_of_two());
+            assert_eq!(cfg.intrinsic, IntrinsicKind::Gemm);
+            assert_eq!(cfg.interconnect, Interconnect::Systolic);
+        }
+    }
+
+    #[test]
+    fn space_covers_4_to_64() {
+        let g = GemminiGenerator::new();
+        let small = g.generate(&vec![0, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(small.pes(), 16);
+        let big = g.generate(&vec![4, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(big.pes(), 4096); // the paper's cloud PE count
+    }
+
+    #[test]
+    fn baselines_match_table3_defaults() {
+        let edge = GemminiGenerator::baseline(false);
+        assert_eq!(edge.pes(), 64);
+        assert_eq!(edge.scratchpad_bytes, 256 * 1024);
+        assert_eq!(edge.banks, 4);
+        let cloud = GemminiGenerator::baseline(true);
+        assert_eq!(cloud.pes(), 4096);
+        assert_eq!(cloud.scratchpad_bytes, 1024 * 1024);
+        assert_eq!(cloud.banks, 4);
+    }
+
+    #[test]
+    fn space_size_is_nontrivial() {
+        assert_eq!(GemminiGenerator::new().space().size(), 5 * 7 * 8 * 3 * 4 * 3);
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(GemminiGenerator::default().space().size(), GemminiGenerator::new().space().size());
+    }
+}

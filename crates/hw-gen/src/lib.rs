@@ -1,0 +1,77 @@
+//! Hardware generation for HASCO (§V of the paper).
+//!
+//! Provides the six *hardware primitives* of Fig. 6 (`reshapeArray`,
+//! `linkPEs`, `addCache`, `distributeCache`, `partitionBanks`,
+//! `burstTransfer`), parameterized design spaces built from them, and the
+//! generators that lower primitive sequences to concrete
+//! [`accel_model::AcceleratorConfig`]s:
+//!
+//! * [`chisel::ChiselGenerator`] — the built-in generator supporting all
+//!   four common intrinsics (the paper's "our built-in Chisel generator");
+//! * [`gemmini::GemminiGenerator`] — a Gemmini-style systolic GEMM
+//!   generator that constrains the PE array to square powers of two
+//!   (the constraint the paper credits for Table III's PE counts).
+//!
+//! # Example
+//!
+//! ```
+//! use hw_gen::primitives::ArchDescription;
+//! use tensor_ir::intrinsics::IntrinsicKind;
+//!
+//! // The paper's Listing 2: a systolic 16x16 GEMM accelerator with a
+//! // 256 KB scratchpad and a DMA engine.
+//! let mut acc = ArchDescription::new("chisel", IntrinsicKind::Gemm);
+//! acc.reshape_array(16, 16)
+//!     .link_pes(accel_model::Interconnect::Systolic)
+//!     .add_cache(256 * 1024)
+//!     .burst_transfer(64, 128);
+//! let cfg = acc.to_config().unwrap();
+//! assert_eq!(cfg.pes(), 256);
+//! ```
+
+pub mod chisel;
+pub mod gemmini;
+pub mod primitives;
+pub mod space;
+
+pub use chisel::ChiselGenerator;
+pub use gemmini::GemminiGenerator;
+pub use primitives::{ArchDescription, HwPrimitive};
+pub use space::{DesignPoint, Generator, HwDesignSpace, ParamDim};
+
+/// Errors produced by generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A design point had the wrong dimensionality for the space.
+    DimensionMismatch {
+        /// Expected number of dimensions.
+        expected: usize,
+        /// Provided number of dimensions.
+        got: usize,
+    },
+    /// A coordinate exceeded its dimension's choice count.
+    ChoiceOutOfRange {
+        /// Dimension index.
+        dim: usize,
+        /// Offending coordinate.
+        value: usize,
+    },
+    /// The decoded configuration failed architectural validation.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::DimensionMismatch { expected, got } => {
+                write!(f, "design point has {got} dims, space has {expected}")
+            }
+            GenError::ChoiceOutOfRange { dim, value } => {
+                write!(f, "coordinate {value} out of range in dimension {dim}")
+            }
+            GenError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}

@@ -1,0 +1,269 @@
+//! The software DSE driver: heuristic top-k selection + Q-learning
+//! revisions (§VI-B, Fig. 5(d)/(e)).
+
+use accel_model::arch::AcceleratorConfig;
+use accel_model::{CostModel, Metrics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tensor_ir::matching::TensorizeChoice;
+use tensor_ir::workload::Workload;
+
+use crate::heuristic::{Candidate, CandidatePool};
+use crate::lowering;
+use crate::qlearn::QLearner;
+use crate::schedule::{Revision, Schedule, ScheduleContext, NUM_REVISIONS};
+use crate::SwError;
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct ExplorerOptions {
+    /// Initial candidate-pool size.
+    pub pool: usize,
+    /// Revision rounds ("the revision process may repeat for hundreds of
+    /// rounds").
+    pub rounds: usize,
+    /// Valuable candidates revised per round.
+    pub top_k: usize,
+    /// Maximum pool size (pruned by value after each round).
+    pub max_pool: usize,
+    /// Use the Q-learning policy for revisions (`false` = random revision,
+    /// the ablation baseline).
+    pub use_qlearning: bool,
+    /// Restrict exploration to one tensorize choice (used by the
+    /// tensorize-comparison experiments and the AutoTVM baseline).
+    pub fixed_choice: Option<TensorizeChoice>,
+}
+
+impl Default for ExplorerOptions {
+    fn default() -> Self {
+        ExplorerOptions {
+            pool: 16,
+            rounds: 24,
+            top_k: 4,
+            max_pool: 32,
+            use_qlearning: true,
+            fixed_choice: None,
+        }
+    }
+}
+
+/// The result of software optimization for one workload.
+#[derive(Debug, Clone)]
+pub struct OptimizedSoftware {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its metrics on the target accelerator.
+    pub metrics: Metrics,
+    /// Best latency after each round (convergence curve).
+    pub history: Vec<f64>,
+    /// Total schedules evaluated.
+    pub evaluated: usize,
+}
+
+/// The software explorer; owns the RNG seed and the shared Q-network
+/// ("the DQN is reused for all design points in a software space").
+#[derive(Debug)]
+pub struct SoftwareExplorer {
+    seed: u64,
+    model: CostModel,
+}
+
+impl SoftwareExplorer {
+    /// Creates an explorer with the default cost model.
+    pub fn new(seed: u64) -> Self {
+        SoftwareExplorer { seed, model: CostModel::default() }
+    }
+
+    /// Creates an explorer with a custom cost model.
+    pub fn with_model(seed: u64, model: CostModel) -> Self {
+        SoftwareExplorer { seed, model }
+    }
+
+    /// Optimizes one workload for one accelerator.
+    ///
+    /// # Errors
+    /// Returns [`SwError`] when no tensorize choice exists or no valid
+    /// schedule fits the accelerator.
+    pub fn optimize(
+        &self,
+        workload: &Workload,
+        cfg: &AcceleratorConfig,
+        opts: &ExplorerOptions,
+    ) -> Result<OptimizedSoftware, SwError> {
+        let intrinsic = cfg.intrinsic_comp();
+        let mut ctx = ScheduleContext::new(workload, &intrinsic)?;
+        if let Some(choice) = &opts.fixed_choice {
+            ctx.choices.retain(|c| c.var_map == choice.var_map);
+            if ctx.choices.is_empty() {
+                ctx.choices.push(choice.clone());
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut pool = CandidatePool::initialize(&ctx, cfg, &self.model, opts.pool, &mut rng)?;
+        let mut qlearner = QLearner::new(self.seed ^ 0x9e3779b97f4a7c15);
+        let mut history = Vec::with_capacity(opts.rounds);
+        let mut evaluated = pool.len();
+
+        for _ in 0..opts.rounds {
+            let top = pool.top_k(opts.top_k);
+            let mut fresh: Vec<Candidate> = Vec::new();
+            for idx in top {
+                let cand = pool.candidates()[idx].clone();
+                let proposal = if opts.use_qlearning {
+                    qlearner.propose(&cand.schedule, &ctx)
+                } else {
+                    // Random-revision ablation.
+                    let a = rng.gen_range(0..NUM_REVISIONS);
+                    Revision::from_action(a)
+                        .apply(&cand.schedule, &ctx, &mut rng)
+                        .map(|s| (s, a))
+                };
+                let Some((revised, action)) = proposal else { continue };
+                evaluated += 1;
+                match lowering::evaluate(&revised, &ctx, cfg, &self.model) {
+                    Ok(metrics) => {
+                        let reward = QLearner::reward(
+                            cand.metrics.latency_cycles,
+                            metrics.latency_cycles,
+                        );
+                        if opts.use_qlearning {
+                            qlearner.observe(
+                                cand.schedule.features(&ctx),
+                                action,
+                                reward,
+                                revised.features(&ctx),
+                            );
+                        }
+                        fresh.push(Candidate { schedule: revised, metrics });
+                    }
+                    Err(_) => {
+                        if opts.use_qlearning {
+                            // Invalid revisions (scratchpad overflow) get a
+                            // strong negative reward.
+                            qlearner.observe(
+                                cand.schedule.features(&ctx),
+                                action,
+                                -1.0,
+                                cand.schedule.features(&ctx),
+                            );
+                        }
+                    }
+                }
+            }
+            for c in fresh {
+                pool.insert(c);
+            }
+            pool.prune(opts.max_pool);
+            history.push(pool.best_latency());
+        }
+
+        let best = pool.best().clone();
+        Ok(OptimizedSoftware { schedule: best.schedule, metrics: best.metrics, history, evaluated })
+    }
+
+    /// Optimizes and returns only the best metrics (the hardware DSE's
+    /// objective evaluation: "the Bayesian-based hardware optimization uses
+    /// the software latency as the performance metric").
+    ///
+    /// # Errors
+    /// Propagates [`SwError`] from [`SoftwareExplorer::optimize`].
+    pub fn best_metrics(
+        &self,
+        workload: &Workload,
+        cfg: &AcceleratorConfig,
+        opts: &ExplorerOptions,
+    ) -> Result<Metrics, SwError> {
+        Ok(self.optimize(workload, cfg, opts)?.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::intrinsics::IntrinsicKind;
+    use tensor_ir::suites;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+    }
+
+    fn quick_opts() -> ExplorerOptions {
+        ExplorerOptions { pool: 10, rounds: 10, top_k: 3, ..ExplorerOptions::default() }
+    }
+
+    #[test]
+    fn optimization_improves_over_pool_init() {
+        let wl = suites::gemm_workload("g", 512, 512, 512);
+        let r = SoftwareExplorer::new(7).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        assert!(!r.history.is_empty());
+        let first = r.history[0];
+        let last = *r.history.last().unwrap();
+        assert!(last <= first);
+        assert_eq!(r.metrics.latency_cycles, last);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
+        let r = SoftwareExplorer::new(3).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let wl = suites::gemm_workload("g", 256, 256, 256);
+        let a = SoftwareExplorer::new(11).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        let b = SoftwareExplorer::new(11).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        assert_eq!(a.metrics.latency_cycles, b.metrics.latency_cycles);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn fixed_choice_is_respected() {
+        let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
+        let c = cfg();
+        let ctx = ScheduleContext::new(&wl, &c.intrinsic_comp()).unwrap();
+        let choice = ctx.choices[0].clone();
+        let mut opts = quick_opts();
+        opts.fixed_choice = Some(choice.clone());
+        let r = SoftwareExplorer::new(5).optimize(&wl, &c, &opts).unwrap();
+        assert_eq!(r.schedule.choice.var_map, choice.var_map);
+    }
+
+    #[test]
+    fn qlearning_does_not_hurt_vs_random_revision() {
+        // Ablation shape check: across seeds, Q-learning should be at least
+        // as good as random revision on average.
+        let wl = suites::gemm_workload("g", 512, 512, 512);
+        let c = cfg();
+        let mut q_total = 0.0;
+        let mut r_total = 0.0;
+        for seed in 0..4 {
+            let mut opts = quick_opts();
+            opts.rounds = 12;
+            let q = SoftwareExplorer::new(seed).optimize(&wl, &c, &opts).unwrap();
+            opts.use_qlearning = false;
+            let r = SoftwareExplorer::new(seed).optimize(&wl, &c, &opts).unwrap();
+            q_total += q.metrics.latency_cycles;
+            r_total += r.metrics.latency_cycles;
+        }
+        assert!(q_total <= r_total * 1.15, "q = {q_total}, random = {r_total}");
+    }
+
+    #[test]
+    fn impossible_accelerator_errors() {
+        let wl = suites::gemm_workload("g", 256, 256, 256);
+        let mut c = cfg();
+        c.scratchpad_bytes = 64;
+        assert!(SoftwareExplorer::new(0).optimize(&wl, &c, &quick_opts()).is_err());
+    }
+
+    #[test]
+    fn best_metrics_matches_optimize() {
+        let wl = suites::gemm_workload("g", 128, 128, 128);
+        let e = SoftwareExplorer::new(2);
+        let m = e.best_metrics(&wl, &cfg(), &quick_opts()).unwrap();
+        let o = e.optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        assert_eq!(m.latency_cycles, o.metrics.latency_cycles);
+    }
+}

@@ -1,0 +1,217 @@
+//! A tiny from-scratch multi-layer perceptron — the 4-layer fully-connected
+//! network behind the paper's DQN (§VI-B: "we use the DQN algorithm to
+//! train a 4-layer fully-connected neural network, which predicts
+//! Q-values").
+//!
+//! Plain `f64` math, ReLU activations, squared-error loss on selected
+//! outputs, and SGD — everything the Q-learner needs and nothing more.
+
+use rand::Rng;
+
+/// A fully-connected layer.
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Layer {
+    fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        // He initialization.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = (0..inputs * outputs).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+        Layer { w, b: vec![0.0; outputs], inputs, outputs }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.b.clone();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            y[o] += row.iter().zip(x.iter()).map(|(w, x)| w * x).sum::<f64>();
+        }
+        y
+    }
+}
+
+/// A 4-layer MLP: input → hidden → hidden → output, ReLU between layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+/// Cached activations from a forward pass, needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardPass {
+    /// Pre-activation values per layer.
+    pre: Vec<Vec<f64>>,
+    /// Post-activation values per layer (index 0 is the input).
+    post: Vec<Vec<f64>>,
+}
+
+impl ForwardPass {
+    /// The network output.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().expect("forward pass has layers")
+    }
+}
+
+impl Mlp {
+    /// Creates a 4-layer network with the given widths.
+    pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, output: usize, rng: &mut R) -> Self {
+        Mlp {
+            layers: vec![
+                Layer::new(input, hidden, rng),
+                Layer::new(hidden, hidden, rng),
+                Layer::new(hidden, hidden, rng),
+                Layer::new(hidden, output, rng),
+            ],
+        }
+    }
+
+    /// Number of layers (always 4).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass returning the cached activations.
+    pub fn forward(&self, x: &[f64]) -> ForwardPass {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = vec![x.to_vec()];
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(post.last().expect("non-empty"));
+            let last = li == self.layers.len() - 1;
+            let a = if last { z.clone() } else { z.iter().map(|&v| v.max(0.0)).collect() };
+            pre.push(z);
+            post.push(a);
+        }
+        ForwardPass { pre, post }
+    }
+
+    /// Convenience: forward pass returning only the output.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x).output().to_vec()
+    }
+
+    /// One SGD step on the squared error of a single output unit
+    /// (Q-learning updates only the taken action's Q-value). Returns the
+    /// pre-update error.
+    pub fn train_on_output(
+        &mut self,
+        x: &[f64],
+        action: usize,
+        target: f64,
+        learning_rate: f64,
+    ) -> f64 {
+        let fp = self.forward(x);
+        let out = fp.output();
+        let error = out[action] - target;
+        // Output-layer gradient: only `action` has nonzero dL/dz.
+        let mut grad: Vec<f64> = vec![0.0; out.len()];
+        grad[action] = error;
+        // Backprop through layers.
+        for li in (0..self.layers.len()).rev() {
+            let input = &fp.post[li];
+            let layer = &mut self.layers[li];
+            // Gradient wrt inputs for the next (lower) layer.
+            let mut grad_in = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                let g = grad[o];
+                if g == 0.0 {
+                    continue;
+                }
+                let row_start = o * layer.inputs;
+                for i in 0..layer.inputs {
+                    grad_in[i] += layer.w[row_start + i] * g;
+                    layer.w[row_start + i] -= learning_rate * g * input[i];
+                }
+                layer.b[o] -= learning_rate * g;
+            }
+            if li > 0 {
+                // ReLU derivative at the previous layer's pre-activation.
+                let prev_pre = &fp.pre[li - 1];
+                grad = grad_in
+                    .iter()
+                    .zip(prev_pre.iter())
+                    .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+                    .collect();
+            }
+        }
+        0.5 * error * error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_four_layers() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = Mlp::new(4, 8, 3, &mut rng);
+        assert_eq!(net.depth(), 4);
+        assert_eq!(net.predict(&[0.1, 0.2, 0.3, 0.4]).len(), 3);
+    }
+
+    #[test]
+    fn learns_a_constant_target() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut net = Mlp::new(2, 16, 2, &mut rng);
+        let x = [0.5, -0.3];
+        for _ in 0..500 {
+            net.train_on_output(&x, 0, 1.0, 0.01);
+            net.train_on_output(&x, 1, -1.0, 0.01);
+        }
+        let y = net.predict(&x);
+        assert!((y[0] - 1.0).abs() < 0.05, "y0 = {}", y[0]);
+        assert!((y[1] + 1.0).abs() < 0.05, "y1 = {}", y[1]);
+    }
+
+    #[test]
+    fn learns_input_dependent_targets() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut net = Mlp::new(1, 24, 1, &mut rng);
+        // Fit y = 2x - 0.5 on a small grid.
+        let grid: Vec<f64> = (0..11).map(|i| i as f64 / 10.0).collect();
+        for _ in 0..3000 {
+            for &x in &grid {
+                net.train_on_output(&[x], 0, 2.0 * x - 0.5, 0.02);
+            }
+        }
+        for &x in &grid {
+            let y = net.predict(&[x])[0];
+            assert!((y - (2.0 * x - 0.5)).abs() < 0.1, "x = {x}: y = {y}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = Mlp::new(3, 12, 4, &mut rng);
+        let x = [0.2, 0.4, 0.9];
+        let first = net.train_on_output(&x, 2, 0.7, 0.05);
+        for _ in 0..100 {
+            net.train_on_output(&x, 2, 0.7, 0.05);
+        }
+        let last = net.train_on_output(&x, 2, 0.7, 0.05);
+        assert!(last < first * 0.1, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn untouched_outputs_drift_less_than_trained_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut net = Mlp::new(2, 8, 3, &mut rng);
+        let x = [0.3, 0.6];
+        let before = net.predict(&x);
+        for _ in 0..50 {
+            net.train_on_output(&x, 1, 5.0, 0.01);
+        }
+        let after = net.predict(&x);
+        let trained_delta = (after[1] - before[1]).abs();
+        let other_delta = (after[0] - before[0]).abs().max((after[2] - before[2]).abs());
+        assert!(trained_delta > other_delta, "{trained_delta} vs {other_delta}");
+    }
+}

@@ -1,0 +1,459 @@
+//! Benchmark workload suites — Table I of the paper plus the CNN layer
+//! catalogs (ResNet-50, MobileNet, Xception) used throughout §VII.
+
+use crate::expr::Computation;
+use crate::workload::{TensorApp, Workload};
+
+/// GEMM workload `L[i,j] = Σ_k M[i,k] * N[k,j]`.
+pub fn gemm_workload(name: &str, i: u64, k: u64, j: u64) -> Workload {
+    let comp = Computation::builder("gemm")
+        .spatial("i", i)
+        .spatial("j", j)
+        .reduction("k", k)
+        .output("L", &["i", "j"])
+        .input("M", &["i", "k"])
+        .input("N", &["k", "j"])
+        .build()
+        .expect("gemm workload is valid");
+    Workload::new(name, comp)
+}
+
+/// 2-D convolution workload `C[k,x,y] = Σ_{c,r,s} A[c,x+r,y+s] * B[k,c,r,s]`.
+///
+/// `x`/`y` are output spatial extents (strides are folded into them, as the
+/// paper's Listing 1 does).
+pub fn conv2d_workload(name: &str, k: u64, c: u64, x: u64, y: u64, r: u64, s: u64) -> Workload {
+    let comp = Computation::builder("conv2d")
+        .spatial("k", k)
+        .spatial("x", x)
+        .spatial("y", y)
+        .reduction("c", c)
+        .reduction("r", r)
+        .reduction("s", s)
+        .output("C", &["k", "x", "y"])
+        .input("A", &["c", "x+r", "y+s"])
+        .input("B", &["k", "c", "r", "s"])
+        .build()
+        .expect("conv2d workload is valid");
+    Workload::new(name, comp)
+}
+
+/// MTTKRP workload `D[i,j] = Σ_{k,l} A[i,k,l] * B[l,j] * C[k,j]`.
+pub fn mttkrp_workload(name: &str, i: u64, j: u64, k: u64, l: u64) -> Workload {
+    let comp = Computation::builder("mttkrp")
+        .spatial("i", i)
+        .spatial("j", j)
+        .reduction("k", k)
+        .reduction("l", l)
+        .output("D", &["i", "j"])
+        .input("A", &["i", "k", "l"])
+        .input("B", &["l", "j"])
+        .input("C", &["k", "j"])
+        .build()
+        .expect("mttkrp workload is valid");
+    Workload::new(name, comp)
+}
+
+/// MTTKRP split into its two GEMM-like stages (§VII-B):
+/// `E[i,k,j] = Σ_l A[i,k,l] * B[l,j]` then `D[i,j] = Σ_k E[i,k,j] * C[k,j]`.
+pub fn mttkrp_stages(name: &str, i: u64, j: u64, k: u64, l: u64) -> (Workload, Workload) {
+    let stage1 = Computation::builder("mttkrp_stage1")
+        .spatial("i", i)
+        .spatial("k", k)
+        .spatial("j", j)
+        .reduction("l", l)
+        .output("E", &["i", "k", "j"])
+        .input("A", &["i", "k", "l"])
+        .input("B", &["l", "j"])
+        .build()
+        .expect("mttkrp stage 1 is valid");
+    let stage2 = Computation::builder("mttkrp_stage2")
+        .spatial("i", i)
+        .spatial("j", j)
+        .reduction("k", k)
+        .output("D", &["i", "j"])
+        .input("E", &["i", "k", "j"])
+        .input("C", &["k", "j"])
+        .build()
+        .expect("mttkrp stage 2 is valid");
+    (
+        Workload::new(format!("{name}_s1"), stage1),
+        Workload::new(format!("{name}_s2"), stage2),
+    )
+}
+
+/// TTM workload `C[i,j,k] = Σ_l A[i,j,l] * B[l,k]`.
+pub fn ttm_workload(name: &str, i: u64, j: u64, k: u64, l: u64) -> Workload {
+    let comp = Computation::builder("ttm")
+        .spatial("i", i)
+        .spatial("j", j)
+        .spatial("k", k)
+        .reduction("l", l)
+        .output("C", &["i", "j", "k"])
+        .input("A", &["i", "j", "l"])
+        .input("B", &["l", "k"])
+        .build()
+        .expect("ttm workload is valid");
+    Workload::new(name, comp)
+}
+
+/// The ten MTTKRP workloads of Table I (compute complexity 255M – 5.9G).
+pub fn mttkrp_workloads() -> Vec<Workload> {
+    let shapes: [(u64, u64, u64, u64); 10] = [
+        (96, 96, 96, 96),
+        (128, 64, 96, 128),
+        (128, 128, 128, 64),
+        (128, 128, 128, 128),
+        (160, 128, 128, 128),
+        (160, 160, 160, 128),
+        (192, 160, 160, 160),
+        (192, 192, 192, 160),
+        (200, 200, 200, 200),
+        (210, 210, 210, 210),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(n, &(i, j, k, l))| mttkrp_workload(&format!("mttkrp_{}", n + 1), i, j, k, l))
+        .collect()
+}
+
+/// The ten TTM workloads of Table I (16M – 8.6G).
+pub fn ttm_workloads() -> Vec<Workload> {
+    let shapes: [(u64, u64, u64, u64); 10] = [
+        (64, 64, 32, 64),
+        (64, 64, 64, 64),
+        (96, 96, 64, 64),
+        (128, 96, 96, 64),
+        (128, 128, 128, 64),
+        (128, 128, 128, 128),
+        (192, 160, 128, 128),
+        (192, 192, 192, 192),
+        (256, 256, 128, 256),
+        (256, 256, 256, 256),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(n, &(i, j, k, l))| ttm_workload(&format!("ttm_{}", n + 1), i, j, k, l))
+        .collect()
+}
+
+/// The ten GEMM workloads of Table I (16K – 4.3G).
+pub fn gemm_workloads() -> Vec<Workload> {
+    let shapes: [(u64, u64, u64); 10] = [
+        (20, 20, 20),
+        (64, 64, 64),
+        (128, 128, 128),
+        (256, 256, 256),
+        (256, 512, 256),
+        (512, 512, 512),
+        (512, 1024, 512),
+        (1024, 1024, 512),
+        (1024, 1024, 1024),
+        (1280, 1280, 1280),
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(n, &(i, k, j))| gemm_workload(&format!("gemm_{}", n + 1), i, k, j))
+        .collect()
+}
+
+/// The ten standalone 2-D convolution workloads of Table I (87M – 3.7G).
+/// Workloads #1 and #5 use 5×5 filters and #8 uses 7×7, reproducing the
+/// filter-size mix discussed around Fig. 7(b).
+pub fn conv2d_workloads() -> Vec<Workload> {
+    let shapes: [(u64, u64, u64, u64, u64, u64); 10] = [
+        (64, 48, 28, 28, 5, 5),    // #1: 5x5 filter
+        (64, 64, 35, 35, 3, 3),    // #2
+        (128, 64, 28, 28, 3, 3),   // #3
+        (128, 128, 28, 28, 3, 3),  // #4
+        (96, 64, 28, 28, 5, 5),    // #5: 5x5 filter
+        (256, 128, 28, 28, 3, 3),  // #6
+        (256, 256, 14, 14, 3, 3),  // #7
+        (96, 48, 28, 28, 7, 7),    // #8: 7x7 filter
+        (512, 256, 14, 14, 3, 3),  // #9
+        (512, 512, 28, 28, 3, 3),  // #10
+    ];
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(n, &(k, c, x, y, r, s))| {
+            conv2d_workload(&format!("conv_{}", n + 1), k, c, x, y, r, s)
+        })
+        .collect()
+}
+
+/// All 53 convolution layers of ResNet-50 (conv1, 16 bottleneck blocks × 3,
+/// and 4 projection shortcuts).
+pub fn resnet50_convs() -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.push(conv2d_workload("resnet_conv1", 64, 3, 112, 112, 7, 7));
+    // (bottleneck width, output channels, spatial size, block count)
+    let stages: [(u64, u64, u64, usize); 4] =
+        [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)];
+    let mut in_c = 64;
+    for (si, &(width, out_c, xy, blocks)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let stage = si + 2;
+            out.push(conv2d_workload(
+                &format!("resnet_conv{stage}_{b}_a"),
+                width,
+                in_c,
+                xy,
+                xy,
+                1,
+                1,
+            ));
+            out.push(conv2d_workload(
+                &format!("resnet_conv{stage}_{b}_b"),
+                width,
+                width,
+                xy,
+                xy,
+                3,
+                3,
+            ));
+            out.push(conv2d_workload(
+                &format!("resnet_conv{stage}_{b}_c"),
+                out_c,
+                width,
+                xy,
+                xy,
+                1,
+                1,
+            ));
+            if b == 0 {
+                out.push(conv2d_workload(
+                    &format!("resnet_conv{stage}_{b}_proj"),
+                    out_c,
+                    in_c,
+                    xy,
+                    xy,
+                    1,
+                    1,
+                ));
+            }
+            in_c = out_c;
+        }
+    }
+    out
+}
+
+/// ResNet-50 as a [`TensorApp`].
+pub fn resnet50() -> TensorApp {
+    TensorApp::new("resnet50", resnet50_convs())
+}
+
+/// The 27 convolution layers of MobileNet-V1 (1 standard + 13 depthwise +
+/// 13 pointwise). Depthwise layers are modeled as convolutions with a single
+/// input channel per filter (`c = 1`), which matches their FLOP count.
+pub fn mobilenet_convs() -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.push(conv2d_workload("mobilenet_conv1", 32, 3, 112, 112, 3, 3));
+    // (in channels, out channels, output spatial size of this pair)
+    let pairs: [(u64, u64, u64); 13] = [
+        (32, 64, 112),
+        (64, 128, 56),
+        (128, 128, 56),
+        (128, 256, 28),
+        (256, 256, 28),
+        (256, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 512, 14),
+        (512, 1024, 7),
+        (1024, 1024, 7),
+    ];
+    for (n, &(in_c, out_c, xy)) in pairs.iter().enumerate() {
+        out.push(conv2d_workload(&format!("mobilenet_dw{}", n + 1), in_c, 1, xy, xy, 3, 3));
+        out.push(conv2d_workload(&format!("mobilenet_pw{}", n + 1), out_c, in_c, xy, xy, 1, 1));
+    }
+    out
+}
+
+/// MobileNet-V1 as a [`TensorApp`].
+pub fn mobilenet() -> TensorApp {
+    TensorApp::new("mobilenet", mobilenet_convs())
+}
+
+/// A representative catalog of Xception convolution layers (entry, middle,
+/// and exit flows; separable convolutions modeled as depthwise + pointwise).
+pub fn xception_convs() -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.push(conv2d_workload("xception_conv1", 32, 3, 149, 149, 3, 3));
+    out.push(conv2d_workload("xception_conv2", 64, 32, 147, 147, 3, 3));
+    // Entry flow separable blocks.
+    let entry: [(u64, u64, u64); 3] = [(64, 128, 74), (128, 256, 37), (256, 728, 19)];
+    for (n, &(in_c, out_c, xy)) in entry.iter().enumerate() {
+        out.push(conv2d_workload(&format!("xception_entry{}_dw", n + 1), in_c, 1, xy, xy, 3, 3));
+        out.push(conv2d_workload(&format!("xception_entry{}_pw", n + 1), out_c, in_c, xy, xy, 1, 1));
+    }
+    // Middle flow: 8 blocks of 3 separable convs at 728 channels, 19x19.
+    for b in 1..=8 {
+        for i in 1..=3 {
+            out.push(conv2d_workload(&format!("xception_mid{b}_{i}_dw"), 728, 1, 19, 19, 3, 3));
+            out.push(conv2d_workload(&format!("xception_mid{b}_{i}_pw"), 728, 728, 19, 19, 1, 1));
+        }
+    }
+    // Exit flow.
+    out.push(conv2d_workload("xception_exit1_dw", 728, 1, 10, 10, 3, 3));
+    out.push(conv2d_workload("xception_exit1_pw", 1024, 728, 10, 10, 1, 1));
+    out.push(conv2d_workload("xception_exit2_dw", 1024, 1, 10, 10, 3, 3));
+    out.push(conv2d_workload("xception_exit2_pw", 1536, 1024, 10, 10, 1, 1));
+    out.push(conv2d_workload("xception_exit3_dw", 1536, 1, 10, 10, 3, 3));
+    out.push(conv2d_workload("xception_exit3_pw", 2048, 1536, 10, 10, 1, 1));
+    out
+}
+
+/// Xception as a [`TensorApp`].
+pub fn xception() -> TensorApp {
+    TensorApp::new("xception", xception_convs())
+}
+
+/// The six Xception convolutions used as ground truth in the hardware-DSE
+/// study (§VII-C: "six convolutions from Xception ranging from 86.7 MOPs to
+/// 454.2 MOPs").
+pub fn xception_ground_truth_convs() -> Vec<Workload> {
+    vec![
+        conv2d_workload("xgt_1", 128, 256, 37, 37, 1, 1),
+        conv2d_workload("xgt_2", 256, 256, 28, 28, 1, 1),
+        conv2d_workload("xgt_3", 728, 256, 19, 19, 1, 1),
+        conv2d_workload("xgt_4", 128, 128, 28, 28, 3, 3),
+        conv2d_workload("xgt_5", 728, 728, 19, 19, 1, 1),
+        conv2d_workload("xgt_6", 256, 128, 27, 27, 3, 3),
+    ]
+}
+
+/// The full Table I benchmark: four apps of ten workloads each (plus the CNN
+/// catalogs for the convolution row).
+pub fn table1_apps() -> Vec<TensorApp> {
+    vec![
+        TensorApp::new("mttkrp", mttkrp_workloads()),
+        TensorApp::new("ttm", ttm_workloads()),
+        TensorApp::new("conv2d", conv2d_workloads()),
+        TensorApp::new("gemm", gemm_workloads()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_has_53_convs() {
+        let convs = resnet50_convs();
+        assert_eq!(convs.len(), 53);
+        // All names unique.
+        let names: std::collections::BTreeSet<_> = convs.iter().map(|w| &w.name).collect();
+        assert_eq!(names.len(), 53);
+    }
+
+    #[test]
+    fn mobilenet_has_27_convs() {
+        assert_eq!(mobilenet_convs().len(), 27);
+    }
+
+    #[test]
+    fn xception_catalog_is_substantial() {
+        let convs = xception_convs();
+        assert!(convs.len() >= 36, "got {}", convs.len());
+    }
+
+    #[test]
+    fn table1_mttkrp_complexity_range() {
+        let app = TensorApp::new("mttkrp", mttkrp_workloads());
+        let (lo, hi) = app.complexity_range();
+        // Paper: 255M – 5.9G.
+        assert!((200_000_000..320_000_000).contains(&lo), "lo = {lo}");
+        assert!((5_000_000_000..6_500_000_000).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn table1_ttm_complexity_range() {
+        let app = TensorApp::new("ttm", ttm_workloads());
+        let (lo, hi) = app.complexity_range();
+        // Paper: 16M – 8.6G.
+        assert!((12_000_000..25_000_000).contains(&lo), "lo = {lo}");
+        assert!((8_000_000_000..9_000_000_000).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn table1_gemm_complexity_range() {
+        let app = TensorApp::new("gemm", gemm_workloads());
+        let (lo, hi) = app.complexity_range();
+        // Paper: 16K – 4.3G.
+        assert!((14_000..20_000).contains(&lo), "lo = {lo}");
+        assert!((4_000_000_000..4_600_000_000).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn table1_conv_complexity_range() {
+        let app = TensorApp::new("conv2d", conv2d_workloads());
+        let (lo, hi) = app.complexity_range();
+        // Paper: 87M – 3.7G.
+        assert!((80_000_000..130_000_000).contains(&lo), "lo = {lo}");
+        assert!((3_500_000_000..3_900_000_000).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn conv_suite_filter_sizes_match_paper() {
+        let convs = conv2d_workloads();
+        let filter = |w: &Workload| {
+            let r = w.comp.index_by_name("r").unwrap();
+            let s = w.comp.index_by_name("s").unwrap();
+            (w.comp.index(r).extent, w.comp.index(s).extent)
+        };
+        assert_eq!(filter(&convs[0]), (5, 5)); // #1
+        assert_eq!(filter(&convs[4]), (5, 5)); // #5
+        assert_eq!(filter(&convs[7]), (7, 7)); // #8
+        assert_eq!(filter(&convs[1]), (3, 3));
+    }
+
+    #[test]
+    fn xception_ground_truth_flops_in_paper_range() {
+        for w in xception_ground_truth_convs() {
+            let f = w.flops();
+            assert!(
+                (80_000_000..500_000_000).contains(&f),
+                "{}: {} FLOPs outside 86.7M–454.2M band",
+                w.name,
+                f
+            );
+        }
+        assert_eq!(xception_ground_truth_convs().len(), 6);
+    }
+
+    #[test]
+    fn mttkrp_stages_preserve_total_macs() {
+        let fused = mttkrp_workload("m", 64, 64, 64, 64);
+        let (s1, s2) = mttkrp_stages("m", 64, 64, 64, 64);
+        // Stage 1 does i*k*j*l MACs, stage 2 i*j*k — the fused form's MAC
+        // count equals stage 1's (the 3-tensor product is dominated by it).
+        assert_eq!(s1.macs(), fused.macs());
+        assert!(s2.macs() < s1.macs());
+    }
+
+    #[test]
+    fn all_suite_workloads_validate() {
+        for app in table1_apps() {
+            for w in &app.workloads {
+                assert!(w.comp.validate().is_ok(), "{}", w.name);
+            }
+        }
+        for w in resnet50_convs().iter().chain(mobilenet_convs().iter()) {
+            assert!(w.comp.validate().is_ok(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn apps_have_expected_names() {
+        assert_eq!(resnet50().name, "resnet50");
+        assert_eq!(mobilenet().name, "mobilenet");
+        assert_eq!(xception().name, "xception");
+        assert_eq!(table1_apps().len(), 4);
+    }
+}

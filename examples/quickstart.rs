@@ -1,0 +1,46 @@
+//! Quickstart: co-design an accelerator and software for a tiny GEMM
+//! application in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+fn main() {
+    // 1. Describe the application: two GEMM layers sharing one accelerator.
+    let app = TensorApp::new(
+        "quickstart",
+        vec![
+            suites::gemm_workload("layer_0", 256, 256, 256),
+            suites::gemm_workload("layer_1", 512, 256, 128),
+        ],
+    );
+    let input = InputDescription {
+        app,
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::latency_power(50.0, 5_000.0),
+    };
+
+    // 2. Run the three-step co-design flow (partition -> explore -> tune).
+    let solution = CoDesigner::new(CoDesignOptions::quick(42))
+        .run(&input)
+        .expect("co-design succeeds on this toy app");
+
+    // 3. Inspect the holistic solution.
+    println!("== accelerator ==\n{}\n", solution.accelerator);
+    println!("== totals ==\n{}\n", solution.total);
+    for w in &solution.per_workload {
+        println!("== {} ({}) ==", w.workload, w.metrics);
+        println!("{}", w.program);
+    }
+    println!(
+        "hardware DSE evaluated {} accelerators ({} Pareto-optimal); constraints {}",
+        solution.hw_history.evaluations.len(),
+        solution.hw_history.pareto_front().len(),
+        if solution.meets_constraints { "met" } else { "violated" }
+    );
+}

@@ -1,0 +1,55 @@
+//! Co-design an accelerator for (a subset of) ResNet-50 and compare the
+//! result against the traditional decoupled flow: a fixed default
+//! accelerator plus an AutoTVM-style tuner per layer.
+//!
+//! ```sh
+//! cargo run --release --example resnet_codesign
+//! ```
+
+use baselines::AutoTvm;
+use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use hasco::report::{speedup, Table};
+use hw_gen::GemminiGenerator;
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+fn main() {
+    // Eight representative layers keep the example fast; use the full 53
+    // with `suites::resnet50()` if you have a few minutes.
+    let convs = suites::resnet50_convs();
+    let layers: Vec<_> = convs.iter().step_by(7).cloned().collect();
+    println!("co-designing for {} ResNet-50 layers...", layers.len());
+
+    let input = InputDescription {
+        app: TensorApp::new("resnet_subset", layers.clone()),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints { max_power_mw: Some(2_000.0), ..Default::default() },
+    };
+    let designer = CoDesigner::new(CoDesignOptions::paper(7));
+    let solution = designer.run(&input).expect("co-design succeeds");
+
+    // Decoupled baseline: default edge Gemmini + AutoTVM software.
+    let baseline_cfg = GemminiGenerator::baseline(false);
+    let tvm = AutoTvm::new(7);
+    let mut table = Table::new(&["layer", "baseline+AutoTVM (ms)", "HASCO (ms)", "speedup"]);
+    let mut base_total = 0.0;
+    for (w, sol) in layers.iter().zip(&solution.per_workload) {
+        let base = tvm.best_metrics(w, &baseline_cfg).expect("baseline maps layer");
+        base_total += base.latency_ms;
+        table.row(vec![
+            w.name.clone(),
+            format!("{:.3}", base.latency_ms),
+            format!("{:.3}", sol.metrics.latency_ms),
+            speedup(base.latency_ms, sol.metrics.latency_ms),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("chosen accelerator: {}", solution.accelerator);
+    println!(
+        "app latency: baseline {:.2} ms vs HASCO {:.2} ms ({} co-design gain; paper: 1.25-1.44X)",
+        base_total,
+        solution.total.latency_ms,
+        speedup(base_total, solution.total.latency_ms)
+    );
+}

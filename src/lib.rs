@@ -1,0 +1,3 @@
+//! Root crate of the HASCO reproduction workspace; see the member crates.
+//! The examples under `examples/` and integration tests under `tests/`
+//! exercise the full public API.

@@ -1,0 +1,94 @@
+//! Failure-injection tests: the flow must degrade gracefully — clear
+//! errors, no panics — under impossible inputs.
+
+use accel_model::arch::AcceleratorConfig;
+use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use hasco::HascoError;
+use hw_gen::space::Generator;
+use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
+use sw_opt::SwError;
+use tensor_ir::intrinsics::IntrinsicKind;
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+#[test]
+fn empty_application_is_rejected() {
+    let input = InputDescription {
+        app: TensorApp::new("empty", vec![]),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::default(),
+    };
+    assert_eq!(
+        CoDesigner::new(CoDesignOptions::quick(0)).run(&input).unwrap_err(),
+        HascoError::EmptyApp
+    );
+}
+
+#[test]
+fn tiny_scratchpad_fails_with_clear_error() {
+    let mut cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    cfg.scratchpad_bytes = 128;
+    let wl = suites::gemm_workload("g", 256, 256, 256);
+    let err = SoftwareExplorer::new(0)
+        .optimize(&wl, &cfg, &ExplorerOptions::default())
+        .unwrap_err();
+    assert_eq!(err, SwError::NoValidSchedule);
+    assert!(err.to_string().contains("no valid schedule"));
+}
+
+#[test]
+fn unmatchable_workload_reports_no_tensorize_choice() {
+    // A GEMM workload cannot be tensorized onto a CONV2D intrinsic.
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Conv2d).build().unwrap();
+    let wl = suites::gemm_workload("g", 64, 64, 64);
+    let err = SoftwareExplorer::new(0)
+        .optimize(&wl, &cfg, &ExplorerOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, SwError::NoTensorizeChoice { .. }));
+}
+
+#[test]
+fn impossible_constraints_still_return_best_effort() {
+    // Absurdly tight constraints: the flow returns the least-violating
+    // solution and flags it, rather than failing.
+    let input = InputDescription {
+        app: TensorApp::new("t", vec![suites::gemm_workload("g", 256, 256, 256)]),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::latency_power(1e-9, 1e-9),
+    };
+    let solution = CoDesigner::new(CoDesignOptions::quick(1)).run(&input).unwrap();
+    assert!(!solution.meets_constraints);
+    assert!(solution.total.latency_ms > 0.0);
+}
+
+#[test]
+fn generators_reject_malformed_points() {
+    let g = hw_gen::GemminiGenerator::new();
+    assert!(g.generate(&vec![]).is_err());
+    assert!(g.generate(&vec![999; g.space().len()]).is_err());
+    let c = hw_gen::ChiselGenerator::new(IntrinsicKind::Gemm);
+    assert!(c.generate(&vec![0]).is_err());
+}
+
+#[test]
+fn zero_extent_workloads_are_rejected_at_construction() {
+    let bad = tensor_ir::Computation::builder("bad")
+        .spatial("i", 0)
+        .output("O", &["i"])
+        .input("A", &["i"])
+        .build();
+    assert!(bad.is_err());
+}
+
+#[test]
+fn invalid_accelerator_configs_never_reach_the_cost_model() {
+    for builder_result in [
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(0, 8).build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).banks(0).build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(0, 128).build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(64, 7).build(),
+    ] {
+        assert!(builder_result.is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! Accelerator configurations — the template of the paper's Fig. 1.
 
 use crate::ArchError;
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 use tensor_ir::intrinsics::{self, Intrinsic, IntrinsicKind};
 
@@ -38,8 +39,11 @@ pub enum Dataflow {
 
 impl Dataflow {
     /// All supported dataflows.
-    pub const ALL: [Dataflow; 3] =
-        [Dataflow::OutputStationary, Dataflow::WeightStationary, Dataflow::InputStationary];
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::OutputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::InputStationary,
+    ];
 }
 
 impl std::fmt::Display for Dataflow {
@@ -174,7 +178,9 @@ impl AcceleratorConfig {
             return Err(ArchError::EmptyPeArray);
         }
         if self.scratchpad_bytes < self.banks as u64 * self.dtype_bytes {
-            return Err(ArchError::ScratchpadTooSmall { bytes: self.scratchpad_bytes });
+            return Err(ArchError::ScratchpadTooSmall {
+                bytes: self.scratchpad_bytes,
+            });
         }
         if self.banks == 0 {
             return Err(ArchError::BadBankCount { banks: self.banks });
@@ -182,10 +188,40 @@ impl AcceleratorConfig {
         if self.dma_burst_bytes == 0 {
             return Err(ArchError::ZeroBurst);
         }
-        if self.bus_width_bits == 0 || self.bus_width_bits % 8 != 0 {
-            return Err(ArchError::BadBusWidth { bits: self.bus_width_bits });
+        if self.bus_width_bits == 0 || !self.bus_width_bits.is_multiple_of(8) {
+            return Err(ArchError::BadBusWidth {
+                bits: self.bus_width_bits,
+            });
         }
         Ok(())
+    }
+}
+
+impl StableFingerprint for AcceleratorConfig {
+    // Every field the cost model or lowering can observe, in declaration
+    // order; the display name is cosmetic and deliberately excluded so
+    // renamed copies of one configuration share memoized evaluations.
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        self.intrinsic.fingerprint_into(fp);
+        fp.write_u32(self.pe.rows);
+        fp.write_u32(self.pe.cols);
+        fp.write_u32(match self.interconnect {
+            Interconnect::None => 0,
+            Interconnect::Systolic => 1,
+            Interconnect::Full => 2,
+        });
+        fp.write_u32(match self.dataflow {
+            Dataflow::OutputStationary => 0,
+            Dataflow::WeightStationary => 1,
+            Dataflow::InputStationary => 2,
+        });
+        fp.write_u64(self.scratchpad_bytes);
+        fp.write_u32(self.banks);
+        fp.write_u64(self.local_mem_bytes);
+        fp.write_u64(self.dma_burst_bytes);
+        fp.write_u32(self.bus_width_bits);
+        fp.write_u64(self.freq_mhz);
+        fp.write_u64(self.dtype_bytes);
     }
 }
 
@@ -308,7 +344,9 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_listing2_like() {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         assert_eq!(cfg.pe.count(), 256);
         assert_eq!(cfg.scratchpad_bytes, 256 * 1024);
         assert_eq!(cfg.interconnect, Interconnect::Systolic);
@@ -338,7 +376,10 @@ mod tests {
 
     #[test]
     fn intrinsic_geometry_follows_pe_array() {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(8, 4).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(8, 4)
+            .build()
+            .unwrap();
         let intr = cfg.intrinsic_comp();
         let i = intr.comp.index_by_name("i").unwrap();
         let j = intr.comp.index_by_name("j").unwrap();
@@ -348,7 +389,10 @@ mod tests {
 
     #[test]
     fn dot_intrinsic_uses_all_pes() {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Dot).pe_array(1, 64).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Dot)
+            .pe_array(1, 64)
+            .build()
+            .unwrap();
         assert_eq!(cfg.intrinsic_comp().macs_per_call(), 64);
         assert!(cfg.pe.is_linear());
     }
@@ -356,33 +400,49 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         assert_eq!(
-            AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(0, 4).build().unwrap_err(),
+            AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .pe_array(0, 4)
+                .build()
+                .unwrap_err(),
             ArchError::EmptyPeArray
         );
         assert!(matches!(
-            AcceleratorConfig::builder(IntrinsicKind::Gemm).banks(0).build().unwrap_err(),
+            AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .banks(0)
+                .build()
+                .unwrap_err(),
             ArchError::BadBankCount { .. }
         ));
         assert_eq!(
-            AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(0, 128).build().unwrap_err(),
+            AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .dma(0, 128)
+                .build()
+                .unwrap_err(),
             ArchError::ZeroBurst
         );
         assert!(matches!(
-            AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(64, 12).build().unwrap_err(),
+            AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .dma(64, 12)
+                .build()
+                .unwrap_err(),
             ArchError::BadBusWidth { .. }
         ));
     }
 
     #[test]
     fn cycles_to_ms_uses_frequency() {
-        let cfg =
-            AcceleratorConfig::builder(IntrinsicKind::Gemm).freq_mhz(1000).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .freq_mhz(1000)
+            .build()
+            .unwrap();
         assert!((cfg.cycles_to_ms(1_000_000.0) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn display_is_informative() {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let s = cfg.to_string();
         assert!(s.contains("16x16"));
         assert!(s.contains("256 KB"));

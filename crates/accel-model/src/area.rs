@@ -54,7 +54,10 @@ mod tests {
     use tensor_ir::intrinsics::IntrinsicKind;
 
     fn cfg(rows: u32, cols: u32) -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(rows, cols).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(rows, cols)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -83,8 +83,8 @@ impl CostModel {
 
     /// Compute-engine cycles for a plan.
     pub fn compute_cycles(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> f64 {
-        let stream = plan.macs_padded as f64
-            / (cfg.pes() as f64 * self.stream_efficiency(cfg)).max(1e-9);
+        let stream =
+            plan.macs_padded as f64 / (cfg.pes() as f64 * self.stream_efficiency(cfg)).max(1e-9);
         stream + plan.intrinsic_calls as f64 * self.call_overhead_cycles(cfg)
     }
 
@@ -132,7 +132,11 @@ impl CostModel {
         let overlapped = if plan.double_buffered {
             // The slower engine hides the faster, modulo a per-stage
             // imbalance tax and a one-stage prologue.
-            let prologue = if plan.stages > 0 { dma / plan.stages as f64 } else { 0.0 };
+            let prologue = if plan.stages > 0 {
+                dma / plan.stages as f64
+            } else {
+                0.0
+            };
             onchip.max(dma) + 0.1 * onchip.min(dma) + prologue
         } else {
             onchip + dma
@@ -176,7 +180,10 @@ mod tests {
     use tensor_ir::intrinsics::IntrinsicKind;
 
     fn cfg(rows: u32, cols: u32) -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(rows, cols).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(rows, cols)
+            .build()
+            .unwrap()
     }
 
     fn traffic_plan() -> ExecutionPlan {
@@ -245,9 +252,13 @@ mod tests {
         let m = CostModel::default();
         let c = cfg(16, 16);
         let mut contig = ExecutionPlan::compute_only(1, 1, 1);
-        contig.dram_reads.push(TensorTraffic::new("A", 1_000_000, 256));
+        contig
+            .dram_reads
+            .push(TensorTraffic::new("A", 1_000_000, 256));
         let mut strided = ExecutionPlan::compute_only(1, 1, 1);
-        strided.dram_reads.push(TensorTraffic::new("A", 1_000_000, 8));
+        strided
+            .dram_reads
+            .push(TensorTraffic::new("A", 1_000_000, 8));
         assert!(m.dma_cycles(&c, &strided) > 2.0 * m.dma_cycles(&c, &contig));
     }
 

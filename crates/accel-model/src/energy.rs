@@ -89,7 +89,9 @@ mod tests {
     use tensor_ir::intrinsics::IntrinsicKind;
 
     fn cfg() -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap()
     }
 
     fn plan_with_traffic() -> ExecutionPlan {

@@ -147,9 +147,21 @@ mod tests {
     use super::*;
 
     fn stage(p: &mut Program, bytes: u64, calls: u64) {
-        p.push(Instr::Load { tensor: "A".into(), bytes, contiguous_run: 64 });
-        p.push(Instr::Compute { calls, macs: calls * 4096, spad_bytes: bytes });
-        p.push(Instr::Store { tensor: "C".into(), bytes: bytes / 4, contiguous_run: 64 });
+        p.push(Instr::Load {
+            tensor: "A".into(),
+            bytes,
+            contiguous_run: 64,
+        });
+        p.push(Instr::Compute {
+            calls,
+            macs: calls * 4096,
+            spad_bytes: bytes,
+        });
+        p.push(Instr::Store {
+            tensor: "C".into(),
+            bytes: bytes / 4,
+            contiguous_run: 64,
+        });
         p.push(Instr::Barrier);
     }
 
@@ -168,7 +180,11 @@ mod tests {
     #[test]
     fn trailing_work_counts_as_stage() {
         let mut p = Program::new();
-        p.push(Instr::Compute { calls: 1, macs: 10, spad_bytes: 0 });
+        p.push(Instr::Compute {
+            calls: 1,
+            macs: 10,
+            spad_bytes: 0,
+        });
         assert_eq!(p.stage_count(), 1);
     }
 

@@ -53,13 +53,26 @@ impl Metrics {
         let latency_ms: f64 = parts.iter().map(|m| m.latency_ms).sum();
         let energy_uj: f64 = parts.iter().map(|m| m.energy_uj).sum();
         let area_mm2 = parts.iter().map(|m| m.area_mm2).fold(0.0, f64::max);
-        let power_mw = if latency_ms > 0.0 { energy_uj / latency_ms } else { 0.0 };
-        let total_util: f64 =
-            parts.iter().map(|m| m.utilization * m.latency_cycles).sum::<f64>();
-        let utilization =
-            if latency_cycles > 0.0 { total_util / latency_cycles } else { 1.0 };
+        let power_mw = if latency_ms > 0.0 {
+            energy_uj / latency_ms
+        } else {
+            0.0
+        };
+        let total_util: f64 = parts
+            .iter()
+            .map(|m| m.utilization * m.latency_cycles)
+            .sum::<f64>();
+        let utilization = if latency_cycles > 0.0 {
+            total_util / latency_cycles
+        } else {
+            1.0
+        };
         let ops: f64 = parts.iter().map(|m| m.throughput_mops * m.latency_ms).sum();
-        let throughput_mops = if latency_ms > 0.0 { ops / latency_ms } else { 0.0 };
+        let throughput_mops = if latency_ms > 0.0 {
+            ops / latency_ms
+        } else {
+            0.0
+        };
         Metrics {
             latency_cycles,
             latency_ms,

@@ -82,7 +82,11 @@ impl ExecutionPlan {
 
     /// Total DRAM bytes (reads + writes).
     pub fn dram_bytes(&self) -> u64 {
-        self.dram_reads.iter().chain(self.dram_writes.iter()).map(|t| t.bytes).sum()
+        self.dram_reads
+            .iter()
+            .chain(self.dram_writes.iter())
+            .map(|t| t.bytes)
+            .sum()
     }
 
     /// Fraction of executed MACs that are useful (1.0 = no padding waste).

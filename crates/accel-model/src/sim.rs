@@ -56,8 +56,7 @@ impl TraceSimulator {
     }
 
     fn compute_cycles_for(&self, cfg: &AcceleratorConfig, calls: u64, macs: u64, spad: u64) -> f64 {
-        let stream =
-            macs as f64 / (cfg.pes() as f64 * self.model.stream_efficiency(cfg)).max(1e-9);
+        let stream = macs as f64 / (cfg.pes() as f64 * self.model.stream_efficiency(cfg)).max(1e-9);
         let compute = stream + calls as f64 * self.model.call_overhead_cycles(cfg);
         let local = crate::energy::local_service_fraction(cfg);
         let spad_cy = spad as f64 * (1.0 - local) / cfg.spad_bytes_per_cycle().max(1e-9);
@@ -85,15 +84,27 @@ impl TraceSimulator {
         let mut has_work = false;
         for instr in &program.instrs {
             match instr {
-                Instr::Load { bytes, contiguous_run, .. } => {
+                Instr::Load {
+                    bytes,
+                    contiguous_run,
+                    ..
+                } => {
                     cur.load += self.dma_cycles_for(cfg, *bytes, *contiguous_run);
                     has_work = true;
                 }
-                Instr::Store { bytes, contiguous_run, .. } => {
+                Instr::Store {
+                    bytes,
+                    contiguous_run,
+                    ..
+                } => {
                     cur.store += self.dma_cycles_for(cfg, *bytes, *contiguous_run);
                     has_work = true;
                 }
-                Instr::Compute { calls, macs, spad_bytes } => {
+                Instr::Compute {
+                    calls,
+                    macs,
+                    spad_bytes,
+                } => {
                     cur.compute += self.compute_cycles_for(cfg, *calls, *macs, *spad_bytes);
                     has_work = true;
                 }
@@ -114,7 +125,11 @@ impl TraceSimulator {
         let mut dma_free = 0.0f64; // DMA engine availability
         for (i, s) in stages.iter().enumerate() {
             let buffer_free = if double_buffered {
-                if i >= 2 { timings[i - 2].compute_done } else { 0.0 }
+                if i >= 2 {
+                    timings[i - 2].compute_done
+                } else {
+                    0.0
+                }
             } else if i >= 1 {
                 timings[i - 1].store_done
             } else {
@@ -122,14 +137,26 @@ impl TraceSimulator {
             };
             let load_start = dma_free.max(buffer_free);
             let load_done = load_start + s.load;
-            let prev_compute = if i >= 1 { timings[i - 1].compute_done } else { 0.0 };
+            let prev_compute = if i >= 1 {
+                timings[i - 1].compute_done
+            } else {
+                0.0
+            };
             let compute_done = load_done.max(prev_compute) + s.compute;
             let store_start = compute_done.max(load_done.max(dma_free));
             let store_done = store_start + s.store;
             // With double buffering the DMA queue lets next-stage loads
             // bypass pending stores; without it, the engine drains in order.
-            dma_free = if double_buffered { load_done } else { store_done };
-            timings.push(StageTiming { load_done, compute_done, store_done });
+            dma_free = if double_buffered {
+                load_done
+            } else {
+                store_done
+            };
+            timings.push(StageTiming {
+                load_done,
+                compute_done,
+                store_done,
+            });
         }
         // A single DMA engine ultimately serves both directions, so the end
         // time can never beat the total DMA work.
@@ -140,7 +167,10 @@ impl TraceSimulator {
             .fold(0.0, f64::max)
             .max(total_dma)
             .max(1.0);
-        SimResult { cycles, stages: timings }
+        SimResult {
+            cycles,
+            stages: timings,
+        }
     }
 
     /// Runs a program and wraps the result in full [`Metrics`] (energy and
@@ -184,10 +214,18 @@ pub fn plan_from_program(
     let mut spad = 0;
     for i in &program.instrs {
         match i {
-            Instr::Load { tensor, bytes, contiguous_run } => {
+            Instr::Load {
+                tensor,
+                bytes,
+                contiguous_run,
+            } => {
                 reads.push(TensorTraffic::new(tensor.clone(), *bytes, *contiguous_run));
             }
-            Instr::Store { tensor, bytes, contiguous_run } => {
+            Instr::Store {
+                tensor,
+                bytes,
+                contiguous_run,
+            } => {
                 writes.push(TensorTraffic::new(tensor.clone(), *bytes, *contiguous_run));
             }
             Instr::Compute { spad_bytes, .. } => spad += spad_bytes,
@@ -214,15 +252,29 @@ mod tests {
     use tensor_ir::intrinsics::IntrinsicKind;
 
     fn cfg() -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap()
     }
 
     fn program(stages: usize, load: u64, calls: u64) -> Program {
         let mut p = Program::new();
         for _ in 0..stages {
-            p.push(Instr::Load { tensor: "A".into(), bytes: load, contiguous_run: 64 });
-            p.push(Instr::Compute { calls, macs: calls * 4096, spad_bytes: load });
-            p.push(Instr::Store { tensor: "C".into(), bytes: load / 8, contiguous_run: 64 });
+            p.push(Instr::Load {
+                tensor: "A".into(),
+                bytes: load,
+                contiguous_run: 64,
+            });
+            p.push(Instr::Compute {
+                calls,
+                macs: calls * 4096,
+                spad_bytes: load,
+            });
+            p.push(Instr::Store {
+                tensor: "C".into(),
+                bytes: load / 8,
+                contiguous_run: 64,
+            });
             p.push(Instr::Barrier);
         }
         p
@@ -244,8 +296,8 @@ mod tests {
         // DMA-heavy program: total ≈ total DMA time.
         let p = program(50, 256 * 1024, 1);
         let r = sim.run(&c, &p, true);
-        let per_load = sim.dma_cycles_for(&c, 256 * 1024, 64)
-            + sim.dma_cycles_for(&c, 32 * 1024, 64);
+        let per_load =
+            sim.dma_cycles_for(&c, 256 * 1024, 64) + sim.dma_cycles_for(&c, 32 * 1024, 64);
         assert!(r.cycles >= 50.0 * per_load * 0.9);
         assert!(r.cycles <= 50.0 * per_load * 1.5);
     }

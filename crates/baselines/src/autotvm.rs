@@ -30,7 +30,11 @@ pub struct AutoTvm {
 impl AutoTvm {
     /// Creates a tuner with a deterministic seed and the default budget.
     pub fn new(seed: u64) -> Self {
-        AutoTvm { seed, trials: 64, model: CostModel::default() }
+        AutoTvm {
+            seed,
+            trials: 64,
+            model: CostModel::default(),
+        }
     }
 
     /// The static template: the first non-rearranged tensorize choice and
@@ -87,13 +91,13 @@ impl AutoTvm {
         for _ in 0..self.trials {
             let proposal = {
                 let mut m = mults.clone();
-                if let Some((&idx, _)) = m
-                    .iter()
-                    .nth(rng.gen_range(0..m.len()))
-                    .map(|(k, v)| (k, v))
-                {
+                if let Some((&idx, _)) = m.iter().nth(rng.gen_range(0..m.len())) {
                     let cur = m[&idx];
-                    let next = if rng.gen_bool(0.5) { cur * 2 } else { (cur / 2).max(1) };
+                    let next = if rng.gen_bool(0.5) {
+                        cur * 2
+                    } else {
+                        (cur / 2).max(1)
+                    };
                     m.insert(idx, next.min(64));
                 }
                 m
@@ -106,8 +110,7 @@ impl AutoTvm {
             let accept = match &current {
                 None => true,
                 Some((_, cur)) => {
-                    let delta =
-                        (metrics.latency_cycles - cur.latency_cycles) / cur.latency_cycles;
+                    let delta = (metrics.latency_cycles - cur.latency_cycles) / cur.latency_cycles;
                     delta < 0.0 || rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0))
                 }
             };
@@ -117,7 +120,7 @@ impl AutoTvm {
             }
             let better = best
                 .as_ref()
-                .map_or(true, |(_, b)| metrics.latency_cycles < b.latency_cycles);
+                .is_none_or(|(_, b)| metrics.latency_cycles < b.latency_cycles);
             if better {
                 best = Some((sched, metrics));
             }
@@ -146,7 +149,9 @@ mod tests {
     use tensor_ir::suites;
 
     fn cfg() -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -193,7 +198,12 @@ mod tests {
         for idx in choice.tensorized_indices() {
             tiles.insert(idx, ctx.intrinsic_extent(&choice, idx));
         }
-        let unit = Schedule { choice, tiles, outer_order: order, fuse_outer: 0 };
+        let unit = Schedule {
+            choice,
+            tiles,
+            outer_order: order,
+            fuse_outer: 0,
+        };
         let unit_m = lowering::evaluate(&unit, &ctx, &c, &CostModel::default()).unwrap();
         let tuned = tvm.best_metrics(&wl, &c).unwrap();
         assert!(tuned.latency_cycles <= unit_m.latency_cycles);

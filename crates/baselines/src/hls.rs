@@ -33,10 +33,7 @@ impl HlsCore {
     /// # Errors
     /// Returns [`SwError`] when the reference layer admits no valid
     /// schedule on the accelerator.
-    pub fn synthesize(
-        workloads: &[Workload],
-        cfg: &AcceleratorConfig,
-    ) -> Result<Self, SwError> {
+    pub fn synthesize(workloads: &[Workload], cfg: &AcceleratorConfig) -> Result<Self, SwError> {
         let reference = workloads
             .iter()
             .max_by_key(|w| w.macs())
@@ -75,7 +72,11 @@ impl HlsCore {
             .iter()
             .map(|(&idx, &t)| (ctx.workload.comp.index(idx).name.clone(), t))
             .collect();
-        Ok(HlsCore { cfg: cfg.clone(), model: CostModel::default(), fixed_tiles })
+        Ok(HlsCore {
+            cfg: cfg.clone(),
+            model: CostModel::default(),
+            fixed_tiles,
+        })
     }
 
     /// The synthesized loop order: declaration order, reductions innermost

@@ -97,7 +97,10 @@ impl GemmLibrary {
     /// unfolded input matrix in DRAM; `col2im` folds the result back.
     fn conversion_plan(conv: &Workload, dtype: u64) -> ExecutionPlan {
         let comp = &conv.comp;
-        let get = |n: &str| comp.index(comp.index_by_name(n).expect("conv index")).extent;
+        let get = |n: &str| {
+            comp.index(comp.index_by_name(n).expect("conv index"))
+                .extent
+        };
         let (k, c, x, y, r, s) = (get("k"), get("c"), get("x"), get("y"), get("r"), get("s"));
         let a_bytes = c * (x + r - 1) * (y + s - 1) * dtype;
         let unfolded_bytes = (c * r * s) * (x * y) * dtype; // r*s-fold blowup
@@ -139,7 +142,10 @@ impl GemmLibrary {
         );
         let comp = &workload.comp;
         if comp.name == "conv2d" {
-            let get = |n: &str| comp.index(comp.index_by_name(n).expect("conv index")).extent;
+            let get = |n: &str| {
+                comp.index(comp.index_by_name(n).expect("conv index"))
+                    .extent
+            };
             // GEMM: L[k, x*y] = M[k, c*r*s] x N[c*r*s, x*y].
             let gemm = suites::gemm_workload(
                 &format!("{}_im2col", workload.name),
@@ -154,12 +160,20 @@ impl GemmLibrary {
             let compute = self.model.evaluate(cfg, &compute_plan);
             let conversion = self.model.evaluate(cfg, &conv_plan);
             let total = self.model.evaluate(cfg, &conv_plan.then(&compute_plan));
-            Ok(LibraryRun { total, compute, conversion: Some(conversion) })
+            Ok(LibraryRun {
+                total,
+                compute,
+                conversion: Some(conversion),
+            })
         } else {
             let ctx = ScheduleContext::new(workload, &cfg.intrinsic_comp())?;
             let sched = self.hand_tuned_gemm(&ctx, cfg)?;
             let metrics = lowering::evaluate(&sched, &ctx, cfg, &self.model)?;
-            Ok(LibraryRun { total: metrics, compute: metrics, conversion: None })
+            Ok(LibraryRun {
+                total: metrics,
+                compute: metrics,
+                conversion: None,
+            })
         }
     }
 }
@@ -223,7 +237,7 @@ mod tests {
         let lowered = lowering::lower(&sched, &ctx, &cfg).unwrap();
         assert!(lowered.plan.double_buffered);
         // Tiles are multiples of the 16-wide intrinsic.
-        for (_, &t) in &sched.tiles {
+        for &t in sched.tiles.values() {
             assert_eq!(t % 16, 0);
         }
     }
@@ -233,7 +247,9 @@ mod tests {
     fn rejects_non_gemm_accelerator() {
         let lib = GemmLibrary::new();
         let wl = suites::gemm_workload("g", 64, 64, 64);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Conv2d).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Conv2d)
+            .build()
+            .unwrap();
         let _ = lib.run(&wl, &cfg);
     }
 

@@ -21,7 +21,12 @@ fn ablate_mobo_acquisition() {
     println!("--- ablation 1: MOBO surrogate vs. random acquisition (ResNet layers) ---");
     let workloads: Vec<_> = suites::resnet50_convs().into_iter().take(4).collect();
     let generator = GemminiGenerator::new();
-    let sw = ExplorerOptions { pool: 4, rounds: 3, top_k: 2, ..Default::default() };
+    let sw = ExplorerOptions {
+        pool: 4,
+        rounds: 3,
+        top_k: 2,
+        ..Default::default()
+    };
     let mut ratios = Vec::new();
     for seed in 0..3u64 {
         let mut p1 = HwProblem::new(&generator, &workloads, sw.clone(), seed);
@@ -43,7 +48,9 @@ fn ablate_mobo_acquisition() {
 
 fn ablate_qlearning() {
     println!("--- ablation 2: Q-learning vs. random revisions (software DSE) ---");
-    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .build()
+        .unwrap();
     let workloads = [
         suites::gemm_workload("g", 512, 512, 512),
         suites::conv2d_workload("c", 128, 128, 28, 28, 3, 3),
@@ -52,11 +59,19 @@ fn ablate_qlearning() {
         let mut q_sum = 0.0;
         let mut r_sum = 0.0;
         for seed in 0..3u64 {
-            let mut opts =
-                ExplorerOptions { pool: 8, rounds: 12, top_k: 3, ..Default::default() };
-            let q = SoftwareExplorer::new(seed).optimize(wl, &cfg, &opts).unwrap();
+            let mut opts = ExplorerOptions {
+                pool: 8,
+                rounds: 12,
+                top_k: 3,
+                ..Default::default()
+            };
+            let q = SoftwareExplorer::new(seed)
+                .optimize(wl, &cfg, &opts)
+                .unwrap();
             opts.use_qlearning = false;
-            let r = SoftwareExplorer::new(seed).optimize(wl, &cfg, &opts).unwrap();
+            let r = SoftwareExplorer::new(seed)
+                .optimize(wl, &cfg, &opts)
+                .unwrap();
             q_sum += q.metrics.latency_cycles;
             r_sum += r.metrics.latency_cycles;
         }
@@ -78,8 +93,16 @@ fn ablate_dataflow() {
         let mut b = AcceleratorConfig::builder(IntrinsicKind::Conv2d);
         b.pe_array(12, 12).scratchpad_kb(512).banks(8).dataflow(df);
         let cfg = b.build().unwrap();
-        let opts = ExplorerOptions { pool: 8, rounds: 8, top_k: 3, ..Default::default() };
-        let m = SoftwareExplorer::new(5).optimize(&wl, &cfg, &opts).unwrap().metrics;
+        let opts = ExplorerOptions {
+            pool: 8,
+            rounds: 8,
+            top_k: 3,
+            ..Default::default()
+        };
+        let m = SoftwareExplorer::new(5)
+            .optimize(&wl, &cfg, &opts)
+            .unwrap()
+            .metrics;
         println!("  {df}: latency {:.3e} cycles", m.latency_cycles);
     }
     println!();

@@ -34,5 +34,8 @@ fn main() {
     exp!(fig11);
     exp!(table2);
     exp!(table3);
-    println!("=== all experiments regenerated in {:.1}s ===", t0.elapsed().as_secs_f64());
+    println!(
+        "=== all experiments regenerated in {:.1}s ===",
+        t0.elapsed().as_secs_f64()
+    );
 }

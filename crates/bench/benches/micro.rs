@@ -30,7 +30,9 @@ fn bench_matcher(c: &mut Criterion) {
 }
 
 fn bench_lowering(c: &mut Criterion) {
-    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .build()
+        .unwrap();
     let wl = suites::conv2d_workload("c", 64, 64, 56, 56, 3, 3);
     let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
     let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(5);
@@ -45,9 +47,18 @@ fn bench_lowering(c: &mut Criterion) {
 
 fn bench_gp(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..30)
-        .map(|i| vec![(i % 6) as f64 / 5.0, (i / 6) as f64 / 5.0, ((i * 7) % 10) as f64 / 9.0])
+        .map(|i| {
+            vec![
+                (i % 6) as f64 / 5.0,
+                (i / 6) as f64 / 5.0,
+                ((i * 7) % 10) as f64 / 9.0,
+            ]
+        })
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x| (x[0] + 2.0 * x[1] - x[2]).sin()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] + 2.0 * x[1] - x[2]).sin())
+        .collect();
     c.bench_function("gp/fit_30_points_3d", |b| {
         b.iter(|| black_box(GaussianProcess::fit(xs.clone(), &ys)))
     });
@@ -70,9 +81,16 @@ fn bench_hypervolume(c: &mut Criterion) {
 }
 
 fn bench_sw_round(c: &mut Criterion) {
-    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .build()
+        .unwrap();
     let wl = suites::gemm_workload("g", 256, 256, 256);
-    let opts = ExplorerOptions { pool: 6, rounds: 4, top_k: 2, ..Default::default() };
+    let opts = ExplorerOptions {
+        pool: 6,
+        rounds: 4,
+        top_k: 2,
+        ..Default::default()
+    };
     c.bench_function("sw_dse/gemm_4_rounds", |b| {
         b.iter(|| {
             black_box(SoftwareExplorer::new(1).optimize(black_box(&wl), &cfg, &opts)).unwrap()

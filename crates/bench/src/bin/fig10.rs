@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig10 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 10 (hypervolume vs. trials: Random/NSGA-II/MOBO).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig10::run(scale);
-    println!("{}", hasco_bench::fig10::render(&result));
+    hasco_bench::cli::drive(
+        "fig10",
+        "Fig. 10 (hypervolume vs. trials: Random/NSGA-II/MOBO)",
+        hasco_bench::fig10::run,
+        hasco_bench::fig10::render,
+    );
 }

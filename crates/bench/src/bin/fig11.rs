@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig11 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 11 (ResNet software comparison).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig11::run(scale);
-    println!("{}", hasco_bench::fig11::render(&result));
+    hasco_bench::cli::drive(
+        "fig11",
+        "Fig. 11 (ResNet software comparison)",
+        hasco_bench::fig11::run,
+        hasco_bench::fig11::render,
+    );
 }

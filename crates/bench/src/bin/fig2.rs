@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig2 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 2 (motivational GA_L/GA_S case study).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig2::run(scale);
-    println!("{}", hasco_bench::fig2::render(&result));
+    hasco_bench::cli::drive(
+        "fig2",
+        "Fig. 2 (motivational GA_L/GA_S case study)",
+        hasco_bench::fig2::run,
+        hasco_bench::fig2::render,
+    );
 }

@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig7 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 7 (tensorize choices & hardware intrinsics).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig7::run(scale);
-    println!("{}", hasco_bench::fig7::render(&result));
+    hasco_bench::cli::drive(
+        "fig7",
+        "Fig. 7 (tensorize choices & hardware intrinsics)",
+        hasco_bench::fig7::run,
+        hasco_bench::fig7::render,
+    );
 }

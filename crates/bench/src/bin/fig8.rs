@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig8 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 8 (latency/power/area ground-truth correlations).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig8::run(scale);
-    println!("{}", hasco_bench::fig8::render(&result));
+    hasco_bench::cli::drive(
+        "fig8",
+        "Fig. 8 (latency/power/area ground-truth correlations)",
+        hasco_bench::fig8::run,
+        hasco_bench::fig8::render,
+    );
 }

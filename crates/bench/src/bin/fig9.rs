@@ -1,6 +1,12 @@
-//! Regenerates the paper's fig9 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Fig. 9 (metric landscapes + DSE final points).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::fig9::run(scale);
-    println!("{}", hasco_bench::fig9::render(&result));
+    hasco_bench::cli::drive(
+        "fig9",
+        "Fig. 9 (metric landscapes + DSE final points)",
+        hasco_bench::fig9::run,
+        hasco_bench::fig9::render,
+    );
 }

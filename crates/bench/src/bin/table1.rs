@@ -1,6 +1,12 @@
-//! Regenerates the paper's table1 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Table I (benchmark tensor computations).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::table1::run(scale);
-    println!("{}", hasco_bench::table1::render(&result));
+    hasco_bench::cli::drive(
+        "table1",
+        "Table I (benchmark tensor computations)",
+        hasco_bench::table1::run,
+        hasco_bench::table1::render,
+    );
 }

@@ -1,6 +1,12 @@
-//! Regenerates the paper's table2 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Table II (constrained Pareto solutions per method).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::table2::run(scale);
-    println!("{}", hasco_bench::table2::render(&result));
+    hasco_bench::cli::drive(
+        "table2",
+        "Table II (constrained Pareto solutions per method)",
+        hasco_bench::table2::run,
+        hasco_bench::table2::render,
+    );
 }

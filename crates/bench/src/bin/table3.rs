@@ -1,6 +1,12 @@
-//! Regenerates the paper's table3 (run with `--quick` for reduced budgets).
+//! Regenerates the paper's Table III (edge/cloud co-design scenarios).
+//!
+//! `--quick` shrinks budgets for CI; `--threads N` fans evaluation out to
+//! N workers (results are identical at any thread count, only faster).
 fn main() {
-    let scale = hasco_bench::Scale::from_args();
-    let result = hasco_bench::table3::run(scale);
-    println!("{}", hasco_bench::table3::render(&result));
+    hasco_bench::cli::drive(
+        "table3",
+        "Table III (edge/cloud co-design scenarios)",
+        hasco_bench::table3::run,
+        hasco_bench::table3::render,
+    );
 }

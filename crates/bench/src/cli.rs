@@ -1,0 +1,97 @@
+//! Shared command-line handling for the figure/table binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` / `--paper` — experiment scale (default `--paper`);
+//! * `--threads N` — evaluation worker threads (`0` = all cores;
+//!   default `1`, the fully serial reference). Thread count changes
+//!   wall-clock time only, never results;
+//! * `--help` — usage.
+//!
+//! `HASCO_THREADS` is honored when `--threads` is absent, so
+//! `cargo bench` runs can be parallelized without changing argv.
+
+use crate::{common, Scale};
+
+/// Parsed options for one bench binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Worker threads (already applied via [`common::set_threads`]).
+    pub threads: usize,
+}
+
+fn usage(bin: &str, artifact: &str) -> String {
+    format!(
+        "Regenerates the paper's {artifact}.\n\n\
+         USAGE: {bin} [--quick | --paper] [--threads N]\n\n\
+         OPTIONS:\n\
+         \x20   --quick       reduced budgets/workload subsets (CI-sized)\n\
+         \x20   --paper       paper-sized trial budgets (default)\n\
+         \x20   --threads N   evaluation worker threads (0 = all cores, default 1);\n\
+         \x20                 results are identical at any thread count\n\
+         \x20   --help        this message"
+    )
+}
+
+/// Parses argv for a bench binary (exiting on `--help` or bad input) and
+/// installs the thread count for the experiment harnesses.
+pub fn parse(bin: &str, artifact: &str) -> BenchCli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--threads" => {
+                let value = it.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) => threads = Some(n),
+                    None => {
+                        eprintln!("--threads expects a number\n\n{}", usage(bin, artifact));
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage(bin, artifact));
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n\n{}", usage(bin, artifact));
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = threads
+        .or_else(|| {
+            std::env::var("HASCO_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1);
+    common::set_threads(threads);
+    BenchCli { scale, threads }
+}
+
+/// Runs one experiment end to end: parse argv, run, render, report timing.
+pub fn drive<T>(
+    bin: &str,
+    artifact: &str,
+    run: impl FnOnce(Scale) -> T,
+    render: impl FnOnce(&T) -> String,
+) {
+    let cli = parse(bin, artifact);
+    let start = std::time::Instant::now();
+    let result = run(cli.scale);
+    println!("{}", render(&result));
+    println!(
+        "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s)]",
+        start.elapsed().as_secs_f64(),
+        cli.scale,
+        runtime::resolve_threads(cli.threads),
+    );
+}

@@ -2,14 +2,43 @@
 //! optimization helpers (with graceful degradation for unmatchable
 //! workloads), and workload subsampling.
 
+use std::sync::OnceLock;
+
 use accel_model::arch::{AcceleratorConfig, PeArray};
 use accel_model::Metrics;
+use runtime::{resolve_threads, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use sw_opt::SwError;
 use tensor_ir::intrinsics::IntrinsicKind;
 use tensor_ir::workload::Workload;
 
 use crate::Scale;
+
+/// Worker-thread count for every experiment in this process (set once by
+/// the binary CLI; defaults to 1, the serial reference, so `cargo bench`
+/// and tests reproduce historical numbers exactly).
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Installs the experiment thread count (first caller wins).
+pub fn set_threads(threads: usize) {
+    let _ = THREADS.set(threads);
+}
+
+/// The configured experiment thread count.
+pub fn threads() -> usize {
+    *THREADS.get_or_init(|| 1)
+}
+
+/// A worker pool sized by the configured thread count.
+pub fn workers() -> WorkerPool {
+    WorkerPool::new(resolve_threads(threads()))
+}
+
+/// A [`SoftwareExplorer`] wired to the experiment worker pool. Results
+/// are identical to `SoftwareExplorer::new(seed)` at any thread count.
+pub fn explorer(seed: u64) -> SoftwareExplorer {
+    SoftwareExplorer::new(seed).with_workers(workers())
+}
 
 /// The §VII-D GEMMCore: 16×16 PEs, 256 KB scratchpad, 4 banks.
 pub fn gemmcore() -> AcceleratorConfig {
@@ -50,23 +79,46 @@ pub fn accel_64pe(kind: IntrinsicKind) -> AcceleratorConfig {
         _ => PeArray::new(8, 8),
     };
     let mut b = AcceleratorConfig::builder(kind);
-    b.name(format!("{kind}-64pe")).pe_array(pe.rows, pe.cols).scratchpad_kb(256).banks(4);
+    b.name(format!("{kind}-64pe"))
+        .pe_array(pe.rows, pe.cols)
+        .scratchpad_kb(256)
+        .banks(4);
     b.build().expect("64-PE accelerator is valid")
 }
 
 /// Explorer options per scale.
 pub fn sw_opts(scale: Scale) -> ExplorerOptions {
     match scale {
-        Scale::Quick => ExplorerOptions { pool: 10, rounds: 12, top_k: 3, ..Default::default() },
-        Scale::Paper => ExplorerOptions { pool: 16, rounds: 24, top_k: 4, ..Default::default() },
+        Scale::Quick => ExplorerOptions {
+            pool: 10,
+            rounds: 12,
+            top_k: 3,
+            ..Default::default()
+        },
+        Scale::Paper => ExplorerOptions {
+            pool: 16,
+            rounds: 24,
+            top_k: 4,
+            ..Default::default()
+        },
     }
 }
 
 /// Cheaper options for software evaluation inside hardware-DSE loops.
 pub fn sw_inner_opts(scale: Scale) -> ExplorerOptions {
     match scale {
-        Scale::Quick => ExplorerOptions { pool: 4, rounds: 3, top_k: 2, ..Default::default() },
-        Scale::Paper => ExplorerOptions { pool: 6, rounds: 6, top_k: 2, ..Default::default() },
+        Scale::Quick => ExplorerOptions {
+            pool: 4,
+            rounds: 3,
+            top_k: 2,
+            ..Default::default()
+        },
+        Scale::Paper => ExplorerOptions {
+            pool: 6,
+            rounds: 6,
+            top_k: 2,
+            ..Default::default()
+        },
     }
 }
 
@@ -179,8 +231,7 @@ mod tests {
         let (_, s2) = suites::mttkrp_stages("m", 64, 64, 64, 64);
         let explorer = SoftwareExplorer::new(0);
         let cfg = accel_64pe(IntrinsicKind::Gemm);
-        let m =
-            optimize_degradable(&explorer, &s2, &cfg, &sw_opts(Scale::Quick)).unwrap();
+        let m = optimize_degradable(&explorer, &s2, &cfg, &sw_opts(Scale::Quick)).unwrap();
         assert!(m.latency_cycles > 0.0);
     }
 
@@ -189,7 +240,9 @@ mod tests {
         let wl = suites::gemm_workload("g", 128, 128, 128);
         let explorer = SoftwareExplorer::new(0);
         let cfg = accel_64pe(IntrinsicKind::Gemm);
-        let direct = explorer.optimize(&wl, &cfg, &sw_opts(Scale::Quick)).unwrap();
+        let direct = explorer
+            .optimize(&wl, &cfg, &sw_opts(Scale::Quick))
+            .unwrap();
         let via = optimize_degradable(&explorer, &wl, &cfg, &sw_opts(Scale::Quick)).unwrap();
         assert_eq!(direct.metrics.latency_cycles, via.latency_cycles);
     }

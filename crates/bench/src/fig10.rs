@@ -40,7 +40,7 @@ pub struct Fig10 {
 }
 
 fn reference(histories: &[&OptimizerResult]) -> Vec<f64> {
-    let mut r = vec![f64::NEG_INFINITY; 3];
+    let mut r = [f64::NEG_INFINITY; 3];
     for h in histories {
         for e in &h.evaluations {
             for (ri, &v) in r.iter_mut().zip(e.objectives.iter()) {
@@ -62,7 +62,8 @@ pub fn run(scale: Scale) -> Fig10 {
     let sw = sw_inner_opts(scale);
 
     let run_method = |name: &str| -> OptimizerResult {
-        let mut problem = HwProblem::new(&generator, &workloads, sw.clone(), 10);
+        let mut problem = HwProblem::new(&generator, &workloads, sw.clone(), 10)
+            .with_workers(crate::common::workers());
         match name {
             "random" => RandomSearch::new(10).run(&mut problem, trials),
             "nsga2" => Nsga2::new(10).run(&mut problem, trials),
@@ -78,10 +79,21 @@ pub fn run(scale: Scale) -> Fig10 {
 
     let curves: Vec<Curve> = [("random", &rand_h), ("nsga2", &nsga_h), ("mobo", &mobo_h)]
         .iter()
-        .map(|(n, h)| Curve { name: n.to_string(), hv: h.hypervolume_history(&reference) })
+        .map(|(n, h)| Curve {
+            name: n.to_string(),
+            hv: h.hypervolume_history(&reference),
+        })
         .collect();
 
-    let final_of = |n: &str| *curves.iter().find(|c| c.name == n).unwrap().hv.last().unwrap();
+    let final_of = |n: &str| {
+        *curves
+            .iter()
+            .find(|c| c.name == n)
+            .unwrap()
+            .hv
+            .last()
+            .unwrap()
+    };
     let nsga_final = final_of("nsga2");
     let mobo = curves.iter().find(|c| c.name == "mobo").unwrap();
     let mobo_crossover_trial = mobo.hv.iter().position(|&v| v >= nsga_final).map(|i| i + 1);

@@ -7,7 +7,7 @@
 
 use baselines::{AutoTvm, GemmLibrary};
 use hasco::report::{speedup, Table};
-use sw_opt::explorer::SoftwareExplorer;
+
 use tensor_ir::suites;
 
 use crate::common::{gemmcore, sw_opts};
@@ -51,22 +51,23 @@ pub fn run(scale: Scale) -> Fig11 {
     let cfg = gemmcore();
     let lib = GemmLibrary::new();
     let tvm = AutoTvm::new(11);
-    let explorer = SoftwareExplorer::new(11);
+    let explorer = crate::common::explorer(11);
     let opts = sw_opts(scale);
 
     let mut rows = Vec::new();
     for w in &convs {
         let lib_run = lib.run(w, &cfg).expect("library handles ResNet convs");
-        let tvm_m = tvm.best_metrics(w, &cfg).expect("autotvm handles ResNet convs");
-        let hasco_m =
-            explorer.optimize(w, &cfg, &opts).expect("hasco handles ResNet convs").metrics;
+        let tvm_m = tvm
+            .best_metrics(w, &cfg)
+            .expect("autotvm handles ResNet convs");
+        let hasco_m = explorer
+            .optimize(w, &cfg, &opts)
+            .expect("hasco handles ResNet convs")
+            .metrics;
         rows.push(Row {
             workload: w.name.clone(),
             lib_compute: lib_run.compute.latency_ms,
-            lib_conversion: lib_run
-                .conversion
-                .map(|c| c.latency_ms)
-                .unwrap_or(0.0),
+            lib_conversion: lib_run.conversion.map(|c| c.latency_ms).unwrap_or(0.0),
             autotvm: tvm_m.latency_ms,
             hasco: hasco_m.latency_ms,
         });
@@ -80,7 +81,12 @@ pub fn run(scale: Scale) -> Fig11 {
         .iter()
         .filter(|r| (r.lib_compute + r.lib_conversion) / r.hasco >= 2.0)
         .count();
-    Fig11 { rows, mean_speedup_vs_lib, mean_speedup_vs_autotvm, ge2x_vs_lib }
+    Fig11 {
+        rows,
+        mean_speedup_vs_lib,
+        mean_speedup_vs_autotvm,
+        ge2x_vs_lib,
+    }
 }
 
 /// Renders the first 20 workloads plus the summary (like the paper's plot).

@@ -10,7 +10,7 @@
 //! accelerators prefer different programs.
 
 use hasco::report::Table;
-use sw_opt::explorer::SoftwareExplorer;
+
 use sw_opt::lowering;
 use sw_opt::schedule::{Schedule, ScheduleContext};
 use tensor_ir::suites;
@@ -34,8 +34,16 @@ impl Fig2 {
     pub fn normalized(&self) -> ([f64; 3], [f64; 3]) {
         let n = |v: f64| v / self.ga_l_peak;
         (
-            [n(self.ga_l_mops[0]), n(self.ga_l_mops[1]), n(self.ga_l_mops[2])],
-            [n(self.ga_s_mops[0]), n(self.ga_s_mops[1]), n(self.ga_s_mops[2])],
+            [
+                n(self.ga_l_mops[0]),
+                n(self.ga_l_mops[1]),
+                n(self.ga_l_mops[2]),
+            ],
+            [
+                n(self.ga_s_mops[0]),
+                n(self.ga_s_mops[1]),
+                n(self.ga_s_mops[2]),
+            ],
         )
     }
 
@@ -66,10 +74,16 @@ pub fn run(scale: Scale) -> Fig2 {
     let workload = suites::gemm_workload("fig2_gemm", 512, 512, 512);
     let (big, small) = (ga_l(), ga_s());
     let opts = sw_opts(scale);
-    let explorer = SoftwareExplorer::new(2024);
+    let explorer = crate::common::explorer(2024);
 
-    let p1 = explorer.optimize(&workload, &big, &opts).expect("GA_L is schedulable").schedule;
-    let p2 = explorer.optimize(&workload, &small, &opts).expect("GA_S is schedulable").schedule;
+    let p1 = explorer
+        .optimize(&workload, &big, &opts)
+        .expect("GA_L is schedulable")
+        .schedule;
+    let p2 = explorer
+        .optimize(&workload, &small, &opts)
+        .expect("GA_S is schedulable")
+        .schedule;
 
     let eval = |sched: &Schedule, cfg: &accel_model::AcceleratorConfig| -> f64 {
         let ctx = ScheduleContext::new(&workload, &cfg.intrinsic_comp())
@@ -92,7 +106,11 @@ pub fn run(scale: Scale) -> Fig2 {
     let ga_l_mops = [eval(&p1, &big), eval(&p2, &big), eval(&p3, &big)];
     let ga_s_mops = [eval(&p1, &small), eval(&p2, &small), eval(&p3, &small)];
     let ga_l_peak = ga_l_mops.iter().cloned().fold(0.0, f64::max);
-    Fig2 { ga_l_mops, ga_s_mops, ga_l_peak }
+    Fig2 {
+        ga_l_mops,
+        ga_s_mops,
+        ga_l_peak,
+    }
 }
 
 /// Renders the figure as a table of normalized throughput.
@@ -100,7 +118,11 @@ pub fn render(f: &Fig2) -> String {
     let (l, s) = f.normalized();
     let mut t = Table::new(&["Program", "GA_L", "GA_S"]);
     for (i, name) in ["p1", "p2", "p3"].iter().enumerate() {
-        t.row(vec![name.to_string(), format!("{:.3}", l[i]), format!("{:.3}", s[i])]);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", l[i]),
+            format!("{:.3}", s[i]),
+        ]);
     }
     let (bl, bs) = f.best_programs();
     format!(
@@ -122,10 +144,18 @@ mod tests {
         let f = run(Scale::Quick);
         // p1 is tuned for GA_L: it must be at least as good as p3 (more
         // on-chip compute) there.
-        assert!(f.ga_l_mops[0] >= f.ga_l_mops[2] * 0.999, "{:?}", f.ga_l_mops);
+        assert!(
+            f.ga_l_mops[0] >= f.ga_l_mops[2] * 0.999,
+            "{:?}",
+            f.ga_l_mops
+        );
         // Programs differ in throughput (software has a huge impact).
         let spread = f.ga_l_mops.iter().cloned().fold(0.0, f64::max)
-            / f.ga_l_mops.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+            / f.ga_l_mops
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-9);
         assert!(spread > 1.01, "no spread: {:?}", f.ga_l_mops);
     }
 
@@ -134,7 +164,12 @@ mod tests {
         // §II-C: GA_L achieves higher peak throughput than GA_S.
         let f = run(Scale::Quick);
         let s_peak = f.ga_s_mops.iter().cloned().fold(0.0, f64::max);
-        assert!(f.ga_l_peak > s_peak, "GA_L {} vs GA_S {}", f.ga_l_peak, s_peak);
+        assert!(
+            f.ga_l_peak > s_peak,
+            "GA_L {} vs GA_S {}",
+            f.ga_l_peak,
+            s_peak
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl WorkloadRow {
             .filter_map(|(_, t)| *t)
             .fold(0.0f64, f64::max)
             .max(1e-12);
-        self.per_intrinsic.iter().map(|&(k, t)| (k, t.map(|v| v / peak))).collect()
+        self.per_intrinsic
+            .iter()
+            .map(|&(k, t)| (k, t.map(|v| v / peak)))
+            .collect()
     }
 
     /// The winning intrinsic.
@@ -84,8 +87,10 @@ fn mttkrp_throughput(
         Ok(o) => o.metrics,
         Err(sw_opt::SwError::NoTensorizeChoice { .. }) => {
             let comp = &fused.comp;
-            let get =
-                |n: &str| comp.index(comp.index_by_name(n).expect("mttkrp index")).extent;
+            let get = |n: &str| {
+                comp.index(comp.index_by_name(n).expect("mttkrp index"))
+                    .extent
+            };
             let (s1, s2) =
                 suites::mttkrp_stages(&fused.name, get("i"), get("j"), get("k"), get("l"));
             app_metrics_degradable(explorer, &[s1, s2], &cfg, opts).ok()?
@@ -144,7 +149,7 @@ pub fn run(scale: Scale) -> Fig7 {
         Scale::Paper => 10,
     };
     let opts = sw_opts(scale);
-    let explorer = SoftwareExplorer::new(7);
+    let explorer = crate::common::explorer(7);
 
     let mttkrp = subsample(&suites::mttkrp_workloads(), n)
         .iter()
@@ -160,7 +165,11 @@ pub fn run(scale: Scale) -> Fig7 {
     // Panel (b) must include the 5x5/7x7-filter workloads (#1, #5, #8).
     let conv_all = suites::conv2d_workloads();
     let conv_set: Vec<Workload> = match scale {
-        Scale::Quick => vec![conv_all[0].clone(), conv_all[1].clone(), conv_all[7].clone()],
+        Scale::Quick => vec![
+            conv_all[0].clone(),
+            conv_all[1].clone(),
+            conv_all[7].clone(),
+        ],
         Scale::Paper => conv_all,
     };
     let conv = conv_set
@@ -186,17 +195,29 @@ pub fn run(scale: Scale) -> Fig7 {
         })
         .collect();
 
-    let ttm_choice_spread =
-        choice_spread(&explorer, &ttm_set[ttm_set.len() / 2], IntrinsicKind::Gemm, &opts);
-    let conv_choice_spread =
-        choice_spread(&explorer, &conv_set[1], IntrinsicKind::Gemm, &opts);
+    let ttm_choice_spread = choice_spread(
+        &explorer,
+        &ttm_set[ttm_set.len() / 2],
+        IntrinsicKind::Gemm,
+        &opts,
+    );
+    let conv_choice_spread = choice_spread(&explorer, &conv_set[1], IntrinsicKind::Gemm, &opts);
 
-    Fig7 { mttkrp, conv, ttm, ttm_choice_spread, conv_choice_spread }
+    Fig7 {
+        mttkrp,
+        conv,
+        ttm,
+        ttm_choice_spread,
+        conv_choice_spread,
+    }
 }
 
 fn render_panel(title: &str, rows: &[WorkloadRow]) -> String {
-    let kinds: Vec<String> =
-        rows[0].per_intrinsic.iter().map(|(k, _)| k.to_string().to_uppercase()).collect();
+    let kinds: Vec<String> = rows[0]
+        .per_intrinsic
+        .iter()
+        .map(|(k, _)| k.to_string().to_uppercase())
+        .collect();
     let mut header: Vec<&str> = vec!["Workload"];
     header.extend(kinds.iter().map(String::as_str));
     header.push("winner");
@@ -238,8 +259,11 @@ mod tests {
     fn shapes_match_paper() {
         let f = run(Scale::Quick);
         // (a) MTTKRP prefers GEMV in most cases.
-        let gemv_wins =
-            f.mttkrp.iter().filter(|r| r.winner() == IntrinsicKind::Gemv).count();
+        let gemv_wins = f
+            .mttkrp
+            .iter()
+            .filter(|r| r.winner() == IntrinsicKind::Gemv)
+            .count();
         assert!(
             gemv_wins * 2 >= f.mttkrp.len(),
             "GEMV won only {gemv_wins}/{}",

@@ -8,7 +8,7 @@
 use hasco::report::Table;
 use hw_gen::space::Generator;
 use hw_gen::ChiselGenerator;
-use sw_opt::explorer::SoftwareExplorer;
+
 use tensor_ir::intrinsics::IntrinsicKind;
 use tensor_ir::suites;
 
@@ -79,7 +79,10 @@ impl GroundTruth {
             return 1.0;
         }
         let hi = similar.iter().map(|p| p.power).fold(0.0f64, f64::max);
-        let lo = similar.iter().map(|p| p.power).fold(f64::INFINITY, f64::min);
+        let lo = similar
+            .iter()
+            .map(|p| p.power)
+            .fold(f64::INFINITY, f64::min);
         hi / lo.max(1e-300)
     }
 }
@@ -93,16 +96,24 @@ pub fn ground_truth(scale: Scale) -> GroundTruth {
         Scale::Paper => convs,
     };
     let opts = sw_inner_opts(scale);
-    let explorer = SoftwareExplorer::new(88);
+    let explorer = crate::common::explorer(88);
     let mut points = Vec::new();
     for point in generator.space().iter_all() {
-        let cfg = generator.generate(&point).expect("ground-truth points are valid");
+        let cfg = generator
+            .generate(&point)
+            .expect("ground-truth points are valid");
         let Ok(m) = app_metrics_degradable(&explorer, &convs, &cfg, &opts) else {
             continue;
         };
         points.push(GroundTruthPoint {
-            pe_side: generator.space().value_of(&point, "pe_side").expect("dim exists"),
-            banks: generator.space().value_of(&point, "banks").expect("dim exists"),
+            pe_side: generator
+                .space()
+                .value_of(&point, "pe_side")
+                .expect("dim exists"),
+            banks: generator
+                .space()
+                .value_of(&point, "banks")
+                .expect("dim exists"),
             point,
             latency: m.latency_cycles,
             power: m.power_mw,

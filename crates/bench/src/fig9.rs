@@ -61,7 +61,7 @@ pub struct Fig9 {
 }
 
 fn reference_point(gt: &GroundTruth) -> Vec<f64> {
-    let mut r = vec![f64::NEG_INFINITY; 3];
+    let mut r = [f64::NEG_INFINITY; 3];
     for p in &gt.points {
         r[0] = r[0].max(p.latency);
         r[1] = r[1].max(p.power);
@@ -81,42 +81,76 @@ pub fn run(scale: Scale) -> Fig9 {
         .collect();
     let space = SearchSpace::new(vec![8, 8]);
     let reference = reference_point(&gt);
-    let all_objs: Vec<Vec<f64>> =
-        gt.points.iter().map(|p| vec![p.latency, p.power, p.area]).collect();
+    let all_objs: Vec<Vec<f64>> = gt
+        .points
+        .iter()
+        .map(|p| vec![p.latency, p.power, p.area])
+        .collect();
     let true_front_hv = hypervolume::hypervolume(&all_objs, &reference);
 
     let mut methods = Vec::new();
-    let runs: Vec<(&str, Box<dyn FnMut(&mut CachedProblem) -> OptimizerResult>)> = vec![
-        ("random", Box::new(|p: &mut CachedProblem| RandomSearch::new(42).run(p, trials))),
-        ("nsga2", Box::new(|p: &mut CachedProblem| Nsga2::new(42).run(p, trials))),
+    /// A named optimizer run over the cached landscape problem.
+    type MethodRun<'a> = (
+        &'a str,
+        Box<dyn FnMut(&mut CachedProblem) -> OptimizerResult>,
+    );
+    let runs: Vec<MethodRun> = vec![
+        (
+            "random",
+            Box::new(move |p: &mut CachedProblem| RandomSearch::new(42).run(p, trials)),
+        ),
+        (
+            "nsga2",
+            Box::new(move |p: &mut CachedProblem| Nsga2::new(42).run(p, trials)),
+        ),
         (
             "mobo",
-            Box::new(|p: &mut CachedProblem| {
+            Box::new(move |p: &mut CachedProblem| {
                 Mobo::new(42).with_prior_samples(5).run(p, trials)
             }),
         ),
     ];
     for (name, mut f) in runs {
-        let mut problem = CachedProblem { space: space.clone(), table: table.clone() };
+        let mut problem = CachedProblem {
+            space: space.clone(),
+            table: table.clone(),
+        };
         let history = f(&mut problem);
         let final_hv = *history
             .hypervolume_history(&reference)
             .last()
             .expect("at least one evaluation");
-        methods.push(MethodResult { name: name.into(), history, final_hv });
+        methods.push(MethodResult {
+            name: name.into(),
+            history,
+            final_hv,
+        });
     }
-    Fig9 { ground_truth: gt, true_front_hv, methods }
+    Fig9 {
+        ground_truth: gt,
+        true_front_hv,
+        methods,
+    }
 }
 
 /// Renders the landscape row for one metric as an 8×8 grid.
-fn render_grid(gt: &GroundTruth, metric: impl Fn(&crate::fig8::GroundTruthPoint) -> f64, name: &str) -> String {
+fn render_grid(
+    gt: &GroundTruth,
+    metric: impl Fn(&crate::fig8::GroundTruthPoint) -> f64,
+    name: &str,
+) -> String {
     let mut sides: Vec<u64> = gt.points.iter().map(|p| p.pe_side).collect();
     sides.sort_unstable();
     sides.dedup();
     let mut banks: Vec<u64> = gt.points.iter().map(|p| p.banks).collect();
     banks.sort_unstable();
     banks.dedup();
-    let hi = gt.points.iter().map(&metric).fold(0.0f64, f64::max).max(1e-300);
+    let hi = gt
+        .points
+        .iter()
+        .map(&metric)
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
     let mut out = format!("{name} (normalized, rows = PE side asc, cols = banks asc):\n");
     for &s in &sides {
         let mut row = format!("  {s:>2}x{s:<2} ");
@@ -182,7 +216,10 @@ mod tests {
         );
         // Power and area keep growing regardless.
         let p = |side: u64| {
-            gt.points.iter().find(|q| q.pe_side == side && q.banks == 8).unwrap()
+            gt.points
+                .iter()
+                .find(|q| q.pe_side == side && q.banks == 8)
+                .unwrap()
         };
         assert!(p(32).power > p(16).power && p(16).power > p(8).power);
         assert!(p(32).area > p(16).area);

@@ -16,6 +16,7 @@
 //! | `table2` | Table II — constrained Pareto solutions per method |
 //! | `table3` | Table III — edge/cloud co-design scenarios |
 
+pub mod cli;
 pub mod common;
 pub mod fig10;
 pub mod fig11;

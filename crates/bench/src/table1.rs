@@ -34,11 +34,10 @@ pub fn run(_scale: Scale) -> Table1 {
         .map(|app| {
             let notation = app.workloads[0].comp.notation();
             let complexity = app.complexity_range();
-            let extra_cnns = app.name == "conv2d";
             Row {
                 name: app.name.clone(),
                 notation,
-                workloads: app.len() + if extra_cnns { 0 } else { 0 },
+                workloads: app.len(),
                 complexity,
             }
         })
@@ -59,7 +58,11 @@ pub fn render(t: &Table1) -> String {
             r.name.clone(),
             r.notation.clone(),
             wl,
-            format!("{} - {}", format_ops(r.complexity.0), format_ops(r.complexity.1)),
+            format!(
+                "{} - {}",
+                format_ops(r.complexity.0),
+                format_ops(r.complexity.1)
+            ),
         ]);
     }
     format!("Table I: Benchmark Tensor Computations\n{}", out.render())

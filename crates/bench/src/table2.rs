@@ -55,15 +55,24 @@ fn best_feasible(history: &OptimizerResult, power_cap: f64) -> Best {
         .evaluations
         .iter()
         .filter(|e| e.objectives[1] <= power_cap)
-        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"))
+        .min_by(|a, b| {
+            a.objectives[0]
+                .partial_cmp(&b.objectives[0])
+                .expect("finite")
+        })
         .or_else(|| {
-            history
-                .evaluations
-                .iter()
-                .min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).expect("finite"))
+            history.evaluations.iter().min_by(|a, b| {
+                a.objectives[1]
+                    .partial_cmp(&b.objectives[1])
+                    .expect("finite")
+            })
         })
         .expect("history non-empty");
-    Best { latency: pick.objectives[0], power: pick.objectives[1], area: pick.objectives[2] }
+    Best {
+        latency: pick.objectives[0],
+        power: pick.objectives[1],
+        area: pick.objectives[2],
+    }
 }
 
 /// Runs the table.
@@ -93,7 +102,8 @@ pub fn run(scale: Scale) -> Table2 {
         for (app, workloads) in &apps {
             let mut results = Vec::with_capacity(3);
             for method in ["random", "nsga2", "mobo"] {
-                let mut problem = HwProblem::new(generator, workloads, sw.clone(), 2);
+                let mut problem = HwProblem::new(generator, workloads, sw.clone(), 2)
+                    .with_workers(crate::common::workers());
                 let history = match method {
                     "random" => RandomSearch::new(2).run(&mut problem, trials),
                     "nsga2" => Nsga2::new(2).run(&mut problem, trials),
@@ -169,8 +179,16 @@ mod tests {
                 vs_nsga += 1;
             }
         }
-        assert!(vs_random * 2 >= t.rows.len(), "MOBO vs random: {vs_random}/{}", t.rows.len());
-        assert!(vs_nsga * 2 >= t.rows.len(), "MOBO vs nsga2: {vs_nsga}/{}", t.rows.len());
+        assert!(
+            vs_random * 2 >= t.rows.len(),
+            "MOBO vs random: {vs_random}/{}",
+            t.rows.len()
+        );
+        assert!(
+            vs_nsga * 2 >= t.rows.len(),
+            "MOBO vs nsga2: {vs_nsga}/{}",
+            t.rows.len()
+        );
     }
 
     #[test]

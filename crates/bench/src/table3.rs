@@ -71,14 +71,15 @@ fn summarize(cfg: &accel_model::AcceleratorConfig, latency_ms: f64) -> SystemRes
 }
 
 fn codesign_opts(scale: Scale, seed: u64) -> CoDesignOptions {
-    match scale {
+    let opts = match scale {
         Scale::Quick => CoDesignOptions::quick(seed),
         Scale::Paper => {
             let mut o = CoDesignOptions::paper(seed);
             o.hw_trials = 20; // "20 co-design iterations"
             o
         }
-    }
+    };
+    opts.with_threads(crate::common::threads())
 }
 
 /// Runs the study.
@@ -108,7 +109,10 @@ pub fn run(scale: Scale) -> Table3 {
             let tvm = AutoTvm::new(3);
             let mut parts = Vec::new();
             for w in workloads {
-                parts.push(tvm.best_metrics(w, &base_cfg).expect("baseline maps layers"));
+                parts.push(
+                    tvm.best_metrics(w, &base_cfg)
+                        .expect("baseline maps layers"),
+                );
             }
             let base_m = accel_model::Metrics::sequential(&parts);
 
@@ -151,17 +155,29 @@ pub fn run(scale: Scale) -> Table3 {
 impl Table3 {
     /// HASCO-GEMMCore vs. the decoupled baseline (paper: 1.25–1.44X).
     pub fn codesign_gain(&self) -> f64 {
-        geomean(self.rows.iter().map(|r| r.baseline.latency_ms / r.hasco_gemm.latency_ms))
+        geomean(
+            self.rows
+                .iter()
+                .map(|r| r.baseline.latency_ms / r.hasco_gemm.latency_ms),
+        )
     }
 
     /// HASCO-ConvCore vs. HASCO-GEMMCore (paper: 1.42X mean).
     pub fn convcore_gain(&self) -> f64 {
-        geomean(self.rows.iter().map(|r| r.hasco_gemm.latency_ms / r.hasco_conv.latency_ms))
+        geomean(
+            self.rows
+                .iter()
+                .map(|r| r.hasco_gemm.latency_ms / r.hasco_conv.latency_ms),
+        )
     }
 
     /// HASCO-ConvCore vs. HLS-Core (paper: 1.6–2.2X).
     pub fn hls_gap(&self) -> f64 {
-        geomean(self.rows.iter().map(|r| r.hls.latency_ms / r.hasco_conv.latency_ms))
+        geomean(
+            self.rows
+                .iter()
+                .map(|r| r.hls.latency_ms / r.hasco_conv.latency_ms),
+        )
     }
 }
 

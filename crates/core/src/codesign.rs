@@ -9,7 +9,7 @@
 //! the heuristic and Q-learning-based software optimization tailors the
 //! software mappings for the hardware parameters".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use accel_model::arch::AcceleratorConfig;
 use accel_model::Metrics;
@@ -18,10 +18,12 @@ use dse::problem::{Point, Problem, SearchSpace};
 use dse::Optimizer;
 use hw_gen::space::Generator;
 use hw_gen::{ChiselGenerator, GemminiGenerator};
+use runtime::{resolve_threads, Fingerprinter, MemoCache, StableFingerprint, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use tensor_ir::workload::Workload;
 
 use crate::input::{GenerationMethod, InputDescription};
+use crate::report::RunStats;
 use crate::solution::{Solution, WorkloadSolution};
 use crate::tuning;
 use crate::HascoError;
@@ -45,6 +47,13 @@ pub struct CoDesignOptions {
     pub tuning_rounds: usize,
     /// RNG seed for the whole run.
     pub seed: u64,
+    /// Evaluation worker threads: `1` runs fully serial, `0` uses every
+    /// available core. Thread count changes wall-clock time only — a
+    /// fixed-seed run produces the identical solution at any setting.
+    pub threads: usize,
+    /// Capacity (entries) of the memoizing evaluation cache shared by the
+    /// hardware DSE trials.
+    pub cache_capacity: usize,
 }
 
 impl CoDesignOptions {
@@ -62,6 +71,8 @@ impl CoDesignOptions {
             sw_final: ExplorerOptions::default(),
             tuning_rounds: 2,
             seed,
+            threads: 1,
+            cache_capacity: 4096,
         }
     }
 
@@ -84,25 +95,59 @@ impl CoDesignOptions {
             },
             tuning_rounds: 1,
             seed,
+            threads: 1,
+            cache_capacity: 4096,
         }
+    }
+
+    /// Sets the evaluation worker count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// The hardware design space wrapped as a [`dse::problem::Problem`].
+///
+/// Evaluation is where the whole co-design loop spends its time: one
+/// design point means one full software exploration per workload. The
+/// problem therefore routes every batch through the parallel evaluation
+/// runtime — [`Problem::evaluate_batch`] fans the batch's
+/// `(accelerator, workload)` pairs out to a [`WorkerPool`] and answers
+/// repeated pairs from a fingerprint-keyed [`MemoCache`] — while keeping
+/// results bitwise identical to the serial path (order-preserving
+/// reassembly; pure per-pair evaluations).
 pub struct HwProblem<'a> {
     generator: &'a dyn Generator,
     workloads: &'a [Workload],
     space: SearchSpace,
     explorer: SoftwareExplorer,
     sw_opts: ExplorerOptions,
+    workers: WorkerPool,
+    /// Memoized per-(accelerator, workload) explorer outcomes, keyed by
+    /// the stable fingerprint of config + workload + options + seed.
+    /// `None` records a software-exploration failure (also worth caching).
+    memo: MemoCache<(u64, u64), Option<Metrics>>,
+    /// Exact per-point replay cache (a point hit skips config generation
+    /// and the memo lookups entirely).
     cache: BTreeMap<Point, Option<Vec<f64>>>,
+    /// Per-workload fingerprint bases: (workload, options, seed) are
+    /// invariant for the life of the problem, so their hash state is
+    /// computed once and cloned per pair instead of re-walking the
+    /// workload structure on every lookup. Two independently-seeded
+    /// states form a 128-bit key, so a 64-bit collision degrades to a
+    /// cache miss instead of returning another design's metrics.
+    pair_bases: Vec<(Fingerprinter, Fingerprinter)>,
+    /// Total (design point, workload) evaluations requested through the
+    /// batch seam, memoized or not.
+    sw_requests: usize,
     /// Evaluated (point, metrics) pairs for later reuse.
     pub evaluated: Vec<(Point, Metrics)>,
 }
 
 impl<'a> HwProblem<'a> {
     /// Wraps a generator + workloads as a 3-objective problem
-    /// (latency cycles, power mW, area mm²).
+    /// (latency cycles, power mW, area mm²), evaluating serially.
     pub fn new(
         generator: &'a dyn Generator,
         workloads: &'a [Workload],
@@ -110,18 +155,60 @@ impl<'a> HwProblem<'a> {
         seed: u64,
     ) -> Self {
         let dim_sizes = generator.space().dims.iter().map(|d| d.len()).collect();
+        let pair_bases = workloads
+            .iter()
+            .map(|w| {
+                let mut lo = Fingerprinter::new();
+                let mut hi = Fingerprinter::new();
+                // Distinct prefixes give the two lanes independent states.
+                hi.write_u64(0x9e3779b97f4a7c15);
+                for fp in [&mut lo, &mut hi] {
+                    w.fingerprint_into(fp);
+                    sw_opts.fingerprint_into(fp);
+                    fp.write_u64(seed);
+                }
+                (lo, hi)
+            })
+            .collect();
         HwProblem {
             generator,
             workloads,
             space: SearchSpace::new(dim_sizes),
             explorer: SoftwareExplorer::new(seed),
             sw_opts,
+            workers: WorkerPool::serial(),
+            memo: MemoCache::new(4096),
             cache: BTreeMap::new(),
+            pair_bases,
+            sw_requests: 0,
             evaluated: Vec::new(),
         }
     }
 
-    /// Evaluates an accelerator on all workloads (summed latency).
+    /// Runs batch evaluations on the given worker pool.
+    pub fn with_workers(mut self, workers: WorkerPool) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounds the memoizing evaluation cache.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.memo = MemoCache::new(capacity);
+        self
+    }
+
+    /// Counters of the memoizing evaluation cache.
+    pub fn cache_stats(&self) -> runtime::CacheStats {
+        self.memo.stats()
+    }
+
+    /// The worker pool driving batch evaluation.
+    pub fn workers(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    /// Evaluates an accelerator on all workloads (summed latency) — the
+    /// serial reference path; batch evaluation must agree with it exactly.
     pub fn app_metrics(
         explorer: &SoftwareExplorer,
         workloads: &[Workload],
@@ -137,6 +224,25 @@ impl<'a> HwProblem<'a> {
         }
         Some(Metrics::sequential(&parts))
     }
+
+    /// Stable 128-bit memoization key for one (accelerator, workload)
+    /// evaluation: the precomputed (workload, options, seed) bases
+    /// extended by the accelerator config.
+    fn pair_key(&self, cfg: &AcceleratorConfig, workload_idx: usize) -> (u64, u64) {
+        let (mut lo, mut hi) = self.pair_bases[workload_idx].clone();
+        cfg.fingerprint_into(&mut lo);
+        cfg.fingerprint_into(&mut hi);
+        (lo.finish().0, hi.finish().0)
+    }
+
+    /// Total (design point, workload) evaluations requested so far.
+    pub fn sw_requests(&self) -> usize {
+        self.sw_requests
+    }
+
+    fn objectives_of(metrics: &Metrics) -> Vec<f64> {
+        vec![metrics.latency_cycles, metrics.power_mw, metrics.area_mm2]
+    }
 }
 
 impl Problem for HwProblem<'_> {
@@ -149,18 +255,109 @@ impl Problem for HwProblem<'_> {
     }
 
     fn evaluate(&mut self, point: &Point) -> Option<Vec<f64>> {
-        if let Some(cached) = self.cache.get(point) {
-            return cached.clone();
+        self.evaluate_batch(std::slice::from_ref(point))
+            .pop()
+            .expect("batch of one yields one response")
+    }
+
+    fn evaluate_batch(&mut self, points: &[Point]) -> Vec<Option<Vec<f64>>> {
+        // Stage 1 (serial): answer point-cache hits, decode fresh points
+        // into accelerator configs, and deduplicate within the batch.
+        let mut fresh: Vec<(usize, AcceleratorConfig)> = Vec::new();
+        let mut fresh_points: BTreeSet<Point> = BTreeSet::new();
+        for (i, p) in points.iter().enumerate() {
+            if self.cache.contains_key(p) || fresh_points.contains(p) {
+                continue;
+            }
+            match self.generator.generate(p) {
+                Ok(cfg) => {
+                    fresh_points.insert(p.clone());
+                    fresh.push((i, cfg));
+                }
+                Err(_) => {
+                    self.cache.insert(p.clone(), None);
+                }
+            }
         }
-        let result = (|| {
-            let cfg = self.generator.generate(point).ok()?;
-            let metrics =
-                Self::app_metrics(&self.explorer, self.workloads, &cfg, &self.sw_opts)?;
-            self.evaluated.push((point.clone(), metrics));
-            Some(vec![metrics.latency_cycles, metrics.power_mw, metrics.area_mm2])
-        })();
-        self.cache.insert(point.clone(), result.clone());
-        result
+
+        // Stage 2 (serial): expand fresh points into (config, workload)
+        // pairs; memoized pairs are answered without occupying a worker,
+        // and pairs sharing a fingerprint *within* the batch (equivalent
+        // workloads, coinciding configs) are dispatched once.
+        let mut pair_results: Vec<Vec<Option<Option<Metrics>>>> = fresh
+            .iter()
+            .map(|_| vec![None; self.workloads.len()])
+            .collect();
+        let mut jobs: Vec<(usize, usize, (u64, u64))> = Vec::new();
+        let mut duplicates: Vec<(usize, usize, (u64, u64))> = Vec::new();
+        let mut pending: BTreeSet<(u64, u64)> = BTreeSet::new();
+        self.sw_requests += fresh.len() * self.workloads.len();
+        for (fi, (_, cfg)) in fresh.iter().enumerate() {
+            for (wi, slot) in pair_results[fi].iter_mut().enumerate() {
+                let key = self.pair_key(cfg, wi);
+                // Duplicates of a key already dispatched in this batch skip
+                // the memo probe: they are resolved (and counted as hits)
+                // in stage 4, once the first occurrence has been computed.
+                if pending.contains(&key) {
+                    duplicates.push((fi, wi, key));
+                    continue;
+                }
+                match self.memo.get(&key) {
+                    Some(memoized) => *slot = Some(memoized),
+                    None => {
+                        pending.insert(key);
+                        jobs.push((fi, wi, key));
+                    }
+                }
+            }
+        }
+
+        // Stage 3 (parallel): run the software explorer for every
+        // non-memoized pair. Each job is a pure function of
+        // (seed, config, workload, options), so completion order is
+        // irrelevant — the pool reassembles in submission order.
+        let explorer = &self.explorer;
+        let workloads = self.workloads;
+        let sw_opts = &self.sw_opts;
+        let fresh_ref = &fresh;
+        let outcomes = self.workers.map(&jobs, |_, &(fi, wi, _)| {
+            explorer
+                .best_metrics(&workloads[wi], &fresh_ref[fi].1, sw_opts)
+                .ok()
+        });
+
+        // Stage 4 (serial): memoize and reassemble per point, in
+        // submission order.
+        let mut fresh_outcomes: BTreeMap<(u64, u64), Option<Metrics>> = BTreeMap::new();
+        for (&(fi, wi, key), outcome) in jobs.iter().zip(outcomes) {
+            self.memo.insert(key, outcome);
+            fresh_outcomes.insert(key, outcome);
+            pair_results[fi][wi] = Some(outcome);
+        }
+        for (fi, wi, key) in duplicates {
+            // The memo lookup both answers the duplicate and credits the
+            // hit; the local map covers the pathological case where a
+            // tiny cache already evicted the entry.
+            let outcome = self.memo.get(&key).unwrap_or_else(|| fresh_outcomes[&key]);
+            pair_results[fi][wi] = Some(outcome);
+        }
+        for ((i, _), per_workload) in fresh.iter().zip(pair_results) {
+            let parts: Option<Vec<Metrics>> = per_workload
+                .into_iter()
+                .map(|m| m.expect("every pair was resolved"))
+                .collect();
+            let response = parts.map(|parts| {
+                let metrics = Metrics::sequential(&parts);
+                self.evaluated.push((points[*i].clone(), metrics));
+                Self::objectives_of(&metrics)
+            });
+            self.cache.insert(points[*i].clone(), response);
+        }
+
+        points
+            .iter()
+            .map(|p| self.cache.get(p).expect("every point was resolved").clone())
+            .collect()
     }
 }
 
@@ -193,14 +390,18 @@ impl CoDesigner {
             return Err(HascoError::EmptyApp);
         }
         let generator = Self::make_generator(input.method);
+        let workers = WorkerPool::new(resolve_threads(self.opts.threads));
 
-        // Step 2: hardware DSE with software-in-the-loop evaluation.
+        // Step 2: hardware DSE with software-in-the-loop evaluation,
+        // batched onto the evaluation runtime.
         let mut problem = HwProblem::new(
             generator.as_ref(),
             &input.app.workloads,
             self.opts.sw_inner.clone(),
             self.opts.seed,
-        );
+        )
+        .with_workers(workers.clone())
+        .with_cache_capacity(self.opts.cache_capacity);
         let mut mobo = Mobo::new(self.opts.seed).with_prior_samples(self.opts.mobo_prior);
         let mut history = mobo.run(&mut problem, self.opts.hw_trials);
         if history.evaluations.is_empty() {
@@ -216,9 +417,8 @@ impl CoDesigner {
         let mut round = 0;
         while !solution.meets_constraints && round < self.opts.tuning_rounds {
             round += 1;
-            let mut retune =
-                Mobo::new(self.opts.seed.wrapping_add(round as u64 * 0x9e37))
-                    .with_prior_samples(self.opts.mobo_prior);
+            let mut retune = Mobo::new(self.opts.seed.wrapping_add(round as u64 * 0x9e37))
+                .with_prior_samples(self.opts.mobo_prior);
             let extra = retune.run(&mut problem, self.opts.hw_trials);
             for e in extra.evaluations {
                 if !history.evaluations.iter().any(|h| h.point == e.point) {
@@ -237,6 +437,12 @@ impl CoDesigner {
         // The solution reports the full (merged) exploration history even
         // when a retuning round did not improve on the incumbent.
         solution.hw_history = history;
+        solution.stats = RunStats {
+            threads: workers.threads(),
+            hw_evaluations: solution.hw_history.evaluations.len(),
+            sw_explorations: problem.sw_requests(),
+            cache: problem.cache_stats(),
+        };
         Ok(solution)
     }
 
@@ -266,10 +472,12 @@ impl CoDesigner {
         cfg: AcceleratorConfig,
         hw_history: dse::problem::OptimizerResult,
     ) -> Result<Solution, HascoError> {
+        let workers = WorkerPool::new(resolve_threads(self.opts.threads));
         let explorer = SoftwareExplorer::new(self.opts.seed);
-        let mut per_workload = Vec::with_capacity(input.app.len());
-        let mut parts = Vec::with_capacity(input.app.len());
-        for w in &input.app.workloads {
+        // The thorough per-workload explorations are independent pure
+        // runs, so they fan out across the pool; errors are reported in
+        // workload order (first failure wins), matching the serial path.
+        let outcomes = workers.map(&input.app.workloads, |_, w| {
             let optimized = explorer
                 .optimize(w, &cfg, &self.opts.sw_final)
                 .map_err(|e| HascoError::Software(format!("{}: {e}", w.name)))?;
@@ -277,13 +485,19 @@ impl CoDesigner {
             let ctx = sw_opt::schedule::ScheduleContext::new(w, &intr)
                 .map_err(|e| HascoError::Software(e.to_string()))?;
             let program = sw_opt::codegen::render(&optimized.schedule, &ctx);
-            parts.push(optimized.metrics);
-            per_workload.push(WorkloadSolution {
+            Ok(WorkloadSolution {
                 workload: w.name.clone(),
                 schedule: optimized.schedule,
                 metrics: optimized.metrics,
                 program,
-            });
+            })
+        });
+        let mut per_workload = Vec::with_capacity(input.app.len());
+        let mut parts = Vec::with_capacity(input.app.len());
+        for outcome in outcomes {
+            let ws = outcome?;
+            parts.push(ws.metrics);
+            per_workload.push(ws);
         }
         let total = Metrics::sequential(&parts);
         Ok(Solution {
@@ -292,6 +506,10 @@ impl CoDesigner {
             per_workload,
             total,
             hw_history,
+            stats: RunStats {
+                threads: workers.threads(),
+                ..RunStats::default()
+            },
         })
     }
 }
@@ -319,7 +537,9 @@ mod tests {
 
     #[test]
     fn codesign_produces_complete_solution() {
-        let solution = CoDesigner::new(CoDesignOptions::quick(1)).run(&toy_input()).unwrap();
+        let solution = CoDesigner::new(CoDesignOptions::quick(1))
+            .run(&toy_input())
+            .unwrap();
         assert_eq!(solution.per_workload.len(), 2);
         assert!(solution.total.latency_ms > 0.0);
         assert!(solution.meets_constraints);
@@ -332,7 +552,9 @@ mod tests {
         let mut input = toy_input();
         input.app = TensorApp::new("empty", vec![]);
         assert_eq!(
-            CoDesigner::new(CoDesignOptions::quick(0)).run(&input).unwrap_err(),
+            CoDesigner::new(CoDesignOptions::quick(0))
+                .run(&input)
+                .unwrap_err(),
             HascoError::EmptyApp
         );
     }
@@ -347,7 +569,11 @@ mod tests {
         let co = designer.run(&input).unwrap();
         let baseline_cfg = hw_gen::GemminiGenerator::baseline(false);
         let base = designer
-            .finalize(&input, baseline_cfg, dse::problem::OptimizerResult::new("fixed"))
+            .finalize(
+                &input,
+                baseline_cfg,
+                dse::problem::OptimizerResult::new("fixed"),
+            )
             .unwrap();
         assert!(
             co.total.latency_cycles <= base.total.latency_cycles * 1.05,
@@ -399,10 +625,73 @@ mod tests {
     }
 
     #[test]
+    fn hw_problem_memoizes_repeated_pairs_across_points() {
+        // Two points whose configs coincide on everything the fingerprint
+        // sees hit the memo cache instead of re-running the explorer.
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let mut p = HwProblem::new(
+            &generator,
+            &input.app.workloads,
+            CoDesignOptions::quick(0).sw_inner,
+            0,
+        );
+        let point = vec![0; p.space().len()];
+        let _ = p.evaluate(&point);
+        let misses_after_first = p.cache_stats().misses;
+        assert!(misses_after_first >= input.app.len() as u64);
+        // Re-evaluating the same point is answered by the point cache; the
+        // memo cache is not even consulted.
+        let _ = p.evaluate(&point);
+        assert_eq!(p.cache_stats().misses, misses_after_first);
+        assert_eq!(p.cache_stats().inserts, misses_after_first);
+    }
+
+    #[test]
+    fn hw_problem_batches_match_serial_at_any_worker_count() {
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let sw = CoDesignOptions::quick(0).sw_inner;
+        let points: Vec<Point> = {
+            let probe = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0);
+            let dims = probe.space().dim_sizes.clone();
+            (0..6)
+                .map(|k| dims.iter().map(|&s| k % s).collect())
+                .collect()
+        };
+        let mut serial = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0);
+        let mut parallel = HwProblem::new(&generator, &input.app.workloads, sw, 0)
+            .with_workers(WorkerPool::new(4));
+        let a = serial.evaluate_batch(&points);
+        let b = parallel.evaluate_batch(&points);
+        assert_eq!(a, b);
+        assert_eq!(serial.evaluated.len(), parallel.evaluated.len());
+        for ((pa, ma), (pb, mb)) in serial.evaluated.iter().zip(&parallel.evaluated) {
+            assert_eq!(pa, pb);
+            assert_eq!(ma.latency_cycles, mb.latency_cycles);
+        }
+    }
+
+    #[test]
+    fn codesign_threads_do_not_change_the_solution() {
+        let input = toy_input();
+        let serial = CoDesigner::new(CoDesignOptions::quick(6))
+            .run(&input)
+            .unwrap();
+        let parallel = CoDesigner::new(CoDesignOptions::quick(6).with_threads(4))
+            .run(&input)
+            .unwrap();
+        assert_eq!(serial.accelerator, parallel.accelerator);
+        assert_eq!(serial.total.latency_cycles, parallel.total.latency_cycles);
+        assert_eq!(serial.hw_history, parallel.hw_history);
+        assert_eq!(parallel.stats.threads, 4);
+        assert!(parallel.stats.hw_evaluations > 0);
+    }
+
+    #[test]
     fn chisel_method_works_too() {
         let mut input = toy_input();
-        input.method =
-            GenerationMethod::Chisel(tensor_ir::intrinsics::IntrinsicKind::Gemm);
+        input.method = GenerationMethod::Chisel(tensor_ir::intrinsics::IntrinsicKind::Gemm);
         let mut opts = CoDesignOptions::quick(2);
         opts.hw_trials = 6;
         let solution = CoDesigner::new(opts).run(&input).unwrap();

@@ -29,9 +29,9 @@ impl Constraints {
 
     /// True when the metrics satisfy every set constraint.
     pub fn satisfied_by(&self, m: &accel_model::Metrics) -> bool {
-        self.max_latency_ms.map_or(true, |c| m.latency_ms <= c)
-            && self.max_power_mw.map_or(true, |c| m.power_mw <= c)
-            && self.max_area_mm2.map_or(true, |c| m.area_mm2 <= c)
+        self.max_latency_ms.is_none_or(|c| m.latency_ms <= c)
+            && self.max_power_mw.is_none_or(|c| m.power_mw <= c)
+            && self.max_area_mm2.is_none_or(|c| m.area_mm2 <= c)
     }
 
     /// Relative violation magnitude (0.0 when satisfied); used to pick the

@@ -33,11 +33,7 @@ impl WorkloadPartition {
 /// Enumerates the partition space of an application against the four
 /// common intrinsics (or a caller-selected subset). PE count sizes the
 /// intrinsic geometry, but matching only depends on structure.
-pub fn partition_app(
-    app: &TensorApp,
-    kinds: &[IntrinsicKind],
-    pes: u64,
-) -> Vec<WorkloadPartition> {
+pub fn partition_app(app: &TensorApp, kinds: &[IntrinsicKind], pes: u64) -> Vec<WorkloadPartition> {
     let opts = MatchOptions::default();
     app.workloads
         .iter()
@@ -49,7 +45,10 @@ pub fn partition_app(
                     (k, find_tensorize_choices(&w.comp, &intr.comp, &opts))
                 })
                 .collect();
-            WorkloadPartition { workload: w.name.clone(), per_intrinsic }
+            WorkloadPartition {
+                workload: w.name.clone(),
+                per_intrinsic,
+            }
         })
         .collect()
 }

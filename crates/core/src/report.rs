@@ -1,5 +1,50 @@
 //! Plain-text table formatting for the experiment harnesses (the bench
-//! binaries print paper-style rows through these helpers).
+//! binaries print paper-style rows through these helpers), plus the
+//! runtime-subsystem report attached to every solution.
+
+use runtime::CacheStats;
+
+/// Execution statistics of one co-design run: how the parallel evaluation
+/// runtime and its memoizing cost-model cache were used.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Evaluation worker threads used.
+    pub threads: usize,
+    /// Feasible hardware design points evaluated (full app metrics).
+    pub hw_evaluations: usize,
+    /// Software explorations requested, memoized or not (one per
+    /// (design point, workload) pair).
+    pub sw_explorations: usize,
+    /// Memoizing evaluation-cache counters.
+    pub cache: CacheStats,
+}
+
+impl RunStats {
+    /// Renders the stats as a report table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["runtime", "value"]);
+        t.row(vec!["threads".into(), self.threads.to_string()]);
+        t.row(vec![
+            "hw evaluations".into(),
+            self.hw_evaluations.to_string(),
+        ]);
+        t.row(vec![
+            "sw explorations".into(),
+            self.sw_explorations.to_string(),
+        ]);
+        t.row(vec!["cache hits".into(), self.cache.hits.to_string()]);
+        t.row(vec!["cache misses".into(), self.cache.misses.to_string()]);
+        t.row(vec![
+            "cache evictions".into(),
+            self.cache.evictions.to_string(),
+        ]);
+        t.row(vec![
+            "cache hit rate".into(),
+            format!("{:.1}%", self.cache.hit_rate() * 100.0),
+        ]);
+        t.render()
+    }
+}
 
 /// A simple fixed-width text table.
 #[derive(Debug, Clone, Default)]
@@ -11,7 +56,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row.

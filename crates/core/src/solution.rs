@@ -6,6 +6,8 @@ use accel_model::Metrics;
 use dse::problem::OptimizerResult;
 use sw_opt::schedule::Schedule;
 
+use crate::report::RunStats;
+
 /// The per-workload software half of a solution.
 #[derive(Debug, Clone)]
 pub struct WorkloadSolution {
@@ -32,12 +34,17 @@ pub struct Solution {
     pub meets_constraints: bool,
     /// The hardware DSE history (for hypervolume/convergence reporting).
     pub hw_history: OptimizerResult,
+    /// Evaluation-runtime statistics (thread count, cache behavior).
+    pub stats: RunStats,
 }
 
 impl Solution {
     /// Latency of one workload by name, if present.
     pub fn workload_latency_ms(&self, name: &str) -> Option<f64> {
-        self.per_workload.iter().find(|w| w.workload == name).map(|w| w.metrics.latency_ms)
+        self.per_workload
+            .iter()
+            .find(|w| w.workload == name)
+            .map(|w| w.metrics.latency_ms)
     }
 }
 
@@ -49,7 +56,11 @@ impl std::fmt::Display for Solution {
             "total: {} ({} workloads, constraints {})",
             self.total,
             self.per_workload.len(),
-            if self.meets_constraints { "met" } else { "violated" }
+            if self.meets_constraints {
+                "met"
+            } else {
+                "violated"
+            }
         )
     }
 }
@@ -61,7 +72,9 @@ mod tests {
 
     #[test]
     fn display_and_lookup() {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let m = Metrics {
             latency_cycles: 100.0,
             latency_ms: 0.1,
@@ -77,8 +90,10 @@ mod tests {
             total: m,
             meets_constraints: true,
             hw_history: OptimizerResult::new("mobo"),
+            stats: RunStats::default(),
         };
         assert!(s.to_string().contains("constraints met"));
         assert_eq!(s.workload_latency_ms("nope"), None);
+        assert!(s.stats.render().contains("cache hit rate"));
     }
 }

@@ -40,7 +40,9 @@ pub fn select_point(history: &OptimizerResult, constraints: &Constraints) -> Opt
         .iter()
         .filter(|e| constraints.satisfied_by(&objectives_to_view(&e.objectives)))
         .min_by(|a, b| {
-            a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite latency")
+            a.objectives[0]
+                .partial_cmp(&b.objectives[0])
+                .expect("finite latency")
         });
     if let Some(e) = feasible {
         return Some(e.point.clone());
@@ -63,7 +65,10 @@ mod tests {
     fn history(objs: &[[f64; 3]]) -> OptimizerResult {
         let mut h = OptimizerResult::new("test");
         for (i, o) in objs.iter().enumerate() {
-            h.evaluations.push(Evaluation { point: vec![i], objectives: o.to_vec() });
+            h.evaluations.push(Evaluation {
+                point: vec![i],
+                objectives: o.to_vec(),
+            });
         }
         h
     }
@@ -72,9 +77,9 @@ mod tests {
     fn picks_lowest_latency_feasible_pareto_point() {
         // Points: (cycles, mW, mm2). At 500 MHz, 5e8 cycles = 1000 ms.
         let h = history(&[
-            [5e8, 100.0, 10.0],  // 1000 ms
+            [5e8, 100.0, 10.0],   // 1000 ms
             [2.5e8, 200.0, 20.0], // 500 ms
-            [1e8, 900.0, 50.0],  // 200 ms but power-hungry
+            [1e8, 900.0, 50.0],   // 200 ms but power-hungry
         ]);
         let c = Constraints::latency_power(800.0, 500.0);
         // Feasible: #1 (500 ms, 200 mW). #2 violates power.

@@ -79,11 +79,12 @@ impl GaussianProcess {
                 y_mean,
                 y_std,
             };
-            if best.as_ref().map_or(true, |(b, _)| lml > *b) {
+            if best.as_ref().is_none_or(|(b, _)| lml > *b) {
                 best = Some((lml, gp));
             }
         }
-        best.map(|(_, gp)| gp).ok_or(LinalgError::NotPositiveDefinite)
+        best.map(|(_, gp)| gp)
+            .ok_or(LinalgError::NotPositiveDefinite)
     }
 
     /// The selected RBF length scale.
@@ -93,14 +94,20 @@ impl GaussianProcess {
 
     /// Posterior mean and standard deviation at `x`.
     pub fn predict(&self, x: &[f64]) -> Posterior {
-        let kstar: Vec<f64> =
-            self.xs.iter().map(|xi| rbf(xi, x, self.length_scale, self.signal_var)).collect();
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| rbf(xi, x, self.length_scale, self.signal_var))
+            .collect();
         let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
         // var = k(x,x) + σn² − k*ᵀ K⁻¹ k* via the Cholesky factor.
         let v = linalg::solve_lower(&self.chol, &kstar);
         let explained: f64 = v.iter().map(|x| x * x).sum();
         let var_n = (self.signal_var + self.noise_var - explained).max(1e-12);
-        Posterior { mean: mean_n * self.y_std + self.y_mean, std: var_n.sqrt() * self.y_std }
+        Posterior {
+            mean: mean_n * self.y_std + self.y_mean,
+            std: var_n.sqrt() * self.y_std,
+        }
     }
 }
 

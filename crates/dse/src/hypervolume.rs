@@ -50,16 +50,17 @@ fn hso(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     let mut volume = 0.0;
     for k in 0..sorted.len() {
         let z_lo = sorted[k][axis];
-        let z_hi = if k + 1 < sorted.len() { sorted[k + 1][axis] } else { reference[axis] };
+        let z_hi = if k + 1 < sorted.len() {
+            sorted[k + 1][axis]
+        } else {
+            reference[axis]
+        };
         let depth = z_hi - z_lo;
         if depth <= 0.0 {
             continue;
         }
         // Points active in this slice: those with coordinate <= z_lo.
-        let active: Vec<Vec<f64>> = sorted[..=k]
-            .iter()
-            .map(|p| p[..axis].to_vec())
-            .collect();
+        let active: Vec<Vec<f64>> = sorted[..=k].iter().map(|p| p[..axis].to_vec()).collect();
         let sub_ref = &reference[..axis];
         // Non-dominated filtering of the projection keeps the recursion
         // cheap.
@@ -75,8 +76,11 @@ fn hso(points: &[Vec<f64>], reference: &[f64]) -> f64 {
 /// dominates, given the box's ideal corner. Useful for plotting Fig. 10's
 /// "normalized hypervolume" axis.
 pub fn normalized_hypervolume(points: &[Vec<f64>], ideal: &[f64], reference: &[f64]) -> f64 {
-    let total: f64 =
-        ideal.iter().zip(reference.iter()).map(|(i, r)| (r - i).max(1e-300)).product();
+    let total: f64 = ideal
+        .iter()
+        .zip(reference.iter())
+        .map(|(i, r)| (r - i).max(1e-300))
+        .product();
     hypervolume(points, reference) / total
 }
 
@@ -124,7 +128,10 @@ mod tests {
         // [0,0,1] vs ref [2,2,2]:
         // box A = (2-1)(2-1)(2-0) = 2; box B = (2)(2)(2-1) = 4;
         // overlap = (2-1)(2-1)(2-1) = 1; union = 5.
-        let hv = hypervolume(&[vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]], &[2.0, 2.0, 2.0]);
+        let hv = hypervolume(
+            &[vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]],
+            &[2.0, 2.0, 2.0],
+        );
         assert!((hv - 5.0).abs() < 1e-12, "hv = {hv}");
     }
 
@@ -138,7 +145,11 @@ mod tests {
 
     #[test]
     fn hv_is_permutation_invariant() {
-        let pts = vec![vec![1.0, 5.0, 3.0], vec![2.0, 2.0, 4.0], vec![4.0, 1.0, 1.0]];
+        let pts = vec![
+            vec![1.0, 5.0, 3.0],
+            vec![2.0, 2.0, 4.0],
+            vec![4.0, 1.0, 1.0],
+        ];
         let r = [6.0, 6.0, 6.0];
         let a = hypervolume(&pts, &r);
         let mut rev = pts.clone();

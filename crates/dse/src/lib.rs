@@ -45,7 +45,11 @@ pub mod pareto;
 pub mod problem;
 pub mod random;
 
-pub use problem::{Evaluation, OptimizerResult, Point, Problem, SearchSpace};
+pub use problem::{Evaluation, EvaluatorProblem, OptimizerResult, Point, Problem, SearchSpace};
+// The batch-evaluation seam: optimizers hand candidate batches to
+// `Problem::evaluate_batch`; `EvaluatorProblem` adapts any standalone
+// `BatchEvaluator` engine into that interface.
+pub use runtime::{BatchEvaluator, WorkerPool};
 
 /// A budgeted multi-objective optimizer over a discrete space.
 pub trait Optimizer {
@@ -55,4 +59,152 @@ pub trait Optimizer {
 
     /// Name for reports.
     fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod batch_seam_tests {
+    //! The seam contract: an optimizer driven through a problem with a
+    //! custom `evaluate_batch` (here instrumented, as a parallel runtime
+    //! would be) produces exactly the history the serial default produces.
+
+    use crate::anneal::Annealer;
+    use crate::mobo::Mobo;
+    use crate::nsga2::Nsga2;
+    use crate::problem::{Point, Problem, SearchSpace};
+    use crate::Optimizer;
+
+    fn objectives(p: &Point) -> Option<Vec<f64>> {
+        // A hole makes infeasible paths exercise too.
+        if (p[0] + p[1]).is_multiple_of(5) {
+            return None;
+        }
+        let x = p[0] as f64 / 12.0;
+        let y = p[1] as f64 / 12.0;
+        Some(vec![0.1 + x * x + y, 0.1 + (1.0 - x) * (1.0 - x) + y])
+    }
+
+    struct Serial(SearchSpace);
+    impl Problem for Serial {
+        fn space(&self) -> &SearchSpace {
+            &self.0
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+            objectives(p)
+        }
+    }
+
+    struct Batched {
+        space: SearchSpace,
+        batch_calls: usize,
+        largest_batch: usize,
+    }
+    impl Problem for Batched {
+        fn space(&self) -> &SearchSpace {
+            &self.space
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
+            objectives(p)
+        }
+        fn evaluate_batch(&mut self, points: &[Point]) -> Vec<Option<Vec<f64>>> {
+            self.batch_calls += 1;
+            self.largest_batch = self.largest_batch.max(points.len());
+            points.iter().map(objectives).collect()
+        }
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![13, 13])
+    }
+
+    #[test]
+    fn optimizers_route_batches_through_the_seam() {
+        let mut b = Batched {
+            space: space(),
+            batch_calls: 0,
+            largest_batch: 0,
+        };
+        let _ = Nsga2::new(3).with_population(6).run(&mut b, 30);
+        assert!(b.batch_calls > 0, "NSGA-II never used the batch seam");
+        assert!(b.largest_batch > 1, "NSGA-II batches were all singletons");
+
+        let mut b = Batched {
+            space: space(),
+            batch_calls: 0,
+            largest_batch: 0,
+        };
+        let _ = Mobo::new(3).with_prior_samples(6).run(&mut b, 12);
+        assert!(b.largest_batch > 1, "MOBO prior burst was not batched");
+
+        let mut b = Batched {
+            space: space(),
+            batch_calls: 0,
+            largest_batch: 0,
+        };
+        let _ = Annealer::new(3).with_probe_batch(4).run(&mut b, 20);
+        assert!(b.largest_batch > 1, "annealer probes were not batched");
+    }
+
+    #[test]
+    fn optimizers_accept_a_batch_evaluator_engine() {
+        // The runtime seam end to end: a bare `BatchEvaluator` engine,
+        // adapted through `EvaluatorProblem`, drives an optimizer to the
+        // exact history the hand-written serial problem produces.
+        use crate::problem::EvaluatorProblem;
+        use runtime::batch::FnEvaluator;
+
+        let engine = FnEvaluator::new(|p: &Point| objectives(p));
+        let mut adapted = EvaluatorProblem::new(space(), 2, engine);
+        let mut serial = Serial(space());
+        assert_eq!(
+            Mobo::new(5).with_prior_samples(5).run(&mut adapted, 15),
+            Mobo::new(5).with_prior_samples(5).run(&mut serial, 15),
+        );
+    }
+
+    #[test]
+    fn batched_and_serial_histories_are_identical() {
+        for seed in 0..3 {
+            let mut s = Serial(space());
+            let mut b = Batched {
+                space: space(),
+                batch_calls: 0,
+                largest_batch: 0,
+            };
+            assert_eq!(
+                Nsga2::new(seed).with_population(5).run(&mut s, 25),
+                Nsga2::new(seed).with_population(5).run(&mut b, 25),
+                "nsga2 seed {seed}"
+            );
+
+            let mut s = Serial(space());
+            let mut b = Batched {
+                space: space(),
+                batch_calls: 0,
+                largest_batch: 0,
+            };
+            assert_eq!(
+                Mobo::new(seed).with_prior_samples(5).run(&mut s, 15),
+                Mobo::new(seed).with_prior_samples(5).run(&mut b, 15),
+                "mobo seed {seed}"
+            );
+
+            let mut s = Serial(space());
+            let mut b = Batched {
+                space: space(),
+                batch_calls: 0,
+                largest_batch: 0,
+            };
+            assert_eq!(
+                Annealer::new(seed).with_probe_batch(3).run(&mut s, 20),
+                Annealer::new(seed).with_probe_batch(3).run(&mut b, 20),
+                "anneal seed {seed}"
+            );
+        }
+    }
 }

@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a closure over (row, col).
@@ -155,8 +159,8 @@ mod tests {
         Matrix::from_fn(3, 3, |r, c| {
             let b = [[1.0, 2.0, 0.5], [0.0, 1.0, 1.0], [0.7, 0.3, 2.0]];
             let mut s = 0.0;
-            for k in 0..3 {
-                s += b[k][r] * b[k][c];
+            for bk in &b {
+                s += bk[r] * bk[c];
             }
             s + if r == c { 1.0 } else { 0.0 }
         })

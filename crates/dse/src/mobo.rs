@@ -28,13 +28,25 @@ pub struct Mobo {
     /// Monte-Carlo samples per candidate for the expected hypervolume
     /// improvement.
     pub mc_samples: usize,
+    /// Every `explore_every`-th acquisition evaluates a fresh random point
+    /// instead of the EHVI argmax. The GP is confidently mediocre far from
+    /// its training data, so pure EHVI degenerates into local refinement
+    /// around the prior's incumbents; interleaved exploration keeps
+    /// feeding the surrogate distant regions (`0` disables).
+    pub explore_every: usize,
 }
 
 impl Mobo {
     /// Creates MOBO with the paper's §VII-C configuration (10 prior
     /// samples).
     pub fn new(seed: u64) -> Self {
-        Mobo { seed, prior_samples: 10, candidate_pool: 192, mc_samples: 24 }
+        Mobo {
+            seed,
+            prior_samples: 10,
+            candidate_pool: 192,
+            mc_samples: 24,
+            explore_every: 3,
+        }
     }
 
     /// Sets the prior sample count (the paper uses 5 in the 20-trial study
@@ -69,14 +81,17 @@ impl Optimizer for Mobo {
 
         let mut trials = 0usize;
         let try_evaluate = |p: &Point,
-                                problem: &mut dyn Problem,
-                                result: &mut OptimizerResult,
-                                trials: &mut usize|
+                            problem: &mut dyn Problem,
+                            result: &mut OptimizerResult,
+                            trials: &mut usize|
          -> bool {
             *trials += 1;
             match problem.evaluate(p) {
                 Some(objs) => {
-                    result.evaluations.push(Evaluation { point: p.clone(), objectives: objs });
+                    result.evaluations.push(Evaluation {
+                        point: p.clone(),
+                        objectives: objs,
+                    });
                     true
                 }
                 None => {
@@ -86,22 +101,55 @@ impl Optimizer for Mobo {
             }
         };
 
-        // Line 1: init the prior D with random samples.
+        // Line 1: init the prior D with random samples. The prior points
+        // are independent, so they are drawn as one burst and handed to
+        // the problem as a batch — the runtime seam that lets co-design
+        // problems evaluate them on parallel workers. Burst sizes depend
+        // only on the budget, never on thread count, so fixed-seed runs
+        // are identical at any parallelism.
         let mut guard = 0;
         while result.evaluations.len() < self.prior_samples
             && trials < max_evals
             && guard < max_evals * 50
         {
-            guard += 1;
-            let p = problem.space().random_point(&mut rng);
-            if !seen.insert(p.clone()) {
-                continue;
+            let want = (self.prior_samples - result.evaluations.len()).min(max_evals - trials);
+            let mut batch: Vec<Point> = Vec::with_capacity(want);
+            while batch.len() < want && guard < max_evals * 50 {
+                guard += 1;
+                let p = problem.space().random_point(&mut rng);
+                if seen.insert(p.clone()) {
+                    batch.push(p);
+                }
             }
-            try_evaluate(&p, problem, &mut result, &mut trials);
+            if batch.is_empty() {
+                break;
+            }
+            trials += batch.len();
+            for (p, objs) in batch.iter().zip(problem.evaluate_batch(&batch)) {
+                match objs {
+                    Some(objs) => {
+                        result.evaluations.push(Evaluation {
+                            point: p.clone(),
+                            objectives: objs,
+                        });
+                    }
+                    None => result.infeasible += 1,
+                }
+            }
         }
 
         // Lines 2–9: iterate — fit surrogate, acquire, evaluate, update.
+        let mut acquisitions = 0usize;
         while trials < max_evals {
+            acquisitions += 1;
+            if self.explore_every > 0 && acquisitions.is_multiple_of(self.explore_every) {
+                // Scheduled exploration step (see `explore_every`).
+                let p = problem.space().random_point(&mut rng);
+                if seen.insert(p.clone()) {
+                    try_evaluate(&p, problem, &mut result, &mut trials);
+                    continue;
+                }
+            }
             if result.evaluations.len() < 2 {
                 // Not enough data for a surrogate; keep sampling randomly.
                 let p = problem.space().random_point(&mut rng);
@@ -140,21 +188,45 @@ impl Optimizer for Mobo {
                 continue;
             }
 
-            // Current front and reference point in log space.
-            let log_objs: Vec<Vec<f64>> =
-                result.evaluations.iter().map(|e| log_scale(&e.objectives)).collect();
-            let refs: Vec<&[f64]> = log_objs.iter().map(|v| v.as_slice()).collect();
-            let front: Vec<Vec<f64>> =
-                pareto_indices(&refs).into_iter().map(|i| log_objs[i].clone()).collect();
-            let mut reference = vec![f64::NEG_INFINITY; m];
+            // Current front and reference point in *normalized* log space.
+            // Each log-objective is rescaled to [0, 1] over its observed
+            // range before hypervolume computation: without this, the
+            // objective spanning the widest log range (often power or
+            // area) dominates the expected improvement and the acquisition
+            // ignores latency — the unit-cube normalization standard for
+            // EHVI keeps all objectives competitive.
+            let log_objs: Vec<Vec<f64>> = result
+                .evaluations
+                .iter()
+                .map(|e| log_scale(&e.objectives))
+                .collect();
+            let mut lo = vec![f64::INFINITY; m];
+            let mut hi = vec![f64::NEG_INFINITY; m];
             for o in &log_objs {
-                for (r, &v) in reference.iter_mut().zip(o.iter()) {
-                    *r = r.max(v);
+                for ((l, h), &v) in lo.iter_mut().zip(hi.iter_mut()).zip(o.iter()) {
+                    *l = l.min(v);
+                    *h = h.max(v);
                 }
             }
-            for r in &mut reference {
-                *r += 0.5; // margin so boundary points contribute
-            }
+            let normalize = |v: &[f64]| -> Vec<f64> {
+                v.iter()
+                    .zip(lo.iter().zip(hi.iter()))
+                    .map(|(&x, (&l, &h))| {
+                        if h - l < 1e-12 {
+                            0.5
+                        } else {
+                            (x - l) / (h - l)
+                        }
+                    })
+                    .collect()
+            };
+            let refs: Vec<&[f64]> = log_objs.iter().map(|v| v.as_slice()).collect();
+            let front: Vec<Vec<f64>> = pareto_indices(&refs)
+                .into_iter()
+                .map(|i| normalize(&log_objs[i]))
+                .collect();
+            // Margin past the unit cube so boundary points contribute.
+            let reference = vec![1.1; m];
             let base_hv = hypervolume(&front, &reference);
 
             // Candidate pool: random points plus neighbors of Pareto
@@ -187,15 +259,19 @@ impl Optimizer for Mobo {
                 let posts: Vec<_> = gps.iter().map(|gp| gp.predict(&x)).collect();
                 let mut improvement = 0.0;
                 for _ in 0..self.mc_samples {
-                    let sample: Vec<f64> =
-                        posts.iter().map(|p| p.mean + p.std * normal(&mut rng)).collect();
+                    // Posterior samples live in log space; bring them into
+                    // the same normalized cube as the front.
+                    let sample: Vec<f64> = posts
+                        .iter()
+                        .map(|p| p.mean + p.std * normal(&mut rng))
+                        .collect();
                     let mut augmented = front.clone();
-                    augmented.push(sample);
+                    augmented.push(normalize(&sample));
                     let hv = hypervolume(&augmented, &reference);
                     improvement += (hv - base_hv).max(0.0);
                 }
                 improvement /= self.mc_samples as f64;
-                if best.as_ref().map_or(true, |(b, _)| improvement > *b) {
+                if best.as_ref().is_none_or(|(b, _)| improvement > *b) {
                     best = Some((improvement, cand));
                 }
             }
@@ -238,7 +314,9 @@ mod tests {
 
     #[test]
     fn respects_budget() {
-        let mut prob = Smooth { space: SearchSpace::new(vec![20, 20]) };
+        let mut prob = Smooth {
+            space: SearchSpace::new(vec![20, 20]),
+        };
         let r = Mobo::new(0).with_prior_samples(5).run(&mut prob, 20);
         assert!(r.evaluations.len() + r.infeasible <= 20);
         assert!(r.evaluations.len() >= 15);
@@ -246,8 +324,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut p1 = Smooth { space: SearchSpace::new(vec![20, 20]) };
-        let mut p2 = Smooth { space: SearchSpace::new(vec![20, 20]) };
+        let mut p1 = Smooth {
+            space: SearchSpace::new(vec![20, 20]),
+        };
+        let mut p2 = Smooth {
+            space: SearchSpace::new(vec![20, 20]),
+        };
         let a = Mobo::new(4).with_prior_samples(5).run(&mut p1, 15);
         let b = Mobo::new(4).with_prior_samples(5).run(&mut p2, 15);
         assert_eq!(a, b);
@@ -260,8 +342,12 @@ mod tests {
         let reference = [3.0, 3.0];
         let mut wins = 0;
         for seed in 0..5 {
-            let mut p1 = Smooth { space: SearchSpace::new(vec![20, 20]) };
-            let mut p2 = Smooth { space: SearchSpace::new(vec![20, 20]) };
+            let mut p1 = Smooth {
+                space: SearchSpace::new(vec![20, 20]),
+            };
+            let mut p2 = Smooth {
+                space: SearchSpace::new(vec![20, 20]),
+            };
             let mobo = Mobo::new(seed).with_prior_samples(6).run(&mut p1, 25);
             let rand = RandomSearch::new(seed).run(&mut p2, 25);
             let hm = *mobo.hypervolume_history(&reference).last().unwrap();
@@ -284,7 +370,7 @@ mod tests {
                 2
             }
             fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
-                (p[0] % 3 != 0).then(|| vec![p[0] as f64 + 0.5, 10.0 - p[0] as f64])
+                (!p[0].is_multiple_of(3)).then(|| vec![p[0] as f64 + 0.5, 10.0 - p[0] as f64])
             }
         }
         let mut prob = Holey(SearchSpace::new(vec![30]));
@@ -296,6 +382,23 @@ mod tests {
     #[test]
     fn prior_floor_is_two() {
         assert_eq!(Mobo::new(0).with_prior_samples(0).prior_samples, 2);
+    }
+
+    #[test]
+    fn scheduled_exploration_is_deterministic_and_optional() {
+        let run_with = |explore_every: usize| {
+            let mut prob = Smooth {
+                space: SearchSpace::new(vec![20, 20]),
+            };
+            let mut mobo = Mobo::new(8).with_prior_samples(5);
+            mobo.explore_every = explore_every;
+            mobo.run(&mut prob, 20)
+        };
+        // The knob is deterministic per seed...
+        assert_eq!(run_with(0), run_with(0));
+        assert_eq!(run_with(3), run_with(3));
+        // ...and actually changes the trajectory when enabled.
+        assert_ne!(run_with(0), run_with(3));
     }
 
     #[test]

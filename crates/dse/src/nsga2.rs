@@ -26,7 +26,12 @@ pub struct Nsga2 {
 impl Nsga2 {
     /// Creates NSGA-II with the paper's population size of 5.
     pub fn new(seed: u64) -> Self {
-        Nsga2 { seed, population: 5, crossover_prob: 0.9, mutation_prob: 0.0 }
+        Nsga2 {
+            seed,
+            population: 5,
+            crossover_prob: 0.9,
+            mutation_prob: 0.0,
+        }
     }
 
     /// Sets the population size.
@@ -50,42 +55,64 @@ impl Optimizer for Nsga2 {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut result = OptimizerResult::new(self.name());
         let d = problem.space().len();
-        let mut_prob =
-            if self.mutation_prob > 0.0 { self.mutation_prob } else { 1.0 / d.max(1) as f64 };
+        let mut_prob = if self.mutation_prob > 0.0 {
+            self.mutation_prob
+        } else {
+            1.0 / d.max(1) as f64
+        };
 
         let mut budget = max_evals;
-        let evaluate = |p: &Point,
-                            problem: &mut dyn Problem,
-                            result: &mut OptimizerResult,
-                            budget: &mut usize|
-         -> Option<Vec<f64>> {
-            if *budget == 0 {
-                return None;
-            }
-            *budget -= 1;
-            match problem.evaluate(p) {
-                Some(objs) => {
-                    result
-                        .evaluations
-                        .push(Evaluation { point: p.clone(), objectives: objs.clone() });
-                    Some(objs)
+        // Candidates within one generation are independent, so they are
+        // evaluated through the problem's batch seam (parallel for
+        // runtime-backed problems). Batch sizes derive from the population
+        // and remaining budget only — never the thread count — keeping
+        // fixed-seed runs identical at any parallelism.
+        let evaluate_generation = |children: Vec<Point>,
+                                   problem: &mut dyn Problem,
+                                   result: &mut OptimizerResult,
+                                   budget: &mut usize|
+         -> Vec<Individual> {
+            debug_assert!(children.len() <= *budget);
+            *budget -= children.len();
+            let responses = problem.evaluate_batch(&children);
+            let mut fresh = Vec::with_capacity(children.len());
+            for (point, objs) in children.into_iter().zip(responses) {
+                match objs {
+                    Some(objs) => {
+                        result.evaluations.push(Evaluation {
+                            point: point.clone(),
+                            objectives: objs.clone(),
+                        });
+                        fresh.push(Individual {
+                            point,
+                            objectives: objs,
+                        });
+                    }
+                    None => result.infeasible += 1,
                 }
-                None => {
-                    result.infeasible += 1;
-                    None
-                }
             }
+            fresh
         };
 
         // Initial population.
         let mut pop: Vec<Individual> = Vec::new();
         let mut guard = 0;
         while pop.len() < self.population && budget > 0 && guard < max_evals * 10 {
-            guard += 1;
-            let p = problem.space().random_point(&mut rng);
-            if let Some(objs) = evaluate(&p, problem, &mut result, &mut budget) {
-                pop.push(Individual { point: p, objectives: objs });
+            let want = (self.population - pop.len()).min(budget);
+            let mut batch: Vec<Point> = Vec::with_capacity(want);
+            while batch.len() < want && guard < max_evals * 10 {
+                guard += 1;
+                batch.push(problem.space().random_point(&mut rng));
             }
+            if batch.is_empty() {
+                break;
+            }
+            pop.extend(evaluate_generation(
+                batch,
+                problem,
+                &mut result,
+                &mut budget,
+            ));
         }
         if pop.is_empty() {
             return result;
@@ -114,29 +141,35 @@ impl Optimizer for Nsga2 {
                 }
             };
 
-            // Generate offspring.
+            // Generate offspring: breed a whole brood serially (selection,
+            // crossover, and mutation advance the RNG in a fixed order),
+            // then evaluate it as one batch.
             let mut offspring: Vec<Individual> = Vec::new();
             let mut stall = 0;
             while offspring.len() < self.population && budget > 0 && stall < 200 {
-                let pa = &pop[tournament(&mut rng)].point;
-                let pb = &pop[tournament(&mut rng)].point;
-                let mut child: Point = if rng.gen_bool(self.crossover_prob) {
-                    pa.iter()
-                        .zip(pb.iter())
-                        .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
-                        .collect()
-                } else {
-                    pa.clone()
-                };
-                for (g, c) in child.iter_mut().enumerate() {
-                    if rng.gen_bool(mut_prob) {
-                        *c = rng.gen_range(0..problem.space().dim_sizes[g]);
+                let want = (self.population - offspring.len()).min(budget);
+                let mut brood: Vec<Point> = Vec::with_capacity(want);
+                for _ in 0..want {
+                    let pa = &pop[tournament(&mut rng)].point;
+                    let pb = &pop[tournament(&mut rng)].point;
+                    let mut child: Point = if rng.gen_bool(self.crossover_prob) {
+                        pa.iter()
+                            .zip(pb.iter())
+                            .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
+                            .collect()
+                    } else {
+                        pa.clone()
+                    };
+                    for (g, c) in child.iter_mut().enumerate() {
+                        if rng.gen_bool(mut_prob) {
+                            *c = rng.gen_range(0..problem.space().dim_sizes[g]);
+                        }
                     }
+                    brood.push(child);
                 }
-                match evaluate(&child, problem, &mut result, &mut budget) {
-                    Some(objs) => offspring.push(Individual { point: child, objectives: objs }),
-                    None => stall += 1,
-                }
+                let fresh = evaluate_generation(brood, problem, &mut result, &mut budget);
+                stall += want - fresh.len();
+                offspring.extend(fresh);
             }
 
             // Environmental selection over parents + offspring.
@@ -151,7 +184,9 @@ impl Optimizer for Nsga2 {
                     let cd = crowding_distance(&objs, front);
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| {
-                        cd[b].partial_cmp(&cd[a]).expect("crowding distances comparable")
+                        cd[b]
+                            .partial_cmp(&cd[a])
+                            .expect("crowding distances comparable")
                     });
                     for &k in &order {
                         if next.len() == self.population {
@@ -201,8 +236,7 @@ mod tests {
         }
         fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
             let x = p[0] as f64 / 20.0;
-            let g = 1.0
-                + 9.0 * (p[1] as f64 + p[2] as f64 + p[3] as f64) / (3.0 * 20.0);
+            let g = 1.0 + 9.0 * (p[1] as f64 + p[2] as f64 + p[3] as f64) / (3.0 * 20.0);
             Some(vec![x, g * (1.0 - (x / g).sqrt())])
         }
     }
@@ -259,7 +293,7 @@ mod tests {
                 2
             }
             fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
-                ((p[0] + p[1]) % 3 != 0).then(|| vec![p[0] as f64, p[1] as f64])
+                (!(p[0] + p[1]).is_multiple_of(3)).then(|| vec![p[0] as f64, p[1] as f64])
             }
         }
         let mut prob = Holey(SearchSpace::new(vec![10, 10]));

@@ -81,10 +81,15 @@ pub fn crowding_distance(objs: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
         return vec![f64::INFINITY; n];
     }
     let m = objs[front[0]].len();
+    // `obj` is the *inner* subscript of a permuted double index, so a
+    // range loop is the clear form.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            objs[front[a]][obj].partial_cmp(&objs[front[b]][obj]).expect("no NaN objectives")
+            objs[front[a]][obj]
+                .partial_cmp(&objs[front[b]][obj])
+                .expect("no NaN objectives")
         });
         let lo = objs[front[order[0]]][obj];
         let hi = objs[front[order[n - 1]]][obj];
@@ -110,7 +115,9 @@ pub struct ParetoArchive<P> {
 impl<P: Clone + PartialEq> ParetoArchive<P> {
     /// Creates an empty archive.
     pub fn new() -> Self {
-        ParetoArchive { entries: Vec::new() }
+        ParetoArchive {
+            entries: Vec::new(),
+        }
     }
 
     /// Inserts a candidate; returns `true` if it joined the archive (i.e.
@@ -161,8 +168,13 @@ mod tests {
 
     #[test]
     fn pareto_indices_filters_dominated() {
-        let v: Vec<Vec<f64>> =
-            vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![4.0, 1.0], vec![3.0, 3.0], vec![2.0, 2.0]];
+        let v: Vec<Vec<f64>> = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0],
+            vec![2.0, 2.0],
+        ];
         let refs: Vec<&[f64]> = v.iter().map(|x| x.as_slice()).collect();
         // [3,3] dominated by [2,2]; duplicate [2,2] kept once.
         assert_eq!(pareto_indices(&refs), vec![0, 1, 2]);
@@ -185,7 +197,12 @@ mod tests {
 
     #[test]
     fn crowding_boundary_is_infinite() {
-        let objs = vec![vec![1.0, 4.0], vec![2.0, 3.0], vec![3.0, 2.0], vec![4.0, 1.0]];
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ];
         let front = vec![0, 1, 2, 3];
         let d = crowding_distance(&objs, &front);
         assert!(d[0].is_infinite());

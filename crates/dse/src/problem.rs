@@ -21,7 +21,10 @@ impl SearchSpace {
     /// # Panics
     /// Panics if any dimension has zero choices.
     pub fn new(dim_sizes: Vec<usize>) -> Self {
-        assert!(dim_sizes.iter().all(|&s| s > 0), "dimensions must be non-empty");
+        assert!(
+            dim_sizes.iter().all(|&s| s > 0),
+            "dimensions must be non-empty"
+        );
         SearchSpace { dim_sizes }
     }
 
@@ -42,14 +45,23 @@ impl SearchSpace {
 
     /// Uniformly random point.
     pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
-        self.dim_sizes.iter().map(|&s| rng.gen_range(0..s)).collect()
+        self.dim_sizes
+            .iter()
+            .map(|&s| rng.gen_range(0..s))
+            .collect()
     }
 
     /// Normalizes a point into `[0, 1]^d`.
     pub fn normalize(&self, p: &Point) -> Vec<f64> {
         p.iter()
             .zip(self.dim_sizes.iter())
-            .map(|(&c, &s)| if s <= 1 { 0.0 } else { c as f64 / (s - 1) as f64 })
+            .map(|(&c, &s)| {
+                if s <= 1 {
+                    0.0
+                } else {
+                    c as f64 / (s - 1) as f64
+                }
+            })
             .collect()
     }
 
@@ -92,6 +104,64 @@ pub trait Problem {
     /// Evaluates a point, returning `None` when the point is infeasible
     /// (e.g. the generator rejects the configuration).
     fn evaluate(&mut self, point: &Point) -> Option<Vec<f64>>;
+
+    /// Evaluates a batch of points, returning objective vectors **in
+    /// submission order** — the [`runtime::BatchEvaluator`] seam as seen
+    /// by optimizers. The default runs serially; problems backed by a
+    /// parallel evaluation runtime (e.g. the co-design `HwProblem`)
+    /// override this to fan the batch out to worker threads. Overrides
+    /// must return exactly what repeated [`Problem::evaluate`] calls
+    /// would, so thread count never changes optimizer trajectories.
+    fn evaluate_batch(&mut self, points: &[Point]) -> Vec<Option<Vec<f64>>> {
+        points.iter().map(|p| self.evaluate(p)).collect()
+    }
+}
+
+/// Adapts any order-preserving [`runtime::BatchEvaluator`] over points
+/// into a [`Problem`], so every optimizer in this crate can drive an
+/// evaluation engine (worker pools, caches, future remote backends)
+/// directly — the inverse bridge to [`Problem::evaluate_batch`].
+pub struct EvaluatorProblem<E> {
+    space: SearchSpace,
+    objectives: usize,
+    /// The wrapped engine.
+    pub engine: E,
+}
+
+impl<E> EvaluatorProblem<E>
+where
+    E: runtime::BatchEvaluator<Request = Point, Response = Option<Vec<f64>>>,
+{
+    /// Wraps an engine evaluating points of `space` into `objectives`
+    /// minimization objectives.
+    pub fn new(space: SearchSpace, objectives: usize, engine: E) -> Self {
+        EvaluatorProblem {
+            space,
+            objectives,
+            engine,
+        }
+    }
+}
+
+impl<E> Problem for EvaluatorProblem<E>
+where
+    E: runtime::BatchEvaluator<Request = Point, Response = Option<Vec<f64>>>,
+{
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn num_objectives(&self) -> usize {
+        self.objectives
+    }
+
+    fn evaluate(&mut self, point: &Point) -> Option<Vec<f64>> {
+        self.engine.evaluate_one(point.clone())
+    }
+
+    fn evaluate_batch(&mut self, points: &[Point]) -> Vec<Option<Vec<f64>>> {
+        self.engine.evaluate_batch(points)
+    }
 }
 
 /// One recorded evaluation.
@@ -117,18 +187,29 @@ pub struct OptimizerResult {
 impl OptimizerResult {
     /// Creates an empty result for an optimizer.
     pub fn new(optimizer: impl Into<String>) -> Self {
-        OptimizerResult { optimizer: optimizer.into(), evaluations: Vec::new(), infeasible: 0 }
+        OptimizerResult {
+            optimizer: optimizer.into(),
+            evaluations: Vec::new(),
+            infeasible: 0,
+        }
     }
 
     /// Indices of the non-dominated evaluations.
     pub fn pareto_indices(&self) -> Vec<usize> {
-        let objs: Vec<&[f64]> = self.evaluations.iter().map(|e| e.objectives.as_slice()).collect();
+        let objs: Vec<&[f64]> = self
+            .evaluations
+            .iter()
+            .map(|e| e.objectives.as_slice())
+            .collect();
         pareto::pareto_indices(&objs)
     }
 
     /// The non-dominated evaluations.
     pub fn pareto_front(&self) -> Vec<&Evaluation> {
-        self.pareto_indices().into_iter().map(|i| &self.evaluations[i]).collect()
+        self.pareto_indices()
+            .into_iter()
+            .map(|i| &self.evaluations[i])
+            .collect()
     }
 
     /// Hypervolume of the front formed by the first `n` evaluations, for
@@ -148,10 +229,13 @@ impl OptimizerResult {
 
     /// The best (minimum) value of a single objective across the history.
     pub fn best_objective(&self, idx: usize) -> Option<f64> {
-        self.evaluations.iter().map(|e| e.objectives[idx]).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(a) => Some(a.min(v)),
-        })
+        self.evaluations
+            .iter()
+            .map(|e| e.objectives[idx])
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(a) => Some(a.min(v)),
+            })
     }
 }
 
@@ -203,9 +287,18 @@ mod tests {
     #[test]
     fn result_pareto_and_best() {
         let mut r = OptimizerResult::new("test");
-        r.evaluations.push(Evaluation { point: vec![0], objectives: vec![1.0, 2.0] });
-        r.evaluations.push(Evaluation { point: vec![1], objectives: vec![2.0, 1.0] });
-        r.evaluations.push(Evaluation { point: vec![2], objectives: vec![3.0, 3.0] });
+        r.evaluations.push(Evaluation {
+            point: vec![0],
+            objectives: vec![1.0, 2.0],
+        });
+        r.evaluations.push(Evaluation {
+            point: vec![1],
+            objectives: vec![2.0, 1.0],
+        });
+        r.evaluations.push(Evaluation {
+            point: vec![2],
+            objectives: vec![3.0, 3.0],
+        });
         assert_eq!(r.pareto_indices(), vec![0, 1]);
         assert_eq!(r.best_objective(0), Some(1.0));
         assert_eq!(r.best_objective(1), Some(1.0));
@@ -215,9 +308,18 @@ mod tests {
     #[test]
     fn hypervolume_history_is_monotone() {
         let mut r = OptimizerResult::new("test");
-        r.evaluations.push(Evaluation { point: vec![0], objectives: vec![3.0, 3.0] });
-        r.evaluations.push(Evaluation { point: vec![1], objectives: vec![1.0, 4.0] });
-        r.evaluations.push(Evaluation { point: vec![2], objectives: vec![2.0, 2.0] });
+        r.evaluations.push(Evaluation {
+            point: vec![0],
+            objectives: vec![3.0, 3.0],
+        });
+        r.evaluations.push(Evaluation {
+            point: vec![1],
+            objectives: vec![1.0, 4.0],
+        });
+        r.evaluations.push(Evaluation {
+            point: vec![2],
+            objectives: vec![2.0, 2.0],
+        });
         let hv = r.hypervolume_history(&[5.0, 5.0]);
         assert_eq!(hv.len(), 3);
         assert!(hv.windows(2).all(|w| w[1] >= w[0] - 1e-12));

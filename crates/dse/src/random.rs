@@ -30,8 +30,7 @@ impl Optimizer for RandomSearch {
         let mut result = OptimizerResult::new(self.name());
         let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
         let mut attempts = 0usize;
-        while result.evaluations.len() + result.infeasible < max_evals
-            && attempts < max_evals * 50
+        while result.evaluations.len() + result.infeasible < max_evals && attempts < max_evals * 50
         {
             attempts += 1;
             let p = problem.space().random_point(&mut rng);
@@ -39,7 +38,10 @@ impl Optimizer for RandomSearch {
                 continue;
             }
             match problem.evaluate(&p) {
-                Some(objs) => result.evaluations.push(Evaluation { point: p, objectives: objs }),
+                Some(objs) => result.evaluations.push(Evaluation {
+                    point: p,
+                    objectives: objs,
+                }),
                 None => result.infeasible += 1,
             }
         }
@@ -74,7 +76,10 @@ mod tests {
 
     #[test]
     fn respects_budget_and_dedup() {
-        let mut prob = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
+        let mut prob = Sphere {
+            space: SearchSpace::new(vec![11, 11]),
+            evals: 0,
+        };
         let r = RandomSearch::new(1).run(&mut prob, 30);
         assert!(r.evaluations.len() <= 30);
         assert_eq!(prob.evals, r.evaluations.len());
@@ -85,8 +90,14 @@ mod tests {
 
     #[test]
     fn is_deterministic_per_seed() {
-        let mut p1 = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
-        let mut p2 = Sphere { space: SearchSpace::new(vec![11, 11]), evals: 0 };
+        let mut p1 = Sphere {
+            space: SearchSpace::new(vec![11, 11]),
+            evals: 0,
+        };
+        let mut p2 = Sphere {
+            space: SearchSpace::new(vec![11, 11]),
+            evals: 0,
+        };
         let a = RandomSearch::new(9).run(&mut p1, 15);
         let b = RandomSearch::new(9).run(&mut p2, 15);
         assert_eq!(a, b);
@@ -103,7 +114,7 @@ mod tests {
                 1
             }
             fn evaluate(&mut self, p: &Point) -> Option<Vec<f64>> {
-                (p[0] % 2 == 0).then(|| vec![p[0] as f64])
+                (p[0].is_multiple_of(2)).then(|| vec![p[0] as f64])
             }
         }
         let mut prob = HalfFeasible(SearchSpace::new(vec![50]));
@@ -114,7 +125,10 @@ mod tests {
 
     #[test]
     fn exhausts_small_space() {
-        let mut prob = Sphere { space: SearchSpace::new(vec![2, 2]), evals: 0 };
+        let mut prob = Sphere {
+            space: SearchSpace::new(vec![2, 2]),
+            evals: 0,
+        };
         let r = RandomSearch::new(3).run(&mut prob, 100);
         assert_eq!(r.evaluations.len(), 4);
     }

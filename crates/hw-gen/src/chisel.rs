@@ -107,7 +107,8 @@ impl Generator for ChiselGenerator {
                 .burst_transfer(v[5], v[6] as u32)
                 .with_dataflow(Self::decode_dataflow(v[7]));
         }
-        desc.to_config().map_err(|e| GenError::InvalidConfig(e.to_string()))
+        desc.to_config()
+            .map_err(|e| GenError::InvalidConfig(e.to_string()))
     }
 }
 
@@ -179,6 +180,8 @@ mod tests {
 
     #[test]
     fn name_mentions_intrinsic() {
-        assert!(ChiselGenerator::new(IntrinsicKind::Gemv).name().contains("gemv"));
+        assert!(ChiselGenerator::new(IntrinsicKind::Gemv)
+            .name()
+            .contains("gemv"));
     }
 }

@@ -31,7 +31,9 @@ impl GemminiGenerator {
             ParamDim::new("burst_bytes", vec![32, 64, 128, 256]),
             ParamDim::new("bus_bits", vec![64, 128, 256]),
         ];
-        GemminiGenerator { space: HwDesignSpace::new(dims) }
+        GemminiGenerator {
+            space: HwDesignSpace::new(dims),
+        }
     }
 
     /// The default configuration used as the paper's Table III baseline in
@@ -49,7 +51,12 @@ impl GemminiGenerator {
             .burst_transfer(64, 128)
             .with_dataflow(Dataflow::OutputStationary);
         let mut cfg = desc.to_config().expect("baseline config is valid");
-        cfg.name = if cloud { "baseline-gemmcore-cloud" } else { "baseline-gemmcore-edge" }.into();
+        cfg.name = if cloud {
+            "baseline-gemmcore-cloud"
+        } else {
+            "baseline-gemmcore-edge"
+        }
+        .into();
         cfg
     }
 }
@@ -80,7 +87,8 @@ impl Generator for GemminiGenerator {
             .distribute_cache(v[3])
             .burst_transfer(v[4], v[5] as u32)
             .with_dataflow(Dataflow::OutputStationary);
-        desc.to_config().map_err(|e| GenError::InvalidConfig(e.to_string()))
+        desc.to_config()
+            .map_err(|e| GenError::InvalidConfig(e.to_string()))
     }
 }
 
@@ -127,11 +135,17 @@ mod tests {
 
     #[test]
     fn space_size_is_nontrivial() {
-        assert_eq!(GemminiGenerator::new().space().size(), 5 * 7 * 8 * 3 * 4 * 3);
+        assert_eq!(
+            GemminiGenerator::new().space().size(),
+            5 * 7 * 8 * 3 * 4 * 3
+        );
     }
 
     #[test]
     fn default_is_new() {
-        assert_eq!(GemminiGenerator::default().space().size(), GemminiGenerator::new().space().size());
+        assert_eq!(
+            GemminiGenerator::default().space().size(),
+            GemminiGenerator::new().space().size()
+        );
     }
 }

@@ -61,7 +61,10 @@ impl std::fmt::Display for HwPrimitive {
                 write!(f, "distributeCache({bytes_per_pe})")
             }
             HwPrimitive::PartitionBanks { banks } => write!(f, "partitionBanks({banks})"),
-            HwPrimitive::BurstTransfer { burst_bytes, bus_width_bits } => {
+            HwPrimitive::BurstTransfer {
+                burst_bytes,
+                bus_width_bits,
+            } => {
                 write!(f, "burstTransfer({burst_bytes}, {bus_width_bits})")
             }
         }
@@ -95,7 +98,8 @@ impl ArchDescription {
 
     /// Appends `reshapeArray`.
     pub fn reshape_array(&mut self, rows: u32, cols: u32) -> &mut Self {
-        self.primitives.push(HwPrimitive::ReshapeArray { rows, cols });
+        self.primitives
+            .push(HwPrimitive::ReshapeArray { rows, cols });
         self
     }
 
@@ -113,7 +117,8 @@ impl ArchDescription {
 
     /// Appends `distributeCache`.
     pub fn distribute_cache(&mut self, bytes_per_pe: u64) -> &mut Self {
-        self.primitives.push(HwPrimitive::DistributeCache { bytes_per_pe });
+        self.primitives
+            .push(HwPrimitive::DistributeCache { bytes_per_pe });
         self
     }
 
@@ -125,7 +130,10 @@ impl ArchDescription {
 
     /// Appends `burstTransfer`.
     pub fn burst_transfer(&mut self, burst_bytes: u64, bus_width_bits: u32) -> &mut Self {
-        self.primitives.push(HwPrimitive::BurstTransfer { burst_bytes, bus_width_bits });
+        self.primitives.push(HwPrimitive::BurstTransfer {
+            burst_bytes,
+            bus_width_bits,
+        });
         self
     }
 
@@ -163,7 +171,10 @@ impl ArchDescription {
                 HwPrimitive::PartitionBanks { banks } => {
                     b.banks(banks);
                 }
-                HwPrimitive::BurstTransfer { burst_bytes, bus_width_bits } => {
+                HwPrimitive::BurstTransfer {
+                    burst_bytes,
+                    bus_width_bits,
+                } => {
                     b.dma(burst_bytes, bus_width_bits);
                 }
             }
@@ -244,7 +255,10 @@ mod tests {
     fn dataflow_is_carried_through() {
         let mut acc = listing2();
         acc.with_dataflow(Dataflow::WeightStationary);
-        assert_eq!(acc.to_config().unwrap().dataflow, Dataflow::WeightStationary);
+        assert_eq!(
+            acc.to_config().unwrap().dataflow,
+            Dataflow::WeightStationary
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl ParamDim {
     /// Creates a dimension.
     pub fn new(name: impl Into<String>, choices: Vec<u64>) -> Self {
         assert!(!choices.is_empty(), "parameter dimension must have choices");
-        ParamDim { name: name.into(), choices }
+        ParamDim {
+            name: name.into(),
+            choices,
+        }
     }
 
     /// Number of choices.
@@ -75,7 +78,10 @@ impl HwDesignSpace {
     /// [`GenError::ChoiceOutOfRange`].
     pub fn validate(&self, point: &DesignPoint) -> Result<(), GenError> {
         if point.len() != self.dims.len() {
-            return Err(GenError::DimensionMismatch { expected: self.dims.len(), got: point.len() });
+            return Err(GenError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: point.len(),
+            });
         }
         for (dim, (&coord, d)) in point.iter().zip(self.dims.iter()).enumerate() {
             if coord >= d.len() {
@@ -91,7 +97,11 @@ impl HwDesignSpace {
     /// Propagates validation errors.
     pub fn values(&self, point: &DesignPoint) -> Result<Vec<u64>, GenError> {
         self.validate(point)?;
-        Ok(point.iter().zip(self.dims.iter()).map(|(&c, d)| d.choices[c]).collect())
+        Ok(point
+            .iter()
+            .zip(self.dims.iter())
+            .map(|(&c, d)| d.choices[c])
+            .collect())
     }
 
     /// Value of a named parameter at a point.
@@ -102,7 +112,10 @@ impl HwDesignSpace {
 
     /// Uniformly random point.
     pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> DesignPoint {
-        self.dims.iter().map(|d| rng.gen_range(0..d.len())).collect()
+        self.dims
+            .iter()
+            .map(|d| rng.gen_range(0..d.len()))
+            .collect()
     }
 
     /// All single-step neighbors (±1 in one dimension).
@@ -128,7 +141,13 @@ impl HwDesignSpace {
         point
             .iter()
             .zip(self.dims.iter())
-            .map(|(&c, d)| if d.len() <= 1 { 0.0 } else { c as f64 / (d.len() - 1) as f64 })
+            .map(|(&c, d)| {
+                if d.len() <= 1 {
+                    0.0
+                } else {
+                    c as f64 / (d.len() - 1) as f64
+                }
+            })
             .collect()
     }
 
@@ -136,7 +155,11 @@ impl HwDesignSpace {
     /// e.g. the ground-truth sweeps of Fig. 8/9).
     pub fn iter_all(&self) -> impl Iterator<Item = DesignPoint> + '_ {
         let sizes: Vec<usize> = self.dims.iter().map(ParamDim::len).collect();
-        GridIter { sizes, current: vec![0; self.dims.len()], done: self.dims.is_empty() }
+        GridIter {
+            sizes,
+            current: vec![0; self.dims.len()],
+            done: self.dims.is_empty(),
+        }
     }
 }
 
@@ -221,7 +244,10 @@ mod tests {
         let s = space();
         assert!(matches!(
             s.validate(&vec![0]).unwrap_err(),
-            GenError::DimensionMismatch { expected: 2, got: 1 }
+            GenError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
         ));
         assert!(matches!(
             s.validate(&vec![3, 0]).unwrap_err(),

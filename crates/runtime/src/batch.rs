@@ -1,0 +1,76 @@
+//! The batch-evaluation seam between optimizers and evaluation engines.
+//!
+//! Optimizers (MOBO prior sampling, NSGA-II generations, annealer probe
+//! bursts) naturally produce *batches* of candidates whose evaluations are
+//! independent; evaluation engines (the co-design `HwProblem`, software
+//! explorer pools) own the thread pool and the memo cache. The
+//! [`BatchEvaluator`] trait is the seam: "evaluate this slice of requests
+//! and give me the responses in the same order". How the engine executes
+//! — serially, on a [`crate::WorkerPool`], against a [`crate::MemoCache`],
+//! or in some future remote backend — is invisible to the optimizer, which
+//! is what keeps `threads = 1` and `threads = N` bitwise identical.
+
+/// An engine that evaluates request batches, preserving order.
+///
+/// `&self` receivers are deliberate: engines are shared across worker
+/// threads and manage interior state (caches, counters) with interior
+/// mutability.
+pub trait BatchEvaluator {
+    /// What gets evaluated (a design `Point`, an `(accelerator, workload)`
+    /// pair, a schedule...).
+    type Request;
+
+    /// The evaluation outcome.
+    type Response;
+
+    /// Evaluates every request, returning responses **in request order**.
+    /// Implementations must guarantee the result is independent of worker
+    /// count and scheduling.
+    fn evaluate_batch(&self, batch: &[Self::Request]) -> Vec<Self::Response>;
+
+    /// Evaluates one request (the batch-of-one degenerate case).
+    fn evaluate_one(&self, request: Self::Request) -> Self::Response {
+        self.evaluate_batch(std::slice::from_ref(&request))
+            .pop()
+            .expect("batch of one yields one response")
+    }
+}
+
+/// A [`BatchEvaluator`] from a plain function, evaluated serially — the
+/// reference implementation parallel engines must agree with, and a handy
+/// test double.
+pub struct FnEvaluator<Q, S, F: Fn(&Q) -> S> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&Q) -> S>,
+}
+
+impl<Q, S, F: Fn(&Q) -> S> FnEvaluator<Q, S, F> {
+    /// Wraps a function.
+    pub fn new(f: F) -> Self {
+        FnEvaluator {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<Q, S, F: Fn(&Q) -> S> BatchEvaluator for FnEvaluator<Q, S, F> {
+    type Request = Q;
+    type Response = S;
+
+    fn evaluate_batch(&self, batch: &[Q]) -> Vec<S> {
+        batch.iter().map(&self.f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_evaluator_maps_in_order() {
+        let eval = FnEvaluator::new(|&x: &u64| x + 1);
+        assert_eq!(eval.evaluate_batch(&[1, 5, 3]), vec![2, 6, 4]);
+        assert_eq!(eval.evaluate_one(9), 10);
+    }
+}

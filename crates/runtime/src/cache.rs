@@ -1,0 +1,267 @@
+//! A sharded, bounded, concurrent memoization cache.
+//!
+//! Evaluating one (accelerator, workload) pair runs a whole software DSE —
+//! milliseconds to seconds of work — while optimizers frequently revisit
+//! configurations (MOBO retuning rounds, NSGA-II elitism, annealer walks
+//! crossing their own tracks). [`MemoCache`] memoizes those evaluations
+//! under a caller-chosen key (typically a [`crate::Fingerprint`]), with:
+//!
+//! * lock sharding so parallel workers rarely contend;
+//! * a bounded capacity with oldest-first (FIFO) eviction per shard;
+//! * [`CacheStats`] counters (hits / misses / inserts / evictions) cheap
+//!   enough to leave on in production and surfaced by `core::report`.
+//!
+//! Compute-on-miss runs **outside** the shard lock: two workers racing on
+//! the same key may both compute, but memoized evaluations are pure, so
+//! both arrive at the same value and determinism is unaffected — the
+//! duplicated work is the price of never blocking a whole shard on one
+//! slow evaluation.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries written (first-time inserts; racing duplicates count once).
+    pub inserts: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, V>,
+    /// Keys in insertion order, for FIFO eviction.
+    order: std::collections::VecDeque<K>,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// A concurrent memoizing cache with bounded capacity and statistics.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Maximum entries per shard (total capacity / shard count).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum one per
+    /// shard).
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: (capacity / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * SHARDS
+    }
+
+    /// Current entry count across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks `key` up without computing.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = self.shard_for(key).lock().expect("shard poisoned");
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the shard's oldest entry when full.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
+        if shard.map.insert(key.clone(), value).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            shard.order.push_back(key);
+            while shard.map.len() > self.per_shard {
+                if let Some(old) = shard.order.pop_front() {
+                    if shard.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss. `compute` runs without holding the shard lock; it must be
+    /// pure, since racing threads may each compute the value once.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(cache.get_or_insert_with(1, || 10), 10); // miss + insert
+        assert_eq!(cache.get_or_insert_with(1, || 99), 10); // hit; compute skipped
+        assert_eq!(cache.get_or_insert_with(2, || 20), 20); // miss + insert
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        // Single-entry shards: every shard holds exactly one key.
+        let cache: MemoCache<u64, u64> = MemoCache::new(1);
+        assert_eq!(cache.capacity(), super::SHARDS);
+        // Find two keys landing in the same shard and insert three values.
+        let mut same_shard = vec![0u64];
+        let first = cache.shard_for(&0) as *const _;
+        for k in 1..10_000u64 {
+            if std::ptr::eq(cache.shard_for(&k), first) {
+                same_shard.push(k);
+                if same_shard.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(same_shard.len(), 3, "needed 3 colliding keys");
+        for &k in &same_shard {
+            cache.insert(k, k + 100);
+        }
+        let s = cache.stats();
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.evictions, 2);
+        // Only the newest of the colliding keys survives.
+        assert_eq!(cache.get(&same_shard[2]), Some(same_shard[2] + 100));
+        assert_eq!(cache.get(&same_shard[0]), None);
+        assert_eq!(cache.get(&same_shard[1]), None);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_is_not_an_insert() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(8);
+        cache.insert(1, 1);
+        cache.insert(1, 2);
+        assert_eq!(cache.stats().inserts, 1);
+        assert_eq!(cache.get(&1), Some(2));
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(8);
+        cache.get_or_insert_with(1, || 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_consistent() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (i + t * 13) % 100;
+                        assert_eq!(cache.get_or_insert_with(k, || k * 3), k * 3);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2000);
+        assert!(cache.len() <= 100);
+    }
+}

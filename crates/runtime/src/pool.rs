@@ -1,0 +1,185 @@
+//! A fixed-size, order-preserving worker pool.
+//!
+//! [`WorkerPool::map`] fans the items of a batch out to `threads` OS
+//! threads through a shared atomic work index and writes each result into
+//! a slot addressed by the item's submission index, so the returned vector
+//! is always in input order regardless of which worker finished first or
+//! last. Workers are spawned per batch inside [`std::thread::scope`]: that
+//! keeps borrowed problem state (generators, workload slices, cost models)
+//! usable from worker closures without `unsafe` lifetime juggling, while
+//! the pool size stays fixed for the life of the pool.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size pool of evaluation workers.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with a fixed worker count (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a single-threaded pool — the serial degenerate case every
+    /// parallel code path must reduce to.
+    pub fn serial() -> Self {
+        WorkerPool { threads: 1 }
+    }
+
+    /// The fixed worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when the pool executes inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**. `f` receives `(index, &item)`.
+    ///
+    /// With `threads <= 1` (or a batch of one) this runs inline on the
+    /// calling thread; otherwise up to `threads` workers pull items off a
+    /// shared counter. Either way the output is `[f(0, &items[0]),
+    /// f(1, &items[1]), ...]` — thread count changes wall-clock time, not
+    /// results.
+    ///
+    /// # Panics
+    /// Re-raises the first worker panic on the calling thread.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.is_serial() || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(items.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                        Ok(r) => *slots[i].lock().expect("result slot poisoned") = Some(r),
+                        Err(payload) => {
+                            panic_slot
+                                .lock()
+                                .expect("panic slot poisoned")
+                                .get_or_insert(payload);
+                            // Drain the remaining work so peers exit fast.
+                            next.store(items.len(), Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = panic_slot.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item work so completion order scrambles.
+        let out = pool.map(&items, |_, &x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |i: usize, x: &u64| (i as u64).wrapping_mul(31).wrapping_add(*x);
+        let serial = WorkerPool::serial().map(&items, f);
+        let parallel = WorkerPool::new(8).map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_item_is_evaluated_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = WorkerPool::new(3).map(&items, |i, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.map(&[] as &[u64], |_, &x| x), Vec::<u64>::new());
+        assert_eq!(pool.map(&[7u64], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert!(WorkerPool::new(0).is_serial());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u64> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            pool.map(&items, |_, &x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -38,19 +38,32 @@ pub fn render(sched: &Schedule, ctx: &ScheduleContext) -> String {
         }
         indent += 1;
     }
-    out.push_str(&format!("{}Tensorized_{}(...)\n\n", pad(indent), sched.choice.intrinsic));
+    out.push_str(&format!(
+        "{}Tensorized_{}(...)\n\n",
+        pad(indent),
+        sched.choice.intrinsic
+    ));
 
     // The interface body.
-    out.push_str(&format!("def Tensorized_{}(...):\n", sched.choice.intrinsic));
+    out.push_str(&format!(
+        "def Tensorized_{}(...):\n",
+        sched.choice.intrinsic
+    ));
     for acc in &comp.inputs {
-        out.push_str(&format!("    s{0} = load_tile({0})  # DRAM -> scratchpad\n", acc.tensor));
+        out.push_str(&format!(
+            "    s{0} = load_tile({0})  # DRAM -> scratchpad\n",
+            acc.tensor
+        ));
     }
     let tensorized = sched.choice.tensorized_indices();
     for idx in &tensorized {
         let v = comp.index(*idx);
         let tile = sched.inner_extent(*idx);
         let step = ctx.intrinsic_extent(&sched.choice, *idx);
-        out.push_str(&format!("    for {}2 in range(0, {}, {}):\n", v.name, tile, step));
+        out.push_str(&format!(
+            "    for {}2 in range(0, {}, {}):\n",
+            v.name, tile, step
+        ));
     }
     out.push_str(&format!(
         "    {}{}_intrin(...)  # compute instruction\n",
@@ -74,7 +87,9 @@ mod tests {
     use tensor_ir::suites;
 
     fn setup() -> (ScheduleContext, Schedule) {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let wl = suites::conv2d_workload("conv", 64, 64, 56, 56, 3, 3);
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
@@ -88,7 +103,10 @@ mod tests {
         let code = render(&sched, &ctx);
         for idx in &sched.outer_order {
             let name = &ctx.workload.comp.index(*idx).name;
-            assert!(code.contains(&format!("for {name}")), "missing loop {name}:\n{code}");
+            assert!(
+                code.contains(&format!("for {name}")),
+                "missing loop {name}:\n{code}"
+            );
         }
     }
 

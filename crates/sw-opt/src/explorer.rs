@@ -5,6 +5,7 @@ use accel_model::arch::AcceleratorConfig;
 use accel_model::{CostModel, Metrics};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use runtime::{Fingerprinter, StableFingerprint, WorkerPool};
 use tensor_ir::matching::TensorizeChoice;
 use tensor_ir::workload::Workload;
 
@@ -47,6 +48,19 @@ impl Default for ExplorerOptions {
     }
 }
 
+impl StableFingerprint for ExplorerOptions {
+    // Every knob changes which schedules get explored, so all of them key
+    // memoized evaluation results.
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_usize(self.pool);
+        fp.write_usize(self.rounds);
+        fp.write_usize(self.top_k);
+        fp.write_usize(self.max_pool);
+        fp.write_bool(self.use_qlearning);
+        self.fixed_choice.fingerprint_into(fp);
+    }
+}
+
 /// The result of software optimization for one workload.
 #[derive(Debug, Clone)]
 pub struct OptimizedSoftware {
@@ -66,17 +80,35 @@ pub struct OptimizedSoftware {
 pub struct SoftwareExplorer {
     seed: u64,
     model: CostModel,
+    workers: WorkerPool,
 }
 
 impl SoftwareExplorer {
-    /// Creates an explorer with the default cost model.
+    /// Creates an explorer with the default cost model, evaluating
+    /// serially.
     pub fn new(seed: u64) -> Self {
-        SoftwareExplorer { seed, model: CostModel::default() }
+        SoftwareExplorer {
+            seed,
+            model: CostModel::default(),
+            workers: WorkerPool::serial(),
+        }
     }
 
     /// Creates an explorer with a custom cost model.
     pub fn with_model(seed: u64, model: CostModel) -> Self {
-        SoftwareExplorer { seed, model }
+        SoftwareExplorer {
+            seed,
+            model,
+            workers: WorkerPool::serial(),
+        }
+    }
+
+    /// Evaluates candidate pools and per-round revision batches on the
+    /// given worker pool. Schedule *generation* and Q-learning updates
+    /// stay serial, so results are identical at any worker count.
+    pub fn with_workers(mut self, workers: WorkerPool) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Optimizes one workload for one accelerator.
@@ -99,14 +131,25 @@ impl SoftwareExplorer {
             }
         }
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut pool = CandidatePool::initialize(&ctx, cfg, &self.model, opts.pool, &mut rng)?;
+        let mut pool = CandidatePool::initialize_batched(
+            &ctx,
+            cfg,
+            &self.model,
+            opts.pool,
+            &mut rng,
+            &self.workers,
+        )?;
         let mut qlearner = QLearner::new(self.seed ^ 0x9e3779b97f4a7c15);
         let mut history = Vec::with_capacity(opts.rounds);
         let mut evaluated = pool.len();
 
         for _ in 0..opts.rounds {
             let top = pool.top_k(opts.top_k);
-            let mut fresh: Vec<Candidate> = Vec::new();
+            // Phase 1, serial: propose one revision per valuable candidate.
+            // The Q-network state and the RNG stream advance in a fixed
+            // order here, so the round's proposals are independent of the
+            // worker count.
+            let mut proposals: Vec<(Candidate, Schedule, usize)> = Vec::with_capacity(top.len());
             for idx in top {
                 let cand = pool.candidates()[idx].clone();
                 let proposal = if opts.use_qlearning {
@@ -118,14 +161,37 @@ impl SoftwareExplorer {
                         .apply(&cand.schedule, &ctx, &mut rng)
                         .map(|s| (s, a))
                 };
-                let Some((revised, action)) = proposal else { continue };
-                evaluated += 1;
-                match lowering::evaluate(&revised, &ctx, cfg, &self.model) {
+                let Some((revised, action)) = proposal else {
+                    continue;
+                };
+                proposals.push((cand, revised, action));
+            }
+            evaluated += proposals.len();
+
+            // Phase 2, parallel: lower and cost the proposed schedules
+            // (pure functions of the schedule). Tiny batches run inline —
+            // per-batch thread spawns would cost more than sub-millisecond
+            // lowering itself; either strategy yields identical results.
+            let evaluate_one = |_: usize, (_, revised, _): &(Candidate, Schedule, usize)| {
+                lowering::evaluate(revised, &ctx, cfg, &self.model)
+            };
+            let outcomes = if proposals.len() < 4 {
+                proposals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| evaluate_one(i, p))
+                    .collect()
+            } else {
+                self.workers.map(&proposals, evaluate_one)
+            };
+
+            // Phase 3, serial: feed rewards back in submission order.
+            let mut fresh: Vec<Candidate> = Vec::new();
+            for ((cand, revised, action), outcome) in proposals.into_iter().zip(outcomes) {
+                match outcome {
                     Ok(metrics) => {
-                        let reward = QLearner::reward(
-                            cand.metrics.latency_cycles,
-                            metrics.latency_cycles,
-                        );
+                        let reward =
+                            QLearner::reward(cand.metrics.latency_cycles, metrics.latency_cycles);
                         if opts.use_qlearning {
                             qlearner.observe(
                                 cand.schedule.features(&ctx),
@@ -134,7 +200,10 @@ impl SoftwareExplorer {
                                 revised.features(&ctx),
                             );
                         }
-                        fresh.push(Candidate { schedule: revised, metrics });
+                        fresh.push(Candidate {
+                            schedule: revised,
+                            metrics,
+                        });
                     }
                     Err(_) => {
                         if opts.use_qlearning {
@@ -158,7 +227,12 @@ impl SoftwareExplorer {
         }
 
         let best = pool.best().clone();
-        Ok(OptimizedSoftware { schedule: best.schedule, metrics: best.metrics, history, evaluated })
+        Ok(OptimizedSoftware {
+            schedule: best.schedule,
+            metrics: best.metrics,
+            history,
+            evaluated,
+        })
     }
 
     /// Optimizes and returns only the best metrics (the hardware DSE's
@@ -184,17 +258,26 @@ mod tests {
     use tensor_ir::suites;
 
     fn cfg() -> AcceleratorConfig {
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap()
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap()
     }
 
     fn quick_opts() -> ExplorerOptions {
-        ExplorerOptions { pool: 10, rounds: 10, top_k: 3, ..ExplorerOptions::default() }
+        ExplorerOptions {
+            pool: 10,
+            rounds: 10,
+            top_k: 3,
+            ..ExplorerOptions::default()
+        }
     }
 
     #[test]
     fn optimization_improves_over_pool_init() {
         let wl = suites::gemm_workload("g", 512, 512, 512);
-        let r = SoftwareExplorer::new(7).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        let r = SoftwareExplorer::new(7)
+            .optimize(&wl, &cfg(), &quick_opts())
+            .unwrap();
         assert!(!r.history.is_empty());
         let first = r.history[0];
         let last = *r.history.last().unwrap();
@@ -205,17 +288,65 @@ mod tests {
     #[test]
     fn history_is_monotone_nonincreasing() {
         let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
-        let r = SoftwareExplorer::new(3).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        let r = SoftwareExplorer::new(3)
+            .optimize(&wl, &cfg(), &quick_opts())
+            .unwrap();
         assert!(r.history.windows(2).all(|w| w[1] <= w[0] + 1e-9));
     }
 
     #[test]
     fn deterministic_per_seed() {
         let wl = suites::gemm_workload("g", 256, 256, 256);
-        let a = SoftwareExplorer::new(11).optimize(&wl, &cfg(), &quick_opts()).unwrap();
-        let b = SoftwareExplorer::new(11).optimize(&wl, &cfg(), &quick_opts()).unwrap();
+        let a = SoftwareExplorer::new(11)
+            .optimize(&wl, &cfg(), &quick_opts())
+            .unwrap();
+        let b = SoftwareExplorer::new(11)
+            .optimize(&wl, &cfg(), &quick_opts())
+            .unwrap();
         assert_eq!(a.metrics.latency_cycles, b.metrics.latency_cycles);
         assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parallel_workers_do_not_change_results() {
+        let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
+        for use_qlearning in [true, false] {
+            let mut opts = quick_opts();
+            opts.use_qlearning = use_qlearning;
+            let serial = SoftwareExplorer::new(13)
+                .optimize(&wl, &cfg(), &opts)
+                .unwrap();
+            let parallel = SoftwareExplorer::new(13)
+                .with_workers(runtime::WorkerPool::new(4))
+                .optimize(&wl, &cfg(), &opts)
+                .unwrap();
+            assert_eq!(
+                serial.history, parallel.history,
+                "qlearning={use_qlearning}"
+            );
+            assert_eq!(
+                serial.metrics.latency_cycles,
+                parallel.metrics.latency_cycles
+            );
+            assert_eq!(serial.evaluated, parallel.evaluated);
+            assert_eq!(
+                serial.schedule.choice.var_map,
+                parallel.schedule.choice.var_map
+            );
+        }
+    }
+
+    #[test]
+    fn explorer_options_fingerprints_distinguish_knobs() {
+        use runtime::StableFingerprint;
+        let base = quick_opts();
+        let mut other = quick_opts();
+        assert_eq!(base.fingerprint(), other.fingerprint());
+        other.rounds += 1;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut ql = quick_opts();
+        ql.use_qlearning = false;
+        assert_ne!(base.fingerprint(), ql.fingerprint());
     }
 
     #[test]
@@ -241,13 +372,20 @@ mod tests {
         for seed in 0..4 {
             let mut opts = quick_opts();
             opts.rounds = 12;
-            let q = SoftwareExplorer::new(seed).optimize(&wl, &c, &opts).unwrap();
+            let q = SoftwareExplorer::new(seed)
+                .optimize(&wl, &c, &opts)
+                .unwrap();
             opts.use_qlearning = false;
-            let r = SoftwareExplorer::new(seed).optimize(&wl, &c, &opts).unwrap();
+            let r = SoftwareExplorer::new(seed)
+                .optimize(&wl, &c, &opts)
+                .unwrap();
             q_total += q.metrics.latency_cycles;
             r_total += r.metrics.latency_cycles;
         }
-        assert!(q_total <= r_total * 1.15, "q = {q_total}, random = {r_total}");
+        assert!(
+            q_total <= r_total * 1.15,
+            "q = {q_total}, random = {r_total}"
+        );
     }
 
     #[test]
@@ -255,7 +393,9 @@ mod tests {
         let wl = suites::gemm_workload("g", 256, 256, 256);
         let mut c = cfg();
         c.scratchpad_bytes = 64;
-        assert!(SoftwareExplorer::new(0).optimize(&wl, &c, &quick_opts()).is_err());
+        assert!(SoftwareExplorer::new(0)
+            .optimize(&wl, &c, &quick_opts())
+            .is_err());
     }
 
     #[test]

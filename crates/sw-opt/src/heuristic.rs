@@ -9,6 +9,7 @@
 use accel_model::arch::AcceleratorConfig;
 use accel_model::{CostModel, Metrics};
 use rand::Rng;
+use runtime::WorkerPool;
 
 use crate::lowering;
 use crate::schedule::{Schedule, ScheduleContext};
@@ -45,14 +46,48 @@ impl CandidatePool {
         size: usize,
         rng: &mut R,
     ) -> Result<Self, SwError> {
-        let mut pool = CandidatePool { candidates: Vec::new(), best_latency: f64::INFINITY };
+        Self::initialize_batched(ctx, cfg, model, size, rng, &WorkerPool::serial())
+    }
+
+    /// [`CandidatePool::initialize`] with the schedule *evaluations* fanned
+    /// out to a worker pool. Schedules are generated serially in chunks
+    /// whose size depends only on `size` and the attempt budget — never on
+    /// the worker count — so the candidate pool is identical at any
+    /// parallelism.
+    ///
+    /// # Errors
+    /// Returns [`SwError::NoValidSchedule`] when no valid schedule is found
+    /// within the sampling budget.
+    pub fn initialize_batched<R: Rng + ?Sized>(
+        ctx: &ScheduleContext,
+        cfg: &AcceleratorConfig,
+        model: &CostModel,
+        size: usize,
+        rng: &mut R,
+        workers: &WorkerPool,
+    ) -> Result<Self, SwError> {
+        let mut pool = CandidatePool {
+            candidates: Vec::new(),
+            best_latency: f64::INFINITY,
+        };
         let mut attempts = 0;
         let budget = size.max(1) * 60;
         while pool.candidates.len() < size && attempts < budget {
-            attempts += 1;
-            let sched = ctx.random_schedule(rng);
-            if let Ok(metrics) = lowering::evaluate(&sched, ctx, cfg, model) {
-                pool.insert(Candidate { schedule: sched, metrics });
+            let chunk = (size - pool.candidates.len()).max(1).min(budget - attempts);
+            let schedules: Vec<Schedule> = (0..chunk).map(|_| ctx.random_schedule(rng)).collect();
+            attempts += schedules.len();
+            let outcomes = workers.map(&schedules, |_, s| {
+                lowering::evaluate(s, ctx, cfg, model).ok()
+            });
+            for (sched, metrics) in schedules.into_iter().zip(outcomes) {
+                if let Some(metrics) = metrics {
+                    if pool.candidates.len() < size {
+                        pool.insert(Candidate {
+                            schedule: sched,
+                            metrics,
+                        });
+                    }
+                }
             }
         }
         if pool.candidates.is_empty() {
@@ -65,7 +100,9 @@ impl CandidatePool {
     /// incumbent best and decaying toward 0 for slower candidates.
     pub fn value(&self, c: &Candidate) -> f64 {
         let l = c.metrics.latency_cycles;
-        (-(l - self.best_latency) / self.best_latency).exp().min(1.0)
+        (-(l - self.best_latency) / self.best_latency)
+            .exp()
+            .min(1.0)
     }
 
     /// Inserts a candidate and updates `l*`.
@@ -92,7 +129,10 @@ impl CandidatePool {
             return;
         }
         let keep = self.top_k(max);
-        let mut kept: Vec<Candidate> = keep.into_iter().map(|i| self.candidates[i].clone()).collect();
+        let mut kept: Vec<Candidate> = keep
+            .into_iter()
+            .map(|i| self.candidates[i].clone())
+            .collect();
         std::mem::swap(&mut self.candidates, &mut kept);
     }
 
@@ -142,7 +182,9 @@ mod tests {
     use tensor_ir::suites;
 
     fn setup() -> (ScheduleContext, AcceleratorConfig, CostModel) {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let wl = suites::gemm_workload("g", 256, 256, 256);
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         (ctx, cfg, CostModel::default())
@@ -192,6 +234,36 @@ mod tests {
         pool.prune(5);
         assert_eq!(pool.len(), 5);
         assert_eq!(pool.best().metrics.latency_cycles, best_before);
+    }
+
+    #[test]
+    fn parallel_initialization_matches_serial() {
+        let (ctx, cfg, model) = setup();
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let serial = CandidatePool::initialize_batched(
+            &ctx,
+            &cfg,
+            &model,
+            14,
+            &mut rng_a,
+            &WorkerPool::serial(),
+        )
+        .unwrap();
+        let parallel = CandidatePool::initialize_batched(
+            &ctx,
+            &cfg,
+            &model,
+            14,
+            &mut rng_b,
+            &WorkerPool::new(4),
+        )
+        .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.best_latency(), parallel.best_latency());
+        for (a, b) in serial.candidates().iter().zip(parallel.candidates()) {
+            assert_eq!(a.metrics.latency_cycles, b.metrics.latency_cycles);
+        }
     }
 
     #[test]

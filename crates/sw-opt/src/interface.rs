@@ -135,7 +135,11 @@ pub fn generate_program(
         }
         program.push(Instr::Barrier);
     }
-    Ok(Interface { program, lowered, truncated: emit < total })
+    Ok(Interface {
+        program,
+        lowered,
+        truncated: emit < total,
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +152,9 @@ mod tests {
     use tensor_ir::IndexId;
 
     fn setup() -> (ScheduleContext, AcceleratorConfig, Schedule) {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let wl = suites::gemm_workload("g", 128, 128, 128);
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let choice = ctx
@@ -162,9 +168,16 @@ mod tests {
         for name in ["i", "j", "k"] {
             tiles.insert(comp.index_by_name(name).unwrap(), 64);
         }
-        let outer_order: Vec<IndexId> =
-            ["i", "j", "k"].iter().map(|n| comp.index_by_name(n).unwrap()).collect();
-        let sched = Schedule { choice, tiles, outer_order, fuse_outer: 0 };
+        let outer_order: Vec<IndexId> = ["i", "j", "k"]
+            .iter()
+            .map(|n| comp.index_by_name(n).unwrap())
+            .collect();
+        let sched = Schedule {
+            choice,
+            tiles,
+            outer_order,
+            fuse_outer: 0,
+        };
         (ctx, cfg, sched)
     }
 
@@ -173,7 +186,10 @@ mod tests {
         let (ctx, cfg, sched) = setup();
         let iface = generate_program(&sched, &ctx, &cfg, 1000).unwrap();
         assert!(!iface.truncated);
-        assert_eq!(iface.program.stage_count() as u64, iface.lowered.invocations);
+        assert_eq!(
+            iface.program.stage_count() as u64,
+            iface.lowered.invocations
+        );
         assert_eq!(iface.lowered.invocations, 8); // (128/64)^3
     }
 
@@ -207,7 +223,10 @@ mod tests {
     fn compute_totals_match_plan() {
         let (ctx, cfg, sched) = setup();
         let iface = generate_program(&sched, &ctx, &cfg, 1000).unwrap();
-        assert_eq!(iface.program.total_calls(), iface.lowered.plan.intrinsic_calls);
+        assert_eq!(
+            iface.program.total_calls(),
+            iface.lowered.plan.intrinsic_calls
+        );
         assert_eq!(iface.program.total_macs(), iface.lowered.plan.macs_padded);
     }
 
@@ -224,7 +243,9 @@ mod tests {
         let (ctx, cfg, sched) = setup();
         let iface = generate_program(&sched, &ctx, &cfg, 10_000).unwrap();
         let sim = TraceSimulator::default();
-        let traced = sim.run(&cfg, &iface.program, iface.lowered.plan.double_buffered).cycles;
+        let traced = sim
+            .run(&cfg, &iface.program, iface.lowered.plan.double_buffered)
+            .cycles;
         let analytical = sim.model.latency_cycles(&cfg, &iface.lowered.plan);
         let ratio = traced / analytical;
         assert!((0.4..2.5).contains(&ratio), "ratio = {ratio}");

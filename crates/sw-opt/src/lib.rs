@@ -78,11 +78,23 @@ pub enum SwError {
 impl std::fmt::Display for SwError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwError::NoTensorizeChoice { workload, intrinsic } => {
-                write!(f, "no tensorize choice maps `{workload}` onto intrinsic `{intrinsic}`")
+            SwError::NoTensorizeChoice {
+                workload,
+                intrinsic,
+            } => {
+                write!(
+                    f,
+                    "no tensorize choice maps `{workload}` onto intrinsic `{intrinsic}`"
+                )
             }
-            SwError::ScratchpadOverflow { required, available } => {
-                write!(f, "schedule needs {required} B of scratchpad, only {available} B present")
+            SwError::ScratchpadOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "schedule needs {required} B of scratchpad, only {available} B present"
+                )
             }
             SwError::BadIndex(i) => write!(f, "schedule references unknown index {i}"),
             SwError::BadOrder => write!(f, "outer order is not a permutation of the loops"),

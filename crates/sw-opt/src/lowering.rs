@@ -41,7 +41,11 @@ fn inner_dim_extent(sched: &Schedule, dim_terms: &[IndexId]) -> u64 {
 }
 
 fn subtensor_shape(sched: &Schedule, access: &Access) -> Vec<u64> {
-    access.dims.iter().map(|d| inner_dim_extent(sched, &d.terms)).collect()
+    access
+        .dims
+        .iter()
+        .map(|d| inner_dim_extent(sched, &d.terms))
+        .collect()
 }
 
 fn subtensor_bytes(sched: &Schedule, access: &Access, dtype: u64) -> u64 {
@@ -56,12 +60,7 @@ fn subtensor_bytes(sched: &Schedule, access: &Access, dtype: u64) -> u64 {
 /// tile size. Tensors with affine-window subscripts (`x + r`) have
 /// overlapping tiles that cannot all be packed; they fall back to the
 /// row-major trailing-run analysis.
-fn contiguous_run(
-    sched: &Schedule,
-    ctx: &ScheduleContext,
-    access: &Access,
-    dtype: u64,
-) -> u64 {
+fn contiguous_run(sched: &Schedule, ctx: &ScheduleContext, access: &Access, dtype: u64) -> u64 {
     if access.dims.iter().all(AffineDim::is_simple) {
         return subtensor_bytes(sched, access, dtype).max(dtype);
     }
@@ -101,7 +100,9 @@ fn reuse_level(sched: &Schedule, access: &Access) -> Option<usize> {
 /// competitive with (and for odd filters better than) a dedicated CONV2D
 /// intrinsic, as in the paper's Fig. 7(b).
 fn fetch_multiplicity(sched: &Schedule, ctx: &ScheduleContext, access: &Access) -> u64 {
-    let Some(level) = reuse_level(sched, access) else { return 1 };
+    let Some(level) = reuse_level(sched, access) else {
+        return 1;
+    };
     // Window-partner tile per loop: if `idx` shares an affine dim with
     // tensorized partners, shifting `idx` by one adds only `1/partner` new
     // data along that dim (line buffering).
@@ -203,7 +204,9 @@ pub fn lower(
 
     let invocations = sched.invocations(ctx);
     let macs_useful = comp.iteration_points();
-    let macs_padded = invocations.saturating_mul(padded_per_invocation).max(macs_useful);
+    let macs_padded = invocations
+        .saturating_mul(padded_per_invocation)
+        .max(macs_useful);
     let intrinsic_calls = invocations.saturating_mul(calls_per_invocation);
 
     // --- DRAM traffic ----------------------------------------------------
@@ -221,8 +224,8 @@ pub fn lower(
     }
     {
         let out = &comp.output;
-        let writes = subtensor_bytes(sched, out, dtype)
-            .saturating_mul(fetch_multiplicity(sched, ctx, out));
+        let writes =
+            subtensor_bytes(sched, out, dtype).saturating_mul(fetch_multiplicity(sched, ctx, out));
         let run = contiguous_run(sched, ctx, out, dtype);
         dram_writes.push(TensorTraffic::new(out.tensor.clone(), writes, run));
         // Read-modify-write when a reduction loop sits at or outside the
@@ -232,7 +235,11 @@ pub fn lower(
                 .iter()
                 .any(|&idx| comp.index(idx).is_reduction());
             if rmw {
-                dram_reads.push(TensorTraffic::new(format!("{}(acc)", out.tensor), writes, run));
+                dram_reads.push(TensorTraffic::new(
+                    format!("{}(acc)", out.tensor),
+                    writes,
+                    run,
+                ));
             }
         }
     }
@@ -247,8 +254,7 @@ pub fn lower(
         for idx in sched.choice.tensorized_indices() {
             if !acc.uses(idx) {
                 let ext_q = ctx.intrinsic_extent(&sched.choice, idx);
-                restream =
-                    restream.saturating_mul(sched.inner_extent(idx).div_ceil(ext_q));
+                restream = restream.saturating_mul(sched.inner_extent(idx).div_ceil(ext_q));
             }
         }
         spad_per_invocation = spad_per_invocation
@@ -336,25 +342,21 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use std::collections::BTreeMap;
-    use tensor_ir::intrinsics::{gemm_intrinsic, IntrinsicKind};
+    use tensor_ir::intrinsics::IntrinsicKind;
     use tensor_ir::suites;
 
     fn gemm_ctx(n: u64) -> (ScheduleContext, AcceleratorConfig) {
         let wl = suites::gemm_workload("g", n, n, n);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let intr = cfg.intrinsic_comp();
         (ScheduleContext::new(&wl, &intr).unwrap(), cfg)
     }
 
     /// A canonical GEMM schedule: tensorize (i, j, k) with the given tiles,
     /// outer order as given by names.
-    fn gemm_schedule(
-        ctx: &ScheduleContext,
-        ti: u64,
-        tk: u64,
-        tj: u64,
-        order: &[&str],
-    ) -> Schedule {
+    fn gemm_schedule(ctx: &ScheduleContext, ti: u64, tk: u64, tj: u64, order: &[&str]) -> Schedule {
         // Find the choice that binds all three loops (i, j spatial, k red).
         let choice = ctx
             .choices
@@ -371,7 +373,12 @@ mod tests {
             .iter()
             .map(|n| comp.index_by_name(n).unwrap())
             .collect();
-        Schedule { choice, tiles, outer_order, fuse_outer: 0 }
+        Schedule {
+            choice,
+            tiles,
+            outer_order,
+            fuse_outer: 0,
+        }
     }
 
     #[test]
@@ -413,7 +420,7 @@ mod tests {
         // Order (k, j, i): M[i,k] doesn't use j... rather: with i innermost,
         // N[k,j] (not using i) is fetched fewer times than with order
         // (i, k, j) where j is innermost for it.
-        let (ctx, cfg) = gemm_ctx(512);
+        let (ctx, _cfg) = gemm_ctx(512);
         let comp = &ctx.workload.comp;
         let n_acc = comp.inputs.iter().find(|a| a.tensor == "N").unwrap();
         let s1 = gemm_schedule(&ctx, 64, 64, 64, &["k", "j", "i"]);
@@ -504,14 +511,25 @@ mod tests {
     fn affine_tensors_use_trailing_run_analysis() {
         // Conv's A[c, x+r, y+s] cannot be tile-packed: overlapping windows.
         let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let s = ctx.random_schedule(&mut rng);
-        let a_acc = ctx.workload.comp.inputs.iter().find(|a| a.tensor == "A").unwrap();
+        let a_acc = ctx
+            .workload
+            .comp
+            .inputs
+            .iter()
+            .find(|a| a.tensor == "A")
+            .unwrap();
         let run = contiguous_run(&s, &ctx, a_acc, 2);
         let tile_bytes = subtensor_bytes(&s, a_acc, 2);
-        assert!(run <= tile_bytes, "affine run {run} must not exceed tile {tile_bytes}");
+        assert!(
+            run <= tile_bytes,
+            "affine run {run} must not exceed tile {tile_bytes}"
+        );
     }
 
     #[test]
@@ -519,7 +537,9 @@ mod tests {
         // With r, s innermost, A's window loops are line-buffered; with
         // them outermost the tensor is refetched per filter tap.
         let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let comp = &ctx.workload.comp;
         let id = |n: &str| comp.index_by_name(n).unwrap();
@@ -556,7 +576,9 @@ mod tests {
     #[test]
     fn rearranged_choice_charges_rearrange_bytes() {
         let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let rearranged = ctx.choices.iter().find(|c| c.needs_rearrangement);
         if let Some(choice) = rearranged {
@@ -629,15 +651,15 @@ mod tests {
         assert_eq!(lf.plan.dram_bytes(), lu.plan.dram_bytes());
         // And the cost model rewards it.
         let model = CostModel::default();
-        assert!(
-            model.latency_cycles(&cfg, &lf.plan) <= model.latency_cycles(&cfg, &lu.plan)
-        );
+        assert!(model.latency_cycles(&cfg, &lf.plan) <= model.latency_cycles(&cfg, &lu.plan));
     }
 
     #[test]
     fn conv_workload_lowers_end_to_end() {
         let wl = suites::conv2d_workload("c", 64, 64, 56, 56, 3, 3);
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         let mut ok = 0;

@@ -21,15 +21,22 @@ impl Layer {
     fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
         // He initialization.
         let scale = (2.0 / inputs as f64).sqrt();
-        let w = (0..inputs * outputs).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
-        Layer { w, b: vec![0.0; outputs], inputs, outputs }
+        let w = (0..inputs * outputs)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
     }
 
     fn forward(&self, x: &[f64]) -> Vec<f64> {
         let mut y = self.b.clone();
-        for o in 0..self.outputs {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
-            y[o] += row.iter().zip(x.iter()).map(|(w, x)| w * x).sum::<f64>();
+            *yo += row.iter().zip(x.iter()).map(|(w, x)| w * x).sum::<f64>();
         }
         y
     }
@@ -82,7 +89,11 @@ impl Mlp {
         for (li, layer) in self.layers.iter().enumerate() {
             let z = layer.forward(post.last().expect("non-empty"));
             let last = li == self.layers.len() - 1;
-            let a = if last { z.clone() } else { z.iter().map(|&v| v.max(0.0)).collect() };
+            let a = if last {
+                z.clone()
+            } else {
+                z.iter().map(|&v| v.max(0.0)).collect()
+            };
             pre.push(z);
             post.push(a);
         }
@@ -116,8 +127,7 @@ impl Mlp {
             let layer = &mut self.layers[li];
             // Gradient wrt inputs for the next (lower) layer.
             let mut grad_in = vec![0.0; layer.inputs];
-            for o in 0..layer.outputs {
-                let g = grad[o];
+            for (o, &g) in grad.iter().enumerate().take(layer.outputs) {
                 if g == 0.0 {
                     continue;
                 }
@@ -211,7 +221,12 @@ mod tests {
         }
         let after = net.predict(&x);
         let trained_delta = (after[1] - before[1]).abs();
-        let other_delta = (after[0] - before[0]).abs().max((after[2] - before[2]).abs());
-        assert!(trained_delta > other_delta, "{trained_delta} vs {other_delta}");
+        let other_delta = (after[0] - before[0])
+            .abs()
+            .max((after[2] - before[2]).abs());
+        assert!(
+            trained_delta > other_delta,
+            "{trained_delta} vs {other_delta}"
+        );
     }
 }

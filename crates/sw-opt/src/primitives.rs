@@ -46,7 +46,11 @@ pub enum SwPrimitive {
 impl std::fmt::Display for SwPrimitive {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SwPrimitive::Split { index, outer, inner } => {
+            SwPrimitive::Split {
+                index,
+                outer,
+                inner,
+            } => {
                 write!(f, "split({index} -> [{outer}, {inner}])")
             }
             SwPrimitive::Reorder { order } => {
@@ -55,8 +59,7 @@ impl std::fmt::Display for SwPrimitive {
             }
             SwPrimitive::Fuse { count } => write!(f, "fuse(outer {count})"),
             SwPrimitive::Tensorize { tiles, intrinsic } => {
-                let ts: Vec<String> =
-                    tiles.iter().map(|(i, t)| format!("{i}:{t}")).collect();
+                let ts: Vec<String> = tiles.iter().map(|(i, t)| format!("{i}:{t}")).collect();
                 write!(f, "tensorize[{intrinsic}]({})", ts.join(", "))
             }
         }
@@ -109,7 +112,11 @@ mod tests {
 
     #[test]
     fn display_is_paper_like() {
-        let p = SwPrimitive::Split { index: IndexId(2), outer: 2, inner: 32 };
+        let p = SwPrimitive::Split {
+            index: IndexId(2),
+            outer: 2,
+            inner: 32,
+        };
         assert_eq!(p.to_string(), "split(i2 -> [2, 32])");
         let t = SwPrimitive::Tensorize {
             tiles: vec![(IndexId(0), 16), (IndexId(1), 32)],
@@ -122,13 +129,25 @@ mod tests {
     fn skeleton_names() {
         let seq = PrimitiveSequence {
             primitives: vec![
-                SwPrimitive::Split { index: IndexId(0), outer: 2, inner: 8 },
-                SwPrimitive::Reorder { order: vec![IndexId(0), IndexId(1)] },
+                SwPrimitive::Split {
+                    index: IndexId(0),
+                    outer: 2,
+                    inner: 8,
+                },
+                SwPrimitive::Reorder {
+                    order: vec![IndexId(0), IndexId(1)],
+                },
                 SwPrimitive::Fuse { count: 2 },
-                SwPrimitive::Tensorize { tiles: vec![], intrinsic: "gemm".into() },
+                SwPrimitive::Tensorize {
+                    tiles: vec![],
+                    intrinsic: "gemm".into(),
+                },
             ],
         };
-        assert_eq!(seq.skeleton(), vec!["split", "reorder", "fuse", "tensorize"]);
+        assert_eq!(
+            seq.skeleton(),
+            vec!["split", "reorder", "fuse", "tensorize"]
+        );
         assert_eq!(seq.len(), 4);
         assert!(!seq.is_empty());
     }

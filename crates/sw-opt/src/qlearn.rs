@@ -96,18 +96,17 @@ impl QLearner {
 
     /// Records the outcome of applying `action` (latency-based reward) and
     /// trains on a replay mini-batch.
-    pub fn observe(
-        &mut self,
-        state: Vec<f64>,
-        action: usize,
-        reward: f64,
-        next_state: Vec<f64>,
-    ) {
+    pub fn observe(&mut self, state: Vec<f64>, action: usize, reward: f64, next_state: Vec<f64>) {
         if self.replay.len() == self.replay_cap {
             let i = self.rng.gen_range(0..self.replay.len());
             self.replay.swap_remove(i);
         }
-        self.replay.push(Transition { state, action, reward, next_state });
+        self.replay.push(Transition {
+            state,
+            action,
+            reward,
+            next_state,
+        });
         for _ in 0..self.batch.min(self.replay.len()) {
             let t = &self.replay[self.rng.gen_range(0..self.replay.len())];
             let next_q = self.net.predict(&t.next_state);
@@ -136,7 +135,9 @@ mod tests {
     use tensor_ir::suites;
 
     fn ctx() -> ScheduleContext {
-        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+        let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .build()
+            .unwrap();
         let wl = suites::gemm_workload("g", 128, 128, 128);
         ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap()
     }

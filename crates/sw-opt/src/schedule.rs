@@ -120,7 +120,12 @@ impl ScheduleContext {
             outer_order.swap(i, j);
         }
         let fuse_outer = rng.gen_range(0..=2usize.min(outer_order.len()));
-        Schedule { choice: choice.clone(), tiles, outer_order, fuse_outer }
+        Schedule {
+            choice: choice.clone(),
+            tiles,
+            outer_order,
+            fuse_outer,
+        }
     }
 }
 
@@ -186,7 +191,10 @@ impl Schedule {
 
     /// Total interface invocations (product of outer trip counts).
     pub fn invocations(&self, ctx: &ScheduleContext) -> u64 {
-        self.outer_order.iter().map(|&i| self.trip_count(ctx, i)).product()
+        self.outer_order
+            .iter()
+            .map(|&i| self.trip_count(ctx, i))
+            .product()
     }
 
     /// The tile extent used *inside* one interface invocation: the tile for
@@ -205,9 +213,13 @@ impl Schedule {
                 inner: tile,
             });
         }
-        primitives.push(SwPrimitive::Reorder { order: self.outer_order.clone() });
+        primitives.push(SwPrimitive::Reorder {
+            order: self.outer_order.clone(),
+        });
         if self.fuse_outer > 0 {
-            primitives.push(SwPrimitive::Fuse { count: self.fuse_outer });
+            primitives.push(SwPrimitive::Fuse {
+                count: self.fuse_outer,
+            });
         }
         primitives.push(SwPrimitive::Tensorize {
             tiles: self.tiles.iter().map(|(&i, &t)| (i, t)).collect(),
@@ -306,7 +318,8 @@ impl Revision {
             }
             Revision::ShrinkTile(d) => {
                 let idx = *tensorized.get(d)?;
-                let floor = ctx.intrinsic_extent(&s.choice, idx)
+                let floor = ctx
+                    .intrinsic_extent(&s.choice, idx)
                     .min(ctx.workload.comp.index(idx).extent)
                     .max(1);
                 let t = s.tiles[&idx];
@@ -498,7 +511,10 @@ mod tests {
         assert_eq!(kinds.len(), NUM_REVISIONS);
         assert_eq!(Revision::from_action(0), Revision::GrowTile(0));
         assert_eq!(Revision::from_action(MAX_DIMS), Revision::ShrinkTile(0));
-        assert_eq!(Revision::from_action(NUM_REVISIONS - 1), Revision::SwitchChoice);
+        assert_eq!(
+            Revision::from_action(NUM_REVISIONS - 1),
+            Revision::SwitchChoice
+        );
     }
 
     #[test]

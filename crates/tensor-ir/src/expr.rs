@@ -12,6 +12,7 @@
 
 use crate::index::{IndexId, IndexKind, IndexVar};
 use crate::IrError;
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 
 /// One dimension of a tensor access: a sum of loop variables with unit
@@ -30,7 +31,9 @@ impl AffineDim {
 
     /// A dimension indexed by a sum of loop variables (e.g. `x + r`).
     pub fn sum(ids: impl IntoIterator<Item = IndexId>) -> Self {
-        AffineDim { terms: ids.into_iter().collect() }
+        AffineDim {
+            terms: ids.into_iter().collect(),
+        }
     }
 
     /// Returns `true` when the subscript is a single variable.
@@ -59,7 +62,10 @@ impl Access {
 
     /// Builds an access from explicit affine dims.
     pub fn new(tensor: impl Into<String>, dims: Vec<AffineDim>) -> Self {
-        Access { tensor: tensor.into(), dims }
+        Access {
+            tensor: tensor.into(),
+            dims,
+        }
     }
 
     /// Iterates over every index-variable occurrence in the access, in
@@ -71,6 +77,21 @@ impl Access {
     /// Returns `true` if the access mentions `id` in any dimension.
     pub fn uses(&self, id: IndexId) -> bool {
         self.index_occurrences().any(|o| o == id)
+    }
+}
+
+impl StableFingerprint for AffineDim {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        self.terms.fingerprint_into(fp);
+    }
+}
+
+impl StableFingerprint for Access {
+    // Tensor names distinguish which operand is accessed (two inputs with
+    // identical subscripts but different tensors are different programs).
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.tensor);
+        self.dims.fingerprint_into(fp);
     }
 }
 
@@ -103,6 +124,16 @@ pub struct Computation {
     pub inputs: Vec<Access>,
 }
 
+impl StableFingerprint for Computation {
+    // The computation name is cosmetic; the loop nest structure (index
+    // table, output access, input accesses) is what evaluation sees.
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        self.indices.fingerprint_into(fp);
+        self.output.fingerprint_into(fp);
+        self.inputs.fingerprint_into(fp);
+    }
+}
+
 impl Computation {
     /// Starts a [`ComputationBuilder`], the ergonomic way to construct
     /// computations by index name.
@@ -114,13 +145,17 @@ impl Computation {
     ///
     /// # Panics
     /// Panics if `id` is out of range; ids must come from this computation.
+    #[allow(clippy::should_implement_trait)] // domain term: an *index variable*
     pub fn index(&self, id: IndexId) -> &IndexVar {
         &self.indices[id.0]
     }
 
     /// Looks up an index id by name.
     pub fn index_by_name(&self, name: &str) -> Option<IndexId> {
-        self.indices.iter().position(|v| v.name == name).map(IndexId)
+        self.indices
+            .iter()
+            .position(|v| v.name == name)
+            .map(IndexId)
     }
 
     /// Ids of all spatial indices, in declaration order.
@@ -221,8 +256,11 @@ impl Computation {
                 .collect();
             format!("{}[{}]", a.tensor, dims.join(","))
         };
-        let reds: Vec<String> =
-            self.reduction_indices().iter().map(|r| self.index(*r).name.clone()).collect();
+        let reds: Vec<String> = self
+            .reduction_indices()
+            .iter()
+            .map(|r| self.index(*r).name.clone())
+            .collect();
         let rhs: Vec<String> = self.inputs.iter().map(fmt_access).collect();
         if reds.is_empty() {
             format!("{} = {}", fmt_access(&self.output), rhs.join(" * "))
@@ -285,7 +323,9 @@ impl ComputationBuilder {
                     .indices
                     .iter()
                     .position(|v| v.name == part)
-                    .unwrap_or_else(|| panic!("unknown index `{part}` in computation `{}`", self.name));
+                    .unwrap_or_else(|| {
+                        panic!("unknown index `{part}` in computation `{}`", self.name)
+                    });
                 IndexId(pos)
             })
             .collect();
@@ -452,7 +492,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown index")]
     fn builder_panics_on_unknown_name() {
-        let _ = Computation::builder("bad").spatial("i", 4).output("O", &["z"]);
+        let _ = Computation::builder("bad")
+            .spatial("i", 4)
+            .output("O", &["z"]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! compute workload, otherwise the decomposed program produces incorrect
 //! results (choice #2 of Fig. 4 in the paper).
 
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an index variable within one [`Computation`].
@@ -66,12 +67,20 @@ pub struct IndexVar {
 impl IndexVar {
     /// Creates a spatial (parallel, output-indexing) loop variable.
     pub fn spatial(name: impl Into<String>, extent: u64) -> Self {
-        IndexVar { name: name.into(), extent, kind: IndexKind::Spatial }
+        IndexVar {
+            name: name.into(),
+            extent,
+            kind: IndexKind::Spatial,
+        }
     }
 
     /// Creates a reduction (contracted) loop variable.
     pub fn reduction(name: impl Into<String>, extent: u64) -> Self {
-        IndexVar { name: name.into(), extent, kind: IndexKind::Reduction }
+        IndexVar {
+            name: name.into(),
+            extent,
+            kind: IndexKind::Reduction,
+        }
     }
 
     /// Returns `true` if the variable is spatial.
@@ -88,6 +97,27 @@ impl IndexVar {
 impl std::fmt::Display for IndexVar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}({})", self.name, self.extent)
+    }
+}
+
+impl StableFingerprint for IndexId {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_usize(self.0);
+    }
+}
+
+impl StableFingerprint for IndexKind {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_bool(matches!(self, IndexKind::Reduction));
+    }
+}
+
+impl StableFingerprint for IndexVar {
+    // The name is cosmetic (ids are positional); extent and kind are what
+    // schedules and cost models see.
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_u64(self.extent);
+        self.kind.fingerprint_into(fp);
     }
 }
 

@@ -7,6 +7,7 @@
 //! range of each node, such that the size of the sub-workload is flexible").
 
 use crate::expr::Computation;
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 
 /// The intrinsic families supported by HASCO's generators.
@@ -22,10 +23,25 @@ pub enum IntrinsicKind {
     Conv2d,
 }
 
+impl StableFingerprint for IntrinsicKind {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_u32(match self {
+            IntrinsicKind::Dot => 0,
+            IntrinsicKind::Gemv => 1,
+            IntrinsicKind::Gemm => 2,
+            IntrinsicKind::Conv2d => 3,
+        });
+    }
+}
+
 impl IntrinsicKind {
     /// All four intrinsic kinds, in increasing dimensionality order.
-    pub const ALL: [IntrinsicKind; 4] =
-        [IntrinsicKind::Dot, IntrinsicKind::Gemv, IntrinsicKind::Gemm, IntrinsicKind::Conv2d];
+    pub const ALL: [IntrinsicKind; 4] = [
+        IntrinsicKind::Dot,
+        IntrinsicKind::Gemv,
+        IntrinsicKind::Gemm,
+        IntrinsicKind::Conv2d,
+    ];
 
     /// Short lower-case name used across reports.
     pub fn name(&self) -> &'static str {
@@ -76,7 +92,10 @@ pub fn dot_intrinsic(n: u64) -> Intrinsic {
         .input("B", &["i"])
         .build()
         .expect("dot intrinsic is valid");
-    Intrinsic { kind: IntrinsicKind::Dot, comp }
+    Intrinsic {
+        kind: IntrinsicKind::Dot,
+        comp,
+    }
 }
 
 /// GEMV intrinsic `C[i] = Σ_j A[i,j] * B[j]`.
@@ -89,7 +108,10 @@ pub fn gemv_intrinsic(i: u64, j: u64) -> Intrinsic {
         .input("B", &["j"])
         .build()
         .expect("gemv intrinsic is valid");
-    Intrinsic { kind: IntrinsicKind::Gemv, comp }
+    Intrinsic {
+        kind: IntrinsicKind::Gemv,
+        comp,
+    }
 }
 
 /// GEMM intrinsic `L[i,j] = Σ_k M[i,k] * N[k,j]`.
@@ -103,7 +125,10 @@ pub fn gemm_intrinsic(i: u64, k: u64, j: u64) -> Intrinsic {
         .input("N", &["k", "j"])
         .build()
         .expect("gemm intrinsic is valid");
-    Intrinsic { kind: IntrinsicKind::Gemm, comp }
+    Intrinsic {
+        kind: IntrinsicKind::Gemm,
+        comp,
+    }
 }
 
 /// CONV2D intrinsic with a fixed `r × s` filter (the paper's experiments fix
@@ -121,7 +146,10 @@ pub fn conv2d_intrinsic(k: u64, c: u64, r: u64, s: u64) -> Intrinsic {
         .input("B", &["k", "c", "r", "s"])
         .build()
         .expect("conv2d intrinsic is valid");
-    Intrinsic { kind: IntrinsicKind::Conv2d, comp }
+    Intrinsic {
+        kind: IntrinsicKind::Conv2d,
+        comp,
+    }
 }
 
 /// AXPY-style intrinsic `Y[i] = a * X[i]` (the scalar `a` is a 0-dim
@@ -170,7 +198,10 @@ mod tests {
         assert_eq!(dot_intrinsic(64).macs_per_call(), 64);
         assert_eq!(gemm_intrinsic(16, 16, 16).macs_per_call(), 4096);
         assert_eq!(gemv_intrinsic(8, 4).macs_per_call(), 32);
-        assert_eq!(conv2d_intrinsic(8, 8, 3, 3).macs_per_call(), 8 * 4 * 4 * 8 * 9);
+        assert_eq!(
+            conv2d_intrinsic(8, 8, 3, 3).macs_per_call(),
+            8 * 4 * 4 * 8 * 9
+        );
     }
 
     #[test]
@@ -184,7 +215,10 @@ mod tests {
     #[test]
     fn intrinsic_for_derives_square_shapes() {
         let g = intrinsic_for(IntrinsicKind::Gemm, 64);
-        assert_eq!(g.comp.index_by_name("i").map(|i| g.comp.index(i).extent), Some(8));
+        assert_eq!(
+            g.comp.index_by_name("i").map(|i| g.comp.index(i).extent),
+            Some(8)
+        );
         let d = intrinsic_for(IntrinsicKind::Dot, 64);
         assert_eq!(d.macs_per_call(), 64);
         let v = intrinsic_for(IntrinsicKind::Gemv, 64);

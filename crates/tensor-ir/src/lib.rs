@@ -61,7 +61,10 @@ impl std::fmt::Display for IrError {
                 write!(f, "reduction index `{name}` used in output access")
             }
             IrError::SpatialNotInOutput(name) => {
-                write!(f, "spatial index `{name}` does not appear in the output access")
+                write!(
+                    f,
+                    "spatial index `{name}` does not appear in the output access"
+                )
             }
             IrError::ZeroExtent(name) => write!(f, "index `{name}` has zero extent"),
             IrError::NoInputs => write!(f, "computation has no input accesses"),

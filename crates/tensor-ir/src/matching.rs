@@ -32,6 +32,7 @@
 use crate::expr::Computation;
 use crate::index::IndexId;
 use crate::tst::{Tst, TstOp};
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -53,7 +54,11 @@ pub struct MatchOptions {
 
 impl Default for MatchOptions {
     fn default() -> Self {
-        MatchOptions { allow_rearrangement: true, fold_transposed: true, max_choices: 4096 }
+        MatchOptions {
+            allow_rearrangement: true,
+            fold_transposed: true,
+            max_choices: 4096,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ impl MatchOptions {
     /// Strict structural matching: no rearrangement, keep transposed
     /// variants distinct.
     pub fn strict() -> Self {
-        MatchOptions { allow_rearrangement: false, fold_transposed: false, max_choices: 4096 }
+        MatchOptions {
+            allow_rearrangement: false,
+            fold_transposed: false,
+            max_choices: 4096,
+        }
     }
 }
 
@@ -79,6 +88,14 @@ pub struct TensorizeChoice {
     pub needs_rearrangement: bool,
 }
 
+impl StableFingerprint for TensorizeChoice {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(&self.intrinsic);
+        self.var_map.fingerprint_into(fp);
+        fp.write_bool(self.needs_rearrangement);
+    }
+}
+
 impl TensorizeChoice {
     /// The compute-side loop variables absorbed by the intrinsic.
     pub fn tensorized_indices(&self) -> Vec<IndexId> {
@@ -90,7 +107,10 @@ impl TensorizeChoice {
 
     /// The compute variable assigned to a given intrinsic variable, if any.
     pub fn image_of(&self, intrinsic_var: IndexId) -> Option<IndexId> {
-        self.var_map.iter().find(|&&(q, _)| q == intrinsic_var).map(|&(_, c)| c)
+        self.var_map
+            .iter()
+            .find(|&&(q, _)| q == intrinsic_var)
+            .map(|&(_, c)| c)
     }
 
     /// Human-readable description, e.g. `gemm{i<-k, j<-x, k<-c}`.
@@ -98,9 +118,7 @@ impl TensorizeChoice {
         let pairs: Vec<String> = self
             .var_map
             .iter()
-            .map(|&(q, c)| {
-                format!("{}<-{}", intrinsic.index(q).name, compute.index(c).name)
-            })
+            .map(|&(q, c)| format!("{}<-{}", intrinsic.index(q).name, compute.index(c).name))
             .collect();
         let star = if self.needs_rearrangement { "*" } else { "" };
         format!("{}{{{}}}{}", self.intrinsic, pairs.join(", "), star)
@@ -163,8 +181,12 @@ pub fn find_tensorize_choices_with_stats(
     // Group intrinsic leaves by their index variable.
     let q_groups = group_by_var(&qtst, &q_leaves);
 
-    let mut seen: BTreeSet<(Vec<(IndexId, IndexId)>, bool)> = BTreeSet::new();
-    let mut fold_keys: BTreeSet<(Vec<IndexId>, Vec<(IndexId, IndexId)>, bool)> = BTreeSet::new();
+    /// A candidate's var-level mapping plus its rearrangement flag.
+    type ChoiceKey = (Vec<(IndexId, IndexId)>, bool);
+    /// A [`ChoiceKey`] widened by the sorted spatial image (fold key).
+    type FoldKey = (Vec<IndexId>, Vec<(IndexId, IndexId)>, bool);
+    let mut seen: BTreeSet<ChoiceKey> = BTreeSet::new();
+    let mut fold_keys: BTreeSet<FoldKey> = BTreeSet::new();
     let mut out = Vec::new();
 
     for subset in Combinations::new(m, n) {
@@ -184,33 +206,28 @@ pub fn find_tensorize_choices_with_stats(
             // Enumerate leaf-level bijections within each matched group.
             for leaf_bij in leaf_bijections(&q_groups, &c_groups, &var_bij) {
                 stats.index_matches += 1;
-                match structure_match(&qtst, &ctst, &leaf_bij, opts) {
-                    Some(needs_rearrangement) => {
-                        stats.structure_matches += 1;
-                        let mut var_map: Vec<(IndexId, IndexId)> = var_bij
-                            .iter()
-                            .map(|(&q, &c)| (q, c))
-                            .collect();
-                        var_map.sort();
-                        if !seen.insert((var_map.clone(), needs_rearrangement)) {
+                if let Some(needs_rearrangement) = structure_match(&qtst, &ctst, &leaf_bij, opts) {
+                    stats.structure_matches += 1;
+                    let mut var_map: Vec<(IndexId, IndexId)> =
+                        var_bij.iter().map(|(&q, &c)| (q, c)).collect();
+                    var_map.sort();
+                    if !seen.insert((var_map.clone(), needs_rearrangement)) {
+                        continue;
+                    }
+                    if opts.fold_transposed {
+                        let key = fold_key(intrinsic, &var_map, needs_rearrangement);
+                        if !fold_keys.insert(key) {
                             continue;
                         }
-                        if opts.fold_transposed {
-                            let key = fold_key(intrinsic, &var_map, needs_rearrangement);
-                            if !fold_keys.insert(key) {
-                                continue;
-                            }
-                        }
-                        out.push(TensorizeChoice {
-                            intrinsic: intrinsic.name.clone(),
-                            var_map,
-                            needs_rearrangement,
-                        });
-                        if out.len() >= opts.max_choices {
-                            return (out, stats);
-                        }
                     }
-                    None => {}
+                    out.push(TensorizeChoice {
+                        intrinsic: intrinsic.name.clone(),
+                        var_map,
+                        needs_rearrangement,
+                    });
+                    if out.len() >= opts.max_choices {
+                        return (out, stats);
+                    }
                 }
             }
         }
@@ -274,6 +291,7 @@ fn var_bijections(
     let mut used = vec![false; c_groups.len()];
     let mut current: Vec<usize> = Vec::with_capacity(q_groups.len());
 
+    #[allow(clippy::too_many_arguments)] // recursive worker threading its whole state
     fn rec(
         qi: usize,
         intrinsic: &Computation,
@@ -307,12 +325,30 @@ fn var_bijections(
             }
             used[ci] = true;
             current.push(ci);
-            rec(qi + 1, intrinsic, compute, q_groups, c_groups, used, current, result);
+            rec(
+                qi + 1,
+                intrinsic,
+                compute,
+                q_groups,
+                c_groups,
+                used,
+                current,
+                result,
+            );
             current.pop();
             used[ci] = false;
         }
     }
-    rec(0, intrinsic, compute, q_groups, c_groups, &mut used, &mut current, &mut result);
+    rec(
+        0,
+        intrinsic,
+        compute,
+        q_groups,
+        c_groups,
+        &mut used,
+        &mut current,
+        &mut result,
+    );
     result
 }
 
@@ -326,11 +362,18 @@ fn leaf_bijections(
     let mut per_group: Vec<Vec<Vec<(usize, usize)>>> = Vec::new();
     for (qv, q_occ) in q_groups {
         let cv = var_bij[qv];
-        let c_occ = &c_groups.iter().find(|(v, _)| *v == cv).expect("var in groups").1;
+        let c_occ = &c_groups
+            .iter()
+            .find(|(v, _)| *v == cv)
+            .expect("var in groups")
+            .1;
         let mut group_opts = Vec::new();
         for perm in permutations(c_occ.len()) {
-            let pairs: Vec<(usize, usize)> =
-                q_occ.iter().zip(perm.iter()).map(|(&q, &p)| (q, c_occ[p])).collect();
+            let pairs: Vec<(usize, usize)> = q_occ
+                .iter()
+                .zip(perm.iter())
+                .map(|(&q, &p)| (q, c_occ[p]))
+                .collect();
             group_opts.push(pairs);
         }
         per_group.push(group_opts);
@@ -368,7 +411,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -416,7 +459,12 @@ struct Combinations {
 
 impl Combinations {
     fn new(n: usize, k: usize) -> Self {
-        Combinations { n, k, current: (0..k).collect(), done: k > n }
+        Combinations {
+            n,
+            k,
+            current: (0..k).collect(),
+            done: k > n,
+        }
     }
 }
 
@@ -510,7 +558,10 @@ mod tests {
         let gk = gemm.comp.index_by_name("k").unwrap();
         for ch in find_tensorize_choices(&conv, &gemm.comp, &MatchOptions::default()) {
             let image = ch.image_of(gk).unwrap();
-            assert!(conv.index(image).is_reduction(), "choice {ch:?} maps reduction to spatial");
+            assert!(
+                conv.index(image).is_reduction(),
+                "choice {ch:?} maps reduction to spatial"
+            );
         }
     }
 
@@ -528,7 +579,10 @@ mod tests {
                 .filter(|&&(q, _)| gemm.comp.index(q).is_spatial())
                 .map(|&(_, c)| c)
                 .collect();
-            assert!(spatials.contains(&ck), "k must always be tensorized: {ch:?}");
+            assert!(
+                spatials.contains(&ck),
+                "k must always be tensorized: {ch:?}"
+            );
         }
     }
 
@@ -599,7 +653,10 @@ mod tests {
             }
         }
         for name in ["i", "k", "l", "j"] {
-            assert!(covered.contains(name), "GEMV should cover loop {name}: {covered:?}");
+            assert!(
+                covered.contains(name),
+                "GEMV should cover loop {name}: {covered:?}"
+            );
         }
     }
 
@@ -643,8 +700,10 @@ mod tests {
     #[test]
     fn max_choices_truncates() {
         let gemm = intrinsics::gemm_intrinsic(16, 16, 16);
-        let mut opts = MatchOptions::default();
-        opts.max_choices = 2;
+        let opts = MatchOptions {
+            max_choices: 2,
+            ..Default::default()
+        };
         let choices = find_tensorize_choices(&conv(), &gemm.comp, &opts);
         assert_eq!(choices.len(), 2);
     }
@@ -687,8 +746,10 @@ mod tests {
         // j and "outputs incorrect results".
         let gemm_wl = suites::gemm_workload("g", 64, 64, 64);
         let gemv = intrinsics::gemv_intrinsic(16, 16);
-        let mut opts = MatchOptions::default();
-        opts.fold_transposed = false;
+        let opts = MatchOptions {
+            fold_transposed: false,
+            ..Default::default()
+        };
         let choices = find_tensorize_choices(&gemm_wl.comp, &gemv.comp, &opts);
         // Exactly the #1 and #3 mappings.
         assert_eq!(choices.len(), 2);
@@ -697,8 +758,7 @@ mod tests {
         let wi = gemm_wl.comp.index_by_name("i").unwrap();
         let wj = gemm_wl.comp.index_by_name("j").unwrap();
         let wk = gemm_wl.comp.index_by_name("k").unwrap();
-        let spatial_images: BTreeSet<_> =
-            choices.iter().map(|c| c.image_of(gi).unwrap()).collect();
+        let spatial_images: BTreeSet<_> = choices.iter().map(|c| c.image_of(gi).unwrap()).collect();
         assert_eq!(spatial_images, BTreeSet::from([wi, wj]));
         for c in &choices {
             // The GEMV reduction always contracts GEMM's k — never the
@@ -714,8 +774,10 @@ mod tests {
         // loops; the scalar operand is implicit.
         let gemm_wl = suites::gemm_workload("g", 64, 64, 64);
         let axpy = intrinsics::axpy_intrinsic(16);
-        let mut opts = MatchOptions::default();
-        opts.fold_transposed = false;
+        let opts = MatchOptions {
+            fold_transposed: false,
+            ..Default::default()
+        };
         let choices = find_tensorize_choices(&gemm_wl.comp, &axpy, &opts);
         assert!(!choices.is_empty());
         let ai = axpy.index_by_name("i").unwrap();

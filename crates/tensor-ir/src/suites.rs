@@ -165,16 +165,16 @@ pub fn gemm_workloads() -> Vec<Workload> {
 /// filter-size mix discussed around Fig. 7(b).
 pub fn conv2d_workloads() -> Vec<Workload> {
     let shapes: [(u64, u64, u64, u64, u64, u64); 10] = [
-        (64, 48, 28, 28, 5, 5),    // #1: 5x5 filter
-        (64, 64, 35, 35, 3, 3),    // #2
-        (128, 64, 28, 28, 3, 3),   // #3
-        (128, 128, 28, 28, 3, 3),  // #4
-        (96, 64, 28, 28, 5, 5),    // #5: 5x5 filter
-        (256, 128, 28, 28, 3, 3),  // #6
-        (256, 256, 14, 14, 3, 3),  // #7
-        (96, 48, 28, 28, 7, 7),    // #8: 7x7 filter
-        (512, 256, 14, 14, 3, 3),  // #9
-        (512, 512, 28, 28, 3, 3),  // #10
+        (64, 48, 28, 28, 5, 5),   // #1: 5x5 filter
+        (64, 64, 35, 35, 3, 3),   // #2
+        (128, 64, 28, 28, 3, 3),  // #3
+        (128, 128, 28, 28, 3, 3), // #4
+        (96, 64, 28, 28, 5, 5),   // #5: 5x5 filter
+        (256, 128, 28, 28, 3, 3), // #6
+        (256, 256, 14, 14, 3, 3), // #7
+        (96, 48, 28, 28, 7, 7),   // #8: 7x7 filter
+        (512, 256, 14, 14, 3, 3), // #9
+        (512, 512, 28, 28, 3, 3), // #10
     ];
     shapes
         .iter()
@@ -191,8 +191,12 @@ pub fn resnet50_convs() -> Vec<Workload> {
     let mut out = Vec::new();
     out.push(conv2d_workload("resnet_conv1", 64, 3, 112, 112, 7, 7));
     // (bottleneck width, output channels, spatial size, block count)
-    let stages: [(u64, u64, u64, usize); 4] =
-        [(64, 256, 56, 3), (128, 512, 28, 4), (256, 1024, 14, 6), (512, 2048, 7, 3)];
+    let stages: [(u64, u64, u64, usize); 4] = [
+        (64, 256, 56, 3),
+        (128, 512, 28, 4),
+        (256, 1024, 14, 6),
+        (512, 2048, 7, 3),
+    ];
     let mut in_c = 64;
     for (si, &(width, out_c, xy, blocks)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -269,8 +273,24 @@ pub fn mobilenet_convs() -> Vec<Workload> {
         (1024, 1024, 7),
     ];
     for (n, &(in_c, out_c, xy)) in pairs.iter().enumerate() {
-        out.push(conv2d_workload(&format!("mobilenet_dw{}", n + 1), in_c, 1, xy, xy, 3, 3));
-        out.push(conv2d_workload(&format!("mobilenet_pw{}", n + 1), out_c, in_c, xy, xy, 1, 1));
+        out.push(conv2d_workload(
+            &format!("mobilenet_dw{}", n + 1),
+            in_c,
+            1,
+            xy,
+            xy,
+            3,
+            3,
+        ));
+        out.push(conv2d_workload(
+            &format!("mobilenet_pw{}", n + 1),
+            out_c,
+            in_c,
+            xy,
+            xy,
+            1,
+            1,
+        ));
     }
     out
 }
@@ -289,23 +309,79 @@ pub fn xception_convs() -> Vec<Workload> {
     // Entry flow separable blocks.
     let entry: [(u64, u64, u64); 3] = [(64, 128, 74), (128, 256, 37), (256, 728, 19)];
     for (n, &(in_c, out_c, xy)) in entry.iter().enumerate() {
-        out.push(conv2d_workload(&format!("xception_entry{}_dw", n + 1), in_c, 1, xy, xy, 3, 3));
-        out.push(conv2d_workload(&format!("xception_entry{}_pw", n + 1), out_c, in_c, xy, xy, 1, 1));
+        out.push(conv2d_workload(
+            &format!("xception_entry{}_dw", n + 1),
+            in_c,
+            1,
+            xy,
+            xy,
+            3,
+            3,
+        ));
+        out.push(conv2d_workload(
+            &format!("xception_entry{}_pw", n + 1),
+            out_c,
+            in_c,
+            xy,
+            xy,
+            1,
+            1,
+        ));
     }
     // Middle flow: 8 blocks of 3 separable convs at 728 channels, 19x19.
     for b in 1..=8 {
         for i in 1..=3 {
-            out.push(conv2d_workload(&format!("xception_mid{b}_{i}_dw"), 728, 1, 19, 19, 3, 3));
-            out.push(conv2d_workload(&format!("xception_mid{b}_{i}_pw"), 728, 728, 19, 19, 1, 1));
+            out.push(conv2d_workload(
+                &format!("xception_mid{b}_{i}_dw"),
+                728,
+                1,
+                19,
+                19,
+                3,
+                3,
+            ));
+            out.push(conv2d_workload(
+                &format!("xception_mid{b}_{i}_pw"),
+                728,
+                728,
+                19,
+                19,
+                1,
+                1,
+            ));
         }
     }
     // Exit flow.
     out.push(conv2d_workload("xception_exit1_dw", 728, 1, 10, 10, 3, 3));
-    out.push(conv2d_workload("xception_exit1_pw", 1024, 728, 10, 10, 1, 1));
+    out.push(conv2d_workload(
+        "xception_exit1_pw",
+        1024,
+        728,
+        10,
+        10,
+        1,
+        1,
+    ));
     out.push(conv2d_workload("xception_exit2_dw", 1024, 1, 10, 10, 3, 3));
-    out.push(conv2d_workload("xception_exit2_pw", 1536, 1024, 10, 10, 1, 1));
+    out.push(conv2d_workload(
+        "xception_exit2_pw",
+        1536,
+        1024,
+        10,
+        10,
+        1,
+        1,
+    ));
     out.push(conv2d_workload("xception_exit3_dw", 1536, 1, 10, 10, 3, 3));
-    out.push(conv2d_workload("xception_exit3_pw", 2048, 1536, 10, 10, 1, 1));
+    out.push(conv2d_workload(
+        "xception_exit3_pw",
+        2048,
+        1536,
+        10,
+        10,
+        1,
+        1,
+    ));
     out
 }
 

@@ -87,7 +87,9 @@ impl Tst {
             let mut dim_ids = Vec::new();
             for dim in &acc.dims {
                 if dim.terms.len() == 1 {
-                    nodes.push(TstNode::Leaf { index: dim.terms[0] });
+                    nodes.push(TstNode::Leaf {
+                        index: dim.terms[0],
+                    });
                     dim_ids.push(nodes.len() - 1);
                 } else {
                     let mut leaf_ids = Vec::new();
@@ -113,13 +115,21 @@ impl Tst {
         let mul = if access_ids.len() == 1 {
             access_ids[0]
         } else {
-            nodes.push(TstNode::Internal { op: TstOp::Mul, children: access_ids, tensor: None });
+            nodes.push(TstNode::Internal {
+                op: TstOp::Mul,
+                children: access_ids,
+                tensor: None,
+            });
             nodes.len() - 1
         };
         let root = if comp.reduction_indices().is_empty() {
             mul
         } else {
-            nodes.push(TstNode::Internal { op: TstOp::Sum, children: vec![mul], tensor: None });
+            nodes.push(TstNode::Internal {
+                op: TstOp::Sum,
+                children: vec![mul],
+                tensor: None,
+            });
             nodes.len() - 1
         };
         Self::finish(nodes, root)
@@ -151,7 +161,13 @@ impl Tst {
                 }
             }
         }
-        Tst { nodes, root, parent, depth, leaves }
+        Tst {
+            nodes,
+            root,
+            parent,
+            depth,
+            leaves,
+        }
     }
 
     /// Node id of the root.
@@ -229,7 +245,12 @@ impl Tst {
     pub fn enclosing_tensor(&self, leaf: usize) -> Option<&str> {
         let mut n = leaf;
         while let Some(p) = self.parent[n] {
-            if let TstNode::Internal { op: TstOp::Access, tensor, .. } = &self.nodes[p] {
+            if let TstNode::Internal {
+                op: TstOp::Access,
+                tensor,
+                ..
+            } = &self.nodes[p]
+            {
                 return tensor.as_deref();
             }
             n = p;
@@ -242,7 +263,11 @@ impl Tst {
         fn rec(t: &Tst, comp: &Computation, n: usize, out: &mut String) {
             match &t.nodes[n] {
                 TstNode::Leaf { index } => out.push_str(&comp.index(*index).name),
-                TstNode::Internal { op, children, tensor } => {
+                TstNode::Internal {
+                    op,
+                    children,
+                    tensor,
+                } => {
                     out.push('(');
                     match tensor {
                         Some(name) => out.push_str(&format!("[]{name}")),
@@ -308,7 +333,10 @@ mod tests {
         let t = Tst::from_computation(&c);
         // Paper §IV-B: "The compute tree has nine leaf nodes".
         assert_eq!(t.leaves().len(), 9);
-        assert_eq!(t.to_sexpr(&c), "(sum (* ([]A c (+ x r) (+ y s)) ([]B k c r s)))");
+        assert_eq!(
+            t.to_sexpr(&c),
+            "(sum (* ([]A c (+ x r) (+ y s)) ([]B k c r s)))"
+        );
     }
 
     #[test]

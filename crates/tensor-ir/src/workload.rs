@@ -7,6 +7,7 @@
 
 use crate::complexity;
 use crate::expr::Computation;
+use runtime::{Fingerprinter, StableFingerprint};
 use serde::{Deserialize, Serialize};
 
 /// A concrete tensor computation instance.
@@ -18,6 +19,15 @@ pub struct Workload {
     pub comp: Computation,
 }
 
+impl StableFingerprint for Workload {
+    // The name is reporting-only: two workloads with identical loop nests
+    // map, schedule, and cost identically, so they share a fingerprint
+    // (and thus memoized evaluations).
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        self.comp.fingerprint_into(fp);
+    }
+}
+
 impl Workload {
     /// Creates a workload, asserting the computation is valid.
     ///
@@ -26,7 +36,10 @@ impl Workload {
     /// trusted suite constructors.
     pub fn new(name: impl Into<String>, comp: Computation) -> Self {
         comp.validate().expect("workload computation must be valid");
-        Workload { name: name.into(), comp }
+        Workload {
+            name: name.into(),
+            comp,
+        }
     }
 
     /// Total floating-point operations (see [`complexity::flops`]).
@@ -63,7 +76,10 @@ pub struct TensorApp {
 impl TensorApp {
     /// Creates an application from workloads.
     pub fn new(name: impl Into<String>, workloads: Vec<Workload>) -> Self {
-        TensorApp { name: name.into(), workloads }
+        TensorApp {
+            name: name.into(),
+            workloads,
+        }
     }
 
     /// Sum of FLOPs across all workloads.
@@ -129,7 +145,10 @@ mod tests {
     fn app_ranges() {
         let app = TensorApp::new(
             "toy",
-            vec![suites::gemm_workload("a", 8, 8, 8), suites::gemm_workload("b", 32, 32, 32)],
+            vec![
+                suites::gemm_workload("a", 8, 8, 8),
+                suites::gemm_workload("b", 32, 32, 32),
+            ],
         );
         let (lo, hi) = app.complexity_range();
         assert_eq!(lo, 2 * 8 * 8 * 8);

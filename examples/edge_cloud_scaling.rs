@@ -14,7 +14,10 @@ use tensor_ir::workload::TensorApp;
 
 fn main() {
     let layers: Vec<_> = suites::mobilenet_convs().into_iter().step_by(5).collect();
-    println!("scaling a {}-layer MobileNet subset across scenarios...\n", layers.len());
+    println!(
+        "scaling a {}-layer MobileNet subset across scenarios...\n",
+        layers.len()
+    );
 
     let mut table = Table::new(&[
         "scenario",
@@ -29,7 +32,10 @@ fn main() {
         let input = InputDescription {
             app: TensorApp::new("mobilenet_subset", layers.clone()),
             method: GenerationMethod::Gemmini,
-            constraints: Constraints { max_power_mw: Some(cap_mw), ..Default::default() },
+            constraints: Constraints {
+                max_power_mw: Some(cap_mw),
+                ..Default::default()
+            },
         };
         let solution = CoDesigner::new(CoDesignOptions::paper(11))
             .run(&input)

@@ -27,7 +27,12 @@ fn main() {
     println!("== tensor syntax trees ==");
     for comp in [&conv.comp, &mttkrp.comp] {
         let tst = Tst::from_computation(comp);
-        println!("{}\n  TST: {} ({} leaves)\n", comp, tst.to_sexpr(comp), tst.leaves().len());
+        println!(
+            "{}\n  TST: {} ({} leaves)\n",
+            comp,
+            tst.to_sexpr(comp),
+            tst.leaves().len()
+        );
     }
 
     println!("== conv2d -> GEMM (the paper's Fig. 5(b) walkthrough) ==");

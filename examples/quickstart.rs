@@ -41,6 +41,10 @@ fn main() {
         "hardware DSE evaluated {} accelerators ({} Pareto-optimal); constraints {}",
         solution.hw_history.evaluations.len(),
         solution.hw_history.pareto_front().len(),
-        if solution.meets_constraints { "met" } else { "violated" }
+        if solution.meets_constraints {
+            "met"
+        } else {
+            "violated"
+        }
     );
 }

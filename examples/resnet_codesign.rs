@@ -24,7 +24,10 @@ fn main() {
     let input = InputDescription {
         app: TensorApp::new("resnet_subset", layers.clone()),
         method: GenerationMethod::Gemmini,
-        constraints: Constraints { max_power_mw: Some(2_000.0), ..Default::default() },
+        constraints: Constraints {
+            max_power_mw: Some(2_000.0),
+            ..Default::default()
+        },
     };
     let designer = CoDesigner::new(CoDesignOptions::paper(7));
     let solution = designer.run(&input).expect("co-design succeeds");
@@ -35,7 +38,9 @@ fn main() {
     let mut table = Table::new(&["layer", "baseline+AutoTVM (ms)", "HASCO (ms)", "speedup"]);
     let mut base_total = 0.0;
     for (w, sol) in layers.iter().zip(&solution.per_workload) {
-        let base = tvm.best_metrics(w, &baseline_cfg).expect("baseline maps layer");
+        let base = tvm
+            .best_metrics(w, &baseline_cfg)
+            .expect("baseline maps layer");
         base_total += base.latency_ms;
         table.row(vec![
             w.name.clone(),

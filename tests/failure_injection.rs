@@ -20,14 +20,18 @@ fn empty_application_is_rejected() {
         constraints: Constraints::default(),
     };
     assert_eq!(
-        CoDesigner::new(CoDesignOptions::quick(0)).run(&input).unwrap_err(),
+        CoDesigner::new(CoDesignOptions::quick(0))
+            .run(&input)
+            .unwrap_err(),
         HascoError::EmptyApp
     );
 }
 
 #[test]
 fn tiny_scratchpad_fails_with_clear_error() {
-    let mut cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm).build().unwrap();
+    let mut cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .build()
+        .unwrap();
     cfg.scratchpad_bytes = 128;
     let wl = suites::gemm_workload("g", 256, 256, 256);
     let err = SoftwareExplorer::new(0)
@@ -40,7 +44,9 @@ fn tiny_scratchpad_fails_with_clear_error() {
 #[test]
 fn unmatchable_workload_reports_no_tensorize_choice() {
     // A GEMM workload cannot be tensorized onto a CONV2D intrinsic.
-    let cfg = AcceleratorConfig::builder(IntrinsicKind::Conv2d).build().unwrap();
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Conv2d)
+        .build()
+        .unwrap();
     let wl = suites::gemm_workload("g", 64, 64, 64);
     let err = SoftwareExplorer::new(0)
         .optimize(&wl, &cfg, &ExplorerOptions::default())
@@ -57,7 +63,9 @@ fn impossible_constraints_still_return_best_effort() {
         method: GenerationMethod::Gemmini,
         constraints: Constraints::latency_power(1e-9, 1e-9),
     };
-    let solution = CoDesigner::new(CoDesignOptions::quick(1)).run(&input).unwrap();
+    let solution = CoDesigner::new(CoDesignOptions::quick(1))
+        .run(&input)
+        .unwrap();
     assert!(!solution.meets_constraints);
     assert!(solution.total.latency_ms > 0.0);
 }
@@ -84,10 +92,18 @@ fn zero_extent_workloads_are_rejected_at_construction() {
 #[test]
 fn invalid_accelerator_configs_never_reach_the_cost_model() {
     for builder_result in [
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).pe_array(0, 8).build(),
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).banks(0).build(),
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(0, 128).build(),
-        AcceleratorConfig::builder(IntrinsicKind::Gemm).dma(64, 7).build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(0, 8)
+            .build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .banks(0)
+            .build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .dma(0, 128)
+            .build(),
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .dma(64, 7)
+            .build(),
     ] {
         assert!(builder_result.is_err());
     }

@@ -1,0 +1,159 @@
+//! The parallel evaluation runtime's contract, end to end: fixed-seed
+//! co-design runs are bitwise identical at any thread count, the memoizing
+//! cost-model cache deduplicates equivalent work, and (on hosts with
+//! enough cores) parallel evaluation is actually faster.
+
+use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+fn mixed_input(n_workloads: usize) -> InputDescription {
+    let all = vec![
+        suites::gemm_workload("g1", 256, 256, 256),
+        suites::conv2d_workload("c1", 64, 64, 28, 28, 3, 3),
+        suites::gemm_workload("g2", 128, 256, 128),
+        suites::conv2d_workload("c2", 64, 32, 56, 56, 3, 3),
+    ];
+    InputDescription {
+        app: TensorApp::new("mixed", all.into_iter().take(n_workloads).collect()),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::default(),
+    }
+}
+
+#[test]
+fn parallel_and_serial_codesign_are_bitwise_identical() {
+    let input = mixed_input(2);
+    let serial = CoDesigner::new(CoDesignOptions::quick(42))
+        .run(&input)
+        .unwrap();
+    let parallel = CoDesigner::new(CoDesignOptions::quick(42).with_threads(4))
+        .run(&input)
+        .unwrap();
+
+    // The chosen accelerator, every workload's optimized software, and the
+    // application totals must match exactly (not approximately).
+    assert_eq!(serial.accelerator, parallel.accelerator);
+    assert_eq!(serial.total.latency_cycles, parallel.total.latency_cycles);
+    assert_eq!(serial.total.power_mw, parallel.total.power_mw);
+    assert_eq!(serial.total.area_mm2, parallel.total.area_mm2);
+    assert_eq!(serial.meets_constraints, parallel.meets_constraints);
+    assert_eq!(serial.per_workload.len(), parallel.per_workload.len());
+    for (a, b) in serial.per_workload.iter().zip(&parallel.per_workload) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.metrics.latency_cycles, b.metrics.latency_cycles);
+        assert_eq!(a.schedule.choice.var_map, b.schedule.choice.var_map);
+        assert_eq!(a.program, b.program);
+    }
+
+    // The whole exploration history — and therefore the Pareto front —
+    // must be identical, evaluation for evaluation.
+    assert_eq!(serial.hw_history, parallel.hw_history);
+    let front_a: Vec<_> = serial.hw_history.pareto_front();
+    let front_b: Vec<_> = parallel.hw_history.pareto_front();
+    assert_eq!(front_a, front_b);
+
+    // And the runs really used different runtime configurations.
+    assert_eq!(serial.stats.threads, 1);
+    assert_eq!(parallel.stats.threads, 4);
+}
+
+#[test]
+fn auto_thread_selection_matches_serial_too() {
+    // threads = 0 resolves to every available core — whatever that is on
+    // the host, the solution must not change.
+    let input = mixed_input(1);
+    let serial = CoDesigner::new(CoDesignOptions::quick(7))
+        .run(&input)
+        .unwrap();
+    let auto = CoDesigner::new(CoDesignOptions::quick(7).with_threads(0))
+        .run(&input)
+        .unwrap();
+    assert_eq!(serial.accelerator, auto.accelerator);
+    assert_eq!(serial.hw_history, auto.hw_history);
+}
+
+#[test]
+fn memo_cache_deduplicates_equivalent_workloads() {
+    // Two workloads with identical loop nests (names differ — names are
+    // reporting-only) share evaluation fingerprints, so every design
+    // point's second workload is answered from the memo cache.
+    let input = InputDescription {
+        app: TensorApp::new(
+            "twins",
+            vec![
+                suites::gemm_workload("left", 256, 256, 256),
+                suites::gemm_workload("right", 256, 256, 256),
+            ],
+        ),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::default(),
+    };
+    let solution = CoDesigner::new(CoDesignOptions::quick(3).with_threads(2))
+        .run(&input)
+        .unwrap();
+    let stats = solution.stats;
+    assert!(
+        stats.cache.hits >= stats.hw_evaluations as u64,
+        "expected one memo hit per evaluated point, got {} hits over {} evaluations",
+        stats.cache.hits,
+        stats.hw_evaluations,
+    );
+    // Twins must also land on the same optimized latency.
+    assert_eq!(
+        solution.per_workload[0].metrics.latency_cycles,
+        solution.per_workload[1].metrics.latency_cycles,
+    );
+}
+
+#[test]
+fn parallel_codesign_is_faster_on_multicore_hosts() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < 4 {
+        eprintln!("skipping speedup check: only {cores} core(s) available");
+        return;
+    }
+    let input = mixed_input(4);
+    let mut opts = CoDesignOptions::quick(11);
+    opts.hw_trials = 6;
+
+    // Warm up (build caches, fault pages) so timing compares steady state.
+    let _ = CoDesigner::new(opts.clone()).run(&input).unwrap();
+
+    // Best-of-two per mode: min wall time is far less sensitive to a
+    // concurrent test binary stealing the cores mid-run than a single
+    // sample, and a 4-workload quick() run has enough parallel work that
+    // real speedup dwarfs the remaining noise.
+    let mut serial = None;
+    let mut t_serial = std::time::Duration::MAX;
+    let mut t_parallel = std::time::Duration::MAX;
+    let mut parallel = None;
+    for _ in 0..2 {
+        let t = std::time::Instant::now();
+        serial = Some(CoDesigner::new(opts.clone()).run(&input).unwrap());
+        t_serial = t_serial.min(t.elapsed());
+
+        let t = std::time::Instant::now();
+        parallel = Some(
+            CoDesigner::new(opts.clone().with_threads(4))
+                .run(&input)
+                .unwrap(),
+        );
+        t_parallel = t_parallel.min(t.elapsed());
+    }
+    let (serial, parallel) = (serial.unwrap(), parallel.unwrap());
+
+    assert_eq!(
+        serial.hw_history, parallel.hw_history,
+        "speedup must not change results"
+    );
+    assert!(
+        t_parallel.as_secs_f64() < t_serial.as_secs_f64() * 0.9,
+        "threads = 4 ({t_parallel:?}) should measurably beat threads = 1 ({t_serial:?}) on {cores} cores",
+    );
+    eprintln!(
+        "codesign speedup on {cores} cores: {:.2}x ({t_serial:?} -> {t_parallel:?})",
+        t_serial.as_secs_f64() / t_parallel.as_secs_f64(),
+    );
+}

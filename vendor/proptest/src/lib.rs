@@ -1,0 +1,267 @@
+//! Offline stand-in for `proptest` (no registry access in this
+//! environment). Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`Strategy`] implemented for integer/float ranges;
+//! * `prop::collection::vec(strategy, len)` with a fixed or ranged length;
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Cases are straight random samples — there is no shrinking. The RNG seed
+//! is derived from the test name, so every run replays the same cases and
+//! failures reproduce exactly.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+pub mod collection;
+
+/// Run-count configuration (`with_cases` is the only knob the workspace
+/// uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (carries the formatted assertion message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Generates random values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut SmallRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy yielding one fixed value (`Just` in real proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Stable 64-bit FNV-1a over the test name, used as the per-test seed so
+/// runs replay identically without global state.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Inequality variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                a, b
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random samples of the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            $vis:vis fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            $vis fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <::rand::rngs::SmallRng as ::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = ($strat).sample(&mut rng);)*
+                    // Render inputs before the body runs: the body takes
+                    // the arguments by value.
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg,)*
+                    );
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e.0,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0f64..1.0, 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u64..9, y in 0.5f64..2.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0usize..10, 1..5), w in pair()) {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert_eq!(w.len(), 2);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    mod failing {
+        use crate::prelude::*;
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            pub fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        failing::always_fails();
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde` (no registry access in this environment).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to mark types as
+//! wire-ready; nothing serializes yet. The traits are therefore empty
+//! markers and the derive macros (re-exported from the local
+//! `serde_derive` shim) emit empty impls. Swapping the real crates back in
+//! requires no source changes — see `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (shim: no methods).
+pub trait Serialize {}
+
+/// Marker for deserializable types (shim: no methods, no `'de` lifetime).
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool, char, String, str, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32,
+    f64
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}

@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde_derive`: the derive macros emit *empty*
+//! impls of the shim's marker traits (see `vendor/serde`). Written without
+//! `syn`/`quote` (unavailable offline) — the input item is scanned for the
+//! `struct`/`enum` keyword and the following identifier.
+//!
+//! Limitation: generic types are rejected with a clear error; no type in
+//! this workspace currently derives serde impls with generics.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` item and asserts
+/// it has no generic parameters.
+fn type_name(input: &TokenStream, trait_name: &str) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("derive({trait_name}): expected a type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "derive({trait_name}) shim does not support generic type `{name}`; \
+                             write the impl by hand or extend vendor/serde_derive"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("derive({trait_name}): no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input, "Serialize");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input, "Deserialize");
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

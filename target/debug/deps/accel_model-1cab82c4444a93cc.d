@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/accel_model-1cab82c4444a93cc.d: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_model-1cab82c4444a93cc.rmeta: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs Cargo.toml
+
+crates/accel-model/src/lib.rs:
+crates/accel-model/src/arch.rs:
+crates/accel-model/src/area.rs:
+crates/accel-model/src/cost.rs:
+crates/accel-model/src/energy.rs:
+crates/accel-model/src/isa.rs:
+crates/accel-model/src/metrics.rs:
+crates/accel-model/src/plan.rs:
+crates/accel-model/src/sim.rs:
+crates/accel-model/src/tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

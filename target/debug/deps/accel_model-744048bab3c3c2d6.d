@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accel_model-744048bab3c3c2d6.d: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+/root/repo/target/debug/deps/libaccel_model-744048bab3c3c2d6.rlib: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+/root/repo/target/debug/deps/libaccel_model-744048bab3c3c2d6.rmeta: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+crates/accel-model/src/lib.rs:
+crates/accel-model/src/arch.rs:
+crates/accel-model/src/area.rs:
+crates/accel-model/src/cost.rs:
+crates/accel-model/src/energy.rs:
+crates/accel-model/src/isa.rs:
+crates/accel-model/src/metrics.rs:
+crates/accel-model/src/plan.rs:
+crates/accel-model/src/sim.rs:
+crates/accel-model/src/tech.rs:

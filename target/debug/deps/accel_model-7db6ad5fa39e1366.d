@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accel_model-7db6ad5fa39e1366.d: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+/root/repo/target/debug/deps/libaccel_model-7db6ad5fa39e1366.rmeta: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+crates/accel-model/src/lib.rs:
+crates/accel-model/src/arch.rs:
+crates/accel-model/src/area.rs:
+crates/accel-model/src/cost.rs:
+crates/accel-model/src/energy.rs:
+crates/accel-model/src/isa.rs:
+crates/accel-model/src/metrics.rs:
+crates/accel-model/src/plan.rs:
+crates/accel-model/src/sim.rs:
+crates/accel-model/src/tech.rs:

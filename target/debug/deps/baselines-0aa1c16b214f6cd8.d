@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-0aa1c16b214f6cd8.d: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/debug/deps/libbaselines-0aa1c16b214f6cd8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autotvm.rs:
+crates/baselines/src/hls.rs:
+crates/baselines/src/library.rs:

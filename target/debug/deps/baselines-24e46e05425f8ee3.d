@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-24e46e05425f8ee3.d: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-24e46e05425f8ee3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autotvm.rs:
+crates/baselines/src/hls.rs:
+crates/baselines/src/library.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

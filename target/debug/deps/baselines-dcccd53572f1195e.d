@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-dcccd53572f1195e.d: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/debug/deps/libbaselines-dcccd53572f1195e.rlib: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/debug/deps/libbaselines-dcccd53572f1195e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autotvm.rs:
+crates/baselines/src/hls.rs:
+crates/baselines/src/library.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-0fbc12c0c3c9b2a0.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-0fbc12c0c3c9b2a0: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

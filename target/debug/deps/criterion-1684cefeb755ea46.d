@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1684cefeb755ea46.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1684cefeb755ea46.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-d2963c97ba19252c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d2963c97ba19252c.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d2963c97ba19252c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-fe2c58a11baac55c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fe2c58a11baac55c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

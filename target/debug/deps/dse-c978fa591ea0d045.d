@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dse-c978fa591ea0d045.d: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs
+
+/root/repo/target/debug/deps/libdse-c978fa591ea0d045.rmeta: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/anneal.rs:
+crates/dse/src/gp.rs:
+crates/dse/src/hypervolume.rs:
+crates/dse/src/linalg.rs:
+crates/dse/src/mobo.rs:
+crates/dse/src/nsga2.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/problem.rs:
+crates/dse/src/random.rs:

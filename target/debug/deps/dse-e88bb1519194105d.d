@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dse-e88bb1519194105d.d: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdse-e88bb1519194105d.rmeta: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs Cargo.toml
+
+crates/dse/src/lib.rs:
+crates/dse/src/anneal.rs:
+crates/dse/src/gp.rs:
+crates/dse/src/hypervolume.rs:
+crates/dse/src/linalg.rs:
+crates/dse/src/mobo.rs:
+crates/dse/src/nsga2.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/problem.rs:
+crates/dse/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

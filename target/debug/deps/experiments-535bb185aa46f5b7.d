@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-535bb185aa46f5b7.d: crates/bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-535bb185aa46f5b7.rmeta: crates/bench/benches/experiments.rs Cargo.toml
+
+crates/bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-eacfdcbccce73be8.d: crates/bench/benches/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-eacfdcbccce73be8.rmeta: crates/bench/benches/experiments.rs Cargo.toml
+
+crates/bench/benches/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

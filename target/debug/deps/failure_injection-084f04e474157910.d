@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-084f04e474157910.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-084f04e474157910.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-939162ff6a589b12.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-939162ff6a589b12: tests/failure_injection.rs
+
+tests/failure_injection.rs:

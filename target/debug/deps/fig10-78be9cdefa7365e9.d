@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-78be9cdefa7365e9.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-78be9cdefa7365e9.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-7ed98bebc62d38f6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-7ed98bebc62d38f6.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

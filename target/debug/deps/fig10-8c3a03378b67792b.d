@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8c3a03378b67792b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8c3a03378b67792b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

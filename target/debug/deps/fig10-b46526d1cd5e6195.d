@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-b46526d1cd5e6195.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-b46526d1cd5e6195: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-04fef64f7299f5f4.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-04fef64f7299f5f4.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

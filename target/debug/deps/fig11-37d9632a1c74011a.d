@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-37d9632a1c74011a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-37d9632a1c74011a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-3aba8541b18b22b8.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-3aba8541b18b22b8: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

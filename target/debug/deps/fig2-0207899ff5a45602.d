@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-0207899ff5a45602.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-0207899ff5a45602: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

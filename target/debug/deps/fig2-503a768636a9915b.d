@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-503a768636a9915b.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-503a768636a9915b: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-bf90f3711bd47667.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-bf90f3711bd47667.rmeta: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-fffc087973002824.d: crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-fffc087973002824.rmeta: crates/bench/src/bin/fig2.rs Cargo.toml
+
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-516cd70f54f36230.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-516cd70f54f36230: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-543cabf14b26189d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-543cabf14b26189d.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-87ec27d68e7aabf5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-87ec27d68e7aabf5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

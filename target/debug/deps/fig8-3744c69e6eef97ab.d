@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-3744c69e6eef97ab.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-3744c69e6eef97ab.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

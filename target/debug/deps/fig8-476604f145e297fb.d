@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-476604f145e297fb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-476604f145e297fb.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

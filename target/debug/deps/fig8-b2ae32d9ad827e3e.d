@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b2ae32d9ad827e3e.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b2ae32d9ad827e3e: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

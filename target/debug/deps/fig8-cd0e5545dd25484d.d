@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-cd0e5545dd25484d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-cd0e5545dd25484d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2fc9155c93926ce0.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-2fc9155c93926ce0.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-40793bbea518fa83.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-40793bbea518fa83: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-76dad711a09a4167.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-76dad711a09a4167.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

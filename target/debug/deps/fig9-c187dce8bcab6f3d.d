@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-c187dce8bcab6f3d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-c187dce8bcab6f3d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hasco-54ac8a62ee312e40.d: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasco-54ac8a62ee312e40.rmeta: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/codesign.rs:
+crates/core/src/input.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:
+crates/core/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

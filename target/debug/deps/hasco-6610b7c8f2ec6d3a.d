@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hasco-6610b7c8f2ec6d3a.d: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libhasco-6610b7c8f2ec6d3a.rmeta: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codesign.rs:
+crates/core/src/input.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hasco-9f51fc5aa5b8ef58.d: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libhasco-9f51fc5aa5b8ef58.rlib: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libhasco-9f51fc5aa5b8ef58.rmeta: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codesign.rs:
+crates/core/src/input.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:
+crates/core/src/tuning.rs:

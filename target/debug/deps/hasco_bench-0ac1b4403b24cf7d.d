@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hasco_bench-0ac1b4403b24cf7d.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasco_bench-0ac1b4403b24cf7d.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

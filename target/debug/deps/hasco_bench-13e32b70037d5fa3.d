@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hasco_bench-13e32b70037d5fa3.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libhasco_bench-13e32b70037d5fa3.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/libhasco_bench-13e32b70037d5fa3.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

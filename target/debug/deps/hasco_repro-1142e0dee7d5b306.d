@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasco_repro-1142e0dee7d5b306.d: src/lib.rs
+
+/root/repo/target/debug/deps/hasco_repro-1142e0dee7d5b306: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hasco_repro-251df9ddce87b23f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhasco_repro-251df9ddce87b23f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhasco_repro-251df9ddce87b23f.rmeta: src/lib.rs
+
+src/lib.rs:

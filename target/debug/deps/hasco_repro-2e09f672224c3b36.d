@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasco_repro-2e09f672224c3b36.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhasco_repro-2e09f672224c3b36.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasco_repro-52efae569c4119b4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasco_repro-52efae569c4119b4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hasco_repro-61cf133dc345ff73.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhasco_repro-61cf133dc345ff73.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hasco_repro-b9c1b9e8bbd03789.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhasco_repro-b9c1b9e8bbd03789.rmeta: src/lib.rs
+
+src/lib.rs:

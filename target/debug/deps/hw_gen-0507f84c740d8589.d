@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_gen-0507f84c740d8589.d: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+/root/repo/target/debug/deps/libhw_gen-0507f84c740d8589.rmeta: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+crates/hw-gen/src/lib.rs:
+crates/hw-gen/src/chisel.rs:
+crates/hw-gen/src/gemmini.rs:
+crates/hw-gen/src/primitives.rs:
+crates/hw-gen/src/space.rs:

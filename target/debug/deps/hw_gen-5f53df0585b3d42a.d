@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hw_gen-5f53df0585b3d42a.d: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+/root/repo/target/debug/deps/libhw_gen-5f53df0585b3d42a.rlib: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+/root/repo/target/debug/deps/libhw_gen-5f53df0585b3d42a.rmeta: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+crates/hw-gen/src/lib.rs:
+crates/hw-gen/src/chisel.rs:
+crates/hw-gen/src/gemmini.rs:
+crates/hw-gen/src/primitives.rs:
+crates/hw-gen/src/space.rs:

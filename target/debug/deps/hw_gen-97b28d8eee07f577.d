@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_gen-97b28d8eee07f577.d: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+/root/repo/target/debug/deps/hw_gen-97b28d8eee07f577: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+crates/hw-gen/src/lib.rs:
+crates/hw-gen/src/chisel.rs:
+crates/hw-gen/src/gemmini.rs:
+crates/hw-gen/src/primitives.rs:
+crates/hw-gen/src/space.rs:

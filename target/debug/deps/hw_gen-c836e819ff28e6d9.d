@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hw_gen-c836e819ff28e6d9.d: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_gen-c836e819ff28e6d9.rmeta: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs Cargo.toml
+
+crates/hw-gen/src/lib.rs:
+crates/hw-gen/src/chisel.rs:
+crates/hw-gen/src/gemmini.rs:
+crates/hw-gen/src/primitives.rs:
+crates/hw-gen/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

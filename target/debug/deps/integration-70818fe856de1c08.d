@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-70818fe856de1c08.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-70818fe856de1c08.rmeta: tests/integration.rs
+
+tests/integration.rs:

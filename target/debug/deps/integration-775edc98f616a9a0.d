@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-775edc98f616a9a0.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-775edc98f616a9a0: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-894946094391e432.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-894946094391e432.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

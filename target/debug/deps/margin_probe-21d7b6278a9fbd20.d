@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/margin_probe-21d7b6278a9fbd20.d: tests/margin_probe.rs
+
+/root/repo/target/debug/deps/margin_probe-21d7b6278a9fbd20: tests/margin_probe.rs
+
+tests/margin_probe.rs:

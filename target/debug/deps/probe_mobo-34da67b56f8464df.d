@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_mobo-34da67b56f8464df.d: crates/bench/tests/probe_mobo.rs
+
+/root/repo/target/debug/deps/probe_mobo-34da67b56f8464df: crates/bench/tests/probe_mobo.rs
+
+crates/bench/tests/probe_mobo.rs:

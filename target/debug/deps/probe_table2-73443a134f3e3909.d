@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_table2-73443a134f3e3909.d: crates/bench/tests/probe_table2.rs
+
+/root/repo/target/debug/deps/probe_table2-73443a134f3e3909: crates/bench/tests/probe_table2.rs
+
+crates/bench/tests/probe_table2.rs:

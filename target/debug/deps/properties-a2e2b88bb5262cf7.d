@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a2e2b88bb5262cf7.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a2e2b88bb5262cf7.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

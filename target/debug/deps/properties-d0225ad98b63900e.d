@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d0225ad98b63900e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d0225ad98b63900e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e521764d1dfb4e54.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-e521764d1dfb4e54.rmeta: tests/properties.rs
+
+tests/properties.rs:

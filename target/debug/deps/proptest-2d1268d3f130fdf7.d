@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-2d1268d3f130fdf7.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2d1268d3f130fdf7.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

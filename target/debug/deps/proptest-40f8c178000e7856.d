@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-40f8c178000e7856.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-40f8c178000e7856.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-40f8c178000e7856.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

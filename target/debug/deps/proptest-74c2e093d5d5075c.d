@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-74c2e093d5d5075c.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-74c2e093d5d5075c.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-74c2e093d5d5075c.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

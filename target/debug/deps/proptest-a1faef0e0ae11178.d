@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-a1faef0e0ae11178.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-a1faef0e0ae11178: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-ab07f999e37ce2f9.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-ab07f999e37ce2f9: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

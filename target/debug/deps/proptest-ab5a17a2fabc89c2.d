@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-ab5a17a2fabc89c2.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ab5a17a2fabc89c2.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-d415e61b95fff2c7.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-d415e61b95fff2c7.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

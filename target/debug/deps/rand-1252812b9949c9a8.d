@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1252812b9949c9a8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1252812b9949c9a8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1252812b9949c9a8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

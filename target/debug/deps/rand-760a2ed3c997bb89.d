@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-760a2ed3c997bb89.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-760a2ed3c997bb89: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

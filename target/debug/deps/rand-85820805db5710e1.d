@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-85820805db5710e1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-85820805db5710e1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

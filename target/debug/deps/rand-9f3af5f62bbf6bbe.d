@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9f3af5f62bbf6bbe.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9f3af5f62bbf6bbe.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9f3af5f62bbf6bbe.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

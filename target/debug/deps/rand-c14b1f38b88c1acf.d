@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c14b1f38b88c1acf.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c14b1f38b88c1acf.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

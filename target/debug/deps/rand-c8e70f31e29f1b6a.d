@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c8e70f31e29f1b6a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-c8e70f31e29f1b6a: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-164dc401f6d6ceca.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/debug/deps/runtime-164dc401f6d6ceca: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/fingerprint.rs:
+crates/runtime/src/pool.rs:

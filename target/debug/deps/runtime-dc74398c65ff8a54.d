@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-dc74398c65ff8a54.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/debug/deps/libruntime-dc74398c65ff8a54.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/fingerprint.rs:
+crates/runtime/src/pool.rs:

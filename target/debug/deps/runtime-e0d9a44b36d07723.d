@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/runtime-e0d9a44b36d07723.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/debug/deps/libruntime-e0d9a44b36d07723.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/debug/deps/libruntime-e0d9a44b36d07723.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/fingerprint.rs:
+crates/runtime/src/pool.rs:

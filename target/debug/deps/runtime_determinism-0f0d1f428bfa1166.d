@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_determinism-0f0d1f428bfa1166.d: tests/runtime_determinism.rs
+
+/root/repo/target/debug/deps/libruntime_determinism-0f0d1f428bfa1166.rmeta: tests/runtime_determinism.rs
+
+tests/runtime_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_determinism-b22c563cfac409c0.d: tests/runtime_determinism.rs
+
+/root/repo/target/debug/deps/runtime_determinism-b22c563cfac409c0: tests/runtime_determinism.rs
+
+tests/runtime_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_determinism-da0cdf407d6a6638.d: tests/runtime_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_determinism-da0cdf407d6a6638.rmeta: tests/runtime_determinism.rs Cargo.toml
+
+tests/runtime_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-929a1c38d7c49d7c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-929a1c38d7c49d7c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b239f70c9a48a83b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b239f70c9a48a83b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b239f70c9a48a83b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-dffc549aa7967a1a.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dffc549aa7967a1a.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-dffc549aa7967a1a.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f7799352861c8518.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f7799352861c8518.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9d96650898f1d141.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-9d96650898f1d141.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sw_opt-1cfb12d936b0ac79.d: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsw_opt-1cfb12d936b0ac79.rmeta: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs Cargo.toml
+
+crates/sw-opt/src/lib.rs:
+crates/sw-opt/src/codegen.rs:
+crates/sw-opt/src/explorer.rs:
+crates/sw-opt/src/heuristic.rs:
+crates/sw-opt/src/interface.rs:
+crates/sw-opt/src/lowering.rs:
+crates/sw-opt/src/nn.rs:
+crates/sw-opt/src/primitives.rs:
+crates/sw-opt/src/qlearn.rs:
+crates/sw-opt/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

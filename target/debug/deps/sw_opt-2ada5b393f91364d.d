@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sw_opt-2ada5b393f91364d.d: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/debug/deps/libsw_opt-2ada5b393f91364d.rlib: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/debug/deps/libsw_opt-2ada5b393f91364d.rmeta: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+crates/sw-opt/src/lib.rs:
+crates/sw-opt/src/codegen.rs:
+crates/sw-opt/src/explorer.rs:
+crates/sw-opt/src/heuristic.rs:
+crates/sw-opt/src/interface.rs:
+crates/sw-opt/src/lowering.rs:
+crates/sw-opt/src/nn.rs:
+crates/sw-opt/src/primitives.rs:
+crates/sw-opt/src/qlearn.rs:
+crates/sw-opt/src/schedule.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sw_opt-9064102c88d29cf3.d: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/debug/deps/sw_opt-9064102c88d29cf3: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+crates/sw-opt/src/lib.rs:
+crates/sw-opt/src/codegen.rs:
+crates/sw-opt/src/explorer.rs:
+crates/sw-opt/src/heuristic.rs:
+crates/sw-opt/src/interface.rs:
+crates/sw-opt/src/lowering.rs:
+crates/sw-opt/src/nn.rs:
+crates/sw-opt/src/primitives.rs:
+crates/sw-opt/src/qlearn.rs:
+crates/sw-opt/src/schedule.rs:

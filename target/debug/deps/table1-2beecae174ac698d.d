@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2beecae174ac698d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2beecae174ac698d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-35efa66ea1e5241b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-35efa66ea1e5241b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-955a926a7bf0fdf8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-955a926a7bf0fdf8.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

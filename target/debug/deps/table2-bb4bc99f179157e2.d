@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bb4bc99f179157e2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-bb4bc99f179157e2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

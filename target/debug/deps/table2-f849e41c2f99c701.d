@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f849e41c2f99c701.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f849e41c2f99c701: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f94848fd4c67353f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-f94848fd4c67353f.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-772b839618df98da.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-772b839618df98da.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8eeef7a603c5da95.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8eeef7a603c5da95: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-dc1aaa10464025b9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-dc1aaa10464025b9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

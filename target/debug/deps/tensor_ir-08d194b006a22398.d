@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tensor_ir-08d194b006a22398.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+/root/repo/target/debug/deps/tensor_ir-08d194b006a22398: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/complexity.rs:
+crates/tensor-ir/src/expr.rs:
+crates/tensor-ir/src/index.rs:
+crates/tensor-ir/src/intrinsics.rs:
+crates/tensor-ir/src/matching.rs:
+crates/tensor-ir/src/suites.rs:
+crates/tensor-ir/src/tst.rs:
+crates/tensor-ir/src/workload.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tensor_ir-4276efea48f0648e.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_ir-4276efea48f0648e.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs Cargo.toml
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/complexity.rs:
+crates/tensor-ir/src/expr.rs:
+crates/tensor-ir/src/index.rs:
+crates/tensor-ir/src/intrinsics.rs:
+crates/tensor-ir/src/matching.rs:
+crates/tensor-ir/src/suites.rs:
+crates/tensor-ir/src/tst.rs:
+crates/tensor-ir/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

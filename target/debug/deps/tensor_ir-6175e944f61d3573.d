@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tensor_ir-6175e944f61d3573.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+/root/repo/target/debug/deps/libtensor_ir-6175e944f61d3573.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/complexity.rs:
+crates/tensor-ir/src/expr.rs:
+crates/tensor-ir/src/index.rs:
+crates/tensor-ir/src/intrinsics.rs:
+crates/tensor-ir/src/matching.rs:
+crates/tensor-ir/src/suites.rs:
+crates/tensor-ir/src/tst.rs:
+crates/tensor-ir/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_cloud_scaling-2c0239dc9afe27b1.d: examples/edge_cloud_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_cloud_scaling-2c0239dc9afe27b1.rmeta: examples/edge_cloud_scaling.rs Cargo.toml
+
+examples/edge_cloud_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

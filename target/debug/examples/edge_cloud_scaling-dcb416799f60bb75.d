@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_cloud_scaling-dcb416799f60bb75.d: examples/edge_cloud_scaling.rs
+
+/root/repo/target/debug/examples/edge_cloud_scaling-dcb416799f60bb75: examples/edge_cloud_scaling.rs
+
+examples/edge_cloud_scaling.rs:

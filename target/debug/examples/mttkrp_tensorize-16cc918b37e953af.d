@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mttkrp_tensorize-16cc918b37e953af.d: examples/mttkrp_tensorize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmttkrp_tensorize-16cc918b37e953af.rmeta: examples/mttkrp_tensorize.rs Cargo.toml
+
+examples/mttkrp_tensorize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mttkrp_tensorize-88c1ef9539ca3643.d: examples/mttkrp_tensorize.rs
+
+/root/repo/target/debug/examples/mttkrp_tensorize-88c1ef9539ca3643: examples/mttkrp_tensorize.rs
+
+examples/mttkrp_tensorize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b588ad37b761c187.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b588ad37b761c187.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

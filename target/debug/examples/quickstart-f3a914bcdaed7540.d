@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f3a914bcdaed7540.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f3a914bcdaed7540: examples/quickstart.rs
+
+examples/quickstart.rs:

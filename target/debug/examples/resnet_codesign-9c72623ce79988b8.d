@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resnet_codesign-9c72623ce79988b8.d: examples/resnet_codesign.rs
+
+/root/repo/target/debug/examples/resnet_codesign-9c72623ce79988b8: examples/resnet_codesign.rs
+
+examples/resnet_codesign.rs:

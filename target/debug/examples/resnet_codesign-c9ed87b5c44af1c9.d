@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resnet_codesign-c9ed87b5c44af1c9.d: examples/resnet_codesign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresnet_codesign-c9ed87b5c44af1c9.rmeta: examples/resnet_codesign.rs Cargo.toml
+
+examples/resnet_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libhasco_repro.rlib: /root/repo/src/lib.rs

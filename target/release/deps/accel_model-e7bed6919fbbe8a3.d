@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/accel_model-e7bed6919fbbe8a3.d: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+/root/repo/target/release/deps/libaccel_model-e7bed6919fbbe8a3.rlib: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+/root/repo/target/release/deps/libaccel_model-e7bed6919fbbe8a3.rmeta: crates/accel-model/src/lib.rs crates/accel-model/src/arch.rs crates/accel-model/src/area.rs crates/accel-model/src/cost.rs crates/accel-model/src/energy.rs crates/accel-model/src/isa.rs crates/accel-model/src/metrics.rs crates/accel-model/src/plan.rs crates/accel-model/src/sim.rs crates/accel-model/src/tech.rs
+
+crates/accel-model/src/lib.rs:
+crates/accel-model/src/arch.rs:
+crates/accel-model/src/area.rs:
+crates/accel-model/src/cost.rs:
+crates/accel-model/src/energy.rs:
+crates/accel-model/src/isa.rs:
+crates/accel-model/src/metrics.rs:
+crates/accel-model/src/plan.rs:
+crates/accel-model/src/sim.rs:
+crates/accel-model/src/tech.rs:

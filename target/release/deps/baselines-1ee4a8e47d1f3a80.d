@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/baselines-1ee4a8e47d1f3a80.d: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/release/deps/baselines-1ee4a8e47d1f3a80: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autotvm.rs:
+crates/baselines/src/hls.rs:
+crates/baselines/src/library.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baselines-6981af985310a762.d: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/release/deps/libbaselines-6981af985310a762.rlib: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+/root/repo/target/release/deps/libbaselines-6981af985310a762.rmeta: crates/baselines/src/lib.rs crates/baselines/src/autotvm.rs crates/baselines/src/hls.rs crates/baselines/src/library.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/autotvm.rs:
+crates/baselines/src/hls.rs:
+crates/baselines/src/library.rs:

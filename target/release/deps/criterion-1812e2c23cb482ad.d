@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1812e2c23cb482ad.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1812e2c23cb482ad.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1812e2c23cb482ad.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-681b5b8f69856a86.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-681b5b8f69856a86: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dse-43403ce74abe2d8d.d: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs
+
+/root/repo/target/release/deps/dse-43403ce74abe2d8d: crates/dse/src/lib.rs crates/dse/src/anneal.rs crates/dse/src/gp.rs crates/dse/src/hypervolume.rs crates/dse/src/linalg.rs crates/dse/src/mobo.rs crates/dse/src/nsga2.rs crates/dse/src/pareto.rs crates/dse/src/problem.rs crates/dse/src/random.rs
+
+crates/dse/src/lib.rs:
+crates/dse/src/anneal.rs:
+crates/dse/src/gp.rs:
+crates/dse/src/hypervolume.rs:
+crates/dse/src/linalg.rs:
+crates/dse/src/mobo.rs:
+crates/dse/src/nsga2.rs:
+crates/dse/src/pareto.rs:
+crates/dse/src/problem.rs:
+crates/dse/src/random.rs:

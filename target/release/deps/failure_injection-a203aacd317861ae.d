@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-a203aacd317861ae.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-a203aacd317861ae: tests/failure_injection.rs
+
+tests/failure_injection.rs:

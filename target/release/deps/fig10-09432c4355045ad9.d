@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-09432c4355045ad9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-09432c4355045ad9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

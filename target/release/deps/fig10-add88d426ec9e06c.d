@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-add88d426ec9e06c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-add88d426ec9e06c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

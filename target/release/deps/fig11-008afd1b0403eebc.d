@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-008afd1b0403eebc.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-008afd1b0403eebc: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-b577b90ac1600aa2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-b577b90ac1600aa2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-37571979c9494b6c.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-37571979c9494b6c: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-66711f387125f6aa.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-66711f387125f6aa: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

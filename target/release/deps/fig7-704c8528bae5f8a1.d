@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-704c8528bae5f8a1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-704c8528bae5f8a1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

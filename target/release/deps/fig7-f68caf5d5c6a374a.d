@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f68caf5d5c6a374a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f68caf5d5c6a374a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

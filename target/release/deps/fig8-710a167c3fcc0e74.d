@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-710a167c3fcc0e74.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-710a167c3fcc0e74: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

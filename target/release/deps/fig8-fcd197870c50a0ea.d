@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-fcd197870c50a0ea.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-fcd197870c50a0ea: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

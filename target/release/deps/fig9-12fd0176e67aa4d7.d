@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-12fd0176e67aa4d7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-12fd0176e67aa4d7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-a253b829a45d0dd9.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-a253b829a45d0dd9: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hasco-89b530394b2da784.d: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libhasco-89b530394b2da784.rlib: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libhasco-89b530394b2da784.rmeta: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codesign.rs:
+crates/core/src/input.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hasco-963cbd2dd4f82503.d: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/hasco-963cbd2dd4f82503: crates/core/src/lib.rs crates/core/src/codesign.rs crates/core/src/input.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/solution.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codesign.rs:
+crates/core/src/input.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/solution.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hasco_bench-1472b472e25bef57.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libhasco_bench-1472b472e25bef57.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/release/deps/libhasco_bench-1472b472e25bef57.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/common.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig2.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/common.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

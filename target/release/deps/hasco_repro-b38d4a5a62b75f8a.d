@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hasco_repro-b38d4a5a62b75f8a.d: src/lib.rs
+
+/root/repo/target/release/deps/hasco_repro-b38d4a5a62b75f8a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hasco_repro-d0d763152b050965.d: src/lib.rs
+
+/root/repo/target/release/deps/libhasco_repro-d0d763152b050965.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhasco_repro-d0d763152b050965.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hw_gen-b8460611293b1585.d: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+/root/repo/target/release/deps/hw_gen-b8460611293b1585: crates/hw-gen/src/lib.rs crates/hw-gen/src/chisel.rs crates/hw-gen/src/gemmini.rs crates/hw-gen/src/primitives.rs crates/hw-gen/src/space.rs
+
+crates/hw-gen/src/lib.rs:
+crates/hw-gen/src/chisel.rs:
+crates/hw-gen/src/gemmini.rs:
+crates/hw-gen/src/primitives.rs:
+crates/hw-gen/src/space.rs:

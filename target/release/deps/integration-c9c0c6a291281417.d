@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-c9c0c6a291281417.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-c9c0c6a291281417: tests/integration.rs
+
+tests/integration.rs:

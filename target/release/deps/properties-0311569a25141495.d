@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0311569a25141495.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-0311569a25141495: tests/properties.rs
+
+tests/properties.rs:

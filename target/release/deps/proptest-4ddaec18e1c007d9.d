@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-4ddaec18e1c007d9.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/proptest-4ddaec18e1c007d9: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

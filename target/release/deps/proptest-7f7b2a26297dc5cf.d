@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-7f7b2a26297dc5cf.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-7f7b2a26297dc5cf.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-7f7b2a26297dc5cf.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1b8c543ba8c7fe08.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1b8c543ba8c7fe08.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1b8c543ba8c7fe08.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

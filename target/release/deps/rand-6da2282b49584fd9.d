@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-6da2282b49584fd9.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-6da2282b49584fd9: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/runtime-b1d8f3f715adabd4.d: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/release/deps/libruntime-b1d8f3f715adabd4.rlib: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+/root/repo/target/release/deps/libruntime-b1d8f3f715adabd4.rmeta: crates/runtime/src/lib.rs crates/runtime/src/batch.rs crates/runtime/src/cache.rs crates/runtime/src/fingerprint.rs crates/runtime/src/pool.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/batch.rs:
+crates/runtime/src/cache.rs:
+crates/runtime/src/fingerprint.rs:
+crates/runtime/src/pool.rs:

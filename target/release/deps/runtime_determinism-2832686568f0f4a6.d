@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_determinism-2832686568f0f4a6.d: tests/runtime_determinism.rs
+
+/root/repo/target/release/deps/runtime_determinism-2832686568f0f4a6: tests/runtime_determinism.rs
+
+tests/runtime_determinism.rs:

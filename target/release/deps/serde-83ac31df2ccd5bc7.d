@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-83ac31df2ccd5bc7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-83ac31df2ccd5bc7.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-83ac31df2ccd5bc7.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

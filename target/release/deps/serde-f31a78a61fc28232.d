@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-f31a78a61fc28232.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-f31a78a61fc28232: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

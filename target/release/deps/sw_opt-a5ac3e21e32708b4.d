@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sw_opt-a5ac3e21e32708b4.d: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/release/deps/libsw_opt-a5ac3e21e32708b4.rlib: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/release/deps/libsw_opt-a5ac3e21e32708b4.rmeta: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+crates/sw-opt/src/lib.rs:
+crates/sw-opt/src/codegen.rs:
+crates/sw-opt/src/explorer.rs:
+crates/sw-opt/src/heuristic.rs:
+crates/sw-opt/src/interface.rs:
+crates/sw-opt/src/lowering.rs:
+crates/sw-opt/src/nn.rs:
+crates/sw-opt/src/primitives.rs:
+crates/sw-opt/src/qlearn.rs:
+crates/sw-opt/src/schedule.rs:

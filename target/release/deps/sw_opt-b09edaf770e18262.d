@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sw_opt-b09edaf770e18262.d: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+/root/repo/target/release/deps/sw_opt-b09edaf770e18262: crates/sw-opt/src/lib.rs crates/sw-opt/src/codegen.rs crates/sw-opt/src/explorer.rs crates/sw-opt/src/heuristic.rs crates/sw-opt/src/interface.rs crates/sw-opt/src/lowering.rs crates/sw-opt/src/nn.rs crates/sw-opt/src/primitives.rs crates/sw-opt/src/qlearn.rs crates/sw-opt/src/schedule.rs
+
+crates/sw-opt/src/lib.rs:
+crates/sw-opt/src/codegen.rs:
+crates/sw-opt/src/explorer.rs:
+crates/sw-opt/src/heuristic.rs:
+crates/sw-opt/src/interface.rs:
+crates/sw-opt/src/lowering.rs:
+crates/sw-opt/src/nn.rs:
+crates/sw-opt/src/primitives.rs:
+crates/sw-opt/src/qlearn.rs:
+crates/sw-opt/src/schedule.rs:

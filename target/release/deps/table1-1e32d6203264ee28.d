@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1e32d6203264ee28.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1e32d6203264ee28: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-bb070dbaadfadc3d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-bb070dbaadfadc3d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

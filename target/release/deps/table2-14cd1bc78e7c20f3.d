@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-14cd1bc78e7c20f3.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-14cd1bc78e7c20f3: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-7cc18d5ebe5038a1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-7cc18d5ebe5038a1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

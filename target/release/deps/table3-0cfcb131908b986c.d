@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-0cfcb131908b986c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-0cfcb131908b986c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-411c6ff98d135788.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-411c6ff98d135788: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

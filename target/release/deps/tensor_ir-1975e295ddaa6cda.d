@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tensor_ir-1975e295ddaa6cda.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+/root/repo/target/release/deps/libtensor_ir-1975e295ddaa6cda.rlib: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+/root/repo/target/release/deps/libtensor_ir-1975e295ddaa6cda.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/complexity.rs crates/tensor-ir/src/expr.rs crates/tensor-ir/src/index.rs crates/tensor-ir/src/intrinsics.rs crates/tensor-ir/src/matching.rs crates/tensor-ir/src/suites.rs crates/tensor-ir/src/tst.rs crates/tensor-ir/src/workload.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/complexity.rs:
+crates/tensor-ir/src/expr.rs:
+crates/tensor-ir/src/index.rs:
+crates/tensor-ir/src/intrinsics.rs:
+crates/tensor-ir/src/matching.rs:
+crates/tensor-ir/src/suites.rs:
+crates/tensor-ir/src/tst.rs:
+crates/tensor-ir/src/workload.rs:

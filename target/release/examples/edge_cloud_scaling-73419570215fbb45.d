@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_cloud_scaling-73419570215fbb45.d: examples/edge_cloud_scaling.rs
+
+/root/repo/target/release/examples/edge_cloud_scaling-73419570215fbb45: examples/edge_cloud_scaling.rs
+
+examples/edge_cloud_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mttkrp_tensorize-6188146a3ac6768d.d: examples/mttkrp_tensorize.rs
+
+/root/repo/target/release/examples/mttkrp_tensorize-6188146a3ac6768d: examples/mttkrp_tensorize.rs
+
+examples/mttkrp_tensorize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d60c1987fa40dcc2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d60c1987fa40dcc2: examples/quickstart.rs
+
+examples/quickstart.rs:

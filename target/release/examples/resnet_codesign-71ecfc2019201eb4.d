@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resnet_codesign-71ecfc2019201eb4.d: examples/resnet_codesign.rs
+
+/root/repo/target/release/examples/resnet_codesign-71ecfc2019201eb4: examples/resnet_codesign.rs
+
+examples/resnet_codesign.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libhasco_repro.rlib: /root/repo/src/lib.rs

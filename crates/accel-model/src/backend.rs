@@ -1,0 +1,492 @@
+//! Pluggable cost backends: one evaluation contract, three fidelity tiers.
+//!
+//! Every layer of the co-design loop ultimately asks the same question —
+//! "what do this accelerator and this execution plan cost?" — but the
+//! right way to answer it depends on where the caller sits: DSE inner
+//! loops need microsecond estimates, final Pareto candidates deserve the
+//! trace simulator's pipeline model, and everything in between benefits
+//! from an analytic model corrected toward the simulator. [`CostBackend`]
+//! is that seam; callers hold a `&dyn CostBackend` (or an
+//! `Arc<dyn CostBackend>`) and stay agnostic of the tier:
+//!
+//! * [`AnalyticBackend`] — [`CostModel::evaluate`], the fast path;
+//! * [`TraceSimBackend`] — synthesizes a staged instruction stream from
+//!   the plan ([`crate::sim::program_from_plan`]) and replays it through
+//!   the [`TraceSimulator`]'s two-buffer pipeline recurrence: stage-level
+//!   fidelity at roughly 50–100x the analytic cost;
+//! * [`CalibratedBackend`] — the analytic model multiplied by per-regime
+//!   correction factors fitted, once per accelerator configuration, from
+//!   trace-sim runs on canonical calibration plans: analytic speed,
+//!   sim-informed accuracy.
+//!
+//! Backends are pure: the same `(config, plan)` always yields the same
+//! metrics, so results can be memoized under a fingerprint that includes
+//! the backend's identity ([`CostBackend::fingerprint_into`]) and cached
+//! across processes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use runtime::Fingerprinter;
+
+use crate::arch::AcceleratorConfig;
+use crate::cost::CostModel;
+use crate::metrics::Metrics;
+use crate::plan::{ExecutionPlan, TensorTraffic};
+use crate::sim::{program_from_plan, TraceSimulator};
+use crate::tech::TechParams;
+
+/// An engine that prices `(accelerator, plan)` pairs.
+///
+/// Implementations must be pure — memoization layers above assume a
+/// backend's answer depends only on its construction parameters and the
+/// arguments.
+pub trait CostBackend: std::fmt::Debug + Send + Sync {
+    /// Short stable identifier (`"analytic"`, `"sim"`, `"calibrated"`).
+    fn name(&self) -> &'static str;
+
+    /// Full evaluation: latency, energy, power, area, throughput.
+    fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics;
+
+    /// Writes the backend's identity into a fingerprint, so memo keys
+    /// distinguish results produced by different backends. The default
+    /// writes [`CostBackend::name`]; backends with extra knobs that change
+    /// results must extend it.
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+    }
+}
+
+/// The selectable backend tiers, as seen by CLIs and run options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The fast analytical model ([`AnalyticBackend`]).
+    #[default]
+    Analytic,
+    /// The stage-level trace simulator ([`TraceSimBackend`]).
+    TraceSim,
+    /// Analytic with sim-fitted correction factors ([`CalibratedBackend`]).
+    Calibrated,
+}
+
+impl BackendKind {
+    /// Every tier, in ascending fidelity order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Analytic,
+        BackendKind::Calibrated,
+        BackendKind::TraceSim,
+    ];
+
+    /// Builds the backend with default technology parameters.
+    pub fn build(self) -> Arc<dyn CostBackend> {
+        self.build_with(TechParams::default())
+    }
+
+    /// Builds the backend around explicit technology parameters.
+    pub fn build_with(self, tech: TechParams) -> Arc<dyn CostBackend> {
+        let model = CostModel::new(tech);
+        match self {
+            BackendKind::Analytic => Arc::new(AnalyticBackend::new(model)),
+            BackendKind::TraceSim => Arc::new(TraceSimBackend::new(model)),
+            BackendKind::Calibrated => Arc::new(CalibratedBackend::new(model)),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BackendKind::Analytic => "analytic",
+            BackendKind::TraceSim => "sim",
+            BackendKind::Calibrated => "calibrated",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "analytic" | "model" => Ok(BackendKind::Analytic),
+            "sim" | "tracesim" | "trace-sim" => Ok(BackendKind::TraceSim),
+            "calibrated" => Ok(BackendKind::Calibrated),
+            other => Err(format!(
+                "unknown backend `{other}` (expected analytic | sim | calibrated)"
+            )),
+        }
+    }
+}
+
+impl runtime::StableFingerprint for BackendKind {
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(match self {
+            BackendKind::Analytic => "analytic",
+            BackendKind::TraceSim => "sim",
+            BackendKind::Calibrated => "calibrated",
+        });
+    }
+}
+
+/// Tier 1: the analytical cost model, verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyticBackend {
+    /// The wrapped model.
+    pub model: CostModel,
+}
+
+impl AnalyticBackend {
+    /// Wraps a cost model.
+    pub fn new(model: CostModel) -> Self {
+        AnalyticBackend { model }
+    }
+}
+
+impl CostBackend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
+        self.model.evaluate(cfg, plan)
+    }
+}
+
+/// Tier 3: stage-level trace simulation of the plan.
+///
+/// The plan is expanded back into a staged load/compute/store stream and
+/// replayed through the [`TraceSimulator`]'s two-buffer pipeline
+/// recurrence, which models DMA-engine serialization and fill/drain
+/// effects the analytic overlap formula approximates. Rearrangement and
+/// host-control cycles (not part of the instruction stream) are added
+/// serially, exactly as the analytic model charges them.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSimBackend {
+    /// The wrapped simulator (shares the analytic model's tech constants
+    /// for energy and area).
+    pub sim: TraceSimulator,
+    /// Stage-count cap for synthesized programs (see
+    /// [`program_from_plan`]).
+    pub max_stages: usize,
+}
+
+/// Default stage cap: enough for the pipeline to reach steady state, small
+/// enough to bound simulation cost on plans with thousands of stages.
+pub const DEFAULT_SIM_STAGES: usize = 64;
+
+impl TraceSimBackend {
+    /// Wraps a simulator around a cost model with the default stage cap.
+    pub fn new(model: CostModel) -> Self {
+        TraceSimBackend {
+            sim: TraceSimulator::new(model),
+            max_stages: DEFAULT_SIM_STAGES,
+        }
+    }
+}
+
+impl CostBackend for TraceSimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
+        let program = program_from_plan(plan, self.max_stages);
+        let traced = self.sim.run(cfg, &program, plan.double_buffered);
+        let cycles = traced.cycles
+            + self.sim.model.rearrange_cycles(cfg, plan)
+            + plan.host_control_cycles as f64;
+        let mut metrics = self.sim.model.evaluate(cfg, plan);
+        replace_latency(&mut metrics, cfg, cycles, plan.macs_useful);
+        metrics
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        fp.write_usize(self.max_stages);
+    }
+}
+
+/// Replaces a metric set's latency and re-derives every time-dependent
+/// quantity (ms, power, throughput) from it — the one place the
+/// energy == power × time invariant is maintained for non-analytic
+/// tiers.
+fn replace_latency(metrics: &mut Metrics, cfg: &AcceleratorConfig, cycles: f64, useful_macs: u64) {
+    metrics.latency_cycles = cycles.max(1.0);
+    metrics.latency_ms = cfg.cycles_to_ms(metrics.latency_cycles);
+    metrics.power_mw = if metrics.latency_ms > 0.0 {
+        metrics.energy_uj / metrics.latency_ms
+    } else {
+        0.0
+    };
+    metrics.throughput_mops = if metrics.latency_ms > 0.0 {
+        2.0 * useful_macs as f64 / (metrics.latency_ms * 1e3)
+    } else {
+        0.0
+    };
+}
+
+/// Which engine dominates a plan's analytic latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// On-chip work (PE array or scratchpad ports) dominates.
+    Compute = 0,
+    /// Neither engine dominates by 2x.
+    Balanced = 1,
+    /// DMA traffic dominates.
+    Memory = 2,
+}
+
+/// Tier 2: the analytic model, corrected toward the simulator.
+///
+/// For each accelerator configuration, three canonical calibration plans
+/// — compute-bound, balanced, memory-bound — are priced by both the
+/// analytic model and the trace simulator, giving one correction factor
+/// per regime. An evaluation classifies its plan's regime from the
+/// analytic engine cycles and scales the analytic latency by the fitted
+/// factor. Factors are a pure function of the configuration, so they are
+/// memoized per config fingerprint; concurrent fits of the same config
+/// arrive at identical factors, keeping results thread-count-independent.
+#[derive(Debug, Default)]
+pub struct CalibratedBackend {
+    /// The analytic model being corrected.
+    pub model: CostModel,
+    sim: TraceSimBackend,
+    factors: Mutex<HashMap<(u64, u64), [f64; 3]>>,
+}
+
+impl CalibratedBackend {
+    /// Wraps a cost model (the simulator reuses its tech constants).
+    pub fn new(model: CostModel) -> Self {
+        CalibratedBackend {
+            sim: TraceSimBackend::new(model.clone()),
+            model,
+            factors: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn classify(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Regime {
+        let onchip = self
+            .model
+            .compute_cycles(cfg, plan)
+            .max(self.model.spad_cycles(cfg, plan));
+        let dma = self.model.dma_cycles(cfg, plan);
+        if onchip >= 2.0 * dma {
+            Regime::Compute
+        } else if dma >= 2.0 * onchip {
+            Regime::Memory
+        } else {
+            Regime::Balanced
+        }
+    }
+
+    /// The three canonical calibration plans for a configuration, sized
+    /// from its PE count and scratchpad so every regime is actually
+    /// exercised on that hardware.
+    fn calibration_plans(cfg: &AcceleratorConfig) -> [ExecutionPlan; 3] {
+        let pes = cfg.pes();
+        let spad = cfg.scratchpad_bytes;
+        let stage = |plan: &mut ExecutionPlan, reads: u64, writes: u64, run: u64| {
+            plan.dram_reads.push(TensorTraffic::new("A", reads, run));
+            plan.dram_reads.push(TensorTraffic::new("B", reads, run));
+            plan.dram_writes.push(TensorTraffic::new("C", writes, run));
+            plan.spad_traffic_bytes = reads;
+            plan.stages = 32;
+            plan.double_buffered = true;
+        };
+        // Compute-bound: deep MAC streams, light traffic.
+        let mut compute = ExecutionPlan::compute_only(pes * 65_536, pes * 65_536, 256);
+        stage(&mut compute, spad / 8, spad / 32, 4096);
+        // Balanced: MACs and traffic sized to similar engine cycles.
+        let mut balanced = ExecutionPlan::compute_only(pes * 8_192, pes * 8_192, 256);
+        stage(&mut balanced, spad.max(1) * 2, spad / 4, 512);
+        // Memory-bound: heavy, poorly-batched DMA against token compute.
+        let mut memory = ExecutionPlan::compute_only(pes * 256, pes * 256, 64);
+        stage(&mut memory, spad.max(1) * 16, spad * 2, 64);
+        [compute, balanced, memory]
+    }
+
+    /// Stable 128-bit factor-cache key: two independently-seeded lanes,
+    /// so a 64-bit fingerprint collision between two configurations
+    /// degrades to a refit instead of silently applying another
+    /// configuration's correction factors (the same scheme the co-design
+    /// memo cache uses).
+    fn factor_key(cfg: &AcceleratorConfig) -> (u64, u64) {
+        use runtime::StableFingerprint;
+        let mut lo = Fingerprinter::new();
+        let mut hi = Fingerprinter::new();
+        hi.write_u64(0x9e3779b97f4a7c15);
+        cfg.fingerprint_into(&mut lo);
+        cfg.fingerprint_into(&mut hi);
+        (lo.finish().0, hi.finish().0)
+    }
+
+    /// Correction factors for a configuration (fitted on first use).
+    fn factors_for(&self, cfg: &AcceleratorConfig) -> [f64; 3] {
+        let key = Self::factor_key(cfg);
+        if let Some(f) = self
+            .factors
+            .lock()
+            .expect("factor cache poisoned")
+            .get(&key)
+        {
+            return *f;
+        }
+        let plans = Self::calibration_plans(cfg);
+        let mut fitted = [1.0f64; 3];
+        for (slot, plan) in fitted.iter_mut().zip(plans.iter()) {
+            let analytic = self.model.evaluate(cfg, plan).latency_cycles;
+            let simulated = self.sim.evaluate(cfg, plan).latency_cycles;
+            // Clamp to a sane band: a wildly off ratio means the
+            // calibration plan degenerated on this config, and a bounded
+            // correction beats an absurd one.
+            *slot = (simulated / analytic.max(1.0)).clamp(0.25, 4.0);
+        }
+        self.factors
+            .lock()
+            .expect("factor cache poisoned")
+            .insert(key, fitted);
+        fitted
+    }
+}
+
+impl CostBackend for CalibratedBackend {
+    fn name(&self) -> &'static str {
+        "calibrated"
+    }
+
+    fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
+        let factor = self.factors_for(cfg)[self.classify(cfg, plan) as usize];
+        let mut metrics = self.model.evaluate(cfg, plan);
+        let corrected = metrics.latency_cycles * factor;
+        replace_latency(&mut metrics, cfg, corrected, plan.macs_useful);
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::StableFingerprint;
+    use tensor_ir::intrinsics::IntrinsicKind;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(16, 16)
+            .build()
+            .unwrap()
+    }
+
+    fn traffic_plan() -> ExecutionPlan {
+        let mut p = ExecutionPlan::compute_only(4_000_000, 4_200_000, 1000);
+        p.dram_reads.push(TensorTraffic::new("A", 512_000, 128));
+        p.dram_reads.push(TensorTraffic::new("B", 512_000, 128));
+        p.dram_writes.push(TensorTraffic::new("C", 128_000, 128));
+        p.spad_traffic_bytes = 2_000_000;
+        p.stages = 50;
+        p.double_buffered = true;
+        p
+    }
+
+    #[test]
+    fn analytic_backend_matches_cost_model() {
+        let model = CostModel::default();
+        let backend = AnalyticBackend::new(model.clone());
+        let (c, p) = (cfg(), traffic_plan());
+        assert_eq!(backend.evaluate(&c, &p), model.evaluate(&c, &p));
+    }
+
+    #[test]
+    fn all_backends_produce_consistent_metrics() {
+        let (c, p) = (cfg(), traffic_plan());
+        for kind in BackendKind::ALL {
+            let m = kind.build().evaluate(&c, &p);
+            assert!(m.latency_cycles >= 1.0, "{kind}");
+            assert!(m.latency_ms > 0.0 && m.power_mw > 0.0, "{kind}");
+            assert!(m.area_mm2 > 0.0 && m.throughput_mops > 0.0, "{kind}");
+            // Energy must equal power * time for every tier.
+            assert!(
+                (m.energy_uj - m.power_mw * m.latency_ms).abs() < 1e-6,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_are_pure() {
+        let (c, p) = (cfg(), traffic_plan());
+        for kind in BackendKind::ALL {
+            let backend = kind.build();
+            assert_eq!(backend.evaluate(&c, &p), backend.evaluate(&c, &p), "{kind}");
+        }
+    }
+
+    #[test]
+    fn sim_backend_stays_within_2x_of_analytic() {
+        // The tiers model the same hardware; they must agree on the order
+        // of magnitude while differing in pipeline detail.
+        let (c, p) = (cfg(), traffic_plan());
+        let analytic = BackendKind::Analytic.build().evaluate(&c, &p);
+        let sim = BackendKind::TraceSim.build().evaluate(&c, &p);
+        let ratio = sim.latency_cycles / analytic.latency_cycles;
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn calibrated_lands_between_or_near_the_other_tiers() {
+        let (c, p) = (cfg(), traffic_plan());
+        let analytic = BackendKind::Analytic
+            .build()
+            .evaluate(&c, &p)
+            .latency_cycles;
+        let calibrated = BackendKind::Calibrated
+            .build()
+            .evaluate(&c, &p)
+            .latency_cycles;
+        // The correction factor is bounded by construction.
+        assert!(calibrated >= analytic * 0.25 && calibrated <= analytic * 4.0);
+    }
+
+    #[test]
+    fn calibrated_factor_cache_is_consistent_across_threads() {
+        let backend = Arc::new(CalibratedBackend::new(CostModel::default()));
+        let (c, p) = (cfg(), traffic_plan());
+        let reference = backend.evaluate(&c, &p);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let backend = Arc::clone(&backend);
+                let (c, p) = (c.clone(), p.clone());
+                s.spawn(move || {
+                    assert_eq!(backend.evaluate(&c, &p), reference);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+        }
+        assert_eq!("tracesim".parse::<BackendKind>(), Ok(BackendKind::TraceSim));
+        assert!("vivado".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn kinds_fingerprint_distinctly() {
+        let fps: Vec<_> = BackendKind::ALL.iter().map(|k| k.fingerprint()).collect();
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[1], fps[2]);
+        assert_ne!(fps[0], fps[2]);
+    }
+
+    #[test]
+    fn backend_instance_fingerprints_distinguish_tiers() {
+        let (a, s) = (BackendKind::Analytic.build(), BackendKind::TraceSim.build());
+        let mut fa = Fingerprinter::new();
+        a.fingerprint_into(&mut fa);
+        let mut fs = Fingerprinter::new();
+        s.fingerprint_into(&mut fs);
+        assert_ne!(fa.finish(), fs.finish());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod arch;
 pub mod area;
+pub mod backend;
 pub mod cost;
 pub mod energy;
 pub mod isa;
@@ -43,6 +44,7 @@ pub mod sim;
 pub mod tech;
 
 pub use arch::{AcceleratorConfig, Dataflow, Interconnect, PeArray};
+pub use backend::{AnalyticBackend, BackendKind, CalibratedBackend, CostBackend, TraceSimBackend};
 pub use cost::CostModel;
 pub use metrics::Metrics;
 pub use plan::{ExecutionPlan, TensorTraffic};

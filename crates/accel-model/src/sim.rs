@@ -203,6 +203,62 @@ impl TraceSimulator {
     }
 }
 
+/// Synthesizes a staged instruction stream from a plan — the inverse of
+/// [`plan_from_program`], used by the trace-sim cost backend to replay an
+/// analytically lowered schedule through the pipeline recurrence.
+///
+/// The plan's traffic and compute totals are spread evenly over
+/// `min(plan.stages, max_stages)` barrier-separated stages (integer
+/// splitting preserves every total exactly). Capping the stage count
+/// bounds simulation time for plans with thousands of tile stages; the
+/// pipeline reaches steady state within a few tens of stages, so the
+/// latency estimate converges long before the cap matters.
+pub fn program_from_plan(plan: &ExecutionPlan, max_stages: usize) -> Program {
+    let stages = plan.stages.clamp(1, max_stages.max(1) as u64);
+    // total * (i+1) / stages − total * i / stages, in u128 to avoid
+    // overflow on byte counts that were built with saturating math.
+    let split = |total: u64, i: u64| -> u64 {
+        let t = total as u128;
+        let s = stages as u128;
+        (t * (i as u128 + 1) / s - t * i as u128 / s) as u64
+    };
+    let mut program = Program::new();
+    for i in 0..stages {
+        for t in &plan.dram_reads {
+            let bytes = split(t.bytes, i);
+            if bytes > 0 {
+                program.push(Instr::Load {
+                    tensor: t.tensor.clone(),
+                    bytes,
+                    contiguous_run: t.avg_contiguous_run,
+                });
+            }
+        }
+        let macs = split(plan.macs_padded, i);
+        let calls = split(plan.intrinsic_calls, i);
+        let spad_bytes = split(plan.spad_traffic_bytes, i);
+        if macs > 0 || calls > 0 || spad_bytes > 0 {
+            program.push(Instr::Compute {
+                calls,
+                macs,
+                spad_bytes,
+            });
+        }
+        for t in &plan.dram_writes {
+            let bytes = split(t.bytes, i);
+            if bytes > 0 {
+                program.push(Instr::Store {
+                    tensor: t.tensor.clone(),
+                    bytes,
+                    contiguous_run: t.avg_contiguous_run,
+                });
+            }
+        }
+        program.push(Instr::Barrier);
+    }
+    program
+}
+
 /// Reconstructs an [`ExecutionPlan`] from a program (for energy accounting).
 pub fn plan_from_program(
     program: &Program,
@@ -343,6 +399,28 @@ mod tests {
         let m = sim.evaluate(&cfg(), &p, true, p.total_macs());
         assert!(m.latency_ms > 0.0 && m.power_mw > 0.0 && m.area_mm2 > 0.0);
         assert!((m.energy_uj - m.power_mw * m.latency_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn program_from_plan_preserves_totals() {
+        let p = program(7, 10_000, 3);
+        let plan = plan_from_program(&p, true, 100);
+        let back = program_from_plan(&plan, 64);
+        assert_eq!(back.total_macs(), plan.macs_padded);
+        assert_eq!(back.total_calls(), plan.intrinsic_calls);
+        assert_eq!(back.total_load_bytes(), 7 * 10_000);
+        assert_eq!(back.total_store_bytes(), 7 * (10_000 / 8));
+        assert_eq!(back.stage_count() as u64, plan.stages);
+    }
+
+    #[test]
+    fn program_from_plan_caps_stage_count_without_losing_work() {
+        let mut plan = plan_from_program(&program(50, 4096, 2), true, 100);
+        plan.stages = 50;
+        let capped = program_from_plan(&plan, 8);
+        assert_eq!(capped.stage_count(), 8);
+        assert_eq!(capped.total_macs(), plan.macs_padded);
+        assert_eq!(capped.total_load_bytes(), 50 * 4096);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! simulated-annealing sampler standing in for the XGBoost cost model.
 
 use accel_model::arch::AcceleratorConfig;
-use accel_model::{CostModel, Metrics};
+use accel_model::{AnalyticBackend, Metrics};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -24,7 +24,7 @@ pub struct AutoTvm {
     seed: u64,
     /// Tuning trials (schedule evaluations).
     pub trials: usize,
-    model: CostModel,
+    backend: AnalyticBackend,
 }
 
 impl AutoTvm {
@@ -33,7 +33,7 @@ impl AutoTvm {
         AutoTvm {
             seed,
             trials: 64,
-            model: CostModel::default(),
+            backend: AnalyticBackend::default(),
         }
     }
 
@@ -103,7 +103,7 @@ impl AutoTvm {
                 m
             };
             let sched = make(&proposal);
-            let Ok(metrics) = lowering::evaluate(&sched, &ctx, cfg, &self.model) else {
+            let Ok(metrics) = lowering::evaluate(&sched, &ctx, cfg, &self.backend) else {
                 temperature *= 0.97;
                 continue;
             };
@@ -204,7 +204,7 @@ mod tests {
             outer_order: order,
             fuse_outer: 0,
         };
-        let unit_m = lowering::evaluate(&unit, &ctx, &c, &CostModel::default()).unwrap();
+        let unit_m = lowering::evaluate(&unit, &ctx, &c, &AnalyticBackend::default()).unwrap();
         let tuned = tvm.best_metrics(&wl, &c).unwrap();
         assert!(tuned.latency_cycles <= unit_m.latency_cycles);
     }

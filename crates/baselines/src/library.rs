@@ -10,7 +10,7 @@
 
 use accel_model::arch::AcceleratorConfig;
 use accel_model::plan::{ExecutionPlan, TensorTraffic};
-use accel_model::{CostModel, Metrics};
+use accel_model::{AnalyticBackend, CostBackend, Metrics};
 use std::collections::BTreeMap;
 use sw_opt::lowering;
 use sw_opt::schedule::{Schedule, ScheduleContext};
@@ -34,7 +34,7 @@ pub struct LibraryRun {
 /// The hand-tuned GEMM library.
 #[derive(Debug, Clone, Default)]
 pub struct GemmLibrary {
-    model: CostModel,
+    backend: AnalyticBackend,
 }
 
 impl GemmLibrary {
@@ -157,9 +157,9 @@ impl GemmLibrary {
             let sched = self.hand_tuned_gemm(&ctx, cfg)?;
             let compute_plan = lowering::lower(&sched, &ctx, cfg)?.plan;
             let conv_plan = Self::conversion_plan(workload, cfg.dtype_bytes);
-            let compute = self.model.evaluate(cfg, &compute_plan);
-            let conversion = self.model.evaluate(cfg, &conv_plan);
-            let total = self.model.evaluate(cfg, &conv_plan.then(&compute_plan));
+            let compute = self.backend.evaluate(cfg, &compute_plan);
+            let conversion = self.backend.evaluate(cfg, &conv_plan);
+            let total = self.backend.evaluate(cfg, &conv_plan.then(&compute_plan));
             Ok(LibraryRun {
                 total,
                 compute,
@@ -168,7 +168,7 @@ impl GemmLibrary {
         } else {
             let ctx = ScheduleContext::new(workload, &cfg.intrinsic_comp())?;
             let sched = self.hand_tuned_gemm(&ctx, cfg)?;
-            let metrics = lowering::evaluate(&sched, &ctx, cfg, &self.model)?;
+            let metrics = lowering::evaluate(&sched, &ctx, cfg, &self.backend)?;
             Ok(LibraryRun {
                 total: metrics,
                 compute: metrics,

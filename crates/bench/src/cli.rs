@@ -6,10 +6,19 @@
 //! * `--threads N` — evaluation worker threads (`0` = all cores;
 //!   default `1`, the fully serial reference). Thread count changes
 //!   wall-clock time only, never results;
+//! * `--backend B` — cost backend tier (`analytic` | `sim` |
+//!   `calibrated`, default `analytic`);
+//! * `--refine-top-k K` — fidelity staging: re-evaluate the `K`
+//!   best-screened candidates of every DSE batch with the trace-sim tier
+//!   (default 0 = off);
+//! * `--cache FILE` — persist the evaluation cache at `FILE` so repeated
+//!   runs start warm;
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
 //! `cargo bench` runs can be parallelized without changing argv.
+
+use accel_model::BackendKind;
 
 use crate::{common, Scale};
 
@@ -20,50 +29,76 @@ pub struct BenchCli {
     pub scale: Scale,
     /// Worker threads (already applied via [`common::set_threads`]).
     pub threads: usize,
+    /// Cost backend (already applied via [`common::set_backend`]).
+    pub backend: BackendKind,
+    /// Fidelity-staging survivors (already applied via
+    /// [`common::set_refine_top_k`]).
+    pub refine_top_k: usize,
 }
 
 fn usage(bin: &str, artifact: &str) -> String {
     format!(
         "Regenerates the paper's {artifact}.\n\n\
-         USAGE: {bin} [--quick | --paper] [--threads N]\n\n\
+         USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K] [--cache FILE]\n\n\
          OPTIONS:\n\
-         \x20   --quick       reduced budgets/workload subsets (CI-sized)\n\
-         \x20   --paper       paper-sized trial budgets (default)\n\
-         \x20   --threads N   evaluation worker threads (0 = all cores, default 1);\n\
-         \x20                 results are identical at any thread count\n\
-         \x20   --help        this message"
+         \x20   --quick           reduced budgets/workload subsets (CI-sized)\n\
+         \x20   --paper           paper-sized trial budgets (default)\n\
+         \x20   --threads N       evaluation worker threads (0 = all cores, default 1);\n\
+         \x20                     results are identical at any thread count\n\
+         \x20   --backend B       cost backend: analytic | sim | calibrated (default analytic)\n\
+         \x20   --refine-top-k K  re-evaluate the K best-screened DSE candidates per batch\n\
+         \x20                     with the trace-sim tier (default 0 = staging off; applies to\n\
+         \x20                     the hardware-DSE binaries: fig10, table2, table3)\n\
+         \x20   --cache FILE      persist the hardware-DSE evaluation cache at FILE so\n\
+         \x20                     repeat runs start warm (fig10, table2, table3)\n\
+         \x20   --help            this message"
     )
 }
 
+fn bail(bin: &str, artifact: &str, msg: &str) -> ! {
+    eprintln!("{msg}\n\n{}", usage(bin, artifact));
+    std::process::exit(2);
+}
+
 /// Parses argv for a bench binary (exiting on `--help` or bad input) and
-/// installs the thread count for the experiment harnesses.
+/// installs the runtime configuration for the experiment harnesses.
 pub fn parse(bin: &str, artifact: &str) -> BenchCli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut threads: Option<usize> = None;
+    let mut backend = BackendKind::Analytic;
+    let mut refine_top_k = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--paper" => scale = Scale::Paper,
-            "--threads" => {
-                let value = it.next().and_then(|v| v.parse::<usize>().ok());
-                match value {
-                    Some(n) => threads = Some(n),
-                    None => {
-                        eprintln!("--threads expects a number\n\n{}", usage(bin, artifact));
-                        std::process::exit(2);
-                    }
-                }
-            }
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => threads = Some(n),
+                None => bail(bin, artifact, "--threads expects a number"),
+            },
+            "--backend" => match it.next().map(|v| v.parse::<BackendKind>()) {
+                Some(Ok(kind)) => backend = kind,
+                Some(Err(e)) => bail(bin, artifact, &e),
+                None => bail(
+                    bin,
+                    artifact,
+                    "--backend expects analytic | sim | calibrated",
+                ),
+            },
+            "--refine-top-k" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(k) => refine_top_k = k,
+                None => bail(bin, artifact, "--refine-top-k expects a number"),
+            },
+            "--cache" => match it.next() {
+                Some(path) => common::set_cache_path(path.into()),
+                None => bail(bin, artifact, "--cache expects a file path"),
+            },
             "--help" | "-h" => {
                 println!("{}", usage(bin, artifact));
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown option `{other}`\n\n{}", usage(bin, artifact));
-                std::process::exit(2);
-            }
+            other => bail(bin, artifact, &format!("unknown option `{other}`")),
         }
     }
     let threads = threads
@@ -74,7 +109,14 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
         })
         .unwrap_or(1);
     common::set_threads(threads);
-    BenchCli { scale, threads }
+    common::set_backend(backend);
+    common::set_refine_top_k(refine_top_k);
+    BenchCli {
+        scale,
+        threads,
+        backend,
+        refine_top_k,
+    }
 }
 
 /// Runs one experiment end to end: parse argv, run, render, report timing.
@@ -89,9 +131,15 @@ pub fn drive<T>(
     let result = run(cli.scale);
     println!("{}", render(&result));
     println!(
-        "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s)]",
+        "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s), {} backend{}]",
         start.elapsed().as_secs_f64(),
         cli.scale,
         runtime::resolve_threads(cli.threads),
+        cli.backend,
+        if cli.refine_top_k > 0 {
+            format!(", refine top-{}", cli.refine_top_k)
+        } else {
+            String::new()
+        },
     );
 }

@@ -2,10 +2,12 @@
 //! optimization helpers (with graceful degradation for unmatchable
 //! workloads), and workload subsampling.
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use accel_model::arch::{AcceleratorConfig, PeArray};
-use accel_model::Metrics;
+use accel_model::{BackendKind, Metrics};
+use hasco::codesign::HwProblem;
 use runtime::{resolve_threads, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use sw_opt::SwError;
@@ -19,6 +21,17 @@ use crate::Scale;
 /// and tests reproduce historical numbers exactly).
 static THREADS: OnceLock<usize> = OnceLock::new();
 
+/// Cost backend used for every evaluation in this process (set once by
+/// the binary CLI; defaults to the analytic tier, the historical
+/// reference).
+static BACKEND: OnceLock<BackendKind> = OnceLock::new();
+
+/// Fidelity-staging survivor count (0 = staging off, the default).
+static REFINE_TOP_K: OnceLock<usize> = OnceLock::new();
+
+/// Persistent evaluation-cache path (None = in-memory only).
+static CACHE_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
+
 /// Installs the experiment thread count (first caller wins).
 pub fn set_threads(threads: usize) {
     let _ = THREADS.set(threads);
@@ -29,15 +42,75 @@ pub fn threads() -> usize {
     *THREADS.get_or_init(|| 1)
 }
 
+/// Installs the experiment cost backend (first caller wins).
+pub fn set_backend(backend: BackendKind) {
+    let _ = BACKEND.set(backend);
+}
+
+/// The configured cost backend.
+pub fn backend() -> BackendKind {
+    *BACKEND.get_or_init(BackendKind::default)
+}
+
+/// Installs the fidelity-staging survivor count (first caller wins).
+pub fn set_refine_top_k(top_k: usize) {
+    let _ = REFINE_TOP_K.set(top_k);
+}
+
+/// The configured fidelity-staging survivor count (0 = off).
+pub fn refine_top_k() -> usize {
+    *REFINE_TOP_K.get_or_init(|| 0)
+}
+
+/// Installs the persistent evaluation-cache path (first caller wins).
+pub fn set_cache_path(path: PathBuf) {
+    let _ = CACHE_PATH.set(Some(path));
+}
+
+/// The configured persistent-cache path, if any.
+pub fn cache_path() -> Option<PathBuf> {
+    CACHE_PATH.get_or_init(|| None).clone()
+}
+
 /// A worker pool sized by the configured thread count.
 pub fn workers() -> WorkerPool {
     WorkerPool::new(resolve_threads(threads()))
 }
 
-/// A [`SoftwareExplorer`] wired to the experiment worker pool. Results
-/// are identical to `SoftwareExplorer::new(seed)` at any thread count.
+/// A [`SoftwareExplorer`] wired to the experiment worker pool and cost
+/// backend. With the defaults (`--threads 1`, `--backend analytic`)
+/// results are identical to `SoftwareExplorer::new(seed)`.
 pub fn explorer(seed: u64) -> SoftwareExplorer {
-    SoftwareExplorer::new(seed).with_workers(workers())
+    SoftwareExplorer::new(seed)
+        .with_workers(workers())
+        .with_backend(backend().build())
+}
+
+/// Applies the process-wide runtime configuration — worker pool, cost
+/// backend, fidelity staging (`--refine-top-k` survivors re-priced by
+/// the trace-sim tier), and the persistent `--cache` warm start — to a
+/// hardware DSE problem. Pair with [`save_problem_cache`] after the
+/// optimizer run so the next process starts warm.
+pub fn configure_problem(problem: HwProblem<'_>) -> HwProblem<'_> {
+    let problem = problem
+        .with_workers(workers())
+        .with_backend(backend().build())
+        .with_refinement(BackendKind::TraceSim.build(), refine_top_k());
+    if let Some(path) = cache_path() {
+        problem.load_cache(&path);
+    }
+    problem
+}
+
+/// Persists a problem's evaluation cache at the `--cache` path (no-op
+/// without the flag; save failures cost future warmth, never
+/// correctness). Memo keys are complete — workload + options + seed +
+/// backend + config — so sequential load→run→save cycles against one
+/// file accumulate entries across problems instead of colliding.
+pub fn save_problem_cache(problem: &HwProblem<'_>) {
+    if let Some(path) = cache_path() {
+        let _ = problem.save_cache(&path);
+    }
 }
 
 /// The §VII-D GEMMCore: 16×16 PEs, 256 KB scratchpad, 4 banks.

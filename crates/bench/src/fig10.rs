@@ -62,15 +62,21 @@ pub fn run(scale: Scale) -> Fig10 {
     let sw = sw_inner_opts(scale);
 
     let run_method = |name: &str| -> OptimizerResult {
-        let mut problem = HwProblem::new(&generator, &workloads, sw.clone(), 10)
-            .with_workers(crate::common::workers());
-        match name {
+        let mut problem = crate::common::configure_problem(HwProblem::new(
+            &generator,
+            &workloads,
+            sw.clone(),
+            10,
+        ));
+        let history = match name {
             "random" => RandomSearch::new(10).run(&mut problem, trials),
             "nsga2" => Nsga2::new(10).run(&mut problem, trials),
             _ => Mobo::new(10)
                 .with_prior_samples((trials / 3).clamp(3, 10))
                 .run(&mut problem, trials),
-        }
+        };
+        crate::common::save_problem_cache(&problem);
+        history
     };
     let rand_h = run_method("random");
     let nsga_h = run_method("nsga2");

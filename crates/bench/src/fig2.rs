@@ -94,7 +94,7 @@ pub fn run(scale: Scale) -> Fig2 {
         if let Some(c) = ctx.choices.iter().find(|c| c.var_map == s.choice.var_map) {
             s.choice = c.clone();
         }
-        match lowering::evaluate(&s, &ctx, cfg, &accel_model::CostModel::default()) {
+        match lowering::evaluate(&s, &ctx, cfg, &accel_model::AnalyticBackend::default()) {
             Ok(m) => throughput_mops(&workload, m.latency_ms),
             Err(_) => 0.0, // does not fit this accelerator
         }

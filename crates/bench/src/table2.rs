@@ -102,8 +102,12 @@ pub fn run(scale: Scale) -> Table2 {
         for (app, workloads) in &apps {
             let mut results = Vec::with_capacity(3);
             for method in ["random", "nsga2", "mobo"] {
-                let mut problem = HwProblem::new(generator, workloads, sw.clone(), 2)
-                    .with_workers(crate::common::workers());
+                let mut problem = crate::common::configure_problem(HwProblem::new(
+                    generator,
+                    workloads,
+                    sw.clone(),
+                    2,
+                ));
                 let history = match method {
                     "random" => RandomSearch::new(2).run(&mut problem, trials),
                     "nsga2" => Nsga2::new(2).run(&mut problem, trials),
@@ -111,6 +115,7 @@ pub fn run(scale: Scale) -> Table2 {
                         .with_prior_samples((trials / 3).clamp(3, 10))
                         .run(&mut problem, trials),
                 };
+                crate::common::save_problem_cache(&problem);
                 results.push(best_feasible(&history, power_cap_mw));
             }
             rows.push(Row {

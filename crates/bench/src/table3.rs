@@ -70,7 +70,7 @@ fn summarize(cfg: &accel_model::AcceleratorConfig, latency_ms: f64) -> SystemRes
     }
 }
 
-fn codesign_opts(scale: Scale, seed: u64) -> CoDesignOptions {
+fn codesign_opts(scale: Scale, seed: u64, tag: &str) -> CoDesignOptions {
     let opts = match scale {
         Scale::Quick => CoDesignOptions::quick(seed),
         Scale::Paper => {
@@ -79,7 +79,22 @@ fn codesign_opts(scale: Scale, seed: u64) -> CoDesignOptions {
             o
         }
     };
-    opts.with_threads(crate::common::threads())
+    let mut opts = opts
+        .with_threads(crate::common::threads())
+        .with_backend(crate::common::backend())
+        .with_refinement(
+            accel_model::BackendKind::TraceSim,
+            crate::common::refine_top_k(),
+        );
+    if let Some(path) = crate::common::cache_path() {
+        // One file per co-design run: each `CoDesigner::run` saves only
+        // its own memo, so sharing a file would keep just the last run
+        // warm across repeats.
+        let mut per_run = path;
+        per_run.set_extension(format!("{tag}.s{seed}.bin"));
+        opts = opts.with_cache_path(per_run);
+    }
+    opts
 }
 
 /// Runs the study.
@@ -117,7 +132,11 @@ pub fn run(scale: Scale) -> Table3 {
             let base_m = accel_model::Metrics::sequential(&parts);
 
             // HASCO-GEMMCore co-design.
-            let designer = CoDesigner::new(codesign_opts(scale, 3));
+            let designer = CoDesigner::new(codesign_opts(
+                scale,
+                3,
+                &format!("{scenario}.{app_name}.gemm"),
+            ));
             let input = InputDescription {
                 app: app.clone(),
                 method: GenerationMethod::Gemmini,
@@ -126,6 +145,11 @@ pub fn run(scale: Scale) -> Table3 {
             let gemm_sol = designer.run(&input).expect("gemm co-design succeeds");
 
             // HASCO-ConvCore co-design.
+            let designer = CoDesigner::new(codesign_opts(
+                scale,
+                3,
+                &format!("{scenario}.{app_name}.conv"),
+            ));
             let input = InputDescription {
                 app: app.clone(),
                 method: GenerationMethod::Chisel(IntrinsicKind::Conv2d),

@@ -10,9 +10,11 @@
 //! software mappings for the hardware parameters".
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use accel_model::arch::AcceleratorConfig;
-use accel_model::Metrics;
+use accel_model::{BackendKind, CostBackend, Metrics};
 use dse::mobo::Mobo;
 use dse::problem::{Point, Problem, SearchSpace};
 use dse::Optimizer;
@@ -51,9 +53,26 @@ pub struct CoDesignOptions {
     /// available core. Thread count changes wall-clock time only — a
     /// fixed-seed run produces the identical solution at any setting.
     pub threads: usize,
+    /// Work-stealing in the evaluation pool (on by default). Like the
+    /// thread count, this changes wall-clock time only, never results.
+    pub work_stealing: bool,
     /// Capacity (entries) of the memoizing evaluation cache shared by the
     /// hardware DSE trials.
     pub cache_capacity: usize,
+    /// Cost backend used to screen every candidate evaluation.
+    pub backend: BackendKind,
+    /// High-fidelity backend for the staged refinement pass (and the
+    /// final software optimization, so reported metrics are high-fidelity
+    /// whenever staging is on).
+    pub refine_backend: BackendKind,
+    /// Survivors per screened batch re-evaluated with `refine_backend`
+    /// before entering the Pareto front / GP training set. `0` disables
+    /// fidelity staging (every evaluation uses `backend` only).
+    pub refine_top_k: usize,
+    /// Persistent cross-run evaluation cache: loaded (warm start) before
+    /// the hardware DSE and saved afterwards. `None` keeps the cache
+    /// in-memory only.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl CoDesignOptions {
@@ -72,7 +91,12 @@ impl CoDesignOptions {
             tuning_rounds: 2,
             seed,
             threads: 1,
+            work_stealing: true,
             cache_capacity: 4096,
+            backend: BackendKind::Analytic,
+            refine_backend: BackendKind::TraceSim,
+            refine_top_k: 0,
+            cache_path: None,
         }
     }
 
@@ -96,7 +120,12 @@ impl CoDesignOptions {
             tuning_rounds: 1,
             seed,
             threads: 1,
+            work_stealing: true,
             cache_capacity: 4096,
+            backend: BackendKind::Analytic,
+            refine_backend: BackendKind::TraceSim,
+            refine_top_k: 0,
+            cache_path: None,
         }
     }
 
@@ -105,6 +134,43 @@ impl CoDesignOptions {
         self.threads = threads;
         self
     }
+
+    /// Toggles work-stealing in the evaluation pool.
+    pub fn with_work_stealing(mut self, stealing: bool) -> Self {
+        self.work_stealing = stealing;
+        self
+    }
+
+    /// Sets the screening cost backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enables fidelity staging: re-evaluate the `top_k` best-screened
+    /// candidates of every batch with `refine_backend`.
+    pub fn with_refinement(mut self, refine_backend: BackendKind, top_k: usize) -> Self {
+        self.refine_backend = refine_backend;
+        self.refine_top_k = top_k;
+        self
+    }
+
+    /// Persists the evaluation cache at `path` across runs.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+}
+
+/// The high-fidelity refinement tier of a fidelity-staged problem.
+struct RefineTier {
+    /// Explorer wired to the high-fidelity cost backend.
+    explorer: SoftwareExplorer,
+    /// Survivors per screened batch re-evaluated at high fidelity.
+    top_k: usize,
+    /// Memo-key bases for this tier (distinct from the screen tier's via
+    /// the backend fingerprint).
+    bases: Vec<(Fingerprinter, Fingerprinter)>,
 }
 
 /// The hardware design space wrapped as a [`dse::problem::Problem`].
@@ -117,37 +183,55 @@ impl CoDesignOptions {
 /// repeated pairs from a fingerprint-keyed [`MemoCache`] — while keeping
 /// results bitwise identical to the serial path (order-preserving
 /// reassembly; pure per-pair evaluations).
+///
+/// Pricing dispatches through a pluggable [`CostBackend`]
+/// ([`HwProblem::with_backend`]); with [`HwProblem::with_refinement`] the
+/// problem becomes fidelity-staged: the whole batch is screened by the
+/// cheap backend, then only the top-k screened survivors are re-priced by
+/// the high-fidelity tier before their objectives enter the Pareto front
+/// and the GP training set. Survivor selection is a pure function of the
+/// batch's screened responses (ties broken by submission order), so
+/// staging preserves the thread-count-independence invariant.
 pub struct HwProblem<'a> {
     generator: &'a dyn Generator,
     workloads: &'a [Workload],
     space: SearchSpace,
     explorer: SoftwareExplorer,
     sw_opts: ExplorerOptions,
+    seed: u64,
     workers: WorkerPool,
     /// Memoized per-(accelerator, workload) explorer outcomes, keyed by
-    /// the stable fingerprint of config + workload + options + seed.
-    /// `None` records a software-exploration failure (also worth caching).
+    /// the stable fingerprint of config + workload + options + seed +
+    /// cost backend. `None` records a software-exploration failure (also
+    /// worth caching). Shared by the screen and refine tiers (their keys
+    /// differ through the backend fingerprint) and persistable across
+    /// runs ([`HwProblem::save_cache`]).
     memo: MemoCache<(u64, u64), Option<Metrics>>,
     /// Exact per-point replay cache (a point hit skips config generation
     /// and the memo lookups entirely).
     cache: BTreeMap<Point, Option<Vec<f64>>>,
-    /// Per-workload fingerprint bases: (workload, options, seed) are
-    /// invariant for the life of the problem, so their hash state is
+    /// Per-workload fingerprint bases: (workload, options, seed, backend)
+    /// are invariant for the life of the problem, so their hash state is
     /// computed once and cloned per pair instead of re-walking the
     /// workload structure on every lookup. Two independently-seeded
     /// states form a 128-bit key, so a 64-bit collision degrades to a
     /// cache miss instead of returning another design's metrics.
     pair_bases: Vec<(Fingerprinter, Fingerprinter)>,
+    /// The optional high-fidelity stage.
+    refine: Option<RefineTier>,
     /// Total (design point, workload) evaluations requested through the
-    /// batch seam, memoized or not.
+    /// screen tier, memoized or not.
     sw_requests: usize,
+    /// (design point, workload) evaluations re-run at high fidelity.
+    refine_requests: usize,
     /// Evaluated (point, metrics) pairs for later reuse.
     pub evaluated: Vec<(Point, Metrics)>,
 }
 
 impl<'a> HwProblem<'a> {
     /// Wraps a generator + workloads as a 3-objective problem
-    /// (latency cycles, power mW, area mm²), evaluating serially.
+    /// (latency cycles, power mW, area mm²), evaluating serially with the
+    /// analytic backend.
     pub fn new(
         generator: &'a dyn Generator,
         workloads: &'a [Workload],
@@ -155,7 +239,37 @@ impl<'a> HwProblem<'a> {
         seed: u64,
     ) -> Self {
         let dim_sizes = generator.space().dims.iter().map(|d| d.len()).collect();
-        let pair_bases = workloads
+        let explorer = SoftwareExplorer::new(seed);
+        let pair_bases = Self::make_bases(workloads, &sw_opts, seed, &explorer);
+        HwProblem {
+            generator,
+            workloads,
+            space: SearchSpace::new(dim_sizes),
+            explorer,
+            sw_opts,
+            seed,
+            workers: WorkerPool::serial(),
+            memo: MemoCache::new(4096),
+            cache: BTreeMap::new(),
+            pair_bases,
+            refine: None,
+            sw_requests: 0,
+            refine_requests: 0,
+            evaluated: Vec::new(),
+        }
+    }
+
+    /// Builds the per-workload fingerprint bases for one explorer tier.
+    /// The explorer's cost backend is part of the key: different backends
+    /// legitimately produce different metrics for the same pair.
+    fn make_bases(
+        workloads: &[Workload],
+        sw_opts: &ExplorerOptions,
+        seed: u64,
+        explorer: &SoftwareExplorer,
+    ) -> Vec<(Fingerprinter, Fingerprinter)> {
+        let backend_fp = explorer.backend_fingerprint();
+        workloads
             .iter()
             .map(|w| {
                 let mut lo = Fingerprinter::new();
@@ -166,23 +280,11 @@ impl<'a> HwProblem<'a> {
                     w.fingerprint_into(fp);
                     sw_opts.fingerprint_into(fp);
                     fp.write_u64(seed);
+                    fp.write_u64(backend_fp.0);
                 }
                 (lo, hi)
             })
-            .collect();
-        HwProblem {
-            generator,
-            workloads,
-            space: SearchSpace::new(dim_sizes),
-            explorer: SoftwareExplorer::new(seed),
-            sw_opts,
-            workers: WorkerPool::serial(),
-            memo: MemoCache::new(4096),
-            cache: BTreeMap::new(),
-            pair_bases,
-            sw_requests: 0,
-            evaluated: Vec::new(),
-        }
+            .collect()
     }
 
     /// Runs batch evaluations on the given worker pool.
@@ -191,9 +293,36 @@ impl<'a> HwProblem<'a> {
         self
     }
 
-    /// Bounds the memoizing evaluation cache.
+    /// Bounds the memoizing evaluation cache (call before
+    /// [`HwProblem::load_cache`] — resizing resets the cache).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.memo = MemoCache::new(capacity);
+        self
+    }
+
+    /// Screens every candidate evaluation through the given cost backend.
+    pub fn with_backend(mut self, backend: Arc<dyn CostBackend>) -> Self {
+        self.explorer = SoftwareExplorer::new(self.seed).with_backend(backend);
+        self.pair_bases =
+            Self::make_bases(self.workloads, &self.sw_opts, self.seed, &self.explorer);
+        self
+    }
+
+    /// Enables fidelity staging: the `top_k` best-screened points of every
+    /// batch are re-evaluated through `backend` before their objectives
+    /// are reported. `top_k == 0` disables staging.
+    pub fn with_refinement(mut self, backend: Arc<dyn CostBackend>, top_k: usize) -> Self {
+        if top_k == 0 {
+            self.refine = None;
+            return self;
+        }
+        let explorer = SoftwareExplorer::new(self.seed).with_backend(backend);
+        let bases = Self::make_bases(self.workloads, &self.sw_opts, self.seed, &explorer);
+        self.refine = Some(RefineTier {
+            explorer,
+            top_k,
+            bases,
+        });
         self
     }
 
@@ -205,6 +334,76 @@ impl<'a> HwProblem<'a> {
     /// The worker pool driving batch evaluation.
     pub fn workers(&self) -> &WorkerPool {
         &self.workers
+    }
+
+    /// Loads the persistent evaluation cache (warm start). Returns the
+    /// number of entries loaded; a missing or corrupted file is a clean
+    /// cold start (0).
+    pub fn load_cache(&self, path: &std::path::Path) -> u64 {
+        self.memo
+            .load_from_file(path, Self::decode_cache_entry)
+            .unwrap_or(0)
+    }
+
+    /// Persists the evaluation cache for future runs.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the file.
+    pub fn save_cache(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        self.memo.save_to_file(path, Self::encode_cache_entry)
+    }
+
+    fn encode_cache_entry(key: &(u64, u64), value: &Option<Metrics>, out: &mut Vec<u8>) {
+        out.extend_from_slice(&key.0.to_le_bytes());
+        out.extend_from_slice(&key.1.to_le_bytes());
+        match value {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                for f in [
+                    m.latency_cycles,
+                    m.latency_ms,
+                    m.energy_uj,
+                    m.power_mw,
+                    m.area_mm2,
+                    m.throughput_mops,
+                    m.utilization,
+                ] {
+                    out.extend_from_slice(&f.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn decode_cache_entry(bytes: &[u8]) -> Option<((u64, u64), Option<Metrics>)> {
+        let key = (
+            u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?),
+            u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?),
+        );
+        match *bytes.get(16)? {
+            0 if bytes.len() == 17 => Some((key, None)),
+            1 if bytes.len() == 17 + 7 * 8 => {
+                let mut f = [0.0f64; 7];
+                for (i, slot) in f.iter_mut().enumerate() {
+                    let at = 17 + i * 8;
+                    *slot =
+                        f64::from_bits(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?));
+                }
+                Some((
+                    key,
+                    Some(Metrics {
+                        latency_cycles: f[0],
+                        latency_ms: f[1],
+                        energy_uj: f[2],
+                        power_mw: f[3],
+                        area_mm2: f[4],
+                        throughput_mops: f[5],
+                        utilization: f[6],
+                    }),
+                ))
+            }
+            _ => None,
+        }
     }
 
     /// Evaluates an accelerator on all workloads (summed latency) — the
@@ -226,22 +425,104 @@ impl<'a> HwProblem<'a> {
     }
 
     /// Stable 128-bit memoization key for one (accelerator, workload)
-    /// evaluation: the precomputed (workload, options, seed) bases
-    /// extended by the accelerator config.
-    fn pair_key(&self, cfg: &AcceleratorConfig, workload_idx: usize) -> (u64, u64) {
-        let (mut lo, mut hi) = self.pair_bases[workload_idx].clone();
+    /// evaluation: the precomputed (workload, options, seed, backend)
+    /// bases extended by the accelerator config.
+    fn pair_key(
+        bases: &[(Fingerprinter, Fingerprinter)],
+        cfg: &AcceleratorConfig,
+        workload_idx: usize,
+    ) -> (u64, u64) {
+        let (mut lo, mut hi) = bases[workload_idx].clone();
         cfg.fingerprint_into(&mut lo);
         cfg.fingerprint_into(&mut hi);
         (lo.finish().0, hi.finish().0)
     }
 
-    /// Total (design point, workload) evaluations requested so far.
+    /// Total (design point, workload) evaluations requested through the
+    /// screen tier so far.
     pub fn sw_requests(&self) -> usize {
         self.sw_requests
     }
 
+    /// Total (design point, workload) evaluations re-run at high fidelity.
+    pub fn refine_requests(&self) -> usize {
+        self.refine_requests
+    }
+
     fn objectives_of(metrics: &Metrics) -> Vec<f64> {
         vec![metrics.latency_cycles, metrics.power_mw, metrics.area_mm2]
+    }
+
+    /// Evaluates every (config, workload) pair of one tier: memoized
+    /// pairs are answered without occupying a worker, duplicates within
+    /// the batch are dispatched once, and the rest fan out to the worker
+    /// pool. Each job is a pure function of (seed, backend, config,
+    /// workload, options), so completion order is irrelevant — the pool
+    /// reassembles in submission order, keeping results identical at any
+    /// thread count.
+    fn eval_pairs(
+        explorer: &SoftwareExplorer,
+        bases: &[(Fingerprinter, Fingerprinter)],
+        memo: &MemoCache<(u64, u64), Option<Metrics>>,
+        workers: &WorkerPool,
+        workloads: &[Workload],
+        sw_opts: &ExplorerOptions,
+        configs: &[&AcceleratorConfig],
+    ) -> Vec<Vec<Option<Metrics>>> {
+        let mut results: Vec<Vec<Option<Option<Metrics>>>> = configs
+            .iter()
+            .map(|_| vec![None; workloads.len()])
+            .collect();
+        let mut jobs: Vec<(usize, usize, (u64, u64))> = Vec::new();
+        let mut duplicates: Vec<(usize, usize, (u64, u64))> = Vec::new();
+        let mut pending: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for ((ci, cfg), per_workload) in configs.iter().enumerate().zip(results.iter_mut()) {
+            for (wi, slot) in per_workload.iter_mut().enumerate() {
+                let key = Self::pair_key(bases, cfg, wi);
+                // Duplicates of a key already dispatched in this batch
+                // skip the memo probe: they are resolved (and counted as
+                // hits) once the first occurrence has been computed.
+                if pending.contains(&key) {
+                    duplicates.push((ci, wi, key));
+                    continue;
+                }
+                match memo.get(&key) {
+                    Some(memoized) => *slot = Some(memoized),
+                    None => {
+                        pending.insert(key);
+                        jobs.push((ci, wi, key));
+                    }
+                }
+            }
+        }
+
+        let outcomes = workers.map(&jobs, |_, &(ci, wi, _)| {
+            explorer
+                .best_metrics(&workloads[wi], configs[ci], sw_opts)
+                .ok()
+        });
+
+        let mut fresh_outcomes: BTreeMap<(u64, u64), Option<Metrics>> = BTreeMap::new();
+        for (&(ci, wi, key), outcome) in jobs.iter().zip(outcomes) {
+            memo.insert(key, outcome);
+            fresh_outcomes.insert(key, outcome);
+            results[ci][wi] = Some(outcome);
+        }
+        for (ci, wi, key) in duplicates {
+            // The memo lookup both answers the duplicate and credits the
+            // hit; the local map covers the pathological case where a
+            // tiny cache already evicted the entry.
+            let outcome = memo.get(&key).unwrap_or_else(|| fresh_outcomes[&key]);
+            results[ci][wi] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|per| {
+                per.into_iter()
+                    .map(|slot| slot.expect("every pair was resolved"))
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -280,74 +561,66 @@ impl Problem for HwProblem<'_> {
             }
         }
 
-        // Stage 2 (serial): expand fresh points into (config, workload)
-        // pairs; memoized pairs are answered without occupying a worker,
-        // and pairs sharing a fingerprint *within* the batch (equivalent
-        // workloads, coinciding configs) are dispatched once.
-        let mut pair_results: Vec<Vec<Option<Option<Metrics>>>> = fresh
-            .iter()
-            .map(|_| vec![None; self.workloads.len()])
-            .collect();
-        let mut jobs: Vec<(usize, usize, (u64, u64))> = Vec::new();
-        let mut duplicates: Vec<(usize, usize, (u64, u64))> = Vec::new();
-        let mut pending: BTreeSet<(u64, u64)> = BTreeSet::new();
+        // Stage 2 (screen): price every fresh point on every workload
+        // through the screening backend — memo-deduplicated, fanned out
+        // to the worker pool.
         self.sw_requests += fresh.len() * self.workloads.len();
-        for (fi, (_, cfg)) in fresh.iter().enumerate() {
-            for (wi, slot) in pair_results[fi].iter_mut().enumerate() {
-                let key = self.pair_key(cfg, wi);
-                // Duplicates of a key already dispatched in this batch skip
-                // the memo probe: they are resolved (and counted as hits)
-                // in stage 4, once the first occurrence has been computed.
-                if pending.contains(&key) {
-                    duplicates.push((fi, wi, key));
-                    continue;
-                }
-                match self.memo.get(&key) {
-                    Some(memoized) => *slot = Some(memoized),
-                    None => {
-                        pending.insert(key);
-                        jobs.push((fi, wi, key));
+        let configs: Vec<&AcceleratorConfig> = fresh.iter().map(|(_, cfg)| cfg).collect();
+        let screened = Self::eval_pairs(
+            &self.explorer,
+            &self.pair_bases,
+            &self.memo,
+            &self.workers,
+            self.workloads,
+            &self.sw_opts,
+            &configs,
+        );
+        let mut fresh_metrics: Vec<Option<Metrics>> = screened
+            .into_iter()
+            .map(|per| {
+                per.into_iter()
+                    .collect::<Option<Vec<Metrics>>>()
+                    .map(|parts| Metrics::sequential(&parts))
+            })
+            .collect();
+
+        // Stage 3 (refine): re-price only the top-k screened survivors at
+        // high fidelity before anything enters the Pareto front / GP
+        // training set. Selection ranks by screened latency with
+        // submission-index tie-breaks — a pure function of the batch, so
+        // thread count still never changes results.
+        if let Some(tier) = &self.refine {
+            let survivors = dse::staged::rank_top_k(&fresh_metrics, tier.top_k, |m| {
+                m.as_ref().map(|metrics| metrics.latency_cycles)
+            });
+            if !survivors.is_empty() {
+                self.refine_requests += survivors.len() * self.workloads.len();
+                let sub: Vec<&AcceleratorConfig> =
+                    survivors.iter().map(|&fi| &fresh[fi].1).collect();
+                let refined = Self::eval_pairs(
+                    &tier.explorer,
+                    &tier.bases,
+                    &self.memo,
+                    &self.workers,
+                    self.workloads,
+                    &self.sw_opts,
+                    &sub,
+                );
+                for (&fi, per) in survivors.iter().zip(refined) {
+                    // A refine-tier failure (impossible mappings are
+                    // backend-independent, so this is purely defensive)
+                    // keeps the screened estimate.
+                    if let Some(parts) = per.into_iter().collect::<Option<Vec<Metrics>>>() {
+                        fresh_metrics[fi] = Some(Metrics::sequential(&parts));
                     }
                 }
             }
         }
 
-        // Stage 3 (parallel): run the software explorer for every
-        // non-memoized pair. Each job is a pure function of
-        // (seed, config, workload, options), so completion order is
-        // irrelevant — the pool reassembles in submission order.
-        let explorer = &self.explorer;
-        let workloads = self.workloads;
-        let sw_opts = &self.sw_opts;
-        let fresh_ref = &fresh;
-        let outcomes = self.workers.map(&jobs, |_, &(fi, wi, _)| {
-            explorer
-                .best_metrics(&workloads[wi], &fresh_ref[fi].1, sw_opts)
-                .ok()
-        });
-
-        // Stage 4 (serial): memoize and reassemble per point, in
-        // submission order.
-        let mut fresh_outcomes: BTreeMap<(u64, u64), Option<Metrics>> = BTreeMap::new();
-        for (&(fi, wi, key), outcome) in jobs.iter().zip(outcomes) {
-            self.memo.insert(key, outcome);
-            fresh_outcomes.insert(key, outcome);
-            pair_results[fi][wi] = Some(outcome);
-        }
-        for (fi, wi, key) in duplicates {
-            // The memo lookup both answers the duplicate and credits the
-            // hit; the local map covers the pathological case where a
-            // tiny cache already evicted the entry.
-            let outcome = self.memo.get(&key).unwrap_or_else(|| fresh_outcomes[&key]);
-            pair_results[fi][wi] = Some(outcome);
-        }
-        for ((i, _), per_workload) in fresh.iter().zip(pair_results) {
-            let parts: Option<Vec<Metrics>> = per_workload
-                .into_iter()
-                .map(|m| m.expect("every pair was resolved"))
-                .collect();
-            let response = parts.map(|parts| {
-                let metrics = Metrics::sequential(&parts);
+        // Stage 4 (serial): record final metrics per point, in submission
+        // order.
+        for ((i, _), metrics) in fresh.iter().zip(fresh_metrics) {
+            let response = metrics.map(|metrics| {
                 self.evaluated.push((points[*i].clone(), metrics));
                 Self::objectives_of(&metrics)
             });
@@ -390,10 +663,12 @@ impl CoDesigner {
             return Err(HascoError::EmptyApp);
         }
         let generator = Self::make_generator(input.method);
-        let workers = WorkerPool::new(resolve_threads(self.opts.threads));
+        let workers = WorkerPool::new(resolve_threads(self.opts.threads))
+            .with_stealing(self.opts.work_stealing);
 
         // Step 2: hardware DSE with software-in-the-loop evaluation,
-        // batched onto the evaluation runtime.
+        // batched onto the evaluation runtime and priced through the
+        // configured cost backend(s).
         let mut problem = HwProblem::new(
             generator.as_ref(),
             &input.app.workloads,
@@ -401,7 +676,13 @@ impl CoDesigner {
             self.opts.seed,
         )
         .with_workers(workers.clone())
-        .with_cache_capacity(self.opts.cache_capacity);
+        .with_cache_capacity(self.opts.cache_capacity)
+        .with_backend(self.opts.backend.build())
+        .with_refinement(self.opts.refine_backend.build(), self.opts.refine_top_k);
+        let warm_cache_entries = match &self.opts.cache_path {
+            Some(path) => problem.load_cache(path),
+            None => 0,
+        };
         let mut mobo = Mobo::new(self.opts.seed).with_prior_samples(self.opts.mobo_prior);
         let mut history = mobo.run(&mut problem, self.opts.hw_trials);
         if history.evaluations.is_empty() {
@@ -434,6 +715,11 @@ impl CoDesigner {
                 solution = candidate;
             }
         }
+        // Persist the evaluation cache for the next run (best effort: a
+        // failed save costs future warmth, never correctness).
+        if let Some(path) = &self.opts.cache_path {
+            let _ = problem.save_cache(path);
+        }
         // The solution reports the full (merged) exploration history even
         // when a retuning round did not improve on the incumbent.
         solution.hw_history = history;
@@ -441,6 +727,11 @@ impl CoDesigner {
             threads: workers.threads(),
             hw_evaluations: solution.hw_history.evaluations.len(),
             sw_explorations: problem.sw_requests(),
+            refine_explorations: problem.refine_requests(),
+            backend: self.opts.backend,
+            refine_backend: (self.opts.refine_top_k > 0).then_some(self.opts.refine_backend),
+            warm_cache_entries,
+            steals: workers.stats().steals,
             cache: problem.cache_stats(),
         };
         Ok(solution)
@@ -472,8 +763,17 @@ impl CoDesigner {
         cfg: AcceleratorConfig,
         hw_history: dse::problem::OptimizerResult,
     ) -> Result<Solution, HascoError> {
-        let workers = WorkerPool::new(resolve_threads(self.opts.threads));
-        let explorer = SoftwareExplorer::new(self.opts.seed);
+        let workers = WorkerPool::new(resolve_threads(self.opts.threads))
+            .with_stealing(self.opts.work_stealing);
+        // With fidelity staging on, the final thorough optimization runs
+        // at the high-fidelity tier so reported metrics match the
+        // refinement the Pareto front saw.
+        let final_backend = if self.opts.refine_top_k > 0 {
+            self.opts.refine_backend
+        } else {
+            self.opts.backend
+        };
+        let explorer = SoftwareExplorer::new(self.opts.seed).with_backend(final_backend.build());
         // The thorough per-workload explorations are independent pure
         // runs, so they fan out across the pool; errors are reported in
         // workload order (first failure wins), matching the serial path.
@@ -508,6 +808,7 @@ impl CoDesigner {
             hw_history,
             stats: RunStats {
                 threads: workers.threads(),
+                backend: final_backend,
                 ..RunStats::default()
             },
         })
@@ -670,6 +971,143 @@ mod tests {
             assert_eq!(pa, pb);
             assert_eq!(ma.latency_cycles, mb.latency_cycles);
         }
+    }
+
+    fn temp_cache(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hasco-codesign-{name}-{}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn staged_refinement_refines_top_k_only() {
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let sw = CoDesignOptions::quick(0).sw_inner;
+        let mut p = HwProblem::new(&generator, &input.app.workloads, sw, 0)
+            .with_backend(BackendKind::Analytic.build())
+            .with_refinement(BackendKind::TraceSim.build(), 2);
+        let dims = p.space().dim_sizes.clone();
+        let points: Vec<Point> = (0..5)
+            .map(|k| dims.iter().map(|&s| k % s).collect())
+            .collect();
+        let responses = p.evaluate_batch(&points);
+        assert_eq!(responses.len(), 5);
+        // Exactly top-k of the fresh feasible points were re-priced.
+        let feasible = responses.iter().filter(|r| r.is_some()).count();
+        assert!(feasible > 2, "toy batch should be mostly feasible");
+        assert_eq!(p.refine_requests(), 2 * input.app.len());
+        assert_eq!(p.sw_requests(), 5 * input.app.len());
+    }
+
+    #[test]
+    fn staged_batches_are_thread_count_independent() {
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let sw = CoDesignOptions::quick(0).sw_inner;
+        let points: Vec<Point> = {
+            let probe = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0);
+            let dims = probe.space().dim_sizes.clone();
+            (0..6)
+                .map(|k| dims.iter().map(|&s| (k * 2) % s).collect())
+                .collect()
+        };
+        let mut serial = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0)
+            .with_refinement(BackendKind::TraceSim.build(), 2);
+        let mut parallel = HwProblem::new(&generator, &input.app.workloads, sw, 0)
+            .with_refinement(BackendKind::TraceSim.build(), 2)
+            .with_workers(WorkerPool::new(4));
+        assert_eq!(
+            serial.evaluate_batch(&points),
+            parallel.evaluate_batch(&points)
+        );
+        assert_eq!(serial.refine_requests(), parallel.refine_requests());
+    }
+
+    #[test]
+    fn backend_choice_changes_objectives_not_feasibility() {
+        let input = toy_input();
+        let generator = GemminiGenerator::new();
+        let sw = CoDesignOptions::quick(0).sw_inner;
+        let point: Point = {
+            let probe = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0);
+            vec![0; probe.space().len()]
+        };
+        let mut per_backend = Vec::new();
+        for kind in BackendKind::ALL {
+            let mut p = HwProblem::new(&generator, &input.app.workloads, sw.clone(), 0)
+                .with_backend(kind.build());
+            let r = p.evaluate(&point).expect("toy point is feasible");
+            per_backend.push(r[0]);
+        }
+        // Latencies differ across tiers but stay within one order of
+        // magnitude — same hardware, different pipeline detail.
+        let (lo, hi) = per_backend
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| {
+                (lo.min(l), hi.max(l))
+            });
+        assert!(hi / lo < 10.0, "{per_backend:?}");
+    }
+
+    #[test]
+    fn persistent_cache_warms_repeat_runs() {
+        let input = toy_input();
+        let path = temp_cache("warm");
+        std::fs::remove_file(&path).ok();
+        let opts = CoDesignOptions::quick(5).with_cache_path(&path);
+        let cold = CoDesigner::new(opts.clone()).run(&input).unwrap();
+        assert_eq!(cold.stats.warm_cache_entries, 0);
+        assert!(path.exists(), "cache file must be written");
+        let warm = CoDesigner::new(opts).run(&input).unwrap();
+        assert!(warm.stats.warm_cache_entries > 0);
+        // Identical run, warm cache: same solution, strictly fewer
+        // explorer executions (= cache misses).
+        assert_eq!(cold.accelerator, warm.accelerator);
+        assert_eq!(cold.hw_history, warm.hw_history);
+        assert!(
+            warm.stats.cache.misses < cold.stats.cache.misses,
+            "warm run recomputed as much as cold: {} vs {}",
+            warm.stats.cache.misses,
+            cold.stats.cache.misses
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_persistent_cache_is_a_clean_cold_start() {
+        let input = toy_input();
+        let path = temp_cache("corrupt");
+        let opts = CoDesignOptions::quick(6).with_cache_path(&path);
+        let reference = CoDesigner::new(opts.clone()).run(&input).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = CoDesigner::new(opts).run(&input).unwrap();
+        assert_eq!(recovered.stats.warm_cache_entries, 0);
+        assert_eq!(reference.accelerator, recovered.accelerator);
+        assert_eq!(reference.hw_history, recovered.hw_history);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn staged_codesign_reports_both_tiers() {
+        let input = toy_input();
+        let mut opts = CoDesignOptions::quick(8).with_refinement(BackendKind::TraceSim, 2);
+        opts.hw_trials = 6;
+        let solution = CoDesigner::new(opts).run(&input).unwrap();
+        let stats = solution.stats;
+        assert_eq!(stats.backend, BackendKind::Analytic);
+        assert_eq!(stats.refine_backend, Some(BackendKind::TraceSim));
+        assert!(stats.refine_explorations > 0);
+        assert!(
+            stats.refine_explorations < stats.sw_explorations,
+            "refinement must touch strictly fewer pairs than screening: {} vs {}",
+            stats.refine_explorations,
+            stats.sw_explorations
+        );
+        assert!(solution.stats.render().contains("refined (sim)"));
     }
 
     #[test]

@@ -2,19 +2,32 @@
 //! binaries print paper-style rows through these helpers), plus the
 //! runtime-subsystem report attached to every solution.
 
+use accel_model::BackendKind;
 use runtime::CacheStats;
 
 /// Execution statistics of one co-design run: how the parallel evaluation
-/// runtime and its memoizing cost-model cache were used.
+/// runtime, the cost backends, and the memoizing cost-model cache were
+/// used — where the time went.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
     /// Evaluation worker threads used.
     pub threads: usize,
     /// Feasible hardware design points evaluated (full app metrics).
     pub hw_evaluations: usize,
-    /// Software explorations requested, memoized or not (one per
-    /// (design point, workload) pair).
+    /// Software explorations requested through the screening backend,
+    /// memoized or not (one per (design point, workload) pair).
     pub sw_explorations: usize,
+    /// Software explorations re-run at high fidelity on the top-k
+    /// survivors of each screened batch (0 when staging is off).
+    pub refine_explorations: usize,
+    /// The screening cost backend.
+    pub backend: BackendKind,
+    /// The refinement backend, when fidelity staging is on.
+    pub refine_backend: Option<BackendKind>,
+    /// Entries loaded from the persistent cross-run cache at startup.
+    pub warm_cache_entries: u64,
+    /// Work-stealing operations performed by the evaluation pool.
+    pub steals: u64,
     /// Memoizing evaluation-cache counters.
     pub cache: CacheStats,
 }
@@ -24,14 +37,26 @@ impl RunStats {
     pub fn render(&self) -> String {
         let mut t = Table::new(&["runtime", "value"]);
         t.row(vec!["threads".into(), self.threads.to_string()]);
+        t.row(vec!["backend".into(), self.backend.to_string()]);
         t.row(vec![
             "hw evaluations".into(),
             self.hw_evaluations.to_string(),
         ]);
         t.row(vec![
-            "sw explorations".into(),
+            format!("sw explorations ({})", self.backend),
             self.sw_explorations.to_string(),
         ]);
+        if let Some(refine) = self.refine_backend {
+            t.row(vec![
+                format!("refined ({refine})"),
+                self.refine_explorations.to_string(),
+            ]);
+        }
+        t.row(vec![
+            "warm cache entries".into(),
+            self.warm_cache_entries.to_string(),
+        ]);
+        t.row(vec!["pool steals".into(), self.steals.to_string()]);
         t.row(vec!["cache hits".into(), self.cache.hits.to_string()]);
         t.row(vec!["cache misses".into(), self.cache.misses.to_string()]);
         t.row(vec![
@@ -154,6 +179,27 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn run_stats_render_shows_backends_and_steals() {
+        let stats = RunStats {
+            threads: 4,
+            backend: BackendKind::Analytic,
+            refine_backend: Some(BackendKind::TraceSim),
+            refine_explorations: 6,
+            warm_cache_entries: 12,
+            steals: 3,
+            ..RunStats::default()
+        };
+        let s = stats.render();
+        assert!(s.contains("backend") && s.contains("analytic"));
+        assert!(s.contains("refined (sim)") && s.contains('6'));
+        assert!(s.contains("warm cache entries"));
+        assert!(s.contains("pool steals"));
+        // Staging off: no refinement row.
+        let off = RunStats::default().render();
+        assert!(!off.contains("refined ("));
     }
 
     #[test]

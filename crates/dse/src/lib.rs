@@ -44,8 +44,10 @@ pub mod nsga2;
 pub mod pareto;
 pub mod problem;
 pub mod random;
+pub mod staged;
 
 pub use problem::{Evaluation, EvaluatorProblem, OptimizerResult, Point, Problem, SearchSpace};
+pub use staged::{rank_top_k, FidelityStaged, StagedStats};
 // The batch-evaluation seam: optimizers hand candidate batches to
 // `Problem::evaluate_batch`; `EvaluatorProblem` adapts any standalone
 // `BatchEvaluator` engine into that interface.

@@ -1,0 +1,187 @@
+//! Fidelity-staged batch evaluation: screen everything cheaply, refine
+//! only the survivors.
+//!
+//! The co-design loop's high-fidelity evaluations (trace simulation) cost
+//! orders of magnitude more than the analytic screen, yet only the
+//! candidates that might enter the Pareto front or the GP training set
+//! deserve them. [`FidelityStaged`] composes two [`BatchEvaluator`]s into
+//! that policy: the screen engine prices the full batch, a deterministic
+//! ranking ([`rank_top_k`]) picks the `top_k` most promising responses,
+//! and only those are re-evaluated by the refine engine — the rest keep
+//! their screened values.
+//!
+//! Determinism: survivor selection depends only on the batch's screened
+//! responses (ties broken by submission index), never on thread count or
+//! completion order, so staging composes with the parallel runtime
+//! without weakening the "thread count never changes results" invariant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use runtime::BatchEvaluator;
+
+/// Indices of the `k` best-scoring items, deterministic under ties.
+///
+/// `score` returns `None` for items that cannot be ranked (infeasible
+/// candidates); those never survive. Lower scores are better (the
+/// minimization convention of every objective in this crate). Ties are
+/// broken by submission index, so the selection is a pure function of the
+/// batch content. The returned indices are in ascending index order.
+pub fn rank_top_k<T>(items: &[T], k: usize, score: impl Fn(&T) -> Option<f64>) -> Vec<usize> {
+    let mut ranked: Vec<(f64, usize)> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| score(t).map(|s| (s, i)))
+        .filter(|(s, _)| !s.is_nan())
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("NaN scores were filtered")
+            .then(a.1.cmp(&b.1))
+    });
+    ranked.truncate(k);
+    let mut idx: Vec<usize> = ranked.into_iter().map(|(_, i)| i).collect();
+    idx.sort_unstable();
+    idx
+}
+
+/// Point-in-time counters of a staged evaluator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagedStats {
+    /// Requests priced by the screen engine.
+    pub screened: u64,
+    /// Survivors re-priced by the refine engine.
+    pub refined: u64,
+}
+
+/// Two-tier evaluator: screen the batch, refine the top-k survivors.
+///
+/// `score` maps a screened response to a ranking key (`None` =
+/// unrankable/infeasible, lower = better). With `top_k == 0` the refine
+/// engine is never consulted and this is exactly the screen engine.
+pub struct FidelityStaged<S, R, F> {
+    /// The cheap full-batch engine.
+    pub screen: S,
+    /// The expensive survivor engine.
+    pub refine: R,
+    /// Survivors per batch re-evaluated at high fidelity.
+    pub top_k: usize,
+    score: F,
+    screened: AtomicU64,
+    refined: AtomicU64,
+}
+
+impl<S, R, F> FidelityStaged<S, R, F> {
+    /// Composes the two engines.
+    pub fn new(screen: S, refine: R, top_k: usize, score: F) -> Self {
+        FidelityStaged {
+            screen,
+            refine,
+            top_k,
+            score,
+            screened: AtomicU64::new(0),
+            refined: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the per-tier evaluation counters.
+    pub fn stats(&self) -> StagedStats {
+        StagedStats {
+            screened: self.screened.load(Ordering::Relaxed),
+            refined: self.refined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<Q, P, S, R, F> BatchEvaluator for FidelityStaged<S, R, F>
+where
+    Q: Clone,
+    S: BatchEvaluator<Request = Q, Response = P>,
+    R: BatchEvaluator<Request = Q, Response = P>,
+    F: Fn(&P) -> Option<f64>,
+{
+    type Request = Q;
+    type Response = P;
+
+    fn evaluate_batch(&self, batch: &[Q]) -> Vec<P> {
+        let mut responses = self.screen.evaluate_batch(batch);
+        self.screened
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if self.top_k == 0 {
+            return responses;
+        }
+        let survivors = rank_top_k(&responses, self.top_k, &self.score);
+        if survivors.is_empty() {
+            return responses;
+        }
+        let requests: Vec<Q> = survivors.iter().map(|&i| batch[i].clone()).collect();
+        let refined = self.refine.evaluate_batch(&requests);
+        self.refined
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        for (i, r) in survivors.into_iter().zip(refined) {
+            responses[i] = r;
+        }
+        responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::batch::FnEvaluator;
+
+    #[test]
+    fn rank_top_k_is_deterministic_and_tie_stable() {
+        let items = [3.0, 1.0, 2.0, 1.0, f64::NAN];
+        let top = rank_top_k(&items, 3, |&x| Some(x));
+        // The two 1.0s tie: the earlier index wins first, and 2.0 fills
+        // the third slot; NaN never survives.
+        assert_eq!(top, vec![1, 2, 3]);
+        assert_eq!(rank_top_k(&items, 0, |&x| Some(x)), Vec::<usize>::new());
+        assert_eq!(rank_top_k(&items, 10, |&x| Some(x)).len(), 4);
+    }
+
+    #[test]
+    fn rank_top_k_skips_unrankable_items() {
+        let items = [Some(5.0), None, Some(1.0)];
+        assert_eq!(rank_top_k(&items, 2, |x| *x), vec![0, 2]);
+    }
+
+    #[test]
+    fn staged_refines_only_survivors() {
+        let staged = FidelityStaged::new(
+            FnEvaluator::new(|&x: &u64| x as f64),
+            FnEvaluator::new(|&x: &u64| x as f64 + 1000.0),
+            2,
+            |&p: &f64| Some(p),
+        );
+        let out = staged.evaluate_batch(&[5, 1, 9, 3]);
+        // The two smallest screened values (1 and 3) get refined.
+        assert_eq!(out, vec![5.0, 1001.0, 9.0, 1003.0]);
+        let s = staged.stats();
+        assert_eq!(s.screened, 4);
+        assert_eq!(s.refined, 2);
+    }
+
+    #[test]
+    fn top_k_zero_is_the_screen_engine() {
+        let staged = FidelityStaged::new(
+            FnEvaluator::new(|&x: &u64| x * 2),
+            FnEvaluator::new(|_: &u64| unreachable!("refine must not run")),
+            0,
+            |&p: &u64| Some(p as f64),
+        );
+        assert_eq!(staged.evaluate_batch(&[1, 2, 3]), vec![2, 4, 6]);
+        assert_eq!(staged.stats().refined, 0);
+    }
+
+    #[test]
+    fn all_unrankable_batches_skip_refinement() {
+        let staged = FidelityStaged::new(
+            FnEvaluator::new(|&x: &u64| x),
+            FnEvaluator::new(|_: &u64| unreachable!("refine must not run")),
+            3,
+            |_: &u64| None,
+        );
+        assert_eq!(staged.evaluate_batch(&[1, 2]), vec![1, 2]);
+    }
+}

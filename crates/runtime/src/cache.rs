@@ -9,7 +9,11 @@
 //! * lock sharding so parallel workers rarely contend;
 //! * a bounded capacity with oldest-first (FIFO) eviction per shard;
 //! * [`CacheStats`] counters (hits / misses / inserts / evictions) cheap
-//!   enough to leave on in production and surfaced by `core::report`.
+//!   enough to leave on in production and surfaced by `core::report`;
+//! * cross-run persistence ([`MemoCache::save_to_file`] /
+//!   [`MemoCache::load_from_file`]): a checksummed binary image keyed by
+//!   stable fingerprints, so repeated runs start warm; any corruption
+//!   degrades to a clean cold start, never a wrong answer.
 //!
 //! Compute-on-miss runs **outside** the shard lock: two workers racing on
 //! the same key may both compute, but memoized evaluations are pure, so
@@ -23,6 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 const SHARDS: usize = 16;
+
+/// File magic + format version for persisted caches.
+const PERSIST_MAGIC: &[u8; 8] = b"HASCOMC1";
 
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -160,6 +167,123 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         v
     }
 
+    /// Clones every entry, shard by shard in insertion order — the basis
+    /// of [`MemoCache::save_to_file`].
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock().expect("shard poisoned");
+            for key in &s.order {
+                if let Some(v) = s.map.get(key) {
+                    out.push((key.clone(), v.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Persists the cache to `path` so a later run can start warm
+    /// ([`MemoCache::load_from_file`]). `encode` appends one entry's bytes
+    /// to the buffer; keys are expected to be derived from
+    /// [`crate::StableFingerprint`]s, which are stable across processes.
+    /// Returns the number of entries written.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the file.
+    pub fn save_to_file(
+        &self,
+        path: &std::path::Path,
+        mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
+    ) -> std::io::Result<u64> {
+        let entries = self.snapshot();
+        let mut payload = Vec::new();
+        for (k, v) in &entries {
+            let mut entry = Vec::new();
+            encode(k, v, &mut entry);
+            payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&entry);
+        }
+        let mut file = Vec::with_capacity(payload.len() + 32);
+        file.extend_from_slice(PERSIST_MAGIC);
+        file.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        file.extend_from_slice(&payload);
+        let mut fp = crate::Fingerprinter::new();
+        fp.write_bytes(&payload);
+        file.extend_from_slice(&fp.finish().0.to_le_bytes());
+        std::fs::write(path, file)?;
+        Ok(entries.len() as u64)
+    }
+
+    /// Loads entries saved by [`MemoCache::save_to_file`] into this cache.
+    /// `decode` parses one entry's bytes back into a `(key, value)` pair,
+    /// returning `None` for unrecognized layouts.
+    ///
+    /// Any anomaly — missing file, bad magic, truncation, checksum
+    /// mismatch, or an entry the decoder rejects — yields a clean cold
+    /// start: `Ok(0)` with the cache left untouched. Returns the number of
+    /// entries inserted (the capacity bound still applies, so a cache
+    /// smaller than the file keeps only the newest shard-capacity's
+    /// worth).
+    ///
+    /// # Errors
+    /// Never returns `Err` in the current implementation; the signature
+    /// reserves it for callers that want to distinguish I/O failures.
+    pub fn load_from_file(
+        &self,
+        path: &std::path::Path,
+        mut decode: impl FnMut(&[u8]) -> Option<(K, V)>,
+    ) -> std::io::Result<u64> {
+        let Ok(bytes) = std::fs::read(path) else {
+            return Ok(0);
+        };
+        let Some(entries) = Self::parse_persisted(&bytes, &mut decode) else {
+            return Ok(0);
+        };
+        let count = entries.len() as u64;
+        for (k, v) in entries {
+            self.insert(k, v);
+        }
+        Ok(count)
+    }
+
+    /// Validates and decodes a persisted cache image; `None` on any
+    /// corruption.
+    fn parse_persisted(
+        bytes: &[u8],
+        decode: &mut impl FnMut(&[u8]) -> Option<(K, V)>,
+    ) -> Option<Vec<(K, V)>> {
+        let header = PERSIST_MAGIC.len() + 8;
+        if bytes.len() < header + 8 || &bytes[..PERSIST_MAGIC.len()] != PERSIST_MAGIC {
+            return None;
+        }
+        let count = u64::from_le_bytes(bytes[PERSIST_MAGIC.len()..header].try_into().ok()?);
+        let payload = &bytes[header..bytes.len() - 8];
+        let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
+        let mut fp = crate::Fingerprinter::new();
+        fp.write_bytes(payload);
+        if fp.finish().0 != stored_sum {
+            return None;
+        }
+        let mut entries = Vec::new();
+        let mut rest = payload;
+        for _ in 0..count {
+            if rest.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
+                return None;
+            }
+            entries.push(decode(&rest[..len])?);
+            rest = &rest[len..];
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(entries)
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -244,6 +368,116 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    fn encode_u64_pair(k: &u64, v: &u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn decode_u64_pair(bytes: &[u8]) -> Option<(u64, u64)> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some((
+            u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            u64::from_le_bytes(bytes[8..].try_into().ok()?),
+        ))
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hasco-cache-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(256);
+        for k in 0..50u64 {
+            cache.insert(k, k * 7);
+        }
+        let path = temp_path("roundtrip");
+        assert_eq!(cache.save_to_file(&path, encode_u64_pair).unwrap(), 50);
+        let warm: MemoCache<u64, u64> = MemoCache::new(256);
+        assert_eq!(warm.load_from_file(&path, decode_u64_pair).unwrap(), 50);
+        for k in 0..50u64 {
+            assert_eq!(warm.get(&k), Some(k * 7), "key {k}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        let loaded = cache
+            .load_from_file(
+                std::path::Path::new("/nonexistent/hasco.bin"),
+                decode_u64_pair,
+            )
+            .unwrap();
+        assert_eq!(loaded, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupted_files_yield_clean_cold_starts() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        for k in 0..10u64 {
+            cache.insert(k, k);
+        }
+        let path = temp_path("corrupt");
+        cache.save_to_file(&path, encode_u64_pair).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one payload byte (checksum mismatch), truncate, and garble
+        // the magic: each must load zero entries and leave the cache empty.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        let mut short = good.clone();
+        short.truncate(good.len() - 5);
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        for (label, image) in [("flipped", flipped), ("short", short), ("magic", bad_magic)] {
+            std::fs::write(&path, &image).unwrap();
+            let fresh: MemoCache<u64, u64> = MemoCache::new(64);
+            assert_eq!(
+                fresh.load_from_file(&path, decode_u64_pair).unwrap(),
+                0,
+                "{label}"
+            );
+            assert!(fresh.is_empty(), "{label}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejecting_decoder_yields_cold_start() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        cache.insert(1, 2);
+        let path = temp_path("reject");
+        cache.save_to_file(&path, encode_u64_pair).unwrap();
+        let fresh: MemoCache<u64, u64> = MemoCache::new(64);
+        let loaded = fresh.load_from_file(&path, |_| None::<(u64, u64)>).unwrap();
+        assert_eq!(loaded, 0);
+        assert!(fresh.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_respects_capacity_bound() {
+        let big: MemoCache<u64, u64> = MemoCache::new(1024);
+        for k in 0..200u64 {
+            big.insert(k, k);
+        }
+        let path = temp_path("capacity");
+        big.save_to_file(&path, encode_u64_pair).unwrap();
+        let small: MemoCache<u64, u64> = MemoCache::new(1);
+        let loaded = small.load_from_file(&path, decode_u64_pair).unwrap();
+        assert_eq!(loaded, 200);
+        assert!(small.len() <= small.capacity());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod pool;
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, MemoCache};
 pub use fingerprint::{Fingerprint, Fingerprinter, StableFingerprint};
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
 
 /// A point in a discrete search space (one choice index per dimension) —
 /// mirrors `dse::problem::Point` so the batch seam does not depend on the

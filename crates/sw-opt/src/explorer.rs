@@ -1,11 +1,13 @@
 //! The software DSE driver: heuristic top-k selection + Q-learning
 //! revisions (§VI-B, Fig. 5(d)/(e)).
 
+use std::sync::Arc;
+
 use accel_model::arch::AcceleratorConfig;
-use accel_model::{CostModel, Metrics};
+use accel_model::{AnalyticBackend, CostBackend, CostModel, Metrics};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use runtime::{Fingerprinter, StableFingerprint, WorkerPool};
+use runtime::{Fingerprint, Fingerprinter, StableFingerprint, WorkerPool};
 use tensor_ir::matching::TensorizeChoice;
 use tensor_ir::workload::Workload;
 
@@ -76,31 +78,51 @@ pub struct OptimizedSoftware {
 
 /// The software explorer; owns the RNG seed and the shared Q-network
 /// ("the DQN is reused for all design points in a software space").
+///
+/// Schedule pricing dispatches through a pluggable [`CostBackend`]
+/// ([`SoftwareExplorer::with_backend`]), defaulting to the fast analytic
+/// tier. The backend changes which schedules look good and therefore the
+/// entire exploration trajectory, so memoization layers must key results
+/// by [`SoftwareExplorer::backend_fingerprint`].
 #[derive(Debug)]
 pub struct SoftwareExplorer {
     seed: u64,
-    model: CostModel,
+    backend: Arc<dyn CostBackend>,
     workers: WorkerPool,
 }
 
 impl SoftwareExplorer {
-    /// Creates an explorer with the default cost model, evaluating
-    /// serially.
+    /// Creates an explorer with the default analytic cost backend,
+    /// evaluating serially.
     pub fn new(seed: u64) -> Self {
         SoftwareExplorer {
             seed,
-            model: CostModel::default(),
+            backend: Arc::new(AnalyticBackend::default()),
             workers: WorkerPool::serial(),
         }
     }
 
-    /// Creates an explorer with a custom cost model.
+    /// Creates an explorer with a custom analytic cost model.
     pub fn with_model(seed: u64, model: CostModel) -> Self {
-        SoftwareExplorer {
-            seed,
-            model,
-            workers: WorkerPool::serial(),
-        }
+        SoftwareExplorer::new(seed).with_backend(Arc::new(AnalyticBackend::new(model)))
+    }
+
+    /// Routes schedule pricing through the given cost backend.
+    pub fn with_backend(mut self, backend: Arc<dyn CostBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The cost backend pricing this explorer's schedules.
+    pub fn backend(&self) -> &Arc<dyn CostBackend> {
+        &self.backend
+    }
+
+    /// Stable identity of the cost backend, for memoization keys.
+    pub fn backend_fingerprint(&self) -> Fingerprint {
+        let mut fp = Fingerprinter::new();
+        self.backend.fingerprint_into(&mut fp);
+        fp.finish()
     }
 
     /// Evaluates candidate pools and per-round revision batches on the
@@ -134,7 +156,7 @@ impl SoftwareExplorer {
         let mut pool = CandidatePool::initialize_batched(
             &ctx,
             cfg,
-            &self.model,
+            self.backend.as_ref(),
             opts.pool,
             &mut rng,
             &self.workers,
@@ -173,7 +195,7 @@ impl SoftwareExplorer {
             // per-batch thread spawns would cost more than sub-millisecond
             // lowering itself; either strategy yields identical results.
             let evaluate_one = |_: usize, (_, revised, _): &(Candidate, Schedule, usize)| {
-                lowering::evaluate(revised, &ctx, cfg, &self.model)
+                lowering::evaluate(revised, &ctx, cfg, self.backend.as_ref())
             };
             let outcomes = if proposals.len() < 4 {
                 proposals
@@ -334,6 +356,57 @@ mod tests {
                 parallel.schedule.choice.var_map
             );
         }
+    }
+
+    #[test]
+    fn backend_changes_pricing_not_validity() {
+        let wl = suites::gemm_workload("g", 256, 256, 256);
+        let c = cfg();
+        let mut latencies = Vec::new();
+        for kind in accel_model::BackendKind::ALL {
+            let r = SoftwareExplorer::new(21)
+                .with_backend(kind.build())
+                .optimize(&wl, &c, &quick_opts())
+                .unwrap();
+            assert!(r.metrics.latency_cycles > 0.0, "{kind}");
+            latencies.push(r.metrics.latency_cycles);
+        }
+        // Same hardware, same order of magnitude across tiers.
+        let (lo, hi) = latencies
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &l| {
+                (lo.min(l), hi.max(l))
+            });
+        assert!(hi / lo < 4.0, "tiers disagree wildly: {latencies:?}");
+    }
+
+    #[test]
+    fn backend_fingerprints_distinguish_tiers_and_key_identically() {
+        let a = SoftwareExplorer::new(0);
+        let b = SoftwareExplorer::new(0).with_backend(accel_model::BackendKind::TraceSim.build());
+        assert_ne!(a.backend_fingerprint(), b.backend_fingerprint());
+        let a2 = SoftwareExplorer::new(7);
+        assert_eq!(a.backend_fingerprint(), a2.backend_fingerprint());
+    }
+
+    #[test]
+    fn sim_backend_results_are_thread_count_independent() {
+        let wl = suites::conv2d_workload("c", 64, 64, 28, 28, 3, 3);
+        let c = cfg();
+        let serial = SoftwareExplorer::new(17)
+            .with_backend(accel_model::BackendKind::TraceSim.build())
+            .optimize(&wl, &c, &quick_opts())
+            .unwrap();
+        let parallel = SoftwareExplorer::new(17)
+            .with_backend(accel_model::BackendKind::TraceSim.build())
+            .with_workers(runtime::WorkerPool::new(4))
+            .optimize(&wl, &c, &quick_opts())
+            .unwrap();
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(
+            serial.metrics.latency_cycles,
+            parallel.metrics.latency_cycles
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! candidates as valuable candidates."
 
 use accel_model::arch::AcceleratorConfig;
-use accel_model::{CostModel, Metrics};
+use accel_model::{CostBackend, Metrics};
 use rand::Rng;
 use runtime::WorkerPool;
 
@@ -42,11 +42,11 @@ impl CandidatePool {
     pub fn initialize<R: Rng + ?Sized>(
         ctx: &ScheduleContext,
         cfg: &AcceleratorConfig,
-        model: &CostModel,
+        backend: &dyn CostBackend,
         size: usize,
         rng: &mut R,
     ) -> Result<Self, SwError> {
-        Self::initialize_batched(ctx, cfg, model, size, rng, &WorkerPool::serial())
+        Self::initialize_batched(ctx, cfg, backend, size, rng, &WorkerPool::serial())
     }
 
     /// [`CandidatePool::initialize`] with the schedule *evaluations* fanned
@@ -61,7 +61,7 @@ impl CandidatePool {
     pub fn initialize_batched<R: Rng + ?Sized>(
         ctx: &ScheduleContext,
         cfg: &AcceleratorConfig,
-        model: &CostModel,
+        backend: &dyn CostBackend,
         size: usize,
         rng: &mut R,
         workers: &WorkerPool,
@@ -77,7 +77,7 @@ impl CandidatePool {
             let schedules: Vec<Schedule> = (0..chunk).map(|_| ctx.random_schedule(rng)).collect();
             attempts += schedules.len();
             let outcomes = workers.map(&schedules, |_, s| {
-                lowering::evaluate(s, ctx, cfg, model).ok()
+                lowering::evaluate(s, ctx, cfg, backend).ok()
             });
             for (sched, metrics) in schedules.into_iter().zip(outcomes) {
                 if let Some(metrics) = metrics {
@@ -181,13 +181,17 @@ mod tests {
     use tensor_ir::intrinsics::IntrinsicKind;
     use tensor_ir::suites;
 
-    fn setup() -> (ScheduleContext, AcceleratorConfig, CostModel) {
+    fn setup() -> (
+        ScheduleContext,
+        AcceleratorConfig,
+        accel_model::AnalyticBackend,
+    ) {
         let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
             .build()
             .unwrap();
         let wl = suites::gemm_workload("g", 256, 256, 256);
         let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
-        (ctx, cfg, CostModel::default())
+        (ctx, cfg, accel_model::AnalyticBackend::default())
     }
 
     #[test]

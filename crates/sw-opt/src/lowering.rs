@@ -321,7 +321,8 @@ pub fn lower(
     })
 }
 
-/// Convenience: lower and price in one step.
+/// Convenience: lower and price in one step, through any cost backend
+/// (analytic, trace-sim, or calibrated — see [`accel_model::backend`]).
 ///
 /// # Errors
 /// Propagates lowering errors.
@@ -329,10 +330,10 @@ pub fn evaluate(
     sched: &Schedule,
     ctx: &ScheduleContext,
     cfg: &AcceleratorConfig,
-    model: &accel_model::CostModel,
+    backend: &dyn accel_model::CostBackend,
 ) -> Result<accel_model::Metrics, SwError> {
     let lowered = lower(sched, ctx, cfg)?;
-    Ok(model.evaluate(cfg, &lowered.plan))
+    Ok(backend.evaluate(cfg, &lowered.plan))
 }
 
 #[cfg(test)]
@@ -606,8 +607,19 @@ mod tests {
     fn evaluate_returns_metrics() {
         let (ctx, cfg) = gemm_ctx(256);
         let s = gemm_schedule(&ctx, 64, 64, 64, &["i", "j", "k"]);
-        let m = evaluate(&s, &ctx, &cfg, &CostModel::default()).unwrap();
+        let m = evaluate(&s, &ctx, &cfg, &accel_model::AnalyticBackend::default()).unwrap();
         assert!(m.latency_cycles > 0.0 && m.power_mw > 0.0);
+    }
+
+    #[test]
+    fn evaluate_dispatches_to_any_backend() {
+        let (ctx, cfg) = gemm_ctx(256);
+        let s = gemm_schedule(&ctx, 64, 64, 64, &["i", "j", "k"]);
+        for kind in accel_model::BackendKind::ALL {
+            let backend = kind.build();
+            let m = evaluate(&s, &ctx, &cfg, backend.as_ref()).unwrap();
+            assert!(m.latency_cycles > 0.0, "{kind}");
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The cost-backend layer's contracts, end to end: fidelity staging
+//! (analytic screen + sim refine) tracks the sim-only Pareto front while
+//! running strictly fewer high-fidelity evaluations, and the stable
+//! fingerprints that key the persistent cross-run cache are identical
+//! across processes.
+
+use accel_model::arch::AcceleratorConfig;
+use accel_model::BackendKind;
+use dse::problem::{Point, Problem};
+use hasco::codesign::{CoDesignOptions, HwProblem};
+use hw_gen::space::Generator;
+use hw_gen::GemminiGenerator;
+use runtime::{Fingerprinter, StableFingerprint};
+use tensor_ir::intrinsics::IntrinsicKind;
+use tensor_ir::suites;
+use tensor_ir::workload::Workload;
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        suites::gemm_workload("g1", 256, 256, 256),
+        suites::conv2d_workload("c1", 64, 64, 28, 28, 3, 3),
+    ]
+}
+
+/// A deterministic spread of design points covering the space.
+fn sample_points(generator: &dyn Generator, n: usize) -> Vec<Point> {
+    let dims: Vec<usize> = generator.space().dims.iter().map(|d| d.len()).collect();
+    (0..n)
+        .map(|k| {
+            dims.iter()
+                .enumerate()
+                .map(|(d, &s)| (k * (d + 3) + k / 2) % s)
+                .collect()
+        })
+        .collect()
+}
+
+/// Pareto front (on the objective vectors) of the feasible responses.
+fn front_of(responses: &[Option<Vec<f64>>]) -> Vec<Vec<f64>> {
+    let objs: Vec<&[f64]> = responses.iter().filter_map(|r| r.as_deref()).collect();
+    dse::pareto::pareto_indices(&objs)
+        .into_iter()
+        .map(|i| objs[i].to_vec())
+        .collect()
+}
+
+#[test]
+fn staged_front_tracks_sim_only_front_with_fewer_hifi_evals() {
+    let generator = GemminiGenerator::new();
+    let wls = workloads();
+    let sw = CoDesignOptions::quick(0).sw_inner;
+    let points = sample_points(&generator, 12);
+
+    // Reference: every point priced at full trace-sim fidelity.
+    let mut sim_only =
+        HwProblem::new(&generator, &wls, sw.clone(), 0).with_backend(BackendKind::TraceSim.build());
+    let sim_responses = sim_only.evaluate_batch(&points);
+
+    // Staged: analytic screen over everything, sim refinement of the
+    // top-4 survivors only.
+    let mut staged = HwProblem::new(&generator, &wls, sw, 0)
+        .with_backend(BackendKind::Analytic.build())
+        .with_refinement(BackendKind::TraceSim.build(), 4);
+    let staged_responses = staged.evaluate_batch(&points);
+
+    // Strictly fewer candidates reach high fidelity.
+    assert!(staged.refine_requests() > 0);
+    assert!(
+        staged.refine_requests() < sim_only.sw_requests(),
+        "staging ran {} high-fidelity pair evaluations vs {} for sim-only",
+        staged.refine_requests(),
+        sim_only.sw_requests()
+    );
+
+    // Feasibility is backend-independent.
+    for (a, b) in sim_responses.iter().zip(&staged_responses) {
+        assert_eq!(a.is_some(), b.is_some());
+    }
+
+    // The staged run's best latency comes from a sim-refined candidate
+    // and must match the sim-only front's best latency within tolerance
+    // (the analytic screen can at worst hand the refiner a slightly
+    // different top-k, not a wildly different one).
+    let best =
+        |front: &[Vec<f64>]| -> f64 { front.iter().map(|o| o[0]).fold(f64::INFINITY, f64::min) };
+    let sim_front = front_of(&sim_responses);
+    let staged_front = front_of(&staged_responses);
+    assert!(!sim_front.is_empty() && !staged_front.is_empty());
+    let (sim_best, staged_best) = (best(&sim_front), best(&staged_front));
+    let ratio = staged_best / sim_best;
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "staged best latency {staged_best} vs sim-only {sim_best} (ratio {ratio})"
+    );
+}
+
+fn reference_fingerprint() -> runtime::Fingerprint {
+    let w = suites::gemm_workload("fp-probe", 128, 96, 64);
+    let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+        .pe_array(16, 16)
+        .scratchpad_kb(256)
+        .banks(4)
+        .build()
+        .unwrap();
+    let opts = sw_opt::explorer::ExplorerOptions::default();
+    let mut fp = Fingerprinter::new();
+    w.fingerprint_into(&mut fp);
+    opts.fingerprint_into(&mut fp);
+    cfg.fingerprint_into(&mut fp);
+    BackendKind::TraceSim.fingerprint_into(&mut fp);
+    fp.finish()
+}
+
+#[test]
+fn fingerprints_are_stable_across_processes() {
+    // The persistent cache is only sound if fingerprints computed in one
+    // process match those computed in another. The child branch (re-exec
+    // of this very test with a marker env var) prints its fingerprint;
+    // the parent compares.
+    let fp = reference_fingerprint();
+    if std::env::var("HASCO_FP_CHILD").is_ok() {
+        println!("HASCO_FP={fp}");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = std::process::Command::new(exe)
+        .args([
+            "fingerprints_are_stable_across_processes",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("HASCO_FP_CHILD", "1")
+        .output()
+        .expect("child test process runs");
+    assert!(output.status.success(), "child process failed: {output:?}");
+    // libtest may merge the marker into its own "test ..." line, so
+    // search within lines rather than at line starts.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let child_fp = stdout
+        .split("HASCO_FP=")
+        .nth(1)
+        .map(|rest| rest.split_whitespace().next().unwrap_or(""))
+        .expect("child printed its fingerprint");
+    assert_eq!(
+        child_fp,
+        fp.to_string(),
+        "fingerprint changed across processes"
+    );
+}
+
+#[test]
+fn persisted_cache_is_portable_between_problem_instances() {
+    // Save from one HwProblem, load into a freshly constructed one (as a
+    // new process would), and verify the warm instance answers the same
+    // batch without recomputing.
+    let generator = GemminiGenerator::new();
+    let wls = workloads();
+    let sw = CoDesignOptions::quick(0).sw_inner;
+    let points = sample_points(&generator, 6);
+    let mut path = std::env::temp_dir();
+    path.push(format!("hasco-portable-cache-{}.bin", std::process::id()));
+
+    let mut first = HwProblem::new(&generator, &wls, sw.clone(), 0);
+    let cold_responses = first.evaluate_batch(&points);
+    let saved = first.save_cache(&path).unwrap();
+    assert!(saved > 0);
+
+    let mut second = HwProblem::new(&generator, &wls, sw, 0);
+    assert_eq!(second.load_cache(&path), saved);
+    let warm_responses = second.evaluate_batch(&points);
+    assert_eq!(cold_responses, warm_responses);
+    let stats = second.cache_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "a warm cache must answer every pair: {stats:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}

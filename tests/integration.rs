@@ -92,7 +92,7 @@ fn hasco_software_beats_naive_schedule_on_gemmcore() {
     let cfg = gemmcore();
     let wl = suites::conv2d_workload("c", 128, 128, 28, 28, 3, 3);
     let ctx = ScheduleContext::new(&wl, &cfg.intrinsic_comp()).unwrap();
-    let model = accel_model::CostModel::default();
+    let model = accel_model::AnalyticBackend::default();
     let mut rng = SmallRng::seed_from_u64(1);
     let mut worst: f64 = 0.0;
     for _ in 0..60 {

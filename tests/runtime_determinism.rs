@@ -75,6 +75,62 @@ fn auto_thread_selection_matches_serial_too() {
 }
 
 #[test]
+fn work_stealing_and_thread_count_never_change_results() {
+    // The extended PR-invariant: the work-stealing scheduler, the
+    // shared-counter scheduler, and the serial path all produce the
+    // bitwise-identical solution at any thread count.
+    let input = mixed_input(2);
+    let reference = CoDesigner::new(CoDesignOptions::quick(19))
+        .run(&input)
+        .unwrap();
+    for (threads, stealing) in [(1, false), (3, true), (4, true), (4, false)] {
+        let solution = CoDesigner::new(
+            CoDesignOptions::quick(19)
+                .with_threads(threads)
+                .with_work_stealing(stealing),
+        )
+        .run(&input)
+        .unwrap();
+        assert_eq!(
+            reference.accelerator, solution.accelerator,
+            "threads={threads} stealing={stealing}"
+        );
+        assert_eq!(
+            reference.hw_history, solution.hw_history,
+            "threads={threads} stealing={stealing}"
+        );
+        assert_eq!(
+            reference.total.latency_cycles, solution.total.latency_cycles,
+            "threads={threads} stealing={stealing}"
+        );
+    }
+}
+
+#[test]
+fn fidelity_staged_runs_are_thread_count_independent() {
+    // Staging picks survivors from screened batch responses; that choice
+    // — and therefore the whole optimizer trajectory — must not depend on
+    // worker count or stealing.
+    let input = mixed_input(2);
+    let opts = |threads: usize, stealing: bool| {
+        CoDesignOptions::quick(23)
+            .with_refinement(accel_model::BackendKind::TraceSim, 2)
+            .with_threads(threads)
+            .with_work_stealing(stealing)
+    };
+    let serial = CoDesigner::new(opts(1, false)).run(&input).unwrap();
+    let parallel = CoDesigner::new(opts(4, true)).run(&input).unwrap();
+    assert_eq!(serial.accelerator, parallel.accelerator);
+    assert_eq!(serial.hw_history, parallel.hw_history);
+    assert_eq!(serial.total.latency_cycles, parallel.total.latency_cycles);
+    assert_eq!(
+        serial.stats.refine_explorations,
+        parallel.stats.refine_explorations
+    );
+    assert!(serial.stats.refine_explorations > 0);
+}
+
+#[test]
 fn memo_cache_deduplicates_equivalent_workloads() {
     // Two workloads with identical loop nests (names differ — names are
     // reporting-only) share evaluation fingerprints, so every design

@@ -1,4 +1,4 @@
-//! Pluggable cost backends: one evaluation contract, three fidelity tiers.
+//! Pluggable cost backends: one evaluation contract, four fidelity tiers.
 //!
 //! Every layer of the co-design loop ultimately asks the same question —
 //! "what do this accelerator and this execution plan cost?" — but the
@@ -17,17 +17,25 @@
 //! * [`CalibratedBackend`] — the analytic model multiplied by per-regime
 //!   correction factors fitted, once per accelerator configuration, from
 //!   trace-sim runs on canonical calibration plans: analytic speed,
-//!   sim-informed accuracy.
+//!   sim-informed accuracy;
+//! * [`SurrogateBackend`] — a self-improving screen tier: the analytic
+//!   model corrected by a Gaussian process ([`dse::gp`]) trained online
+//!   from the expensive tier it wraps, serving predictions only once its
+//!   cross-validated error drops below a trust threshold.
 //!
-//! Backends are pure: the same `(config, plan)` always yields the same
-//! metrics, so results can be memoized under a fingerprint that includes
-//! the backend's identity ([`CostBackend::fingerprint_into`]) and cached
-//! across processes.
+//! Backends are pure *per training generation*: the same `(config, plan)`
+//! always yields the same metrics for a fixed internal state, and any
+//! state that legitimately changes answers (the surrogate's training
+//! generation) is part of the fingerprint
+//! ([`CostBackend::fingerprint_into`]), so results can be memoized and
+//! cached across processes without ever serving a stale-generation
+//! answer.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, RwLock};
 
-use runtime::Fingerprinter;
+use dse::gp::GaussianProcess;
+use runtime::{Fingerprinter, StableFingerprint};
 
 use crate::arch::AcceleratorConfig;
 use crate::cost::CostModel;
@@ -39,10 +47,11 @@ use crate::tech::TechParams;
 /// An engine that prices `(accelerator, plan)` pairs.
 ///
 /// Implementations must be pure — memoization layers above assume a
-/// backend's answer depends only on its construction parameters and the
-/// arguments.
+/// backend's answer depends only on its construction parameters, the
+/// arguments, and whatever state its fingerprint exposes.
 pub trait CostBackend: std::fmt::Debug + Send + Sync {
-    /// Short stable identifier (`"analytic"`, `"sim"`, `"calibrated"`).
+    /// Short stable identifier (`"analytic"`, `"sim"`, `"calibrated"`,
+    /// `"surrogate"`).
     fn name(&self) -> &'static str;
 
     /// Full evaluation: latency, energy, power, area, throughput.
@@ -50,10 +59,18 @@ pub trait CostBackend: std::fmt::Debug + Send + Sync {
 
     /// Writes the backend's identity into a fingerprint, so memo keys
     /// distinguish results produced by different backends. The default
-    /// writes [`CostBackend::name`]; backends with extra knobs that change
-    /// results must extend it.
+    /// writes [`CostBackend::name`]; backends with extra knobs or state
+    /// that change results (technology constants, the surrogate's
+    /// training generation) must extend it.
     fn fingerprint_into(&self, fp: &mut Fingerprinter) {
         fp.write_str(self.name());
+    }
+
+    /// Downcast hook for the self-improving tier: staging controllers use
+    /// it to feed refine-tier observations back into a
+    /// [`SurrogateBackend`] without knowing the concrete screen type.
+    fn as_surrogate(&self) -> Option<&SurrogateBackend> {
+        None
     }
 }
 
@@ -67,13 +84,19 @@ pub enum BackendKind {
     TraceSim,
     /// Analytic with sim-fitted correction factors ([`CalibratedBackend`]).
     Calibrated,
+    /// Analytic corrected by a GP trained online from the trace simulator
+    /// ([`SurrogateBackend`]).
+    Surrogate,
 }
 
 impl BackendKind {
-    /// Every tier, in ascending fidelity order.
-    pub const ALL: [BackendKind; 3] = [
+    /// Every tier, in ascending fidelity order (the surrogate starts as
+    /// the analytic tier and converges toward the simulator as it
+    /// trains).
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Analytic,
         BackendKind::Calibrated,
+        BackendKind::Surrogate,
         BackendKind::TraceSim,
     ];
 
@@ -89,6 +112,10 @@ impl BackendKind {
             BackendKind::Analytic => Arc::new(AnalyticBackend::new(model)),
             BackendKind::TraceSim => Arc::new(TraceSimBackend::new(model)),
             BackendKind::Calibrated => Arc::new(CalibratedBackend::new(model)),
+            BackendKind::Surrogate => {
+                let inner = Arc::new(TraceSimBackend::new(model.clone()));
+                Arc::new(SurrogateBackend::new(model, inner))
+            }
         }
     }
 }
@@ -99,6 +126,7 @@ impl std::fmt::Display for BackendKind {
             BackendKind::Analytic => "analytic",
             BackendKind::TraceSim => "sim",
             BackendKind::Calibrated => "calibrated",
+            BackendKind::Surrogate => "surrogate",
         };
         write!(f, "{s}")
     }
@@ -112,8 +140,9 @@ impl std::str::FromStr for BackendKind {
             "analytic" | "model" => Ok(BackendKind::Analytic),
             "sim" | "tracesim" | "trace-sim" => Ok(BackendKind::TraceSim),
             "calibrated" => Ok(BackendKind::Calibrated),
+            "surrogate" | "gp" => Ok(BackendKind::Surrogate),
             other => Err(format!(
-                "unknown backend `{other}` (expected analytic | sim | calibrated)"
+                "unknown backend `{other}` (expected analytic | sim | calibrated | surrogate)"
             )),
         }
     }
@@ -125,6 +154,7 @@ impl runtime::StableFingerprint for BackendKind {
             BackendKind::Analytic => "analytic",
             BackendKind::TraceSim => "sim",
             BackendKind::Calibrated => "calibrated",
+            BackendKind::Surrogate => "surrogate",
         });
     }
 }
@@ -150,6 +180,11 @@ impl CostBackend for AnalyticBackend {
 
     fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
         self.model.evaluate(cfg, plan)
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        self.model.tech.fingerprint_into(fp);
     }
 }
 
@@ -204,6 +239,7 @@ impl CostBackend for TraceSimBackend {
     fn fingerprint_into(&self, fp: &mut Fingerprinter) {
         fp.write_str(self.name());
         fp.write_usize(self.max_stages);
+        self.sim.model.tech.fingerprint_into(fp);
     }
 }
 
@@ -306,24 +342,9 @@ impl CalibratedBackend {
         [compute, balanced, memory]
     }
 
-    /// Stable 128-bit factor-cache key: two independently-seeded lanes,
-    /// so a 64-bit fingerprint collision between two configurations
-    /// degrades to a refit instead of silently applying another
-    /// configuration's correction factors (the same scheme the co-design
-    /// memo cache uses).
-    fn factor_key(cfg: &AcceleratorConfig) -> (u64, u64) {
-        use runtime::StableFingerprint;
-        let mut lo = Fingerprinter::new();
-        let mut hi = Fingerprinter::new();
-        hi.write_u64(0x9e3779b97f4a7c15);
-        cfg.fingerprint_into(&mut lo);
-        cfg.fingerprint_into(&mut hi);
-        (lo.finish().0, hi.finish().0)
-    }
-
     /// Correction factors for a configuration (fitted on first use).
     fn factors_for(&self, cfg: &AcceleratorConfig) -> [f64; 3] {
-        let key = Self::factor_key(cfg);
+        let key = config_key(cfg);
         if let Some(f) = self
             .factors
             .lock()
@@ -362,12 +383,355 @@ impl CostBackend for CalibratedBackend {
         replace_latency(&mut metrics, cfg, corrected, plan.macs_useful);
         metrics
     }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        self.model.tech.fingerprint_into(fp);
+    }
+}
+
+/// Stable 128-bit per-configuration cache key: two independently-seeded
+/// lanes, so a 64-bit fingerprint collision between two configurations
+/// degrades to a refit/re-observation instead of silently applying
+/// another configuration's data (the same scheme the co-design memo cache
+/// uses). Shared by the calibrated tier's factor cache and the
+/// surrogate's observation set.
+fn config_key(cfg: &AcceleratorConfig) -> (u64, u64) {
+    let mut lo = Fingerprinter::new();
+    let mut hi = Fingerprinter::new();
+    hi.write_u64(0x9e3779b97f4a7c15);
+    cfg.fingerprint_into(&mut lo);
+    cfg.fingerprint_into(&mut hi);
+    (lo.finish().0, hi.finish().0)
+}
+
+/// Mutable learning state of a [`SurrogateBackend`].
+#[derive(Debug, Default)]
+struct SurrogateState {
+    /// Normalized feature vectors of every training sample.
+    xs: Vec<Vec<f64>>,
+    /// Targets: `ln(inner latency / analytic latency)` per sample.
+    ys: Vec<f64>,
+    /// Configurations already probed (128-bit keys; re-observing is
+    /// free).
+    observed: BTreeSet<(u64, u64)>,
+    /// The fitted correction model, once training succeeded.
+    gp: Option<GaussianProcess>,
+    /// Cross-validated mean absolute log-space error of the last fit
+    /// (`f64::INFINITY` before the first fit).
+    cv_error: f64,
+    /// Whether `cv_error` cleared the trust threshold.
+    trusted: bool,
+    /// Bumped on every state change (reporting / cheap staleness probe).
+    generation: u64,
+    /// Running digest of the training *content* (every observed config
+    /// key and sample, in order). This — not the bare generation counter
+    /// — goes into the backend fingerprint: two runs sharing a persisted
+    /// cache may reach the same generation number via different training
+    /// trajectories, and their GPs must not share memo entries.
+    digest: u64,
+}
+
+/// The self-improving screen tier: the analytic model corrected by a
+/// Gaussian process trained online against the expensive tier it wraps.
+///
+/// The backend starts as a pure analytic pass-through. A staging
+/// controller feeds it refine-tier observations
+/// ([`SurrogateBackend::observe`]): each newly seen configuration is
+/// priced by both the analytic model and the wrapped expensive tier on a
+/// deterministic spread of probe plans covering the compute-, balanced-,
+/// and memory-bound regimes, and the log-ratio becomes a GP training
+/// sample over normalized `(config, plan)` features. After every
+/// observation the GP is refit and scored by deterministic k-fold
+/// cross-validation; once the CV error clears the trust threshold,
+/// [`CostBackend::evaluate`] serves GP-corrected analytic metrics instead
+/// of raw analytic ones — the screen tier converges toward the expensive
+/// tier's answers at analytic cost.
+///
+/// Determinism: `evaluate` never trains (it only reads a frozen model),
+/// and `observe` must be called from the serial sections of a staging
+/// controller, in batch order. The training generation is part of the
+/// fingerprint, so memoization layers treat each generation as a distinct
+/// backend and the thread-count invariant is preserved.
+#[derive(Debug)]
+pub struct SurrogateBackend {
+    /// The cheap analytic fallback (also the feature extractor's model).
+    pub model: CostModel,
+    /// The expensive tier being learned.
+    inner: Arc<dyn CostBackend>,
+    /// Minimum training samples before the first fit is attempted.
+    min_train: usize,
+    /// Training-window cap (oldest samples beyond it are dropped).
+    max_train: usize,
+    /// Maximum cross-validated mean |log-error| to start trusting the GP
+    /// (0.15 ≈ 15% latency error).
+    trust_threshold: f64,
+    state: RwLock<SurrogateState>,
+}
+
+impl SurrogateBackend {
+    /// Wraps `inner` (the expensive tier) around an analytic fallback.
+    pub fn new(model: CostModel, inner: Arc<dyn CostBackend>) -> Self {
+        SurrogateBackend {
+            model,
+            inner,
+            min_train: 24,
+            max_train: 96,
+            trust_threshold: 0.15,
+            state: RwLock::new(SurrogateState {
+                cv_error: f64::INFINITY,
+                ..SurrogateState::default()
+            }),
+        }
+    }
+
+    /// Overrides the cross-validation trust threshold (mean absolute
+    /// log-space error; lower = stricter).
+    pub fn with_trust_threshold(mut self, threshold: f64) -> Self {
+        self.trust_threshold = threshold.max(0.0);
+        self
+    }
+
+    /// The expensive tier this surrogate is learning.
+    pub fn inner(&self) -> &Arc<dyn CostBackend> {
+        &self.inner
+    }
+
+    /// Current training-set size.
+    pub fn training_len(&self) -> usize {
+        self.state.read().expect("surrogate poisoned").ys.len()
+    }
+
+    /// Whether the GP passed cross-validation and is serving predictions.
+    pub fn is_trusted(&self) -> bool {
+        self.state.read().expect("surrogate poisoned").trusted
+    }
+
+    /// Cross-validated mean absolute log-space error of the last fit
+    /// (`INFINITY` before the first fit).
+    pub fn cv_error(&self) -> f64 {
+        self.state.read().expect("surrogate poisoned").cv_error
+    }
+
+    /// Training generation (bumps on every accepted observation).
+    pub fn generation(&self) -> u64 {
+        self.state.read().expect("surrogate poisoned").generation
+    }
+
+    /// Normalized feature vector of one `(config, plan)` evaluation: the
+    /// hardware scale, the plan's work and traffic volumes (log-scaled),
+    /// its pipeline shape, and the analytic compute-vs-DMA regime.
+    fn features(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Vec<f64> {
+        let ln_norm = |v: f64, hi: f64| (v.max(1.0).ln() / hi.ln()).clamp(0.0, 1.0);
+        let onchip = self
+            .model
+            .compute_cycles(cfg, plan)
+            .max(self.model.spad_cycles(cfg, plan));
+        let dma = self.model.dma_cycles(cfg, plan);
+        vec![
+            ln_norm(cfg.pes() as f64, 16_384.0),
+            ln_norm(cfg.scratchpad_bytes as f64, (8u64 << 20) as f64),
+            (f64::from(cfg.banks) / 16.0).min(1.0),
+            ln_norm(plan.macs_padded as f64, 1e12),
+            ln_norm(plan.dram_bytes() as f64, 1e10),
+            ln_norm(plan.stages as f64, 4096.0),
+            onchip / (onchip + dma).max(1.0),
+            if plan.double_buffered { 1.0 } else { 0.0 },
+        ]
+    }
+
+    /// Deterministic probe plans for one configuration: the three
+    /// calibration regimes, each in a double- and a single-buffered
+    /// variant with different stage counts, so the GP sees the pipeline
+    /// shapes the analytic overlap formula approximates worst.
+    fn probe_plans(cfg: &AcceleratorConfig) -> Vec<ExecutionPlan> {
+        let pes = cfg.pes();
+        let spad = cfg.scratchpad_bytes;
+        let probe = |macs_per_pe: u64,
+                     calls: u64,
+                     reads: u64,
+                     writes: u64,
+                     run: u64,
+                     stages: u64,
+                     double_buffered: bool| {
+            let mut plan = ExecutionPlan::compute_only(pes * macs_per_pe, pes * macs_per_pe, calls);
+            plan.dram_reads.push(TensorTraffic::new("A", reads, run));
+            plan.dram_reads.push(TensorTraffic::new("B", reads, run));
+            plan.dram_writes.push(TensorTraffic::new("C", writes, run));
+            plan.spad_traffic_bytes = reads;
+            plan.stages = stages;
+            plan.double_buffered = double_buffered;
+            plan
+        };
+        vec![
+            // Compute-bound: deep MAC streams, light traffic.
+            probe(65_536, 256, spad / 8, spad / 32, 4096, 32, true),
+            probe(32_768, 128, spad / 8, spad / 32, 2048, 8, false),
+            // Balanced: MACs and traffic sized to similar engine cycles.
+            probe(8_192, 256, spad.max(1) * 2, spad / 4, 512, 32, true),
+            probe(4_096, 128, spad.max(1), spad / 8, 512, 16, false),
+            // Memory-bound: heavy, poorly-batched DMA vs token compute.
+            probe(256, 64, spad.max(1) * 16, spad * 2, 64, 64, true),
+            probe(128, 32, spad.max(1) * 8, spad, 64, 8, false),
+        ]
+    }
+
+    /// Feeds one refine-tier observation back into the surrogate: prices
+    /// the configuration's probe plans at both tiers, appends the
+    /// log-ratio samples, refits the GP, and re-scores it by
+    /// deterministic k-fold cross-validation. Returns the number of
+    /// fresh samples added (0 when the configuration was already
+    /// observed).
+    ///
+    /// Must be called from a serial section (between parallel batches) in
+    /// a deterministic order — it advances the training generation.
+    pub fn observe(&self, cfg: &AcceleratorConfig) -> usize {
+        let key = config_key(cfg);
+        if self
+            .state
+            .read()
+            .expect("surrogate poisoned")
+            .observed
+            .contains(&key)
+        {
+            return 0;
+        }
+        // Probe pricing runs outside the lock: both tiers are pure, and
+        // observe() is serial by contract.
+        let mut fresh: Vec<(Vec<f64>, f64)> = Vec::new();
+        for plan in Self::probe_plans(cfg) {
+            let analytic = self.model.evaluate(cfg, &plan).latency_cycles.max(1.0);
+            let expensive = self.inner.evaluate(cfg, &plan).latency_cycles.max(1.0);
+            let log_ratio = (expensive / analytic)
+                .ln()
+                .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX);
+            fresh.push((self.features(cfg, &plan), log_ratio));
+        }
+        let added = fresh.len();
+        let mut state = self.state.write().expect("surrogate poisoned");
+        if !state.observed.insert(key) {
+            return 0;
+        }
+        // Fold the new evidence into the content digest: chained over the
+        // previous digest, so it identifies the whole training trajectory,
+        // not just its length.
+        let mut digest = Fingerprinter::new();
+        digest.write_u64(state.digest);
+        digest.write_u64(key.0);
+        digest.write_u64(key.1);
+        for (x, y) in fresh {
+            for f in &x {
+                digest.write_f64(*f);
+            }
+            digest.write_f64(y);
+            state.xs.push(x);
+            state.ys.push(y);
+        }
+        state.digest = digest.finish().0;
+        if state.ys.len() > self.max_train {
+            let drop = state.ys.len() - self.max_train;
+            state.xs.drain(..drop);
+            state.ys.drain(..drop);
+        }
+        self.refit(&mut state);
+        state.generation += 1;
+        added
+    }
+
+    /// Refits the GP on the current window and re-scores trust by
+    /// 4-fold cross-validation (folds split by sample index, so the
+    /// outcome is a pure function of the training sequence).
+    fn refit(&self, state: &mut SurrogateState) {
+        state.gp = None;
+        state.trusted = false;
+        state.cv_error = f64::INFINITY;
+        if state.ys.len() < self.min_train {
+            return;
+        }
+        const FOLDS: usize = 4;
+        let mut abs_err_sum = 0.0;
+        let mut tested = 0usize;
+        for fold in 0..FOLDS {
+            let (mut train_x, mut train_y) = (Vec::new(), Vec::new());
+            let mut test: Vec<usize> = Vec::new();
+            for i in 0..state.ys.len() {
+                if i % FOLDS == fold {
+                    test.push(i);
+                } else {
+                    train_x.push(state.xs[i].clone());
+                    train_y.push(state.ys[i]);
+                }
+            }
+            let Ok(gp) = GaussianProcess::fit(train_x, &train_y) else {
+                return; // numerically degenerate fold: stay untrusted
+            };
+            for i in test {
+                abs_err_sum += (gp.predict(&state.xs[i]).mean - state.ys[i]).abs();
+                tested += 1;
+            }
+        }
+        if tested == 0 {
+            return;
+        }
+        let Ok(gp) = GaussianProcess::fit(state.xs.clone(), &state.ys) else {
+            return;
+        };
+        state.cv_error = abs_err_sum / tested as f64;
+        state.trusted = state.cv_error <= self.trust_threshold;
+        state.gp = Some(gp);
+    }
+}
+
+/// Clamp band for learned log-ratios and predicted correction factors
+/// (mirrors the calibrated tier's `[0.25, 4.0]` sanity band).
+const LOG_FACTOR_MIN: f64 = -1.386_294_361_119_890_6; // ln(0.25)
+const LOG_FACTOR_MAX: f64 = 1.386_294_361_119_890_6; // ln(4.0)
+
+impl CostBackend for SurrogateBackend {
+    fn name(&self) -> &'static str {
+        "surrogate"
+    }
+
+    fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
+        let mut metrics = self.model.evaluate(cfg, plan);
+        let state = self.state.read().expect("surrogate poisoned");
+        if !state.trusted {
+            return metrics;
+        }
+        let Some(gp) = &state.gp else {
+            return metrics;
+        };
+        let factor = gp
+            .predict(&self.features(cfg, plan))
+            .mean
+            .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX)
+            .exp();
+        drop(state);
+        let corrected = metrics.latency_cycles * factor;
+        replace_latency(&mut metrics, cfg, corrected, plan.macs_useful);
+        metrics
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprinter) {
+        fp.write_str(self.name());
+        self.inner.fingerprint_into(fp);
+        self.model.tech.fingerprint_into(fp);
+        // The training-content digest folds in everything that can change
+        // answers (training set, fit, trust flag) and — unlike the bare
+        // generation counter — distinguishes two runs whose divergent
+        // trajectories happen to reach the same generation number, so a
+        // persisted cache shared across runs never mixes their GPs.
+        fp.write_u64(self.state.read().expect("surrogate poisoned").digest);
+    }
+
+    fn as_surrogate(&self) -> Option<&SurrogateBackend> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use runtime::StableFingerprint;
     use tensor_ir::intrinsics::IntrinsicKind;
 
     fn cfg() -> AcceleratorConfig {
@@ -475,9 +839,131 @@ mod tests {
     #[test]
     fn kinds_fingerprint_distinctly() {
         let fps: Vec<_> = BackendKind::ALL.iter().map(|k| k.fingerprint()).collect();
-        assert_ne!(fps[0], fps[1]);
-        assert_ne!(fps[1], fps[2]);
-        assert_ne!(fps[0], fps[2]);
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(
+                    fps[i],
+                    fps[j],
+                    "{:?} vs {:?}",
+                    BackendKind::ALL[i],
+                    BackendKind::ALL[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tech_params_change_backend_fingerprints() {
+        // A shared cache across a tech sweep must key by technology node.
+        let profiles = TechParams::profiles();
+        for kind in BackendKind::ALL {
+            let mut a = Fingerprinter::new();
+            kind.build_with(profiles[0].1.clone())
+                .fingerprint_into(&mut a);
+            let mut b = Fingerprinter::new();
+            kind.build_with(profiles[1].1.clone())
+                .fingerprint_into(&mut b);
+            assert_ne!(a.finish(), b.finish(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn untrained_surrogate_is_the_analytic_tier() {
+        let (c, p) = (cfg(), traffic_plan());
+        let surrogate = BackendKind::Surrogate.build();
+        let analytic = BackendKind::Analytic.build();
+        assert_eq!(surrogate.evaluate(&c, &p), analytic.evaluate(&c, &p));
+        assert!(!surrogate.as_surrogate().unwrap().is_trusted());
+    }
+
+    #[test]
+    fn surrogate_trains_from_observations_and_becomes_trusted() {
+        let backend = BackendKind::Surrogate.build();
+        let surrogate = backend.as_surrogate().expect("surrogate downcast");
+        let (c, p) = (cfg(), traffic_plan());
+        let before = backend.evaluate(&c, &p);
+        let gen0 = surrogate.generation();
+        // Observe a deterministic spread of configurations until the GP
+        // clears cross-validation.
+        let mut observed = 0;
+        for (rows, kb) in [(8u32, 128u64), (16, 256), (32, 512), (8, 512), (32, 128)] {
+            let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .pe_array(rows, rows)
+                .scratchpad_kb(kb)
+                .build()
+                .unwrap();
+            observed += surrogate.observe(&cfg);
+        }
+        assert_eq!(observed, surrogate.training_len());
+        assert!(surrogate.training_len() >= 24, "training set too small");
+        assert!(surrogate.generation() > gen0);
+        assert!(
+            surrogate.is_trusted(),
+            "cv error {} did not clear the threshold",
+            surrogate.cv_error()
+        );
+        // Trusted predictions stay inside the sanity band around analytic
+        // and are pure (two evaluations agree exactly).
+        let after = backend.evaluate(&c, &p);
+        let ratio = after.latency_cycles / before.latency_cycles;
+        assert!((0.25..=4.0).contains(&ratio), "ratio = {ratio}");
+        assert_eq!(backend.evaluate(&c, &p), after);
+        // Energy == power * time still holds on the corrected tier.
+        assert!((after.energy_uj - after.power_mw * after.latency_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surrogate_reobservation_is_free_and_generation_gated() {
+        let backend = BackendKind::Surrogate.build();
+        let surrogate = backend.as_surrogate().unwrap();
+        let c = cfg();
+        assert!(surrogate.observe(&c) > 0);
+        let generation = surrogate.generation();
+        let len = surrogate.training_len();
+        assert_eq!(surrogate.observe(&c), 0, "re-observation must be free");
+        assert_eq!(surrogate.generation(), generation);
+        assert_eq!(surrogate.training_len(), len);
+    }
+
+    #[test]
+    fn surrogate_fingerprints_distinguish_equal_generation_trajectories() {
+        // Two runs sharing a persisted cache can reach the same
+        // generation number through different training content; their
+        // fingerprints — and therefore their memo keys — must differ.
+        let a = BackendKind::Surrogate.build();
+        let b = BackendKind::Surrogate.build();
+        a.as_surrogate().unwrap().observe(&cfg());
+        let other = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+            .pe_array(8, 8)
+            .scratchpad_kb(128)
+            .build()
+            .unwrap();
+        b.as_surrogate().unwrap().observe(&other);
+        assert_eq!(
+            a.as_surrogate().unwrap().generation(),
+            b.as_surrogate().unwrap().generation()
+        );
+        let mut fa = Fingerprinter::new();
+        a.fingerprint_into(&mut fa);
+        let mut fb = Fingerprinter::new();
+        b.fingerprint_into(&mut fb);
+        assert_ne!(fa.finish(), fb.finish());
+    }
+
+    #[test]
+    fn surrogate_fingerprint_tracks_training_generation() {
+        let backend = BackendKind::Surrogate.build();
+        let surrogate = backend.as_surrogate().unwrap();
+        let mut before = Fingerprinter::new();
+        backend.fingerprint_into(&mut before);
+        surrogate.observe(&cfg());
+        let mut after = Fingerprinter::new();
+        backend.fingerprint_into(&mut after);
+        assert_ne!(
+            before.finish(),
+            after.finish(),
+            "memo keys must not survive retraining"
+        );
     }
 
     #[test]

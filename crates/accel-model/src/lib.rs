@@ -44,7 +44,9 @@ pub mod sim;
 pub mod tech;
 
 pub use arch::{AcceleratorConfig, Dataflow, Interconnect, PeArray};
-pub use backend::{AnalyticBackend, BackendKind, CalibratedBackend, CostBackend, TraceSimBackend};
+pub use backend::{
+    AnalyticBackend, BackendKind, CalibratedBackend, CostBackend, SurrogateBackend, TraceSimBackend,
+};
 pub use cost::CostModel;
 pub use metrics::Metrics;
 pub use plan::{ExecutionPlan, TensorTraffic};

@@ -58,7 +58,60 @@ impl Default for TechParams {
     }
 }
 
+impl runtime::StableFingerprint for TechParams {
+    // Every constant changes every backend's metrics, so all of them key
+    // memoized evaluation results (a cache shared across a `--tech-sweep`
+    // must never serve one node's prices for another's).
+    fn fingerprint_into(&self, fp: &mut runtime::Fingerprinter) {
+        for f in [
+            self.e_mac_pj,
+            self.e_spad_base_pj,
+            self.e_local_pj,
+            self.e_dram_pj,
+            self.e_hop_pj,
+            self.e_rearrange_pj,
+            self.a_pe_mm2,
+            self.a_sram_mm2_per_kb,
+            self.bank_overhead_frac,
+            self.a_dma_mm2,
+            self.a_ctrl_mm2,
+            self.leakage_mw_per_mm2,
+            self.burst_overhead_cycles,
+        ] {
+            fp.write_f64(f);
+        }
+    }
+}
+
 impl TechParams {
+    /// The named technology profiles swept by `--tech-sweep`: the default
+    /// 28 nm constants plus a denser and an older node, scaled with the
+    /// usual first-order trends (dynamic energy and area shrink faster
+    /// than leakage improves; DRAM interface energy moves least).
+    pub fn profiles() -> [(&'static str, TechParams); 3] {
+        let base = TechParams::default();
+        let scaled = |energy: f64, dram: f64, area: f64, leak: f64, burst: f64| TechParams {
+            e_mac_pj: base.e_mac_pj * energy,
+            e_spad_base_pj: base.e_spad_base_pj * energy,
+            e_local_pj: base.e_local_pj * energy,
+            e_dram_pj: base.e_dram_pj * dram,
+            e_hop_pj: base.e_hop_pj * energy,
+            e_rearrange_pj: base.e_rearrange_pj * energy,
+            a_pe_mm2: base.a_pe_mm2 * area,
+            a_sram_mm2_per_kb: base.a_sram_mm2_per_kb * area,
+            bank_overhead_frac: base.bank_overhead_frac,
+            a_dma_mm2: base.a_dma_mm2 * area,
+            a_ctrl_mm2: base.a_ctrl_mm2 * area,
+            leakage_mw_per_mm2: base.leakage_mw_per_mm2 * leak,
+            burst_overhead_cycles: (base.burst_overhead_cycles * burst).round(),
+        };
+        [
+            ("28nm", base.clone()),
+            ("16nm", scaled(0.55, 0.80, 0.45, 0.85, 0.75)),
+            ("40nm", scaled(1.80, 1.25, 1.90, 1.40, 1.35)),
+        ]
+    }
+
     /// Scratchpad energy per byte for a given capacity: grows with the
     /// square root of capacity (longer word/bit lines), normalized so a
     /// 128 KiB scratchpad costs exactly [`TechParams::e_spad_base_pj`].
@@ -108,5 +161,16 @@ mod tests {
         let t = TechParams::default();
         assert!(t.e_mac_pj > 0.0 && t.e_dram_pj > t.e_spad_base_pj);
         assert!(t.a_pe_mm2 > 0.0 && t.leakage_mw_per_mm2 > 0.0);
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_ordered_by_node() {
+        use runtime::StableFingerprint;
+        let profiles = TechParams::profiles();
+        assert_eq!(profiles[0].1, TechParams::default());
+        let fps: Vec<_> = profiles.iter().map(|(_, t)| t.fingerprint()).collect();
+        assert!(fps[0] != fps[1] && fps[1] != fps[2] && fps[0] != fps[2]);
+        let mac = |i: usize| profiles[i].1.e_mac_pj;
+        assert!(mac(1) < mac(0) && mac(0) < mac(2), "denser node = less pJ");
     }
 }

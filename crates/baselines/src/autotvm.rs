@@ -37,6 +37,14 @@ impl AutoTvm {
         }
     }
 
+    /// Prices schedules with the given cost model instead of the default
+    /// technology constants (so baseline rows of a tech sweep are
+    /// evaluated at the same node as the systems they anchor).
+    pub fn with_model(mut self, model: accel_model::CostModel) -> Self {
+        self.backend = AnalyticBackend::new(model);
+        self
+    }
+
     /// The static template: the first non-rearranged tensorize choice and
     /// the workload's declaration loop order (spatial outer, reduction
     /// inner) — what a hand-written AutoTVM template fixes.

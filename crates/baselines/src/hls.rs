@@ -79,6 +79,14 @@ impl HlsCore {
         })
     }
 
+    /// Prices the fixed datapath with the given cost model instead of the
+    /// default technology constants (tech-sweep rows must compare systems
+    /// at one node).
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
     /// The synthesized loop order: declaration order, reductions innermost
     /// (a datapath's order is baked into RTL).
     fn fixed_order(ctx: &ScheduleContext) -> Vec<tensor_ir::IndexId> {

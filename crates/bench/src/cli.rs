@@ -7,12 +7,16 @@
 //!   default `1`, the fully serial reference). Thread count changes
 //!   wall-clock time only, never results;
 //! * `--backend B` — cost backend tier (`analytic` | `sim` |
-//!   `calibrated`, default `analytic`);
+//!   `calibrated` | `surrogate`, default `analytic`);
 //! * `--refine-top-k K` — fidelity staging: re-evaluate the `K`
 //!   best-screened candidates of every DSE batch with the trace-sim tier
-//!   (default 0 = off);
+//!   (default 0 = off; `auto` enables the adaptive controller);
+//! * `--adaptive` — adaptive fidelity staging: the refine budget grows
+//!   and shrinks per batch from the screen-vs-refine rank disagreement;
+//! * `--tech-sweep` — run the hardware-DSE experiments across the named
+//!   `TechParams` profiles as an extra scenario axis (fig10, table3);
 //! * `--cache FILE` — persist the evaluation cache at `FILE` so repeated
-//!   runs start warm;
+//!   runs start warm (shared files merge newest-wins across runs);
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
@@ -34,23 +38,38 @@ pub struct BenchCli {
     /// Fidelity-staging survivors (already applied via
     /// [`common::set_refine_top_k`]).
     pub refine_top_k: usize,
+    /// Adaptive fidelity staging (already applied via
+    /// [`common::set_adaptive`]).
+    pub adaptive: bool,
+    /// Technology-profile sweep (already applied via
+    /// [`common::set_tech_sweep`]).
+    pub tech_sweep: bool,
 }
 
 fn usage(bin: &str, artifact: &str) -> String {
     format!(
         "Regenerates the paper's {artifact}.\n\n\
-         USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K] [--cache FILE]\n\n\
+         USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K|auto]\n\
+         \x20      [--adaptive] [--tech-sweep] [--cache FILE]\n\n\
          OPTIONS:\n\
          \x20   --quick           reduced budgets/workload subsets (CI-sized)\n\
          \x20   --paper           paper-sized trial budgets (default)\n\
          \x20   --threads N       evaluation worker threads (0 = all cores, default 1);\n\
          \x20                     results are identical at any thread count\n\
-         \x20   --backend B       cost backend: analytic | sim | calibrated (default analytic)\n\
+         \x20   --backend B       cost backend: analytic | sim | calibrated | surrogate\n\
+         \x20                     (default analytic; surrogate = analytic + a GP trained\n\
+         \x20                     online from the refine tier)\n\
          \x20   --refine-top-k K  re-evaluate the K best-screened DSE candidates per batch\n\
-         \x20                     with the trace-sim tier (default 0 = staging off; applies to\n\
-         \x20                     the hardware-DSE binaries: fig10, table2, table3)\n\
+         \x20                     with the trace-sim tier (default 0 = staging off; `auto`\n\
+         \x20                     enables the adaptive controller; applies to the\n\
+         \x20                     hardware-DSE binaries: fig10, table2, table3)\n\
+         \x20   --adaptive        grow/shrink the refine budget per batch from the observed\n\
+         \x20                     screen-vs-refine rank disagreement (implies staging)\n\
+         \x20   --tech-sweep      sweep the named TechParams profiles as a scenario axis\n\
+         \x20                     (fig10, table3)\n\
          \x20   --cache FILE      persist the hardware-DSE evaluation cache at FILE so\n\
-         \x20                     repeat runs start warm (fig10, table2, table3)\n\
+         \x20                     repeat runs start warm; shared files merge newest-wins\n\
+         \x20                     (fig10, table2, table3)\n\
          \x20   --help            this message"
     )
 }
@@ -68,6 +87,8 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
     let mut threads: Option<usize> = None;
     let mut backend = BackendKind::Analytic;
     let mut refine_top_k = 0usize;
+    let mut adaptive = false;
+    let mut tech_sweep = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,13 +104,19 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
                 None => bail(
                     bin,
                     artifact,
-                    "--backend expects analytic | sim | calibrated",
+                    "--backend expects analytic | sim | calibrated | surrogate",
                 ),
             },
-            "--refine-top-k" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(k) => refine_top_k = k,
-                None => bail(bin, artifact, "--refine-top-k expects a number"),
+            "--refine-top-k" => match it.next() {
+                Some(v) if v == "auto" => adaptive = true,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(k) => refine_top_k = k,
+                    Err(_) => bail(bin, artifact, "--refine-top-k expects a number or `auto`"),
+                },
+                None => bail(bin, artifact, "--refine-top-k expects a number or `auto`"),
             },
+            "--adaptive" => adaptive = true,
+            "--tech-sweep" => tech_sweep = true,
             "--cache" => match it.next() {
                 Some(path) => common::set_cache_path(path.into()),
                 None => bail(bin, artifact, "--cache expects a file path"),
@@ -108,14 +135,23 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
                 .and_then(|v| v.parse().ok())
         })
         .unwrap_or(1);
+    // Adaptive staging needs a nonzero starting budget even when only
+    // `--adaptive` / `--refine-top-k auto` was given.
+    if adaptive && refine_top_k == 0 {
+        refine_top_k = 4;
+    }
     common::set_threads(threads);
     common::set_backend(backend);
     common::set_refine_top_k(refine_top_k);
+    common::set_adaptive(adaptive);
+    common::set_tech_sweep(tech_sweep);
     BenchCli {
         scale,
         threads,
         backend,
         refine_top_k,
+        adaptive,
+        tech_sweep,
     }
 }
 
@@ -131,15 +167,16 @@ pub fn drive<T>(
     let result = run(cli.scale);
     println!("{}", render(&result));
     println!(
-        "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s), {} backend{}]",
+        "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s), {} backend{}{}]",
         start.elapsed().as_secs_f64(),
         cli.scale,
         runtime::resolve_threads(cli.threads),
         cli.backend,
-        if cli.refine_top_k > 0 {
-            format!(", refine top-{}", cli.refine_top_k)
-        } else {
-            String::new()
+        match (cli.adaptive, cli.refine_top_k) {
+            (true, k) => format!(", adaptive refine from top-{k}"),
+            (false, 0) => String::new(),
+            (false, k) => format!(", refine top-{k}"),
         },
+        if cli.tech_sweep { ", tech sweep" } else { "" },
     );
 }

@@ -29,6 +29,12 @@ static BACKEND: OnceLock<BackendKind> = OnceLock::new();
 /// Fidelity-staging survivor count (0 = staging off, the default).
 static REFINE_TOP_K: OnceLock<usize> = OnceLock::new();
 
+/// Adaptive fidelity staging (grow/shrink the refine budget per batch).
+static ADAPTIVE: OnceLock<bool> = OnceLock::new();
+
+/// Sweep the named `TechParams` profiles as a scenario axis.
+static TECH_SWEEP: OnceLock<bool> = OnceLock::new();
+
 /// Persistent evaluation-cache path (None = in-memory only).
 static CACHE_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
 
@@ -62,6 +68,36 @@ pub fn refine_top_k() -> usize {
     *REFINE_TOP_K.get_or_init(|| 0)
 }
 
+/// Installs the adaptive-staging flag (first caller wins).
+pub fn set_adaptive(adaptive: bool) {
+    let _ = ADAPTIVE.set(adaptive);
+}
+
+/// Whether the adaptive refine-budget controller is on.
+pub fn adaptive() -> bool {
+    *ADAPTIVE.get_or_init(|| false)
+}
+
+/// Installs the tech-sweep flag (first caller wins).
+pub fn set_tech_sweep(sweep: bool) {
+    let _ = TECH_SWEEP.set(sweep);
+}
+
+/// Whether the experiments sweep the named `TechParams` profiles.
+pub fn tech_sweep() -> bool {
+    *TECH_SWEEP.get_or_init(|| false)
+}
+
+/// The technology profiles a sweeping experiment iterates: the full
+/// named set with `--tech-sweep`, just the default node otherwise.
+pub fn tech_profiles() -> Vec<(&'static str, accel_model::tech::TechParams)> {
+    if tech_sweep() {
+        accel_model::tech::TechParams::profiles().to_vec()
+    } else {
+        vec![("28nm", accel_model::tech::TechParams::default())]
+    }
+}
+
 /// Installs the persistent evaluation-cache path (first caller wins).
 pub fn set_cache_path(path: PathBuf) {
     let _ = CACHE_PATH.set(Some(path));
@@ -88,14 +124,29 @@ pub fn explorer(seed: u64) -> SoftwareExplorer {
 
 /// Applies the process-wide runtime configuration — worker pool, cost
 /// backend, fidelity staging (`--refine-top-k` survivors re-priced by
-/// the trace-sim tier), and the persistent `--cache` warm start — to a
-/// hardware DSE problem. Pair with [`save_problem_cache`] after the
-/// optimizer run so the next process starts warm.
+/// the trace-sim tier, adaptively budgeted with `--adaptive`), and the
+/// persistent `--cache` warm start — to a hardware DSE problem. Pair
+/// with [`save_problem_cache`] after the optimizer run so the next
+/// process starts warm.
 pub fn configure_problem(problem: HwProblem<'_>) -> HwProblem<'_> {
+    configure_problem_at(problem, &accel_model::tech::TechParams::default())
+}
+
+/// Like [`configure_problem`], but builds every backend tier with the
+/// given technology parameters (one node of a `--tech-sweep`).
+pub fn configure_problem_at<'a>(
+    problem: HwProblem<'a>,
+    tech: &accel_model::tech::TechParams,
+) -> HwProblem<'a> {
+    let refine = BackendKind::TraceSim.build_with(tech.clone());
     let problem = problem
         .with_workers(workers())
-        .with_backend(backend().build())
-        .with_refinement(BackendKind::TraceSim.build(), refine_top_k());
+        .with_backend(backend().build_with(tech.clone()));
+    let problem = if adaptive() {
+        problem.with_adaptive_refinement(refine, refine_top_k())
+    } else {
+        problem.with_refinement(refine, refine_top_k())
+    };
     if let Some(path) = cache_path() {
         problem.load_cache(&path);
     }
@@ -105,8 +156,10 @@ pub fn configure_problem(problem: HwProblem<'_>) -> HwProblem<'_> {
 /// Persists a problem's evaluation cache at the `--cache` path (no-op
 /// without the flag; save failures cost future warmth, never
 /// correctness). Memo keys are complete — workload + options + seed +
-/// backend + config — so sequential load→run→save cycles against one
-/// file accumulate entries across problems instead of colliding.
+/// backend (with tech constants and training generation) + config — and
+/// saves merge newest-wins into the existing file, so load→run→save
+/// cycles against one shared file accumulate entries across problems,
+/// processes, and bench binaries instead of thrashing.
 pub fn save_problem_cache(problem: &HwProblem<'_>) {
     if let Some(path) = cache_path() {
         let _ = problem.save_cache(&path);

@@ -37,6 +37,11 @@ pub struct Fig10 {
     /// Trial at which MOBO first reaches NSGA-II's final HV
     /// (paper: trial ~16 of 40, i.e. 2.5X fewer).
     pub mobo_crossover_trial: Option<usize>,
+    /// `--tech-sweep` axis: per technology profile, MOBO's final
+    /// hypervolume relative to random search at the same node (each node
+    /// gets its own staged pipeline and reference point, so only the
+    /// within-node ratio is comparable). Empty without the sweep.
+    pub tech_sweep: Vec<(String, f64)>,
 }
 
 fn reference(histories: &[&OptimizerResult]) -> Vec<f64> {
@@ -103,10 +108,42 @@ pub fn run(scale: Scale) -> Fig10 {
     let nsga_final = final_of("nsga2");
     let mobo = curves.iter().find(|c| c.name == "mobo").unwrap();
     let mobo_crossover_trial = mobo.hv.iter().position(|&v| v >= nsga_final).map(|i| i + 1);
+
+    // `--tech-sweep`: rerun the staged MOBO-vs-random comparison once per
+    // technology profile. Each node is priced by backends built with its
+    // own TechParams (the backend fingerprints differ, so a shared cache
+    // keeps the nodes apart).
+    let mut tech_sweep = Vec::new();
+    if crate::common::tech_sweep() {
+        for (tech_name, tech) in crate::common::tech_profiles() {
+            let run_at = |optimizer: &mut dyn Optimizer| -> OptimizerResult {
+                let mut problem = crate::common::configure_problem_at(
+                    HwProblem::new(&generator, &workloads, sw.clone(), 10),
+                    &tech,
+                );
+                let history = optimizer.run(&mut problem, trials);
+                crate::common::save_problem_cache(&problem);
+                history
+            };
+            let mobo_h = run_at(&mut Mobo::new(10).with_prior_samples((trials / 3).clamp(3, 10)));
+            let rand_h = run_at(&mut RandomSearch::new(10));
+            let node_reference = self::reference(&[&mobo_h, &rand_h]);
+            let final_hv = |h: &OptimizerResult| {
+                h.hypervolume_history(&node_reference)
+                    .last()
+                    .copied()
+                    .unwrap_or(0.0)
+            };
+            let ratio = final_hv(&mobo_h) / final_hv(&rand_h).max(1e-300);
+            tech_sweep.push((tech_name.to_string(), ratio));
+        }
+    }
+
     Fig10 {
         hv_ratio_mobo_nsga: final_of("mobo") / nsga_final.max(1e-300),
         mobo_crossover_trial,
         curves,
+        tech_sweep,
     }
 }
 
@@ -149,6 +186,12 @@ pub fn render(f: &Fig10) -> String {
             "MOBO reaches NSGA-II's final HV at trial {t} (paper: ~16/40, 2.5X fewer)\n"
         )),
         None => s.push_str("MOBO did not reach NSGA-II's final HV within budget\n"),
+    }
+    if !f.tech_sweep.is_empty() {
+        s.push_str("\nTech sweep (staged pipeline per node; MOBO final HV / random final HV):\n");
+        for (tech, ratio) in &f.tech_sweep {
+            s.push_str(&format!("  {tech:>5}: {ratio:.2}X\n"));
+        }
     }
     s
 }

@@ -42,6 +42,8 @@ pub struct SystemResult {
 pub struct Row {
     /// `"edge"` or `"cloud"`.
     pub scenario: String,
+    /// Technology node (`"28nm"` by default; the `--tech-sweep` axis).
+    pub tech: String,
     /// CNN name.
     pub app: String,
     /// Baseline-GEMMCore.
@@ -70,7 +72,7 @@ fn summarize(cfg: &accel_model::AcceleratorConfig, latency_ms: f64) -> SystemRes
     }
 }
 
-fn codesign_opts(scale: Scale, seed: u64, tag: &str) -> CoDesignOptions {
+fn codesign_opts(scale: Scale, seed: u64, tech: &accel_model::tech::TechParams) -> CoDesignOptions {
     let opts = match scale {
         Scale::Quick => CoDesignOptions::quick(seed),
         Scale::Paper => {
@@ -79,22 +81,28 @@ fn codesign_opts(scale: Scale, seed: u64, tag: &str) -> CoDesignOptions {
             o
         }
     };
-    let mut opts = opts
+    let opts = opts
         .with_threads(crate::common::threads())
         .with_backend(crate::common::backend())
-        .with_refinement(
+        .with_tech(tech.clone());
+    let opts = if crate::common::adaptive() {
+        opts.with_adaptive_refinement(
             accel_model::BackendKind::TraceSim,
             crate::common::refine_top_k(),
-        );
-    if let Some(path) = crate::common::cache_path() {
-        // One file per co-design run: each `CoDesigner::run` saves only
-        // its own memo, so sharing a file would keep just the last run
-        // warm across repeats.
-        let mut per_run = path;
-        per_run.set_extension(format!("{tag}.s{seed}.bin"));
-        opts = opts.with_cache_path(per_run);
+        )
+    } else {
+        opts.with_refinement(
+            accel_model::BackendKind::TraceSim,
+            crate::common::refine_top_k(),
+        )
+    };
+    match crate::common::cache_path() {
+        // Every co-design run shares the one file: saves merge
+        // newest-wins (and memo keys carry backend + tech + seed), so
+        // runs accumulate warmth instead of overwriting each other.
+        Some(path) => opts.with_cache_path(path),
+        None => opts,
     }
-    opts
 }
 
 /// Runs the study.
@@ -103,73 +111,79 @@ pub fn run(scale: Scale) -> Table3 {
         Scale::Quick => 3,
         Scale::Paper => 6,
     };
-    let apps: Vec<(&str, Vec<Workload>)> = vec![
-        ("resnet", subsample(&suites::resnet50_convs(), layers)),
-        ("mobilenet", subsample(&suites::mobilenet_convs(), layers)),
-        ("xception", subsample(&suites::xception_convs(), layers)),
-    ];
+    // With `--tech-sweep` the technology node replaces the CNN as the
+    // inner axis (ResNet only), keeping the cell count — and the cost —
+    // identical to the default study.
+    let apps: Vec<(&str, Vec<Workload>)> = if crate::common::tech_sweep() {
+        vec![("resnet", subsample(&suites::resnet50_convs(), layers))]
+    } else {
+        vec![
+            ("resnet", subsample(&suites::resnet50_convs(), layers)),
+            ("mobilenet", subsample(&suites::mobilenet_convs(), layers)),
+            ("xception", subsample(&suites::xception_convs(), layers)),
+        ]
+    };
+    let profiles = crate::common::tech_profiles();
     // (name, power cap mW, cloud?)
     let scenarios = [("edge", 2_000.0, false), ("cloud", 20_000.0, true)];
     let mut rows = Vec::new();
     for (scenario, power_cap, cloud) in scenarios {
-        for (app_name, workloads) in &apps {
-            let app = TensorApp::new(*app_name, workloads.clone());
-            let constraints = Constraints {
-                max_power_mw: Some(power_cap),
-                ..Constraints::default()
-            };
+        for (tech_name, tech) in &profiles {
+            for (app_name, workloads) in &apps {
+                let app = TensorApp::new(*app_name, workloads.clone());
+                let constraints = Constraints {
+                    max_power_mw: Some(power_cap),
+                    ..Constraints::default()
+                };
 
-            // Baseline: default accelerator + AutoTVM software.
-            let base_cfg = GemminiGenerator::baseline(cloud);
-            let tvm = AutoTvm::new(3);
-            let mut parts = Vec::new();
-            for w in workloads {
-                parts.push(
-                    tvm.best_metrics(w, &base_cfg)
-                        .expect("baseline maps layers"),
-                );
+                // Baseline: default accelerator + AutoTVM software,
+                // priced at this row's technology node so per-row
+                // speedups compare systems at one node.
+                let base_cfg = GemminiGenerator::baseline(cloud);
+                let tvm = AutoTvm::new(3).with_model(accel_model::CostModel::new(tech.clone()));
+                let mut parts = Vec::new();
+                for w in workloads {
+                    parts.push(
+                        tvm.best_metrics(w, &base_cfg)
+                            .expect("baseline maps layers"),
+                    );
+                }
+                let base_m = accel_model::Metrics::sequential(&parts);
+
+                // HASCO-GEMMCore co-design.
+                let designer = CoDesigner::new(codesign_opts(scale, 3, tech));
+                let input = InputDescription {
+                    app: app.clone(),
+                    method: GenerationMethod::Gemmini,
+                    constraints,
+                };
+                let gemm_sol = designer.run(&input).expect("gemm co-design succeeds");
+
+                // HASCO-ConvCore co-design.
+                let designer = CoDesigner::new(codesign_opts(scale, 3, tech));
+                let input = InputDescription {
+                    app: app.clone(),
+                    method: GenerationMethod::Chisel(IntrinsicKind::Conv2d),
+                    constraints,
+                };
+                let conv_sol = designer.run(&input).expect("conv co-design succeeds");
+
+                // HLS-Core on the ConvCore hardware, at the same node.
+                let hls = HlsCore::synthesize(workloads, &conv_sol.accelerator)
+                    .expect("hls synthesis succeeds")
+                    .with_model(accel_model::CostModel::new(tech.clone()));
+                let hls_m = hls.run_app(workloads).expect("hls runs the app");
+
+                rows.push(Row {
+                    scenario: scenario.to_string(),
+                    tech: tech_name.to_string(),
+                    app: app_name.to_string(),
+                    baseline: summarize(&base_cfg, base_m.latency_ms),
+                    hasco_gemm: summarize(&gemm_sol.accelerator, gemm_sol.total.latency_ms),
+                    hasco_conv: summarize(&conv_sol.accelerator, conv_sol.total.latency_ms),
+                    hls: summarize(&conv_sol.accelerator, hls_m.latency_ms),
+                });
             }
-            let base_m = accel_model::Metrics::sequential(&parts);
-
-            // HASCO-GEMMCore co-design.
-            let designer = CoDesigner::new(codesign_opts(
-                scale,
-                3,
-                &format!("{scenario}.{app_name}.gemm"),
-            ));
-            let input = InputDescription {
-                app: app.clone(),
-                method: GenerationMethod::Gemmini,
-                constraints,
-            };
-            let gemm_sol = designer.run(&input).expect("gemm co-design succeeds");
-
-            // HASCO-ConvCore co-design.
-            let designer = CoDesigner::new(codesign_opts(
-                scale,
-                3,
-                &format!("{scenario}.{app_name}.conv"),
-            ));
-            let input = InputDescription {
-                app: app.clone(),
-                method: GenerationMethod::Chisel(IntrinsicKind::Conv2d),
-                constraints,
-            };
-            let conv_sol = designer.run(&input).expect("conv co-design succeeds");
-
-            // HLS-Core on the ConvCore hardware.
-            let hls = HlsCore::synthesize(workloads, &conv_sol.accelerator)
-                .expect("hls synthesis succeeds");
-            let hls_m = hls.run_app(workloads).expect("hls runs the app");
-
-            rows.push(Row {
-                scenario: scenario.to_string(),
-                app: app_name.to_string(),
-                baseline: summarize(&base_cfg, base_m.latency_ms),
-                hasco_gemm: summarize(&gemm_sol.accelerator, gemm_sol.total.latency_ms),
-                hasco_conv: summarize(&conv_sol.accelerator, conv_sol.total.latency_ms),
-                hls: summarize(&conv_sol.accelerator, hls_m.latency_ms),
-            });
         }
     }
     Table3 { rows }
@@ -214,6 +228,7 @@ fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 pub fn render(t: &Table3) -> String {
     let mut out = Table::new(&[
         "Scenario",
+        "Tech",
         "CNN",
         "Base PEs/KB/Bk",
         "Base lat(ms)",
@@ -228,6 +243,7 @@ pub fn render(t: &Table3) -> String {
         let fmt = |s: &SystemResult| format!("{}/{}/{}", s.pes, s.mem_kb, s.banks);
         out.row(vec![
             r.scenario.clone(),
+            r.tech.clone(),
             r.app.clone(),
             fmt(&r.baseline),
             format!("{:.3}", r.baseline.latency_ms),

@@ -14,9 +14,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use accel_model::arch::AcceleratorConfig;
+use accel_model::tech::TechParams;
 use accel_model::{BackendKind, CostBackend, Metrics};
 use dse::mobo::Mobo;
 use dse::problem::{Point, Problem, SearchSpace};
+use dse::staged::AdaptiveTopK;
 use dse::Optimizer;
 use hw_gen::space::Generator;
 use hw_gen::{ChiselGenerator, GemminiGenerator};
@@ -67,11 +69,23 @@ pub struct CoDesignOptions {
     pub refine_backend: BackendKind,
     /// Survivors per screened batch re-evaluated with `refine_backend`
     /// before entering the Pareto front / GP training set. `0` disables
-    /// fidelity staging (every evaluation uses `backend` only).
+    /// fidelity staging (every evaluation uses `backend` only). With
+    /// `adaptive_refinement` on, this is the *initial* budget of the
+    /// adaptive controller.
     pub refine_top_k: usize,
+    /// Adaptive fidelity staging: grow/shrink the per-batch refine budget
+    /// from the observed screen-vs-refine rank disagreement
+    /// ([`dse::staged::AdaptiveTopK`]). Like the fixed policy, the
+    /// adaptive trajectory is a pure function of batch content, so thread
+    /// count never changes results.
+    pub adaptive_refinement: bool,
+    /// Technology parameters every backend tier is built with (the
+    /// `--tech-sweep` scenario axis; part of every memo fingerprint).
+    pub tech: TechParams,
     /// Persistent cross-run evaluation cache: loaded (warm start) before
-    /// the hardware DSE and saved afterwards. `None` keeps the cache
-    /// in-memory only.
+    /// the hardware DSE and saved afterwards — merged newest-wins into
+    /// whatever the file already holds, so runs sharing a cache file
+    /// accumulate warmth. `None` keeps the cache in-memory only.
     pub cache_path: Option<PathBuf>,
 }
 
@@ -96,6 +110,8 @@ impl CoDesignOptions {
             backend: BackendKind::Analytic,
             refine_backend: BackendKind::TraceSim,
             refine_top_k: 0,
+            adaptive_refinement: false,
+            tech: TechParams::default(),
             cache_path: None,
         }
     }
@@ -125,6 +141,8 @@ impl CoDesignOptions {
             backend: BackendKind::Analytic,
             refine_backend: BackendKind::TraceSim,
             refine_top_k: 0,
+            adaptive_refinement: false,
+            tech: TechParams::default(),
             cache_path: None,
         }
     }
@@ -152,6 +170,27 @@ impl CoDesignOptions {
     pub fn with_refinement(mut self, refine_backend: BackendKind, top_k: usize) -> Self {
         self.refine_backend = refine_backend;
         self.refine_top_k = top_k;
+        self.adaptive_refinement = false;
+        self
+    }
+
+    /// Enables *adaptive* fidelity staging: start refining `initial_top_k`
+    /// survivors per batch and let the controller grow/shrink the budget
+    /// from the observed screen-vs-refine rank disagreement.
+    pub fn with_adaptive_refinement(
+        mut self,
+        refine_backend: BackendKind,
+        initial_top_k: usize,
+    ) -> Self {
+        self.refine_backend = refine_backend;
+        self.refine_top_k = initial_top_k;
+        self.adaptive_refinement = initial_top_k > 0;
+        self
+    }
+
+    /// Builds every backend tier with the given technology parameters.
+    pub fn with_tech(mut self, tech: TechParams) -> Self {
+        self.tech = tech;
         self
     }
 
@@ -166,8 +205,13 @@ impl CoDesignOptions {
 struct RefineTier {
     /// Explorer wired to the high-fidelity cost backend.
     explorer: SoftwareExplorer,
-    /// Survivors per screened batch re-evaluated at high fidelity.
+    /// Survivors per screened batch re-evaluated at high fidelity (the
+    /// fixed policy; ignored while `controller` is installed).
     top_k: usize,
+    /// The adaptive refine-budget controller, when adaptive staging is
+    /// on. Updated serially between batches, so its trajectory is a pure
+    /// function of batch content.
+    controller: Option<AdaptiveTopK>,
     /// Memo-key bases for this tier (distinct from the screen tier's via
     /// the backend fingerprint).
     bases: Vec<(Fingerprinter, Fingerprinter)>,
@@ -211,12 +255,16 @@ pub struct HwProblem<'a> {
     /// and the memo lookups entirely).
     cache: BTreeMap<Point, Option<Vec<f64>>>,
     /// Per-workload fingerprint bases: (workload, options, seed, backend)
-    /// are invariant for the life of the problem, so their hash state is
-    /// computed once and cloned per pair instead of re-walking the
-    /// workload structure on every lookup. Two independently-seeded
-    /// states form a 128-bit key, so a 64-bit collision degrades to a
-    /// cache miss instead of returning another design's metrics.
+    /// are invariant *between retrainings* of the screen backend, so
+    /// their hash state is computed once and cloned per pair instead of
+    /// re-walking the workload structure on every lookup; a surrogate
+    /// screen tier advancing its training generation triggers a rebuild
+    /// (see `refresh_screen_bases`). Two independently-seeded states form
+    /// a 128-bit key, so a 64-bit collision degrades to a cache miss
+    /// instead of returning another design's metrics.
     pair_bases: Vec<(Fingerprinter, Fingerprinter)>,
+    /// The screen backend fingerprint `pair_bases` was computed from.
+    screen_fp: runtime::Fingerprint,
     /// The optional high-fidelity stage.
     refine: Option<RefineTier>,
     /// Total (design point, workload) evaluations requested through the
@@ -241,6 +289,7 @@ impl<'a> HwProblem<'a> {
         let dim_sizes = generator.space().dims.iter().map(|d| d.len()).collect();
         let explorer = SoftwareExplorer::new(seed);
         let pair_bases = Self::make_bases(workloads, &sw_opts, seed, &explorer);
+        let screen_fp = explorer.backend_fingerprint();
         HwProblem {
             generator,
             workloads,
@@ -252,6 +301,7 @@ impl<'a> HwProblem<'a> {
             memo: MemoCache::new(4096),
             cache: BTreeMap::new(),
             pair_bases,
+            screen_fp,
             refine: None,
             sw_requests: 0,
             refine_requests: 0,
@@ -305,6 +355,7 @@ impl<'a> HwProblem<'a> {
         self.explorer = SoftwareExplorer::new(self.seed).with_backend(backend);
         self.pair_bases =
             Self::make_bases(self.workloads, &self.sw_opts, self.seed, &self.explorer);
+        self.screen_fp = self.explorer.backend_fingerprint();
         self
     }
 
@@ -321,9 +372,43 @@ impl<'a> HwProblem<'a> {
         self.refine = Some(RefineTier {
             explorer,
             top_k,
+            controller: None,
             bases,
         });
         self
+    }
+
+    /// Enables *adaptive* fidelity staging: like
+    /// [`HwProblem::with_refinement`], but the per-batch refine budget
+    /// starts at `initial_top_k` and is grown/shrunk by an
+    /// [`AdaptiveTopK`] controller from the observed screen-vs-refine
+    /// rank disagreement. When the screen backend is a
+    /// [`accel_model::SurrogateBackend`], every refined configuration is
+    /// also fed back as GP training data, so the screen tier improves as
+    /// the run progresses. `initial_top_k == 0` disables staging.
+    pub fn with_adaptive_refinement(
+        mut self,
+        backend: Arc<dyn CostBackend>,
+        initial_top_k: usize,
+    ) -> Self {
+        self = self.with_refinement(backend, initial_top_k);
+        if let Some(tier) = &mut self.refine {
+            tier.controller = Some(AdaptiveTopK::new(initial_top_k));
+        }
+        self
+    }
+
+    /// Rebuilds the screen tier's memo-key bases if the screen backend's
+    /// fingerprint moved (a surrogate advancing its training
+    /// generation) — stale-generation memo entries become unreachable
+    /// instead of being served.
+    fn refresh_screen_bases(&mut self) {
+        let fp = self.explorer.backend_fingerprint();
+        if fp != self.screen_fp {
+            self.pair_bases =
+                Self::make_bases(self.workloads, &self.sw_opts, self.seed, &self.explorer);
+            self.screen_fp = fp;
+        }
     }
 
     /// Counters of the memoizing evaluation cache.
@@ -345,12 +430,17 @@ impl<'a> HwProblem<'a> {
             .unwrap_or(0)
     }
 
-    /// Persists the evaluation cache for future runs.
+    /// Persists the evaluation cache for future runs, merging
+    /// newest-wins into whatever the file already holds (so cache files
+    /// shared across runs and bench binaries accumulate instead of
+    /// thrash) and writing atomically (a crash mid-save never truncates
+    /// the previous image).
     ///
     /// # Errors
     /// Propagates I/O errors from writing the file.
     pub fn save_cache(&self, path: &std::path::Path) -> std::io::Result<u64> {
-        self.memo.save_to_file(path, Self::encode_cache_entry)
+        self.memo
+            .save_merged_to_file(path, Self::encode_cache_entry, Self::decode_cache_entry)
     }
 
     fn encode_cache_entry(key: &(u64, u64), value: &Option<Metrics>, out: &mut Vec<u8>) {
@@ -447,6 +537,25 @@ impl<'a> HwProblem<'a> {
     /// Total (design point, workload) evaluations re-run at high fidelity.
     pub fn refine_requests(&self) -> usize {
         self.refine_requests
+    }
+
+    /// The refine budget each staged batch used (empty when staging is
+    /// off or the budget is fixed).
+    pub fn topk_trajectory(&self) -> Vec<usize> {
+        self.refine
+            .as_ref()
+            .and_then(|t| t.controller.as_ref())
+            .map(|c| c.trajectory().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Surrogate screen-tier state as `(training samples, trusted)`;
+    /// `None` when the screen backend is not a surrogate.
+    pub fn surrogate_stats(&self) -> Option<(usize, bool)> {
+        self.explorer
+            .backend()
+            .as_surrogate()
+            .map(|s| (s.training_len(), s.is_trusted()))
     }
 
     fn objectives_of(metrics: &Metrics) -> Vec<f64> {
@@ -587,14 +696,31 @@ impl Problem for HwProblem<'_> {
         // Stage 3 (refine): re-price only the top-k screened survivors at
         // high fidelity before anything enters the Pareto front / GP
         // training set. Selection ranks by screened latency with
-        // submission-index tie-breaks — a pure function of the batch, so
+        // submission-index tie-breaks, and the adaptive controller (when
+        // installed) resizes the budget from the survivors' screen-vs-
+        // refine rank disagreement — both pure functions of the batch, so
         // thread count still never changes results.
-        if let Some(tier) = &self.refine {
-            let survivors = dse::staged::rank_top_k(&fresh_metrics, tier.top_k, |m| {
+        let mut refined_survivors: Vec<usize> = Vec::new();
+        if let Some(tier) = &mut self.refine {
+            let top_k = match &mut tier.controller {
+                Some(c) if !fresh.is_empty() => c.begin_batch(),
+                Some(c) => c.current(),
+                None => tier.top_k,
+            };
+            let survivors = dse::staged::rank_top_k(&fresh_metrics, top_k, |m| {
                 m.as_ref().map(|metrics| metrics.latency_cycles)
             });
             if !survivors.is_empty() {
                 self.refine_requests += survivors.len() * self.workloads.len();
+                let screened_latency: Vec<f64> = survivors
+                    .iter()
+                    .map(|&fi| {
+                        fresh_metrics[fi]
+                            .as_ref()
+                            .expect("survivors are feasible")
+                            .latency_cycles
+                    })
+                    .collect();
                 let sub: Vec<&AcceleratorConfig> =
                     survivors.iter().map(|&fi| &fresh[fi].1).collect();
                 let refined = Self::eval_pairs(
@@ -614,7 +740,33 @@ impl Problem for HwProblem<'_> {
                         fresh_metrics[fi] = Some(Metrics::sequential(&parts));
                     }
                 }
+                if let Some(c) = &mut tier.controller {
+                    let refined_latency: Vec<f64> = survivors
+                        .iter()
+                        .map(|&fi| {
+                            fresh_metrics[fi]
+                                .as_ref()
+                                .expect("survivors stay feasible")
+                                .latency_cycles
+                        })
+                        .collect();
+                    c.observe(&screened_latency, &refined_latency);
+                }
+                refined_survivors = survivors;
             }
+        }
+
+        // Stage 3b (learn): a surrogate screen tier trains on every
+        // configuration the refine tier just priced, then the memo-key
+        // bases move to the new training generation. Serial and in batch
+        // order, so the learning trajectory is thread-count-independent.
+        if !refined_survivors.is_empty() {
+            if let Some(surrogate) = self.explorer.backend().as_surrogate() {
+                for &fi in &refined_survivors {
+                    surrogate.observe(&fresh[fi].1);
+                }
+            }
+            self.refresh_screen_bases();
         }
 
         // Stage 4 (serial): record final metrics per point, in submission
@@ -669,6 +821,7 @@ impl CoDesigner {
         // Step 2: hardware DSE with software-in-the-loop evaluation,
         // batched onto the evaluation runtime and priced through the
         // configured cost backend(s).
+        let refine_backend = self.opts.refine_backend.build_with(self.opts.tech.clone());
         let mut problem = HwProblem::new(
             generator.as_ref(),
             &input.app.workloads,
@@ -677,8 +830,12 @@ impl CoDesigner {
         )
         .with_workers(workers.clone())
         .with_cache_capacity(self.opts.cache_capacity)
-        .with_backend(self.opts.backend.build())
-        .with_refinement(self.opts.refine_backend.build(), self.opts.refine_top_k);
+        .with_backend(self.opts.backend.build_with(self.opts.tech.clone()));
+        problem = if self.opts.adaptive_refinement {
+            problem.with_adaptive_refinement(refine_backend, self.opts.refine_top_k)
+        } else {
+            problem.with_refinement(refine_backend, self.opts.refine_top_k)
+        };
         let warm_cache_entries = match &self.opts.cache_path {
             Some(path) => problem.load_cache(path),
             None => 0,
@@ -723,6 +880,8 @@ impl CoDesigner {
         // The solution reports the full (merged) exploration history even
         // when a retuning round did not improve on the incumbent.
         solution.hw_history = history;
+        let (surrogate_samples, surrogate_trusted) =
+            problem.surrogate_stats().unwrap_or((0, false));
         solution.stats = RunStats {
             threads: workers.threads(),
             hw_evaluations: solution.hw_history.evaluations.len(),
@@ -730,6 +889,9 @@ impl CoDesigner {
             refine_explorations: problem.refine_requests(),
             backend: self.opts.backend,
             refine_backend: (self.opts.refine_top_k > 0).then_some(self.opts.refine_backend),
+            refine_topk_trajectory: problem.topk_trajectory(),
+            surrogate_samples,
+            surrogate_trusted,
             warm_cache_entries,
             steals: workers.stats().steals,
             cache: problem.cache_stats(),
@@ -773,7 +935,8 @@ impl CoDesigner {
         } else {
             self.opts.backend
         };
-        let explorer = SoftwareExplorer::new(self.opts.seed).with_backend(final_backend.build());
+        let explorer = SoftwareExplorer::new(self.opts.seed)
+            .with_backend(final_backend.build_with(self.opts.tech.clone()));
         // The thorough per-workload explorations are independent pure
         // runs, so they fan out across the pool; errors are reported in
         // workload order (first failure wins), matching the serial path.
@@ -1097,7 +1260,7 @@ mod tests {
         let mut opts = CoDesignOptions::quick(8).with_refinement(BackendKind::TraceSim, 2);
         opts.hw_trials = 6;
         let solution = CoDesigner::new(opts).run(&input).unwrap();
-        let stats = solution.stats;
+        let stats = &solution.stats;
         assert_eq!(stats.backend, BackendKind::Analytic);
         assert_eq!(stats.refine_backend, Some(BackendKind::TraceSim));
         assert!(stats.refine_explorations > 0);
@@ -1108,6 +1271,74 @@ mod tests {
             stats.sw_explorations
         );
         assert!(solution.stats.render().contains("refined (sim)"));
+    }
+
+    #[test]
+    fn adaptive_staging_reports_a_trajectory_and_refines_no_more_than_fixed() {
+        let input = toy_input();
+        let mut fixed_opts = CoDesignOptions::quick(8).with_refinement(BackendKind::TraceSim, 3);
+        fixed_opts.hw_trials = 6;
+        let mut adaptive_opts =
+            CoDesignOptions::quick(8).with_adaptive_refinement(BackendKind::TraceSim, 3);
+        adaptive_opts.hw_trials = 6;
+        let fixed = CoDesigner::new(fixed_opts).run(&input).unwrap();
+        let adaptive = CoDesigner::new(adaptive_opts).run(&input).unwrap();
+
+        assert!(fixed.stats.refine_topk_trajectory.is_empty());
+        let trajectory = &adaptive.stats.refine_topk_trajectory;
+        assert!(!trajectory.is_empty(), "adaptive run must record budgets");
+        assert_eq!(trajectory[0], 3, "budget starts at the initial top-k");
+        assert!(
+            adaptive.stats.refine_explorations <= fixed.stats.refine_explorations,
+            "adaptive staging must not refine more than the fixed policy \
+             when the tiers agree: {} vs {}",
+            adaptive.stats.refine_explorations,
+            fixed.stats.refine_explorations
+        );
+        // No regression from refining less: the solutions stay equivalent
+        // (the screen tier hands the refiner the same leaders).
+        assert!(
+            adaptive.total.latency_cycles <= fixed.total.latency_cycles * 1.05,
+            "adaptive {} vs fixed {}",
+            adaptive.total.latency_cycles,
+            fixed.total.latency_cycles
+        );
+        assert!(adaptive.stats.render().contains("adaptive top-k"));
+    }
+
+    #[test]
+    fn surrogate_screen_tier_trains_during_codesign() {
+        let input = toy_input();
+        let mut opts = CoDesignOptions::quick(9)
+            .with_backend(BackendKind::Surrogate)
+            .with_adaptive_refinement(BackendKind::TraceSim, 2);
+        opts.hw_trials = 6;
+        let solution = CoDesigner::new(opts).run(&input).unwrap();
+        assert_eq!(solution.stats.backend, BackendKind::Surrogate);
+        assert!(
+            solution.stats.surrogate_samples > 0,
+            "refined configs must feed the surrogate's training set"
+        );
+        assert!(solution.stats.render().contains("surrogate training"));
+        assert!(solution.total.latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn tech_profiles_shift_metrics_not_feasibility() {
+        let input = toy_input();
+        let profiles = accel_model::tech::TechParams::profiles();
+        let mut totals = Vec::new();
+        for (name, tech) in profiles {
+            let mut opts = CoDesignOptions::quick(5).with_tech(tech);
+            opts.hw_trials = 5;
+            let solution = CoDesigner::new(opts).run(&input).unwrap();
+            assert!(solution.total.latency_ms > 0.0, "{name}");
+            totals.push((name, solution.total.energy_uj));
+        }
+        // A denser node never costs more energy than an older one for the
+        // same workloads.
+        let by_name = |n: &str| totals.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert!(by_name("16nm") < by_name("40nm"), "{totals:?}");
     }
 
     #[test]

@@ -6,9 +6,9 @@ use accel_model::BackendKind;
 use runtime::CacheStats;
 
 /// Execution statistics of one co-design run: how the parallel evaluation
-/// runtime, the cost backends, and the memoizing cost-model cache were
-/// used — where the time went.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// runtime, the cost backends, the staging policy, and the memoizing
+/// cost-model cache were used — where the time went.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Evaluation worker threads used.
     pub threads: usize,
@@ -24,6 +24,15 @@ pub struct RunStats {
     pub backend: BackendKind,
     /// The refinement backend, when fidelity staging is on.
     pub refine_backend: Option<BackendKind>,
+    /// The refine budget each staged batch used, in batch order (empty
+    /// when staging is off or the budget is fixed).
+    pub refine_topk_trajectory: Vec<usize>,
+    /// Surrogate screen-tier training-set size (0 when the screen tier
+    /// is not a surrogate).
+    pub surrogate_samples: usize,
+    /// Whether the surrogate cleared cross-validation and served GP
+    /// predictions.
+    pub surrogate_trusted: bool,
     /// Entries loaded from the persistent cross-run cache at startup.
     pub warm_cache_entries: u64,
     /// Work-stealing operations performed by the evaluation pool.
@@ -52,6 +61,26 @@ impl RunStats {
                 self.refine_explorations.to_string(),
             ]);
         }
+        if !self.refine_topk_trajectory.is_empty() {
+            t.row(vec![
+                "adaptive top-k".into(),
+                summarize_trajectory(&self.refine_topk_trajectory),
+            ]);
+        }
+        if self.surrogate_samples > 0 {
+            t.row(vec![
+                "surrogate training".into(),
+                format!(
+                    "{} samples ({})",
+                    self.surrogate_samples,
+                    if self.surrogate_trusted {
+                        "trusted"
+                    } else {
+                        "untrusted"
+                    }
+                ),
+            ]);
+        }
         t.row(vec![
             "warm cache entries".into(),
             self.warm_cache_entries.to_string(),
@@ -69,6 +98,19 @@ impl RunStats {
         ]);
         t.render()
     }
+}
+
+/// Compresses a per-batch top-k trajectory into a compact report cell,
+/// e.g. `4 -> 1 over 12 batches (min 1, max 4)`.
+fn summarize_trajectory(trajectory: &[usize]) -> String {
+    let first = trajectory.first().copied().unwrap_or(0);
+    let last = trajectory.last().copied().unwrap_or(0);
+    let min = trajectory.iter().copied().min().unwrap_or(0);
+    let max = trajectory.iter().copied().max().unwrap_or(0);
+    format!(
+        "{first} -> {last} over {} batches (min {min}, max {max})",
+        trajectory.len()
+    )
 }
 
 /// A simple fixed-width text table.
@@ -188,6 +230,9 @@ mod tests {
             backend: BackendKind::Analytic,
             refine_backend: Some(BackendKind::TraceSim),
             refine_explorations: 6,
+            refine_topk_trajectory: vec![4, 3, 2, 1, 1],
+            surrogate_samples: 30,
+            surrogate_trusted: true,
             warm_cache_entries: 12,
             steals: 3,
             ..RunStats::default()
@@ -195,11 +240,16 @@ mod tests {
         let s = stats.render();
         assert!(s.contains("backend") && s.contains("analytic"));
         assert!(s.contains("refined (sim)") && s.contains('6'));
+        assert!(s.contains("adaptive top-k"));
+        assert!(s.contains("4 -> 1 over 5 batches (min 1, max 4)"));
+        assert!(s.contains("surrogate training") && s.contains("30 samples (trusted)"));
         assert!(s.contains("warm cache entries"));
         assert!(s.contains("pool steals"));
-        // Staging off: no refinement row.
+        // Staging off: no refinement, adaptive, or surrogate rows.
         let off = RunStats::default().render();
         assert!(!off.contains("refined ("));
+        assert!(!off.contains("adaptive top-k"));
+        assert!(!off.contains("surrogate training"));
     }
 
     #[test]

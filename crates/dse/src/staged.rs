@@ -16,6 +16,7 @@
 //! without weakening the "thread count never changes results" invariant.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use runtime::BatchEvaluator;
 
@@ -44,6 +45,169 @@ pub fn rank_top_k<T>(items: &[T], k: usize, score: impl Fn(&T) -> Option<f64>) -
     idx
 }
 
+/// Pairwise rank disagreement between two score vectors over the same
+/// items — a Kendall-tau-style statistic in `[0, 1]`.
+///
+/// A pair `(i, j)` is *discordant* when the two scores order it in
+/// opposite directions; ties in either score count as concordant (the
+/// cheap tier not separating two near-equal candidates is not a ranking
+/// error). The result is the discordant fraction of all pairs: `0.0` =
+/// identical rankings, `1.0` = fully reversed, and fewer than two items
+/// yield `0.0`. Deterministic — a pure function of the two slices — so
+/// staging policies built on it preserve the thread-count invariant.
+pub fn rank_disagreement(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut discordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] - a[j]) * (b[i] - b[j]) < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    discordant as f64 / total as f64
+}
+
+/// Adaptive fidelity-staging controller: grows or shrinks the per-batch
+/// refine budget (`top_k`) from the observed screen-vs-refine rank
+/// disagreement.
+///
+/// After each refined batch the caller reports the survivors' screen-tier
+/// and refine-tier scores ([`AdaptiveTopK::observe`]). The pairs
+/// accumulate in a bounded sliding window spanning recent batches — so
+/// the controller keeps learning even in optimizer regimes that evaluate
+/// one point at a time (MOBO acquisitions) — and the window's rank
+/// disagreement steers the budget: agreement below `shrink_below` means
+/// the screen tier ranks like the refiner and the budget shrinks
+/// (possibly to zero, skipping refinement entirely); disagreement above
+/// `grow_above` grows it toward `max_k`. While the budget sits at zero,
+/// every `audit_every`-th batch still refines one survivor so fresh
+/// evidence keeps flowing and a drifting screen tier is caught. All
+/// decisions are pure functions of the batch sequence, so adaptive
+/// trajectories are identical at any thread count and stealing mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTopK {
+    k: usize,
+    min_k: usize,
+    max_k: usize,
+    shrink_below: f64,
+    grow_above: f64,
+    /// While the budget is 0, refine one survivor every this many
+    /// batches anyway (evidence audit).
+    audit_every: usize,
+    /// Batches begun so far (drives the audit cadence).
+    batches: usize,
+    /// Sliding `(screen, refine)` score window across recent batches.
+    window: std::collections::VecDeque<(f64, f64)>,
+    trajectory: Vec<usize>,
+}
+
+/// Cross-batch evidence window size: big enough for a stable
+/// discordant-pair estimate, small enough to track a retraining screen
+/// tier.
+const EVIDENCE_WINDOW: usize = 8;
+
+/// Minimum window fill before the controller acts on its estimate.
+const EVIDENCE_MIN: usize = 3;
+
+impl AdaptiveTopK {
+    /// Creates a controller starting at `initial` survivors per batch,
+    /// bounded to `[0, 4 * initial]`, shrinking below 10% window
+    /// disagreement and growing above 30%, with an audit refinement
+    /// every 4th batch while the budget is zero.
+    pub fn new(initial: usize) -> Self {
+        let initial = initial.max(1);
+        AdaptiveTopK {
+            k: initial,
+            min_k: 0,
+            max_k: initial.saturating_mul(4),
+            shrink_below: 0.10,
+            grow_above: 0.30,
+            audit_every: 4,
+            batches: 0,
+            window: std::collections::VecDeque::new(),
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Overrides the budget bounds (`max_k >= min_k` is enforced; the
+    /// current budget is re-clamped into the new band). A `min_k` of 0
+    /// (the default) lets a fully-trusted screen tier skip refinement,
+    /// modulo the audit cadence.
+    pub fn with_bounds(mut self, min_k: usize, max_k: usize) -> Self {
+        self.min_k = min_k;
+        self.max_k = max_k.max(self.min_k);
+        self.k = self.k.clamp(self.min_k, self.max_k);
+        self
+    }
+
+    /// Overrides the disagreement thresholds (`shrink_below <=
+    /// grow_above` is enforced by clamping).
+    pub fn with_thresholds(mut self, shrink_below: f64, grow_above: f64) -> Self {
+        self.shrink_below = shrink_below;
+        self.grow_above = grow_above.max(shrink_below);
+        self
+    }
+
+    /// The refine budget the next batch will use (0 = refinement off
+    /// except for audits).
+    pub fn current(&self) -> usize {
+        self.k
+    }
+
+    /// Starts a batch: resolves the effective budget (the current one,
+    /// or a single audit survivor when the budget is zero and the audit
+    /// cadence fires), records it in the trajectory, and returns it.
+    pub fn begin_batch(&mut self) -> usize {
+        self.batches += 1;
+        let effective = if self.k == 0 && (self.batches - 1).is_multiple_of(self.audit_every.max(1))
+        {
+            1
+        } else {
+            self.k
+        };
+        self.trajectory.push(effective);
+        effective
+    }
+
+    /// Reports one refined batch's survivor scores at both tiers
+    /// (aligned by survivor; lower = better, as everywhere in this
+    /// crate). The pairs join the sliding evidence window; once the
+    /// window holds enough pairs, its rank disagreement adjusts the
+    /// budget by one step.
+    pub fn observe(&mut self, screen_scores: &[f64], refine_scores: &[f64]) {
+        for (&s, &r) in screen_scores.iter().zip(refine_scores) {
+            if self.window.len() == EVIDENCE_WINDOW {
+                self.window.pop_front();
+            }
+            self.window.push_back((s, r));
+        }
+        if self.window.len() < EVIDENCE_MIN {
+            return;
+        }
+        let (screen, refine): (Vec<f64>, Vec<f64>) = self.window.iter().copied().unzip();
+        let d = rank_disagreement(&screen, &refine);
+        if d > self.grow_above {
+            // Re-arm from 0 before clamping, so max_k stays a hard bound.
+            self.k = (self.k + 1).max(1).min(self.max_k);
+        } else if d < self.shrink_below {
+            self.k = self.k.saturating_sub(1).max(self.min_k);
+        }
+    }
+
+    /// The effective budget each batch used, in batch order (audit
+    /// batches show their single audit survivor).
+    pub fn trajectory(&self) -> &[usize] {
+        &self.trajectory
+    }
+}
+
 /// Point-in-time counters of a staged evaluator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StagedStats {
@@ -58,14 +222,19 @@ pub struct StagedStats {
 /// `score` maps a screened response to a ranking key (`None` =
 /// unrankable/infeasible, lower = better). With `top_k == 0` the refine
 /// engine is never consulted and this is exactly the screen engine.
+/// [`FidelityStaged::with_adaptive`] replaces the fixed `top_k` with an
+/// [`AdaptiveTopK`] controller that resizes the refine budget per batch
+/// from the observed screen-vs-refine rank disagreement.
 pub struct FidelityStaged<S, R, F> {
     /// The cheap full-batch engine.
     pub screen: S,
     /// The expensive survivor engine.
     pub refine: R,
-    /// Survivors per batch re-evaluated at high fidelity.
+    /// Survivors per batch re-evaluated at high fidelity (ignored while
+    /// an adaptive controller is installed).
     pub top_k: usize,
     score: F,
+    adaptive: Option<Mutex<AdaptiveTopK>>,
     screened: AtomicU64,
     refined: AtomicU64,
 }
@@ -78,9 +247,26 @@ impl<S, R, F> FidelityStaged<S, R, F> {
             refine,
             top_k,
             score,
+            adaptive: None,
             screened: AtomicU64::new(0),
             refined: AtomicU64::new(0),
         }
+    }
+
+    /// Installs an adaptive refine-budget controller; every batch then
+    /// draws its `top_k` from the controller instead of the fixed field.
+    pub fn with_adaptive(mut self, controller: AdaptiveTopK) -> Self {
+        self.adaptive = Some(Mutex::new(controller));
+        self
+    }
+
+    /// The refine budget each batch used so far (empty when the fixed
+    /// policy is active).
+    pub fn topk_trajectory(&self) -> Vec<usize> {
+        self.adaptive
+            .as_ref()
+            .map(|c| c.lock().expect("controller poisoned").trajectory().to_vec())
+            .unwrap_or_default()
     }
 
     /// Snapshot of the per-tier evaluation counters.
@@ -106,10 +292,14 @@ where
         let mut responses = self.screen.evaluate_batch(batch);
         self.screened
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        if self.top_k == 0 {
+        let top_k = match &self.adaptive {
+            Some(c) => c.lock().expect("controller poisoned").begin_batch(),
+            None => self.top_k,
+        };
+        if top_k == 0 {
             return responses;
         }
-        let survivors = rank_top_k(&responses, self.top_k, &self.score);
+        let survivors = rank_top_k(&responses, top_k, &self.score);
         if survivors.is_empty() {
             return responses;
         }
@@ -117,8 +307,26 @@ where
         let refined = self.refine.evaluate_batch(&requests);
         self.refined
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-        for (i, r) in survivors.into_iter().zip(refined) {
+        let screen_scores: Vec<f64> = survivors
+            .iter()
+            .filter_map(|&i| (self.score)(&responses[i]))
+            .collect();
+        for (&i, r) in survivors.iter().zip(refined) {
             responses[i] = r;
+        }
+        if let Some(c) = &self.adaptive {
+            // Survivor scores at both tiers, aligned by survivor; an
+            // unrankable response at either tier voids the comparison
+            // (lengths no longer align), leaving the budget unchanged.
+            let refine_scores: Vec<f64> = survivors
+                .iter()
+                .filter_map(|&i| (self.score)(&responses[i]))
+                .collect();
+            if screen_scores.len() == survivors.len() && refine_scores.len() == survivors.len() {
+                c.lock()
+                    .expect("controller poisoned")
+                    .observe(&screen_scores, &refine_scores);
+            }
         }
         responses
     }
@@ -172,6 +380,99 @@ mod tests {
         );
         assert_eq!(staged.evaluate_batch(&[1, 2, 3]), vec![2, 4, 6]);
         assert_eq!(staged.stats().refined, 0);
+    }
+
+    #[test]
+    fn rank_disagreement_measures_discordant_pairs() {
+        assert_eq!(rank_disagreement(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(rank_disagreement(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]), 1.0);
+        // One discordant pair of three: (b, c) swap.
+        let d = rank_disagreement(&[1.0, 2.0, 3.0], &[1.0, 3.0, 2.0]);
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+        // Ties never count as disagreement.
+        assert_eq!(rank_disagreement(&[1.0, 1.0], &[2.0, 5.0]), 0.0);
+        assert_eq!(rank_disagreement(&[1.0], &[9.0]), 0.0);
+        assert_eq!(rank_disagreement(&[], &[]), 0.0);
+    }
+
+    /// Eight fully-reversed score pairs: replaces the whole evidence
+    /// window with maximal disagreement.
+    fn reversed_window() -> ([f64; 8], [f64; 8]) {
+        (
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            [8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn adaptive_topk_shrinks_on_agreement_and_grows_on_disagreement() {
+        let mut c = AdaptiveTopK::new(4);
+        assert_eq!(c.current(), 4);
+        assert_eq!(c.begin_batch(), 4);
+        // Tiers agree: budget shrinks.
+        c.observe(&[1.0, 2.0, 3.0, 4.0], &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.current(), 3);
+        assert_eq!(c.begin_batch(), 3);
+        // Tiers fully disagree (the window flips wholesale): budget grows
+        // back.
+        let (s, r) = reversed_window();
+        c.observe(&s, &r);
+        assert_eq!(c.current(), 4);
+        assert_eq!(c.trajectory(), &[4, 3]);
+    }
+
+    #[test]
+    fn adaptive_topk_learns_from_singleton_batches_and_audits_at_zero() {
+        // MOBO acquisitions refine one survivor per batch; the evidence
+        // window accumulates those singletons, walks the budget to zero,
+        // and then only the audit cadence (every 4th batch) refines.
+        let mut c = AdaptiveTopK::new(2);
+        let mut used = Vec::new();
+        for i in 0..10 {
+            let k = c.begin_batch();
+            used.push(k);
+            if k > 0 {
+                let s = i as f64;
+                c.observe(&[s], &[s * 10.0 + 5.0]); // rank-consistent tiers
+            }
+        }
+        assert_eq!(used, vec![2, 2, 2, 1, 1, 0, 0, 0, 1, 0]);
+        assert_eq!(c.current(), 0);
+        assert_eq!(c.trajectory(), used.as_slice());
+    }
+
+    #[test]
+    fn adaptive_topk_respects_bounds() {
+        let mut c = AdaptiveTopK::new(2).with_bounds(2, 3);
+        for i in 0..6 {
+            // Agreement: try to shrink below min_k.
+            c.observe(&[i as f64], &[i as f64 + 100.0]);
+        }
+        assert_eq!(c.current(), 2, "never below min_k");
+        let (s, r) = reversed_window();
+        for _ in 0..5 {
+            c.observe(&s, &r); // disagreement: try to grow past max_k
+        }
+        assert_eq!(c.current(), 3, "never above max_k");
+    }
+
+    #[test]
+    fn adaptive_staged_shrinks_refinement_when_tiers_agree() {
+        // Screen and refine rank identically (refine = screen + 1000), so
+        // the controller walks the budget down to zero and the fourth
+        // batch skips refinement entirely (no audit due yet).
+        let staged = FidelityStaged::new(
+            FnEvaluator::new(|&x: &u64| x as f64),
+            FnEvaluator::new(|&x: &u64| x as f64 + 1000.0),
+            0, // ignored: adaptive controller installed below
+            |&p: &f64| Some(p % 1000.0),
+        )
+        .with_adaptive(AdaptiveTopK::new(3));
+        for _ in 0..4 {
+            let _ = staged.evaluate_batch(&[5, 1, 9, 3, 7]);
+        }
+        assert_eq!(staged.topk_trajectory(), vec![3, 2, 1, 0]);
+        assert_eq!(staged.stats().refined, 3 + 2 + 1);
     }
 
     #[test]

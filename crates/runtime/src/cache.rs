@@ -86,11 +86,12 @@ pub struct MemoCache<K, V> {
 
 impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// Creates a cache holding at most `capacity` entries (minimum one per
-    /// shard).
+    /// shard). The per-shard bound rounds **up**, so the effective
+    /// capacity is never below the requested one.
     pub fn new(capacity: usize) -> Self {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            per_shard: (capacity / SHARDS).max(1),
+            per_shard: capacity.div_ceil(SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -98,7 +99,8 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         }
     }
 
-    /// Total capacity bound.
+    /// Total capacity bound: at least the capacity requested at
+    /// construction, rounded up to a multiple of the shard count.
     pub fn capacity(&self) -> usize {
         self.per_shard * SHARDS
     }
@@ -182,22 +184,10 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         out
     }
 
-    /// Persists the cache to `path` so a later run can start warm
-    /// ([`MemoCache::load_from_file`]). `encode` appends one entry's bytes
-    /// to the buffer; keys are expected to be derived from
-    /// [`crate::StableFingerprint`]s, which are stable across processes.
-    /// Returns the number of entries written.
-    ///
-    /// # Errors
-    /// Propagates I/O errors from writing the file.
-    pub fn save_to_file(
-        &self,
-        path: &std::path::Path,
-        mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
-    ) -> std::io::Result<u64> {
-        let entries = self.snapshot();
+    /// Serializes entries into the checksummed persisted-image layout.
+    fn build_image(entries: &[(K, V)], encode: &mut impl FnMut(&K, &V, &mut Vec<u8>)) -> Vec<u8> {
         let mut payload = Vec::new();
-        for (k, v) in &entries {
+        for (k, v) in entries {
             let mut entry = Vec::new();
             encode(k, v, &mut entry);
             payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
@@ -210,7 +200,105 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         let mut fp = crate::Fingerprinter::new();
         fp.write_bytes(&payload);
         file.extend_from_slice(&fp.finish().0.to_le_bytes());
-        std::fs::write(path, file)?;
+        file
+    }
+
+    /// Writes `image` to `path` atomically: the bytes land in a uniquely
+    /// named temp file in the same directory, then rename into place. A
+    /// crash mid-write leaves the previous image intact, and two
+    /// concurrent savers each publish a complete (if last-writer-wins)
+    /// file — never a torn one.
+    fn write_image_atomically(path: &std::path::Path, image: &[u8]) -> std::io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => std::path::Path::new("."),
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "cache".into());
+        let tmp = dir.join(format!(
+            ".{name}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, image)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Persists the cache to `path` so a later run can start warm
+    /// ([`MemoCache::load_from_file`]). `encode` appends one entry's bytes
+    /// to the buffer; keys are expected to be derived from
+    /// [`crate::StableFingerprint`]s, which are stable across processes.
+    /// Returns the number of entries written.
+    ///
+    /// The image replaces whatever the file held (see
+    /// [`MemoCache::save_merged_to_file`] for accumulate-across-runs
+    /// semantics), but the replacement is atomic: a temp file in the same
+    /// directory is renamed into place, so a crash mid-save or a
+    /// concurrent saver can never leave a truncated image behind.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the temp file or renaming it
+    /// into place.
+    pub fn save_to_file(
+        &self,
+        path: &std::path::Path,
+        mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
+    ) -> std::io::Result<u64> {
+        let entries = self.snapshot();
+        Self::write_image_atomically(path, &Self::build_image(&entries, &mut encode))?;
+        Ok(entries.len() as u64)
+    }
+
+    /// Persists the cache to `path`, first merging in whatever a previous
+    /// run (or a concurrent bench binary) already saved there: the
+    /// existing file's entries are loaded and this cache's entries win on
+    /// key collisions (newest-wins), so shared cache files accumulate
+    /// warmth across runs instead of thrashing. An unreadable or corrupt
+    /// existing file contributes nothing (the merge degrades to a plain
+    /// save). The merge is eviction-aware: when the union exceeds this
+    /// cache's [`MemoCache::capacity`], the oldest surviving entries are
+    /// dropped first, exactly as the in-memory FIFO bound would. Returns
+    /// the number of entries written; the write is atomic like
+    /// [`MemoCache::save_to_file`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the temp file or renaming it
+    /// into place.
+    pub fn save_merged_to_file(
+        &self,
+        path: &std::path::Path,
+        mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
+        mut decode: impl FnMut(&[u8]) -> Option<(K, V)>,
+    ) -> std::io::Result<u64> {
+        let existing: Vec<(K, V)> = std::fs::read(path)
+            .ok()
+            .and_then(|bytes| Self::parse_persisted(&bytes, &mut decode))
+            .unwrap_or_default();
+        // Newest-wins, order-preserving merge: a refreshed key moves to
+        // the back (it is the newest), so capacity truncation below drops
+        // genuinely stale entries first.
+        let mut slots: Vec<Option<(K, V)>> = Vec::new();
+        let mut index: HashMap<K, usize> = HashMap::new();
+        for (k, v) in existing.into_iter().chain(self.snapshot()) {
+            if let Some(&at) = index.get(&k) {
+                slots[at] = None;
+            }
+            index.insert(k.clone(), slots.len());
+            slots.push(Some((k, v)));
+        }
+        let mut entries: Vec<(K, V)> = slots.into_iter().flatten().collect();
+        let cap = self.capacity();
+        if entries.len() > cap {
+            entries.drain(..entries.len() - cap);
+        }
+        Self::write_image_atomically(path, &Self::build_image(&entries, &mut encode))?;
         Ok(entries.len() as u64)
     }
 
@@ -218,23 +306,27 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// `decode` parses one entry's bytes back into a `(key, value)` pair,
     /// returning `None` for unrecognized layouts.
     ///
-    /// Any anomaly — missing file, bad magic, truncation, checksum
-    /// mismatch, or an entry the decoder rejects — yields a clean cold
-    /// start: `Ok(0)` with the cache left untouched. Returns the number of
-    /// entries inserted (the capacity bound still applies, so a cache
-    /// smaller than the file keeps only the newest shard-capacity's
-    /// worth).
+    /// Any anomaly in the image itself — missing file, bad magic,
+    /// truncation, checksum mismatch, or an entry the decoder rejects —
+    /// yields a clean cold start: `Ok(0)` with the cache left untouched.
+    /// Returns the number of entries inserted (the capacity bound still
+    /// applies, so a cache smaller than the file keeps only the newest
+    /// shard-capacity's worth).
     ///
     /// # Errors
-    /// Never returns `Err` in the current implementation; the signature
-    /// reserves it for callers that want to distinguish I/O failures.
+    /// Propagates I/O errors from reading an *existing* file (permission
+    /// failures, `path` being a directory, …). A file that simply does
+    /// not exist is the expected first-run case and is `Ok(0)`, not an
+    /// error.
     pub fn load_from_file(
         &self,
         path: &std::path::Path,
         mut decode: impl FnMut(&[u8]) -> Option<(K, V)>,
     ) -> std::io::Result<u64> {
-        let Ok(bytes) = std::fs::read(path) else {
-            return Ok(0);
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
         };
         let Some(entries) = Self::parse_persisted(&bytes, &mut decode) else {
             return Ok(0);
@@ -405,6 +497,120 @@ mod tests {
             assert_eq!(warm.get(&k), Some(k * 7), "key {k}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_is_never_below_the_request() {
+        // 100 / 16 rounds down to 6 shards of 96; div_ceil gives 7 * 16.
+        assert_eq!(MemoCache::<u64, u64>::new(100).capacity(), 112);
+        assert_eq!(MemoCache::<u64, u64>::new(96).capacity(), 96);
+        assert_eq!(MemoCache::<u64, u64>::new(0).capacity(), super::SHARDS);
+        for req in [1usize, 7, 16, 17, 100, 4096, 5000] {
+            assert!(
+                MemoCache::<u64, u64>::new(req).capacity() >= req,
+                "capacity({req}) reported below the request"
+            );
+        }
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("hasco-cache-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        cache.insert(1, 2);
+        cache.save_to_file(&path, encode_u64_pair).unwrap();
+        cache
+            .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+            .unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["cache.bin".to_string()], "temp files leaked");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_save_accumulates_and_newest_wins() {
+        let path = temp_path("merge");
+        std::fs::remove_file(&path).ok();
+        let first: MemoCache<u64, u64> = MemoCache::new(256);
+        first.insert(1, 10);
+        first.insert(2, 20);
+        first
+            .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+            .unwrap();
+        // A later run shares keys 2 and 3; its value for key 2 must win.
+        let second: MemoCache<u64, u64> = MemoCache::new(256);
+        second.insert(2, 22);
+        second.insert(3, 30);
+        let written = second
+            .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+            .unwrap();
+        assert_eq!(written, 3);
+        let loaded: MemoCache<u64, u64> = MemoCache::new(256);
+        assert_eq!(loaded.load_from_file(&path, decode_u64_pair).unwrap(), 3);
+        assert_eq!(loaded.get(&1), Some(10), "existing-only entry lost");
+        assert_eq!(loaded.get(&2), Some(22), "newest value must win");
+        assert_eq!(loaded.get(&3), Some(30));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merged_save_respects_the_capacity_bound_evicting_oldest() {
+        let path = temp_path("merge-cap");
+        std::fs::remove_file(&path).ok();
+        let big: MemoCache<u64, u64> = MemoCache::new(1024);
+        for k in 0..100u64 {
+            big.insert(k, k);
+        }
+        big.save_to_file(&path, encode_u64_pair).unwrap();
+        // A tiny cache merging on top keeps only its capacity's worth,
+        // and its own (newest) entries survive the truncation.
+        let small: MemoCache<u64, u64> = MemoCache::new(16);
+        small.insert(1000, 1);
+        let written = small
+            .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+            .unwrap();
+        assert_eq!(written as usize, small.capacity());
+        let loaded: MemoCache<u64, u64> = MemoCache::new(1024);
+        loaded.load_from_file(&path, decode_u64_pair).unwrap();
+        assert_eq!(loaded.get(&1000), Some(1), "fresh entry must survive");
+        assert_eq!(loaded.len(), small.capacity());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merged_save_over_a_corrupt_file_degrades_to_plain_save() {
+        let path = temp_path("merge-corrupt");
+        std::fs::write(&path, b"HASCOMC1 but then garbage").unwrap();
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        cache.insert(7, 70);
+        assert_eq!(
+            cache
+                .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+                .unwrap(),
+            1
+        );
+        let loaded: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(loaded.load_from_file(&path, decode_u64_pair).unwrap(), 1);
+        assert_eq!(loaded.get(&7), Some(70));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_propagates_real_io_errors() {
+        // A directory at the path is an I/O failure, not a cold start.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("hasco-cache-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        assert!(cache.load_from_file(&dir, decode_u64_pair).is_err());
+        assert!(cache.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

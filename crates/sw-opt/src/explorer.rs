@@ -83,7 +83,10 @@ pub struct OptimizedSoftware {
 /// ([`SoftwareExplorer::with_backend`]), defaulting to the fast analytic
 /// tier. The backend changes which schedules look good and therefore the
 /// entire exploration trajectory, so memoization layers must key results
-/// by [`SoftwareExplorer::backend_fingerprint`].
+/// by [`SoftwareExplorer::backend_fingerprint`] — and must re-read it
+/// whenever the backend's internal state can legitimately move, as the
+/// self-improving surrogate tier's fingerprint advances with every
+/// training generation.
 #[derive(Debug)]
 pub struct SoftwareExplorer {
     seed: u64,
@@ -399,6 +402,51 @@ mod tests {
             .unwrap();
         let parallel = SoftwareExplorer::new(17)
             .with_backend(accel_model::BackendKind::TraceSim.build())
+            .with_workers(runtime::WorkerPool::new(4))
+            .optimize(&wl, &c, &quick_opts())
+            .unwrap();
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(
+            serial.metrics.latency_cycles,
+            parallel.metrics.latency_cycles
+        );
+    }
+
+    #[test]
+    fn surrogate_generations_move_the_explorer_fingerprint() {
+        // The hardware DSE keys its memo cache by this fingerprint; a
+        // surrogate retraining between batches must invalidate it, or
+        // stale-generation prices would be served as fresh ones.
+        let explorer =
+            SoftwareExplorer::new(0).with_backend(accel_model::BackendKind::Surrogate.build());
+        let before = explorer.backend_fingerprint();
+        let surrogate = explorer.backend().as_surrogate().expect("surrogate tier");
+        assert!(surrogate.observe(&cfg()) > 0);
+        assert_ne!(before, explorer.backend_fingerprint());
+    }
+
+    #[test]
+    fn trained_surrogate_explorations_stay_deterministic() {
+        // Train one surrogate, then explore twice (serial and parallel):
+        // a frozen generation must price identically everywhere.
+        let wl = suites::gemm_workload("g", 256, 256, 256);
+        let c = cfg();
+        let backend = accel_model::BackendKind::Surrogate.build();
+        for (rows, kb) in [(8u32, 128u64), (16, 256), (32, 512), (8, 512), (32, 128)] {
+            let probe = AcceleratorConfig::builder(tensor_ir::intrinsics::IntrinsicKind::Gemm)
+                .pe_array(rows, rows)
+                .scratchpad_kb(kb)
+                .build()
+                .unwrap();
+            backend.as_surrogate().unwrap().observe(&probe);
+        }
+        assert!(backend.as_surrogate().unwrap().is_trusted());
+        let serial = SoftwareExplorer::new(19)
+            .with_backend(backend.clone())
+            .optimize(&wl, &c, &quick_opts())
+            .unwrap();
+        let parallel = SoftwareExplorer::new(19)
+            .with_backend(backend)
             .with_workers(runtime::WorkerPool::new(4))
             .optimize(&wl, &c, &quick_opts())
             .unwrap();

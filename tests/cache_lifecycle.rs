@@ -1,0 +1,240 @@
+//! Lifecycle properties of the persisted evaluation cache: round-trips
+//! survive arbitrary byte-level corruption without ever inventing data,
+//! merged saves accumulate newest-wins across runs, interrupted saves
+//! (simulated partial writes) never destroy a loadable file, and
+//! concurrent savers interleave into a loadable, merged image.
+
+use proptest::prelude::*;
+
+use runtime::MemoCache;
+
+fn encode(k: &u64, v: &u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&k.to_le_bytes());
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn decode(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_le_bytes(bytes[..8].try_into().ok()?),
+        u64::from_le_bytes(bytes[8..].try_into().ok()?),
+    ))
+}
+
+/// A unique temp path per (test, case) so proptest cases never collide.
+fn temp_path(tag: &str, case: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hasco-cache-lifecycle-{tag}-{}-{case}.bin",
+        std::process::id()
+    ));
+    p
+}
+
+/// What a byte-level adversary does to the image between save and load.
+#[derive(Debug, Clone)]
+enum Corruption {
+    None,
+    Truncate(usize),
+    FlipByte(usize),
+    AppendGarbage(Vec<u8>),
+}
+
+fn corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        Just(Corruption::None),
+        (0usize..4096).prop_map(Corruption::Truncate),
+        (0usize..4096).prop_map(Corruption::FlipByte),
+        prop::collection::vec(any::<u8>(), 1..64).prop_map(Corruption::AppendGarbage),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Saving then loading under arbitrary corruption either recovers
+    /// exactly the saved entries (image untouched) or degrades to a clean
+    /// cold start — it never panics and never yields a wrong value.
+    #[test]
+    fn roundtrip_survives_byte_level_corruption(
+        entries in prop::collection::btree_map(any::<u64>(), any::<u64>(), 0..40),
+        corruption in corruption(),
+        case in any::<u64>(),
+    ) {
+        let path = temp_path("roundtrip", case);
+        let cache: MemoCache<u64, u64> = MemoCache::new(256);
+        for (&k, &v) in &entries {
+            cache.insert(k, v);
+        }
+        let saved = cache.save_to_file(&path, encode).unwrap();
+        prop_assert_eq!(saved as usize, entries.len());
+
+        let mut image = std::fs::read(&path).unwrap();
+        let intact = match &corruption {
+            Corruption::None => true,
+            Corruption::Truncate(at) => {
+                let orig = image.len();
+                let at = *at % (orig + 1);
+                image.truncate(at);
+                at == orig
+            }
+            Corruption::FlipByte(at) => {
+                if image.is_empty() {
+                    true
+                } else {
+                    let at = *at % image.len();
+                    image[at] ^= 0x5a;
+                    false
+                }
+            }
+            Corruption::AppendGarbage(extra) => {
+                image.extend_from_slice(extra);
+                false
+            }
+        };
+        std::fs::write(&path, &image).unwrap();
+
+        let warm: MemoCache<u64, u64> = MemoCache::new(256);
+        let loaded = warm.load_from_file(&path, decode).unwrap();
+        if intact {
+            prop_assert_eq!(loaded as usize, entries.len());
+        } else {
+            // Anything recovered must be byte-exact; a detected anomaly
+            // must leave the cache empty.
+            prop_assert!(loaded == saved || loaded == 0, "loaded {loaded} of {saved}");
+        }
+        for (&k, &v) in &entries {
+            let got = warm.get(&k);
+            prop_assert!(got.is_none() || got == Some(v), "key {k}: wrong value");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Two runs saving through the same file accumulate: the second run's
+    /// merged save preserves the first run's distinct keys and wins on
+    /// shared ones, whatever the overlap.
+    #[test]
+    fn merged_saves_accumulate_newest_wins(
+        first in prop::collection::btree_map(0u64..64, any::<u64>(), 1..24),
+        second in prop::collection::btree_map(0u64..64, any::<u64>(), 1..24),
+        case in any::<u64>(),
+    ) {
+        let path = temp_path("merge", case);
+        std::fs::remove_file(&path).ok();
+        let a: MemoCache<u64, u64> = MemoCache::new(256);
+        for (&k, &v) in &first {
+            a.insert(k, v);
+        }
+        a.save_merged_to_file(&path, encode, decode).unwrap();
+        let b: MemoCache<u64, u64> = MemoCache::new(256);
+        for (&k, &v) in &second {
+            b.insert(k, v);
+        }
+        let written = b.save_merged_to_file(&path, encode, decode).unwrap();
+        let union: std::collections::BTreeSet<u64> =
+            first.keys().chain(second.keys()).copied().collect();
+        prop_assert_eq!(written as usize, union.len());
+
+        let warm: MemoCache<u64, u64> = MemoCache::new(256);
+        warm.load_from_file(&path, decode).unwrap();
+        for k in union {
+            let expect = second.get(&k).or_else(|| first.get(&k)).copied();
+            prop_assert_eq!(warm.get(&k), expect, "key {}", k);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An interrupted save — simulated as a partial prefix of the next
+    /// image landing at the path, the worst a non-atomic writer could do
+    /// — still leaves every later reader and merger functional: loads are
+    /// clean cold starts, and a merged save on top produces a loadable
+    /// file with the fresh entries.
+    #[test]
+    fn interrupted_saves_never_poison_the_file(
+        entries in prop::collection::btree_map(any::<u64>(), any::<u64>(), 1..24),
+        cut in 0usize..2048,
+        case in any::<u64>(),
+    ) {
+        let path = temp_path("interrupt", case);
+        let writer: MemoCache<u64, u64> = MemoCache::new(256);
+        for (&k, &v) in &entries {
+            writer.insert(k, v);
+        }
+        writer.save_to_file(&path, encode).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let cut = cut % full.len();
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let survivor: MemoCache<u64, u64> = MemoCache::new(256);
+        survivor.insert(u64::MAX, 1);
+        let written = survivor.save_merged_to_file(&path, encode, decode).unwrap();
+        prop_assert!(written >= 1);
+        let warm: MemoCache<u64, u64> = MemoCache::new(256);
+        prop_assert_eq!(warm.load_from_file(&path, decode).unwrap(), written);
+        prop_assert_eq!(warm.get(&u64::MAX), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Two caches saving concurrently into one file interleave into a
+/// loadable, merged image: no torn writes, no stale temp files, and the
+/// final file contains at least the last writer's entries with every
+/// surviving value attributable to one of the writers.
+#[test]
+fn concurrent_merged_saves_leave_a_loadable_file() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("hasco-cache-concurrent-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shared.bin");
+    std::fs::remove_file(&path).ok();
+
+    const WRITERS: u64 = 4;
+    const ROUNDS: usize = 12;
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let path = path.clone();
+            s.spawn(move || {
+                let cache: MemoCache<u64, u64> = MemoCache::new(512);
+                for i in 0..16u64 {
+                    // Writer-distinct keys plus a contended shared range;
+                    // values encode the writer so merges stay checkable.
+                    cache.insert((w + 1) * 1000 + i, w);
+                    cache.insert(i, w);
+                }
+                for _ in 0..ROUNDS {
+                    cache.save_merged_to_file(&path, encode, decode).unwrap();
+                }
+            });
+        }
+    });
+
+    // The final image parses, and every entry traces back to a writer.
+    let warm: MemoCache<u64, u64> = MemoCache::new(4096);
+    let loaded = warm.load_from_file(&path, decode).unwrap();
+    assert!(
+        loaded >= 32,
+        "final image lost even the last writer: {loaded}"
+    );
+    for w in 0..WRITERS {
+        for i in 0..16u64 {
+            if let Some(v) = warm.get(&((w + 1) * 1000 + i)) {
+                assert_eq!(v, w, "writer-distinct key {} corrupted", (w + 1) * 1000 + i);
+            }
+        }
+    }
+    for i in 0..16u64 {
+        if let Some(v) = warm.get(&i) {
+            assert!(v < WRITERS, "shared key {i} has impossible value {v}");
+        }
+    }
+    // No temp-file litter even under contention.
+    let stray: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "shared.bin")
+        .collect();
+    assert!(stray.is_empty(), "temp files leaked: {stray:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

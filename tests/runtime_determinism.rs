@@ -131,6 +131,83 @@ fn fidelity_staged_runs_are_thread_count_independent() {
 }
 
 #[test]
+fn adaptive_topk_trajectories_are_identical_across_threads_and_stealing() {
+    // The adaptive controller resizes the refine budget from screen-vs-
+    // refine rank disagreement; that evidence — and therefore the whole
+    // top-k trajectory, the Pareto front, and the solution — must be a
+    // pure function of batch content at 1, 2, and 8 threads, with and
+    // without work-stealing.
+    let input = mixed_input(2);
+    let opts = |threads: usize, stealing: bool| {
+        CoDesignOptions::quick(29)
+            .with_adaptive_refinement(accel_model::BackendKind::TraceSim, 3)
+            .with_threads(threads)
+            .with_work_stealing(stealing)
+    };
+    let reference = CoDesigner::new(opts(1, false)).run(&input).unwrap();
+    assert!(
+        !reference.stats.refine_topk_trajectory.is_empty(),
+        "adaptive runs must record a top-k trajectory"
+    );
+    assert!(reference.stats.refine_explorations > 0);
+    for (threads, stealing) in [(2, true), (8, true), (8, false)] {
+        let solution = CoDesigner::new(opts(threads, stealing))
+            .run(&input)
+            .unwrap();
+        assert_eq!(
+            reference.stats.refine_topk_trajectory, solution.stats.refine_topk_trajectory,
+            "trajectory diverged at threads={threads} stealing={stealing}"
+        );
+        assert_eq!(
+            reference.hw_history, solution.hw_history,
+            "threads={threads} stealing={stealing}"
+        );
+        assert_eq!(
+            reference.hw_history.pareto_front(),
+            solution.hw_history.pareto_front(),
+            "Pareto front diverged at threads={threads} stealing={stealing}"
+        );
+        assert_eq!(reference.accelerator, solution.accelerator);
+        assert_eq!(
+            reference.total.latency_cycles,
+            solution.total.latency_cycles
+        );
+        assert_eq!(
+            reference.stats.refine_explorations,
+            solution.stats.refine_explorations
+        );
+    }
+}
+
+#[test]
+fn surrogate_screen_tier_is_thread_count_independent() {
+    // The surrogate trains between batches (serially, in batch order);
+    // its training trajectory — and everything priced through it — must
+    // not depend on worker count.
+    let input = mixed_input(2);
+    let opts = |threads: usize| {
+        CoDesignOptions::quick(31)
+            .with_backend(accel_model::BackendKind::Surrogate)
+            .with_adaptive_refinement(accel_model::BackendKind::TraceSim, 2)
+            .with_threads(threads)
+    };
+    let serial = CoDesigner::new(opts(1)).run(&input).unwrap();
+    let parallel = CoDesigner::new(opts(4)).run(&input).unwrap();
+    assert!(serial.stats.surrogate_samples > 0);
+    assert_eq!(
+        serial.stats.surrogate_samples,
+        parallel.stats.surrogate_samples
+    );
+    assert_eq!(
+        serial.stats.surrogate_trusted,
+        parallel.stats.surrogate_trusted
+    );
+    assert_eq!(serial.hw_history, parallel.hw_history);
+    assert_eq!(serial.accelerator, parallel.accelerator);
+    assert_eq!(serial.total.latency_cycles, parallel.total.latency_cycles);
+}
+
+#[test]
 fn memo_cache_deduplicates_equivalent_workloads() {
     // Two workloads with identical loop nests (names differ — names are
     // reporting-only) share evaluation fingerprints, so every design

@@ -57,3 +57,49 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
         size: size.into(),
     }
 }
+
+/// Strategy for `BTreeMap<K::Value, V::Value>` with a sampled entry
+/// count. Duplicate sampled keys collapse (last wins), exactly as in
+/// real proptest, so the map may come out smaller than the drawn length.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len)
+            .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+            .collect()
+    }
+}
+
+/// Builds a [`BTreeMapStrategy`]: `btree_map(any::<u64>(), 0u64..9, 1..20)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}

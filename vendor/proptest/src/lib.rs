@@ -3,8 +3,11 @@
 //!
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
-//! * [`Strategy`] implemented for integer/float ranges;
-//! * `prop::collection::vec(strategy, len)` with a fixed or ranged length;
+//! * [`Strategy`] implemented for integer/float ranges, plus
+//!   [`Strategy::prop_map`], [`any`], and the [`prop_oneof!`] union;
+//! * `prop::collection::vec(strategy, len)` and
+//!   `prop::collection::btree_map(key, value, len)` with fixed or ranged
+//!   lengths;
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Cases are straight random samples — there is no shrinking. The RNG seed
@@ -57,6 +60,105 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`prop_map` in real proptest).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Whole-domain strategy (`any::<T>()` in real proptest).
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Builds an [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+any_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! any_int_strategy {
+    ($($t:ty as $u:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                (rng.gen::<u64>() as $u) as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut SmallRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+/// A uniform choice between boxed strategies (the [`prop_oneof!`]
+/// backing type; real proptest also supports weights, which the
+/// workspace does not use).
+pub struct Union<V> {
+    branches: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps the branch list (must be non-empty).
+    pub fn new(branches: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one arm");
+        Union { branches }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut SmallRng) -> V {
+        let pick = rng.gen_range(0..self.branches.len());
+        self.branches[pick].sample(rng)
+    }
+}
+
+/// Uniformly picks one of several strategies per sample (the unweighted
+/// subset of real proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($branch) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
 }
 
 macro_rules! int_strategy {
@@ -111,8 +213,8 @@ pub fn seed_for(test_name: &str) -> u64 {
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Any, Just, ProptestConfig, Strategy, TestCaseError, Union};
 }
 
 /// Asserts a condition inside a property, failing the case (not panicking

@@ -518,6 +518,36 @@ impl SurrogateBackend {
         self.state.read().expect("surrogate poisoned").generation
     }
 
+    /// Clones the full learning state into an independent surrogate that
+    /// shares the wrapped expensive tier. A resident engine forks its
+    /// registered per-technology surrogate for every job it admits, so
+    /// concurrent jobs train in isolation (each job's trajectory stays a
+    /// pure function of its own batches) while sequential jobs inherit
+    /// everything learned so far. The fork's fingerprint equals the
+    /// parent's at fork time — same training-content digest — so memo
+    /// entries priced by the parent's current generation remain valid for
+    /// the fork until it trains further.
+    pub fn fork(&self) -> SurrogateBackend {
+        let state = self.state.read().expect("surrogate poisoned");
+        SurrogateBackend {
+            model: self.model.clone(),
+            inner: Arc::clone(&self.inner),
+            min_train: self.min_train,
+            max_train: self.max_train,
+            trust_threshold: self.trust_threshold,
+            state: RwLock::new(SurrogateState {
+                xs: state.xs.clone(),
+                ys: state.ys.clone(),
+                observed: state.observed.clone(),
+                gp: state.gp.clone(),
+                cv_error: state.cv_error,
+                trusted: state.trusted,
+                generation: state.generation,
+                digest: state.digest,
+            }),
+        }
+    }
+
     /// Normalized feature vector of one `(config, plan)` evaluation: the
     /// hardware scale, the plan's work and traffic volumes (log-scaled),
     /// its pipeline shape, and the analytic compute-vs-DMA regime.

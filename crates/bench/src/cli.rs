@@ -17,6 +17,9 @@
 //!   `TechParams` profiles as an extra scenario axis (fig10, table3);
 //! * `--cache FILE` — persist the evaluation cache at `FILE` so repeated
 //!   runs start warm (shared files merge newest-wins across runs);
+//! * `--cache-max-age SECS` — age-based GC for the shared cache file:
+//!   entries no run refreshed within `SECS` seconds are dropped at save
+//!   time, so long-lived files stop growing without bound;
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
@@ -50,7 +53,7 @@ fn usage(bin: &str, artifact: &str) -> String {
     format!(
         "Regenerates the paper's {artifact}.\n\n\
          USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K|auto]\n\
-         \x20      [--adaptive] [--tech-sweep] [--cache FILE]\n\n\
+         \x20      [--adaptive] [--tech-sweep] [--cache FILE] [--cache-max-age SECS]\n\n\
          OPTIONS:\n\
          \x20   --quick           reduced budgets/workload subsets (CI-sized)\n\
          \x20   --paper           paper-sized trial budgets (default)\n\
@@ -70,6 +73,8 @@ fn usage(bin: &str, artifact: &str) -> String {
          \x20   --cache FILE      persist the hardware-DSE evaluation cache at FILE so\n\
          \x20                     repeat runs start warm; shared files merge newest-wins\n\
          \x20                     (fig10, table2, table3)\n\
+         \x20   --cache-max-age SECS  drop cache entries older than SECS seconds when\n\
+         \x20                     saving, so long-lived shared files are GC'd\n\
          \x20   --help            this message"
     )
 }
@@ -121,6 +126,10 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
                 Some(path) => common::set_cache_path(path.into()),
                 None => bail(bin, artifact, "--cache expects a file path"),
             },
+            "--cache-max-age" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) => common::set_cache_max_age(std::time::Duration::from_secs(secs)),
+                None => bail(bin, artifact, "--cache-max-age expects seconds"),
+            },
             "--help" | "-h" => {
                 println!("{}", usage(bin, artifact));
                 std::process::exit(0);
@@ -139,6 +148,18 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
     // `--adaptive` / `--refine-top-k auto` was given.
     if adaptive && refine_top_k == 0 {
         refine_top_k = 4;
+    }
+    // Catch degenerate staging at the CLI, with the same rules
+    // `CoDesignOptions::validate` enforces at submit: refining with the
+    // tier that already screened is a no-op that costs sim time.
+    if refine_top_k > 0 && backend == BackendKind::TraceSim {
+        bail(
+            bin,
+            artifact,
+            "--refine-top-k with --backend sim is degenerate: the refine tier (sim) \
+             would re-price what the screen tier (sim) already priced; screen with a \
+             cheaper backend or drop --refine-top-k",
+        );
     }
     common::set_threads(threads);
     common::set_backend(backend);

@@ -4,10 +4,12 @@
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 use accel_model::arch::{AcceleratorConfig, PeArray};
 use accel_model::{BackendKind, Metrics};
-use hasco::codesign::HwProblem;
+use hasco::codesign::{CoDesignOptions, HwProblem};
+use hasco::engine::{Engine, EngineConfig};
 use runtime::{resolve_threads, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use sw_opt::SwError;
@@ -37,6 +39,9 @@ static TECH_SWEEP: OnceLock<bool> = OnceLock::new();
 
 /// Persistent evaluation-cache path (None = in-memory only).
 static CACHE_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// Age-based GC bound for the persistent cache (None = keep everything).
+static CACHE_MAX_AGE: OnceLock<Option<Duration>> = OnceLock::new();
 
 /// Installs the experiment thread count (first caller wins).
 pub fn set_threads(threads: usize) {
@@ -108,6 +113,63 @@ pub fn cache_path() -> Option<PathBuf> {
     CACHE_PATH.get_or_init(|| None).clone()
 }
 
+/// Installs the cache max-age GC bound (first caller wins).
+pub fn set_cache_max_age(max_age: Duration) {
+    let _ = CACHE_MAX_AGE.set(Some(max_age));
+}
+
+/// The configured cache max-age GC bound, if any.
+pub fn cache_max_age() -> Option<Duration> {
+    *CACHE_MAX_AGE.get_or_init(|| None)
+}
+
+/// The resident co-design engine for this experiment process, built from
+/// the CLI flags: two concurrent job slots, the `--cache` file as the
+/// shared store image, and `--cache-max-age` as its GC bound. Campaign
+/// results never depend on slot count or job interleaving — only
+/// wall-clock time and cache statistics do.
+pub fn engine() -> Engine {
+    let mut config = EngineConfig::default().with_job_slots(2);
+    if let Some(path) = cache_path() {
+        config = config.with_cache_path(path);
+    }
+    if let Some(max_age) = cache_max_age() {
+        config = config.with_cache_max_age(max_age);
+    }
+    Engine::new(config)
+}
+
+/// The one code path mapping CLI flags onto co-design options: every
+/// bench co-design run — table3 cells, fig10 tech-sweep campaigns —
+/// builds its request here, so `--threads`, `--backend`,
+/// `--refine-top-k`, `--adaptive`, and the technology axis apply
+/// uniformly (and invalid combinations fail [`CoDesignOptions::validate`]
+/// once, at submit, instead of degenerating differently per binary).
+/// The engine owns cache persistence, so no `cache_path` is set here.
+pub fn codesign_options_at(
+    scale: Scale,
+    seed: u64,
+    tech: &accel_model::tech::TechParams,
+) -> CoDesignOptions {
+    let opts = match scale {
+        Scale::Quick => CoDesignOptions::quick(seed),
+        Scale::Paper => {
+            let mut o = CoDesignOptions::paper(seed);
+            o.hw_trials = 20; // "20 co-design iterations"
+            o
+        }
+    };
+    let opts = opts
+        .with_threads(threads())
+        .with_backend(backend())
+        .with_tech(tech.clone());
+    if adaptive() {
+        opts.with_adaptive_refinement(accel_model::BackendKind::TraceSim, refine_top_k())
+    } else {
+        opts.with_refinement(accel_model::BackendKind::TraceSim, refine_top_k())
+    }
+}
+
 /// A worker pool sized by the configured thread count.
 pub fn workers() -> WorkerPool {
     WorkerPool::new(resolve_threads(threads()))
@@ -159,10 +221,12 @@ pub fn configure_problem_at<'a>(
 /// backend (with tech constants and training generation) + config — and
 /// saves merge newest-wins into the existing file, so load→run→save
 /// cycles against one shared file accumulate entries across problems,
-/// processes, and bench binaries instead of thrashing.
+/// processes, and bench binaries instead of thrashing. `--cache-max-age`
+/// applies here exactly as it does to engine persistence, so every
+/// binary's saves GC the shared file.
 pub fn save_problem_cache(problem: &HwProblem<'_>) {
     if let Some(path) = cache_path() {
-        let _ = problem.save_cache(&path);
+        let _ = problem.save_cache_with_max_age(&path, cache_max_age());
     }
 }
 

@@ -10,10 +10,12 @@ use dse::nsga2::Nsga2;
 use dse::problem::OptimizerResult;
 use dse::random::RandomSearch;
 use dse::Optimizer;
-use hasco::codesign::HwProblem;
+use hasco::codesign::{HwProblem, OptimizerKind};
+use hasco::engine::CoDesignRequest;
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
 use hw_gen::GemminiGenerator;
 use tensor_ir::suites;
-use tensor_ir::workload::Workload;
+use tensor_ir::workload::{TensorApp, Workload};
 
 use crate::common::{subsample, sw_inner_opts};
 use crate::Scale;
@@ -109,32 +111,51 @@ pub fn run(scale: Scale) -> Fig10 {
     let mobo = curves.iter().find(|c| c.name == "mobo").unwrap();
     let mobo_crossover_trial = mobo.hv.iter().position(|&v| v >= nsga_final).map(|i| i + 1);
 
-    // `--tech-sweep`: rerun the staged MOBO-vs-random comparison once per
-    // technology profile. Each node is priced by backends built with its
-    // own TechParams (the backend fingerprints differ, so a shared cache
-    // keeps the nodes apart).
+    // `--tech-sweep`: rerun the staged MOBO-vs-random comparison once
+    // per technology profile — as campaign jobs on one resident engine.
+    // Each node's two runs (MOBO and random search drive the identical
+    // co-design pipeline via `CoDesignOptions::optimizer`) are priced by
+    // backends built with its own TechParams, so the shared store keeps
+    // the nodes apart while the engine amortizes pool and cache setup
+    // across the whole sweep.
     let mut tech_sweep = Vec::new();
     if crate::common::tech_sweep() {
-        for (tech_name, tech) in crate::common::tech_profiles() {
-            let run_at = |optimizer: &mut dyn Optimizer| -> OptimizerResult {
-                let mut problem = crate::common::configure_problem_at(
-                    HwProblem::new(&generator, &workloads, sw.clone(), 10),
-                    &tech,
+        let engine = crate::common::engine();
+        let profiles = crate::common::tech_profiles();
+        let mut requests = Vec::new();
+        for (tech_name, tech) in &profiles {
+            for kind in [OptimizerKind::Mobo, OptimizerKind::Random] {
+                let mut opts = crate::common::codesign_options_at(scale, 10, tech);
+                opts.hw_trials = trials;
+                opts.mobo_prior = (trials / 3).clamp(3, 10);
+                opts.sw_inner = sw.clone();
+                // Histories are the product here; keep the final software
+                // pass as cheap as the inner one.
+                opts.sw_final = sw.clone();
+                opts.tuning_rounds = 0;
+                opts.optimizer = kind;
+                let input = InputDescription {
+                    app: TensorApp::new("resnet", workloads.clone()),
+                    method: GenerationMethod::Gemmini,
+                    constraints: Constraints::default(),
+                };
+                requests.push(
+                    CoDesignRequest::new(input, opts).with_label(format!("{tech_name}/{kind}")),
                 );
-                let history = optimizer.run(&mut problem, trials);
-                crate::common::save_problem_cache(&problem);
-                history
-            };
-            let mobo_h = run_at(&mut Mobo::new(10).with_prior_samples((trials / 3).clamp(3, 10)));
-            let rand_h = run_at(&mut RandomSearch::new(10));
-            let node_reference = self::reference(&[&mobo_h, &rand_h]);
+            }
+        }
+        let outcomes = engine.campaign(requests).expect("tech-sweep jobs succeed");
+        let _ = engine.persist();
+        for (pair, (tech_name, _)) in outcomes.chunks(2).zip(&profiles) {
+            let (mobo_h, rand_h) = (&pair[0].solution.hw_history, &pair[1].solution.hw_history);
+            let node_reference = self::reference(&[mobo_h, rand_h]);
             let final_hv = |h: &OptimizerResult| {
                 h.hypervolume_history(&node_reference)
                     .last()
                     .copied()
                     .unwrap_or(0.0)
             };
-            let ratio = final_hv(&mobo_h) / final_hv(&rand_h).max(1e-300);
+            let ratio = final_hv(mobo_h) / final_hv(rand_h).max(1e-300);
             tech_sweep.push((tech_name.to_string(), ratio));
         }
     }

@@ -13,7 +13,7 @@
 //! a further ~1.4X over GEMMCore, and HLS loses 1.6–2.2X to ConvCore.
 
 use baselines::{AutoTvm, HlsCore};
-use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::engine::CoDesignRequest;
 use hasco::input::{Constraints, GenerationMethod, InputDescription};
 use hasco::report::{speedup, Table};
 use hw_gen::GemminiGenerator;
@@ -72,40 +72,12 @@ fn summarize(cfg: &accel_model::AcceleratorConfig, latency_ms: f64) -> SystemRes
     }
 }
 
-fn codesign_opts(scale: Scale, seed: u64, tech: &accel_model::tech::TechParams) -> CoDesignOptions {
-    let opts = match scale {
-        Scale::Quick => CoDesignOptions::quick(seed),
-        Scale::Paper => {
-            let mut o = CoDesignOptions::paper(seed);
-            o.hw_trials = 20; // "20 co-design iterations"
-            o
-        }
-    };
-    let opts = opts
-        .with_threads(crate::common::threads())
-        .with_backend(crate::common::backend())
-        .with_tech(tech.clone());
-    let opts = if crate::common::adaptive() {
-        opts.with_adaptive_refinement(
-            accel_model::BackendKind::TraceSim,
-            crate::common::refine_top_k(),
-        )
-    } else {
-        opts.with_refinement(
-            accel_model::BackendKind::TraceSim,
-            crate::common::refine_top_k(),
-        )
-    };
-    match crate::common::cache_path() {
-        // Every co-design run shares the one file: saves merge
-        // newest-wins (and memo keys carry backend + tech + seed), so
-        // runs accumulate warmth instead of overwriting each other.
-        Some(path) => opts.with_cache_path(path),
-        None => opts,
-    }
-}
-
-/// Runs the study.
+/// Runs the study. The co-design cells — two per (scenario, tech, CNN)
+/// row — fan out as one campaign on a resident engine: every cell shares
+/// the engine's memo store, so the edge and cloud scenarios (identical
+/// evaluations, different constraints) and repeat runs against a
+/// `--cache` file deduplicate their software explorations instead of
+/// recomputing them.
 pub fn run(scale: Scale) -> Table3 {
     let layers = match scale {
         Scale::Quick => 3,
@@ -126,7 +98,19 @@ pub fn run(scale: Scale) -> Table3 {
     let profiles = crate::common::tech_profiles();
     // (name, power cap mW, cloud?)
     let scenarios = [("edge", 2_000.0, false), ("cloud", 20_000.0, true)];
-    let mut rows = Vec::new();
+
+    // Pass 1: build the campaign matrix — two co-design requests per
+    // row — and remember each row's local context for assembly.
+    struct RowCtx<'a> {
+        scenario: &'a str,
+        tech_name: String,
+        tech: accel_model::tech::TechParams,
+        app_name: &'a str,
+        workloads: &'a [Workload],
+        cloud: bool,
+    }
+    let mut rows_ctx: Vec<RowCtx> = Vec::new();
+    let mut requests: Vec<CoDesignRequest> = Vec::new();
     for (scenario, power_cap, cloud) in scenarios {
         for (tech_name, tech) in &profiles {
             for (app_name, workloads) in &apps {
@@ -135,56 +119,74 @@ pub fn run(scale: Scale) -> Table3 {
                     max_power_mw: Some(power_cap),
                     ..Constraints::default()
                 };
-
-                // Baseline: default accelerator + AutoTVM software,
-                // priced at this row's technology node so per-row
-                // speedups compare systems at one node.
-                let base_cfg = GemminiGenerator::baseline(cloud);
-                let tvm = AutoTvm::new(3).with_model(accel_model::CostModel::new(tech.clone()));
-                let mut parts = Vec::new();
-                for w in workloads {
-                    parts.push(
-                        tvm.best_metrics(w, &base_cfg)
-                            .expect("baseline maps layers"),
+                let opts = crate::common::codesign_options_at(scale, 3, tech);
+                for (system, method) in [
+                    ("gemm", GenerationMethod::Gemmini),
+                    ("conv", GenerationMethod::Chisel(IntrinsicKind::Conv2d)),
+                ] {
+                    let input = InputDescription {
+                        app: app.clone(),
+                        method,
+                        constraints,
+                    };
+                    requests.push(
+                        CoDesignRequest::new(input, opts.clone())
+                            .with_label(format!("{scenario}/{tech_name}/{app_name}/{system}")),
                     );
                 }
-                let base_m = accel_model::Metrics::sequential(&parts);
-
-                // HASCO-GEMMCore co-design.
-                let designer = CoDesigner::new(codesign_opts(scale, 3, tech));
-                let input = InputDescription {
-                    app: app.clone(),
-                    method: GenerationMethod::Gemmini,
-                    constraints,
-                };
-                let gemm_sol = designer.run(&input).expect("gemm co-design succeeds");
-
-                // HASCO-ConvCore co-design.
-                let designer = CoDesigner::new(codesign_opts(scale, 3, tech));
-                let input = InputDescription {
-                    app: app.clone(),
-                    method: GenerationMethod::Chisel(IntrinsicKind::Conv2d),
-                    constraints,
-                };
-                let conv_sol = designer.run(&input).expect("conv co-design succeeds");
-
-                // HLS-Core on the ConvCore hardware, at the same node.
-                let hls = HlsCore::synthesize(workloads, &conv_sol.accelerator)
-                    .expect("hls synthesis succeeds")
-                    .with_model(accel_model::CostModel::new(tech.clone()));
-                let hls_m = hls.run_app(workloads).expect("hls runs the app");
-
-                rows.push(Row {
-                    scenario: scenario.to_string(),
-                    tech: tech_name.to_string(),
-                    app: app_name.to_string(),
-                    baseline: summarize(&base_cfg, base_m.latency_ms),
-                    hasco_gemm: summarize(&gemm_sol.accelerator, gemm_sol.total.latency_ms),
-                    hasco_conv: summarize(&conv_sol.accelerator, conv_sol.total.latency_ms),
-                    hls: summarize(&conv_sol.accelerator, hls_m.latency_ms),
+                rows_ctx.push(RowCtx {
+                    scenario,
+                    tech_name: tech_name.to_string(),
+                    tech: tech.clone(),
+                    app_name,
+                    workloads,
+                    cloud,
                 });
             }
         }
+    }
+
+    // Pass 2: one campaign on one engine. Waves share the store, so the
+    // cloud rows start warm from the edge rows' evaluations.
+    let engine = crate::common::engine();
+    let outcomes = engine.campaign(requests).expect("co-design cells succeed");
+    let _ = engine.persist();
+
+    // Pass 3: assemble rows — baseline and HLS are priced inline (they
+    // are fixed designs, not co-design runs).
+    let mut rows = Vec::new();
+    for (ctx, pair) in rows_ctx.iter().zip(outcomes.chunks(2)) {
+        let (gemm_sol, conv_sol) = (&pair[0].solution, &pair[1].solution);
+
+        // Baseline: default accelerator + AutoTVM software, priced at
+        // this row's technology node so per-row speedups compare systems
+        // at one node.
+        let base_cfg = GemminiGenerator::baseline(ctx.cloud);
+        let tvm = AutoTvm::new(3).with_model(accel_model::CostModel::new(ctx.tech.clone()));
+        let mut parts = Vec::new();
+        for w in ctx.workloads {
+            parts.push(
+                tvm.best_metrics(w, &base_cfg)
+                    .expect("baseline maps layers"),
+            );
+        }
+        let base_m = accel_model::Metrics::sequential(&parts);
+
+        // HLS-Core on the ConvCore hardware, at the same node.
+        let hls = HlsCore::synthesize(ctx.workloads, &conv_sol.accelerator)
+            .expect("hls synthesis succeeds")
+            .with_model(accel_model::CostModel::new(ctx.tech.clone()));
+        let hls_m = hls.run_app(ctx.workloads).expect("hls runs the app");
+
+        rows.push(Row {
+            scenario: ctx.scenario.to_string(),
+            tech: ctx.tech_name.clone(),
+            app: ctx.app_name.to_string(),
+            baseline: summarize(&base_cfg, base_m.latency_ms),
+            hasco_gemm: summarize(&gemm_sol.accelerator, gemm_sol.total.latency_ms),
+            hasco_conv: summarize(&conv_sol.accelerator, conv_sol.total.latency_ms),
+            hls: summarize(&conv_sol.accelerator, hls_m.latency_ms),
+        });
     }
     Table3 { rows }
 }

@@ -11,26 +11,80 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use accel_model::arch::AcceleratorConfig;
 use accel_model::tech::TechParams;
 use accel_model::{BackendKind, CostBackend, Metrics};
+use dse::anneal::Annealer;
 use dse::mobo::Mobo;
+use dse::nsga2::Nsga2;
 use dse::problem::{Point, Problem, SearchSpace};
+use dse::progress::{BatchUpdate, Progress};
+use dse::random::RandomSearch;
 use dse::staged::AdaptiveTopK;
 use dse::Optimizer;
 use hw_gen::space::Generator;
 use hw_gen::{ChiselGenerator, GemminiGenerator};
 use runtime::{resolve_threads, Fingerprinter, MemoCache, StableFingerprint, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
+use tensor_ir::intrinsics::IntrinsicKind;
 use tensor_ir::workload::Workload;
 
+use crate::engine::{CoDesignRequest, Engine, EngineConfig};
+use crate::event::{EventSink, RunEvent};
 use crate::input::{GenerationMethod, InputDescription};
+use crate::partition::partition_app;
 use crate::report::RunStats;
 use crate::solution::{Solution, WorkloadSolution};
 use crate::tuning;
 use crate::HascoError;
+
+/// The hardware-DSE optimizer a run drives (the paper's flow uses MOBO;
+/// the baselines exist so convergence studies — Fig. 10 — can run the
+/// exact co-design pipeline under every method).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum OptimizerKind {
+    /// Multi-objective Bayesian optimization (the paper's method).
+    #[default]
+    Mobo,
+    /// The NSGA-II genetic baseline.
+    Nsga2,
+    /// The random-search baseline.
+    Random,
+    /// The simulated-annealing baseline.
+    Anneal,
+}
+
+impl OptimizerKind {
+    /// Builds the optimizer. `prior` is MOBO's prior-sample count
+    /// (ignored by the baselines).
+    pub fn build(self, seed: u64, prior: usize) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Mobo => Box::new(Mobo::new(seed).with_prior_samples(prior)),
+            OptimizerKind::Nsga2 => Box::new(Nsga2::new(seed)),
+            OptimizerKind::Random => Box::new(RandomSearch::new(seed)),
+            OptimizerKind::Anneal => Box::new(Annealer::new(seed)),
+        }
+    }
+
+    /// Short stable identifier (also used in request fingerprints).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OptimizerKind::Mobo => "mobo",
+            OptimizerKind::Nsga2 => "nsga2",
+            OptimizerKind::Random => "random",
+            OptimizerKind::Anneal => "anneal",
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
 
 /// Knobs of one co-design run.
 #[derive(Debug, Clone)]
@@ -87,6 +141,9 @@ pub struct CoDesignOptions {
     /// whatever the file already holds, so runs sharing a cache file
     /// accumulate warmth. `None` keeps the cache in-memory only.
     pub cache_path: Option<PathBuf>,
+    /// The hardware-DSE optimizer (MOBO by default; the baselines let
+    /// convergence studies drive the whole pipeline under every method).
+    pub optimizer: OptimizerKind,
 }
 
 impl CoDesignOptions {
@@ -113,6 +170,7 @@ impl CoDesignOptions {
             adaptive_refinement: false,
             tech: TechParams::default(),
             cache_path: None,
+            optimizer: OptimizerKind::Mobo,
         }
     }
 
@@ -144,6 +202,7 @@ impl CoDesignOptions {
             adaptive_refinement: false,
             tech: TechParams::default(),
             cache_path: None,
+            optimizer: OptimizerKind::Mobo,
         }
     }
 
@@ -198,6 +257,62 @@ impl CoDesignOptions {
     pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(path.into());
         self
+    }
+
+    /// Selects the hardware-DSE optimizer.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Rejects option combinations that would silently degenerate instead
+    /// of doing what they look like they do. Called by
+    /// [`Engine::submit`](crate::engine::Engine::submit) and
+    /// [`CoDesigner::run`], so every entry point fails fast with a clear
+    /// [`HascoError::InvalidOptions`] rather than running a misconfigured
+    /// study to completion.
+    ///
+    /// # Errors
+    /// Returns [`HascoError::InvalidOptions`] when:
+    /// * the trial budget or the software-exploration pools are zero;
+    /// * fidelity staging is on but the refine tier equals the screen
+    ///   tier (the "refinement" would re-price with the same backend);
+    /// * the refine tier is the surrogate (it *trains from* the refine
+    ///   tier — wrapping it around itself is self-referential);
+    /// * adaptive staging is requested with a zero initial budget (the
+    ///   controller could never refine, so it could never observe
+    ///   disagreement and grow).
+    pub fn validate(&self) -> Result<(), HascoError> {
+        let invalid = |msg: &str| Err(HascoError::InvalidOptions(msg.into()));
+        if self.hw_trials == 0 {
+            return invalid("hw_trials must be at least 1");
+        }
+        if self.sw_inner.pool == 0 || self.sw_final.pool == 0 {
+            return invalid("software exploration pools must be non-empty");
+        }
+        let staging = self.refine_top_k > 0;
+        if staging && self.refine_backend == self.backend {
+            return invalid(
+                "refine tier equals the screen tier — staging would re-price every survivor \
+                 with the backend that already screened it; pick a higher-fidelity \
+                 refine_backend or disable staging (refine_top_k = 0)",
+            );
+        }
+        if staging && self.refine_backend == BackendKind::Surrogate {
+            return invalid(
+                "the surrogate cannot be the refine tier — it trains from refine-tier \
+                 observations, so wrapping it around itself is self-referential; use sim \
+                 or calibrated as the refine backend",
+            );
+        }
+        if self.adaptive_refinement && self.refine_top_k == 0 {
+            return invalid(
+                "adaptive staging needs a nonzero initial refine_top_k — with a zero budget \
+                 the controller never refines, so it can never observe disagreement and \
+                 grow",
+            );
+        }
+        Ok(())
     }
 }
 
@@ -272,6 +387,11 @@ pub struct HwProblem<'a> {
     sw_requests: usize,
     /// (design point, workload) evaluations re-run at high fidelity.
     refine_requests: usize,
+    /// Staged batches processed (the `Refined` event sequence number).
+    staged_batches: usize,
+    /// Progress-event sink (disabled by default; the engine installs a
+    /// live one per job).
+    events: EventSink,
     /// Evaluated (point, metrics) pairs for later reuse.
     pub evaluated: Vec<(Point, Metrics)>,
 }
@@ -305,6 +425,8 @@ impl<'a> HwProblem<'a> {
             refine: None,
             sw_requests: 0,
             refine_requests: 0,
+            staged_batches: 0,
+            events: EventSink::disabled(),
             evaluated: Vec::new(),
         }
     }
@@ -411,6 +533,32 @@ impl<'a> HwProblem<'a> {
         }
     }
 
+    /// Streams staging progress ([`RunEvent::Refined`]) to the given
+    /// sink. Events are emitted from the thread driving
+    /// [`Problem::evaluate_batch`] — never from workers — so the stream
+    /// is identical at any thread count.
+    pub fn with_events(mut self, events: EventSink) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Seeds the memoizing evaluation cache with entries from a shared
+    /// store (the engine's cross-request warm state), preserving each
+    /// entry's age. Warm entries only skip recomputation — memoized
+    /// evaluations are pure, so seeding changes cache statistics, never
+    /// results.
+    pub(crate) fn seed_memo(&self, entries: &[((u64, u64), Option<Metrics>, u64)]) {
+        for (key, value, stamp) in entries {
+            self.memo.insert_stamped(*key, *value, *stamp);
+        }
+    }
+
+    /// Snapshot of the memo cache with entry ages — what a job publishes
+    /// back into the engine's shared store on completion.
+    pub(crate) fn memo_snapshot(&self) -> Vec<((u64, u64), Option<Metrics>, u64)> {
+        self.memo.snapshot_stamped()
+    }
+
     /// Counters of the memoizing evaluation cache.
     pub fn cache_stats(&self) -> runtime::CacheStats {
         self.memo.stats()
@@ -439,11 +587,29 @@ impl<'a> HwProblem<'a> {
     /// # Errors
     /// Propagates I/O errors from writing the file.
     pub fn save_cache(&self, path: &std::path::Path) -> std::io::Result<u64> {
-        self.memo
-            .save_merged_to_file(path, Self::encode_cache_entry, Self::decode_cache_entry)
+        self.save_cache_with_max_age(path, None)
     }
 
-    fn encode_cache_entry(key: &(u64, u64), value: &Option<Metrics>, out: &mut Vec<u8>) {
+    /// Like [`HwProblem::save_cache`], but additionally drops merged
+    /// entries older than `max_age` — the same age-based GC the engine's
+    /// persisted store uses, for callers persisting a problem directly.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the file.
+    pub fn save_cache_with_max_age(
+        &self,
+        path: &std::path::Path,
+        max_age: Option<std::time::Duration>,
+    ) -> std::io::Result<u64> {
+        self.memo.save_merged_with_max_age(
+            path,
+            Self::encode_cache_entry,
+            Self::decode_cache_entry,
+            max_age,
+        )
+    }
+
+    pub(crate) fn encode_cache_entry(key: &(u64, u64), value: &Option<Metrics>, out: &mut Vec<u8>) {
         out.extend_from_slice(&key.0.to_le_bytes());
         out.extend_from_slice(&key.1.to_le_bytes());
         match value {
@@ -465,7 +631,7 @@ impl<'a> HwProblem<'a> {
         }
     }
 
-    fn decode_cache_entry(bytes: &[u8]) -> Option<((u64, u64), Option<Metrics>)> {
+    pub(crate) fn decode_cache_entry(bytes: &[u8]) -> Option<((u64, u64), Option<Metrics>)> {
         let key = (
             u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?),
             u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?),
@@ -710,6 +876,14 @@ impl Problem for HwProblem<'_> {
             let survivors = dse::staged::rank_top_k(&fresh_metrics, top_k, |m| {
                 m.as_ref().map(|metrics| metrics.latency_cycles)
             });
+            if !fresh.is_empty() {
+                self.staged_batches += 1;
+                self.events.emit(RunEvent::Refined {
+                    batch: self.staged_batches,
+                    survivors: survivors.len(),
+                    budget: top_k,
+                });
+            }
             if !survivors.is_empty() {
                 self.refine_requests += survivors.len() * self.workloads.len();
                 let screened_latency: Vec<f64> = survivors
@@ -786,7 +960,363 @@ impl Problem for HwProblem<'_> {
     }
 }
 
-/// The co-design driver.
+/// A [`Progress`] observer wired to one job: forwards hardware-DSE
+/// batches as [`RunEvent::BatchEvaluated`] (when `forward` is set) and
+/// stops the observed loop once the job's cancel flag rises. Observation
+/// happens on the thread driving the loop, so forwarding keeps event
+/// streams deterministic; the software explorer gets a non-forwarding
+/// observer (its rounds run on worker threads during the final
+/// optimization, where emission order would depend on scheduling).
+#[derive(Debug)]
+struct RunObserver {
+    events: EventSink,
+    cancel: Arc<AtomicBool>,
+    forward: bool,
+}
+
+impl Progress for RunObserver {
+    fn on_batch(&self, update: &BatchUpdate<'_>) -> bool {
+        if self.forward {
+            self.events.emit(RunEvent::BatchEvaluated {
+                optimizer: update.optimizer.to_string(),
+                phase: update.phase.to_string(),
+                batch: update.batch,
+                evaluated: update.evaluated,
+                feasible: update.feasible,
+            });
+        }
+        !self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// One memo-cache entry with its age, as exchanged between a job's
+/// private cache and the engine's shared store.
+pub(crate) type MemoEntry = ((u64, u64), Option<Metrics>, u64);
+
+/// Per-job execution context handed down by the engine.
+pub(crate) struct ExecCtx {
+    /// The request label (reporting only).
+    pub label: String,
+    /// Where the job's [`RunEvent`]s go.
+    pub events: EventSink,
+    /// Raised by [`JobHandle::cancel`](crate::engine::JobHandle::cancel).
+    pub cancel: Arc<AtomicBool>,
+    /// Warm memo entries captured from the shared store at submit time.
+    pub warm: Vec<MemoEntry>,
+    /// Engine-provided screen backend (a forked surrogate carrying
+    /// accumulated training); `None` builds a fresh one from the options.
+    pub screen_backend: Option<Arc<dyn CostBackend>>,
+}
+
+/// What one executed job hands back to the engine.
+pub(crate) struct ExecOutcome {
+    /// The job's result.
+    pub result: Result<Solution, HascoError>,
+    /// The job's memo entries — published into the shared store when the
+    /// caller observes completion. Empty for cancelled jobs, so published
+    /// warmth never depends on *when* a cancellation landed.
+    pub memo: Vec<MemoEntry>,
+    /// The job's screen backend when it is a (now further-trained)
+    /// surrogate, for the engine's per-technology registry.
+    pub surrogate: Option<Arc<dyn CostBackend>>,
+}
+
+/// Runs one co-design request end to end (validation, partitioning, the
+/// hardware DSE with software-in-the-loop evaluation, constraint-driven
+/// tuning, final software optimization), emitting [`RunEvent`]s along the
+/// way. This is the engine's job body; [`CoDesigner::run`] reaches it
+/// through a single-slot engine.
+pub(crate) fn execute(
+    input: &InputDescription,
+    opts: &CoDesignOptions,
+    ctx: &ExecCtx,
+) -> ExecOutcome {
+    let mut memo = Vec::new();
+    let mut surrogate = None;
+    let result = execute_inner(input, opts, ctx, &mut memo, &mut surrogate);
+    match &result {
+        Ok(s) => ctx.events.emit(RunEvent::Solved {
+            meets_constraints: s.meets_constraints,
+            latency_ms: s.total.latency_ms,
+        }),
+        Err(HascoError::Cancelled) => ctx.events.emit(RunEvent::Cancelled),
+        Err(e) => ctx.events.emit(RunEvent::Failed {
+            error: e.to_string(),
+        }),
+    }
+    ExecOutcome {
+        result,
+        memo,
+        surrogate,
+    }
+}
+
+fn execute_inner(
+    input: &InputDescription,
+    opts: &CoDesignOptions,
+    ctx: &ExecCtx,
+    memo_out: &mut Vec<MemoEntry>,
+    surrogate_out: &mut Option<Arc<dyn CostBackend>>,
+) -> Result<Solution, HascoError> {
+    opts.validate()?;
+    if input.app.is_empty() {
+        return Err(HascoError::EmptyApp);
+    }
+    let cancelled = || ctx.cancel.load(Ordering::Relaxed);
+    if cancelled() {
+        return Err(HascoError::Cancelled);
+    }
+    ctx.events.emit(RunEvent::Started {
+        label: ctx.label.clone(),
+        workloads: input.app.len(),
+    });
+
+    // Step 1: enumerate the tensorize-choice space (reported per
+    // workload; the explorer re-derives its own choices per accelerator,
+    // so this is observability-only and skipped when nobody listens).
+    if ctx.events.is_enabled() {
+        for part in partition_app(&input.app, &IntrinsicKind::ALL, 64) {
+            ctx.events.emit(RunEvent::Partitioned {
+                choices: part.total_choices(),
+                workload: part.workload,
+            });
+        }
+    }
+
+    let generator = CoDesigner::make_generator(input.method);
+    let workers = WorkerPool::new(resolve_threads(opts.threads)).with_stealing(opts.work_stealing);
+
+    // Step 2: hardware DSE with software-in-the-loop evaluation, batched
+    // onto the evaluation runtime and priced through the configured cost
+    // backend(s). The screen backend may arrive pre-trained from the
+    // engine's surrogate registry.
+    let screen = ctx
+        .screen_backend
+        .clone()
+        .unwrap_or_else(|| opts.backend.build_with(opts.tech.clone()));
+    let refine_backend = opts.refine_backend.build_with(opts.tech.clone());
+    let mut problem = HwProblem::new(
+        generator.as_ref(),
+        &input.app.workloads,
+        opts.sw_inner.clone(),
+        opts.seed,
+    )
+    .with_workers(workers.clone())
+    .with_cache_capacity(opts.cache_capacity)
+    .with_backend(Arc::clone(&screen))
+    .with_events(ctx.events.clone());
+    problem = if opts.adaptive_refinement {
+        problem.with_adaptive_refinement(refine_backend, opts.refine_top_k)
+    } else {
+        problem.with_refinement(refine_backend, opts.refine_top_k)
+    };
+    problem.seed_memo(&ctx.warm);
+    let warm_cache_entries = ctx.warm.len() as u64;
+
+    let observer = RunObserver {
+        events: ctx.events.clone(),
+        cancel: Arc::clone(&ctx.cancel),
+        forward: true,
+    };
+    let mut optimizer = opts.optimizer.build(opts.seed, opts.mobo_prior);
+    let mut history = optimizer.run_with_progress(&mut problem, opts.hw_trials, &observer);
+    if cancelled() {
+        return Err(HascoError::Cancelled);
+    }
+    if history.evaluations.is_empty() {
+        *memo_out = problem.memo_snapshot();
+        return Err(HascoError::NoFeasibleAccelerator);
+    }
+
+    // Step 3: pick the Pareto point satisfying the constraints (or the
+    // least-violating one), re-optimizing thoroughly. When the metrics
+    // violate the constraints, they "drive the hardware DSE and generate
+    // a new accelerator": run extra exploration rounds with fresh seeds
+    // and merge the histories before giving up.
+    let tuned = (|| -> Result<Solution, HascoError> {
+        let mut solution = select_and_finalize(opts, input, generator.as_ref(), &history, ctx)?;
+        ctx.events.emit(RunEvent::Tuned {
+            round: 0,
+            meets_constraints: solution.meets_constraints,
+        });
+        let mut round = 0;
+        while !solution.meets_constraints && round < opts.tuning_rounds {
+            if cancelled() {
+                return Err(HascoError::Cancelled);
+            }
+            round += 1;
+            let mut retune = opts.optimizer.build(
+                opts.seed.wrapping_add(round as u64 * 0x9e37),
+                opts.mobo_prior,
+            );
+            let extra = retune.run_with_progress(&mut problem, opts.hw_trials, &observer);
+            if cancelled() {
+                return Err(HascoError::Cancelled);
+            }
+            for e in extra.evaluations {
+                if !history.evaluations.iter().any(|h| h.point == e.point) {
+                    history.evaluations.push(e);
+                }
+            }
+            history.infeasible += extra.infeasible;
+            let candidate = select_and_finalize(opts, input, generator.as_ref(), &history, ctx)?;
+            if candidate.meets_constraints
+                || input.constraints.violation(&candidate.total)
+                    < input.constraints.violation(&solution.total)
+            {
+                solution = candidate;
+            }
+            ctx.events.emit(RunEvent::Tuned {
+                round,
+                meets_constraints: solution.meets_constraints,
+            });
+        }
+        if cancelled() {
+            return Err(HascoError::Cancelled);
+        }
+        Ok(solution)
+    })();
+
+    // The job's warm state goes back to the engine: memo entries for the
+    // shared store, the screen surrogate (with whatever it learned this
+    // run) for the registry. Every *completed* outcome publishes — a
+    // selection or finalization failure still paid for its evaluations,
+    // and a retry should not start cold — while a cancelled job publishes
+    // nothing (what it had computed depends on when the cancel landed).
+    if !matches!(tuned, Err(HascoError::Cancelled)) {
+        *memo_out = problem.memo_snapshot();
+        if screen.as_surrogate().is_some() {
+            *surrogate_out = Some(Arc::clone(&screen));
+        }
+    }
+    let mut solution = tuned?;
+
+    // The solution reports the full (merged) exploration history even
+    // when a retuning round did not improve on the incumbent.
+    solution.hw_history = history;
+    let (surrogate_samples, surrogate_trusted) = problem.surrogate_stats().unwrap_or((0, false));
+    solution.stats = RunStats {
+        threads: workers.threads(),
+        hw_evaluations: solution.hw_history.evaluations.len(),
+        sw_explorations: problem.sw_requests(),
+        refine_explorations: problem.refine_requests(),
+        backend: opts.backend,
+        refine_backend: (opts.refine_top_k > 0).then_some(opts.refine_backend),
+        refine_topk_trajectory: problem.topk_trajectory(),
+        surrogate_samples,
+        surrogate_trusted,
+        warm_cache_entries,
+        steals: workers.stats().steals,
+        cache: problem.cache_stats(),
+    };
+    Ok(solution)
+}
+
+fn select_and_finalize(
+    opts: &CoDesignOptions,
+    input: &InputDescription,
+    generator: &dyn Generator,
+    history: &dse::problem::OptimizerResult,
+    ctx: &ExecCtx,
+) -> Result<Solution, HascoError> {
+    let chosen = tuning::select_point(history, &input.constraints)
+        .ok_or(HascoError::NoFeasibleAccelerator)?;
+    let cfg = generator
+        .generate(&chosen)
+        .map_err(|e| HascoError::Hardware(e.to_string()))?;
+    finalize_solution(opts, input, cfg, history.clone(), &ctx.events, &ctx.cancel)
+}
+
+/// Optimizes the software thoroughly for a fixed accelerator and
+/// assembles the solution (shared by the engine path, the one-shot
+/// [`CoDesigner::finalize`], and the "separate design" baseline).
+fn finalize_solution(
+    opts: &CoDesignOptions,
+    input: &InputDescription,
+    cfg: AcceleratorConfig,
+    hw_history: dse::problem::OptimizerResult,
+    events: &EventSink,
+    cancel: &Arc<AtomicBool>,
+) -> Result<Solution, HascoError> {
+    let workers = WorkerPool::new(resolve_threads(opts.threads)).with_stealing(opts.work_stealing);
+    // With fidelity staging on, the final thorough optimization runs
+    // at the high-fidelity tier so reported metrics match the
+    // refinement the Pareto front saw.
+    let final_backend = if opts.refine_top_k > 0 {
+        opts.refine_backend
+    } else {
+        opts.backend
+    };
+    // The explorer watches the cancel flag between revision rounds (its
+    // observer forwards no events: these rounds run on worker threads,
+    // where emission order would depend on scheduling).
+    let explorer = SoftwareExplorer::new(opts.seed)
+        .with_backend(final_backend.build_with(opts.tech.clone()))
+        .with_progress(Arc::new(RunObserver {
+            events: EventSink::disabled(),
+            cancel: Arc::clone(cancel),
+            forward: false,
+        }));
+    // The thorough per-workload explorations are independent pure
+    // runs, so they fan out across the pool; errors are reported in
+    // workload order (first failure wins), matching the serial path.
+    let outcomes = workers.map(&input.app.workloads, |_, w| {
+        let optimized = explorer
+            .optimize(w, &cfg, &opts.sw_final)
+            .map_err(|e| HascoError::Software(format!("{}: {e}", w.name)))?;
+        let intr = cfg.intrinsic_comp();
+        let ctx = sw_opt::schedule::ScheduleContext::new(w, &intr)
+            .map_err(|e| HascoError::Software(e.to_string()))?;
+        let program = sw_opt::codegen::render(&optimized.schedule, &ctx);
+        Ok((
+            WorkloadSolution {
+                workload: w.name.clone(),
+                schedule: optimized.schedule,
+                metrics: optimized.metrics,
+                program,
+            },
+            optimized.history.len(),
+        ))
+    });
+    if cancel.load(Ordering::Relaxed) {
+        return Err(HascoError::Cancelled);
+    }
+    let mut per_workload = Vec::with_capacity(input.app.len());
+    let mut parts = Vec::with_capacity(input.app.len());
+    for outcome in outcomes {
+        let (ws, rounds) = outcome?;
+        // Emitted here — on the driver thread, in workload order — so the
+        // event stream never depends on which worker finished first.
+        events.emit(RunEvent::SoftwareOptimized {
+            workload: ws.workload.clone(),
+            rounds,
+            latency_ms: ws.metrics.latency_ms,
+        });
+        parts.push(ws.metrics);
+        per_workload.push(ws);
+    }
+    let total = Metrics::sequential(&parts);
+    Ok(Solution {
+        meets_constraints: input.constraints.satisfied_by(&total),
+        accelerator: cfg,
+        per_workload,
+        total,
+        hw_history,
+        stats: RunStats {
+            threads: workers.threads(),
+            backend: final_backend,
+            ..RunStats::default()
+        },
+    })
+}
+
+/// The co-design driver — the paper's one-shot entry point, now a thin
+/// wrapper over the resident [`Engine`]: [`CoDesigner::run`] spins up a
+/// single-slot engine configured from the options (including the
+/// persistent-cache path), submits one request, waits for it, and
+/// persists the engine's cache store. Behavior is unchanged from the
+/// pre-engine API; long-lived callers serving many requests should hold
+/// an [`Engine`] instead and keep its warm state across submissions.
 #[derive(Debug, Clone)]
 pub struct CoDesigner {
     opts: CoDesignOptions,
@@ -798,119 +1328,31 @@ impl CoDesigner {
         CoDesigner { opts }
     }
 
-    fn make_generator(method: GenerationMethod) -> Box<dyn Generator> {
+    pub(crate) fn make_generator(method: GenerationMethod) -> Box<dyn Generator> {
         match method {
             GenerationMethod::Gemmini => Box::new(GemminiGenerator::new()),
             GenerationMethod::Chisel(kind) => Box::new(ChiselGenerator::new(kind)),
         }
     }
 
-    /// Runs the full three-step co-design flow.
+    /// Runs the full three-step co-design flow through a one-shot engine.
     ///
     /// # Errors
-    /// Returns [`HascoError`] when the app is empty or no accelerator in
-    /// the explored set supports all workloads.
+    /// Returns [`HascoError`] when the options are invalid
+    /// ([`CoDesignOptions::validate`]), the app is empty, or no
+    /// accelerator in the explored set supports all workloads.
     pub fn run(&self, input: &InputDescription) -> Result<Solution, HascoError> {
-        if input.app.is_empty() {
-            return Err(HascoError::EmptyApp);
-        }
-        let generator = Self::make_generator(input.method);
-        let workers = WorkerPool::new(resolve_threads(self.opts.threads))
-            .with_stealing(self.opts.work_stealing);
-
-        // Step 2: hardware DSE with software-in-the-loop evaluation,
-        // batched onto the evaluation runtime and priced through the
-        // configured cost backend(s).
-        let refine_backend = self.opts.refine_backend.build_with(self.opts.tech.clone());
-        let mut problem = HwProblem::new(
-            generator.as_ref(),
-            &input.app.workloads,
-            self.opts.sw_inner.clone(),
-            self.opts.seed,
-        )
-        .with_workers(workers.clone())
-        .with_cache_capacity(self.opts.cache_capacity)
-        .with_backend(self.opts.backend.build_with(self.opts.tech.clone()));
-        problem = if self.opts.adaptive_refinement {
-            problem.with_adaptive_refinement(refine_backend, self.opts.refine_top_k)
-        } else {
-            problem.with_refinement(refine_backend, self.opts.refine_top_k)
-        };
-        let warm_cache_entries = match &self.opts.cache_path {
-            Some(path) => problem.load_cache(path),
-            None => 0,
-        };
-        let mut mobo = Mobo::new(self.opts.seed).with_prior_samples(self.opts.mobo_prior);
-        let mut history = mobo.run(&mut problem, self.opts.hw_trials);
-        if history.evaluations.is_empty() {
-            return Err(HascoError::NoFeasibleAccelerator);
-        }
-
-        // Step 3: pick the Pareto point satisfying the constraints (or the
-        // least-violating one), re-optimizing thoroughly. When the metrics
-        // violate the constraints, they "drive the hardware DSE and
-        // generate a new accelerator": run extra exploration rounds with
-        // fresh seeds and merge the histories before giving up.
-        let mut solution = self.select_and_finalize(input, generator.as_ref(), &history)?;
-        let mut round = 0;
-        while !solution.meets_constraints && round < self.opts.tuning_rounds {
-            round += 1;
-            let mut retune = Mobo::new(self.opts.seed.wrapping_add(round as u64 * 0x9e37))
-                .with_prior_samples(self.opts.mobo_prior);
-            let extra = retune.run(&mut problem, self.opts.hw_trials);
-            for e in extra.evaluations {
-                if !history.evaluations.iter().any(|h| h.point == e.point) {
-                    history.evaluations.push(e);
-                }
-            }
-            history.infeasible += extra.infeasible;
-            let candidate = self.select_and_finalize(input, generator.as_ref(), &history)?;
-            if candidate.meets_constraints
-                || input.constraints.violation(&candidate.total)
-                    < input.constraints.violation(&solution.total)
-            {
-                solution = candidate;
-            }
-        }
+        let engine = Engine::new(EngineConfig::one_shot(&self.opts));
+        // The quiet submission: no event channel, so the one-shot path
+        // buffers nothing it will never read.
+        let handle = engine.submit_quiet(
+            CoDesignRequest::new(input.clone(), self.opts.clone()).with_label("one-shot"),
+        )?;
+        let solution = handle.wait()?;
         // Persist the evaluation cache for the next run (best effort: a
         // failed save costs future warmth, never correctness).
-        if let Some(path) = &self.opts.cache_path {
-            let _ = problem.save_cache(path);
-        }
-        // The solution reports the full (merged) exploration history even
-        // when a retuning round did not improve on the incumbent.
-        solution.hw_history = history;
-        let (surrogate_samples, surrogate_trusted) =
-            problem.surrogate_stats().unwrap_or((0, false));
-        solution.stats = RunStats {
-            threads: workers.threads(),
-            hw_evaluations: solution.hw_history.evaluations.len(),
-            sw_explorations: problem.sw_requests(),
-            refine_explorations: problem.refine_requests(),
-            backend: self.opts.backend,
-            refine_backend: (self.opts.refine_top_k > 0).then_some(self.opts.refine_backend),
-            refine_topk_trajectory: problem.topk_trajectory(),
-            surrogate_samples,
-            surrogate_trusted,
-            warm_cache_entries,
-            steals: workers.stats().steals,
-            cache: problem.cache_stats(),
-        };
+        let _ = engine.persist();
         Ok(solution)
-    }
-
-    fn select_and_finalize(
-        &self,
-        input: &InputDescription,
-        generator: &dyn Generator,
-        history: &dse::problem::OptimizerResult,
-    ) -> Result<Solution, HascoError> {
-        let chosen = tuning::select_point(history, &input.constraints)
-            .ok_or(HascoError::NoFeasibleAccelerator)?;
-        let cfg = generator
-            .generate(&chosen)
-            .map_err(|e| HascoError::Hardware(e.to_string()))?;
-        self.finalize(input, cfg, history.clone())
     }
 
     /// Optimizes the software thoroughly for a fixed accelerator and
@@ -925,56 +1367,14 @@ impl CoDesigner {
         cfg: AcceleratorConfig,
         hw_history: dse::problem::OptimizerResult,
     ) -> Result<Solution, HascoError> {
-        let workers = WorkerPool::new(resolve_threads(self.opts.threads))
-            .with_stealing(self.opts.work_stealing);
-        // With fidelity staging on, the final thorough optimization runs
-        // at the high-fidelity tier so reported metrics match the
-        // refinement the Pareto front saw.
-        let final_backend = if self.opts.refine_top_k > 0 {
-            self.opts.refine_backend
-        } else {
-            self.opts.backend
-        };
-        let explorer = SoftwareExplorer::new(self.opts.seed)
-            .with_backend(final_backend.build_with(self.opts.tech.clone()));
-        // The thorough per-workload explorations are independent pure
-        // runs, so they fan out across the pool; errors are reported in
-        // workload order (first failure wins), matching the serial path.
-        let outcomes = workers.map(&input.app.workloads, |_, w| {
-            let optimized = explorer
-                .optimize(w, &cfg, &self.opts.sw_final)
-                .map_err(|e| HascoError::Software(format!("{}: {e}", w.name)))?;
-            let intr = cfg.intrinsic_comp();
-            let ctx = sw_opt::schedule::ScheduleContext::new(w, &intr)
-                .map_err(|e| HascoError::Software(e.to_string()))?;
-            let program = sw_opt::codegen::render(&optimized.schedule, &ctx);
-            Ok(WorkloadSolution {
-                workload: w.name.clone(),
-                schedule: optimized.schedule,
-                metrics: optimized.metrics,
-                program,
-            })
-        });
-        let mut per_workload = Vec::with_capacity(input.app.len());
-        let mut parts = Vec::with_capacity(input.app.len());
-        for outcome in outcomes {
-            let ws = outcome?;
-            parts.push(ws.metrics);
-            per_workload.push(ws);
-        }
-        let total = Metrics::sequential(&parts);
-        Ok(Solution {
-            meets_constraints: input.constraints.satisfied_by(&total),
-            accelerator: cfg,
-            per_workload,
-            total,
+        finalize_solution(
+            &self.opts,
+            input,
+            cfg,
             hw_history,
-            stats: RunStats {
-                threads: workers.threads(),
-                backend: final_backend,
-                ..RunStats::default()
-            },
-        })
+            &EventSink::disabled(),
+            &Arc::new(AtomicBool::new(false)),
+        )
     }
 }
 

@@ -1,0 +1,630 @@
+//! `hasco::Engine` — the long-lived co-design service.
+//!
+//! The one-shot [`CoDesigner`](crate::CoDesigner) rebuilds every piece of
+//! warm state — the evaluation cache, surrogate training, worker
+//! configuration — on each call. [`Engine`] is the resident form: it owns
+//! a job scheduler with a fixed number of concurrent slots, a
+//! cross-request memo **store** (periodically persisted, with optional
+//! age-based GC), and a per-technology registry of trained surrogate
+//! backends. Requests are submitted ([`Engine::submit`]) and observed
+//! ([`JobHandle::events`]) while they run; whole scenario matrices fan
+//! out through [`Engine::campaign`] with cross-scenario dedup.
+//!
+//! # Determinism
+//!
+//! The runtime invariant — *thread count, work-stealing, and concurrent
+//! job interleaving never change any job's results* — extends to the
+//! engine by construction:
+//!
+//! * a job's **solution** is a pure function of its request and the
+//!   warm state it was admitted with — and for every non-learning screen
+//!   tier, of the request alone: warm cache entries only skip
+//!   recomputation of pure evaluations. The one deliberate exception is
+//!   a **surrogate** screen tier, which forks the registry's accumulated
+//!   training at submit (its fingerprint tracks the training content, so
+//!   memoization stays sound): sequential surrogate jobs learn from each
+//!   other by design, deterministically per the submit/wait program,
+//!   while same-wave jobs still see identical forks;
+//! * a job's **statistics and event stream** are a pure function of its
+//!   request *plus the warm state it was admitted with* — and that warm
+//!   state is itself deterministic, because completed jobs publish into
+//!   the shared store only when the caller **observes completion**
+//!   ([`JobHandle::wait`]), never at racy completion time. Submit N jobs
+//!   back-to-back and they all see the identical pre-wave store, no
+//!   matter how execution interleaves; wait between submissions and the
+//!   later job deterministically starts warm.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use accel_model::{BackendKind, CostBackend, Metrics};
+use runtime::{Fingerprinter, JobScheduler, MemoCache, StableFingerprint};
+
+use crate::codesign::{execute, CoDesignOptions, ExecCtx, ExecOutcome, HwProblem};
+use crate::event::{EventSink, EventStream, RunEvent};
+use crate::input::InputDescription;
+use crate::solution::Solution;
+use crate::HascoError;
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Concurrent job slots (queued jobs wait FIFO for a free one).
+    pub job_slots: usize,
+    /// Capacity of the shared cross-request memo store.
+    pub cache_capacity: usize,
+    /// Persistent image of the store: loaded at engine creation, written
+    /// by [`Engine::persist`] (merged newest-wins) and best-effort on
+    /// drop. `None` keeps the store in-memory only.
+    pub cache_path: Option<PathBuf>,
+    /// Age-based GC for the persisted image: entries older than this are
+    /// dropped at persist time ([`MemoCache::save_merged_with_max_age`]).
+    pub cache_max_age: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            job_slots: 2,
+            cache_capacity: 4096,
+            cache_path: None,
+            cache_max_age: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The single-slot configuration [`CoDesigner::run`](crate::CoDesigner::run)
+    /// wraps one request in: cache capacity and persistence path come
+    /// from the run options, so one-shot behavior is unchanged.
+    pub fn one_shot(opts: &CoDesignOptions) -> Self {
+        EngineConfig {
+            job_slots: 1,
+            cache_capacity: opts.cache_capacity,
+            cache_path: opts.cache_path.clone(),
+            cache_max_age: None,
+        }
+    }
+
+    /// Sets the concurrent job slots.
+    pub fn with_job_slots(mut self, slots: usize) -> Self {
+        self.job_slots = slots;
+        self
+    }
+
+    /// Sets the shared store capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Persists the shared store at `path` across engine lifetimes.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Drops persisted entries older than `max_age` at persist time.
+    pub fn with_cache_max_age(mut self, max_age: Duration) -> Self {
+        self.cache_max_age = Some(max_age);
+        self
+    }
+}
+
+/// One co-design request: the input description plus the run options,
+/// under a caller-chosen label (used in events, campaign reports, and
+/// dedup attribution).
+///
+/// The options' own `cache_path` is ignored by the engine — warm state
+/// flows through the engine's shared store instead, so jobs never race on
+/// a file.
+#[derive(Debug, Clone)]
+pub struct CoDesignRequest {
+    /// The application, generation method, and constraints.
+    pub input: InputDescription,
+    /// The run options ([`CoDesignOptions::validate`]d at submit).
+    pub options: CoDesignOptions,
+    /// Label for events and reports (defaults to the application name).
+    pub label: String,
+}
+
+impl CoDesignRequest {
+    /// Builds a request labeled with the application name.
+    pub fn new(input: InputDescription, options: CoDesignOptions) -> Self {
+        let label = input.app.name.clone();
+        CoDesignRequest {
+            input,
+            options,
+            label,
+        }
+    }
+
+    /// Overrides the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Stable 128-bit identity of everything that can change the
+    /// produced [`Solution`] or its statistics — the campaign dedup key.
+    /// The label and the (engine-ignored) options `cache_path` are
+    /// excluded.
+    fn fingerprint(&self) -> (u64, u64) {
+        let mut lo = Fingerprinter::new();
+        let mut hi = Fingerprinter::new();
+        hi.write_u64(0x9e3779b97f4a7c15);
+        for fp in [&mut lo, &mut hi] {
+            for w in &self.input.app.workloads {
+                w.fingerprint_into(fp);
+            }
+            fp.write_str(&format!("{:?}", self.input.method));
+            for bound in [
+                self.input.constraints.max_latency_ms,
+                self.input.constraints.max_power_mw,
+                self.input.constraints.max_area_mm2,
+            ] {
+                match bound {
+                    Some(v) => fp.write_bool(true).write_f64(v),
+                    None => fp.write_bool(false),
+                };
+            }
+            let o = &self.options;
+            fp.write_usize(o.hw_trials).write_usize(o.mobo_prior);
+            o.sw_inner.fingerprint_into(fp);
+            o.sw_final.fingerprint_into(fp);
+            fp.write_usize(o.tuning_rounds)
+                .write_u64(o.seed)
+                .write_usize(o.threads)
+                .write_bool(o.work_stealing)
+                .write_usize(o.cache_capacity);
+            o.backend.fingerprint_into(fp);
+            o.refine_backend.fingerprint_into(fp);
+            fp.write_usize(o.refine_top_k)
+                .write_bool(o.adaptive_refinement);
+            o.tech.fingerprint_into(fp);
+            fp.write_str(o.optimizer.as_str());
+        }
+        (lo.finish().0, hi.finish().0)
+    }
+}
+
+/// How a job's execution ended inside the executor.
+enum Completion {
+    /// The request ran to a result (success, failure, or cancellation).
+    Done(Box<ExecOutcome>),
+    /// The job panicked; the payload is re-raised by [`JobHandle::wait`].
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Per-job state shared between the executor, the handle, and the engine.
+struct JobState {
+    id: u64,
+    label: String,
+    cancel: Arc<AtomicBool>,
+    outcome: Mutex<Option<Completion>>,
+    done: Condvar,
+    events: Mutex<Option<Receiver<RunEvent>>>,
+    published: AtomicBool,
+    /// Registry key for the job's surrogate, when its screen tier is one.
+    surrogate_key: Option<(u64, u64)>,
+}
+
+/// Engine-level shared state.
+struct EngineShared {
+    /// The cross-request memo store (entries published at observed job
+    /// completion; snapshotted into every new job at submit).
+    store: MemoCache<(u64, u64), Option<Metrics>>,
+    /// Trained surrogate screen backends, keyed per technology. New
+    /// surrogate jobs fork the registered instance; observed completions
+    /// replace it.
+    surrogates: Mutex<HashMap<(u64, u64), Arc<dyn CostBackend>>>,
+    cache_path: Option<PathBuf>,
+    cache_max_age: Option<Duration>,
+    /// Set when the store changed since the last persist.
+    dirty: AtomicBool,
+    /// Jobs actually executed (campaign dedup skips duplicates).
+    jobs_executed: AtomicU64,
+    next_job_id: AtomicU64,
+}
+
+impl EngineShared {
+    /// Merges an observed job's warm state into the engine. Called from
+    /// [`JobHandle::wait`] — the caller's thread — exactly once per job,
+    /// so the store's content is a pure function of the caller's
+    /// submit/wait program, never of executor timing.
+    fn publish(&self, outcome: &ExecOutcome, surrogate_key: Option<(u64, u64)>) {
+        for (key, value, stamp) in &outcome.memo {
+            // Newer-stamp-wins: a slow job must not regress the age of an
+            // entry some faster job republished in the meantime.
+            self.store.insert_stamped_newest(*key, *value, *stamp);
+        }
+        if !outcome.memo.is_empty() {
+            self.dirty.store(true, Ordering::Relaxed);
+        }
+        if let (Some(key), Some(surrogate)) = (surrogate_key, &outcome.surrogate) {
+            self.surrogates
+                .lock()
+                .expect("surrogate registry poisoned")
+                .insert(key, Arc::clone(surrogate));
+        }
+    }
+}
+
+/// Registry key for surrogate state: the technology constants (the only
+/// construction axis of `BackendKind::Surrogate.build_with`).
+fn surrogate_key(opts: &CoDesignOptions) -> (u64, u64) {
+    let mut lo = Fingerprinter::new();
+    let mut hi = Fingerprinter::new();
+    hi.write_u64(0x9e3779b97f4a7c15);
+    for fp in [&mut lo, &mut hi] {
+        fp.write_str("surrogate-registry");
+        opts.tech.fingerprint_into(fp);
+    }
+    (lo.finish().0, hi.finish().0)
+}
+
+/// A handle to one submitted job. Dropping the handle does not cancel
+/// the job, but an unobserved job never publishes warm state.
+pub struct JobHandle {
+    state: Arc<JobState>,
+    shared: Arc<EngineShared>,
+}
+
+impl JobHandle {
+    /// The engine-assigned job id (submission order).
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The request label.
+    pub fn label(&self) -> &str {
+        &self.state.label
+    }
+
+    /// Requests cancellation. A still-queued job is discarded when its
+    /// turn comes (it does not execute or count as an executed job);
+    /// running jobs stop at the next optimizer batch / explorer round.
+    /// Either way the job reports [`HascoError::Cancelled`].
+    /// Cancellation is cooperative — `wait` still blocks until the job
+    /// acknowledges.
+    pub fn cancel(&self) {
+        self.state.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the job has a result (`wait` would not block).
+    pub fn is_finished(&self) -> bool {
+        self.state
+            .outcome
+            .lock()
+            .expect("job state poisoned")
+            .is_some()
+    }
+
+    /// The job's [`RunEvent`] stream: a blocking iterator yielding events
+    /// as the job emits them, ending after the terminal event. The live
+    /// stream can be taken once; later calls return an empty stream.
+    pub fn events(&self) -> EventStream {
+        match self.state.events.lock().expect("job state poisoned").take() {
+            Some(rx) => EventStream::live(rx),
+            None => EventStream::empty(),
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result. The first
+    /// `wait` on a completed job **publishes** its warm state (memo
+    /// entries, trained surrogate) into the engine — the deterministic
+    /// alternative to publishing at racy completion time. A panic inside
+    /// the job is re-raised here.
+    pub fn wait(&self) -> Result<Solution, HascoError> {
+        let mut guard = self.state.outcome.lock().expect("job state poisoned");
+        while guard.is_none() {
+            guard = self.state.done.wait(guard).expect("job state poisoned");
+        }
+        match guard.as_mut().expect("checked above") {
+            Completion::Panicked(payload) => {
+                let payload = std::mem::replace(payload, Box::new("panic already re-raised"));
+                drop(guard);
+                std::panic::resume_unwind(payload);
+            }
+            Completion::Done(outcome) => {
+                if !self.state.published.swap(true, Ordering::SeqCst) {
+                    self.shared.publish(outcome, self.state.surrogate_key);
+                }
+                outcome.result.clone()
+            }
+        }
+    }
+}
+
+/// One scenario's result in a campaign report.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The request's label.
+    pub label: String,
+    /// Its solution (cloned from the representative when deduplicated).
+    pub solution: Solution,
+    /// When this scenario was identical to an earlier one, the label of
+    /// the request that actually ran.
+    pub shared_with: Option<String>,
+}
+
+/// The long-lived co-design service; see the module docs.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    scheduler: JobScheduler,
+}
+
+impl Engine {
+    /// Builds an engine, loading the persisted store when the
+    /// configuration names one (a missing or corrupt image is a cold
+    /// start, exactly like the one-shot cache path).
+    pub fn new(config: EngineConfig) -> Self {
+        let store = MemoCache::new(config.cache_capacity);
+        if let Some(path) = &config.cache_path {
+            let _ = store.load_from_file(path, HwProblem::decode_cache_entry);
+        }
+        Engine {
+            shared: Arc::new(EngineShared {
+                store,
+                surrogates: Mutex::new(HashMap::new()),
+                cache_path: config.cache_path,
+                cache_max_age: config.cache_max_age,
+                dirty: AtomicBool::new(false),
+                jobs_executed: AtomicU64::new(0),
+                next_job_id: AtomicU64::new(1),
+            }),
+            scheduler: JobScheduler::new(config.job_slots),
+        }
+    }
+
+    /// Concurrent job slots.
+    pub fn job_slots(&self) -> usize {
+        self.scheduler.slots()
+    }
+
+    /// Entries currently in the shared store.
+    pub fn warm_entries(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Jobs actually executed so far (campaign duplicates excluded).
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.jobs_executed.load(Ordering::Relaxed)
+    }
+
+    /// Validates and enqueues one request; it starts as soon as a slot is
+    /// free. The returned handle streams events, cancels, and waits.
+    ///
+    /// The job's warm memo snapshot is captured **now**, synchronously —
+    /// not when the job starts — so what a job sees depends only on the
+    /// submissions and waits the caller already performed.
+    ///
+    /// # Errors
+    /// Returns [`HascoError::InvalidOptions`] for option combinations
+    /// that would silently degenerate ([`CoDesignOptions::validate`]) and
+    /// [`HascoError::EmptyApp`] for an empty application.
+    pub fn submit(&self, request: CoDesignRequest) -> Result<JobHandle, HascoError> {
+        self.submit_inner(request, true)
+    }
+
+    /// [`Engine::submit`] without an event channel: the one-shot
+    /// [`CoDesigner::run`](crate::CoDesigner::run) path, which would
+    /// otherwise buffer a whole run's events nobody reads.
+    /// [`JobHandle::events`] on the returned handle yields nothing.
+    pub(crate) fn submit_quiet(&self, request: CoDesignRequest) -> Result<JobHandle, HascoError> {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(
+        &self,
+        request: CoDesignRequest,
+        with_events: bool,
+    ) -> Result<JobHandle, HascoError> {
+        request.options.validate()?;
+        if request.input.app.is_empty() {
+            return Err(HascoError::EmptyApp);
+        }
+        let warm = self.shared.store.snapshot_stamped();
+        // A surrogate screen tier starts from the registry's accumulated
+        // training (forked, so this job's own training stays private
+        // until its completion is observed).
+        let (screen_backend, job_surrogate_key) =
+            if request.options.backend == BackendKind::Surrogate {
+                let key = surrogate_key(&request.options);
+                let forked = self
+                    .shared
+                    .surrogates
+                    .lock()
+                    .expect("surrogate registry poisoned")
+                    .get(&key)
+                    .and_then(|prev| prev.as_surrogate())
+                    .map(|prev| Arc::new(prev.fork()) as Arc<dyn CostBackend>);
+                (forked, Some(key))
+            } else {
+                (None, None)
+            };
+
+        let (sink, rx) = if with_events {
+            let (tx, rx) = channel();
+            (EventSink::new(tx), Some(rx))
+        } else {
+            (EventSink::disabled(), None)
+        };
+        let state = Arc::new(JobState {
+            id: self.shared.next_job_id.fetch_add(1, Ordering::Relaxed),
+            label: request.label.clone(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+            events: Mutex::new(rx),
+            published: AtomicBool::new(false),
+            surrogate_key: job_surrogate_key,
+        });
+
+        let job_state = Arc::clone(&state);
+        let shared = Arc::clone(&self.shared);
+        let ctx = ExecCtx {
+            label: request.label.clone(),
+            events: sink,
+            cancel: Arc::clone(&state.cancel),
+            warm,
+            screen_backend,
+        };
+        self.scheduler.spawn(Box::new(move || {
+            // A job cancelled while still queued is discarded without
+            // executing (and without counting as an executed job).
+            let completion = if job_state.cancel.load(Ordering::Relaxed) {
+                ctx.events.emit(RunEvent::Cancelled);
+                Completion::Done(Box::new(ExecOutcome {
+                    result: Err(HascoError::Cancelled),
+                    memo: Vec::new(),
+                    surrogate: None,
+                }))
+            } else {
+                shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute(&request.input, &request.options, &ctx)
+                })) {
+                    Ok(outcome) => Completion::Done(Box::new(outcome)),
+                    Err(payload) => Completion::Panicked(payload),
+                }
+            };
+            *job_state.outcome.lock().expect("job state poisoned") = Some(completion);
+            job_state.done.notify_all();
+        }));
+
+        Ok(JobHandle {
+            state,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Fans a scenario matrix through the engine: deduplicates identical
+    /// requests (same workloads, method, constraints, and options — the
+    /// duplicate gets the representative's solution without running), then
+    /// submits the unique ones in waves of [`Engine::job_slots`], waiting
+    /// out each wave before admitting the next so later scenarios start
+    /// warm from everything earlier waves evaluated. Results come back in
+    /// input order; for non-learning screen tiers they are independent of
+    /// wave boundaries and job interleaving (warmth changes statistics,
+    /// never solutions). Surrogate-screened scenarios inherit training
+    /// from earlier waves by design — deterministic in the matrix order,
+    /// but a different split into waves can shift what each wave's fork
+    /// has learned.
+    ///
+    /// # Errors
+    /// The first failing scenario aborts the campaign with its error.
+    pub fn campaign(
+        &self,
+        requests: Vec<CoDesignRequest>,
+    ) -> Result<Vec<CampaignOutcome>, HascoError> {
+        // Exact-request dedup across the matrix.
+        let mut representative: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut unique: Vec<CoDesignRequest> = Vec::new();
+        // Per input request: (index into `unique`, own label when this
+        // request was deduplicated away).
+        let mut assignment: Vec<(usize, Option<String>)> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let fp = request.fingerprint();
+            match representative.get(&fp) {
+                Some(&slot) => assignment.push((slot, Some(request.label))),
+                None => {
+                    representative.insert(fp, unique.len());
+                    assignment.push((unique.len(), None));
+                    unique.push(request);
+                }
+            }
+        }
+
+        // Waves: within a wave, jobs share the pre-wave store (all
+        // snapshots are taken before any wave member is waited on);
+        // between waves, each wait publishes, so the next wave starts
+        // warm — this is where cross-scenario dedup of equivalent
+        // evaluations (e.g. edge vs. cloud rows, which differ only in
+        // constraints) pays off.
+        let mut solutions: Vec<Option<Solution>> = (0..unique.len()).map(|_| None).collect();
+        let mut labels: Vec<String> = unique.iter().map(|r| r.label.clone()).collect();
+        for (slot, label) in labels.iter_mut().enumerate() {
+            if label.is_empty() {
+                *label = format!("scenario-{slot}");
+            }
+        }
+        let wave_size = self.job_slots().max(1);
+        let mut pending: Vec<(usize, CoDesignRequest)> = unique.into_iter().enumerate().collect();
+        while !pending.is_empty() {
+            let wave: Vec<(usize, CoDesignRequest)> =
+                pending.drain(..wave_size.min(pending.len())).collect();
+            let mut handles = Vec::with_capacity(wave.len());
+            for (slot, request) in wave {
+                // Quiet submissions: nothing drains campaign event
+                // streams, so don't buffer them.
+                handles.push((slot, self.submit_quiet(request)?));
+            }
+            for (slot, handle) in handles {
+                solutions[slot] = Some(handle.wait()?);
+            }
+        }
+
+        Ok(assignment
+            .into_iter()
+            .map(|(slot, own_label)| CampaignOutcome {
+                solution: solutions[slot].clone().expect("every wave was awaited"),
+                shared_with: own_label.is_some().then(|| labels[slot].clone()),
+                label: own_label.unwrap_or_else(|| labels[slot].clone()),
+            })
+            .collect())
+    }
+
+    /// Writes the shared store to the configured cache path (merged
+    /// newest-wins with whatever the file holds, age-GC'd when the
+    /// configuration sets `cache_max_age`). Returns the entries written;
+    /// `Ok(0)` without a configured path.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the image.
+    pub fn persist(&self) -> std::io::Result<u64> {
+        let Some(path) = &self.shared.cache_path else {
+            return Ok(0);
+        };
+        let written = self.shared.store.save_merged_with_max_age(
+            path,
+            HwProblem::encode_cache_entry,
+            HwProblem::decode_cache_entry,
+            self.shared.cache_max_age,
+        )?;
+        self.shared.dirty.store(false, Ordering::Relaxed);
+        Ok(written)
+    }
+
+    /// Drops every store entry older than `max_age` (explicit compaction
+    /// of the in-memory shared store); returns how many were removed.
+    pub fn compact(&self, max_age: Duration) -> usize {
+        self.shared.store.compact(max_age)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Best-effort persistence of state published since the last
+        // explicit persist. (Unobserved jobs never published, so there is
+        // nothing of theirs to save; the scheduler join below still lets
+        // them finish.)
+        if self.shared.dirty.load(Ordering::Relaxed) {
+            let _ = self.persist();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("job_slots", &self.job_slots())
+            .field("warm_entries", &self.warm_entries())
+            .field("jobs_executed", &self.jobs_executed())
+            .finish()
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed progress events of one co-design run.
+//!
+//! A job admitted by the [`Engine`](crate::engine::Engine) does not only
+//! produce a final [`Solution`](crate::Solution) — it streams
+//! [`RunEvent`]s as the three-step flow advances: partitioning, batch
+//! evaluation inside the hardware DSE, fidelity-staged refinement,
+//! constraint-driven retuning, and the final software optimization.
+//! Events are emitted from the job's driver thread at serial points of
+//! the flow, so **the event stream of a job is bit-identical across
+//! thread counts, work-stealing modes, and concurrent-job interleavings**
+//! — the same determinism contract the solutions themselves obey.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+/// One progress event of a co-design run. The stream of a successful job
+/// starts with [`RunEvent::Started`] and ends with a terminal event
+/// ([`RunEvent::Solved`], [`RunEvent::Cancelled`], or
+/// [`RunEvent::Failed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// The job was admitted and its inputs validated.
+    Started {
+        /// The request label.
+        label: String,
+        /// Number of workloads in the application.
+        workloads: usize,
+    },
+    /// Step 1: one workload's tensorize-choice space was enumerated.
+    Partitioned {
+        /// The workload's name.
+        workload: String,
+        /// Total legal tensorize choices across candidate intrinsics.
+        choices: usize,
+    },
+    /// The hardware DSE evaluated one batch of design points
+    /// (reported by the optimizer loop — MOBO prior bursts and
+    /// acquisitions, NSGA-II generations, annealer probes/walks).
+    BatchEvaluated {
+        /// The optimizer (`"mobo"`, `"nsga2"`, `"random"`, `"anneal"`).
+        optimizer: String,
+        /// The loop phase (`"prior"`, `"acquire"`, `"generation"`, …).
+        phase: String,
+        /// 1-based batch number within the optimizer run.
+        batch: usize,
+        /// Design points evaluated in the batch.
+        evaluated: usize,
+        /// How many of them were feasible.
+        feasible: usize,
+    },
+    /// Fidelity staging re-priced a batch's survivors at high fidelity.
+    Refined {
+        /// 1-based staged-batch number within the job.
+        batch: usize,
+        /// Survivors re-priced at the refine tier.
+        survivors: usize,
+        /// The refine budget the batch ran with (the adaptive controller
+        /// moves this between batches).
+        budget: usize,
+    },
+    /// The final thorough software optimization finished one workload.
+    SoftwareOptimized {
+        /// The workload's name.
+        workload: String,
+        /// Revision rounds the explorer ran.
+        rounds: usize,
+        /// The optimized latency (ms) on the chosen accelerator.
+        latency_ms: f64,
+    },
+    /// Step 3: a solution candidate was checked against the constraints
+    /// (round 0 is the initial selection; later rounds are
+    /// constraint-driven retunes).
+    Tuned {
+        /// Tuning round (0 = initial selection).
+        round: usize,
+        /// Whether the candidate meets the user constraints.
+        meets_constraints: bool,
+    },
+    /// Terminal: the job produced a solution.
+    Solved {
+        /// Whether the solution meets the user constraints.
+        meets_constraints: bool,
+        /// The solution's application latency in milliseconds.
+        latency_ms: f64,
+    },
+    /// Terminal: the job was cancelled before completing.
+    Cancelled,
+    /// Terminal: the job failed.
+    Failed {
+        /// The rendered [`HascoError`](crate::HascoError).
+        error: String,
+    },
+}
+
+impl RunEvent {
+    /// True for the events that end a job's stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RunEvent::Solved { .. } | RunEvent::Cancelled | RunEvent::Failed { .. }
+        )
+    }
+}
+
+/// The emitting end of a job's event stream. Cloneable and cheap; a
+/// disabled sink ([`EventSink::disabled`]) swallows everything, so code
+/// paths shared with the one-shot API emit unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct EventSink {
+    tx: Option<Sender<RunEvent>>,
+}
+
+impl EventSink {
+    /// A sink that discards every event (the one-shot `CoDesigner` path).
+    pub fn disabled() -> Self {
+        EventSink { tx: None }
+    }
+
+    /// A sink feeding the given channel.
+    pub(crate) fn new(tx: Sender<RunEvent>) -> Self {
+        EventSink { tx: Some(tx) }
+    }
+
+    /// Emits one event. Never fails: a dropped receiver (nobody is
+    /// listening) is not an error — the run continues.
+    pub fn emit(&self, event: RunEvent) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(event);
+        }
+    }
+
+    /// True when events go anywhere at all — observability-only work
+    /// (e.g. the partition enumeration) is skipped for a disabled sink.
+    pub fn is_enabled(&self) -> bool {
+        self.tx.is_some()
+    }
+}
+
+/// The consuming end of a job's event stream: a blocking iterator that
+/// yields events as the job emits them and ends once the job finished and
+/// the buffer drained. Obtained from
+/// [`JobHandle::events`](crate::engine::JobHandle::events).
+#[derive(Debug)]
+pub struct EventStream {
+    rx: Option<Receiver<RunEvent>>,
+}
+
+impl EventStream {
+    /// A live stream over the given channel.
+    pub(crate) fn live(rx: Receiver<RunEvent>) -> Self {
+        EventStream { rx: Some(rx) }
+    }
+
+    /// A stream that yields nothing (the events were already taken).
+    pub(crate) fn empty() -> Self {
+        EventStream { rx: None }
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = RunEvent;
+
+    fn next(&mut self) -> Option<RunEvent> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification() {
+        assert!(RunEvent::Solved {
+            meets_constraints: true,
+            latency_ms: 1.0
+        }
+        .is_terminal());
+        assert!(RunEvent::Cancelled.is_terminal());
+        assert!(RunEvent::Failed { error: "x".into() }.is_terminal());
+        assert!(!RunEvent::Started {
+            label: "j".into(),
+            workloads: 1
+        }
+        .is_terminal());
+        assert!(!RunEvent::Tuned {
+            round: 0,
+            meets_constraints: false
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn disabled_sink_swallows_and_dropped_receiver_is_harmless() {
+        EventSink::disabled().emit(RunEvent::Cancelled);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sink = EventSink::new(tx);
+        drop(rx);
+        sink.emit(RunEvent::Cancelled); // must not panic
+    }
+
+    #[test]
+    fn stream_drains_buffer_then_ends() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sink = EventSink::new(tx);
+        sink.emit(RunEvent::Cancelled);
+        drop(sink);
+        let events: Vec<RunEvent> = EventStream::live(rx).collect();
+        assert_eq!(events, vec![RunEvent::Cancelled]);
+        assert_eq!(EventStream::empty().count(), 0);
+    }
+}

@@ -40,13 +40,17 @@
 //! ```
 
 pub mod codesign;
+pub mod engine;
+pub mod event;
 pub mod input;
 pub mod partition;
 pub mod report;
 pub mod solution;
 pub mod tuning;
 
-pub use codesign::{CoDesignOptions, CoDesigner};
+pub use codesign::{CoDesignOptions, CoDesigner, OptimizerKind};
+pub use engine::{CampaignOutcome, CoDesignRequest, Engine, EngineConfig, JobHandle};
+pub use event::{EventStream, RunEvent};
 pub use input::{Constraints, GenerationMethod, InputDescription};
 pub use solution::{Solution, WorkloadSolution};
 
@@ -55,6 +59,12 @@ pub use solution::{Solution, WorkloadSolution};
 pub enum HascoError {
     /// The application has no workloads.
     EmptyApp,
+    /// The run options combine into something silently degenerate
+    /// ([`CoDesignOptions::validate`] explains the specific combination).
+    InvalidOptions(String),
+    /// The job was cancelled ([`engine::JobHandle::cancel`]) before it
+    /// produced a solution.
+    Cancelled,
     /// The hardware DSE produced no feasible accelerator.
     NoFeasibleAccelerator,
     /// Software exploration failed for a workload on the chosen
@@ -68,6 +78,8 @@ impl std::fmt::Display for HascoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HascoError::EmptyApp => write!(f, "application has no workloads"),
+            HascoError::InvalidOptions(msg) => write!(f, "invalid co-design options: {msg}"),
+            HascoError::Cancelled => write!(f, "job was cancelled"),
             HascoError::NoFeasibleAccelerator => {
                 write!(f, "hardware DSE found no feasible accelerator")
             }

@@ -11,6 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::problem::{Evaluation, OptimizerResult, Point, Problem};
+use crate::progress::{BatchUpdate, Progress};
 use crate::Optimizer;
 
 /// Simulated-annealing configuration.
@@ -70,9 +71,28 @@ impl Optimizer for Annealer {
         "anneal"
     }
 
-    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+    fn run_with_progress(
+        &mut self,
+        problem: &mut dyn Problem,
+        max_evals: usize,
+        progress: &dyn Progress,
+    ) -> OptimizerResult {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut result = OptimizerResult::new(self.name());
+        // Probe bursts and walk steps are reported from this (driver)
+        // thread in a fixed order, so observers see the identical stream
+        // at any thread count.
+        let mut batch_no = 0usize;
+        let mut report = |phase: &str, evaluated: usize, feasible: usize| -> bool {
+            batch_no += 1;
+            progress.on_batch(&BatchUpdate {
+                optimizer: "anneal",
+                phase,
+                batch: batch_no,
+                evaluated,
+                feasible,
+            })
+        };
         let m = problem.num_objectives();
         let budget_per_restart = (max_evals / self.restarts).max(1);
         let mut ideal = vec![f64::INFINITY; m];
@@ -105,9 +125,11 @@ impl Optimizer for Annealer {
                     break;
                 }
                 trials += batch.len();
+                let mut feasible = 0usize;
                 for (p, objs) in batch.iter().zip(problem.evaluate_batch(&batch)) {
                     match objs {
                         Some(objs) => {
+                            feasible += 1;
                             for (i, &o) in ideal.iter_mut().zip(objs.iter()) {
                                 *i = i.min(o);
                             }
@@ -121,6 +143,9 @@ impl Optimizer for Annealer {
                         }
                         None => result.infeasible += 1,
                     }
+                }
+                if !report("probe", batch.len(), feasible) {
+                    return result;
                 }
             }
             let Some((mut cur_p, mut cur_o)) = current else {
@@ -144,6 +169,9 @@ impl Optimizer for Annealer {
                 trials += 1;
                 let Some(objs) = problem.evaluate(&cand) else {
                     result.infeasible += 1;
+                    if !report("walk", 1, 0) {
+                        return result;
+                    }
                     temperature *= self.cooling;
                     continue;
                 };
@@ -154,6 +182,9 @@ impl Optimizer for Annealer {
                     point: cand.clone(),
                     objectives: objs.clone(),
                 });
+                if !report("walk", 1, 1) {
+                    return result;
+                }
                 let delta =
                     chebyshev(&objs, &ideal, &weights) - chebyshev(&cur_o, &ideal, &weights);
                 let accept = delta < 0.0

@@ -43,10 +43,12 @@ pub mod mobo;
 pub mod nsga2;
 pub mod pareto;
 pub mod problem;
+pub mod progress;
 pub mod random;
 pub mod staged;
 
 pub use problem::{Evaluation, EvaluatorProblem, OptimizerResult, Point, Problem, SearchSpace};
+pub use progress::{BatchUpdate, NoProgress, Progress};
 pub use staged::{rank_top_k, FidelityStaged, StagedStats};
 // The batch-evaluation seam: optimizers hand candidate batches to
 // `Problem::evaluate_batch`; `EvaluatorProblem` adapts any standalone
@@ -57,7 +59,23 @@ pub use runtime::{BatchEvaluator, WorkerPool};
 pub trait Optimizer {
     /// Runs the optimizer for at most `max_evals` problem evaluations and
     /// returns the full evaluation history.
-    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult;
+    ///
+    /// Equivalent to [`Optimizer::run_with_progress`] with [`NoProgress`]
+    /// — same trajectory, evaluation for evaluation.
+    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+        self.run_with_progress(problem, max_evals, &NoProgress)
+    }
+
+    /// Like [`Optimizer::run`], but reports every evaluated batch to
+    /// `progress` (from the driver thread, in an order independent of the
+    /// problem's internal parallelism) and stops early — returning the
+    /// history so far — when the observer answers `false`.
+    fn run_with_progress(
+        &mut self,
+        problem: &mut dyn Problem,
+        max_evals: usize,
+        progress: &dyn Progress,
+    ) -> OptimizerResult;
 
     /// Name for reports.
     fn name(&self) -> &'static str;

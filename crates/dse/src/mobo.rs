@@ -14,6 +14,7 @@ use crate::gp::GaussianProcess;
 use crate::hypervolume::hypervolume;
 use crate::pareto::pareto_indices;
 use crate::problem::{Evaluation, OptimizerResult, Point, Problem};
+use crate::progress::{BatchUpdate, Progress};
 use crate::Optimizer;
 
 /// MOBO configuration (the paper's defaults: 5–10 prior samples, then
@@ -73,11 +74,31 @@ impl Optimizer for Mobo {
         "mobo"
     }
 
-    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+    fn run_with_progress(
+        &mut self,
+        problem: &mut dyn Problem,
+        max_evals: usize,
+        progress: &dyn Progress,
+    ) -> OptimizerResult {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut result = OptimizerResult::new(self.name());
         let mut seen: BTreeSet<Point> = BTreeSet::new();
         let m = problem.num_objectives();
+
+        // Batches are reported from this (driver) thread in a fixed order
+        // — a pure function of the run parameters — so observers see the
+        // identical stream at any thread count.
+        let mut batch_no = 0usize;
+        let mut report = |phase: &str, evaluated: usize, feasible: usize| -> bool {
+            batch_no += 1;
+            progress.on_batch(&BatchUpdate {
+                optimizer: "mobo",
+                phase,
+                batch: batch_no,
+                evaluated,
+                feasible,
+            })
+        };
 
         let mut trials = 0usize;
         let try_evaluate = |p: &Point,
@@ -125,9 +146,11 @@ impl Optimizer for Mobo {
                 break;
             }
             trials += batch.len();
+            let mut feasible = 0usize;
             for (p, objs) in batch.iter().zip(problem.evaluate_batch(&batch)) {
                 match objs {
                     Some(objs) => {
+                        feasible += 1;
                         result.evaluations.push(Evaluation {
                             point: p.clone(),
                             objectives: objs,
@@ -135,6 +158,9 @@ impl Optimizer for Mobo {
                     }
                     None => result.infeasible += 1,
                 }
+            }
+            if !report("prior", batch.len(), feasible) {
+                return result;
             }
         }
 
@@ -146,7 +172,10 @@ impl Optimizer for Mobo {
                 // Scheduled exploration step (see `explore_every`).
                 let p = problem.space().random_point(&mut rng);
                 if seen.insert(p.clone()) {
-                    try_evaluate(&p, problem, &mut result, &mut trials);
+                    let feasible = try_evaluate(&p, problem, &mut result, &mut trials);
+                    if !report("acquire", 1, feasible as usize) {
+                        return result;
+                    }
                     continue;
                 }
             }
@@ -154,7 +183,10 @@ impl Optimizer for Mobo {
                 // Not enough data for a surrogate; keep sampling randomly.
                 let p = problem.space().random_point(&mut rng);
                 if seen.insert(p.clone()) {
-                    try_evaluate(&p, problem, &mut result, &mut trials);
+                    let feasible = try_evaluate(&p, problem, &mut result, &mut trials);
+                    if !report("acquire", 1, feasible as usize) {
+                        return result;
+                    }
                 }
                 continue;
             }
@@ -183,7 +215,10 @@ impl Optimizer for Mobo {
             if fit_failed {
                 let p = problem.space().random_point(&mut rng);
                 if seen.insert(p.clone()) {
-                    try_evaluate(&p, problem, &mut result, &mut trials);
+                    let feasible = try_evaluate(&p, problem, &mut result, &mut trials);
+                    if !report("acquire", 1, feasible as usize) {
+                        return result;
+                    }
                 }
                 continue;
             }
@@ -277,7 +312,10 @@ impl Optimizer for Mobo {
             }
             let (_, chosen) = best.expect("candidates were non-empty");
             seen.insert(chosen.clone());
-            try_evaluate(&chosen, problem, &mut result, &mut trials);
+            let feasible = try_evaluate(&chosen, problem, &mut result, &mut trials);
+            if !report("acquire", 1, feasible as usize) {
+                return result;
+            }
         }
         result
     }

@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::pareto::{crowding_distance, non_dominated_sort};
 use crate::problem::{Evaluation, OptimizerResult, Point, Problem};
+use crate::progress::{BatchUpdate, Progress};
 use crate::Optimizer;
 
 /// NSGA-II configuration.
@@ -51,9 +52,28 @@ impl Optimizer for Nsga2 {
         "nsga2"
     }
 
-    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+    fn run_with_progress(
+        &mut self,
+        problem: &mut dyn Problem,
+        max_evals: usize,
+        progress: &dyn Progress,
+    ) -> OptimizerResult {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut result = OptimizerResult::new(self.name());
+        // Generations are reported from this (driver) thread in a fixed
+        // order, so observers see the identical stream at any thread
+        // count.
+        let mut batch_no = 0usize;
+        let mut report = |evaluated: usize, feasible: usize| -> bool {
+            batch_no += 1;
+            progress.on_batch(&BatchUpdate {
+                optimizer: "nsga2",
+                phase: "generation",
+                batch: batch_no,
+                evaluated,
+                feasible,
+            })
+        };
         let d = problem.space().len();
         let mut_prob = if self.mutation_prob > 0.0 {
             self.mutation_prob
@@ -107,12 +127,13 @@ impl Optimizer for Nsga2 {
             if batch.is_empty() {
                 break;
             }
-            pop.extend(evaluate_generation(
-                batch,
-                problem,
-                &mut result,
-                &mut budget,
-            ));
+            let submitted = batch.len();
+            let fresh = evaluate_generation(batch, problem, &mut result, &mut budget);
+            let feasible = fresh.len();
+            pop.extend(fresh);
+            if !report(submitted, feasible) {
+                return result;
+            }
         }
         if pop.is_empty() {
             return result;
@@ -169,7 +190,11 @@ impl Optimizer for Nsga2 {
                 }
                 let fresh = evaluate_generation(brood, problem, &mut result, &mut budget);
                 stall += want - fresh.len();
+                let feasible = fresh.len();
                 offspring.extend(fresh);
+                if !report(want, feasible) {
+                    return result;
+                }
             }
 
             // Environmental selection over parents + offspring.

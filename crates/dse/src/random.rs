@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use std::collections::BTreeSet;
 
 use crate::problem::{Evaluation, OptimizerResult, Problem};
+use crate::progress::{BatchUpdate, Progress};
 use crate::Optimizer;
 
 /// Uniform random sampling without replacement (up to a retry budget).
@@ -25,11 +26,17 @@ impl Optimizer for RandomSearch {
         "random"
     }
 
-    fn run(&mut self, problem: &mut dyn Problem, max_evals: usize) -> OptimizerResult {
+    fn run_with_progress(
+        &mut self,
+        problem: &mut dyn Problem,
+        max_evals: usize,
+        progress: &dyn Progress,
+    ) -> OptimizerResult {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut result = OptimizerResult::new(self.name());
         let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
         let mut attempts = 0usize;
+        let mut batch_no = 0usize;
         while result.evaluations.len() + result.infeasible < max_evals && attempts < max_evals * 50
         {
             attempts += 1;
@@ -37,12 +44,29 @@ impl Optimizer for RandomSearch {
             if !seen.insert(p.clone()) {
                 continue;
             }
-            match problem.evaluate(&p) {
-                Some(objs) => result.evaluations.push(Evaluation {
-                    point: p,
-                    objectives: objs,
-                }),
-                None => result.infeasible += 1,
+            let feasible = match problem.evaluate(&p) {
+                Some(objs) => {
+                    result.evaluations.push(Evaluation {
+                        point: p,
+                        objectives: objs,
+                    });
+                    1
+                }
+                None => {
+                    result.infeasible += 1;
+                    0
+                }
+            };
+            batch_no += 1;
+            let keep_going = progress.on_batch(&BatchUpdate {
+                optimizer: "random",
+                phase: "sample",
+                batch: batch_no,
+                evaluated: 1,
+                feasible,
+            });
+            if !keep_going {
+                return result;
             }
         }
         result

@@ -13,7 +13,12 @@
 //! * cross-run persistence ([`MemoCache::save_to_file`] /
 //!   [`MemoCache::load_from_file`]): a checksummed binary image keyed by
 //!   stable fingerprints, so repeated runs start warm; any corruption
-//!   degrades to a clean cold start, never a wrong answer.
+//!   degrades to a clean cold start, never a wrong answer;
+//! * entry ages: every entry carries the Unix timestamp of its insertion,
+//!   persisted with the image, so long-lived shared cache files can be
+//!   garbage-collected by age ([`MemoCache::compact`], the `max_age`
+//!   parameter of [`MemoCache::save_merged_with_max_age`]) instead of
+//!   growing until the capacity bound thrashes.
 //!
 //! Compute-on-miss runs **outside** the shard lock: two workers racing on
 //! the same key may both compute, but memoized evaluations are pure, so
@@ -25,11 +30,23 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 const SHARDS: usize = 16;
 
-/// File magic + format version for persisted caches.
-const PERSIST_MAGIC: &[u8; 8] = b"HASCOMC1";
+/// File magic + format version for persisted caches. Version 2 added a
+/// per-entry insertion timestamp (for age-based GC); version-1 images are
+/// still readable — their entries are treated as freshly inserted.
+const PERSIST_MAGIC: &[u8; 8] = b"HASCOMC2";
+const PERSIST_MAGIC_V1: &[u8; 8] = b"HASCOMC1";
+
+/// Seconds since the Unix epoch (0 if the clock is before the epoch).
+fn now_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
 
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,7 +75,8 @@ impl CacheStats {
 
 #[derive(Debug)]
 struct Shard<K, V> {
-    map: HashMap<K, V>,
+    /// Value plus insertion timestamp (Unix seconds).
+    map: HashMap<K, (V, u64)>,
     /// Keys in insertion order, for FIFO eviction.
     order: std::collections::VecDeque<K>,
 }
@@ -128,7 +146,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     pub fn get(&self, key: &K) -> Option<V> {
         let shard = self.shard_for(key).lock().expect("shard poisoned");
         match shard.map.get(key) {
-            Some(v) => {
+            Some((v, _)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v.clone())
             }
@@ -139,10 +157,46 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         }
     }
 
-    /// Inserts a value, evicting the shard's oldest entry when full.
+    /// Inserts a value stamped "now", evicting the shard's oldest entry
+    /// when full.
     pub fn insert(&self, key: K, value: V) {
+        self.insert_stamped(key, value, now_secs());
+    }
+
+    /// Inserts a value with an explicit insertion timestamp (Unix
+    /// seconds). Warm-seeding paths use this to preserve the age an entry
+    /// had in the cache it came from, so age-based GC sees through
+    /// load→run→save cycles instead of treating every reload as fresh.
+    pub fn insert_stamped(&self, key: K, value: V, stamp: u64) {
         let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
-        if shard.map.insert(key.clone(), value).is_none() {
+        if shard.map.insert(key.clone(), (value, stamp)).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            shard.order.push_back(key);
+            while shard.map.len() > self.per_shard {
+                if let Some(old) = shard.order.pop_front() {
+                    if shard.map.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Like [`MemoCache::insert_stamped`], but a key collision keeps the
+    /// **newer** of the two stamps (the value is still replaced) — the
+    /// in-memory analogue of the merged save's stamp handling, for
+    /// publishers whose snapshot may carry stale stamps: age-GC must not
+    /// expire an entry someone recently renewed just because a
+    /// long-running publisher still holds the old stamp.
+    pub fn insert_stamped_newest(&self, key: K, value: V, stamp: u64) {
+        let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
+        let stamp = match shard.map.get(&key) {
+            Some((_, prior)) => stamp.max(*prior),
+            None => stamp,
+        };
+        if shard.map.insert(key.clone(), (value, stamp)).is_none() {
             self.inserts.fetch_add(1, Ordering::Relaxed);
             shard.order.push_back(key);
             while shard.map.len() > self.per_shard {
@@ -169,15 +223,57 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         v
     }
 
+    /// Drops every entry older than `max_age` (by insertion timestamp) and
+    /// returns how many were removed. This is the explicit-compaction half
+    /// of the cache-lifecycle story: long-lived engines call it (or let
+    /// their persistence layer pass a `max_age` to
+    /// [`MemoCache::save_merged_with_max_age`]) so shared caches shed
+    /// entries that no run has refreshed in a long time. Removals do not
+    /// count as capacity evictions in [`CacheStats`].
+    pub fn compact(&self, max_age: Duration) -> usize {
+        let cutoff = now_secs().saturating_sub(max_age.as_secs());
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("shard poisoned");
+            let stale: Vec<K> = s
+                .map
+                .iter()
+                .filter(|(_, (_, stamp))| *stamp < cutoff)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in &stale {
+                s.map.remove(k);
+            }
+            if !stale.is_empty() {
+                removed += stale.len();
+                // Rebuild the FIFO queue without the dropped keys.
+                let mut order = std::mem::take(&mut s.order);
+                order.retain(|k| s.map.contains_key(k));
+                s.order = order;
+            }
+        }
+        removed
+    }
+
     /// Clones every entry, shard by shard in insertion order — the basis
     /// of [`MemoCache::save_to_file`].
     pub fn snapshot(&self) -> Vec<(K, V)> {
+        self.snapshot_stamped()
+            .into_iter()
+            .map(|(k, v, _)| (k, v))
+            .collect()
+    }
+
+    /// Like [`MemoCache::snapshot`], but keeps each entry's insertion
+    /// timestamp — the form engines pass between a shared store and
+    /// per-job caches so ages survive the round trip.
+    pub fn snapshot_stamped(&self) -> Vec<(K, V, u64)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let s = shard.lock().expect("shard poisoned");
             for key in &s.order {
-                if let Some(v) = s.map.get(key) {
-                    out.push((key.clone(), v.clone()));
+                if let Some((v, stamp)) = s.map.get(key) {
+                    out.push((key.clone(), v.clone(), *stamp));
                 }
             }
         }
@@ -185,12 +281,16 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     }
 
     /// Serializes entries into the checksummed persisted-image layout.
-    fn build_image(entries: &[(K, V)], encode: &mut impl FnMut(&K, &V, &mut Vec<u8>)) -> Vec<u8> {
+    fn build_image(
+        entries: &[(K, V, u64)],
+        encode: &mut impl FnMut(&K, &V, &mut Vec<u8>),
+    ) -> Vec<u8> {
         let mut payload = Vec::new();
-        for (k, v) in entries {
+        for (k, v, stamp) in entries {
             let mut entry = Vec::new();
             encode(k, v, &mut entry);
             payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&stamp.to_le_bytes());
             payload.extend_from_slice(&entry);
         }
         let mut file = Vec::with_capacity(payload.len() + 32);
@@ -251,7 +351,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         path: &std::path::Path,
         mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
     ) -> std::io::Result<u64> {
-        let entries = self.snapshot();
+        let entries = self.snapshot_stamped();
         Self::write_image_atomically(path, &Self::build_image(&entries, &mut encode))?;
         Ok(entries.len() as u64)
     }
@@ -274,26 +374,55 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     pub fn save_merged_to_file(
         &self,
         path: &std::path::Path,
+        encode: impl FnMut(&K, &V, &mut Vec<u8>),
+        decode: impl FnMut(&[u8]) -> Option<(K, V)>,
+    ) -> std::io::Result<u64> {
+        self.save_merged_with_max_age(path, encode, decode, None)
+    }
+
+    /// Like [`MemoCache::save_merged_to_file`], but additionally drops
+    /// every merged entry older than `max_age` (by insertion timestamp)
+    /// before writing — the time-based GC for long-lived shared cache
+    /// files. With `max_age = None` this is exactly the plain merge.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the temp file or renaming it
+    /// into place.
+    pub fn save_merged_with_max_age(
+        &self,
+        path: &std::path::Path,
         mut encode: impl FnMut(&K, &V, &mut Vec<u8>),
         mut decode: impl FnMut(&[u8]) -> Option<(K, V)>,
+        max_age: Option<Duration>,
     ) -> std::io::Result<u64> {
-        let existing: Vec<(K, V)> = std::fs::read(path)
+        let existing: Vec<(K, V, u64)> = std::fs::read(path)
             .ok()
             .and_then(|bytes| Self::parse_persisted(&bytes, &mut decode))
             .unwrap_or_default();
         // Newest-wins, order-preserving merge: a refreshed key moves to
         // the back (it is the newest), so capacity truncation below drops
-        // genuinely stale entries first.
-        let mut slots: Vec<Option<(K, V)>> = Vec::new();
+        // genuinely stale entries first. The saver's *value* wins on a
+        // collision, but the *stamp* is the max of both sides: another
+        // process may have refreshed the key in the file after this cache
+        // loaded it, and age-GC must not expire an entry someone recently
+        // renewed just because a long-running saver still carries the old
+        // stamp.
+        let mut slots: Vec<Option<(K, V, u64)>> = Vec::new();
         let mut index: HashMap<K, usize> = HashMap::new();
-        for (k, v) in existing.into_iter().chain(self.snapshot()) {
+        for (k, v, mut stamp) in existing.into_iter().chain(self.snapshot_stamped()) {
             if let Some(&at) = index.get(&k) {
-                slots[at] = None;
+                if let Some((_, _, prior)) = slots[at].take() {
+                    stamp = stamp.max(prior);
+                }
             }
             index.insert(k.clone(), slots.len());
-            slots.push(Some((k, v)));
+            slots.push(Some((k, v, stamp)));
         }
-        let mut entries: Vec<(K, V)> = slots.into_iter().flatten().collect();
+        let mut entries: Vec<(K, V, u64)> = slots.into_iter().flatten().collect();
+        if let Some(max_age) = max_age {
+            let cutoff = now_secs().saturating_sub(max_age.as_secs());
+            entries.retain(|(_, _, stamp)| *stamp >= cutoff);
+        }
         let cap = self.capacity();
         if entries.len() > cap {
             entries.drain(..entries.len() - cap);
@@ -304,7 +433,9 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
 
     /// Loads entries saved by [`MemoCache::save_to_file`] into this cache.
     /// `decode` parses one entry's bytes back into a `(key, value)` pair,
-    /// returning `None` for unrecognized layouts.
+    /// returning `None` for unrecognized layouts. Entry timestamps are
+    /// restored (version-1 images, which predate timestamps, load as
+    /// freshly inserted).
     ///
     /// Any anomaly in the image itself — missing file, bad magic,
     /// truncation, checksum mismatch, or an entry the decoder rejects —
@@ -332,23 +463,30 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
             return Ok(0);
         };
         let count = entries.len() as u64;
-        for (k, v) in entries {
-            self.insert(k, v);
+        for (k, v, stamp) in entries {
+            self.insert_stamped(k, v, stamp);
         }
         Ok(count)
     }
 
     /// Validates and decodes a persisted cache image; `None` on any
-    /// corruption.
+    /// corruption. Understands both the current (timestamped) layout and
+    /// the timestamp-free version-1 layout.
     fn parse_persisted(
         bytes: &[u8],
         decode: &mut impl FnMut(&[u8]) -> Option<(K, V)>,
-    ) -> Option<Vec<(K, V)>> {
-        let header = PERSIST_MAGIC.len() + 8;
-        if bytes.len() < header + 8 || &bytes[..PERSIST_MAGIC.len()] != PERSIST_MAGIC {
+    ) -> Option<Vec<(K, V, u64)>> {
+        let magic_len = PERSIST_MAGIC.len();
+        let header = magic_len + 8;
+        if bytes.len() < header + 8 {
             return None;
         }
-        let count = u64::from_le_bytes(bytes[PERSIST_MAGIC.len()..header].try_into().ok()?);
+        let stamped = match &bytes[..magic_len] {
+            m if m == PERSIST_MAGIC => true,
+            m if m == PERSIST_MAGIC_V1 => false,
+            _ => return None,
+        };
+        let count = u64::from_le_bytes(bytes[magic_len..header].try_into().ok()?);
         let payload = &bytes[header..bytes.len() - 8];
         let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
         let mut fp = crate::Fingerprinter::new();
@@ -358,16 +496,28 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         }
         let mut entries = Vec::new();
         let mut rest = payload;
+        let fallback_stamp = now_secs();
         for _ in 0..count {
             if rest.len() < 4 {
                 return None;
             }
             let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
             rest = &rest[4..];
+            let stamp = if stamped {
+                if rest.len() < 8 {
+                    return None;
+                }
+                let s = u64::from_le_bytes(rest[..8].try_into().ok()?);
+                rest = &rest[8..];
+                s
+            } else {
+                fallback_stamp
+            };
             if rest.len() < len {
                 return None;
             }
-            entries.push(decode(&rest[..len])?);
+            let (k, v) = decode(&rest[..len])?;
+            entries.push((k, v, stamp));
             rest = &rest[len..];
         }
         if !rest.is_empty() {
@@ -500,6 +650,104 @@ mod tests {
     }
 
     #[test]
+    fn timestamps_survive_persistence_round_trips() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        cache.insert_stamped(1, 10, 12345);
+        cache.insert_stamped(2, 20, 67890);
+        let path = temp_path("stamps");
+        cache.save_to_file(&path, encode_u64_pair).unwrap();
+        let warm: MemoCache<u64, u64> = MemoCache::new(64);
+        warm.load_from_file(&path, decode_u64_pair).unwrap();
+        let mut stamps: Vec<(u64, u64)> = warm
+            .snapshot_stamped()
+            .into_iter()
+            .map(|(k, _, s)| (k, s))
+            .collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps, vec![(1, 12345), (2, 67890)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_images_load_as_fresh_entries() {
+        // Hand-build a version-1 (timestamp-free) image; it must load
+        // cleanly with every entry treated as freshly inserted.
+        let mut payload = Vec::new();
+        for (k, v) in [(1u64, 10u64), (2, 20)] {
+            let mut entry = Vec::new();
+            encode_u64_pair(&k, &v, &mut entry);
+            payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&entry);
+        }
+        let mut image = Vec::new();
+        image.extend_from_slice(PERSIST_MAGIC_V1);
+        image.extend_from_slice(&2u64.to_le_bytes());
+        image.extend_from_slice(&payload);
+        let mut fp = crate::Fingerprinter::new();
+        fp.write_bytes(&payload);
+        image.extend_from_slice(&fp.finish().0.to_le_bytes());
+
+        let path = temp_path("v1");
+        std::fs::write(&path, &image).unwrap();
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(cache.load_from_file(&path, decode_u64_pair).unwrap(), 2);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), Some(20));
+        // Fresh stamps: an aggressive compaction right after loading keeps
+        // them.
+        assert_eq!(cache.compact(Duration::from_secs(60)), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_drops_only_aged_entries() {
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        let now = super::now_secs();
+        cache.insert_stamped(1, 10, now.saturating_sub(10_000));
+        cache.insert_stamped(2, 20, now.saturating_sub(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.compact(Duration::from_secs(3600)), 1);
+        assert_eq!(cache.get(&1), None, "aged entry must be gone");
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+        // Compaction is not a capacity eviction.
+        assert_eq!(cache.stats().evictions, 0);
+        // Eviction order stays consistent after compaction (no dangling
+        // keys in the FIFO queue).
+        assert_eq!(cache.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn merged_save_with_max_age_garbage_collects_the_file() {
+        let path = temp_path("merge-gc");
+        std::fs::remove_file(&path).ok();
+        let now = super::now_secs();
+        let old: MemoCache<u64, u64> = MemoCache::new(64);
+        old.insert_stamped(1, 10, now.saturating_sub(10_000));
+        old.insert_stamped(2, 20, now.saturating_sub(9_000));
+        old.save_to_file(&path, encode_u64_pair).unwrap();
+        // A later run merges fresh entries with a one-hour max age: the
+        // aged entries are dropped from the file, the fresh ones kept.
+        let fresh: MemoCache<u64, u64> = MemoCache::new(64);
+        fresh.insert(3, 30);
+        let written = fresh
+            .save_merged_with_max_age(
+                &path,
+                encode_u64_pair,
+                decode_u64_pair,
+                Some(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert_eq!(written, 1);
+        let warm: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(warm.load_from_file(&path, decode_u64_pair).unwrap(), 1);
+        assert_eq!(warm.get(&3), Some(30));
+        assert_eq!(warm.get(&1), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn capacity_is_never_below_the_request() {
         // 100 / 16 rounds down to 6 shards of 96; div_ceil gives 7 * 16.
         assert_eq!(MemoCache::<u64, u64>::new(100).capacity(), 112);
@@ -586,7 +834,7 @@ mod tests {
     #[test]
     fn merged_save_over_a_corrupt_file_degrades_to_plain_save() {
         let path = temp_path("merge-corrupt");
-        std::fs::write(&path, b"HASCOMC1 but then garbage").unwrap();
+        std::fs::write(&path, b"HASCOMC2 but then garbage").unwrap();
         let cache: MemoCache<u64, u64> = MemoCache::new(64);
         cache.insert(7, 70);
         assert_eq!(

@@ -53,11 +53,13 @@
 pub mod batch;
 pub mod cache;
 pub mod fingerprint;
+pub mod jobs;
 pub mod pool;
 
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, MemoCache};
 pub use fingerprint::{Fingerprint, Fingerprinter, StableFingerprint};
+pub use jobs::JobScheduler;
 pub use pool::{PoolStats, WorkerPool};
 
 /// A point in a discrete search space (one choice index per dimension) —

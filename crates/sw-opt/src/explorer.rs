@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use accel_model::arch::AcceleratorConfig;
 use accel_model::{AnalyticBackend, CostBackend, CostModel, Metrics};
+use dse::progress::{BatchUpdate, Progress};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use runtime::{Fingerprint, Fingerprinter, StableFingerprint, WorkerPool};
@@ -92,6 +93,9 @@ pub struct SoftwareExplorer {
     seed: u64,
     backend: Arc<dyn CostBackend>,
     workers: WorkerPool,
+    /// Optional per-round progress observer (see
+    /// [`SoftwareExplorer::with_progress`]).
+    progress: Option<Arc<dyn Progress>>,
 }
 
 impl SoftwareExplorer {
@@ -102,6 +106,7 @@ impl SoftwareExplorer {
             seed,
             backend: Arc::new(AnalyticBackend::default()),
             workers: WorkerPool::serial(),
+            progress: None,
         }
     }
 
@@ -133,6 +138,19 @@ impl SoftwareExplorer {
     /// stay serial, so results are identical at any worker count.
     pub fn with_workers(mut self, workers: WorkerPool) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Reports every revision round to `progress` (phase `"round"`) and
+    /// stops the exploration early — returning the best schedule so far —
+    /// when the observer answers `false`. This is how a resident engine
+    /// observes and cancels long final optimizations; the observer is
+    /// called from the thread driving [`SoftwareExplorer::optimize`], in
+    /// round order, so observations never depend on worker scheduling.
+    /// Observation changes neither the trajectory nor the result of a
+    /// completed run.
+    pub fn with_progress(mut self, progress: Arc<dyn Progress>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -168,7 +186,7 @@ impl SoftwareExplorer {
         let mut history = Vec::with_capacity(opts.rounds);
         let mut evaluated = pool.len();
 
-        for _ in 0..opts.rounds {
+        for round in 0..opts.rounds {
             let top = pool.top_k(opts.top_k);
             // Phase 1, serial: propose one revision per valuable candidate.
             // The Q-network state and the RNG stream advance in a fixed
@@ -211,6 +229,7 @@ impl SoftwareExplorer {
             };
 
             // Phase 3, serial: feed rewards back in submission order.
+            let outcomes_len = proposals.len();
             let mut fresh: Vec<Candidate> = Vec::new();
             for ((cand, revised, action), outcome) in proposals.into_iter().zip(outcomes) {
                 match outcome {
@@ -244,11 +263,25 @@ impl SoftwareExplorer {
                     }
                 }
             }
+            let feasible = fresh.len();
+            let submitted = outcomes_len;
             for c in fresh {
                 pool.insert(c);
             }
             pool.prune(opts.max_pool);
             history.push(pool.best_latency());
+            if let Some(progress) = &self.progress {
+                let keep_going = progress.on_batch(&BatchUpdate {
+                    optimizer: "sw-explorer",
+                    phase: "round",
+                    batch: round + 1,
+                    evaluated: submitted,
+                    feasible,
+                });
+                if !keep_going {
+                    break;
+                }
+            }
         }
 
         let best = pool.best().clone();

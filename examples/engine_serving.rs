@@ -1,0 +1,159 @@
+//! Serving co-design as a resident service: one `hasco::Engine`, many
+//! concurrent requests, streamed progress, warm repeat traffic, and a
+//! campaign fan-out — the shape of a production deployment, where the
+//! worker pool, the evaluation cache, and surrogate training amortize
+//! across every request instead of being rebuilt per call.
+//!
+//! ```sh
+//! cargo run --release --example engine_serving
+//! ```
+
+use hasco::codesign::CoDesignOptions;
+use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
+use hasco::event::RunEvent;
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+fn edge_input() -> InputDescription {
+    InputDescription {
+        app: TensorApp::new(
+            "edge-cnn",
+            vec![
+                suites::conv2d_workload("c1", 64, 64, 28, 28, 3, 3),
+                suites::gemm_workload("fc", 256, 256, 128),
+            ],
+        ),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints {
+            max_power_mw: Some(2_000.0),
+            ..Constraints::default()
+        },
+    }
+}
+
+fn cloud_input() -> InputDescription {
+    let mut input = edge_input();
+    input.app = TensorApp::new("cloud-cnn", input.app.workloads);
+    input.constraints = Constraints {
+        max_power_mw: Some(20_000.0),
+        ..Constraints::default()
+    };
+    input
+}
+
+fn main() {
+    // A resident engine: two concurrent job slots sharing one memo store.
+    let engine = Engine::new(EngineConfig::default().with_job_slots(2));
+
+    // --- Concurrent submissions with live progress ---------------------
+    // Submit two requests back to back; both run at once. Each handle
+    // streams typed events; a background thread tails one stream while
+    // the main thread tails the other.
+    println!("== two concurrent jobs ==");
+    let edge_job = engine
+        .submit(CoDesignRequest::new(
+            edge_input(),
+            CoDesignOptions::quick(7),
+        ))
+        .expect("valid request");
+    let cloud_job = engine
+        .submit(CoDesignRequest::new(
+            cloud_input(),
+            CoDesignOptions::quick(7),
+        ))
+        .expect("valid request");
+
+    let edge_events = edge_job.events();
+    let tail = std::thread::spawn(move || {
+        let mut batches = 0;
+        for event in edge_events {
+            if matches!(event, RunEvent::BatchEvaluated { .. }) {
+                batches += 1;
+            }
+        }
+        batches
+    });
+    let mut cloud_batches = 0;
+    for event in cloud_job.events() {
+        match event {
+            RunEvent::BatchEvaluated { .. } => cloud_batches += 1,
+            RunEvent::Solved {
+                meets_constraints, ..
+            } => println!(
+                "cloud job solved (constraints {})",
+                if meets_constraints { "met" } else { "violated" }
+            ),
+            _ => {}
+        }
+    }
+    let edge_batches = tail.join().expect("event tailer");
+
+    let edge = edge_job.wait().expect("edge job succeeds");
+    let cloud = cloud_job.wait().expect("cloud job succeeds");
+    println!(
+        "edge:  {} ({} DSE batches, {} cache misses)",
+        edge.accelerator, edge_batches, edge.stats.cache.misses
+    );
+    println!(
+        "cloud: {} ({} DSE batches, {} cache misses)",
+        cloud.accelerator, cloud_batches, cloud.stats.cache.misses
+    );
+
+    // --- Warm repeat traffic -------------------------------------------
+    // Both waits above published their evaluations into the shared
+    // store, so a repeat of the edge request starts warm: same solution,
+    // a fraction of the work.
+    println!("\n== warm repeat ==");
+    let repeat = engine
+        .submit(CoDesignRequest::new(
+            edge_input(),
+            CoDesignOptions::quick(7),
+        ))
+        .expect("valid request")
+        .wait()
+        .expect("repeat succeeds");
+    assert_eq!(repeat.accelerator, edge.accelerator);
+    println!(
+        "repeat: {} warm entries, {} misses (cold run: {}), identical solution",
+        repeat.stats.warm_cache_entries, repeat.stats.cache.misses, edge.stats.cache.misses
+    );
+
+    // --- Campaign fan-out ----------------------------------------------
+    // A scenario matrix (here: two power envelopes x two seeds) runs as
+    // one campaign: identical scenarios deduplicate, and later waves
+    // start warm from earlier ones.
+    println!("\n== campaign ==");
+    let mut matrix = Vec::new();
+    for (scenario, input) in [("edge", edge_input()), ("cloud", cloud_input())] {
+        for seed in [7, 11] {
+            matrix.push(
+                CoDesignRequest::new(input.clone(), CoDesignOptions::quick(seed))
+                    .with_label(format!("{scenario}/seed{seed}")),
+            );
+        }
+    }
+    // An exact repeat of an earlier scenario: the campaign detects it and
+    // reuses the representative's solution without running a job.
+    matrix.push(
+        CoDesignRequest::new(edge_input(), CoDesignOptions::quick(7)).with_label("edge/retry"),
+    );
+    let outcomes = engine.campaign(matrix).expect("campaign succeeds");
+    for outcome in &outcomes {
+        println!(
+            "{:>12}: {} ({} warm entries{})",
+            outcome.label,
+            outcome.solution.accelerator,
+            outcome.solution.stats.warm_cache_entries,
+            match &outcome.shared_with {
+                Some(with) => format!(", deduplicated with {with}"),
+                None => String::new(),
+            },
+        );
+    }
+    println!(
+        "\nengine executed {} jobs total; store holds {} entries",
+        engine.jobs_executed(),
+        engine.warm_entries()
+    );
+}

@@ -1,11 +1,18 @@
 //! Quickstart: co-design an accelerator and software for a tiny GEMM
-//! application in under a minute.
+//! application in under a minute, watching the run's progress events.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! (The one-shot `CoDesigner::new(opts).run(&input)` API still exists and
+//! produces the identical solution; this example uses the engine so the
+//! progress stream is visible. See `examples/engine_serving.rs` for
+//! serving many concurrent requests from one engine.)
 
-use hasco::codesign::{CoDesignOptions, CoDesigner};
+use hasco::codesign::CoDesignOptions;
+use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
+use hasco::event::RunEvent;
 use hasco::input::{Constraints, GenerationMethod, InputDescription};
 use tensor_ir::suites;
 use tensor_ir::workload::TensorApp;
@@ -25,13 +32,48 @@ fn main() {
         constraints: Constraints::latency_power(50.0, 5_000.0),
     };
 
-    // 2. Run the three-step co-design flow (partition -> explore -> tune).
-    let solution = CoDesigner::new(CoDesignOptions::quick(42))
-        .run(&input)
-        .expect("co-design succeeds on this toy app");
+    // 2. Submit the three-step co-design flow (partition -> explore ->
+    //    tune) to an engine and follow its typed progress events.
+    let engine = Engine::new(EngineConfig::default());
+    let job = engine
+        .submit(CoDesignRequest::new(input, CoDesignOptions::quick(42)))
+        .expect("valid request");
+    for event in job.events() {
+        match event {
+            RunEvent::Partitioned { workload, choices } => {
+                println!("[partition] {workload}: {choices} tensorize choices");
+            }
+            RunEvent::BatchEvaluated {
+                optimizer,
+                batch,
+                evaluated,
+                feasible,
+                ..
+            } => {
+                println!("[{optimizer} #{batch}] evaluated {evaluated} ({feasible} feasible)");
+            }
+            RunEvent::SoftwareOptimized {
+                workload,
+                rounds,
+                latency_ms,
+            } => {
+                println!("[sw-opt] {workload}: {rounds} rounds -> {latency_ms:.3} ms");
+            }
+            RunEvent::Solved {
+                meets_constraints, ..
+            } => {
+                println!(
+                    "[solved] constraints {}",
+                    if meets_constraints { "met" } else { "violated" }
+                );
+            }
+            _ => {}
+        }
+    }
+    let solution = job.wait().expect("co-design succeeds on this toy app");
 
     // 3. Inspect the holistic solution.
-    println!("== accelerator ==\n{}\n", solution.accelerator);
+    println!("\n== accelerator ==\n{}\n", solution.accelerator);
     println!("== totals ==\n{}\n", solution.total);
     for w in &solution.per_workload {
         println!("== {} ({}) ==", w.workload, w.metrics);

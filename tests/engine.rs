@@ -1,0 +1,348 @@
+//! The `hasco::Engine` service API: option validation at submit, queued
+//! and mid-run cancellation, campaign fan-out with cross-scenario dedup,
+//! the surrogate registry, and persisted-store lifecycle (including
+//! age-based GC).
+
+use std::time::Duration;
+
+use accel_model::BackendKind;
+use hasco::codesign::{CoDesignOptions, CoDesigner, OptimizerKind};
+use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
+use hasco::event::RunEvent;
+use hasco::input::{Constraints, GenerationMethod, InputDescription};
+use hasco::HascoError;
+use tensor_ir::suites;
+use tensor_ir::workload::TensorApp;
+
+fn toy_input() -> InputDescription {
+    InputDescription {
+        app: TensorApp::new(
+            "toy",
+            vec![
+                suites::gemm_workload("g1", 128, 128, 128),
+                suites::gemm_workload("g2", 256, 128, 64),
+            ],
+        ),
+        method: GenerationMethod::Gemmini,
+        constraints: Constraints::default(),
+    }
+}
+
+fn temp_cache(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hasco-engine-{name}-{}.bin", std::process::id()));
+    p
+}
+
+#[test]
+fn invalid_option_combinations_are_rejected_at_submit() {
+    let engine = Engine::new(EngineConfig::default());
+    let invalid = |opts: CoDesignOptions| {
+        let err = match engine.submit(CoDesignRequest::new(toy_input(), opts)) {
+            Err(err) => err,
+            Ok(_) => panic!("submit accepted degenerate options"),
+        };
+        assert!(
+            matches!(err, HascoError::InvalidOptions(_)),
+            "expected InvalidOptions, got {err:?}"
+        );
+        err.to_string()
+    };
+
+    // Refine tier equal to the screen tier: staging would re-price with
+    // the backend that already screened.
+    let msg = invalid(CoDesignOptions::quick(0).with_refinement(BackendKind::Analytic, 2));
+    assert!(msg.contains("refine tier equals the screen tier"), "{msg}");
+
+    // The surrogate as the refine tier wraps itself.
+    let msg = invalid(CoDesignOptions::quick(0).with_refinement(BackendKind::Surrogate, 2));
+    assert!(msg.contains("self-referential"), "{msg}");
+
+    // Adaptive staging with a zero budget can never grow.
+    let mut opts = CoDesignOptions::quick(0);
+    opts.adaptive_refinement = true;
+    opts.refine_top_k = 0;
+    let msg = invalid(opts);
+    assert!(msg.contains("adaptive staging"), "{msg}");
+
+    // Zero trial budget.
+    let mut opts = CoDesignOptions::quick(0);
+    opts.hw_trials = 0;
+    invalid(opts);
+
+    // The one-shot wrapper rejects the same combinations.
+    assert!(matches!(
+        CoDesigner::new(CoDesignOptions::quick(0).with_refinement(BackendKind::Analytic, 2))
+            .run(&toy_input()),
+        Err(HascoError::InvalidOptions(_))
+    ));
+
+    // The canonical configurations stay valid.
+    CoDesignOptions::quick(0).validate().unwrap();
+    CoDesignOptions::paper(0).validate().unwrap();
+    CoDesignOptions::quick(0)
+        .with_backend(BackendKind::Surrogate)
+        .with_adaptive_refinement(BackendKind::TraceSim, 2)
+        .validate()
+        .unwrap();
+}
+
+#[test]
+fn queued_jobs_cancel_before_they_start() {
+    // One slot: while the first job occupies it, the second is still
+    // queued — cancelling it there is deterministic.
+    let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+    let first = engine
+        .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(1)))
+        .unwrap();
+    let second = engine
+        .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(2)))
+        .unwrap();
+    second.cancel();
+
+    assert!(matches!(second.wait(), Err(HascoError::Cancelled)));
+    let events: Vec<RunEvent> = second.events().collect();
+    assert_eq!(events, vec![RunEvent::Cancelled]);
+    // The running job is unaffected.
+    assert!(first.wait().is_ok());
+}
+
+#[test]
+fn midrun_cancellation_stops_a_job_early() {
+    let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+    // A deliberately long job (big trial budget).
+    let mut opts = CoDesignOptions::quick(3);
+    opts.hw_trials = 200;
+    let handle = engine
+        .submit(CoDesignRequest::new(toy_input(), opts))
+        .unwrap();
+    // Wait for proof the job is running, then cancel.
+    let mut events = handle.events();
+    let started = events.next().expect("job emits Started");
+    assert!(matches!(started, RunEvent::Started { .. }));
+    handle.cancel();
+
+    assert!(matches!(handle.wait(), Err(HascoError::Cancelled)));
+    let tail: Vec<RunEvent> = events.collect();
+    assert_eq!(tail.last(), Some(&RunEvent::Cancelled));
+    // A cancelled job publishes no warm state: a follow-up identical job
+    // starts exactly as cold as a first run would.
+    let follow_up = engine
+        .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(3)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(follow_up.stats.warm_cache_entries, 0);
+}
+
+#[test]
+fn campaign_dedups_identical_scenarios_and_warms_across_waves() {
+    // Single slot — every scenario is its own wave, so later scenarios
+    // deterministically start warm from earlier ones.
+    let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+    let opts = CoDesignOptions::quick(11);
+    // edge and cloud differ only in constraints: their evaluations are
+    // identical, so the cloud run should be answered mostly from the
+    // store. The third scenario repeats the first exactly (dedup).
+    let edge = Constraints {
+        max_power_mw: Some(2_000.0),
+        ..Constraints::default()
+    };
+    let cloud = Constraints {
+        max_power_mw: Some(20_000.0),
+        ..Constraints::default()
+    };
+    let request = |constraints: Constraints, label: &str| {
+        let mut input = toy_input();
+        input.constraints = constraints;
+        CoDesignRequest::new(input, opts.clone()).with_label(label)
+    };
+    let outcomes = engine
+        .campaign(vec![
+            request(edge, "edge"),
+            request(cloud, "cloud"),
+            request(edge, "edge-again"),
+        ])
+        .unwrap();
+
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(outcomes[0].label, "edge");
+    assert_eq!(outcomes[0].shared_with, None);
+    // Cross-scenario dedup through the shared store: the cloud run found
+    // every (config, workload) evaluation already priced.
+    assert!(
+        outcomes[1].solution.stats.warm_cache_entries > 0,
+        "cloud scenario saw no warmth from the edge scenario"
+    );
+    assert!(outcomes[1].solution.stats.cache.hits > 0);
+    // Exact-duplicate dedup: the repeat never executed.
+    assert_eq!(outcomes[2].shared_with.as_deref(), Some("edge"));
+    assert_eq!(engine.jobs_executed(), 2);
+    assert_eq!(
+        outcomes[0].solution.accelerator,
+        outcomes[2].solution.accelerator
+    );
+    assert_eq!(
+        outcomes[0].solution.total.latency_cycles,
+        outcomes[2].solution.total.latency_cycles
+    );
+    // Same evaluations, different constraint checks — the accelerators
+    // still agree here because the toy app meets both constraint sets.
+    assert_eq!(
+        outcomes[0].solution.accelerator,
+        outcomes[1].solution.accelerator
+    );
+}
+
+#[test]
+fn campaign_results_do_not_depend_on_slot_count() {
+    let matrix = || {
+        (0..4)
+            .map(|i| {
+                CoDesignRequest::new(toy_input(), CoDesignOptions::quick(20 + i))
+                    .with_label(format!("s{i}"))
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = Engine::new(EngineConfig::default().with_job_slots(1))
+        .campaign(matrix())
+        .unwrap();
+    let wide = Engine::new(EngineConfig::default().with_job_slots(4))
+        .campaign(matrix())
+        .unwrap();
+    for (a, b) in serial.iter().zip(&wide) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.solution.accelerator, b.solution.accelerator);
+        assert_eq!(a.solution.hw_history, b.solution.hw_history);
+        assert_eq!(
+            a.solution.total.latency_cycles,
+            b.solution.total.latency_cycles
+        );
+    }
+}
+
+#[test]
+fn store_persists_across_engine_lifetimes_and_gc_expires_it() {
+    let path = temp_cache("persist-gc");
+    std::fs::remove_file(&path).ok();
+    let config = || {
+        EngineConfig::default()
+            .with_job_slots(1)
+            .with_cache_path(&path)
+    };
+
+    // First engine: run one job, persist.
+    let cold = {
+        let engine = Engine::new(config());
+        let solution = engine
+            .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(9)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(engine.persist().unwrap() > 0);
+        solution
+    };
+    assert!(path.exists());
+
+    // Second engine: loads the image, so the identical job starts warm.
+    {
+        let engine = Engine::new(config());
+        assert!(engine.warm_entries() > 0);
+        let warm = engine
+            .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(9)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(warm.stats.warm_cache_entries > 0);
+        assert_eq!(cold.accelerator, warm.accelerator);
+        assert_eq!(cold.hw_history, warm.hw_history);
+        assert!(warm.stats.cache.misses < cold.stats.cache.misses);
+    }
+
+    // Third engine: a zero max-age persists an empty (fully GC'd) image
+    // once the entries are at least a second old.
+    std::thread::sleep(Duration::from_millis(1200));
+    {
+        let engine = Engine::new(config().with_cache_max_age(Duration::ZERO));
+        assert!(engine.warm_entries() > 0);
+        // Explicit in-memory compaction removes the aged entries...
+        assert!(engine.compact(Duration::ZERO) > 0);
+        assert_eq!(engine.warm_entries(), 0);
+        // ...and the max-age persist GCs the file image the same way
+        // (the file still held the aged entries until now).
+        assert_eq!(engine.persist().unwrap(), 0, "aged entries must be GC'd");
+    }
+    let engine = Engine::new(config());
+    assert_eq!(engine.warm_entries(), 0, "GC'd image must load empty");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn surrogate_registry_carries_training_across_jobs() {
+    let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+    let opts = || {
+        let mut o = CoDesignOptions::quick(13)
+            .with_backend(BackendKind::Surrogate)
+            .with_adaptive_refinement(BackendKind::TraceSim, 2);
+        o.hw_trials = 6;
+        o
+    };
+    let first = engine
+        .submit(CoDesignRequest::new(toy_input(), opts()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(first.stats.surrogate_samples > 0);
+
+    // The second job forks the registered surrogate: it starts with the
+    // first job's training set (plus whatever it adds itself) and re-uses
+    // the first job's memo entries for the shared training generation.
+    let second = engine
+        .submit(CoDesignRequest::new(toy_input(), opts()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(
+        second.stats.surrogate_samples >= first.stats.surrogate_samples,
+        "fork lost training: {} vs {}",
+        second.stats.surrogate_samples,
+        first.stats.surrogate_samples
+    );
+    assert!(
+        second.stats.warm_cache_entries > 0,
+        "surrogate jobs share no warmth"
+    );
+}
+
+#[test]
+fn baseline_optimizers_drive_the_full_pipeline() {
+    // The optimizer axis: random search and NSGA-II run the identical
+    // engine path and report their own history.
+    for kind in [OptimizerKind::Random, OptimizerKind::Nsga2] {
+        let opts = CoDesignOptions::quick(17).with_optimizer(kind);
+        let solution = CoDesigner::new(opts).run(&toy_input()).unwrap();
+        assert_eq!(solution.hw_history.optimizer, kind.as_str());
+        assert!(!solution.hw_history.evaluations.is_empty(), "{kind}");
+        assert!(solution.total.latency_cycles > 0.0);
+    }
+}
+
+#[test]
+fn one_shot_codesigner_is_bit_identical_to_an_engine_submission() {
+    let input = toy_input();
+    let opts = CoDesignOptions::quick(21);
+    let one_shot = CoDesigner::new(opts.clone()).run(&input).unwrap();
+    let engine = Engine::new(EngineConfig::default());
+    let submitted = engine
+        .submit(CoDesignRequest::new(input, opts))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(one_shot.accelerator, submitted.accelerator);
+    assert_eq!(one_shot.hw_history, submitted.hw_history);
+    assert_eq!(one_shot.stats, submitted.stats);
+    assert_eq!(
+        one_shot.total.latency_cycles,
+        submitted.total.latency_cycles
+    );
+}

@@ -290,3 +290,163 @@ fn parallel_codesign_is_faster_on_multicore_hosts() {
         t_serial.as_secs_f64() / t_parallel.as_secs_f64(),
     );
 }
+
+mod engine_concurrency {
+    //! The engine extension of the invariant: *concurrent job
+    //! interleaving never changes any job's results* — solutions, run
+    //! statistics, and event streams are bit-identical whether a job runs
+    //! alone through the one-shot API or alongside other jobs on a
+    //! multi-slot engine.
+
+    use super::mixed_input;
+    use hasco::codesign::{CoDesignOptions, CoDesigner};
+    use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
+    use hasco::event::RunEvent;
+    use hasco::input::InputDescription;
+
+    fn requests() -> Vec<(InputDescription, CoDesignOptions)> {
+        vec![
+            (mixed_input(2), CoDesignOptions::quick(42)),
+            (mixed_input(1), CoDesignOptions::quick(7)),
+            // A staged job, and one with stealing disabled at 2 threads
+            // (steal counts are deterministically zero either way).
+            (
+                mixed_input(2),
+                CoDesignOptions::quick(23).with_refinement(accel_model::BackendKind::TraceSim, 2),
+            ),
+            (
+                mixed_input(2),
+                CoDesignOptions::quick(19)
+                    .with_threads(2)
+                    .with_work_stealing(false),
+            ),
+        ]
+    }
+
+    #[test]
+    fn concurrent_engine_jobs_match_one_shot_runs_bit_for_bit() {
+        // References: each job alone, through the one-shot wrapper.
+        let solo: Vec<_> = requests()
+            .iter()
+            .map(|(input, opts)| CoDesigner::new(opts.clone()).run(input).unwrap())
+            .collect();
+
+        // The same jobs submitted together on a fresh 4-slot engine: all
+        // four run concurrently, isolated from each other (nothing was
+        // published before any of them was admitted).
+        let engine = Engine::new(EngineConfig::default().with_job_slots(4));
+        let handles: Vec<_> = requests()
+            .into_iter()
+            .map(|(input, opts)| {
+                engine
+                    .submit(CoDesignRequest::new(input, opts))
+                    .expect("submit succeeds")
+            })
+            .collect();
+        for (handle, reference) in handles.iter().zip(&solo) {
+            let concurrent = handle.wait().unwrap();
+            assert_eq!(reference.accelerator, concurrent.accelerator);
+            assert_eq!(reference.hw_history, concurrent.hw_history);
+            assert_eq!(
+                reference.total.latency_cycles,
+                concurrent.total.latency_cycles
+            );
+            assert_eq!(reference.per_workload.len(), concurrent.per_workload.len());
+            for (a, b) in reference.per_workload.iter().zip(&concurrent.per_workload) {
+                assert_eq!(a.program, b.program);
+                assert_eq!(a.metrics.latency_cycles, b.metrics.latency_cycles);
+            }
+            // Bit-identical runtime statistics too: same cache hit/miss
+            // counts, same warm state (none), same eval counts.
+            assert_eq!(reference.stats, concurrent.stats);
+        }
+        assert_eq!(engine.jobs_executed(), 4);
+    }
+
+    #[test]
+    fn warm_second_job_reports_cache_hits_from_the_first() {
+        let engine = Engine::new(EngineConfig::default().with_job_slots(2));
+        let input = mixed_input(2);
+        let request = || CoDesignRequest::new(input.clone(), CoDesignOptions::quick(5));
+
+        let first = engine.submit(request()).unwrap().wait().unwrap();
+        assert_eq!(first.stats.warm_cache_entries, 0);
+
+        // The wait above published the first job's memo entries, so an
+        // identical second job starts warm and recomputes strictly less —
+        // while producing the identical solution.
+        let second = engine.submit(request()).unwrap().wait().unwrap();
+        assert!(
+            second.stats.warm_cache_entries > 0,
+            "second job saw no warmth from the first"
+        );
+        assert!(
+            second.stats.cache.misses < first.stats.cache.misses,
+            "warm job recomputed as much as cold: {} vs {}",
+            second.stats.cache.misses,
+            first.stats.cache.misses
+        );
+        assert_eq!(first.accelerator, second.accelerator);
+        assert_eq!(first.hw_history, second.hw_history);
+        assert_eq!(first.total.latency_cycles, second.total.latency_cycles);
+    }
+
+    fn event_stream(opts: CoDesignOptions) -> (Vec<RunEvent>, hasco::Solution) {
+        let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+        let handle = engine
+            .submit(CoDesignRequest::new(mixed_input(2), opts).with_label("probe"))
+            .unwrap();
+        let events: Vec<RunEvent> = handle.events().collect();
+        (events, handle.wait().unwrap())
+    }
+
+    #[test]
+    fn event_streams_are_well_formed_and_thread_count_independent() {
+        let opts = |threads: usize| {
+            CoDesignOptions::quick(29)
+                .with_threads(threads)
+                .with_refinement(accel_model::BackendKind::TraceSim, 2)
+        };
+        let (serial_events, serial) = event_stream(opts(1));
+        let (parallel_events, parallel) = event_stream(opts(4));
+
+        // Shape: Started first, Solved last, partitions for both
+        // workloads, DSE batches and staged refinements in between.
+        assert!(matches!(serial_events[0], RunEvent::Started { .. }));
+        assert!(matches!(
+            serial_events.last().unwrap(),
+            RunEvent::Solved { .. }
+        ));
+        let count = |pred: fn(&RunEvent) -> bool| serial_events.iter().filter(|e| pred(e)).count();
+        assert_eq!(count(|e| matches!(e, RunEvent::Partitioned { .. })), 2);
+        assert!(count(|e| matches!(e, RunEvent::BatchEvaluated { .. })) > 0);
+        assert!(count(|e| matches!(e, RunEvent::Refined { .. })) > 0);
+        assert!(count(|e| matches!(e, RunEvent::SoftwareOptimized { .. })) >= 2);
+        assert_eq!(count(|e| matches!(e, RunEvent::Solved { .. })), 1);
+
+        // Determinism: the whole typed stream is bit-identical across
+        // thread counts, like the solutions themselves.
+        assert_eq!(serial_events, parallel_events);
+        assert_eq!(serial.hw_history, parallel.hw_history);
+    }
+
+    #[test]
+    fn event_streams_are_identical_under_concurrent_interleaving() {
+        let opts = || CoDesignOptions::quick(31);
+        let (solo_events, _) = event_stream(opts());
+
+        let engine = Engine::new(EngineConfig::default().with_job_slots(3));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                engine
+                    .submit(CoDesignRequest::new(mixed_input(2), opts()).with_label("probe"))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            let events: Vec<RunEvent> = handle.events().collect();
+            handle.wait().unwrap();
+            assert_eq!(events, solo_events, "stream diverged under concurrency");
+        }
+    }
+}

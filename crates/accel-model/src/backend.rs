@@ -548,6 +548,66 @@ impl SurrogateBackend {
         }
     }
 
+    /// Captures the full learning state as a serializable
+    /// [`SurrogateSnapshot`] — what a resident engine persists per
+    /// technology so a restarted process prices with the same surrogate
+    /// generation. The snapshot assumes the standard construction (a
+    /// trace-sim inner tier, as [`BackendKind::Surrogate`] builds);
+    /// [`SurrogateBackend::from_snapshot`] restores exactly that shape.
+    pub fn snapshot(&self) -> SurrogateSnapshot {
+        let state = self.state.read().expect("surrogate poisoned");
+        SurrogateSnapshot {
+            tech: self.model.tech.clone(),
+            min_train: self.min_train,
+            max_train: self.max_train,
+            trust_threshold: self.trust_threshold,
+            xs: state.xs.clone(),
+            ys: state.ys.clone(),
+            observed: state.observed.iter().copied().collect(),
+            cv_error: state.cv_error,
+            trusted: state.trusted,
+            generation: state.generation,
+            digest: state.digest,
+        }
+    }
+
+    /// Rebuilds a surrogate from a snapshot: the analytic model and the
+    /// wrapped trace-sim tier are reconstructed from the stored technology
+    /// constants, the training window and observed set are restored, and
+    /// the GP is refit from the stored rows ([`GaussianProcess::fit`] is
+    /// deterministic, so the fit — and every prediction — is bit-identical
+    /// to the snapshotted instance's). Generation and training-content
+    /// digest are restored verbatim, so memo entries priced by the
+    /// snapshotted generation stay reachable.
+    pub fn from_snapshot(snap: &SurrogateSnapshot) -> SurrogateBackend {
+        let model = CostModel::new(snap.tech.clone());
+        let inner = Arc::new(TraceSimBackend::new(model.clone()));
+        let backend = SurrogateBackend {
+            model,
+            inner,
+            min_train: snap.min_train.max(1),
+            max_train: snap.max_train.max(1),
+            trust_threshold: snap.trust_threshold.max(0.0),
+            state: RwLock::new(SurrogateState {
+                cv_error: f64::INFINITY,
+                ..SurrogateState::default()
+            }),
+        };
+        {
+            let mut state = backend.state.write().expect("surrogate poisoned");
+            // Defensive: a hand-built snapshot with misaligned rows must
+            // not panic the GP fit below.
+            let n = snap.xs.len().min(snap.ys.len());
+            state.xs = snap.xs[..n].to_vec();
+            state.ys = snap.ys[..n].to_vec();
+            state.observed = snap.observed.iter().copied().collect();
+            backend.refit(&mut state);
+            state.generation = snap.generation;
+            state.digest = snap.digest;
+        }
+        backend
+    }
+
     /// Normalized feature vector of one `(config, plan)` evaluation: the
     /// hardware scale, the plan's work and traffic volumes (log-scaled),
     /// its pipeline shape, and the analytic compute-vs-DMA regime.
@@ -709,6 +769,163 @@ impl SurrogateBackend {
         state.cv_error = abs_err_sum / tested as f64;
         state.trusted = state.cv_error <= self.trust_threshold;
         state.gp = Some(gp);
+    }
+}
+
+/// A serializable image of a [`SurrogateBackend`]'s learning state — the
+/// per-technology unit of the engine's persisted surrogate-registry
+/// store. A snapshot captures everything a restarted process needs to
+/// price with the same surrogate generation as the process that wrote it:
+/// the technology constants (to rebuild the analytic model and the
+/// wrapped trace-sim tier), the training window and observed-config set,
+/// the CV trust state, and the generation + training-content digest that
+/// key memoized results.
+///
+/// Restoring ([`SurrogateBackend::from_snapshot`]) refits the GP from the
+/// stored rows — [`dse::gp::GaussianProcess::fit`] is deterministic, so
+/// the restored backend's predictions, fingerprint, and memo keys are
+/// bit-identical to the instance that was snapshotted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateSnapshot {
+    /// Technology constants the backend (and its inner tier) was built
+    /// with.
+    pub tech: TechParams,
+    /// Construction knobs, so a customized backend restores faithfully.
+    pub min_train: usize,
+    /// Training-window cap.
+    pub max_train: usize,
+    /// CV trust threshold.
+    pub trust_threshold: f64,
+    /// Normalized feature vectors of the training window.
+    pub xs: Vec<Vec<f64>>,
+    /// Log-ratio targets of the training window.
+    pub ys: Vec<f64>,
+    /// Observed configuration keys (re-observing stays free after a
+    /// restore).
+    pub observed: Vec<(u64, u64)>,
+    /// Cross-validated error of the last fit (recomputed on restore; kept
+    /// in the image as a consistency cross-check).
+    pub cv_error: f64,
+    /// Whether the last fit cleared the trust threshold.
+    pub trusted: bool,
+    /// Training generation.
+    pub generation: u64,
+    /// Training-content digest — the fingerprint component that keys memo
+    /// entries, restored verbatim so persisted caches stay valid.
+    pub digest: u64,
+}
+
+impl SurrogateSnapshot {
+    /// Appends the snapshot's canonical binary layout to `out`. All
+    /// floats are stored as IEEE-754 bit patterns, so encode → decode →
+    /// restore is bit-exact.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let f = |out: &mut Vec<u8>, v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+        let u = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        for c in self.tech.to_array() {
+            f(out, c);
+        }
+        u(out, self.min_train as u64);
+        u(out, self.max_train as u64);
+        f(out, self.trust_threshold);
+        u(out, self.generation);
+        u(out, self.digest);
+        f(out, self.cv_error);
+        out.push(self.trusted as u8);
+        u(out, self.observed.len() as u64);
+        for (lo, hi) in &self.observed {
+            u(out, *lo);
+            u(out, *hi);
+        }
+        u(out, self.ys.len() as u64);
+        let dim = self.xs.first().map_or(0, Vec::len);
+        u(out, dim as u64);
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            for v in x {
+                f(out, *v);
+            }
+            f(out, *y);
+        }
+    }
+
+    /// Parses one snapshot from its canonical layout; `None` on any
+    /// truncation, trailing bytes, or structural inconsistency (the
+    /// caller treats that as a corrupt store ⇒ cold start).
+    pub fn decode(bytes: &[u8]) -> Option<SurrogateSnapshot> {
+        struct Cursor<'a>(&'a [u8]);
+        impl Cursor<'_> {
+            fn u64(&mut self) -> Option<u64> {
+                let v = u64::from_le_bytes(self.0.get(..8)?.try_into().ok()?);
+                self.0 = &self.0[8..];
+                Some(v)
+            }
+            fn f64(&mut self) -> Option<f64> {
+                self.u64().map(f64::from_bits)
+            }
+            fn u8(&mut self) -> Option<u8> {
+                let v = *self.0.first()?;
+                self.0 = &self.0[1..];
+                Some(v)
+            }
+        }
+        let mut c = Cursor(bytes);
+        let mut tech = [0.0f64; 13];
+        for slot in &mut tech {
+            *slot = c.f64()?;
+        }
+        let min_train = c.u64()? as usize;
+        let max_train = c.u64()? as usize;
+        let trust_threshold = c.f64()?;
+        let generation = c.u64()?;
+        let digest = c.u64()?;
+        let cv_error = c.f64()?;
+        let trusted = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let observed_len = c.u64()? as usize;
+        // Bound counts by the remaining bytes before allocating.
+        if observed_len > c.0.len() / 16 {
+            return None;
+        }
+        let mut observed = Vec::with_capacity(observed_len);
+        for _ in 0..observed_len {
+            let lo = c.u64()?;
+            let hi = c.u64()?;
+            observed.push((lo, hi));
+        }
+        let samples = c.u64()? as usize;
+        let dim = c.u64()? as usize;
+        if samples.checked_mul(dim.checked_add(1)?)? > c.0.len() / 8 {
+            return None;
+        }
+        let mut xs = Vec::with_capacity(samples);
+        let mut ys = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut x = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                x.push(c.f64()?);
+            }
+            xs.push(x);
+            ys.push(c.f64()?);
+        }
+        if !c.0.is_empty() {
+            return None;
+        }
+        Some(SurrogateSnapshot {
+            tech: TechParams::from_array(tech),
+            min_train,
+            max_train,
+            trust_threshold,
+            xs,
+            ys,
+            observed,
+            cv_error,
+            trusted,
+            generation,
+            digest,
+        })
     }
 }
 
@@ -978,6 +1195,90 @@ mod tests {
         let mut fb = Fingerprinter::new();
         b.fingerprint_into(&mut fb);
         assert_ne!(fa.finish(), fb.finish());
+    }
+
+    fn trained_surrogate() -> Arc<dyn CostBackend> {
+        let backend = BackendKind::Surrogate.build();
+        let surrogate = backend.as_surrogate().unwrap();
+        for (rows, kb) in [(8u32, 128u64), (16, 256), (32, 512), (8, 512), (32, 128)] {
+            let cfg = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .pe_array(rows, rows)
+                .scratchpad_kb(kb)
+                .build()
+                .unwrap();
+            surrogate.observe(&cfg);
+        }
+        backend
+    }
+
+    #[test]
+    fn surrogate_snapshot_restores_bit_identically() {
+        let backend = trained_surrogate();
+        let surrogate = backend.as_surrogate().unwrap();
+        assert!(surrogate.is_trusted(), "fixture must train to trust");
+
+        // Snapshot → encode → decode → restore.
+        let snap = surrogate.snapshot();
+        let mut bytes = Vec::new();
+        snap.encode_into(&mut bytes);
+        let decoded = SurrogateSnapshot::decode(&bytes).expect("snapshot decodes");
+        assert_eq!(decoded, snap, "encode/decode must be lossless");
+        let restored = SurrogateBackend::from_snapshot(&decoded);
+
+        // Digest round-trip: the restored backend's fingerprint — and
+        // therefore every memo key derived from it — equals the original.
+        let mut fa = Fingerprinter::new();
+        backend.fingerprint_into(&mut fa);
+        let mut fb = Fingerprinter::new();
+        restored.fingerprint_into(&mut fb);
+        assert_eq!(fa.finish(), fb.finish(), "fingerprint moved across restore");
+        assert_eq!(restored.generation(), surrogate.generation());
+        assert_eq!(restored.training_len(), surrogate.training_len());
+        assert_eq!(restored.is_trusted(), surrogate.is_trusted());
+        assert_eq!(
+            restored.cv_error().to_bits(),
+            surrogate.cv_error().to_bits(),
+            "deterministic refit must reproduce the CV score exactly"
+        );
+
+        // Predictions are bit-identical, and re-observing a config the
+        // original already saw stays free.
+        let (c, p) = (cfg(), traffic_plan());
+        assert_eq!(restored.evaluate(&c, &p), backend.evaluate(&c, &p));
+        assert_eq!(restored.observe(&c), 0, "observed set lost in restore");
+    }
+
+    #[test]
+    fn untrained_surrogate_snapshot_round_trips() {
+        let backend = BackendKind::Surrogate.build();
+        let snap = backend.as_surrogate().unwrap().snapshot();
+        assert_eq!(snap.generation, 0);
+        let restored = SurrogateBackend::from_snapshot(&snap);
+        assert!(!restored.is_trusted());
+        let (c, p) = (cfg(), traffic_plan());
+        assert_eq!(restored.evaluate(&c, &p), backend.evaluate(&c, &p));
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corrupt_bytes() {
+        let snap = trained_surrogate().as_surrogate().unwrap().snapshot();
+        let mut bytes = Vec::new();
+        snap.encode_into(&mut bytes);
+        // Truncation at any of a few depths, trailing garbage, and a bad
+        // trusted flag must all be rejected, never panic.
+        for cut in [0, 8, 13 * 8 + 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                SurrogateSnapshot::decode(&bytes[..cut]).is_none(),
+                "decode accepted a truncation at {cut}"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SurrogateSnapshot::decode(&trailing).is_none());
+        let mut bad_flag = bytes.clone();
+        let flag_at = 13 * 8 + 8 + 8 + 8 + 8 + 8 + 8; // tech + knobs + gen/digest/cv
+        bad_flag[flag_at] = 7;
+        assert!(SurrogateSnapshot::decode(&bad_flag).is_none());
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub mod tech;
 
 pub use arch::{AcceleratorConfig, Dataflow, Interconnect, PeArray};
 pub use backend::{
-    AnalyticBackend, BackendKind, CalibratedBackend, CostBackend, SurrogateBackend, TraceSimBackend,
+    AnalyticBackend, BackendKind, CalibratedBackend, CostBackend, SurrogateBackend,
+    SurrogateSnapshot, TraceSimBackend,
 };
 pub use cost::CostModel;
 pub use metrics::Metrics;

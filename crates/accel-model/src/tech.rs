@@ -63,7 +63,20 @@ impl runtime::StableFingerprint for TechParams {
     // memoized evaluation results (a cache shared across a `--tech-sweep`
     // must never serve one node's prices for another's).
     fn fingerprint_into(&self, fp: &mut runtime::Fingerprinter) {
-        for f in [
+        for f in self.to_array() {
+            fp.write_f64(f);
+        }
+    }
+}
+
+impl TechParams {
+    /// Every constant in a fixed order — the one canonical flattening,
+    /// shared by the fingerprint and the persisted surrogate-store image
+    /// ([`TechParams::from_array`] is its inverse). Extending the struct
+    /// means extending both, which also versions every derived
+    /// fingerprint.
+    pub fn to_array(&self) -> [f64; 13] {
+        [
             self.e_mac_pj,
             self.e_spad_base_pj,
             self.e_local_pj,
@@ -77,13 +90,28 @@ impl runtime::StableFingerprint for TechParams {
             self.a_ctrl_mm2,
             self.leakage_mw_per_mm2,
             self.burst_overhead_cycles,
-        ] {
-            fp.write_f64(f);
+        ]
+    }
+
+    /// Rebuilds the constants from [`TechParams::to_array`]'s flattening.
+    pub fn from_array(a: [f64; 13]) -> TechParams {
+        TechParams {
+            e_mac_pj: a[0],
+            e_spad_base_pj: a[1],
+            e_local_pj: a[2],
+            e_dram_pj: a[3],
+            e_hop_pj: a[4],
+            e_rearrange_pj: a[5],
+            a_pe_mm2: a[6],
+            a_sram_mm2_per_kb: a[7],
+            bank_overhead_frac: a[8],
+            a_dma_mm2: a[9],
+            a_ctrl_mm2: a[10],
+            leakage_mw_per_mm2: a[11],
+            burst_overhead_cycles: a[12],
         }
     }
-}
 
-impl TechParams {
     /// The named technology profiles swept by `--tech-sweep`: the default
     /// 28 nm constants plus a denser and an older node, scaled with the
     /// usual first-order trends (dynamic energy and area shrink faster
@@ -161,6 +189,13 @@ mod tests {
         let t = TechParams::default();
         assert!(t.e_mac_pj > 0.0 && t.e_dram_pj > t.e_spad_base_pj);
         assert!(t.a_pe_mm2 > 0.0 && t.leakage_mw_per_mm2 > 0.0);
+    }
+
+    #[test]
+    fn array_round_trip_is_exact() {
+        for (name, t) in TechParams::profiles() {
+            assert_eq!(TechParams::from_array(t.to_array()), t, "{name}");
+        }
     }
 
     #[test]

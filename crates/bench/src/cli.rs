@@ -20,6 +20,10 @@
 //! * `--cache-max-age SECS` — age-based GC for the shared cache file:
 //!   entries no run refreshed within `SECS` seconds are dropped at save
 //!   time, so long-lived files stop growing without bound;
+//! * `--surrogate-store FILE` — persist the engine's trained surrogate
+//!   registry at `FILE`, so a repeat invocation prices with the previous
+//!   run's surrogate generation instead of re-paying the training
+//!   (pair with `--cache` for fully warm restarts);
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
@@ -53,7 +57,8 @@ fn usage(bin: &str, artifact: &str) -> String {
     format!(
         "Regenerates the paper's {artifact}.\n\n\
          USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K|auto]\n\
-         \x20      [--adaptive] [--tech-sweep] [--cache FILE] [--cache-max-age SECS]\n\n\
+         \x20      [--adaptive] [--tech-sweep] [--cache FILE] [--cache-max-age SECS]\n\
+         \x20      [--surrogate-store FILE]\n\n\
          OPTIONS:\n\
          \x20   --quick           reduced budgets/workload subsets (CI-sized)\n\
          \x20   --paper           paper-sized trial budgets (default)\n\
@@ -75,6 +80,9 @@ fn usage(bin: &str, artifact: &str) -> String {
          \x20                     (fig10, table2, table3)\n\
          \x20   --cache-max-age SECS  drop cache entries older than SECS seconds when\n\
          \x20                     saving, so long-lived shared files are GC'd\n\
+         \x20   --surrogate-store FILE  persist the trained surrogate registry at FILE so\n\
+         \x20                     repeat runs start at the previous surrogate generation\n\
+         \x20                     (campaign binaries: fig10, table3)\n\
          \x20   --help            this message"
     )
 }
@@ -129,6 +137,10 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
             "--cache-max-age" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(secs) => common::set_cache_max_age(std::time::Duration::from_secs(secs)),
                 None => bail(bin, artifact, "--cache-max-age expects seconds"),
+            },
+            "--surrogate-store" => match it.next() {
+                Some(path) => common::set_surrogate_store(path.into()),
+                None => bail(bin, artifact, "--surrogate-store expects a file path"),
             },
             "--help" | "-h" => {
                 println!("{}", usage(bin, artifact));

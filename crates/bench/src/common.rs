@@ -43,6 +43,9 @@ static CACHE_PATH: OnceLock<Option<PathBuf>> = OnceLock::new();
 /// Age-based GC bound for the persistent cache (None = keep everything).
 static CACHE_MAX_AGE: OnceLock<Option<Duration>> = OnceLock::new();
 
+/// Persistent surrogate-registry store (None = in-memory only).
+static SURROGATE_STORE: OnceLock<Option<PathBuf>> = OnceLock::new();
+
 /// Installs the experiment thread count (first caller wins).
 pub fn set_threads(threads: usize) {
     let _ = THREADS.set(threads);
@@ -123,11 +126,27 @@ pub fn cache_max_age() -> Option<Duration> {
     *CACHE_MAX_AGE.get_or_init(|| None)
 }
 
+/// Installs the persistent surrogate-store path (first caller wins).
+pub fn set_surrogate_store(path: PathBuf) {
+    let _ = SURROGATE_STORE.set(Some(path));
+}
+
+/// The configured surrogate-store path, if any.
+pub fn surrogate_store() -> Option<PathBuf> {
+    SURROGATE_STORE.get_or_init(|| None).clone()
+}
+
 /// The resident co-design engine for this experiment process, built from
 /// the CLI flags: two concurrent job slots, the `--cache` file as the
-/// shared store image, and `--cache-max-age` as its GC bound. Campaign
-/// results never depend on slot count or job interleaving — only
-/// wall-clock time and cache statistics do.
+/// shared store image, `--cache-max-age` as its GC bound, and
+/// `--surrogate-store` as the surrogate-registry image, so repeat
+/// invocations start with the previous run's surrogate generation.
+/// Campaign results never depend on slot count or job interleaving —
+/// only wall-clock time and cache statistics do.
+///
+/// With any persistence flag set, a warm-start report line is printed so
+/// the operator (and the CI smoke) can tell a restored run from a cold
+/// one.
 pub fn engine() -> Engine {
     let mut config = EngineConfig::default().with_job_slots(2);
     if let Some(path) = cache_path() {
@@ -136,7 +155,20 @@ pub fn engine() -> Engine {
     if let Some(max_age) = cache_max_age() {
         config = config.with_cache_max_age(max_age);
     }
-    Engine::new(config)
+    if let Some(path) = surrogate_store() {
+        config = config.with_surrogate_store(path);
+    }
+    let engine = Engine::new(config);
+    if cache_path().is_some() || surrogate_store().is_some() {
+        println!(
+            "[engine warm start: {} cache entries, {} surrogate backend(s), \
+             restored surrogate generation {}]",
+            engine.warm_entries(),
+            engine.restored_surrogate_backends(),
+            engine.restored_surrogate_generation(),
+        );
+    }
+    engine
 }
 
 /// The one code path mapping CLI flags onto co-design options: every

@@ -14,6 +14,7 @@
 
 use baselines::{AutoTvm, HlsCore};
 use hasco::engine::CoDesignRequest;
+use hasco::event::CampaignEvent;
 use hasco::input::{Constraints, GenerationMethod, InputDescription};
 use hasco::report::{speedup, Table};
 use hw_gen::GemminiGenerator;
@@ -146,11 +147,38 @@ pub fn run(scale: Scale) -> Table3 {
         }
     }
 
-    // Pass 2: one campaign on one engine. Waves share the store, so the
-    // cloud rows start warm from the edge rows' evaluations.
+    // Pass 2: one campaign on one engine, with the aggregate progress
+    // stream: per-request attribution plus dedup-aware completion counts
+    // (identical cells — e.g. repeat runs against a warm `--cache` with
+    // equal matrices — complete without executing).
     let engine = crate::common::engine();
-    let outcomes = engine.campaign(requests).expect("co-design cells succeed");
+    let (outcomes, events) = engine
+        .campaign_events(requests)
+        .expect("co-design cells succeed");
     let _ = engine.persist();
+    let mut executed = 0usize;
+    let mut deduplicated = 0usize;
+    let mut total = 0usize;
+    for event in events {
+        match event {
+            CampaignEvent::Planned {
+                scenarios,
+                unique_jobs,
+                deduplicated: dedup,
+            } => {
+                total = scenarios;
+                executed = unique_jobs;
+                deduplicated = dedup;
+            }
+            CampaignEvent::ScenarioDone {
+                completed, total, ..
+            } if completed == total => {
+                println!("[campaign: all {total} co-design cells complete]");
+            }
+            _ => {}
+        }
+    }
+    println!("[campaign: {total} cells, {executed} executed, {deduplicated} deduplicated]");
 
     // Pass 3: assemble rows — baseline and HLS are priced inline (they
     // are fixed designs, not co-design runs).

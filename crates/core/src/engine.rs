@@ -6,9 +6,14 @@
 //! a job scheduler with a fixed number of concurrent slots, a
 //! cross-request memo **store** (periodically persisted, with optional
 //! age-based GC), and a per-technology registry of trained surrogate
-//! backends. Requests are submitted ([`Engine::submit`]) and observed
+//! backends — itself persistable
+//! ([`EngineConfig::with_surrogate_store`]), so a restarted engine prices
+//! with the same surrogate generation, bit-identical to a process that
+//! never exited. Requests are submitted ([`Engine::submit`]) and observed
 //! ([`JobHandle::events`]) while they run; whole scenario matrices fan
-//! out through [`Engine::campaign`] with cross-scenario dedup.
+//! out through [`Engine::campaign`] with cross-scenario dedup, or
+//! through [`Engine::campaign_events`] when the caller wants an
+//! aggregate, per-request-attributed progress stream.
 //!
 //! # Determinism
 //!
@@ -41,11 +46,15 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use accel_model::{BackendKind, CostBackend, Metrics};
-use runtime::{Fingerprinter, JobScheduler, MemoCache, StableFingerprint};
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+
+use accel_model::tech::TechParams;
+use accel_model::{BackendKind, CostBackend, Metrics, SurrogateBackend, SurrogateSnapshot};
+use runtime::{persist, Fingerprinter, JobScheduler, MemoCache, StableFingerprint};
 
 use crate::codesign::{execute, CoDesignOptions, ExecCtx, ExecOutcome, HwProblem};
-use crate::event::{EventSink, EventStream, RunEvent};
+use crate::event::{CampaignEvent, CampaignEvents, EventSink, EventStream, RunEvent};
 use crate::input::InputDescription;
 use crate::solution::Solution;
 use crate::HascoError;
@@ -64,6 +73,13 @@ pub struct EngineConfig {
     /// Age-based GC for the persisted image: entries older than this are
     /// dropped at persist time ([`MemoCache::save_merged_with_max_age`]).
     pub cache_max_age: Option<Duration>,
+    /// Persistent image of the surrogate registry: loaded at engine
+    /// creation (a missing or corrupt image is a cold start) and written
+    /// whenever an observed job publishes a trained surrogate — at
+    /// [`JobHandle::wait`], so saves are observation-ordered like the
+    /// publications themselves — as well as by [`Engine::persist`] and
+    /// best-effort on drop. `None` keeps the registry in-memory only.
+    pub surrogate_store: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +89,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             cache_path: None,
             cache_max_age: None,
+            surrogate_store: None,
         }
     }
 }
@@ -87,6 +104,7 @@ impl EngineConfig {
             cache_capacity: opts.cache_capacity,
             cache_path: opts.cache_path.clone(),
             cache_max_age: None,
+            surrogate_store: None,
         }
     }
 
@@ -111,6 +129,15 @@ impl EngineConfig {
     /// Drops persisted entries older than `max_age` at persist time.
     pub fn with_cache_max_age(mut self, max_age: Duration) -> Self {
         self.cache_max_age = Some(max_age);
+        self
+    }
+
+    /// Persists the surrogate registry at `path` across engine lifetimes:
+    /// a restarted engine prices with the same surrogate generation —
+    /// training set, CV trust state, and memo-keying content digest —
+    /// as the engine that wrote the image.
+    pub fn with_surrogate_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.surrogate_store = Some(path.into());
         self
     }
 }
@@ -220,10 +247,25 @@ struct EngineShared {
     store: MemoCache<(u64, u64), Option<Metrics>>,
     /// Trained surrogate screen backends, keyed per technology. New
     /// surrogate jobs fork the registered instance; observed completions
-    /// replace it.
+    /// replace it. Loaded from `surrogate_store` at engine creation.
     surrogates: Mutex<HashMap<(u64, u64), Arc<dyn CostBackend>>>,
     cache_path: Option<PathBuf>,
     cache_max_age: Option<Duration>,
+    /// Persistent image of the surrogate registry (see
+    /// [`EngineConfig::with_surrogate_store`]).
+    surrogate_store: Option<PathBuf>,
+    /// Serializes [`EngineShared::save_surrogates`]'s read-merge-write:
+    /// two concurrent `wait()`-time saves interleaving on the file could
+    /// otherwise overwrite a just-published surrogate with a stale
+    /// snapshot and lose it for the engine's lifetime.
+    surrogate_save: Mutex<()>,
+    /// Set when the registry changed since its last save.
+    surrogate_dirty: AtomicBool,
+    /// Highest training generation restored from the surrogate store at
+    /// engine creation (0 on a cold start) — warm-restart observability.
+    restored_surrogate_generation: u64,
+    /// Surrogate backends restored from the store at engine creation.
+    restored_surrogate_backends: usize,
     /// Set when the store changed since the last persist.
     dirty: AtomicBool,
     /// Jobs actually executed (campaign dedup skips duplicates).
@@ -250,19 +292,109 @@ impl EngineShared {
                 .lock()
                 .expect("surrogate registry poisoned")
                 .insert(key, Arc::clone(surrogate));
+            self.surrogate_dirty.store(true, Ordering::Relaxed);
         }
     }
+
+    /// Writes the surrogate registry to the configured store path, merged
+    /// with whatever the file already holds: entries for technologies
+    /// this engine never touched survive, and on a collision the
+    /// **newer-generation** snapshot wins, so a save never regresses a
+    /// generation another process wrote to a shared store file (ties go
+    /// to the live registry). Entries are ordered by registry key, so
+    /// the image is a pure function of its content. `Ok(0)` without a
+    /// configured path.
+    fn save_surrogates(&self) -> std::io::Result<usize> {
+        let Some(path) = &self.surrogate_store else {
+            return Ok(0);
+        };
+        // One saver at a time: the read-merge-write below must not
+        // interleave with another wait()'s save, or the later writer's
+        // pre-publication registry snapshot could clobber the earlier
+        // writer's published surrogate on disk.
+        let _saving = self
+            .surrogate_save
+            .lock()
+            .expect("surrogate saver poisoned");
+        // Clear the dirty flag before snapshotting the registry: a
+        // publication landing after the snapshot re-raises it, so a later
+        // persist/drop knows this save missed it.
+        self.surrogate_dirty.store(false, Ordering::Relaxed);
+        // An unreadable or corrupt existing image contributes nothing
+        // (the save degrades to a plain write), like the memo merge.
+        let mut merged: BTreeMap<(u64, u64), SurrogateSnapshot> = load_surrogate_snapshots(path)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|snap| (surrogate_key_for_tech(&snap.tech), snap))
+            .collect();
+        {
+            let registry = self.surrogates.lock().expect("surrogate registry poisoned");
+            for backend in registry.values() {
+                if let Some(surrogate) = backend.as_surrogate() {
+                    let snap = surrogate.snapshot();
+                    let key = surrogate_key_for_tech(&snap.tech);
+                    match merged.get(&key) {
+                        Some(prev) if prev.generation > snap.generation => {}
+                        _ => {
+                            merged.insert(key, snap);
+                        }
+                    }
+                }
+            }
+        }
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(merged.len() as u64).to_le_bytes());
+        for snap in merged.values() {
+            let mut entry = Vec::new();
+            snap.encode_into(&mut entry);
+            payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&entry);
+        }
+        if let Err(e) = persist::save_frame(path, SURROGATE_STORE_MAGIC, &payload) {
+            // The registry still holds unsaved state.
+            self.surrogate_dirty.store(true, Ordering::Relaxed);
+            return Err(e);
+        }
+        Ok(merged.len())
+    }
+}
+
+/// File magic + format version of the persisted surrogate-registry store.
+const SURROGATE_STORE_MAGIC: &[u8; 8] = b"HASCOSR1";
+
+/// Parses a persisted surrogate store into its snapshots; `None` on any
+/// corruption (and on real I/O failures — loading is always best-effort,
+/// a store that cannot be read is a cold start, never an error).
+fn load_surrogate_snapshots(path: &std::path::Path) -> Option<Vec<SurrogateSnapshot>> {
+    let payload = persist::load_frame(path, SURROGATE_STORE_MAGIC).ok()??;
+    let mut rest = payload.as_slice();
+    let count = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+    rest = &rest[8..];
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+        rest = &rest[4..];
+        out.push(SurrogateSnapshot::decode(rest.get(..len)?)?);
+        rest = &rest[len..];
+    }
+    rest.is_empty().then_some(out)
 }
 
 /// Registry key for surrogate state: the technology constants (the only
 /// construction axis of `BackendKind::Surrogate.build_with`).
 fn surrogate_key(opts: &CoDesignOptions) -> (u64, u64) {
+    surrogate_key_for_tech(&opts.tech)
+}
+
+/// [`surrogate_key`] from the technology constants alone — also how
+/// restored store entries are re-keyed at load time.
+fn surrogate_key_for_tech(tech: &TechParams) -> (u64, u64) {
     let mut lo = Fingerprinter::new();
     let mut hi = Fingerprinter::new();
     hi.write_u64(0x9e3779b97f4a7c15);
     for fp in [&mut lo, &mut hi] {
         fp.write_str("surrogate-registry");
-        opts.tech.fingerprint_into(fp);
+        tech.fingerprint_into(fp);
     }
     (lo.finish().0, hi.finish().0)
 }
@@ -290,7 +422,8 @@ impl JobHandle {
     /// running jobs stop at the next optimizer batch / explorer round.
     /// Either way the job reports [`HascoError::Cancelled`].
     /// Cancellation is cooperative — `wait` still blocks until the job
-    /// acknowledges.
+    /// acknowledges. A cancel that arrives after the job already
+    /// completed is a no-op: the computed solution stays `Ok`.
     pub fn cancel(&self) {
         self.state.cancel.store(true, Ordering::Relaxed);
     }
@@ -317,8 +450,15 @@ impl JobHandle {
     /// Blocks until the job finishes and returns its result. The first
     /// `wait` on a completed job **publishes** its warm state (memo
     /// entries, trained surrogate) into the engine — the deterministic
-    /// alternative to publishing at racy completion time. A panic inside
-    /// the job is re-raised here.
+    /// alternative to publishing at racy completion time — and, when the
+    /// engine has a surrogate store configured, saves the updated
+    /// registry image right after the publication, so on-disk warmth
+    /// follows the same observation order as the in-memory registry. A
+    /// panic inside the job is re-raised here.
+    ///
+    /// A `cancel` that lands after the job already completed does not
+    /// retract the result: a computed solution is returned as `Ok`, never
+    /// converted into [`HascoError::Cancelled`].
     pub fn wait(&self) -> Result<Solution, HascoError> {
         let mut guard = self.state.outcome.lock().expect("job state poisoned");
         while guard.is_none() {
@@ -333,6 +473,11 @@ impl JobHandle {
             Completion::Done(outcome) => {
                 if !self.state.published.swap(true, Ordering::SeqCst) {
                     self.shared.publish(outcome, self.state.surrogate_key);
+                    if self.state.surrogate_key.is_some() && outcome.surrogate.is_some() {
+                        // Best effort: a failed save costs restart warmth,
+                        // never correctness.
+                        let _ = self.shared.save_surrogates();
+                    }
                 }
                 outcome.result.clone()
             }
@@ -359,20 +504,37 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine, loading the persisted store when the
-    /// configuration names one (a missing or corrupt image is a cold
-    /// start, exactly like the one-shot cache path).
+    /// Builds an engine, loading the persisted memo store and surrogate
+    /// registry when the configuration names them (a missing or corrupt
+    /// image is a cold start, exactly like the one-shot cache path —
+    /// never an error).
     pub fn new(config: EngineConfig) -> Self {
         let store = MemoCache::new(config.cache_capacity);
         if let Some(path) = &config.cache_path {
             let _ = store.load_from_file(path, HwProblem::decode_cache_entry);
         }
+        let mut surrogates: HashMap<(u64, u64), Arc<dyn CostBackend>> = HashMap::new();
+        let mut restored_generation = 0;
+        if let Some(path) = &config.surrogate_store {
+            for snap in load_surrogate_snapshots(path).unwrap_or_default() {
+                restored_generation = restored_generation.max(snap.generation);
+                surrogates.insert(
+                    surrogate_key_for_tech(&snap.tech),
+                    Arc::new(SurrogateBackend::from_snapshot(&snap)),
+                );
+            }
+        }
         Engine {
             shared: Arc::new(EngineShared {
                 store,
-                surrogates: Mutex::new(HashMap::new()),
+                restored_surrogate_backends: surrogates.len(),
+                restored_surrogate_generation: restored_generation,
+                surrogates: Mutex::new(surrogates),
                 cache_path: config.cache_path,
                 cache_max_age: config.cache_max_age,
+                surrogate_store: config.surrogate_store,
+                surrogate_save: Mutex::new(()),
+                surrogate_dirty: AtomicBool::new(false),
                 dirty: AtomicBool::new(false),
                 jobs_executed: AtomicU64::new(0),
                 next_job_id: AtomicU64::new(1),
@@ -394,6 +556,30 @@ impl Engine {
     /// Jobs actually executed so far (campaign duplicates excluded).
     pub fn jobs_executed(&self) -> u64 {
         self.shared.jobs_executed.load(Ordering::Relaxed)
+    }
+
+    /// Trained surrogate backends currently in the registry (restored
+    /// ones included).
+    pub fn surrogate_backends(&self) -> usize {
+        self.shared
+            .surrogates
+            .lock()
+            .expect("surrogate registry poisoned")
+            .len()
+    }
+
+    /// Surrogate backends restored from the persisted store at engine
+    /// creation (0 on a cold start).
+    pub fn restored_surrogate_backends(&self) -> usize {
+        self.shared.restored_surrogate_backends
+    }
+
+    /// Highest training generation restored from the persisted surrogate
+    /// store at engine creation (0 on a cold start) — the warm-restart
+    /// smoke signal: a restarted engine that re-learned nothing reports
+    /// the generation its predecessor had reached.
+    pub fn restored_surrogate_generation(&self) -> u64 {
+        self.shared.restored_surrogate_generation
     }
 
     /// Validates and enqueues one request; it starts as soon as a slot is
@@ -522,7 +708,45 @@ impl Engine {
         &self,
         requests: Vec<CoDesignRequest>,
     ) -> Result<Vec<CampaignOutcome>, HascoError> {
-        // Exact-request dedup across the matrix.
+        self.campaign_inner(requests, None)
+    }
+
+    /// [`Engine::campaign`] with an aggregate progress stream: every
+    /// executed job's [`RunEvent`]s come back attributed to their request
+    /// label ([`CampaignEvent::Job`]), and dedup-aware
+    /// [`CampaignEvent::ScenarioDone`] markers count every input scenario
+    /// — deduplicated ones complete together with their representative,
+    /// without running.
+    ///
+    /// The stream is observation-ordered (each job's events are forwarded
+    /// as one contiguous run when the campaign driver observes its
+    /// completion, wave by wave), so it is bit-identical across thread
+    /// counts, slot counts, and job interleavings — the same determinism
+    /// contract as [`JobHandle::events`].
+    ///
+    /// # Errors
+    /// The first failing scenario aborts the campaign with its error (the
+    /// events emitted up to that point are discarded with it).
+    pub fn campaign_events(
+        &self,
+        requests: Vec<CoDesignRequest>,
+    ) -> Result<(Vec<CampaignOutcome>, CampaignEvents), HascoError> {
+        let (tx, rx) = channel();
+        let outcomes = self.campaign_inner(requests, Some(&tx))?;
+        drop(tx);
+        Ok((outcomes, CampaignEvents::live(rx)))
+    }
+
+    fn campaign_inner(
+        &self,
+        requests: Vec<CoDesignRequest>,
+        sink: Option<&Sender<CampaignEvent>>,
+    ) -> Result<Vec<CampaignOutcome>, HascoError> {
+        // Exact-request dedup across the matrix. Duplicates never get a
+        // job (or a handle) of their own — they are resolved to a clone
+        // of the representative's solution after it completes, so there
+        // is nothing a duplicate could cancel out from under the other
+        // waiters, and `jobs_executed` counts each unique request once.
         let mut representative: HashMap<(u64, u64), usize> = HashMap::new();
         let mut unique: Vec<CoDesignRequest> = Vec::new();
         // Per input request: (index into `unique`, own label when this
@@ -539,6 +763,16 @@ impl Engine {
                 }
             }
         }
+        let emit = |event: CampaignEvent| {
+            if let Some(tx) = sink {
+                let _ = tx.send(event);
+            }
+        };
+        emit(CampaignEvent::Planned {
+            scenarios: assignment.len(),
+            unique_jobs: unique.len(),
+            deduplicated: assignment.len() - unique.len(),
+        });
 
         // Waves: within a wave, jobs share the pre-wave store (all
         // snapshots are taken before any wave member is waited on);
@@ -555,17 +789,44 @@ impl Engine {
         }
         let wave_size = self.job_slots().max(1);
         let mut pending: Vec<(usize, CoDesignRequest)> = unique.into_iter().enumerate().collect();
+        let mut completed = 0usize;
         while !pending.is_empty() {
             let wave: Vec<(usize, CoDesignRequest)> =
                 pending.drain(..wave_size.min(pending.len())).collect();
             let mut handles = Vec::with_capacity(wave.len());
             for (slot, request) in wave {
-                // Quiet submissions: nothing drains campaign event
-                // streams, so don't buffer them.
-                handles.push((slot, self.submit_quiet(request)?));
+                // Without a sink, quiet submissions: nothing would drain
+                // the per-job event streams, so don't buffer them.
+                handles.push((slot, self.submit_inner(request, sink.is_some())?));
             }
             for (slot, handle) in handles {
                 solutions[slot] = Some(handle.wait()?);
+                if sink.is_some() {
+                    // The job is complete, so its stream is a finished
+                    // buffer: forward it as one contiguous, attributed
+                    // run.
+                    for event in handle.events() {
+                        emit(CampaignEvent::Job {
+                            label: labels[slot].clone(),
+                            event,
+                        });
+                    }
+                    // Dedup-aware progress: the representative and every
+                    // scenario it answers complete together, in matrix
+                    // order.
+                    for (at_slot, own_label) in &assignment {
+                        if *at_slot != slot {
+                            continue;
+                        }
+                        completed += 1;
+                        emit(CampaignEvent::ScenarioDone {
+                            label: own_label.clone().unwrap_or_else(|| labels[slot].clone()),
+                            shared_with: own_label.is_some().then(|| labels[slot].clone()),
+                            completed,
+                            total: assignment.len(),
+                        });
+                    }
+                }
             }
         }
 
@@ -581,22 +842,31 @@ impl Engine {
 
     /// Writes the shared store to the configured cache path (merged
     /// newest-wins with whatever the file holds, age-GC'd when the
-    /// configuration sets `cache_max_age`). Returns the entries written;
-    /// `Ok(0)` without a configured path.
+    /// configuration sets `cache_max_age`) and the surrogate registry to
+    /// the configured surrogate store. Returns the memo entries written;
+    /// `Ok(0)` without a configured cache path.
     ///
     /// # Errors
-    /// Propagates I/O errors from writing the image.
+    /// Propagates I/O errors from writing either image. Both saves are
+    /// always attempted — a failing surrogate-store path never costs memo
+    /// persistence, and vice versa; the memo error is reported first.
     pub fn persist(&self) -> std::io::Result<u64> {
-        let Some(path) = &self.shared.cache_path else {
-            return Ok(0);
+        let memo = match &self.shared.cache_path {
+            None => Ok(0),
+            Some(path) => self
+                .shared
+                .store
+                .save_merged_with_max_age(
+                    path,
+                    HwProblem::encode_cache_entry,
+                    HwProblem::decode_cache_entry,
+                    self.shared.cache_max_age,
+                )
+                .inspect(|_| self.shared.dirty.store(false, Ordering::Relaxed)),
         };
-        let written = self.shared.store.save_merged_with_max_age(
-            path,
-            HwProblem::encode_cache_entry,
-            HwProblem::decode_cache_entry,
-            self.shared.cache_max_age,
-        )?;
-        self.shared.dirty.store(false, Ordering::Relaxed);
+        let surrogates = self.shared.save_surrogates();
+        let written = memo?;
+        surrogates?;
         Ok(written)
     }
 
@@ -615,6 +885,8 @@ impl Drop for Engine {
         // them finish.)
         if self.shared.dirty.load(Ordering::Relaxed) {
             let _ = self.persist();
+        } else if self.shared.surrogate_dirty.load(Ordering::Relaxed) {
+            let _ = self.shared.save_surrogates();
         }
     }
 }

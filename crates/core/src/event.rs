@@ -164,6 +164,73 @@ impl Iterator for EventStream {
     }
 }
 
+/// One event of a campaign's aggregate stream
+/// ([`Engine::campaign_events`](crate::engine::Engine::campaign_events)).
+///
+/// The aggregate stream is **observation-ordered**: each executed job's
+/// [`RunEvent`]s are forwarded as one contiguous run when the campaign
+/// driver observes that job's completion (wave by wave, in wave order),
+/// never interleaved at racy emission time — so the whole campaign stream
+/// is a pure function of the request matrix, bit-identical across thread
+/// counts, slot counts, and job interleavings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// Emitted once, first: the matrix was deduplicated and scheduled.
+    Planned {
+        /// Scenarios in the input matrix.
+        scenarios: usize,
+        /// Unique jobs that will actually execute.
+        unique_jobs: usize,
+        /// Scenarios answered by an earlier identical request.
+        deduplicated: usize,
+    },
+    /// One executed job's [`RunEvent`], attributed to its request label.
+    Job {
+        /// The label of the request that ran.
+        label: String,
+        /// The forwarded event.
+        event: RunEvent,
+    },
+    /// A scenario finished. Dedup-aware: a deduplicated scenario
+    /// completes together with its representative, without running, and
+    /// still advances the progress count.
+    ScenarioDone {
+        /// The scenario's own label.
+        label: String,
+        /// The representative's label when this scenario was
+        /// deduplicated away (`None` for the scenario that ran).
+        shared_with: Option<String>,
+        /// Scenarios completed so far, this one included.
+        completed: usize,
+        /// Total scenarios in the matrix.
+        total: usize,
+    },
+}
+
+/// The consuming end of a campaign's aggregate event stream: a blocking
+/// iterator over [`CampaignEvent`]s that ends once the campaign finished
+/// and the buffer drained. Obtained from
+/// [`Engine::campaign_events`](crate::engine::Engine::campaign_events).
+#[derive(Debug)]
+pub struct CampaignEvents {
+    rx: Receiver<CampaignEvent>,
+}
+
+impl CampaignEvents {
+    /// A live stream over the given channel.
+    pub(crate) fn live(rx: Receiver<CampaignEvent>) -> Self {
+        CampaignEvents { rx }
+    }
+}
+
+impl Iterator for CampaignEvents {
+    type Item = CampaignEvent;
+
+    fn next(&mut self) -> Option<CampaignEvent> {
+        self.rx.recv().ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

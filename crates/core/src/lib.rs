@@ -50,7 +50,7 @@ pub mod tuning;
 
 pub use codesign::{CoDesignOptions, CoDesigner, OptimizerKind};
 pub use engine::{CampaignOutcome, CoDesignRequest, Engine, EngineConfig, JobHandle};
-pub use event::{EventStream, RunEvent};
+pub use event::{CampaignEvent, CampaignEvents, EventStream, RunEvent};
 pub use input::{Constraints, GenerationMethod, InputDescription};
 pub use solution::{Solution, WorkloadSolution};
 

@@ -4,6 +4,14 @@
 //! Squared-exponential (RBF) kernel on inputs normalized to `[0,1]^d`,
 //! targets standardized to zero mean / unit variance, and a small
 //! length-scale grid search by log marginal likelihood.
+//!
+//! [`GaussianProcess::fit`] is **deterministic**: the grid search, the
+//! Cholesky factorization, and the solves are pure floating-point
+//! sequences with no RNG or iteration-order dependence, so refitting from
+//! the identical training rows reproduces the identical model bit for
+//! bit. The surrogate cost tier's warm-restart persistence leans on this
+//! — a restarted engine refits the GP from the restored training window
+//! and must price exactly like the process that saved it.
 
 use crate::linalg::{self, LinalgError, Matrix};
 
@@ -195,5 +203,34 @@ mod tests {
     #[should_panic(expected = "zero observations")]
     fn empty_fit_panics() {
         let _ = GaussianProcess::fit(vec![], &[]);
+    }
+
+    #[test]
+    fn refit_from_identical_rows_is_bit_identical() {
+        // The warm-restart contract: a GP refit from restored training
+        // rows must reproduce the saved process's predictions exactly —
+        // same length scale, same posterior bits at training points,
+        // between them, and far away.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..6 {
+            for j in 0..4 {
+                let x = vec![i as f64 / 5.0, j as f64 / 3.0];
+                ys.push((x[0] * 3.0).sin() + 0.5 * x[1] * x[1]);
+                xs.push(x);
+            }
+        }
+        let a = GaussianProcess::fit(xs.clone(), &ys).unwrap();
+        let b = GaussianProcess::fit(xs.clone(), &ys).unwrap();
+        assert_eq!(a.length_scale(), b.length_scale());
+        let probes: Vec<Vec<f64>> = xs
+            .into_iter()
+            .chain([vec![0.123, 0.456], vec![7.0, -3.0]])
+            .collect();
+        for x in &probes {
+            let (pa, pb) = (a.predict(x), b.predict(x));
+            assert_eq!(pa.mean.to_bits(), pb.mean.to_bits(), "mean at {x:?}");
+            assert_eq!(pa.std.to_bits(), pb.std.to_bits(), "std at {x:?}");
+        }
     }
 }

@@ -18,7 +18,10 @@
 //!   persisted with the image, so long-lived shared cache files can be
 //!   garbage-collected by age ([`MemoCache::compact`], the `max_age`
 //!   parameter of [`MemoCache::save_merged_with_max_age`]) instead of
-//!   growing until the capacity bound thrashes.
+//!   growing until the capacity bound thrashes. Stamps are clamped to
+//!   "now" on insert, load, and merge: an entry stamped in the future
+//!   (clock skew, an image written on another host) would otherwise dodge
+//!   every GC pass forever.
 //!
 //! Compute-on-miss runs **outside** the shard lock: two workers racing on
 //! the same key may both compute, but memoized evaluations are pure, so
@@ -167,7 +170,13 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// seconds). Warm-seeding paths use this to preserve the age an entry
     /// had in the cache it came from, so age-based GC sees through
     /// load→run→save cycles instead of treating every reload as fresh.
+    ///
+    /// Stamps are clamped to "now": an entry stamped in the future (clock
+    /// skew, an image restored from another host) would otherwise outlive
+    /// every [`MemoCache::compact`] / `max_age` GC pass forever, since its
+    /// age never reaches any cutoff.
     pub fn insert_stamped(&self, key: K, value: V, stamp: u64) {
+        let stamp = stamp.min(now_secs());
         let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
         if shard.map.insert(key.clone(), (value, stamp)).is_none() {
             self.inserts.fetch_add(1, Ordering::Relaxed);
@@ -189,8 +198,11 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// in-memory analogue of the merged save's stamp handling, for
     /// publishers whose snapshot may carry stale stamps: age-GC must not
     /// expire an entry someone recently renewed just because a
-    /// long-running publisher still holds the old stamp.
+    /// long-running publisher still holds the old stamp. Like
+    /// [`MemoCache::insert_stamped`], the incoming stamp is clamped to
+    /// "now" first.
     pub fn insert_stamped_newest(&self, key: K, value: V, stamp: u64) {
+        let stamp = stamp.min(now_secs());
         let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
         let stamp = match shard.map.get(&key) {
             Some((_, prior)) => stamp.max(*prior),
@@ -303,32 +315,12 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         file
     }
 
-    /// Writes `image` to `path` atomically: the bytes land in a uniquely
-    /// named temp file in the same directory, then rename into place. A
-    /// crash mid-write leaves the previous image intact, and two
-    /// concurrent savers each publish a complete (if last-writer-wins)
-    /// file — never a torn one.
+    /// Writes `image` to `path` atomically via the shared
+    /// [`crate::persist::write_atomic`] machinery (same-directory temp
+    /// file + rename), so a crash mid-write or a concurrent saver never
+    /// leaves a torn image.
     fn write_image_atomically(path: &std::path::Path, image: &[u8]) -> std::io::Result<()> {
-        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let dir = match path.parent() {
-            Some(p) if !p.as_os_str().is_empty() => p,
-            _ => std::path::Path::new("."),
-        };
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "cache".into());
-        let tmp = dir.join(format!(
-            ".{name}.tmp.{}.{}",
-            std::process::id(),
-            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
-        ));
-        std::fs::write(&tmp, image)?;
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e);
-        }
-        Ok(())
+        crate::persist::write_atomic(path, image)
     }
 
     /// Persists the cache to `path` so a later run can start warm
@@ -407,9 +399,14 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         // loaded it, and age-GC must not expire an entry someone recently
         // renewed just because a long-running saver still carries the old
         // stamp.
+        let now = now_secs();
         let mut slots: Vec<Option<(K, V, u64)>> = Vec::new();
         let mut index: HashMap<K, usize> = HashMap::new();
         for (k, v, mut stamp) in existing.into_iter().chain(self.snapshot_stamped()) {
+            // Same clamp as the insert path: a future-stamped file entry
+            // (clock skew on another writer) must not survive every
+            // max-age GC pass forever.
+            stamp = stamp.min(now);
             if let Some(&at) = index.get(&k) {
                 if let Some((_, _, prior)) = slots[at].take() {
                     stamp = stamp.max(prior);
@@ -420,7 +417,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         }
         let mut entries: Vec<(K, V, u64)> = slots.into_iter().flatten().collect();
         if let Some(max_age) = max_age {
-            let cutoff = now_secs().saturating_sub(max_age.as_secs());
+            let cutoff = now.saturating_sub(max_age.as_secs());
             entries.retain(|(_, _, stamp)| *stamp >= cutoff);
         }
         let cap = self.capacity();
@@ -696,6 +693,73 @@ mod tests {
         // Fresh stamps: an aggressive compaction right after loading keeps
         // them.
         assert_eq!(cache.compact(Duration::from_secs(60)), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_stamps_are_clamped_on_insert() {
+        // Regression: a stamp from a skewed clock used to survive every
+        // compact()/max-age pass forever, because its age never reached
+        // any cutoff.
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        let future = super::now_secs() + 1_000_000;
+        cache.insert_stamped(1, 10, future);
+        cache.insert_stamped_newest(2, 20, future);
+        for (_, _, stamp) in cache.snapshot_stamped() {
+            assert!(
+                stamp <= super::now_secs(),
+                "future stamp survived the clamp: {stamp}"
+            );
+        }
+        // A clamped entry ages normally: after (simulated) aging it is
+        // GC-able, which the unclamped future stamp never was.
+        assert_eq!(cache.compact(Duration::from_secs(3600)), 0);
+    }
+
+    #[test]
+    fn future_stamps_are_clamped_on_load_and_merge() {
+        // Hand-build a v2 image whose entries claim timestamps far in the
+        // future (an image written by a host with a skewed clock).
+        let future = super::now_secs() + 1_000_000;
+        let mut payload = Vec::new();
+        for (k, v) in [(1u64, 10u64), (2, 20)] {
+            let mut entry = Vec::new();
+            encode_u64_pair(&k, &v, &mut entry);
+            payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&future.to_le_bytes());
+            payload.extend_from_slice(&entry);
+        }
+        let mut image = Vec::new();
+        image.extend_from_slice(PERSIST_MAGIC);
+        image.extend_from_slice(&2u64.to_le_bytes());
+        image.extend_from_slice(&payload);
+        let mut fp = crate::Fingerprinter::new();
+        fp.write_bytes(&payload);
+        image.extend_from_slice(&fp.finish().0.to_le_bytes());
+
+        let path = temp_path("future");
+        std::fs::write(&path, &image).unwrap();
+
+        // Loading clamps.
+        let cache: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(cache.load_from_file(&path, decode_u64_pair).unwrap(), 2);
+        for (_, _, stamp) in cache.snapshot_stamped() {
+            assert!(stamp <= super::now_secs(), "load kept a future stamp");
+        }
+
+        // Merging over the skewed file clamps the file's entries too: the
+        // saved image must contain no future stamps.
+        std::fs::write(&path, &image).unwrap();
+        let merger: MemoCache<u64, u64> = MemoCache::new(64);
+        merger.insert(3, 30);
+        merger
+            .save_merged_to_file(&path, encode_u64_pair, decode_u64_pair)
+            .unwrap();
+        let reloaded: MemoCache<u64, u64> = MemoCache::new(64);
+        assert_eq!(reloaded.load_from_file(&path, decode_u64_pair).unwrap(), 3);
+        for (_, _, stamp) in reloaded.snapshot_stamped() {
+            assert!(stamp <= super::now_secs(), "merge kept a future stamp");
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,7 +16,10 @@
 //!   used to key the cache by accelerator config + workload + explorer
 //!   options;
 //! * [`batch::BatchEvaluator`] — the seam optimizers program against: "give
-//!   me the responses for this slice of requests, in order".
+//!   me the responses for this slice of requests, in order";
+//! * [`persist`] — shared warm-state image machinery (atomic replacement,
+//!   checksummed framing, corruption-tolerant loading) used by the memo
+//!   cache and the engine's surrogate-registry store.
 //!
 //! # Determinism contract
 //!
@@ -54,6 +57,7 @@ pub mod batch;
 pub mod cache;
 pub mod fingerprint;
 pub mod jobs;
+pub mod persist;
 pub mod pool;
 
 pub use batch::BatchEvaluator;

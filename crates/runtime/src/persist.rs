@@ -1,0 +1,169 @@
+//! Shared persistence machinery for warm-state images.
+//!
+//! Two kinds of warm state survive engine restarts: the memo cache
+//! ([`crate::MemoCache`]'s own format, which predates this module) and the
+//! surrogate-registry store. Both want the same plumbing:
+//!
+//! * **atomic replacement** ([`write_atomic`]) — bytes land in a uniquely
+//!   named temp file in the target directory, then rename into place, so a
+//!   crash mid-save or a concurrent saver never leaves a torn image;
+//! * **checksummed framing** ([`frame`] / [`parse_frame`]) — an 8-byte
+//!   magic (carrying a format version), the payload, and a trailing
+//!   fingerprint of the payload, so any corruption is detected instead of
+//!   decoded;
+//! * **tolerant loading** ([`load_frame`]) — a missing file or a corrupt
+//!   image is the expected cold-start case (`Ok(None)`), while real I/O
+//!   failures (permissions, a directory at the path) stay errors.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `image` to `path` atomically: the bytes land in a uniquely
+/// named temp file in the same directory, then rename into place. A crash
+/// mid-write leaves the previous image intact, and two concurrent savers
+/// each publish a complete (if last-writer-wins) file — never a torn one.
+///
+/// # Errors
+/// Propagates I/O errors from writing the temp file or renaming it into
+/// place.
+pub fn write_atomic(path: &Path, image: &[u8]) -> std::io::Result<()> {
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "image".into());
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::write(&tmp, image)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Wraps `payload` in the checksummed frame: `magic ++ payload ++
+/// fingerprint(payload)`.
+pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut image = Vec::with_capacity(payload.len() + 16);
+    image.extend_from_slice(magic);
+    image.extend_from_slice(payload);
+    let mut fp = crate::Fingerprinter::new();
+    fp.write_bytes(payload);
+    image.extend_from_slice(&fp.finish().0.to_le_bytes());
+    image
+}
+
+/// Validates a framed image and returns its payload; `None` on a wrong
+/// magic, truncation, or checksum mismatch.
+pub fn parse_frame<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Option<&'a [u8]> {
+    if bytes.len() < magic.len() + 8 || &bytes[..magic.len()] != magic {
+        return None;
+    }
+    let payload = &bytes[magic.len()..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
+    let mut fp = crate::Fingerprinter::new();
+    fp.write_bytes(payload);
+    (fp.finish().0 == stored).then_some(payload)
+}
+
+/// Reads and validates a framed image. A missing file or any corruption
+/// (wrong magic, truncation, checksum mismatch) is the cold-start case —
+/// `Ok(None)` — never an error.
+///
+/// # Errors
+/// Propagates I/O errors from reading an *existing* file (permission
+/// failures, `path` being a directory, …).
+pub fn load_frame(path: &Path, magic: &[u8; 8]) -> std::io::Result<Option<Vec<u8>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(parse_frame(magic, &bytes).map(<[u8]>::to_vec))
+}
+
+/// [`frame`] + [`write_atomic`] in one call.
+///
+/// # Errors
+/// Propagates I/O errors from writing the temp file or renaming it into
+/// place.
+pub fn save_frame(path: &Path, magic: &[u8; 8], payload: &[u8]) -> std::io::Result<()> {
+    write_atomic(path, &frame(magic, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"HASCOTST";
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hasco-persist-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let path = temp_path("roundtrip");
+        save_frame(&path, MAGIC, b"hello warm state").unwrap();
+        let payload = load_frame(&path, MAGIC).unwrap().expect("valid frame");
+        assert_eq!(payload, b"hello warm state");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_and_wrong_magic_are_cold_starts() {
+        let path = temp_path("corrupt");
+        save_frame(&path, MAGIC, b"payload bytes").unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        let mut short = good.clone();
+        short.truncate(good.len() - 3);
+        for image in [flipped, short, b"tiny".to_vec()] {
+            std::fs::write(&path, &image).unwrap();
+            assert_eq!(load_frame(&path, MAGIC).unwrap(), None);
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(load_frame(&path, b"WRONGMAG").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start_but_directories_error() {
+        assert_eq!(
+            load_frame(Path::new("/nonexistent/hasco.img"), MAGIC).unwrap(),
+            None
+        );
+        let dir = temp_path("dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_frame(&dir, MAGIC).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_temp_files() {
+        let dir = temp_path("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("image.bin");
+        save_frame(&path, MAGIC, b"one").unwrap();
+        save_frame(&path, MAGIC, b"two").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["image.bin".to_string()], "temp files leaked");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

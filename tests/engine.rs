@@ -1,14 +1,15 @@
 //! The `hasco::Engine` service API: option validation at submit, queued
-//! and mid-run cancellation, campaign fan-out with cross-scenario dedup,
-//! the surrogate registry, and persisted-store lifecycle (including
-//! age-based GC).
+//! and mid-run cancellation, campaign fan-out with cross-scenario dedup
+//! and aggregate progress events, the surrogate registry and its
+//! warm-restart store, and persisted-store lifecycle (including age-based
+//! GC).
 
 use std::time::Duration;
 
 use accel_model::BackendKind;
 use hasco::codesign::{CoDesignOptions, CoDesigner, OptimizerKind};
 use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
-use hasco::event::RunEvent;
+use hasco::event::{CampaignEvent, RunEvent};
 use hasco::input::{Constraints, GenerationMethod, InputDescription};
 use hasco::HascoError;
 use tensor_ir::suites;
@@ -312,6 +313,246 @@ fn surrogate_registry_carries_training_across_jobs() {
         second.stats.warm_cache_entries > 0,
         "surrogate jobs share no warmth"
     );
+}
+
+#[test]
+fn cancel_after_completion_returns_the_solution() {
+    // A cancel racing a just-completed job must not convert an
+    // already-computed solution into `Cancelled`.
+    let engine = Engine::new(EngineConfig::default());
+    let handle = engine
+        .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(7)))
+        .unwrap();
+    while !handle.is_finished() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.cancel();
+    let result = handle.wait();
+    assert!(
+        result.is_ok(),
+        "completed-then-cancelled job lost its solution: {result:?}"
+    );
+    // The late cancel also does not suppress the publication: a repeat
+    // job starts warm.
+    let repeat = engine
+        .submit(CoDesignRequest::new(toy_input(), CoDesignOptions::quick(7)))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(repeat.stats.warm_cache_entries > 0);
+}
+
+#[test]
+fn events_after_wait_replay_the_full_history() {
+    // Subscribing after the job finished must replay the identical
+    // stream a subscribe-before-run consumer saw.
+    let opts = || CoDesignOptions::quick(37).with_refinement(BackendKind::TraceSim, 2);
+    let live = {
+        let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+        let handle = engine
+            .submit(CoDesignRequest::new(toy_input(), opts()).with_label("probe"))
+            .unwrap();
+        let events: Vec<RunEvent> = handle.events().collect();
+        handle.wait().unwrap();
+        events
+    };
+    let replayed = {
+        let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+        let handle = engine
+            .submit(CoDesignRequest::new(toy_input(), opts()).with_label("probe"))
+            .unwrap();
+        handle.wait().unwrap();
+        let events: Vec<RunEvent> = handle.events().collect();
+        events
+    };
+    assert!(!live.is_empty());
+    assert_eq!(live, replayed, "post-wait replay diverged from live stream");
+}
+
+#[test]
+fn campaign_events_attribute_jobs_and_count_dedup_aware_progress() {
+    let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+    let opts = CoDesignOptions::quick(11);
+    let request = |label: &str| CoDesignRequest::new(toy_input(), opts.clone()).with_label(label);
+    // Two identical scenarios (dedup) plus a distinct-seed third.
+    let distinct =
+        CoDesignRequest::new(toy_input(), CoDesignOptions::quick(12)).with_label("other");
+    let (outcomes, events) = engine
+        .campaign_events(vec![request("a"), request("a-again"), distinct])
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(engine.jobs_executed(), 2, "duplicate must not execute");
+
+    let events: Vec<CampaignEvent> = events.collect();
+    assert_eq!(
+        events.first(),
+        Some(&CampaignEvent::Planned {
+            scenarios: 3,
+            unique_jobs: 2,
+            deduplicated: 1
+        })
+    );
+    // Per-request attribution: job events for both executed labels, none
+    // for the deduplicated one.
+    let job_labels: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            CampaignEvent::Job { label, .. } => Some(label.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(job_labels.contains(&"a") && job_labels.contains(&"other"));
+    assert!(
+        !job_labels.contains(&"a-again"),
+        "deduplicated scenario must not run (or emit job events)"
+    );
+    // Dedup-aware progress: every input scenario completes exactly once,
+    // the duplicate attributed to its representative, and the counter
+    // reaches the matrix size.
+    let done: Vec<(&str, Option<&str>, usize, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            CampaignEvent::ScenarioDone {
+                label,
+                shared_with,
+                completed,
+                total,
+            } => Some((label.as_str(), shared_with.as_deref(), *completed, *total)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        done,
+        vec![
+            ("a", None, 1, 3),
+            ("a-again", Some("a"), 2, 3),
+            ("other", None, 3, 3),
+        ]
+    );
+    // The aggregate stream keeps each job's events contiguous and ends
+    // every job with its terminal event right before the ScenarioDone
+    // markers.
+    let solved = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                CampaignEvent::Job {
+                    event: RunEvent::Solved { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(solved, 2);
+}
+
+#[test]
+fn campaign_events_do_not_change_outcomes() {
+    let matrix = || {
+        (0..3)
+            .map(|i| {
+                CoDesignRequest::new(toy_input(), CoDesignOptions::quick(40 + i))
+                    .with_label(format!("s{i}"))
+            })
+            .collect::<Vec<_>>()
+    };
+    let quiet = Engine::new(EngineConfig::default().with_job_slots(2))
+        .campaign(matrix())
+        .unwrap();
+    let (streamed, _events) = Engine::new(EngineConfig::default().with_job_slots(2))
+        .campaign_events(matrix())
+        .unwrap();
+    for (a, b) in quiet.iter().zip(&streamed) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.solution.accelerator, b.solution.accelerator);
+        assert_eq!(a.solution.hw_history, b.solution.hw_history);
+        assert_eq!(a.solution.stats, b.solution.stats);
+    }
+}
+
+#[test]
+fn surrogate_store_persists_training_across_engine_lifetimes() {
+    let cache = temp_cache("ss-cache");
+    let store = temp_cache("ss-store");
+    std::fs::remove_file(&cache).ok();
+    std::fs::remove_file(&store).ok();
+    let config = || {
+        EngineConfig::default()
+            .with_job_slots(1)
+            .with_cache_path(&cache)
+            .with_surrogate_store(&store)
+    };
+    let opts = || {
+        let mut o = CoDesignOptions::quick(13)
+            .with_backend(BackendKind::Surrogate)
+            .with_adaptive_refinement(BackendKind::TraceSim, 2);
+        o.hw_trials = 6;
+        o
+    };
+
+    // First engine: one surrogate job; the store image is written at
+    // wait() (observation-ordered), before any explicit persist.
+    let first = {
+        let engine = Engine::new(config());
+        assert_eq!(engine.restored_surrogate_backends(), 0);
+        let solution = engine
+            .submit(CoDesignRequest::new(toy_input(), opts()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(store.exists(), "wait() must save the surrogate store");
+        engine.persist().unwrap();
+        solution
+    };
+    assert!(first.stats.surrogate_samples > 0);
+
+    // Second engine: restores the registry — non-zero restored
+    // generation — and the repeat job starts from the first job's
+    // training instead of re-paying it.
+    {
+        let engine = Engine::new(config());
+        assert_eq!(engine.restored_surrogate_backends(), 1);
+        assert!(
+            engine.restored_surrogate_generation() > 0,
+            "restored generation must reflect the saved training"
+        );
+        assert_eq!(engine.surrogate_backends(), 1);
+        let warm = engine
+            .submit(CoDesignRequest::new(toy_input(), opts()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            warm.stats.surrogate_samples >= first.stats.surrogate_samples,
+            "restore lost training: {} vs {}",
+            warm.stats.surrogate_samples,
+            first.stats.surrogate_samples
+        );
+        assert!(
+            warm.stats.warm_cache_entries > 0,
+            "restored generation must make the persisted memo reachable"
+        );
+    }
+
+    // A corrupted store is a clean cold start, never an error.
+    {
+        let mut bytes = std::fs::read(&store).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&store, &bytes).unwrap();
+        let engine = Engine::new(config());
+        assert_eq!(engine.restored_surrogate_backends(), 0);
+        assert_eq!(engine.restored_surrogate_generation(), 0);
+        let cold = engine
+            .submit(CoDesignRequest::new(toy_input(), opts()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(cold.total.latency_cycles > 0.0);
+    }
+    std::fs::remove_file(&cache).ok();
+    std::fs::remove_file(&store).ok();
 }
 
 #[test]

@@ -431,6 +431,106 @@ mod engine_concurrency {
     }
 
     #[test]
+    fn restarted_engine_is_bit_identical_to_a_long_lived_one() {
+        // The warm-restart contract: an engine restored from persisted
+        // images (memo cache + surrogate store) prices exactly like a
+        // process that never exited — same solutions, same RunStats, same
+        // event streams, bit for bit.
+        let mut cache = std::env::temp_dir();
+        cache.push(format!("hasco-restart-cache-{}.bin", std::process::id()));
+        let mut store = std::env::temp_dir();
+        store.push(format!("hasco-restart-store-{}.bin", std::process::id()));
+        std::fs::remove_file(&cache).ok();
+        std::fs::remove_file(&store).ok();
+
+        // A surrogate-screened, staged job trains warm state worth
+        // persisting; the second job consumes it.
+        let opts = |seed: u64| {
+            let mut o = CoDesignOptions::quick(seed)
+                .with_backend(accel_model::BackendKind::Surrogate)
+                .with_adaptive_refinement(accel_model::BackendKind::TraceSim, 2);
+            o.hw_trials = 6;
+            o
+        };
+        let first = || CoDesignRequest::new(mixed_input(2), opts(51)).with_label("first");
+        let second = || CoDesignRequest::new(mixed_input(2), opts(52)).with_label("second");
+        let run_second = |engine: &Engine| {
+            let handle = engine.submit(second()).unwrap();
+            let solution = handle.wait().unwrap();
+            let events: Vec<RunEvent> = handle.events().collect();
+            (solution, events)
+        };
+
+        // Reference: one long-lived engine, never restarted.
+        let (ref_solution, ref_events) = {
+            let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+            let warmup = engine.submit(first()).unwrap().wait().unwrap();
+            assert!(warmup.stats.surrogate_samples > 0);
+            run_second(&engine)
+        };
+
+        // Restarted: the first job runs on an engine that persists, then
+        // a fresh engine restores from the images and runs the second.
+        let config = || {
+            EngineConfig::default()
+                .with_job_slots(1)
+                .with_cache_path(&cache)
+                .with_surrogate_store(&store)
+        };
+        {
+            let engine = Engine::new(config());
+            engine.submit(first()).unwrap().wait().unwrap();
+            engine.persist().unwrap();
+        }
+        let restored = Engine::new(config());
+        assert!(restored.restored_surrogate_generation() > 0);
+        let (warm_solution, warm_events) = run_second(&restored);
+
+        assert_eq!(ref_solution.accelerator, warm_solution.accelerator);
+        assert_eq!(ref_solution.hw_history, warm_solution.hw_history);
+        assert_eq!(
+            ref_solution.total.latency_cycles.to_bits(),
+            warm_solution.total.latency_cycles.to_bits()
+        );
+        for (a, b) in ref_solution
+            .per_workload
+            .iter()
+            .zip(&warm_solution.per_workload)
+        {
+            assert_eq!(a.program, b.program);
+            assert_eq!(
+                a.metrics.latency_cycles.to_bits(),
+                b.metrics.latency_cycles.to_bits()
+            );
+        }
+        // Bit-identical statistics: the restored warm state must be
+        // indistinguishable from the resident one (same warm entries,
+        // same hit/miss pattern, same surrogate trajectory).
+        assert_eq!(ref_solution.stats, warm_solution.stats);
+        assert_eq!(ref_events, warm_events, "event stream diverged");
+
+        // Corrupting both images degrades to a clean cold start — never
+        // an error — identical to a job on a fresh engine.
+        for path in [&cache, &store] {
+            let mut bytes = std::fs::read(path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(path, &bytes).unwrap();
+        }
+        let corrupt = Engine::new(config());
+        assert_eq!(corrupt.restored_surrogate_generation(), 0);
+        let (cold_solution, cold_events) = run_second(&corrupt);
+        let fresh = Engine::new(EngineConfig::default().with_job_slots(1));
+        let (fresh_solution, fresh_events) = run_second(&fresh);
+        assert_eq!(cold_solution.hw_history, fresh_solution.hw_history);
+        assert_eq!(cold_solution.stats, fresh_solution.stats);
+        assert_eq!(cold_events, fresh_events);
+
+        std::fs::remove_file(&cache).ok();
+        std::fs::remove_file(&store).ok();
+    }
+
+    #[test]
     fn event_streams_are_identical_under_concurrent_interleaving() {
         let opts = || CoDesignOptions::quick(31);
         let (solo_events, _) = event_stream(opts());

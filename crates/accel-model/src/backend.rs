@@ -32,10 +32,11 @@
 //! answer.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 use dse::gp::GaussianProcess;
-use runtime::{Fingerprinter, StableFingerprint};
+use runtime::{Fingerprinter, StableFingerprint, Telemetry};
 
 use crate::arch::AcceleratorConfig;
 use crate::cost::CostModel;
@@ -467,6 +468,11 @@ pub struct SurrogateBackend {
     /// (0.15 ≈ 15% latency error).
     trust_threshold: f64,
     state: RwLock<SurrogateState>,
+    /// Out-of-band GP fit/predict timing recorder
+    /// ([`SurrogateBackend::install_telemetry`]). Strictly a wall-clock
+    /// side channel: never part of the fingerprint, a snapshot, or a
+    /// fork's learning state.
+    telemetry: OnceLock<Telemetry>,
 }
 
 impl SurrogateBackend {
@@ -482,6 +488,7 @@ impl SurrogateBackend {
                 cv_error: f64::INFINITY,
                 ..SurrogateState::default()
             }),
+            telemetry: OnceLock::new(),
         }
     }
 
@@ -490,6 +497,20 @@ impl SurrogateBackend {
     pub fn with_trust_threshold(mut self, threshold: f64) -> Self {
         self.trust_threshold = threshold.max(0.0);
         self
+    }
+
+    /// Installs a telemetry handle so GP fits (in
+    /// [`SurrogateBackend::observe`]'s refits) and posterior predictions
+    /// (in trusted evaluations) report their wall time. First install
+    /// wins; later calls are ignored. Telemetry never enters the
+    /// fingerprint, snapshots, or any answer — enabling it cannot change
+    /// a result bit.
+    pub fn install_telemetry(&self, telemetry: Telemetry) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry.get().cloned().unwrap_or_default()
     }
 
     /// The expensive tier this surrogate is learning.
@@ -545,6 +566,9 @@ impl SurrogateBackend {
                 generation: state.generation,
                 digest: state.digest,
             }),
+            // The recorder rides along (same registry handle): a fork
+            // made for a job keeps reporting where its parent did.
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -592,6 +616,7 @@ impl SurrogateBackend {
                 cv_error: f64::INFINITY,
                 ..SurrogateState::default()
             }),
+            telemetry: OnceLock::new(),
         };
         {
             let mut state = backend.state.write().expect("surrogate poisoned");
@@ -738,6 +763,7 @@ impl SurrogateBackend {
         if state.ys.len() < self.min_train {
             return;
         }
+        let telemetry = self.telemetry();
         const FOLDS: usize = 4;
         let mut abs_err_sum = 0.0;
         let mut tested = 0usize;
@@ -752,7 +778,7 @@ impl SurrogateBackend {
                     train_y.push(state.ys[i]);
                 }
             }
-            let Ok(gp) = GaussianProcess::fit(train_x, &train_y) else {
+            let Ok(gp) = GaussianProcess::fit_reported(train_x, &train_y, &telemetry) else {
                 return; // numerically degenerate fold: stay untrusted
             };
             for i in test {
@@ -763,7 +789,7 @@ impl SurrogateBackend {
         if tested == 0 {
             return;
         }
-        let Ok(gp) = GaussianProcess::fit(state.xs.clone(), &state.ys) else {
+        let Ok(gp) = GaussianProcess::fit_reported(state.xs.clone(), &state.ys, &telemetry) else {
             return;
         };
         state.cv_error = abs_err_sum / tested as f64;
@@ -948,11 +974,23 @@ impl CostBackend for SurrogateBackend {
         let Some(gp) = &state.gp else {
             return metrics;
         };
-        let factor = gp
-            .predict(&self.features(cfg, plan))
-            .mean
-            .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX)
-            .exp();
+        let predict = || {
+            gp.predict(&self.features(cfg, plan))
+                .mean
+                .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX)
+                .exp()
+        };
+        // Timing is observation-only; the clock is read only when a
+        // recorder is installed and enabled.
+        let factor = match self.telemetry.get() {
+            Some(t) if t.is_enabled() => {
+                let start = Instant::now();
+                let factor = predict();
+                t.record_gp_predict(start.elapsed());
+                factor
+            }
+            _ => predict(),
+        };
         drop(state);
         let corrected = metrics.latency_cycles * factor;
         replace_latency(&mut metrics, cfg, corrected, plan.macs_useful);

@@ -24,6 +24,9 @@
 //!   registry at `FILE`, so a repeat invocation prices with the previous
 //!   run's surrogate generation instead of re-paying the training
 //!   (pair with `--cache` for fully warm restarts);
+//! * `--metrics-out FILE` — write the run's telemetry snapshot (spans,
+//!   counters, per-shard cache stats, per-tier latency histograms) as
+//!   versioned JSON (`hasco-telemetry-v1`) at `FILE`;
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
@@ -58,7 +61,7 @@ fn usage(bin: &str, artifact: &str) -> String {
         "Regenerates the paper's {artifact}.\n\n\
          USAGE: {bin} [--quick | --paper] [--threads N] [--backend B] [--refine-top-k K|auto]\n\
          \x20      [--adaptive] [--tech-sweep] [--cache FILE] [--cache-max-age SECS]\n\
-         \x20      [--surrogate-store FILE]\n\n\
+         \x20      [--surrogate-store FILE] [--metrics-out FILE]\n\n\
          OPTIONS:\n\
          \x20   --quick           reduced budgets/workload subsets (CI-sized)\n\
          \x20   --paper           paper-sized trial budgets (default)\n\
@@ -83,6 +86,8 @@ fn usage(bin: &str, artifact: &str) -> String {
          \x20   --surrogate-store FILE  persist the trained surrogate registry at FILE so\n\
          \x20                     repeat runs start at the previous surrogate generation\n\
          \x20                     (campaign binaries: fig10, table3)\n\
+         \x20   --metrics-out FILE  write the telemetry snapshot (spans, counters, cache\n\
+         \x20                     shards, per-tier latency histograms) as JSON at FILE\n\
          \x20   --help            this message"
     )
 }
@@ -142,6 +147,10 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
                 Some(path) => common::set_surrogate_store(path.into()),
                 None => bail(bin, artifact, "--surrogate-store expects a file path"),
             },
+            "--metrics-out" => match it.next() {
+                Some(path) => common::set_metrics_out(path.into()),
+                None => bail(bin, artifact, "--metrics-out expects a file path"),
+            },
             "--help" | "-h" => {
                 println!("{}", usage(bin, artifact));
                 std::process::exit(0);
@@ -196,12 +205,15 @@ pub fn drive<T>(
     render: impl FnOnce(&T) -> String,
 ) {
     let cli = parse(bin, artifact);
-    let start = std::time::Instant::now();
+    // The whole-run timing is a telemetry span like any other — the
+    // summary line and the snapshot report the same clock.
+    let span = common::telemetry().span("bench");
     let result = run(cli.scale);
+    let elapsed = span.finish();
     println!("{}", render(&result));
     println!(
         "[{artifact} regenerated in {:.1}s at {:?} scale, {} worker thread(s), {} backend{}{}]",
-        start.elapsed().as_secs_f64(),
+        elapsed.as_secs_f64(),
         cli.scale,
         runtime::resolve_threads(cli.threads),
         cli.backend,
@@ -212,4 +224,13 @@ pub fn drive<T>(
         },
         if cli.tech_sweep { ", tech sweep" } else { "" },
     );
+    if let Some(snapshot) = common::telemetry().snapshot() {
+        println!("{}", snapshot.render());
+        if let Some(path) = common::metrics_out() {
+            match std::fs::write(&path, snapshot.to_json()) {
+                Ok(()) => println!("[telemetry snapshot written to {}]", path.display()),
+                Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+            }
+        }
+    }
 }

@@ -10,7 +10,7 @@ use accel_model::arch::{AcceleratorConfig, PeArray};
 use accel_model::{BackendKind, Metrics};
 use hasco::codesign::{CoDesignOptions, HwProblem};
 use hasco::engine::{Engine, EngineConfig};
-use runtime::{resolve_threads, WorkerPool};
+use runtime::{resolve_threads, Telemetry, WorkerPool};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use sw_opt::SwError;
 use tensor_ir::intrinsics::IntrinsicKind;
@@ -45,6 +45,12 @@ static CACHE_MAX_AGE: OnceLock<Option<Duration>> = OnceLock::new();
 
 /// Persistent surrogate-registry store (None = in-memory only).
 static SURROGATE_STORE: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// The process-wide telemetry registry every bench engine reports into.
+static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+
+/// Where `--metrics-out` writes the JSON snapshot (None = don't write).
+static METRICS_OUT: OnceLock<Option<PathBuf>> = OnceLock::new();
 
 /// Installs the experiment thread count (first caller wins).
 pub fn set_threads(threads: usize) {
@@ -136,6 +142,25 @@ pub fn surrogate_store() -> Option<PathBuf> {
     SURROGATE_STORE.get_or_init(|| None).clone()
 }
 
+/// The experiment process's telemetry registry. Always live: recording
+/// is a handful of relaxed atomics per event, and keeping it on means
+/// the post-run summary and `--metrics-out` snapshot never miss work
+/// that happened before flag parsing. Telemetry is a wall-clock side
+/// channel — it never feeds back into results, stats, or events.
+pub fn telemetry() -> &'static Telemetry {
+    TELEMETRY.get_or_init(Telemetry::enabled)
+}
+
+/// Installs the `--metrics-out` snapshot path (first caller wins).
+pub fn set_metrics_out(path: PathBuf) {
+    let _ = METRICS_OUT.set(Some(path));
+}
+
+/// The configured `--metrics-out` path, if any.
+pub fn metrics_out() -> Option<PathBuf> {
+    METRICS_OUT.get_or_init(|| None).clone()
+}
+
 /// The resident co-design engine for this experiment process, built from
 /// the CLI flags: two concurrent job slots, the `--cache` file as the
 /// shared store image, `--cache-max-age` as its GC bound, and
@@ -158,6 +183,7 @@ pub fn engine() -> Engine {
     if let Some(path) = surrogate_store() {
         config = config.with_surrogate_store(path);
     }
+    config = config.with_metrics(telemetry().clone());
     let engine = Engine::new(config);
     if cache_path().is_some() || surrogate_store().is_some() {
         println!(

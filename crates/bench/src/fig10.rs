@@ -146,6 +146,9 @@ pub fn run(scale: Scale) -> Fig10 {
         }
         let outcomes = engine.campaign(requests).expect("tech-sweep jobs succeed");
         let _ = engine.persist();
+        // Flush engine-level telemetry (store-scope cache shards, gauges)
+        // into the shared registry before the engine goes away.
+        let _ = engine.metrics();
         for (pair, (tech_name, _)) in outcomes.chunks(2).zip(&profiles) {
             let (mobo_h, rand_h) = (&pair[0].solution.hw_history, &pair[1].solution.hw_history);
             let node_reference = self::reference(&[mobo_h, rand_h]);

@@ -16,7 +16,7 @@ use baselines::{AutoTvm, HlsCore};
 use hasco::engine::CoDesignRequest;
 use hasco::event::CampaignEvent;
 use hasco::input::{Constraints, GenerationMethod, InputDescription};
-use hasco::report::{speedup, Table};
+use hasco::report::{speedup, CampaignStats, Table};
 use hw_gen::GemminiGenerator;
 use tensor_ir::intrinsics::IntrinsicKind;
 use tensor_ir::suites;
@@ -156,6 +156,10 @@ pub fn run(scale: Scale) -> Table3 {
         .campaign_events(requests)
         .expect("co-design cells succeed");
     let _ = engine.persist();
+    // Flush engine-level telemetry (store-scope cache shards, warm-entry
+    // gauges) into the shared registry before the engine goes away, so
+    // the end-of-run snapshot carries them.
+    let _ = engine.metrics();
     let mut executed = 0usize;
     let mut deduplicated = 0usize;
     let mut total = 0usize;
@@ -179,6 +183,13 @@ pub fn run(scale: Scale) -> Table3 {
         }
     }
     println!("[campaign: {total} cells, {executed} executed, {deduplicated} deduplicated]");
+
+    // Dedup-aware rollup of every cell's RunStats: any single cell's
+    // stats describe only that job, and deduplicated cells carry clones
+    // of a representative already counted, so campaign totals come from
+    // this fold — monotone in work actually performed.
+    let rollup = CampaignStats::from_outcomes(&outcomes);
+    println!("{}", rollup.render());
 
     // Pass 3: assemble rows — baseline and HLS are priced inline (they
     // are fixed designs, not co-design runs).
@@ -216,7 +227,47 @@ pub fn run(scale: Scale) -> Table3 {
             hls: summarize(&conv_sol.accelerator, hls_m.latency_ms),
         });
     }
-    Table3 { rows }
+    let table = Table3 { rows };
+
+    // Quick mode doubles as the CI perf smoke: emit the headline gains
+    // and the campaign rollup as a machine-readable trajectory point
+    // (best effort — a failed write costs the artifact, never the table).
+    if scale == Scale::Quick {
+        let json = bench_json(&table, &rollup);
+        match std::fs::write("BENCH_table3.json", json) {
+            Ok(()) => println!("[bench trajectory written to BENCH_table3.json]"),
+            Err(e) => eprintln!("[failed to write BENCH_table3.json: {e}]"),
+        }
+    }
+    table
+}
+
+/// The `BENCH_table3.json` document: headline geomean gains plus the
+/// dedup-aware campaign totals, schema `hasco-bench-table3-v1`.
+fn bench_json(t: &Table3, rollup: &CampaignStats) -> String {
+    format!(
+        "{{\n  \"schema\": \"hasco-bench-table3-v1\",\n  \"rows\": {},\n  \
+         \"codesign_gain\": {:.6},\n  \"convcore_gain\": {:.6},\n  \"hls_gap\": {:.6},\n  \
+         \"campaign\": {{\n    \"scenarios\": {},\n    \"executed\": {},\n    \
+         \"deduplicated\": {},\n    \"hw_evaluations\": {},\n    \"sw_explorations\": {},\n    \
+         \"refine_explorations\": {},\n    \"steals\": {},\n    \"warm_cache_entries\": {},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_evictions\": {}\n  }}\n}}\n",
+        t.rows.len(),
+        t.codesign_gain(),
+        t.convcore_gain(),
+        t.hls_gap(),
+        rollup.scenarios,
+        rollup.executed,
+        rollup.deduplicated,
+        rollup.hw_evaluations,
+        rollup.sw_explorations,
+        rollup.refine_explorations,
+        rollup.steals,
+        rollup.warm_cache_entries,
+        rollup.cache.hits,
+        rollup.cache.misses,
+        rollup.cache.evictions,
+    )
 }
 
 /// Geometric-mean speedups across rows.

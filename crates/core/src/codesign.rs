@@ -27,7 +27,10 @@ use dse::staged::AdaptiveTopK;
 use dse::Optimizer;
 use hw_gen::space::Generator;
 use hw_gen::{ChiselGenerator, GemminiGenerator};
-use runtime::{resolve_threads, Fingerprinter, MemoCache, StableFingerprint, WorkerPool};
+use runtime::{
+    resolve_threads, Fingerprinter, MemoCache, StableFingerprint, Telemetry, TierRecorder,
+    WorkerPool,
+};
 use sw_opt::explorer::{ExplorerOptions, SoftwareExplorer};
 use tensor_ir::intrinsics::IntrinsicKind;
 use tensor_ir::workload::Workload;
@@ -392,6 +395,10 @@ pub struct HwProblem<'a> {
     /// Progress-event sink (disabled by default; the engine installs a
     /// live one per job).
     events: EventSink,
+    /// Wall-clock side channel (disabled by default). Strictly
+    /// observation-only: nothing recorded here reaches memo fingerprints,
+    /// [`RunStats`], or the event stream.
+    telemetry: Telemetry,
     /// Evaluated (point, metrics) pairs for later reuse.
     pub evaluated: Vec<(Point, Metrics)>,
 }
@@ -427,6 +434,7 @@ impl<'a> HwProblem<'a> {
             refine_requests: 0,
             staged_batches: 0,
             events: EventSink::disabled(),
+            telemetry: Telemetry::disabled(),
             evaluated: Vec::new(),
         }
     }
@@ -539,6 +547,20 @@ impl<'a> HwProblem<'a> {
     /// is identical at any thread count.
     pub fn with_events(mut self, events: EventSink) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Attaches the telemetry side channel: per-tier evaluation latency,
+    /// staging spans, and end-of-run cache counters flow into it. A
+    /// surrogate screen backend additionally reports its GP fit/predict
+    /// timings. Call after [`HwProblem::with_backend`] /
+    /// [`HwProblem::with_refinement`] so the installed backends are the
+    /// ones that run.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        if let Some(surrogate) = self.explorer.backend().as_surrogate() {
+            surrogate.install_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
         self
     }
 
@@ -735,6 +757,7 @@ impl<'a> HwProblem<'a> {
     /// workload, options), so completion order is irrelevant — the pool
     /// reassembles in submission order, keeping results identical at any
     /// thread count.
+    #[allow(clippy::too_many_arguments)] // static worker threading the batch's whole context
     fn eval_pairs(
         explorer: &SoftwareExplorer,
         bases: &[(Fingerprinter, Fingerprinter)],
@@ -743,6 +766,7 @@ impl<'a> HwProblem<'a> {
         workloads: &[Workload],
         sw_opts: &ExplorerOptions,
         configs: &[&AcceleratorConfig],
+        tier: &TierRecorder,
     ) -> Vec<Vec<Option<Metrics>>> {
         let mut results: Vec<Vec<Option<Option<Metrics>>>> = configs
             .iter()
@@ -771,10 +795,14 @@ impl<'a> HwProblem<'a> {
             }
         }
 
+        // Only real (non-memoized) evaluations are timed, so the tier's
+        // latency histogram measures the backend, not the cache.
         let outcomes = workers.map(&jobs, |_, &(ci, wi, _)| {
-            explorer
-                .best_metrics(&workloads[wi], configs[ci], sw_opts)
-                .ok()
+            tier.time(|| {
+                explorer
+                    .best_metrics(&workloads[wi], configs[ci], sw_opts)
+                    .ok()
+            })
         });
 
         let mut fresh_outcomes: BTreeMap<(u64, u64), Option<Metrics>> = BTreeMap::new();
@@ -841,6 +869,7 @@ impl Problem for HwProblem<'_> {
         // to the worker pool.
         self.sw_requests += fresh.len() * self.workloads.len();
         let configs: Vec<&AcceleratorConfig> = fresh.iter().map(|(_, cfg)| cfg).collect();
+        let screen_span = self.telemetry.span("job/hw_dse/screen");
         let screened = Self::eval_pairs(
             &self.explorer,
             &self.pair_bases,
@@ -849,7 +878,9 @@ impl Problem for HwProblem<'_> {
             self.workloads,
             &self.sw_opts,
             &configs,
+            &self.telemetry.tier(self.explorer.backend().name()),
         );
+        drop(screen_span);
         let mut fresh_metrics: Vec<Option<Metrics>> = screened
             .into_iter()
             .map(|per| {
@@ -897,6 +928,7 @@ impl Problem for HwProblem<'_> {
                     .collect();
                 let sub: Vec<&AcceleratorConfig> =
                     survivors.iter().map(|&fi| &fresh[fi].1).collect();
+                let refine_span = self.telemetry.span("job/hw_dse/refine");
                 let refined = Self::eval_pairs(
                     &tier.explorer,
                     &tier.bases,
@@ -905,7 +937,9 @@ impl Problem for HwProblem<'_> {
                     self.workloads,
                     &self.sw_opts,
                     &sub,
+                    &self.telemetry.tier(tier.explorer.backend().name()),
                 );
+                drop(refine_span);
                 for (&fi, per) in survivors.iter().zip(refined) {
                     // A refine-tier failure (impossible mappings are
                     // backend-independent, so this is purely defensive)
@@ -1006,6 +1040,10 @@ pub(crate) struct ExecCtx {
     /// Engine-provided screen backend (a forked surrogate carrying
     /// accumulated training); `None` builds a fresh one from the options.
     pub screen_backend: Option<Arc<dyn CostBackend>>,
+    /// The engine's telemetry side channel (disabled unless the engine
+    /// was configured with metrics). Observation-only: nothing recorded
+    /// through it feeds back into results, stats, or events.
+    pub telemetry: Telemetry,
 }
 
 /// What one executed job hands back to the engine.
@@ -1066,6 +1104,9 @@ fn execute_inner(
     if cancelled() {
         return Err(HascoError::Cancelled);
     }
+    // Held to the end of the job (including error returns): records the
+    // whole-job span on drop.
+    let _job_span = ctx.telemetry.span("job");
     ctx.events.emit(RunEvent::Started {
         label: ctx.label.clone(),
         workloads: input.app.len(),
@@ -1075,16 +1116,20 @@ fn execute_inner(
     // workload; the explorer re-derives its own choices per accelerator,
     // so this is observability-only and skipped when nobody listens).
     if ctx.events.is_enabled() {
+        let partition_span = ctx.telemetry.span("job/partition");
         for part in partition_app(&input.app, &IntrinsicKind::ALL, 64) {
             ctx.events.emit(RunEvent::Partitioned {
                 choices: part.total_choices(),
                 workload: part.workload,
             });
         }
+        drop(partition_span);
     }
 
     let generator = CoDesigner::make_generator(input.method);
-    let workers = WorkerPool::new(resolve_threads(opts.threads)).with_stealing(opts.work_stealing);
+    let workers = WorkerPool::new(resolve_threads(opts.threads))
+        .with_stealing(opts.work_stealing)
+        .with_telemetry(ctx.telemetry.clone());
 
     // Step 2: hardware DSE with software-in-the-loop evaluation, batched
     // onto the evaluation runtime and priced through the configured cost
@@ -1110,6 +1155,7 @@ fn execute_inner(
     } else {
         problem.with_refinement(refine_backend, opts.refine_top_k)
     };
+    problem = problem.with_telemetry(ctx.telemetry.clone());
     problem.seed_memo(&ctx.warm);
     let warm_cache_entries = ctx.warm.len() as u64;
 
@@ -1119,7 +1165,9 @@ fn execute_inner(
         forward: true,
     };
     let mut optimizer = opts.optimizer.build(opts.seed, opts.mobo_prior);
+    let dse_span = ctx.telemetry.span("job/hw_dse");
     let mut history = optimizer.run_with_progress(&mut problem, opts.hw_trials, &observer);
+    drop(dse_span);
     if cancelled() {
         return Err(HascoError::Cancelled);
     }
@@ -1149,7 +1197,9 @@ fn execute_inner(
                 opts.seed.wrapping_add(round as u64 * 0x9e37),
                 opts.mobo_prior,
             );
+            let tuning_span = ctx.telemetry.span("job/tuning");
             let extra = retune.run_with_progress(&mut problem, opts.hw_trials, &observer);
+            drop(tuning_span);
             if cancelled() {
                 return Err(HascoError::Cancelled);
             }
@@ -1188,6 +1238,25 @@ fn execute_inner(
         if screen.as_surrogate().is_some() {
             *surrogate_out = Some(Arc::clone(&screen));
         }
+        // Per-shard cache traffic of this job's memo, accumulated across
+        // jobs (the engine's shared store is snapshotted separately).
+        ctx.telemetry
+            .add_cache_shards("jobs", &problem.memo.shard_stats());
+        if let Some(budget) = problem.topk_trajectory().last() {
+            ctx.telemetry
+                .gauge_set("staging.topk_budget", *budget as u64);
+        }
+        if let Some(disagreement) = problem
+            .refine
+            .as_ref()
+            .and_then(|tier| tier.controller.as_ref())
+            .and_then(AdaptiveTopK::evidence_disagreement)
+        {
+            ctx.telemetry.gauge_set(
+                "staging.rank_disagreement_milli",
+                (disagreement * 1000.0) as u64,
+            );
+        }
     }
     let mut solution = tuned?;
 
@@ -1224,7 +1293,15 @@ fn select_and_finalize(
     let cfg = generator
         .generate(&chosen)
         .map_err(|e| HascoError::Hardware(e.to_string()))?;
-    finalize_solution(opts, input, cfg, history.clone(), &ctx.events, &ctx.cancel)
+    finalize_solution(
+        opts,
+        input,
+        cfg,
+        history.clone(),
+        &ctx.events,
+        &ctx.cancel,
+        &ctx.telemetry,
+    )
 }
 
 /// Optimizes the software thoroughly for a fixed accelerator and
@@ -1237,8 +1314,12 @@ fn finalize_solution(
     hw_history: dse::problem::OptimizerResult,
     events: &EventSink,
     cancel: &Arc<AtomicBool>,
+    telemetry: &Telemetry,
 ) -> Result<Solution, HascoError> {
-    let workers = WorkerPool::new(resolve_threads(opts.threads)).with_stealing(opts.work_stealing);
+    let _finalize_span = telemetry.span("job/finalize");
+    let workers = WorkerPool::new(resolve_threads(opts.threads))
+        .with_stealing(opts.work_stealing)
+        .with_telemetry(telemetry.clone());
     // With fidelity staging on, the final thorough optimization runs
     // at the high-fidelity tier so reported metrics match the
     // refinement the Pareto front saw.
@@ -1250,8 +1331,10 @@ fn finalize_solution(
     // The explorer watches the cancel flag between revision rounds (its
     // observer forwards no events: these rounds run on worker threads,
     // where emission order would depend on scheduling).
+    let backend = final_backend.build_with(opts.tech.clone());
+    let tier = telemetry.tier(backend.name());
     let explorer = SoftwareExplorer::new(opts.seed)
-        .with_backend(final_backend.build_with(opts.tech.clone()))
+        .with_backend(backend)
         .with_progress(Arc::new(RunObserver {
             events: EventSink::disabled(),
             cancel: Arc::clone(cancel),
@@ -1261,8 +1344,8 @@ fn finalize_solution(
     // runs, so they fan out across the pool; errors are reported in
     // workload order (first failure wins), matching the serial path.
     let outcomes = workers.map(&input.app.workloads, |_, w| {
-        let optimized = explorer
-            .optimize(w, &cfg, &opts.sw_final)
+        let optimized = tier
+            .time(|| explorer.optimize(w, &cfg, &opts.sw_final))
             .map_err(|e| HascoError::Software(format!("{}: {e}", w.name)))?;
         let intr = cfg.intrinsic_comp();
         let ctx = sw_opt::schedule::ScheduleContext::new(w, &intr)
@@ -1374,6 +1457,7 @@ impl CoDesigner {
             hw_history,
             &EventSink::disabled(),
             &Arc::new(AtomicBool::new(false)),
+            &Telemetry::disabled(),
         )
     }
 }

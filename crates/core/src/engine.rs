@@ -51,7 +51,10 @@ use std::sync::mpsc::Sender;
 
 use accel_model::tech::TechParams;
 use accel_model::{BackendKind, CostBackend, Metrics, SurrogateBackend, SurrogateSnapshot};
-use runtime::{persist, Fingerprinter, JobScheduler, MemoCache, StableFingerprint};
+use runtime::{
+    persist, Fingerprinter, JobScheduler, MemoCache, StableFingerprint, Telemetry,
+    TelemetrySnapshot,
+};
 
 use crate::codesign::{execute, CoDesignOptions, ExecCtx, ExecOutcome, HwProblem};
 use crate::event::{CampaignEvent, CampaignEvents, EventSink, EventStream, RunEvent};
@@ -80,6 +83,11 @@ pub struct EngineConfig {
     /// publications themselves — as well as by [`Engine::persist`] and
     /// best-effort on drop. `None` keeps the registry in-memory only.
     pub surrogate_store: Option<PathBuf>,
+    /// Telemetry handle threaded through every job, pool, backend, and
+    /// the scheduler ([`EngineConfig::with_metrics`]). Disabled by
+    /// default; always out-of-band — enabling it never changes a result
+    /// bit.
+    pub metrics: Telemetry,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +98,7 @@ impl Default for EngineConfig {
             cache_path: None,
             cache_max_age: None,
             surrogate_store: None,
+            metrics: Telemetry::disabled(),
         }
     }
 }
@@ -105,6 +114,7 @@ impl EngineConfig {
             cache_path: opts.cache_path.clone(),
             cache_max_age: None,
             surrogate_store: None,
+            metrics: Telemetry::disabled(),
         }
     }
 
@@ -138,6 +148,18 @@ impl EngineConfig {
     /// as the engine that wrote the image.
     pub fn with_surrogate_store(mut self, path: impl Into<PathBuf>) -> Self {
         self.surrogate_store = Some(path.into());
+        self
+    }
+
+    /// Attaches a telemetry handle ([`Telemetry::enabled`] to record;
+    /// the default handle is a no-op). The same handle can be shared
+    /// with the caller's own spans, so engine metrics and harness
+    /// metrics land in one registry; snapshot it through
+    /// [`Engine::metrics`] or directly. Telemetry is a wall-clock side
+    /// channel: it never enters memo fingerprints, `RunStats`, event
+    /// streams, or persisted images.
+    pub fn with_metrics(mut self, metrics: Telemetry) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -271,6 +293,9 @@ struct EngineShared {
     /// Jobs actually executed (campaign dedup skips duplicates).
     jobs_executed: AtomicU64,
     next_job_id: AtomicU64,
+    /// The engine-wide telemetry handle (no-op unless the configuration
+    /// attached an enabled one).
+    telemetry: Telemetry,
 }
 
 impl EngineShared {
@@ -497,6 +522,21 @@ pub struct CampaignOutcome {
     pub shared_with: Option<String>,
 }
 
+impl crate::report::CampaignStats {
+    /// Rolls a campaign's outcomes up into dedup-aware totals: executed
+    /// scenarios contribute their full [`crate::report::RunStats`];
+    /// deduplicated ones (whose solutions are clones of a representative
+    /// already counted) move only the dedup counter, keeping every total
+    /// monotone in work actually performed.
+    pub fn from_outcomes(outcomes: &[CampaignOutcome]) -> Self {
+        let mut rollup = Self::default();
+        for outcome in outcomes {
+            rollup.add_run(&outcome.solution.stats, outcome.shared_with.is_some());
+        }
+        rollup
+    }
+}
+
 /// The long-lived co-design service; see the module docs.
 pub struct Engine {
     shared: Arc<EngineShared>,
@@ -538,8 +578,9 @@ impl Engine {
                 dirty: AtomicBool::new(false),
                 jobs_executed: AtomicU64::new(0),
                 next_job_id: AtomicU64::new(1),
+                telemetry: config.metrics.clone(),
             }),
-            scheduler: JobScheduler::new(config.job_slots),
+            scheduler: JobScheduler::new(config.job_slots).with_telemetry(config.metrics),
         }
     }
 
@@ -628,7 +669,14 @@ impl Engine {
                     .expect("surrogate registry poisoned")
                     .get(&key)
                     .and_then(|prev| prev.as_surrogate())
-                    .map(|prev| Arc::new(prev.fork()) as Arc<dyn CostBackend>);
+                    .map(|prev| {
+                        let fork = prev.fork();
+                        // GP fit/predict timings land in the engine's
+                        // registry (no-op if a handle is already
+                        // installed or telemetry is disabled).
+                        fork.install_telemetry(self.shared.telemetry.clone());
+                        Arc::new(fork) as Arc<dyn CostBackend>
+                    });
                 (forked, Some(key))
             } else {
                 (None, None)
@@ -659,6 +707,7 @@ impl Engine {
             cancel: Arc::clone(&state.cancel),
             warm,
             screen_backend,
+            telemetry: self.shared.telemetry.clone(),
         };
         self.scheduler.spawn(Box::new(move || {
             // A job cancelled while still queued is discarded without
@@ -672,6 +721,7 @@ impl Engine {
                 }))
             } else {
                 shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("engine.jobs_executed", 1);
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     execute(&request.input, &request.options, &ctx)
                 })) {
@@ -773,6 +823,18 @@ impl Engine {
             unique_jobs: unique.len(),
             deduplicated: assignment.len() - unique.len(),
         });
+        // Dedup-rate counters accumulate across campaigns, so a session's
+        // snapshot reports how much the fingerprint dedup actually saved.
+        self.shared
+            .telemetry
+            .counter_add("campaign.scenarios", assignment.len() as u64);
+        self.shared
+            .telemetry
+            .counter_add("campaign.unique_jobs", unique.len() as u64);
+        self.shared.telemetry.counter_add(
+            "campaign.deduplicated",
+            (assignment.len() - unique.len()) as u64,
+        );
 
         // Waves: within a wave, jobs share the pre-wave store (all
         // snapshots are taken before any wave member is waited on);
@@ -874,6 +936,31 @@ impl Engine {
     /// of the in-memory shared store); returns how many were removed.
     pub fn compact(&self, max_age: Duration) -> usize {
         self.shared.store.compact(max_age)
+    }
+
+    /// The engine's telemetry handle (a no-op handle unless the
+    /// configuration attached an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Snapshots the telemetry registry (`None` when metrics are
+    /// disabled), refreshing the point-in-time gauges first: the shared
+    /// store's per-shard counters (scope `"store"`), warm-entry count,
+    /// jobs executed, and registered surrogate backends.
+    pub fn metrics(&self) -> Option<TelemetrySnapshot> {
+        let telemetry = &self.shared.telemetry;
+        if !telemetry.is_enabled() {
+            return None;
+        }
+        telemetry.set_cache_shards("store", &self.shared.store.shard_stats());
+        telemetry.gauge_set("engine.warm_entries", self.warm_entries() as u64);
+        telemetry.gauge_set("engine.jobs_observed", self.jobs_executed());
+        telemetry.gauge_set(
+            "engine.surrogate_backends",
+            self.surrogate_backends() as u64,
+        );
+        telemetry.snapshot()
     }
 }
 

@@ -9,6 +9,13 @@
 //! the flow, so **the event stream of a job is bit-identical across
 //! thread counts, work-stealing modes, and concurrent-job interleavings**
 //! — the same determinism contract the solutions themselves obey.
+//!
+//! Wall-clock observability deliberately lives elsewhere: timings,
+//! latency histograms, and cache/steal counters flow through the
+//! [`runtime::Telemetry`] side channel (see
+//! [`EngineConfig::with_metrics`](crate::engine::EngineConfig::with_metrics)),
+//! never through events. Carrying a timestamp here would break the
+//! bit-identical contract on the first re-run.
 
 use std::sync::mpsc::{Receiver, Sender};
 

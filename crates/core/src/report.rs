@@ -100,6 +100,104 @@ impl RunStats {
     }
 }
 
+/// Campaign-level rollup of per-scenario [`RunStats`].
+///
+/// A single scenario's `RunStats` is a faithful report of *that job*; a
+/// campaign's totals cannot be read off any one of them, and summing
+/// naively over every outcome double-counts deduplicated scenarios
+/// (their solutions are clones of a representative that ran once).
+/// [`CampaignStats::add_run`] therefore folds executed scenarios in full
+/// and deduplicated ones only into the dedup counter, so every total is
+/// monotone in work actually performed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Scenarios in the campaign (executed + deduplicated).
+    pub scenarios: usize,
+    /// Scenarios that actually ran a job.
+    pub executed: usize,
+    /// Scenarios answered by cloning an identical earlier scenario.
+    pub deduplicated: usize,
+    /// Feasible hardware design points evaluated, summed over executed
+    /// scenarios.
+    pub hw_evaluations: usize,
+    /// Screen-tier software explorations, summed over executed scenarios.
+    pub sw_explorations: usize,
+    /// High-fidelity re-evaluations, summed over executed scenarios.
+    pub refine_explorations: usize,
+    /// Work-stealing operations, summed over executed scenarios.
+    pub steals: u64,
+    /// Warm cache entries seeded into executed scenarios.
+    pub warm_cache_entries: u64,
+    /// Memo-cache counters summed over executed scenarios.
+    pub cache: CacheStats,
+}
+
+impl CampaignStats {
+    /// Folds one scenario's stats into the rollup. `deduplicated`
+    /// scenarios count toward `scenarios`/`deduplicated` only — their
+    /// stats describe the representative job, which was already folded.
+    pub fn add_run(&mut self, stats: &RunStats, deduplicated: bool) {
+        self.scenarios += 1;
+        if deduplicated {
+            self.deduplicated += 1;
+            return;
+        }
+        self.executed += 1;
+        self.hw_evaluations += stats.hw_evaluations;
+        self.sw_explorations += stats.sw_explorations;
+        self.refine_explorations += stats.refine_explorations;
+        self.steals += stats.steals;
+        self.warm_cache_entries += stats.warm_cache_entries;
+        self.cache.hits += stats.cache.hits;
+        self.cache.misses += stats.cache.misses;
+        self.cache.inserts += stats.cache.inserts;
+        self.cache.evictions += stats.cache.evictions;
+    }
+
+    /// Fraction of scenarios answered without running a job.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.deduplicated as f64 / self.scenarios as f64
+        }
+    }
+
+    /// Renders the rollup as a report table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["campaign", "value"]);
+        t.row(vec!["scenarios".into(), self.scenarios.to_string()]);
+        t.row(vec!["executed".into(), self.executed.to_string()]);
+        t.row(vec![
+            "deduplicated".into(),
+            format!("{} ({:.1}%)", self.deduplicated, self.dedup_rate() * 100.0),
+        ]);
+        t.row(vec![
+            "hw evaluations".into(),
+            self.hw_evaluations.to_string(),
+        ]);
+        t.row(vec![
+            "sw explorations".into(),
+            self.sw_explorations.to_string(),
+        ]);
+        t.row(vec!["refined".into(), self.refine_explorations.to_string()]);
+        t.row(vec![
+            "warm cache entries".into(),
+            self.warm_cache_entries.to_string(),
+        ]);
+        // No steals row on purpose: steal counts vary with thread timing,
+        // and this table is part of the deterministic artifact output.
+        // They are reported via telemetry and the BENCH_*.json rollup.
+        t.row(vec!["cache hits".into(), self.cache.hits.to_string()]);
+        t.row(vec!["cache misses".into(), self.cache.misses.to_string()]);
+        t.row(vec![
+            "cache hit rate".into(),
+            format!("{:.1}%", self.cache.hit_rate() * 100.0),
+        ]);
+        t.render()
+    }
+}
+
 /// Compresses a per-batch top-k trajectory into a compact report cell,
 /// e.g. `4 -> 1 over 12 batches (min 1, max 4)`.
 fn summarize_trajectory(trajectory: &[usize]) -> String {
@@ -250,6 +348,42 @@ mod tests {
         assert!(!off.contains("refined ("));
         assert!(!off.contains("adaptive top-k"));
         assert!(!off.contains("surrogate training"));
+    }
+
+    #[test]
+    fn campaign_stats_skip_deduplicated_scenarios() {
+        let executed = RunStats {
+            hw_evaluations: 10,
+            sw_explorations: 40,
+            refine_explorations: 8,
+            steals: 3,
+            warm_cache_entries: 5,
+            cache: CacheStats {
+                hits: 20,
+                misses: 30,
+                inserts: 30,
+                evictions: 1,
+            },
+            ..RunStats::default()
+        };
+        let mut rollup = CampaignStats::default();
+        rollup.add_run(&executed, false);
+        rollup.add_run(&executed, false);
+        // The dedup clone carries the representative's stats — folding
+        // them again would double-count, so only the counter moves.
+        rollup.add_run(&executed, true);
+        assert_eq!(rollup.scenarios, 3);
+        assert_eq!(rollup.executed, 2);
+        assert_eq!(rollup.deduplicated, 1);
+        assert_eq!(rollup.hw_evaluations, 20);
+        assert_eq!(rollup.sw_explorations, 80);
+        assert_eq!(rollup.refine_explorations, 16);
+        assert_eq!(rollup.steals, 6);
+        assert_eq!(rollup.cache.hits, 40);
+        assert!((rollup.dedup_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let s = rollup.render();
+        assert!(s.contains("deduplicated") && s.contains("33.3%"));
+        assert!(s.contains("hw evaluations") && s.contains("20"));
     }
 
     #[test]

@@ -95,6 +95,31 @@ impl GaussianProcess {
             .ok_or(LinalgError::NotPositiveDefinite)
     }
 
+    /// Like [`GaussianProcess::fit`], additionally reporting the fit's
+    /// wall time to the telemetry side channel. Timing is
+    /// observation-only — the fitted model is bit-identical to what
+    /// [`GaussianProcess::fit`] returns, and a disabled handle skips the
+    /// clock entirely.
+    ///
+    /// # Errors
+    /// Same as [`GaussianProcess::fit`].
+    ///
+    /// # Panics
+    /// Same as [`GaussianProcess::fit`].
+    pub fn fit_reported(
+        xs: Vec<Vec<f64>>,
+        ys: &[f64],
+        telemetry: &runtime::Telemetry,
+    ) -> Result<Self, LinalgError> {
+        if !telemetry.is_enabled() {
+            return Self::fit(xs, ys);
+        }
+        let start = std::time::Instant::now();
+        let out = Self::fit(xs, ys);
+        telemetry.record_gp_fit(start.elapsed());
+        out
+    }
+
     /// The selected RBF length scale.
     pub fn length_scale(&self) -> f64 {
         self.length_scale

@@ -206,6 +206,19 @@ impl AdaptiveTopK {
     pub fn trajectory(&self) -> &[usize] {
         &self.trajectory
     }
+
+    /// The current evidence-window rank disagreement the controller is
+    /// acting on, in `[0, 1]` — `None` until the window holds enough
+    /// pairs ([`AdaptiveTopK::observe`]). Read-only: exposed so
+    /// telemetry can gauge how much the screen and refine tiers disagree
+    /// without re-deriving the window.
+    pub fn evidence_disagreement(&self) -> Option<f64> {
+        if self.window.len() < EVIDENCE_MIN {
+            return None;
+        }
+        let (screen, refine): (Vec<f64>, Vec<f64>) = self.window.iter().copied().unzip();
+        Some(rank_disagreement(&screen, &refine))
+    }
 }
 
 /// Point-in-time counters of a staged evaluator.

@@ -93,16 +93,36 @@ impl<K, V> Default for Shard<K, V> {
     }
 }
 
+/// Per-shard counter cells, so shard-level behavior (hot shards, skewed
+/// eviction) is observable without widening any lock.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardCounters {
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A concurrent memoizing cache with bounded capacity and statistics.
 #[derive(Debug)]
 pub struct MemoCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     /// Maximum entries per shard (total capacity / shard count).
     per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
+    /// One counter block per shard ([`MemoCache::shard_stats`]);
+    /// [`MemoCache::stats`] sums them.
+    counters: Vec<ShardCounters>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
@@ -113,10 +133,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard: capacity.div_ceil(SHARDS).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            counters: (0..SHARDS).map(|_| ShardCounters::default()).collect(),
         }
     }
 
@@ -139,22 +156,23 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         self.len() == 0
     }
 
-    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+    fn shard_index(&self, key: &K) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
     }
 
     /// Looks `key` up without computing.
     pub fn get(&self, key: &K) -> Option<V> {
-        let shard = self.shard_for(key).lock().expect("shard poisoned");
+        let idx = self.shard_index(key);
+        let shard = self.shards[idx].lock().expect("shard poisoned");
         match shard.map.get(key) {
             Some((v, _)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters[idx].hits.fetch_add(1, Ordering::Relaxed);
                 Some(v.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters[idx].misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -177,14 +195,15 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// age never reaches any cutoff.
     pub fn insert_stamped(&self, key: K, value: V, stamp: u64) {
         let stamp = stamp.min(now_secs());
-        let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards[idx].lock().expect("shard poisoned");
         if shard.map.insert(key.clone(), (value, stamp)).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters[idx].inserts.fetch_add(1, Ordering::Relaxed);
             shard.order.push_back(key);
             while shard.map.len() > self.per_shard {
                 if let Some(old) = shard.order.pop_front() {
                     if shard.map.remove(&old).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.counters[idx].evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 } else {
                     break;
@@ -203,18 +222,19 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
     /// "now" first.
     pub fn insert_stamped_newest(&self, key: K, value: V, stamp: u64) {
         let stamp = stamp.min(now_secs());
-        let mut shard = self.shard_for(&key).lock().expect("shard poisoned");
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards[idx].lock().expect("shard poisoned");
         let stamp = match shard.map.get(&key) {
             Some((_, prior)) => stamp.max(*prior),
             None => stamp,
         };
         if shard.map.insert(key.clone(), (value, stamp)).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters[idx].inserts.fetch_add(1, Ordering::Relaxed);
             shard.order.push_back(key);
             while shard.map.len() > self.per_shard {
                 if let Some(old) = shard.order.pop_front() {
                     if shard.map.remove(&old).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.counters[idx].evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 } else {
                     break;
@@ -523,14 +543,23 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         Some(entries)
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, summed across shards.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+        let mut total = CacheStats::default();
+        for c in &self.counters {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.evictions += s.evictions;
         }
+        total
+    }
+
+    /// Per-shard counter snapshot, in shard order — the telemetry view of
+    /// shard balance (hot shards, skewed eviction pressure).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.counters.iter().map(ShardCounters::stats).collect()
     }
 
     /// Drops every entry (counters are preserved).
@@ -563,15 +592,45 @@ mod tests {
     }
 
     #[test]
+    fn shard_stats_sum_to_totals_and_localize_traffic() {
+        // Roomy capacity: no shard evicts, so every re-read is a hit.
+        let cache: MemoCache<u64, u64> = MemoCache::new(1024);
+        for k in 0..40u64 {
+            cache.insert(k, k);
+        }
+        for k in 0..40u64 {
+            assert_eq!(cache.get(&k), Some(k));
+        }
+        cache.get(&10_000);
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), super::SHARDS);
+        let total = cache.stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), total.misses);
+        assert_eq!(shards.iter().map(|s| s.inserts).sum::<u64>(), total.inserts);
+        // A single key's traffic lands on exactly one shard.
+        let hot = cache.shard_index(&7);
+        let before = cache.shard_stats();
+        cache.get(&7);
+        let after = cache.shard_stats();
+        assert_eq!(after[hot].hits, before[hot].hits + 1);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i != hot {
+                assert_eq!(b, a, "shard {i} unexpectedly changed");
+            }
+        }
+    }
+
+    #[test]
     fn capacity_bound_evicts_oldest_first() {
         // Single-entry shards: every shard holds exactly one key.
         let cache: MemoCache<u64, u64> = MemoCache::new(1);
         assert_eq!(cache.capacity(), super::SHARDS);
         // Find two keys landing in the same shard and insert three values.
         let mut same_shard = vec![0u64];
-        let first = cache.shard_for(&0) as *const _;
+        let first = cache.shard_index(&0);
         for k in 1..10_000u64 {
-            if std::ptr::eq(cache.shard_for(&k), first) {
+            if cache.shard_index(&k) == first {
                 same_shard.push(k);
                 if same_shard.len() == 3 {
                     break;

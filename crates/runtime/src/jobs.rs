@@ -22,6 +22,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::telemetry::Telemetry;
 
 /// A queued unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -32,6 +35,8 @@ pub struct JobScheduler {
     tx: Option<Sender<Job>>,
     executors: Vec<JoinHandle<()>>,
     slots: usize,
+    /// Out-of-band queue-wait observer (no-op by default).
+    telemetry: Telemetry,
 }
 
 impl JobScheduler {
@@ -69,7 +74,15 @@ impl JobScheduler {
             tx: Some(tx),
             executors,
             slots,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every spawned job then records how
+    /// long it waited in the queue before an executor picked it up.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The number of jobs that can run concurrently.
@@ -81,6 +94,16 @@ impl JobScheduler {
     /// order relative to other queued jobs.
     pub fn spawn(&self, job: Job) {
         if let Some(tx) = &self.tx {
+            let job = if self.telemetry.is_enabled() {
+                let telemetry = self.telemetry.clone();
+                let queued_at = Instant::now();
+                Box::new(move || {
+                    telemetry.record_queue_wait(queued_at.elapsed());
+                    job();
+                }) as Job
+            } else {
+                job
+            };
             // Send can only fail after the queue closed, which only
             // happens in Drop — unreachable from a live &self.
             let _ = tx.send(job);
@@ -173,5 +196,22 @@ mod tests {
     #[test]
     fn zero_slots_clamp_to_one() {
         assert_eq!(JobScheduler::new(0).slots(), 1);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_per_job() {
+        let telemetry = Telemetry::enabled();
+        {
+            let scheduler = JobScheduler::new(1).with_telemetry(telemetry.clone());
+            for _ in 0..4 {
+                scheduler.spawn(Box::new(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }));
+            }
+        }
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.queue_wait_ns.count, 4);
+        // Jobs behind a 1ms predecessor on one slot waited at least that.
+        assert!(snap.queue_wait_ns.max_ns >= 1_000_000);
     }
 }

@@ -19,7 +19,10 @@
 //!   me the responses for this slice of requests, in order";
 //! * [`persist`] — shared warm-state image machinery (atomic replacement,
 //!   checksummed framing, corruption-tolerant loading) used by the memo
-//!   cache and the engine's surrogate-registry store.
+//!   cache and the engine's surrogate-registry store;
+//! * [`telemetry`] — out-of-band wall-clock spans, counters, gauges, and
+//!   histograms ([`Telemetry`]), a side channel that observes the
+//!   pipeline without ever feeding back into results.
 //!
 //! # Determinism contract
 //!
@@ -59,12 +62,14 @@ pub mod fingerprint;
 pub mod jobs;
 pub mod persist;
 pub mod pool;
+pub mod telemetry;
 
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, MemoCache};
 pub use fingerprint::{Fingerprint, Fingerprinter, StableFingerprint};
 pub use jobs::JobScheduler;
 pub use pool::{PoolStats, WorkerPool};
+pub use telemetry::{Telemetry, TelemetrySnapshot, TierRecorder, TELEMETRY_SCHEMA};
 
 /// A point in a discrete search space (one choice index per dimension) —
 /// mirrors `dse::problem::Point` so the batch seam does not depend on the

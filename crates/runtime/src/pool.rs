@@ -28,6 +28,9 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::telemetry::Telemetry;
 
 /// Point-in-time scheduling counters of a pool (shared by clones).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +60,9 @@ pub struct WorkerPool {
     threads: usize,
     stealing: bool,
     stats: Arc<StatCells>,
+    /// Out-of-band batch observer (no-op by default): batch sizes, wall
+    /// time, and steal deltas. Never feeds back into scheduling.
+    telemetry: Telemetry,
 }
 
 impl WorkerPool {
@@ -67,6 +73,7 @@ impl WorkerPool {
             threads: threads.max(1),
             stealing: true,
             stats: Arc::new(StatCells::default()),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -88,6 +95,15 @@ impl WorkerPool {
     /// Sets the work-stealing flag explicitly.
     pub fn with_stealing(mut self, stealing: bool) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Attaches a telemetry handle; every [`WorkerPool::map`] call then
+    /// records its batch size, wall time, and steal delta. Telemetry is a
+    /// wall-clock side channel — it observes scheduling and never
+    /// influences it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -135,6 +151,31 @@ impl WorkerPool {
         self.stats
             .items
             .fetch_add(items.len() as u64, Ordering::Relaxed);
+        // Telemetry observes the batch from outside the dispatch: the
+        // clock is only read when a recorder is attached.
+        let observed = self
+            .telemetry
+            .is_enabled()
+            .then(|| (Instant::now(), self.stats.steals.load(Ordering::Relaxed)));
+        let out = self.dispatch(items, f);
+        if let Some((start, steals_before)) = observed {
+            let steals = self
+                .stats
+                .steals
+                .load(Ordering::Relaxed)
+                .saturating_sub(steals_before);
+            self.telemetry
+                .record_pool_batch(items.len() as u64, steals, start.elapsed());
+        }
+        out
+    }
+
+    fn dispatch<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         if self.is_serial() || items.len() <= 1 {
             return items
                 .iter()
@@ -415,5 +456,20 @@ mod tests {
     fn stealing_flag_is_reported() {
         assert!(WorkerPool::new(4).stealing());
         assert!(!WorkerPool::new(4).without_stealing().stealing());
+    }
+
+    #[test]
+    fn telemetry_observes_batches_without_changing_results() {
+        let telemetry = Telemetry::enabled();
+        let plain = WorkerPool::new(3);
+        let observed = WorkerPool::new(3).with_telemetry(telemetry.clone());
+        let items: Vec<u64> = (0..32).collect();
+        let f = |i: usize, x: &u64| (i as u64) * 10 + x;
+        assert_eq!(plain.map(&items, f), observed.map(&items, f));
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.pool.batches, 1);
+        assert_eq!(snap.pool.items, 32);
+        assert_eq!(snap.pool.batch_ns.count, 1);
+        assert_eq!(snap.pool.batch_items.max_ns, 32);
     }
 }

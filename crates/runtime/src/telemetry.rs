@@ -1,0 +1,995 @@
+//! Out-of-band wall-clock telemetry: spans, counters, gauges, and
+//! histograms for the whole engine stack.
+//!
+//! The co-design pipeline is instrumented at every layer — engine jobs,
+//! pipeline phases, evaluation batches, backend tiers, GP fits, the memo
+//! cache, the worker pool, and the job scheduler — through one shared
+//! [`Telemetry`] handle:
+//!
+//! * **spans** — hierarchical timed sections keyed by a `/`-separated
+//!   path (`"job/hw_dse/screen"`), aggregated per path (count, total,
+//!   min, max) so hot paths stay bounded-memory;
+//! * **counters / gauges** — named monotone sums and last-written values
+//!   (campaign dedup rates, jobs executed, adaptive top-k state);
+//! * **histograms** — power-of-two-bucketed nanosecond distributions
+//!   (per-tier evaluation latency, GP fit/predict time, pool batch time,
+//!   scheduler queue-wait);
+//! * **cache scopes** — per-shard [`CacheStats`] for the engine's shared
+//!   store (point-in-time) and the union of per-job caches (accumulated).
+//!
+//! # The side-channel contract
+//!
+//! Telemetry measures wall-clock time, and wall-clock time is
+//! nondeterministic — so telemetry is strictly **write-only from the
+//! computation's point of view**. Nothing read from this module may flow
+//! into memo fingerprints, `RunStats`, event streams, or any persisted
+//! image; enabling or disabling telemetry must never change a result
+//! bit. The determinism suite pins this
+//! (`telemetry_never_changes_results`).
+//!
+//! # Cost model
+//!
+//! A disabled handle ([`Telemetry::disabled`], the default) holds no
+//! registry: every recording call is a branch on `None` and returns
+//! without reading the clock. An enabled handle records through relaxed
+//! atomics (histograms, tier cells, pool counters) or short-lived mutexes
+//! on cold paths (span table, counters), cheap enough to leave on for
+//! every bench run.
+//!
+//! # Example
+//!
+//! ```
+//! use runtime::Telemetry;
+//!
+//! let t = Telemetry::enabled();
+//! {
+//!     let _span = t.span("job/hw_dse");
+//!     t.counter_add("batches", 1);
+//! }
+//! let snap = t.snapshot().unwrap();
+//! assert_eq!(snap.spans[0].path, "job/hw_dse");
+//! assert!(snap.to_json().contains("hasco-telemetry-v1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Schema identifier stamped into every JSON document this module emits.
+pub const TELEMETRY_SCHEMA: &str = "hasco-telemetry-v1";
+
+/// Histogram bucket count: bucket `i` holds samples with
+/// `ns <= 2^i`, so 48 buckets span sub-nanosecond to ~78 hours.
+const HIST_BUCKETS: usize = 48;
+
+/// A lock-free nanosecond histogram with power-of-two buckets.
+#[derive(Debug)]
+struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+        let idx = (64 - u64::leading_zeros(ns | 1) as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { min },
+            max_ns: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (1u64 << i.min(63), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time image of a [`Histogram`]: summary statistics plus the
+/// non-empty power-of-two buckets as `(upper_bound_ns, count)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Non-empty buckets, ascending: each sample with `ns <= le_ns`
+    /// (and above the previous bucket's bound) counts here.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|(le, n)| format!("{{\"le_ns\":{le},\"count\":{n}}}"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum_ns,
+            self.min_ns,
+            self.max_ns,
+            buckets.join(",")
+        )
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanCells {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Per-backend-tier evaluation cells (atomics: recorded from worker
+/// threads inside evaluation batches).
+#[derive(Debug)]
+struct TierCells {
+    evals: AtomicU64,
+    latency_ns: Histogram,
+}
+
+/// The shared metric store behind an enabled [`Telemetry`] handle.
+#[derive(Debug)]
+struct Registry {
+    spans: Mutex<BTreeMap<String, SpanCells>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    pool_batches: AtomicU64,
+    pool_items: AtomicU64,
+    pool_steals: AtomicU64,
+    pool_batch_items: Histogram,
+    pool_batch_ns: Histogram,
+    queue_wait_ns: Histogram,
+    tiers: Mutex<BTreeMap<String, Arc<TierCells>>>,
+    gp_fits: AtomicU64,
+    gp_fit_ns: Histogram,
+    gp_predicts: AtomicU64,
+    gp_predict_ns: Histogram,
+    caches: Mutex<BTreeMap<String, Vec<CacheStats>>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            spans: Mutex::new(BTreeMap::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            pool_batches: AtomicU64::new(0),
+            pool_items: AtomicU64::new(0),
+            pool_steals: AtomicU64::new(0),
+            pool_batch_items: Histogram::new(),
+            pool_batch_ns: Histogram::new(),
+            queue_wait_ns: Histogram::new(),
+            tiers: Mutex::new(BTreeMap::new()),
+            gp_fits: AtomicU64::new(0),
+            gp_fit_ns: Histogram::new(),
+            gp_predicts: AtomicU64::new(0),
+            gp_predict_ns: Histogram::new(),
+            caches: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// A cloneable recorder handle: either a shared registry (enabled) or a
+/// zero-cost no-op (disabled, the default). Clones share the registry, so
+/// one handle threaded through engine, runtime, backends, and bench
+/// aggregates into a single snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A recording handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// A no-op handle: every recording call returns without touching the
+    /// clock. This is the default.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span; it records into `path`'s aggregate when the
+    /// guard drops (or [`SpanGuard::finish`] is called). Disabled handles
+    /// return an inert guard without reading the clock.
+    pub fn span(&self, path: &str) -> SpanGuard {
+        SpanGuard {
+            inner: self
+                .inner
+                .as_ref()
+                .map(|_| (self.clone(), path.to_string(), Instant::now())),
+        }
+    }
+
+    /// Folds one elapsed duration into `path`'s span aggregate.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        let Some(reg) = &self.inner else { return };
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut spans = reg.spans.lock().expect("span table poisoned");
+        let cells = spans.entry(path.to_string()).or_default();
+        if cells.count == 0 {
+            cells.min_ns = ns;
+            cells.max_ns = ns;
+        } else {
+            cells.min_ns = cells.min_ns.min(ns);
+            cells.max_ns = cells.max_ns.max(ns);
+        }
+        cells.count += 1;
+        cells.total_ns += ns;
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let Some(reg) = &self.inner else { return };
+        let mut counters = reg.counters.lock().expect("counter table poisoned");
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        let Some(reg) = &self.inner else { return };
+        let mut gauges = reg.gauges.lock().expect("gauge table poisoned");
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// A cheap per-tier recorder for the named cost-backend tier, safe to
+    /// clone into worker closures (recording is atomic).
+    pub fn tier(&self, name: &str) -> TierRecorder {
+        TierRecorder {
+            cells: self.inner.as_ref().map(|reg| {
+                let mut tiers = reg.tiers.lock().expect("tier table poisoned");
+                Arc::clone(tiers.entry(name.to_string()).or_insert_with(|| {
+                    Arc::new(TierCells {
+                        evals: AtomicU64::new(0),
+                        latency_ns: Histogram::new(),
+                    })
+                }))
+            }),
+        }
+    }
+
+    /// Records one worker-pool batch: item count, steal operations it
+    /// caused, and wall time.
+    pub fn record_pool_batch(&self, items: u64, steals: u64, elapsed: Duration) {
+        let Some(reg) = &self.inner else { return };
+        reg.pool_batches.fetch_add(1, Ordering::Relaxed);
+        reg.pool_items.fetch_add(items, Ordering::Relaxed);
+        reg.pool_steals.fetch_add(steals, Ordering::Relaxed);
+        reg.pool_batch_items.record(items);
+        reg.pool_batch_ns.record(saturating_ns(elapsed));
+    }
+
+    /// Records how long a scheduled job waited in the queue before an
+    /// executor picked it up.
+    pub fn record_queue_wait(&self, waited: Duration) {
+        if let Some(reg) = &self.inner {
+            reg.queue_wait_ns.record(saturating_ns(waited));
+        }
+    }
+
+    /// Records one Gaussian-process fit.
+    pub fn record_gp_fit(&self, elapsed: Duration) {
+        if let Some(reg) = &self.inner {
+            reg.gp_fits.fetch_add(1, Ordering::Relaxed);
+            reg.gp_fit_ns.record(saturating_ns(elapsed));
+        }
+    }
+
+    /// Records one Gaussian-process posterior prediction pass.
+    pub fn record_gp_predict(&self, elapsed: Duration) {
+        if let Some(reg) = &self.inner {
+            reg.gp_predicts.fetch_add(1, Ordering::Relaxed);
+            reg.gp_predict_ns.record(saturating_ns(elapsed));
+        }
+    }
+
+    /// Accumulates per-shard cache counters into the named scope
+    /// (element-wise sum) — for per-job caches, whose lifetimes end with
+    /// the job.
+    pub fn add_cache_shards(&self, scope: &str, shards: &[CacheStats]) {
+        let Some(reg) = &self.inner else { return };
+        let mut caches = reg.caches.lock().expect("cache table poisoned");
+        let acc = caches.entry(scope.to_string()).or_default();
+        acc.resize(acc.len().max(shards.len()), CacheStats::default());
+        for (a, s) in acc.iter_mut().zip(shards) {
+            a.hits += s.hits;
+            a.misses += s.misses;
+            a.inserts += s.inserts;
+            a.evictions += s.evictions;
+        }
+    }
+
+    /// Replaces the named scope with a point-in-time per-shard image —
+    /// for long-lived caches (the engine's shared store) whose counters
+    /// are already cumulative.
+    pub fn set_cache_shards(&self, scope: &str, shards: &[CacheStats]) {
+        let Some(reg) = &self.inner else { return };
+        let mut caches = reg.caches.lock().expect("cache table poisoned");
+        caches.insert(scope.to_string(), shards.to_vec());
+    }
+
+    /// Snapshots every metric into a plain-data document (`None` when
+    /// disabled).
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        let reg = self.inner.as_ref()?;
+        let spans = reg
+            .spans
+            .lock()
+            .expect("span table poisoned")
+            .iter()
+            .map(|(path, c)| SpanStat {
+                path: path.clone(),
+                count: c.count,
+                total_ns: c.total_ns,
+                min_ns: c.min_ns,
+                max_ns: c.max_ns,
+            })
+            .collect();
+        let counters = reg
+            .counters
+            .lock()
+            .expect("counter table poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            .expect("gauge table poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let tiers = reg
+            .tiers
+            .lock()
+            .expect("tier table poisoned")
+            .iter()
+            .map(|(name, cells)| TierStat {
+                name: name.clone(),
+                evals: cells.evals.load(Ordering::Relaxed),
+                latency_ns: cells.latency_ns.snapshot(),
+            })
+            .collect();
+        let caches = reg
+            .caches
+            .lock()
+            .expect("cache table poisoned")
+            .iter()
+            .map(|(scope, shards)| CacheScopeStat {
+                scope: scope.clone(),
+                shards: shards.clone(),
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            schema: TELEMETRY_SCHEMA.to_string(),
+            spans,
+            counters,
+            gauges,
+            pool: PoolTelemetry {
+                batches: reg.pool_batches.load(Ordering::Relaxed),
+                items: reg.pool_items.load(Ordering::Relaxed),
+                steals: reg.pool_steals.load(Ordering::Relaxed),
+                batch_items: reg.pool_batch_items.snapshot(),
+                batch_ns: reg.pool_batch_ns.snapshot(),
+            },
+            queue_wait_ns: reg.queue_wait_ns.snapshot(),
+            tiers,
+            gp: GpStat {
+                fits: reg.gp_fits.load(Ordering::Relaxed),
+                fit_ns: reg.gp_fit_ns.snapshot(),
+                predicts: reg.gp_predicts.load(Ordering::Relaxed),
+                predict_ns: reg.gp_predict_ns.snapshot(),
+            },
+            caches,
+        })
+    }
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// RAII guard of an open [`Telemetry::span`]; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(Telemetry, String, Instant)>,
+}
+
+impl SpanGuard {
+    /// Closes the span now and returns its elapsed wall time
+    /// (`Duration::ZERO` for a disabled handle's guard).
+    pub fn finish(mut self) -> Duration {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> Duration {
+        match self.inner.take() {
+            Some((t, path, start)) => {
+                let elapsed = start.elapsed();
+                t.record_span(&path, elapsed);
+                elapsed
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// A cloneable per-tier evaluation recorder (see [`Telemetry::tier`]).
+#[derive(Debug, Clone, Default)]
+pub struct TierRecorder {
+    cells: Option<Arc<TierCells>>,
+}
+
+impl TierRecorder {
+    /// Records one evaluation of this tier.
+    pub fn record(&self, elapsed: Duration) {
+        if let Some(cells) = &self.cells {
+            cells.evals.fetch_add(1, Ordering::Relaxed);
+            cells.latency_ns.record(saturating_ns(elapsed));
+        }
+    }
+
+    /// Runs `f`, recording its wall time as one evaluation. Disabled
+    /// recorders run `f` without reading the clock.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.cells.is_none() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+}
+
+/// Aggregate of one span path in a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// `/`-separated hierarchical path, e.g. `"job/hw_dse/screen"`.
+    pub path: String,
+    /// Times the span was recorded.
+    pub count: u64,
+    /// Total nanoseconds across all recordings.
+    pub total_ns: u64,
+    /// Shortest recording.
+    pub min_ns: u64,
+    /// Longest recording.
+    pub max_ns: u64,
+}
+
+/// Per-backend-tier evaluation statistics in a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStat {
+    /// Backend name as reported by `CostBackend::name`.
+    pub name: String,
+    /// Evaluations recorded against this tier.
+    pub evals: u64,
+    /// Latency distribution of those evaluations.
+    pub latency_ns: HistogramSnapshot,
+}
+
+/// Worker-pool scheduling statistics in a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Items evaluated across batches.
+    pub items: u64,
+    /// Steal operations.
+    pub steals: u64,
+    /// Batch-size distribution (item counts, not nanoseconds).
+    pub batch_items: HistogramSnapshot,
+    /// Batch wall-time distribution.
+    pub batch_ns: HistogramSnapshot,
+}
+
+/// Gaussian-process timing statistics in a snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GpStat {
+    /// Full surrogate refits (each spans the CV folds plus final fit).
+    pub fits: u64,
+    /// Fit wall-time distribution.
+    pub fit_ns: HistogramSnapshot,
+    /// Posterior prediction passes.
+    pub predicts: u64,
+    /// Prediction wall-time distribution.
+    pub predict_ns: HistogramSnapshot,
+}
+
+/// Per-shard cache counters for one cache scope.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheScopeStat {
+    /// Scope name (`"store"` for the engine's shared cache, `"jobs"` for
+    /// the accumulated per-job caches).
+    pub scope: String,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<CacheStats>,
+}
+
+impl CacheScopeStat {
+    /// Element-wise sum over shards.
+    pub fn total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+}
+
+/// A point-in-time plain-data image of every metric in a registry,
+/// serializable to versioned JSON ([`TelemetrySnapshot::to_json`]) and a
+/// human summary block ([`TelemetrySnapshot::render`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Schema identifier ([`TELEMETRY_SCHEMA`]).
+    pub schema: String,
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Monotone counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-written gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Worker-pool activity.
+    pub pool: PoolTelemetry,
+    /// Scheduler queue-wait distribution.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Per-backend-tier evaluation statistics, sorted by tier name.
+    pub tiers: Vec<TierStat>,
+    /// Gaussian-process timing.
+    pub gp: GpStat,
+    /// Per-shard cache counters, one entry per scope.
+    pub caches: Vec<CacheScopeStat>,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cache_stats_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}",
+        s.hits, s.misses, s.inserts, s.evictions
+    )
+}
+
+/// Formats nanoseconds human-readably (`1.23ms`, `4.56s`, …).
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Serializes the snapshot as a versioned JSON document (schema
+    /// `hasco-telemetry-v1`; the layout is documented in the repository
+    /// README's Observability section).
+    pub fn to_json(&self) -> String {
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                    json_escape(&s.path),
+                    s.count,
+                    s.total_ns,
+                    s.min_ns,
+                    s.max_ns
+                )
+            })
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{{\"name\":\"{}\",\"value\":{v}}}", json_escape(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("{{\"name\":\"{}\",\"value\":{v}}}", json_escape(k)))
+            .collect();
+        let tiers: Vec<String> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"name\":\"{}\",\"evals\":{},\"latency_ns\":{}}}",
+                    json_escape(&t.name),
+                    t.evals,
+                    t.latency_ns.to_json()
+                )
+            })
+            .collect();
+        let caches: Vec<String> = self
+            .caches
+            .iter()
+            .map(|c| {
+                let shards: Vec<String> = c.shards.iter().map(cache_stats_json).collect();
+                format!(
+                    "{{\"scope\":\"{}\",\"total\":{},\"shards\":[{}]}}",
+                    json_escape(&c.scope),
+                    cache_stats_json(&c.total()),
+                    shards.join(",")
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",",
+                "\"spans\":[{}],",
+                "\"counters\":[{}],",
+                "\"gauges\":[{}],",
+                "\"pool\":{{\"batches\":{},\"items\":{},\"steals\":{},",
+                "\"batch_items\":{},\"batch_ns\":{}}},",
+                "\"jobs\":{{\"queue_wait_ns\":{}}},",
+                "\"tiers\":[{}],",
+                "\"gp\":{{\"fits\":{},\"fit_ns\":{},\"predicts\":{},\"predict_ns\":{}}},",
+                "\"caches\":[{}]}}"
+            ),
+            json_escape(&self.schema),
+            spans.join(","),
+            counters.join(","),
+            gauges.join(","),
+            self.pool.batches,
+            self.pool.items,
+            self.pool.steals,
+            self.pool.batch_items.to_json(),
+            self.pool.batch_ns.to_json(),
+            self.queue_wait_ns.to_json(),
+            tiers.join(","),
+            self.gp.fits,
+            self.gp.fit_ns.to_json(),
+            self.gp.predicts,
+            self.gp.predict_ns.to_json(),
+            caches.join(",")
+        )
+    }
+
+    /// Renders the snapshot as a compact human summary block.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== telemetry ==\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span  {:<28} {:>5}x  total {:>9}  mean {:>9}\n",
+                s.path,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.total_ns.checked_div(s.count).unwrap_or(0)),
+            ));
+        }
+        out.push_str(&format!(
+            "pool  {} batches / {} items / {} steals (mean batch {})\n",
+            self.pool.batches,
+            self.pool.items,
+            self.pool.steals,
+            fmt_ns(self.pool.batch_ns.mean_ns()),
+        ));
+        if self.queue_wait_ns.count > 0 {
+            out.push_str(&format!(
+                "jobs  {} queued (mean wait {}, max {})\n",
+                self.queue_wait_ns.count,
+                fmt_ns(self.queue_wait_ns.mean_ns()),
+                fmt_ns(self.queue_wait_ns.max_ns),
+            ));
+        }
+        for t in &self.tiers {
+            out.push_str(&format!(
+                "tier  {:<28} {:>7} evals  mean {:>9}\n",
+                t.name,
+                t.evals,
+                fmt_ns(t.latency_ns.mean_ns()),
+            ));
+        }
+        if self.gp.fits > 0 || self.gp.predicts > 0 {
+            out.push_str(&format!(
+                "gp    {} fits (mean {}) / {} predicts (mean {})\n",
+                self.gp.fits,
+                fmt_ns(self.gp.fit_ns.mean_ns()),
+                self.gp.predicts,
+                fmt_ns(self.gp.predict_ns.mean_ns()),
+            ));
+        }
+        for c in &self.caches {
+            let total = c.total();
+            out.push_str(&format!(
+                "cache {:<28} {} hits / {} misses ({:.1}% hit rate) over {} shards\n",
+                c.scope,
+                total.hits,
+                total.misses,
+                total.hit_rate() * 100.0,
+                c.shards.len(),
+            ));
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("count {name:<28} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge {name:<28} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _span = t.span("job");
+        }
+        t.counter_add("c", 1);
+        t.gauge_set("g", 2);
+        t.tier("analytic").record(Duration::from_micros(5));
+        t.record_pool_batch(4, 1, Duration::from_micros(9));
+        t.record_queue_wait(Duration::from_micros(1));
+        t.record_gp_fit(Duration::from_micros(1));
+        t.record_gp_predict(Duration::from_micros(1));
+        t.add_cache_shards("jobs", &[CacheStats::default()]);
+        assert!(t.snapshot().is_none());
+        assert_eq!(t.span("x").finish(), Duration::ZERO);
+    }
+
+    #[test]
+    fn spans_aggregate_per_path() {
+        let t = Telemetry::enabled();
+        t.record_span("job", Duration::from_nanos(100));
+        t.record_span("job", Duration::from_nanos(300));
+        t.record_span("job/hw_dse", Duration::from_nanos(50));
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.spans.len(), 2);
+        let job = &snap.spans[0];
+        assert_eq!(job.path, "job");
+        assert_eq!(job.count, 2);
+        assert_eq!(job.total_ns, 400);
+        assert_eq!(job.min_ns, 100);
+        assert_eq!(job.max_ns, 300);
+    }
+
+    #[test]
+    fn span_guard_records_and_reports_elapsed() {
+        let t = Telemetry::enabled();
+        let elapsed = t.span("bench").finish();
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.spans[0].count, 1);
+        assert_eq!(snap.spans[0].total_ns, elapsed.as_nanos() as u64);
+        // Dropping (not finishing) records too.
+        {
+            let _g = t.span("bench");
+        }
+        assert_eq!(t.snapshot().unwrap().spans[0].count, 2);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let t = Telemetry::enabled();
+        t.counter_add("campaign.scenarios", 10);
+        t.counter_add("campaign.scenarios", 2);
+        t.gauge_set("topk", 4);
+        t.gauge_set("topk", 1);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters, vec![("campaign.scenarios".to_string(), 12)]);
+        assert_eq!(snap.gauges, vec![("topk".to_string(), 1)]);
+    }
+
+    #[test]
+    fn tier_recorders_share_cells_per_name() {
+        let t = Telemetry::enabled();
+        let a = t.tier("analytic");
+        let b = t.tier("analytic");
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(30));
+        let out = t.tier("sim").time(|| 7);
+        assert_eq!(out, 7);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.tiers.len(), 2);
+        assert_eq!(snap.tiers[0].name, "analytic");
+        assert_eq!(snap.tiers[0].evals, 2);
+        assert_eq!(snap.tiers[0].latency_ns.sum_ns, 40);
+        assert_eq!(snap.tiers[1].name, "sim");
+        assert_eq!(snap.tiers[1].evals, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.min_ns, 0);
+        assert_eq!(snap.max_ns, 1024);
+        // ns=0,1 -> le 2; ns=2 -> le 4 (bucket i holds ns<=2^i with
+        // i = bit length); ns=3 -> le 4; ns=1024 -> le 2048.
+        assert_eq!(snap.buckets, vec![(2, 2), (4, 2), (2048, 1)]);
+        let total: u64 = snap.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, snap.count);
+    }
+
+    #[test]
+    fn cache_scopes_accumulate_or_replace() {
+        let t = Telemetry::enabled();
+        let one = CacheStats {
+            hits: 1,
+            misses: 2,
+            inserts: 3,
+            evictions: 4,
+        };
+        t.add_cache_shards("jobs", &[one, one]);
+        t.add_cache_shards("jobs", &[one]);
+        t.set_cache_shards("store", &[one]);
+        t.set_cache_shards("store", &[one, one]);
+        let snap = t.snapshot().unwrap();
+        let jobs = snap.caches.iter().find(|c| c.scope == "jobs").unwrap();
+        assert_eq!(jobs.shards.len(), 2);
+        assert_eq!(jobs.shards[0].hits, 2);
+        assert_eq!(jobs.shards[1].hits, 1);
+        assert_eq!(jobs.total().misses, 6);
+        let store = snap.caches.iter().find(|c| c.scope == "store").unwrap();
+        assert_eq!(store.shards.len(), 2);
+        assert_eq!(store.total().hits, 2);
+    }
+
+    #[test]
+    fn json_document_has_schema_and_sections() {
+        let t = Telemetry::enabled();
+        t.span("job").finish();
+        t.counter_add("c", 1);
+        t.gauge_set("g", 9);
+        t.tier("analytic").record(Duration::from_micros(3));
+        t.record_pool_batch(8, 2, Duration::from_micros(40));
+        t.record_queue_wait(Duration::from_micros(7));
+        t.record_gp_fit(Duration::from_millis(1));
+        t.record_gp_predict(Duration::from_micros(2));
+        t.set_cache_shards("store", &[CacheStats::default()]);
+        let json = t.snapshot().unwrap().to_json();
+        for key in [
+            "\"schema\":\"hasco-telemetry-v1\"",
+            "\"spans\":[",
+            "\"counters\":[",
+            "\"gauges\":[",
+            "\"pool\":{",
+            "\"queue_wait_ns\":{",
+            "\"tiers\":[",
+            "\"gp\":{",
+            "\"caches\":[",
+            "\"le_ns\":",
+            "\"shards\":[",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces / brackets: cheap structural sanity.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let t = Telemetry::enabled();
+        t.span("job").finish();
+        t.tier("analytic").record(Duration::from_micros(3));
+        t.record_pool_batch(8, 2, Duration::from_micros(40));
+        t.record_queue_wait(Duration::from_micros(7));
+        t.record_gp_fit(Duration::from_millis(1));
+        t.add_cache_shards("jobs", &[CacheStats::default()]);
+        t.counter_add("campaign.scenarios", 12);
+        t.gauge_set("topk", 3);
+        let text = t.snapshot().unwrap().render();
+        for needle in [
+            "== telemetry ==",
+            "span  job",
+            "pool  1 batches",
+            "jobs  1 queued",
+            "tier  analytic",
+            "gp    1 fits",
+            "cache jobs",
+            "count campaign.scenarios",
+            "gauge topk",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let t = Telemetry::enabled();
+        let clone = t.clone();
+        clone.counter_add("c", 5);
+        assert_eq!(t.snapshot().unwrap().counters[0].1, 5);
+    }
+}

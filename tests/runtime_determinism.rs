@@ -531,6 +531,144 @@ mod engine_concurrency {
     }
 
     #[test]
+    fn telemetry_never_changes_results() {
+        // The observability contract: telemetry is a wall-clock side
+        // channel, so enabling it must not move a single result bit —
+        // same solutions, same RunStats, same event streams — at any
+        // thread count, with or without stealing, and across a restart.
+        use runtime::{Telemetry, TelemetrySnapshot};
+
+        let opts = |seed: u64, threads: usize, stealing: bool| {
+            CoDesignOptions::quick(seed)
+                .with_backend(accel_model::BackendKind::Surrogate)
+                .with_adaptive_refinement(accel_model::BackendKind::TraceSim, 2)
+                .with_threads(threads)
+                .with_work_stealing(stealing)
+        };
+        let run = |config: EngineConfig, opts: CoDesignOptions| {
+            let engine = Engine::new(config);
+            let handle = engine
+                .submit(CoDesignRequest::new(mixed_input(2), opts).with_label("probe"))
+                .unwrap();
+            let events: Vec<RunEvent> = handle.events().collect();
+            let solution = handle.wait().unwrap();
+            let snapshot = engine.metrics();
+            (solution, events, snapshot)
+        };
+        // Steal counts are genuinely timing-dependent (that is why they
+        // live in telemetry); every other stat field must be identical.
+        let stats_modulo_steals = |solution: &hasco::Solution| {
+            let mut stats = solution.stats.clone();
+            stats.steals = 0;
+            stats
+        };
+        let assert_snapshot_nontrivial = |snapshot: &Option<TelemetrySnapshot>| {
+            let snapshot = snapshot.as_ref().expect("metrics-on engine snapshots");
+            assert!(
+                snapshot.spans.iter().any(|s| s.path == "job"),
+                "no job span recorded"
+            );
+            assert!(
+                snapshot.spans.iter().any(|s| s.path == "job/hw_dse/screen"),
+                "no screen span recorded"
+            );
+            assert!(
+                snapshot.tiers.iter().any(|t| t.evals > 0),
+                "no tier evaluations recorded"
+            );
+            assert!(snapshot.gp.fits > 0, "surrogate run recorded no GP fits");
+            assert!(snapshot.pool.batches > 0, "no pool batches recorded");
+            assert!(
+                snapshot.caches.iter().any(|c| c.total().misses > 0),
+                "no cache traffic recorded"
+            );
+        };
+
+        for (threads, stealing) in [(1, false), (2, true), (8, true), (8, false)] {
+            let (on, on_events, on_snapshot) = run(
+                EngineConfig::default()
+                    .with_job_slots(1)
+                    .with_metrics(Telemetry::enabled()),
+                opts(37, threads, stealing),
+            );
+            let (off, off_events, off_snapshot) = run(
+                EngineConfig::default().with_job_slots(1),
+                opts(37, threads, stealing),
+            );
+            assert!(off_snapshot.is_none(), "metrics-off engine has no snapshot");
+            assert_snapshot_nontrivial(&on_snapshot);
+            assert_eq!(
+                on.accelerator, off.accelerator,
+                "threads={threads} stealing={stealing}"
+            );
+            assert_eq!(
+                on.hw_history, off.hw_history,
+                "threads={threads} stealing={stealing}"
+            );
+            assert_eq!(
+                on.total.latency_cycles.to_bits(),
+                off.total.latency_cycles.to_bits()
+            );
+            for (a, b) in on.per_workload.iter().zip(&off.per_workload) {
+                assert_eq!(a.program, b.program);
+                assert_eq!(
+                    a.metrics.latency_cycles.to_bits(),
+                    b.metrics.latency_cycles.to_bits()
+                );
+            }
+            assert_eq!(
+                stats_modulo_steals(&on),
+                stats_modulo_steals(&off),
+                "threads={threads} stealing={stealing}"
+            );
+            assert_eq!(
+                on_events, off_events,
+                "event stream diverged at threads={threads} stealing={stealing}"
+            );
+        }
+
+        // Restart leg: persisting and restoring with metrics on restores
+        // the identical warm state a metrics-off engine would.
+        let mut cache = std::env::temp_dir();
+        cache.push(format!("hasco-telemetry-cache-{}.bin", std::process::id()));
+        let restart = |metrics: bool| {
+            std::fs::remove_file(&cache).ok();
+            let config = || {
+                let c = EngineConfig::default()
+                    .with_job_slots(1)
+                    .with_cache_path(&cache);
+                if metrics {
+                    c.with_metrics(Telemetry::enabled())
+                } else {
+                    c
+                }
+            };
+            {
+                let engine = Engine::new(config());
+                engine
+                    .submit(CoDesignRequest::new(mixed_input(2), opts(61, 2, true)))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                engine.persist().unwrap();
+            }
+            run(config(), opts(62, 2, true))
+        };
+        let (warm_on, warm_on_events, warm_on_snapshot) = restart(true);
+        let (warm_off, warm_off_events, _) = restart(false);
+        std::fs::remove_file(&cache).ok();
+        assert!(warm_on.stats.warm_cache_entries > 0, "restart was not warm");
+        assert_snapshot_nontrivial(&warm_on_snapshot);
+        assert_eq!(warm_on.accelerator, warm_off.accelerator);
+        assert_eq!(warm_on.hw_history, warm_off.hw_history);
+        assert_eq!(
+            stats_modulo_steals(&warm_on),
+            stats_modulo_steals(&warm_off)
+        );
+        assert_eq!(warm_on_events, warm_off_events);
+    }
+
+    #[test]
     fn event_streams_are_identical_under_concurrent_interleaving() {
         let opts = || CoDesignOptions::quick(31);
         let (solo_events, _) = event_stream(opts());

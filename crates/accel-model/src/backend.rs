@@ -31,18 +31,19 @@
 //! cached across processes without ever serving a stale-generation
 //! answer.
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use dse::gp::GaussianProcess;
+use dse::gp::{GaussianProcess, IncrementalGp, PredictScratch};
 use runtime::{Fingerprinter, StableFingerprint, Telemetry};
 
 use crate::arch::AcceleratorConfig;
 use crate::cost::CostModel;
 use crate::metrics::Metrics;
 use crate::plan::{ExecutionPlan, TensorTraffic};
-use crate::sim::{program_from_plan, TraceSimulator};
+use crate::sim::TraceSimulator;
 use crate::tech::TechParams;
 
 /// An engine that prices `(accelerator, plan)` pairs.
@@ -203,7 +204,7 @@ pub struct TraceSimBackend {
     /// for energy and area).
     pub sim: TraceSimulator,
     /// Stage-count cap for synthesized programs (see
-    /// [`program_from_plan`]).
+    /// [`crate::sim::program_from_plan`]).
     pub max_stages: usize,
 }
 
@@ -227,11 +228,12 @@ impl CostBackend for TraceSimBackend {
     }
 
     fn evaluate(&self, cfg: &AcceleratorConfig, plan: &ExecutionPlan) -> Metrics {
-        let program = program_from_plan(plan, self.max_stages);
-        let traced = self.sim.run(cfg, &program, plan.double_buffered);
-        let cycles = traced.cycles
-            + self.sim.model.rearrange_cycles(cfg, plan)
-            + plan.host_control_cycles as f64;
+        // Streamed recurrence: bit-identical to lowering the plan to a
+        // `Program` and running it, without materializing either (see
+        // `TraceSimulator::run_plan_cycles`).
+        let traced = self.sim.run_plan_cycles(cfg, plan, self.max_stages);
+        let cycles =
+            traced + self.sim.model.rearrange_cycles(cfg, plan) + plan.host_control_cycles as f64;
         let mut metrics = self.sim.model.evaluate(cfg, plan);
         replace_latency(&mut metrics, cfg, cycles, plan.macs_useful);
         metrics
@@ -406,6 +408,63 @@ fn config_key(cfg: &AcceleratorConfig) -> (u64, u64) {
     (lo.finish().0, hi.finish().0)
 }
 
+/// Number of cross-validation folds scoring surrogate trust.
+const CV_FOLDS: usize = 4;
+
+/// The incremental learning machinery behind [`SurrogateBackend`]: one
+/// [`IncrementalGp`] holding the full training window plus one per
+/// cross-validation fold (fold `f` trains on every sample whose index
+/// satisfies `i % CV_FOLDS != f`). Appending a sample extends all five
+/// trainers' maintained Cholesky factors in O(n²) — refits stop paying
+/// the from-scratch O(n³) — and each trainer is pinned bit-identical to
+/// `GaussianProcess::fit` on the same rows, so CV error, trust, and every
+/// prediction are unchanged.
+///
+/// When the training window slides (oldest rows dropped at the
+/// `max_train` cap), sample indices — and therefore fold membership —
+/// shift, so the trainer is rebuilt from the surviving rows; between
+/// slides, growth is incremental.
+#[derive(Debug, Clone)]
+struct SurrogateTrainer {
+    /// The full-window trainer (the serving fit).
+    full: IncrementalGp,
+    /// Per-fold trainers (each holds the fold's *training* rows).
+    folds: [IncrementalGp; CV_FOLDS],
+}
+
+impl Default for SurrogateTrainer {
+    fn default() -> Self {
+        SurrogateTrainer {
+            full: IncrementalGp::new(),
+            folds: std::array::from_fn(|_| IncrementalGp::new()),
+        }
+    }
+}
+
+impl SurrogateTrainer {
+    /// Appends one sample, extending the full trainer and the
+    /// `CV_FOLDS - 1` fold trainers it belongs to.
+    fn push(&mut self, x: &[f64], y: f64) {
+        let i = self.full.len();
+        self.full.push(x.to_vec(), y);
+        for (f, trainer) in self.folds.iter_mut().enumerate() {
+            if i % CV_FOLDS != f {
+                trainer.push(x.to_vec(), y);
+            }
+        }
+    }
+
+    /// Rebuilds all trainers from scratch rows (after a window slide or a
+    /// snapshot restore, when fold membership is not an extension of the
+    /// previous state).
+    fn rebuild(&mut self, xs: &[Vec<f64>], ys: &[f64]) {
+        *self = SurrogateTrainer::default();
+        for (x, y) in xs.iter().zip(ys) {
+            self.push(x, *y);
+        }
+    }
+}
+
 /// Mutable learning state of a [`SurrogateBackend`].
 #[derive(Debug, Default)]
 struct SurrogateState {
@@ -431,6 +490,9 @@ struct SurrogateState {
     /// cache may reach the same generation number via different training
     /// trajectories, and their GPs must not share memo entries.
     digest: u64,
+    /// The maintained incremental fits (unused when the owning backend
+    /// runs in full-refit reference mode).
+    trainer: SurrogateTrainer,
 }
 
 /// The self-improving screen tier: the analytic model corrected by a
@@ -467,6 +529,11 @@ pub struct SurrogateBackend {
     /// Maximum cross-validated mean |log-error| to start trusting the GP
     /// (0.15 ≈ 15% latency error).
     trust_threshold: f64,
+    /// Reference mode: refit every GP from scratch per observation
+    /// (O(n³)) instead of extending maintained factors (O(n²)). The two
+    /// modes are pinned bit-identical; this exists so the determinism
+    /// suite can compare whole engine runs across them.
+    full_refit: bool,
     state: RwLock<SurrogateState>,
     /// Out-of-band GP fit/predict timing recorder
     /// ([`SurrogateBackend::install_telemetry`]). Strictly a wall-clock
@@ -484,6 +551,7 @@ impl SurrogateBackend {
             min_train: 24,
             max_train: 96,
             trust_threshold: 0.15,
+            full_refit: false,
             state: RwLock::new(SurrogateState {
                 cv_error: f64::INFINITY,
                 ..SurrogateState::default()
@@ -497,6 +565,21 @@ impl SurrogateBackend {
     pub fn with_trust_threshold(mut self, threshold: f64) -> Self {
         self.trust_threshold = threshold.max(0.0);
         self
+    }
+
+    /// Switches to the from-scratch reference refit path (see the
+    /// `full_refit` field). Results are bit-identical either way; only
+    /// the refit cost differs. Not part of the fingerprint for exactly
+    /// that reason.
+    pub fn with_full_refit(mut self) -> Self {
+        self.full_refit = true;
+        self
+    }
+
+    /// Whether this backend refits from scratch per observation
+    /// (reference mode) instead of extending maintained factors.
+    pub fn is_full_refit(&self) -> bool {
+        self.full_refit
     }
 
     /// Installs a telemetry handle so GP fits (in
@@ -556,6 +639,7 @@ impl SurrogateBackend {
             min_train: self.min_train,
             max_train: self.max_train,
             trust_threshold: self.trust_threshold,
+            full_refit: self.full_refit,
             state: RwLock::new(SurrogateState {
                 xs: state.xs.clone(),
                 ys: state.ys.clone(),
@@ -565,6 +649,7 @@ impl SurrogateBackend {
                 trusted: state.trusted,
                 generation: state.generation,
                 digest: state.digest,
+                trainer: state.trainer.clone(),
             }),
             // The recorder rides along (same registry handle): a fork
             // made for a job keeps reporting where its parent did.
@@ -612,6 +697,7 @@ impl SurrogateBackend {
             min_train: snap.min_train.max(1),
             max_train: snap.max_train.max(1),
             trust_threshold: snap.trust_threshold.max(0.0),
+            full_refit: false,
             state: RwLock::new(SurrogateState {
                 cv_error: f64::INFINITY,
                 ..SurrogateState::default()
@@ -626,7 +712,9 @@ impl SurrogateBackend {
             state.xs = snap.xs[..n].to_vec();
             state.ys = snap.ys[..n].to_vec();
             state.observed = snap.observed.iter().copied().collect();
-            backend.refit(&mut state);
+            let st: &mut SurrogateState = &mut state;
+            st.trainer.rebuild(&st.xs, &st.ys);
+            backend.refit(st);
             state.generation = snap.generation;
             state.digest = snap.digest;
         }
@@ -734,6 +822,7 @@ impl SurrogateBackend {
         digest.write_u64(state.digest);
         digest.write_u64(key.0);
         digest.write_u64(key.1);
+        let before = state.ys.len();
         for (x, y) in fresh {
             for f in &x {
                 digest.write_f64(*f);
@@ -743,10 +832,24 @@ impl SurrogateBackend {
             state.ys.push(y);
         }
         state.digest = digest.finish().0;
-        if state.ys.len() > self.max_train {
+        let slid = state.ys.len() > self.max_train;
+        if slid {
             let drop = state.ys.len() - self.max_train;
             state.xs.drain(..drop);
             state.ys.drain(..drop);
+        }
+        if !self.full_refit {
+            // Keep the incremental trainers current: extend by the fresh
+            // samples (O(n²) each), except when the window slid — dropped
+            // rows shift fold membership, so rebuild from the survivors.
+            let st: &mut SurrogateState = &mut state;
+            if slid {
+                st.trainer.rebuild(&st.xs, &st.ys);
+            } else {
+                for i in before..st.ys.len() {
+                    st.trainer.push(&st.xs[i], st.ys[i]);
+                }
+            }
         }
         self.refit(&mut state);
         state.generation += 1;
@@ -756,6 +859,11 @@ impl SurrogateBackend {
     /// Refits the GP on the current window and re-scores trust by
     /// 4-fold cross-validation (folds split by sample index, so the
     /// outcome is a pure function of the training sequence).
+    ///
+    /// Default path: re-select length scales from the maintained
+    /// incremental factors — O(n²) per trainer. Reference path
+    /// ([`SurrogateBackend::with_full_refit`]): from-scratch fits —
+    /// O(n³) — pinned bit-identical by the determinism suite.
     fn refit(&self, state: &mut SurrogateState) {
         state.gp = None;
         state.trusted = false;
@@ -764,37 +872,48 @@ impl SurrogateBackend {
             return;
         }
         let telemetry = self.telemetry();
-        const FOLDS: usize = 4;
         let mut abs_err_sum = 0.0;
         let mut tested = 0usize;
-        for fold in 0..FOLDS {
-            let (mut train_x, mut train_y) = (Vec::new(), Vec::new());
-            let mut test: Vec<usize> = Vec::new();
-            for i in 0..state.ys.len() {
-                if i % FOLDS == fold {
-                    test.push(i);
-                } else {
-                    train_x.push(state.xs[i].clone());
-                    train_y.push(state.ys[i]);
+        let mut scratch = PredictScratch::default();
+        let st: &mut SurrogateState = state;
+        for fold in 0..CV_FOLDS {
+            let gp = if self.full_refit {
+                let (mut train_x, mut train_y) = (Vec::new(), Vec::new());
+                for i in 0..st.ys.len() {
+                    if i % CV_FOLDS != fold {
+                        train_x.push(st.xs[i].clone());
+                        train_y.push(st.ys[i]);
+                    }
                 }
-            }
-            let Ok(gp) = GaussianProcess::fit_reported(train_x, &train_y, &telemetry) else {
-                return; // numerically degenerate fold: stay untrusted
+                let Ok(gp) = GaussianProcess::fit_reported(&train_x, &train_y, &telemetry) else {
+                    return; // numerically degenerate fold: stay untrusted
+                };
+                gp
+            } else {
+                let Ok(gp) = st.trainer.folds[fold].model_reported(&telemetry) else {
+                    return; // numerically degenerate fold: stay untrusted
+                };
+                gp
             };
-            for i in test {
-                abs_err_sum += (gp.predict(&state.xs[i]).mean - state.ys[i]).abs();
+            for i in (fold..st.ys.len()).step_by(CV_FOLDS) {
+                abs_err_sum += (gp.predict_with(&st.xs[i], &mut scratch).mean - st.ys[i]).abs();
                 tested += 1;
             }
         }
         if tested == 0 {
             return;
         }
-        let Ok(gp) = GaussianProcess::fit_reported(state.xs.clone(), &state.ys, &telemetry) else {
+        let fitted = if self.full_refit {
+            GaussianProcess::fit_reported(&st.xs, &st.ys, &telemetry)
+        } else {
+            st.trainer.full.model_reported(&telemetry)
+        };
+        let Ok(gp) = fitted else {
             return;
         };
-        state.cv_error = abs_err_sum / tested as f64;
-        state.trusted = state.cv_error <= self.trust_threshold;
-        state.gp = Some(gp);
+        st.cv_error = abs_err_sum / tested as f64;
+        st.trusted = st.cv_error <= self.trust_threshold;
+        st.gp = Some(gp);
     }
 }
 
@@ -974,11 +1093,18 @@ impl CostBackend for SurrogateBackend {
         let Some(gp) = &state.gp else {
             return metrics;
         };
+        // Per-thread scratch: posterior prediction is allocation-free on
+        // the steady-state evaluate path (bit-identical to fresh buffers).
+        thread_local! {
+            static SCRATCH: RefCell<PredictScratch> = RefCell::new(PredictScratch::default());
+        }
         let predict = || {
-            gp.predict(&self.features(cfg, plan))
-                .mean
-                .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX)
-                .exp()
+            SCRATCH.with(|s| {
+                gp.predict_with(&self.features(cfg, plan), &mut s.borrow_mut())
+                    .mean
+                    .clamp(LOG_FACTOR_MIN, LOG_FACTOR_MAX)
+                    .exp()
+            })
         };
         // Timing is observation-only; the clock is read only when a
         // recorder is installed and enabled.
@@ -1195,6 +1321,60 @@ mod tests {
         assert_eq!(backend.evaluate(&c, &p), after);
         // Energy == power * time still holds on the corrected tier.
         assert!((after.energy_uj - after.power_mw * after.latency_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incremental_and_full_refit_surrogates_are_bit_identical() {
+        // The same observation trajectory through the default
+        // (incremental-Cholesky) surrogate and the from-scratch reference
+        // must agree to the bit at every step — cv error, trust,
+        // fingerprint, and served metrics — including past the window
+        // slide at `max_train`, where the incremental trainer rebuilds.
+        let build = |full_refit: bool| {
+            let model = CostModel::new(TechParams::default());
+            let inner = Arc::new(TraceSimBackend::new(model.clone()));
+            let b = SurrogateBackend::new(model, inner);
+            if full_refit {
+                b.with_full_refit()
+            } else {
+                b
+            }
+        };
+        let fast = build(false);
+        let reference = build(true);
+        assert!(!fast.is_full_refit() && reference.is_full_refit());
+        let (c, p) = (cfg(), traffic_plan());
+        let mut slid = false;
+        for step in 0..18u32 {
+            let (rows, kb) = (4 + (step % 6) * 6, 64 << (step % 4));
+            let observed = AcceleratorConfig::builder(IntrinsicKind::Gemm)
+                .pe_array(rows, rows)
+                .scratchpad_kb(kb as u64)
+                .build()
+                .unwrap();
+            let before = fast.training_len();
+            assert_eq!(fast.observe(&observed), reference.observe(&observed));
+            slid |= fast.training_len() < before + 6;
+            assert_eq!(fast.training_len(), reference.training_len());
+            assert_eq!(
+                fast.cv_error().to_bits(),
+                reference.cv_error().to_bits(),
+                "cv error diverged at step {step}"
+            );
+            assert_eq!(fast.is_trusted(), reference.is_trusted());
+            let mut ff = Fingerprinter::new();
+            fast.fingerprint_into(&mut ff);
+            let mut fr = Fingerprinter::new();
+            reference.fingerprint_into(&mut fr);
+            assert_eq!(ff.finish(), fr.finish(), "fingerprint diverged at {step}");
+            assert_eq!(
+                fast.evaluate(&c, &p),
+                reference.evaluate(&c, &p),
+                "metrics diverged at step {step}"
+            );
+        }
+        assert!(slid, "trajectory must cross the training-window cap");
+        assert!(fast.is_trusted(), "fixture must train to trust");
     }
 
     #[test]

@@ -173,6 +173,104 @@ impl TraceSimulator {
         }
     }
 
+    /// Streams a plan's staged lowering straight through the two-buffer
+    /// pipeline recurrence, returning total cycles — **bit-identical** to
+    /// `self.run(cfg, &program_from_plan(plan, max_stages), plan.double_buffered).cycles`
+    /// but allocation-free: no [`Program`] (with its per-instruction
+    /// tensor-name strings), no stage vector, no timing vector. This is
+    /// the cost-backend hot path — a staged refinement batch prices
+    /// hundreds of `(config, plan)` pairs, and re-lowering each pair
+    /// dominated the profile.
+    ///
+    /// The recurrence carries only rolling scalars; per stage it
+    /// reproduces the lowering's exact instruction emission (same integer
+    /// splits, same "emit iff non-zero" predicate, same accumulation
+    /// order), so every floating-point operation happens in the same
+    /// order as the materialized path. A stage whose splits are all zero
+    /// emits nothing in the lowering, forms no stage, and here advances
+    /// neither the recurrence index nor the DMA clock.
+    pub fn run_plan_cycles(
+        &self,
+        cfg: &AcceleratorConfig,
+        plan: &ExecutionPlan,
+        max_stages: usize,
+    ) -> f64 {
+        let stages = plan.stages.clamp(1, max_stages.max(1) as u64);
+        // Same integer split as `program_from_plan`.
+        let split = |total: u64, i: u64| -> u64 {
+            let t = total as u128;
+            let s = stages as u128;
+            (t * (i as u128 + 1) / s - t * i as u128 / s) as u64
+        };
+        let double_buffered = plan.double_buffered;
+        let mut dma_free = 0.0f64;
+        let mut prev_compute = 0.0f64;
+        let mut prev2_compute = 0.0f64;
+        let mut prev_store = 0.0f64;
+        let mut emitted = 0usize;
+        let mut end_max = 0.0f64;
+        let mut total_dma = 0.0f64;
+        for i in 0..stages {
+            let mut load = 0.0f64;
+            let mut compute = 0.0f64;
+            let mut store = 0.0f64;
+            let mut has_work = false;
+            for t in &plan.dram_reads {
+                let bytes = split(t.bytes, i);
+                if bytes > 0 {
+                    load += self.dma_cycles_for(cfg, bytes, t.avg_contiguous_run);
+                    has_work = true;
+                }
+            }
+            let macs = split(plan.macs_padded, i);
+            let calls = split(plan.intrinsic_calls, i);
+            let spad_bytes = split(plan.spad_traffic_bytes, i);
+            if macs > 0 || calls > 0 || spad_bytes > 0 {
+                compute += self.compute_cycles_for(cfg, calls, macs, spad_bytes);
+                has_work = true;
+            }
+            for t in &plan.dram_writes {
+                let bytes = split(t.bytes, i);
+                if bytes > 0 {
+                    store += self.dma_cycles_for(cfg, bytes, t.avg_contiguous_run);
+                    has_work = true;
+                }
+            }
+            if !has_work {
+                continue;
+            }
+            let buffer_free = if double_buffered {
+                if emitted >= 2 {
+                    prev2_compute
+                } else {
+                    0.0
+                }
+            } else if emitted >= 1 {
+                prev_store
+            } else {
+                0.0
+            };
+            let load_start = dma_free.max(buffer_free);
+            let load_done = load_start + load;
+            let pc = if emitted >= 1 { prev_compute } else { 0.0 };
+            let compute_done = load_done.max(pc) + compute;
+            let store_start = compute_done.max(load_done.max(dma_free));
+            let store_done = store_start + store;
+            dma_free = if double_buffered {
+                load_done
+            } else {
+                store_done
+            };
+            prev2_compute = prev_compute;
+            prev_compute = compute_done;
+            prev_store = store_done;
+            emitted += 1;
+            end_max = end_max.max(store_done.max(compute_done));
+            total_dma += load + store;
+        }
+        end_max.max(total_dma).max(1.0)
+    }
+
     /// Runs a program and wraps the result in full [`Metrics`] (energy and
     /// area from the analytical model, latency from the trace).
     pub fn evaluate(
@@ -421,6 +519,73 @@ mod tests {
         assert_eq!(capped.stage_count(), 8);
         assert_eq!(capped.total_macs(), plan.macs_padded);
         assert_eq!(capped.total_load_bytes(), 50 * 4096);
+    }
+
+    /// Pins the streamed recurrence against the materialized path at the
+    /// bit level for one plan, at every buffering mode and stage cap.
+    fn assert_streaming_matches_program(plan: &ExecutionPlan) {
+        let sim = TraceSimulator::default();
+        let c = cfg();
+        for &double_buffered in &[false, true] {
+            for &cap in &[1usize, 3, 8, 64] {
+                let mut p = plan.clone();
+                p.double_buffered = double_buffered;
+                let program = program_from_plan(&p, cap);
+                let materialized = sim.run(&c, &program, double_buffered).cycles;
+                let streamed = sim.run_plan_cycles(&c, &p, cap);
+                assert_eq!(
+                    streamed.to_bits(),
+                    materialized.to_bits(),
+                    "db={double_buffered} cap={cap}: {streamed} vs {materialized}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_plan_cycles_matches_materialized_program_bit_for_bit() {
+        assert_streaming_matches_program(&plan_from_program(
+            &program(20, 32 * 1024, 16),
+            true,
+            100,
+        ));
+    }
+
+    #[test]
+    fn run_plan_cycles_matches_on_sparse_stages() {
+        // Totals smaller than the stage count leave some stages with no
+        // instructions at all — the lowering forms no stage there, and
+        // the streamed recurrence must not advance either.
+        let mut plan = ExecutionPlan::compute_only(3, 3, 2);
+        plan.dram_reads.push(TensorTraffic::new("A", 5, 4));
+        plan.dram_writes.push(TensorTraffic::new("C", 2, 4));
+        plan.stages = 8;
+        assert_streaming_matches_program(&plan);
+    }
+
+    #[test]
+    fn run_plan_cycles_matches_on_empty_plans() {
+        let mut plan = ExecutionPlan::compute_only(0, 0, 0);
+        plan.stages = 4;
+        assert_streaming_matches_program(&plan);
+        let sim = TraceSimulator::default();
+        assert_eq!(sim.run_plan_cycles(&cfg(), &plan, 64), 1.0);
+    }
+
+    #[test]
+    fn run_plan_cycles_matches_on_lopsided_traffic() {
+        // Store-only and load-only plans exercise the DMA-queue branches.
+        let mut stores = ExecutionPlan::compute_only(0, 0, 0);
+        stores
+            .dram_writes
+            .push(TensorTraffic::new("C", 1 << 20, 128));
+        stores.stages = 12;
+        assert_streaming_matches_program(&stores);
+        let mut loads = ExecutionPlan::compute_only(0, 0, 0);
+        loads.dram_reads.push(TensorTraffic::new("A", 1 << 22, 64));
+        loads.dram_reads.push(TensorTraffic::new("B", 977, 8));
+        loads.stages = 5;
+        assert_streaming_matches_program(&loads);
     }
 
     #[test]

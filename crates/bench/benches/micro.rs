@@ -60,9 +60,9 @@ fn bench_gp(c: &mut Criterion) {
         .map(|x| (x[0] + 2.0 * x[1] - x[2]).sin())
         .collect();
     c.bench_function("gp/fit_30_points_3d", |b| {
-        b.iter(|| black_box(GaussianProcess::fit(xs.clone(), &ys)))
+        b.iter(|| black_box(GaussianProcess::fit(&xs, &ys)))
     });
-    let gp = GaussianProcess::fit(xs, &ys).unwrap();
+    let gp = GaussianProcess::fit(&xs, &ys).unwrap();
     c.bench_function("gp/predict", |b| {
         b.iter(|| black_box(gp.predict(black_box(&[0.3, 0.7, 0.1]))))
     });

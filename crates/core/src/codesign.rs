@@ -147,6 +147,13 @@ pub struct CoDesignOptions {
     /// The hardware-DSE optimizer (MOBO by default; the baselines let
     /// convergence studies drive the whole pipeline under every method).
     pub optimizer: OptimizerKind,
+    /// Forces a surrogate screen tier onto its from-scratch reference
+    /// refit path (O(n³) per observation) instead of the default
+    /// incremental factor extension (O(n²)). The two paths are pinned
+    /// bit-identical — this knob exists so the determinism suite can
+    /// compare whole runs across them, and as an escape hatch. Never part
+    /// of any fingerprint, because it cannot change results.
+    pub surrogate_full_refit: bool,
 }
 
 impl CoDesignOptions {
@@ -174,6 +181,7 @@ impl CoDesignOptions {
             tech: TechParams::default(),
             cache_path: None,
             optimizer: OptimizerKind::Mobo,
+            surrogate_full_refit: false,
         }
     }
 
@@ -206,6 +214,7 @@ impl CoDesignOptions {
             tech: TechParams::default(),
             cache_path: None,
             optimizer: OptimizerKind::Mobo,
+            surrogate_full_refit: false,
         }
     }
 
@@ -266,6 +275,24 @@ impl CoDesignOptions {
     pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
         self.optimizer = optimizer;
         self
+    }
+
+    /// Forces a surrogate screen tier onto its from-scratch reference
+    /// refit path (see [`CoDesignOptions::surrogate_full_refit`]).
+    pub fn with_surrogate_full_refit(mut self, full_refit: bool) -> Self {
+        self.surrogate_full_refit = full_refit;
+        self
+    }
+
+    /// Builds the screen backend, honoring the surrogate refit-mode knob.
+    pub(crate) fn build_screen_backend(&self) -> Arc<dyn CostBackend> {
+        if self.surrogate_full_refit && self.backend == BackendKind::Surrogate {
+            let model = accel_model::CostModel::new(self.tech.clone());
+            let inner = Arc::new(accel_model::TraceSimBackend::new(model.clone()));
+            Arc::new(accel_model::SurrogateBackend::new(model, inner).with_full_refit())
+        } else {
+            self.backend.build_with(self.tech.clone())
+        }
     }
 
     /// Rejects option combinations that would silently degenerate instead
@@ -1138,7 +1165,7 @@ fn execute_inner(
     let screen = ctx
         .screen_backend
         .clone()
-        .unwrap_or_else(|| opts.backend.build_with(opts.tech.clone()));
+        .unwrap_or_else(|| opts.build_screen_backend());
     let refine_backend = opts.refine_backend.build_with(opts.tech.clone());
     let mut problem = HwProblem::new(
         generator.as_ref(),

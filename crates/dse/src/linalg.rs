@@ -74,6 +74,74 @@ impl std::fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
+/// A Cholesky factorization `A + jitter·I = L·Lᵀ` that remembers which
+/// diagonal jitter made it succeed, so it can later be *extended* by one
+/// row ([`Cholesky::extend`]) bit-identically to refactorizing the grown
+/// matrix from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    /// The lower-triangular factor.
+    pub l: Matrix,
+    /// The diagonal jitter the successful attempt used (0.0 on clean
+    /// factorizations).
+    pub jitter: f64,
+}
+
+impl Cholesky {
+    /// Extends an `n×n` factor to `(n+1)×(n+1)` given the grown matrix's
+    /// new bottom row `row` (length `n + 1`, diagonal entry last, *without*
+    /// jitter — the factor's own jitter is applied internally).
+    ///
+    /// Returns `false` — leaving `self` untouched — when the new diagonal
+    /// pivot is not positive, i.e. when a from-scratch factorization of
+    /// the grown matrix would have to escalate to a larger jitter; the
+    /// caller must then refactorize via [`cholesky_jittered`].
+    ///
+    /// **Bit-exactness:** on success the extended factor is bit-identical
+    /// to a from-scratch factorization of the grown matrix. A from-scratch
+    /// run replays the identical floating-point sequence: attempts with
+    /// smaller jitter fail at the same (unchanged) leading rows they
+    /// failed at before, the first `n` rows under this factor's jitter
+    /// reproduce `self.l` exactly (column-ordered Cholesky never reads
+    /// ahead), and the new row is computed here with the same operations
+    /// in the same order as `try_cholesky`'s last row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != self.l.rows + 1`.
+    pub fn extend(&mut self, row: &[f64]) -> bool {
+        let n = self.l.rows;
+        assert_eq!(row.len(), n + 1, "extension row must cover the diagonal");
+        // Compute the candidate row first; commit only if the pivot holds.
+        let mut new_row = vec![0.0f64; n + 1];
+        for j in 0..=n {
+            let mut sum = row[j] + if j == n { self.jitter } else { 0.0 };
+            for (k, &nk) in new_row.iter().enumerate().take(j) {
+                let ljk = if j == n { nk } else { self.l[(j, k)] };
+                sum -= nk * ljk;
+            }
+            if j == n {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return false;
+                }
+                new_row[j] = sum.sqrt();
+            } else {
+                new_row[j] = sum / self.l[(j, j)];
+            }
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for r in 0..n {
+            for c in 0..=r {
+                grown[(r, c)] = self.l[(r, c)];
+            }
+        }
+        for (c, v) in new_row.iter().enumerate() {
+            grown[(n, c)] = *v;
+        }
+        self.l = grown;
+        true
+    }
+}
+
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric matrix, retrying with
 /// exponentially growing diagonal jitter — the standard GP trick for nearly
 /// singular kernel matrices.
@@ -82,6 +150,17 @@ impl std::error::Error for LinalgError {}
 /// Returns [`LinalgError::NotPositiveDefinite`] if factorization fails even
 /// with the largest jitter.
 pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    cholesky_jittered(a).map(|c| c.l)
+}
+
+/// Like [`cholesky`], additionally reporting the jitter the successful
+/// attempt used — the state an incrementally extendable factor
+/// ([`Cholesky`]) needs.
+///
+/// # Errors
+/// Returns [`LinalgError::NotPositiveDefinite`] if factorization fails even
+/// with the largest jitter.
+pub fn cholesky_jittered(a: &Matrix) -> Result<Cholesky, LinalgError> {
     assert_eq!(a.rows, a.cols, "cholesky needs a square matrix");
     let n = a.rows;
     let mut jitter = 0.0;
@@ -90,7 +169,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
             jitter = 1e-10 * 10f64.powi(attempt);
         }
         if let Some(l) = try_cholesky(a, jitter, n) {
-            return Ok(l);
+            return Ok(Cholesky { l, jitter });
         }
     }
     Err(LinalgError::NotPositiveDefinite)
@@ -119,8 +198,17 @@ fn try_cholesky(a: &Matrix, jitter: f64, n: usize) -> Option<Matrix> {
 
 /// Solves `L·x = b` (forward substitution, `L` lower triangular).
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let mut x = Vec::new();
+    solve_lower_into(l, b, &mut x);
+    x
+}
+
+/// [`solve_lower`] into a reusable buffer — the allocation-free variant
+/// for hot paths that solve many right-hand sides against one factor.
+pub fn solve_lower_into(l: &Matrix, b: &[f64], x: &mut Vec<f64>) {
     let n = l.rows;
-    let mut x = vec![0.0; n];
+    x.clear();
+    x.resize(n, 0.0);
     for i in 0..n {
         let mut sum = b[i];
         for k in 0..i {
@@ -128,7 +216,6 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
         }
         x[i] = sum / l[(i, i)];
     }
-    x
 }
 
 /// Solves `Lᵀ·x = b` (backward substitution).
@@ -230,5 +317,87 @@ mod tests {
     #[should_panic(expected = "square")]
     fn cholesky_rejects_rectangular() {
         let _ = cholesky(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn jittered_reports_zero_jitter_on_clean_matrices() {
+        let c = cholesky_jittered(&spd3()).unwrap();
+        assert_eq!(c.jitter, 0.0);
+        assert_eq!(c.l, cholesky(&spd3()).unwrap());
+    }
+
+    #[test]
+    fn jittered_reports_the_rescuing_jitter() {
+        let ones = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let c = cholesky_jittered(&ones).unwrap();
+        assert!(c.jitter > 0.0);
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_from_scratch() {
+        // Grow a 5×5 SPD matrix row by row; the extended factor must match
+        // a from-scratch factorization of every leading submatrix exactly.
+        let a = Matrix::from_fn(5, 5, |r, c| {
+            let d = (r as f64 - c as f64).abs();
+            (-d * d / 8.0).exp() + if r == c { 0.5 } else { 0.0 }
+        });
+        let sub = |n: usize| Matrix::from_fn(n, n, |r, c| a[(r, c)]);
+        let mut inc = cholesky_jittered(&sub(1)).unwrap();
+        for n in 1..5 {
+            let row: Vec<f64> = (0..=n).map(|c| a[(n, c)]).collect();
+            assert!(inc.extend(&row), "extension failed at n={n}");
+            let scratch = cholesky_jittered(&sub(n + 1)).unwrap();
+            assert_eq!(inc.jitter, scratch.jitter);
+            for r in 0..=n {
+                for c in 0..=r {
+                    assert_eq!(
+                        inc.l[(r, c)].to_bits(),
+                        scratch.l[(r, c)].to_bits(),
+                        "entry ({r},{c}) diverged at n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_refuses_a_degenerate_pivot_and_leaves_the_factor_intact() {
+        // A near-duplicate of row 2 whose diagonal falls short by 1e-6
+        // drives the new pivot negative: extend must refuse, and the
+        // caller falls back to a full refactorization (which escalates
+        // the jitter and succeeds).
+        let a = spd3();
+        let mut inc = cholesky_jittered(&a).unwrap();
+        let before = inc.clone();
+        let deficient = a[(2, 2)] - 1e-6;
+        let dup_row = vec![a[(2, 0)], a[(2, 1)], a[(2, 2)], deficient];
+        assert!(!inc.extend(&dup_row));
+        assert_eq!(inc, before, "failed extension must not mutate the factor");
+        // The from-scratch fallback on the grown matrix still succeeds.
+        let grown = Matrix::from_fn(4, 4, |r, c| {
+            if r == 3 && c == 3 {
+                deficient
+            } else {
+                a[(r.min(2), c.min(2))]
+            }
+        });
+        assert!(cholesky_jittered(&grown).unwrap().jitter > 0.0);
+    }
+
+    #[test]
+    fn solve_lower_into_reuses_the_buffer() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut buf = vec![9.0; 7]; // stale, wrongly sized
+        solve_lower_into(&l, &b, &mut buf);
+        assert_eq!(buf, solve_lower(&l, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the diagonal")]
+    fn extend_rejects_short_rows() {
+        let mut c = cholesky_jittered(&spd3()).unwrap();
+        c.extend(&[1.0, 2.0]);
     }
 }

@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
-use crate::gp::GaussianProcess;
+use crate::gp::{GaussianProcess, PredictScratch};
 use crate::hypervolume::hypervolume;
 use crate::pareto::pareto_indices;
 use crate::problem::{Evaluation, OptimizerResult, Point, Problem};
@@ -204,7 +204,7 @@ impl Optimizer for Mobo {
                     .iter()
                     .map(|e| e.objectives[obj].max(1e-12).ln())
                     .collect();
-                match GaussianProcess::fit(xs.clone(), &ys) {
+                match GaussianProcess::fit(&xs, &ys) {
                     Ok(gp) => gps.push(gp),
                     Err(_) => {
                         fit_failed = true;
@@ -288,10 +288,15 @@ impl Optimizer for Mobo {
             }
 
             // Acquisition: Monte-Carlo expected hypervolume improvement.
+            // One scratch + posterior buffer serves the whole candidate
+            // sweep — prediction is allocation-free inside the loop.
             let mut best: Option<(f64, Point)> = None;
+            let mut scratch = PredictScratch::default();
+            let mut posts = Vec::with_capacity(m);
             for cand in candidates {
                 let x = problem.space().normalize(&cand);
-                let posts: Vec<_> = gps.iter().map(|gp| gp.predict(&x)).collect();
+                posts.clear();
+                posts.extend(gps.iter().map(|gp| gp.predict_with(&x, &mut scratch)));
                 let mut improvement = 0.0;
                 for _ in 0..self.mc_samples {
                     // Posterior samples live in log space; bring them into

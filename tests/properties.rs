@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use accel_model::arch::AcceleratorConfig;
 use accel_model::CostModel;
+use dse::gp::{GaussianProcess, IncrementalGp};
 use dse::hypervolume::hypervolume;
 use dse::pareto::{dominates, pareto_indices, ParetoArchive};
 use sw_opt::lowering;
@@ -88,6 +89,44 @@ proptest! {
         for (_, a) in entries {
             for (_, b) in entries {
                 prop_assert!(!dominates(a, b) || a == b);
+            }
+        }
+    }
+
+    // ---------------- surrogate incremental-fit invariants -------------
+
+    #[test]
+    fn incremental_gp_appends_match_from_scratch_bit_for_bit(
+        rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..1.0, 3), -2.0f64..2.0),
+            1..20
+        )
+    ) {
+        // The incremental trainer extends its per-length-scale Cholesky
+        // factors one row at a time; from-scratch refits the grown kernel
+        // matrix. The two must agree to the bit at every prefix — the
+        // selected length scale and every posterior — or the surrogate's
+        // speed path would silently change co-design results.
+        let mut inc = IncrementalGp::new();
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let probes = [[0.2f64, 0.5, 0.8], [0.9, 0.1, 0.4], [0.0, 1.0, 0.5]];
+        for (x, y) in rows {
+            inc.push(x.clone(), y);
+            xs.push(x);
+            ys.push(y);
+            let scratch = GaussianProcess::fit(&xs, &ys).unwrap();
+            inc.refresh().unwrap();
+            let grown = inc.model().unwrap();
+            prop_assert_eq!(
+                grown.length_scale().to_bits(),
+                scratch.length_scale().to_bits()
+            );
+            for p in &probes {
+                let a = grown.predict(p);
+                let b = scratch.predict(p);
+                prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                prop_assert_eq!(a.std.to_bits(), b.std.to_bits());
             }
         }
     }

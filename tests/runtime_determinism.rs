@@ -180,6 +180,41 @@ fn adaptive_topk_trajectories_are_identical_across_threads_and_stealing() {
 }
 
 #[test]
+fn incremental_and_full_refit_surrogate_engines_are_bit_identical() {
+    // The surrogate's default incremental-Cholesky trainer (O(n²) per
+    // observation) against the from-scratch reference refit (O(n³)), on
+    // a surrogate-heavy staged run: the learning trajectory, the final
+    // accelerator, and every reported metric must agree to the bit —
+    // the speed campaign is not allowed to move a single result.
+    let input = mixed_input(2);
+    let opts = |full_refit: bool| {
+        CoDesignOptions::quick(31)
+            .with_backend(accel_model::BackendKind::Surrogate)
+            .with_adaptive_refinement(accel_model::BackendKind::TraceSim, 2)
+            .with_threads(2)
+            .with_surrogate_full_refit(full_refit)
+    };
+    let incremental = CoDesigner::new(opts(false)).run(&input).unwrap();
+    let reference = CoDesigner::new(opts(true)).run(&input).unwrap();
+    assert!(incremental.stats.surrogate_samples > 0);
+    assert_eq!(
+        incremental.stats.surrogate_samples,
+        reference.stats.surrogate_samples
+    );
+    assert_eq!(
+        incremental.stats.surrogate_trusted,
+        reference.stats.surrogate_trusted
+    );
+    assert_eq!(incremental.hw_history, reference.hw_history);
+    assert_eq!(incremental.accelerator, reference.accelerator);
+    assert_eq!(
+        incremental.total.latency_cycles.to_bits(),
+        reference.total.latency_cycles.to_bits()
+    );
+    assert_eq!(incremental.total, reference.total);
+}
+
+#[test]
 fn surrogate_screen_tier_is_thread_count_independent() {
     // The surrogate trains between batches (serially, in batch order);
     // its training trajectory — and everything priced through it — must

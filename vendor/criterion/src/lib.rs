@@ -11,15 +11,35 @@ use std::time::{Duration, Instant};
 /// canonical implementation.
 pub use std::hint::black_box;
 
-/// Benchmark driver (shim: holds only the sample count).
+/// One finished benchmark's timing summary, kept by the driver so bench
+/// binaries can emit machine-readable result files next to the printed
+/// table (the real criterion writes these under `target/criterion/`; the
+/// shim hands them back in memory instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Median per-iteration time across samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, in nanoseconds.
+    pub max_ns: f64,
+}
+
+/// Benchmark driver (shim: sample count plus collected results).
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            records: Vec::new(),
+        }
     }
 }
 
@@ -28,6 +48,19 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
         self
+    }
+
+    /// Every benchmark timed so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// The median (ns) of one finished benchmark, by id.
+    pub fn median_ns(&self, id: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
     }
 
     /// Times `f` and prints `id: median (min .. max)`.
@@ -51,6 +84,12 @@ impl Criterion {
                 fmt_duration(*samples.first().expect("non-empty")),
                 fmt_duration(*samples.last().expect("non-empty")),
             );
+            self.records.push(BenchRecord {
+                id: id.to_string(),
+                median_ns: median.as_nanos() as f64,
+                min_ns: samples.first().expect("non-empty").as_nanos() as f64,
+                max_ns: samples.last().expect("non-empty").as_nanos() as f64,
+            });
         }
         self
     }
@@ -131,6 +170,20 @@ mod tests {
     #[test]
     fn group_runs_without_panicking() {
         benches();
+    }
+
+    #[test]
+    fn records_capture_every_benchmark() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("a/one", |b| b.iter(|| 1u64 + 1));
+        c.bench_function("a/two", |b| b.iter(|| 2u64 + 2));
+        let ids: Vec<&str> = c.records().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["a/one", "a/two"]);
+        for r in c.records() {
+            assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        }
+        assert!(c.median_ns("a/one").is_some());
+        assert!(c.median_ns("missing").is_none());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
-//! * [`Strategy`] implemented for integer/float ranges, plus
-//!   [`Strategy::prop_map`], [`any`], and the [`prop_oneof!`] union;
+//! * [`Strategy`] implemented for integer/float ranges and 2–4-element
+//!   tuples of strategies, plus [`Strategy::prop_map`], [`any`], and the
+//!   [`prop_oneof!`] union;
 //! * `prop::collection::vec(strategy, len)` and
 //!   `prop::collection::btree_map(key, value, len)` with fixed or ranged
 //!   lengths;
@@ -188,6 +189,19 @@ impl Strategy for Range<f32> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
 /// A strategy yielding one fixed value (`Just` in real proptest).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -342,6 +356,19 @@ mod tests {
             prop_assert!((1..5).contains(&v.len()));
             prop_assert_eq!(w.len(), 2);
             prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn tuple_strategies_sample_each_component(
+            pairs in prop::collection::vec((0u64..4, 10.0f64..20.0), 1..6),
+            triple in (0u64..3, 3u64..6, 6u64..9)
+        ) {
+            for (n, x) in &pairs {
+                prop_assert!(*n < 4);
+                prop_assert!((10.0..20.0).contains(x));
+            }
+            let (a, b, c) = triple;
+            prop_assert!(a < 3 && (3..6).contains(&b) && (6..9).contains(&c));
         }
     }
 

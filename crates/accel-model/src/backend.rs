@@ -32,7 +32,7 @@
 //! answer.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
@@ -291,7 +291,7 @@ pub struct CalibratedBackend {
     /// The analytic model being corrected.
     pub model: CostModel,
     sim: TraceSimBackend,
-    factors: Mutex<HashMap<(u64, u64), [f64; 3]>>,
+    factors: Mutex<BTreeMap<(u64, u64), [f64; 3]>>,
 }
 
 impl CalibratedBackend {
@@ -300,7 +300,7 @@ impl CalibratedBackend {
         CalibratedBackend {
             sim: TraceSimBackend::new(model.clone()),
             model,
-            factors: Mutex::new(HashMap::new()),
+            factors: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -1110,6 +1110,7 @@ impl CostBackend for SurrogateBackend {
         // recorder is installed and enabled.
         let factor = match self.telemetry.get() {
             Some(t) if t.is_enabled() => {
+                // detlint-allow(wall-clock): GP predict timing, recorded only when telemetry is enabled; the factor itself is clock-free
                 let start = Instant::now();
                 let factor = predict();
                 t.record_gp_predict(start.elapsed());

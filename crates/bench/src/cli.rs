@@ -205,8 +205,12 @@ pub fn drive<T>(
     render: impl FnOnce(&T) -> String,
 ) {
     let cli = parse(bin, artifact);
-    // The whole-run timing is a telemetry span like any other — the
-    // summary line and the snapshot report the same clock.
+    // Clock audit: the whole-run timing is a telemetry span like any
+    // other — the bracketed footer line and the `--metrics-out` snapshot
+    // report the same clock, and neither can reach results. `result`
+    // (the artifact table) is produced by `run` before `elapsed` is even
+    // read, and the snapshot is written to a separate side-channel file,
+    // so wall-clock time never enters the regenerated artifact.
     let span = common::telemetry().span("bench");
     let result = run(cli.scale);
     let elapsed = span.finish();

@@ -1046,6 +1046,7 @@ impl Progress for RunObserver {
                 feasible: update.feasible,
             });
         }
+        // detlint-allow(atomics): cooperative cancel latch; a late observation only delays the Cancelled exit, never changes results
         !self.cancel.load(Ordering::Relaxed)
     }
 }
@@ -1127,6 +1128,7 @@ fn execute_inner(
     if input.app.is_empty() {
         return Err(HascoError::EmptyApp);
     }
+    // detlint-allow(atomics): cooperative cancel latch; see Progress::observe above
     let cancelled = || ctx.cancel.load(Ordering::Relaxed);
     if cancelled() {
         return Err(HascoError::Cancelled);
@@ -1388,6 +1390,7 @@ fn finalize_solution(
             optimized.history.len(),
         ))
     });
+    // detlint-allow(atomics): cooperative cancel latch; a late observation only delays the exit
     if cancel.load(Ordering::Relaxed) {
         return Err(HascoError::Cancelled);
     }

@@ -39,7 +39,6 @@
 //!   matter how execution interleaves; wait between submissions and the
 //!   later job deterministically starts warm.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
@@ -270,7 +269,7 @@ struct EngineShared {
     /// Trained surrogate screen backends, keyed per technology. New
     /// surrogate jobs fork the registered instance; observed completions
     /// replace it. Loaded from `surrogate_store` at engine creation.
-    surrogates: Mutex<HashMap<(u64, u64), Arc<dyn CostBackend>>>,
+    surrogates: Mutex<BTreeMap<(u64, u64), Arc<dyn CostBackend>>>,
     cache_path: Option<PathBuf>,
     cache_max_age: Option<Duration>,
     /// Persistent image of the surrogate registry (see
@@ -310,6 +309,7 @@ impl EngineShared {
             self.store.insert_stamped_newest(*key, *value, *stamp);
         }
         if !outcome.memo.is_empty() {
+            // detlint-allow(atomics): dirty flag only schedules a later mutex-serialized save; a stale read delays persistence, never changes results
             self.dirty.store(true, Ordering::Relaxed);
         }
         if let (Some(key), Some(surrogate)) = (surrogate_key, &outcome.surrogate) {
@@ -317,6 +317,7 @@ impl EngineShared {
                 .lock()
                 .expect("surrogate registry poisoned")
                 .insert(key, Arc::clone(surrogate));
+            // detlint-allow(atomics): same contract as the memo dirty flag above — save scheduling only
             self.surrogate_dirty.store(true, Ordering::Relaxed);
         }
     }
@@ -344,6 +345,7 @@ impl EngineShared {
         // Clear the dirty flag before snapshotting the registry: a
         // publication landing after the snapshot re-raises it, so a later
         // persist/drop knows this save missed it.
+        // detlint-allow(atomics): cleared under the saver mutex; a racing publication re-raises it, so no save is ever lost
         self.surrogate_dirty.store(false, Ordering::Relaxed);
         // An unreadable or corrupt existing image contributes nothing
         // (the save degrades to a plain write), like the memo merge.
@@ -377,6 +379,7 @@ impl EngineShared {
         }
         if let Err(e) = persist::save_frame(path, SURROGATE_STORE_MAGIC, &payload) {
             // The registry still holds unsaved state.
+            // detlint-allow(atomics): failed save re-raises the flag; worst case is an extra save attempt
             self.surrogate_dirty.store(true, Ordering::Relaxed);
             return Err(e);
         }
@@ -450,6 +453,7 @@ impl JobHandle {
     /// acknowledges. A cancel that arrives after the job already
     /// completed is a no-op: the computed solution stays `Ok`.
     pub fn cancel(&self) {
+        // detlint-allow(atomics): cancellation is a sticky one-way latch; a late observation only delays the cooperative exit
         self.state.cancel.store(true, Ordering::Relaxed);
     }
 
@@ -496,6 +500,9 @@ impl JobHandle {
                 std::panic::resume_unwind(payload);
             }
             Completion::Done(outcome) => {
+                // SeqCst pairs every waiter's swap into one total order so
+                // exactly one caller wins publication and runs the
+                // side-effecting warm-state publish below.
                 if !self.state.published.swap(true, Ordering::SeqCst) {
                     self.shared.publish(outcome, self.state.surrogate_key);
                     if self.state.surrogate_key.is_some() && outcome.surrogate.is_some() {
@@ -553,7 +560,7 @@ impl Engine {
         if let Some(path) = &config.cache_path {
             let _ = store.load_from_file(path, HwProblem::decode_cache_entry);
         }
-        let mut surrogates: HashMap<(u64, u64), Arc<dyn CostBackend>> = HashMap::new();
+        let mut surrogates: BTreeMap<(u64, u64), Arc<dyn CostBackend>> = BTreeMap::new();
         let mut restored_generation = 0;
         if let Some(path) = &config.surrogate_store {
             for snap in load_surrogate_snapshots(path).unwrap_or_default() {
@@ -596,6 +603,7 @@ impl Engine {
 
     /// Jobs actually executed so far (campaign duplicates excluded).
     pub fn jobs_executed(&self) -> u64 {
+        // detlint-allow(atomics): monotone counter read for observability accessors
         self.shared.jobs_executed.load(Ordering::Relaxed)
     }
 
@@ -689,6 +697,7 @@ impl Engine {
             (EventSink::disabled(), None)
         };
         let state = Arc::new(JobState {
+            // detlint-allow(atomics): fetch_add hands out unique ids under any ordering; ids follow the caller's submit program order
             id: self.shared.next_job_id.fetch_add(1, Ordering::Relaxed),
             label: request.label.clone(),
             cancel: Arc::new(AtomicBool::new(false)),
@@ -712,6 +721,7 @@ impl Engine {
         self.scheduler.spawn(Box::new(move || {
             // A job cancelled while still queued is discarded without
             // executing (and without counting as an executed job).
+            // detlint-allow(atomics): cancel latch read; see JobHandle::cancel
             let completion = if job_state.cancel.load(Ordering::Relaxed) {
                 ctx.events.emit(RunEvent::Cancelled);
                 Completion::Done(Box::new(ExecOutcome {
@@ -720,6 +730,7 @@ impl Engine {
                     surrogate: None,
                 }))
             } else {
+                // detlint-allow(atomics): executed-jobs counter; each unique job increments exactly once
                 shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
                 shared.telemetry.counter_add("engine.jobs_executed", 1);
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -797,7 +808,7 @@ impl Engine {
         // of the representative's solution after it completes, so there
         // is nothing a duplicate could cancel out from under the other
         // waiters, and `jobs_executed` counts each unique request once.
-        let mut representative: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut representative: BTreeMap<(u64, u64), usize> = BTreeMap::new();
         let mut unique: Vec<CoDesignRequest> = Vec::new();
         // Per input request: (index into `unique`, own label when this
         // request was deduplicated away).
@@ -924,6 +935,7 @@ impl Engine {
                     HwProblem::decode_cache_entry,
                     self.shared.cache_max_age,
                 )
+                // detlint-allow(atomics): cleared only after a successful save; a racing insert re-raises it
                 .inspect(|_| self.shared.dirty.store(false, Ordering::Relaxed)),
         };
         let surrogates = self.shared.save_surrogates();
@@ -970,8 +982,10 @@ impl Drop for Engine {
         // explicit persist. (Unobserved jobs never published, so there is
         // nothing of theirs to save; the scheduler join below still lets
         // them finish.)
+        // detlint-allow(atomics): dirty-flag read decides whether drop persists; a stale read at worst saves once more
         if self.shared.dirty.load(Ordering::Relaxed) {
             let _ = self.persist();
+        // detlint-allow(atomics): same drop-time save gating as the memo flag above
         } else if self.shared.surrogate_dirty.load(Ordering::Relaxed) {
             let _ = self.shared.save_surrogates();
         }

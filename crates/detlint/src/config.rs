@@ -1,0 +1,289 @@
+//! Lint configuration: built-in defaults plus the checked-in
+//! `detlint.toml` at the workspace root.
+//!
+//! Only the TOML subset the config actually needs is parsed (hand-rolled
+//! like everything else in this crate — the workspace has no registry
+//! access): comments, `[section]` headers, `[[allow]]` array-of-tables
+//! entries with `key = "value"` pairs, and single- or multi-line string
+//! arrays. Anything else is a hard configuration error: a suppression
+//! file that silently dropped entries would un-enforce the contract.
+
+use std::path::Path;
+
+/// One file-scope suppression from `detlint.toml`. The `reason` field is
+/// mandatory — the allowlist carries the same rationale burden as inline
+/// pragmas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    /// Workspace-relative path (suffix match, `/`-separated).
+    pub path: String,
+    pub reason: String,
+}
+
+/// The effective lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// File-scope suppressions.
+    pub allows: Vec<AllowEntry>,
+    /// Ordered-output modules for the `iteration-order` rule: a file is
+    /// covered when its workspace-relative path contains any of these
+    /// substrings.
+    pub ordered_modules: Vec<String>,
+    /// Directories (relative to the root) the scan descends into.
+    pub scan_roots: Vec<String>,
+    /// Directory *names* skipped anywhere in the tree.
+    pub skip_dir_names: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            allows: Vec::new(),
+            // Any file whose path names one of these is ordered-output
+            // by definition; detlint.toml extends the list with concrete
+            // paths (the engine, the memo cache, snapshot encoders).
+            ordered_modules: ["fingerprint", "persist", "event", "report"]
+                .map(String::from)
+                .to_vec(),
+            scan_roots: ["crates", "src"].map(String::from).to_vec(),
+            // The contract binds shipped library code; tests and benches
+            // are the *dynamic* layer and measure wall-clock on purpose.
+            // `vendor/` holds offline shims for external crates.
+            skip_dir_names: ["vendor", "target", "tests", "benches", "examples", ".git"]
+                .map(String::from)
+                .to_vec(),
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration merged with `<root>/detlint.toml` when that
+    /// file exists. A malformed config is an error, never a silent skip.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let mut config = Config::default();
+        let path = root.join("detlint.toml");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            config
+                .merge_toml(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok(config)
+    }
+
+    /// Merges a `detlint.toml` document into `self`.
+    pub fn merge_toml(&mut self, text: &str) -> Result<(), String> {
+        let mut section = String::new();
+        let mut entry: Option<AllowEntry> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                self.finish_entry(entry.take(), lineno)?;
+                entry = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                section = "allow".into();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                self.finish_entry(entry.take(), lineno)?;
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or(format!("line {lineno}: expected `key = value`"))?;
+            // Multi-line arrays: accumulate until the closing bracket.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if value.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(format!("line {lineno}: unclosed array for `{key}`"));
+                }
+            }
+            match (section.as_str(), key.as_str()) {
+                ("allow", "rule" | "path" | "reason") => {
+                    let entry = entry
+                        .as_mut()
+                        .ok_or(format!("line {lineno}: `{key}` outside [[allow]]"))?;
+                    let value = parse_string(&value, lineno)?;
+                    match key.as_str() {
+                        "rule" => entry.rule = value,
+                        "path" => entry.path = value,
+                        _ => entry.reason = value,
+                    }
+                }
+                ("rules.iteration-order", "modules") => {
+                    self.ordered_modules
+                        .extend(parse_string_array(&value, lineno)?);
+                }
+                ("scan", "include") => {
+                    self.scan_roots = parse_string_array(&value, lineno)?;
+                }
+                ("scan", "skip-dir-names") => {
+                    self.skip_dir_names = parse_string_array(&value, lineno)?;
+                }
+                _ => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{key}` in section `[{section}]`"
+                    ));
+                }
+            }
+        }
+        self.finish_entry(entry.take(), text.lines().count())?;
+        Ok(())
+    }
+
+    fn finish_entry(&mut self, entry: Option<AllowEntry>, lineno: usize) -> Result<(), String> {
+        let Some(entry) = entry else { return Ok(()) };
+        if entry.rule.is_empty() || entry.path.is_empty() {
+            return Err(format!(
+                "[[allow]] ending before line {lineno}: `rule` and `path` are required"
+            ));
+        }
+        if !crate::rules::RULE_NAMES.contains(&entry.rule.as_str()) {
+            return Err(format!(
+                "[[allow]] for `{}`: unknown rule (known: {})",
+                entry.rule,
+                crate::rules::RULE_NAMES.join(", ")
+            ));
+        }
+        if entry.reason.is_empty() {
+            return Err(format!(
+                "[[allow]] for `{}` on `{}`: a written `reason` is required",
+                entry.rule, entry.path
+            ));
+        }
+        self.allows.push(entry);
+        Ok(())
+    }
+
+    /// File-scope suppressions applying to `rel_path` (slash-separated).
+    pub fn allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && path_matches(rel_path, &a.path))
+    }
+
+    /// Whether `rel_path` is an ordered-output module for
+    /// `iteration-order`.
+    pub fn is_ordered_module(&self, rel_path: &str) -> bool {
+        self.ordered_modules
+            .iter()
+            .any(|m| rel_path.contains(m.as_str()))
+    }
+}
+
+/// `rel_path` matches `pattern` when equal to it or ending with
+/// `/pattern` — so `crates/runtime/src/cache.rs` and `cache.rs` both
+/// name the same file, but `xcache.rs` does not.
+fn path_matches(rel_path: &str, pattern: &str) -> bool {
+    rel_path == pattern
+        || rel_path
+            .strip_suffix(pattern)
+            .is_some_and(|head| head.ends_with('/'))
+}
+
+/// Drops a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(String::from)
+        .ok_or(format!("line {lineno}: expected a double-quoted string"))
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or(format!("line {lineno}: expected `[\"…\", …]`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, lineno))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_entries_and_module_lists() {
+        let mut config = Config::default();
+        config
+            .merge_toml(
+                r#"
+# comment
+[[allow]]
+rule = "wall-clock"             # trailing comment
+path = "crates/runtime/src/telemetry.rs"
+reason = "the sanctioned clock owner"
+
+[rules.iteration-order]
+modules = [
+    "crates/runtime/src/cache.rs",
+    "crates/core/src/engine.rs",
+]
+"#,
+            )
+            .unwrap();
+        assert!(config.allowed("wall-clock", "crates/runtime/src/telemetry.rs"));
+        assert!(!config.allowed("atomics", "crates/runtime/src/telemetry.rs"));
+        assert!(config.is_ordered_module("crates/core/src/engine.rs"));
+        assert!(config.is_ordered_module("crates/runtime/src/fingerprint.rs"));
+        assert!(!config.is_ordered_module("crates/dse/src/gp.rs"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let mut config = Config::default();
+        let err = config
+            .merge_toml("[[allow]]\nrule = \"atomics\"\npath = \"x.rs\"\n")
+            .unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_rejected() {
+        let mut config = Config::default();
+        let err = config
+            .merge_toml("[[allow]]\nrule = \"nope\"\npath = \"x.rs\"\nreason = \"y\"\n")
+            .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn path_matching_is_suffix_on_component_boundaries() {
+        assert!(path_matches("crates/runtime/src/cache.rs", "cache.rs"));
+        assert!(path_matches("crates/runtime/src/cache.rs", "src/cache.rs"));
+        assert!(!path_matches("crates/runtime/src/xcache.rs", "cache.rs"));
+    }
+}

@@ -1,0 +1,457 @@
+//! A small, total Rust lexer: source text in, tokens and comments out.
+//!
+//! The lexer understands exactly as much Rust as the determinism rules
+//! need to be *sound inside real source files*: line and (nested) block
+//! comments, cooked and raw strings (any `#` depth, `b`/`c` prefixes),
+//! byte and char literals, the char-literal/lifetime ambiguity, raw
+//! identifiers, and loose numeric literals. Everything it does not
+//! recognize becomes a one-character punctuation token.
+//!
+//! It is deliberately **total**: malformed input (unterminated strings,
+//! stray quotes, truncated block comments) produces tokens up to end of
+//! input, never a panic — pinned by the proptest token-soup test.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the span).
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal (integers, floats, suffixed forms — kept loose).
+    Number,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its byte span and position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// One comment (line or block) with its byte span and line range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Byte offset of the opening `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the comment text.
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (block comments span lines).
+    pub end_line: u32,
+}
+
+impl Comment {
+    /// The comment's text, delimiters included.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// The lexer's output: every token and every comment, in source order.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Never panics, whatever the
+/// input: unterminated constructs simply extend to end of input.
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOutput::default();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.byte_offset();
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                start,
+                end: cur.byte_offset(),
+                line,
+                end_line: cur.line,
+            });
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                start,
+                end: cur.byte_offset(),
+                line,
+                end_line: cur.line,
+            });
+        } else if c == '"' {
+            lex_cooked_string(&mut cur);
+            push(&mut out, TokenKind::Str, start, &cur, line, col);
+        } else if c == '\'' {
+            let kind = lex_quote(&mut cur);
+            push(&mut out, kind, start, &cur, line, col);
+        } else if is_ident_start(c) {
+            let kind = lex_ident_or_prefixed(&mut cur);
+            push(&mut out, kind, start, &cur, line, col);
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            push(&mut out, TokenKind::Number, start, &cur, line, col);
+        } else {
+            cur.bump();
+            push(&mut out, TokenKind::Punct(c), start, &cur, line, col);
+        }
+    }
+    out
+}
+
+fn push(out: &mut LexOutput, kind: TokenKind, start: usize, cur: &Cursor, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        start,
+        end: cur.byte_offset(),
+        line,
+        col,
+    });
+}
+
+/// Consumes a `"…"` string (opening quote at the cursor), honoring `\`
+/// escapes. Unterminated strings run to end of input.
+fn lex_cooked_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes `r##"…"##` with the cursor on the first `#` or the quote.
+/// The prefix (`r`, `br`, ...) has already been consumed.
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return; // `r#ident` handled by the caller; stray `r#` ends here
+    }
+    cur.bump();
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a'` / `'\n'` char literals from `'a` lifetimes with
+/// the cursor on the quote.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote on
+            // this line (char literals cannot contain raw newlines).
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                let c = cur.bump();
+                if c == Some('\\') {
+                    cur.bump();
+                } else if c == Some('\'') {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_continue(c) => {
+            // An identifier run follows: `'a'` is a char literal, `'a`
+            // (no closing quote) is a lifetime.
+            let mut ahead = 1;
+            while cur.peek(ahead).is_some_and(is_ident_continue) {
+                ahead += 1;
+            }
+            let closes = cur.peek(ahead) == Some('\'');
+            for _ in 0..ahead {
+                cur.bump();
+            }
+            if closes {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(c) if c != '\'' && c != '\n' => {
+            // Single-char literal like `'('`.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        _ => TokenKind::Char, // `''` or stray quote at EOL/EOF
+    }
+}
+
+/// With the cursor on an identifier-start character: consumes either a
+/// plain identifier, a raw identifier (`r#type`), or a prefixed string /
+/// byte-char literal (`r"…"`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`).
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokenKind {
+    // Scan the identifier run without consuming, to inspect prefixes.
+    let mut len = 1;
+    while cur.peek(len).is_some_and(is_ident_continue) {
+        len += 1;
+    }
+    let prefix: String = (0..len.min(2)).filter_map(|i| cur.peek(i)).collect();
+    let next = cur.peek(len);
+    let raw_capable = matches!(prefix.as_str(), "r" | "br" | "cr") && len <= 2;
+    let cooked_capable = matches!(prefix.as_str(), "b" | "c") && len == 1;
+    if raw_capable && (next == Some('"') || next == Some('#')) {
+        for _ in 0..len {
+            cur.bump();
+        }
+        if next == Some('#') && prefix == "r" {
+            // Either `r#"…"#` (a quote follows the hash run) or the raw
+            // identifier `r#ident` (anything else does).
+            let mut ahead = 0;
+            while cur.peek(ahead) == Some('#') {
+                ahead += 1;
+            }
+            if cur.peek(ahead) != Some('"') {
+                cur.bump(); // one `#`; the identifier run follows
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                return TokenKind::Ident;
+            }
+        }
+        lex_raw_string(cur);
+        return TokenKind::Str;
+    }
+    if cooked_capable && next == Some('"') {
+        cur.bump();
+        lex_cooked_string(cur);
+        return TokenKind::Str;
+    }
+    if prefix == "b" && len == 1 && next == Some('\'') {
+        cur.bump();
+        return lex_quote(cur); // byte-char literal (or `b'static`-style soup)
+    }
+    for _ in 0..len {
+        cur.bump();
+    }
+    TokenKind::Ident
+}
+
+/// Consumes a numeric literal, loosely: digits, `_`, suffix letters, and
+/// one fractional part. `0..10` must leave `..` unconsumed.
+fn lex_number(cur: &mut Cursor) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        let out = lex(src);
+        out.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "Instant::now()"; // Instant::now in a comment
+            /* SystemTime::now */
+            let b = r#"HashMap "quoted" iter"#;
+            let c = b"Ordering::Relaxed";
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"Instant"));
+        assert!(!names.contains(&"SystemTime"));
+        assert!(!names.contains(&"HashMap"));
+        assert!(!names.contains(&"Ordering"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let q = 'q'; let n = '\\n'; }";
+        let out = lex(src);
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        assert!(idents("let r#type = 1;").contains(&"r#type"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let out = lex("/* outer /* inner */ still outer */ let x = 1;");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.start > 30));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let src = "for i in 0..10 {}";
+        let out = lex(src);
+        let dots = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "a\n  b";
+        let out = lex(src);
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b'", "'", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

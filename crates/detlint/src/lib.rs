@@ -1,0 +1,43 @@
+//! `detlint` — a workspace-wide determinism lint.
+//!
+//! The repo's core contract — bit-identical results across thread
+//! counts, work-stealing, concurrent-job interleavings, and warm
+//! restarts — is enforced *dynamically* by `tests/runtime_determinism.rs`
+//! sampling a handful of interleavings. This crate enforces the same
+//! invariants *statically*, as named source-level rules over every crate
+//! at once, so whole classes of regression (wall-clock leaking into
+//! fingerprints, `HashMap` order reaching a persisted image, `Relaxed`
+//! atomics spreading beyond telemetry) are rejected before any test
+//! runs. See [`rules`] for the catalog.
+//!
+//! Built hand-rolled on a small total Rust [`lexer`] (no dependencies,
+//! in the spirit of the `vendor/` shims): rules see tokens, never raw
+//! text, so strings and comments cannot produce false positives.
+//! Suppressions are inline pragmas ([`pragma`]) or entries in the
+//! checked-in `detlint.toml` ([`config`]) — both require a written
+//! rationale, and a pragma that suppresses nothing is itself an error.
+//!
+//! Three ways to run it:
+//! * `cargo run -p detlint` (CI adds `--format json` and gates on it);
+//! * `tests/detlint.rs`, pinning that the workspace stays clean;
+//! * [`lint_source`] / [`lint_workspace`] as a library, e.g. from
+//!   fixture tests.
+
+pub mod config;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use report::{render_json, render_text, JSON_SCHEMA};
+pub use rules::{Violation, META_RULE_NAMES, RULE_NAMES};
+pub use scan::{find_workspace_root, lint_workspace, Report};
+
+/// Lints one in-memory source file under `rel_path` (which decides
+/// allowlist and ordered-module matching), returning the surviving
+/// violations.
+pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> Vec<Violation> {
+    rules::scan_file(rel_path, src, config)
+}

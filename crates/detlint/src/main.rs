@@ -1,0 +1,125 @@
+//! The `detlint` binary: lint the workspace, print diagnostics, exit
+//! non-zero on any violation.
+//!
+//! ```text
+//! cargo run -p detlint [-- --root DIR] [--config FILE] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return usage(&format!("--format expects text|json, got {other:?}")),
+            },
+            "--list-rules" => {
+                print!("{}", rule_catalog());
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint — workspace determinism lint\n\n\
+                     USAGE: detlint [--root DIR] [--config FILE] [--format text|json] \
+                     [--list-rules]\n\n\
+                     Scans every workspace source file and enforces the determinism\n\
+                     contract statically. See README \"Static analysis\" for the rule\n\
+                     catalog and the suppression pragma syntax."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| detlint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no --root given and no workspace Cargo.toml found upward of cwd"),
+    };
+    let config = match config_path {
+        Some(path) => {
+            let mut config = detlint::Config::default();
+            let loaded = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| config.merge_toml(&text));
+            match loaded {
+                Ok(()) => config,
+                Err(e) => return fail(&format!("{}: {e}", path.display())),
+            }
+        }
+        None => match detlint::Config::load(&root) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        },
+    };
+    let report = match detlint::lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+    if json {
+        print!("{}", detlint::render_json(&report));
+    } else {
+        print!("{}", detlint::render_text(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn rule_catalog() -> String {
+    [
+        (
+            "wall-clock",
+            "Instant::now/SystemTime::now only at sanctioned clock sites",
+        ),
+        (
+            "iteration-order",
+            "no HashMap/HashSet (or iteration over them) in ordered-output modules",
+        ),
+        (
+            "atomics",
+            "Relaxed only in counter modules; stronger orderings need a rationale comment",
+        ),
+        (
+            "ambient",
+            "no ad-hoc threads, entropy-seeded RNGs, static mut, or unsafe",
+        ),
+        (
+            "bad-pragma",
+            "malformed suppression pragma (not suppressible)",
+        ),
+        (
+            "unused-pragma",
+            "pragma that suppresses nothing (not suppressible)",
+        ),
+    ]
+    .iter()
+    .map(|(name, desc)| format!("{name:16} {desc}\n"))
+    .collect()
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("detlint: {message} (try --help)");
+    ExitCode::from(2)
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("detlint: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,188 @@
+//! Inline suppression pragmas.
+//!
+//! Syntax, inside any comment:
+//!
+//! ```text
+//! // detlint-allow(rule[, rule…]): reason
+//! // detlint-allow-file(rule[, rule…]): reason
+//! ```
+//!
+//! A line pragma suppresses matching violations on its own line and on
+//! the line directly below (so it can trail the offending statement or
+//! sit on its own line above it). A file pragma suppresses the rule for
+//! the whole file. The reason is mandatory: a suppression without a
+//! written rationale is itself a violation, as is a pragma that
+//! suppresses nothing.
+
+use crate::lexer::Comment;
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// True for `detlint-allow-file`.
+    pub file_scope: bool,
+    /// Rule names the pragma suppresses.
+    pub rules: Vec<String>,
+    /// The written rationale (never empty for a well-formed pragma).
+    pub reason: String,
+    /// First line the pragma applies to (the comment's start line).
+    pub line: u32,
+    /// Last line the pragma applies to (`end_line + 1` of its comment).
+    pub last_line: u32,
+}
+
+impl Pragma {
+    /// Whether this pragma suppresses `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule) && (self.file_scope || self.applies_to_line(line))
+    }
+
+    fn applies_to_line(&self, line: u32) -> bool {
+        (self.line..=self.last_line).contains(&line)
+    }
+}
+
+/// A pragma that failed to parse (reported as a `bad-pragma` violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "detlint-allow";
+
+/// Extracts every pragma (and malformed pragma) from a file's comments.
+pub fn parse_pragmas(src: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for comment in comments {
+        let text = comment.text(src);
+        // Pragmas live in plain implementation comments. Doc comments
+        // merely *describe* the syntax (as this crate's own docs do) and
+        // must not activate.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| text.starts_with(d))
+        {
+            continue;
+        }
+        let Some(at) = text.find(MARKER) else {
+            continue;
+        };
+        match parse_one(&text[at..]) {
+            Ok((file_scope, rules, reason)) => pragmas.push(Pragma {
+                file_scope,
+                rules,
+                reason,
+                line: comment.line,
+                last_line: comment.end_line + 1,
+            }),
+            Err(message) => errors.push(PragmaError {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses one pragma starting at the `detlint-allow` marker.
+fn parse_one(text: &str) -> Result<(bool, Vec<String>, String), String> {
+    let rest = &text[MARKER.len()..];
+    let (file_scope, rest) = match rest.strip_prefix("-file") {
+        Some(r) => (true, r),
+        None => (false, rest),
+    };
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or("expected `(` after `detlint-allow`")?;
+    let close = rest.find(')').ok_or("unclosed rule list")?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".into());
+    }
+    for rule in &rules {
+        if !crate::rules::RULE_NAMES.contains(&rule.as_str()) {
+            return Err(format!(
+                "unknown rule `{rule}` (known: {})",
+                crate::rules::RULE_NAMES.join(", ")
+            ));
+        }
+    }
+    let rest = rest[close + 1..].trim_start();
+    let reason = rest
+        .strip_prefix(':')
+        .map(|r| r.trim_end_matches("*/").trim().to_string())
+        .unwrap_or_default();
+    if reason.is_empty() {
+        return Err("missing rationale: write `detlint-allow(rule): why this is safe`".into());
+    }
+    Ok((file_scope, rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Pragma>, Vec<PragmaError>) {
+        parse_pragmas(src, &lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_line_pragma() {
+        let (p, e) = parse("// detlint-allow(wall-clock): telemetry only\nfoo();");
+        assert!(e.is_empty());
+        assert_eq!(p.len(), 1);
+        assert!(!p[0].file_scope);
+        assert_eq!(p[0].rules, vec!["wall-clock"]);
+        assert_eq!(p[0].reason, "telemetry only");
+        assert!(p[0].covers("wall-clock", 1));
+        assert!(p[0].covers("wall-clock", 2));
+        assert!(!p[0].covers("wall-clock", 3));
+        assert!(!p[0].covers("atomics", 2));
+    }
+
+    #[test]
+    fn file_pragma_covers_everything() {
+        let (p, e) = parse("// detlint-allow-file(atomics, ambient): counters only");
+        assert!(e.is_empty());
+        assert!(p[0].file_scope);
+        assert!(p[0].covers("ambient", 4096));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (p, e) = parse("// detlint-allow(wall-clock)");
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("rationale"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (p, e) = parse("// detlint-allow(made-up): because");
+        assert!(p.is_empty());
+        assert!(e[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_comments_describing_the_syntax_never_activate() {
+        let src = "/// detlint-allow(not-a-rule): docs\n//! detlint-allow syntax notes\nfoo();";
+        let (p, e) = parse(src);
+        assert!(p.is_empty(), "{p:?}");
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn block_comment_pragma_spans_to_next_line() {
+        let src = "/* detlint-allow(ambient): spawning is\n   the pool's job */\nthread::spawn";
+        let (p, e) = parse(src);
+        assert!(e.is_empty());
+        assert_eq!((p[0].line, p[0].last_line), (1, 3));
+    }
+}

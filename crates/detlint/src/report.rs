@@ -1,0 +1,89 @@
+//! Human-text and machine-JSON rendering of a lint [`Report`].
+
+use crate::scan::Report;
+
+/// Schema identifier of the JSON layout (bump on breaking change).
+pub const JSON_SCHEMA: &str = "hasco-detlint-v1";
+
+/// `file:line:col: rule: message` diagnostics plus a summary line.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n    | {}\n",
+            v.file, v.line, v.col, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "detlint: {} violation(s) across {} file(s) ({} scanned)\n",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.file.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        report.files.len(),
+    ));
+    out
+}
+
+/// Versioned JSON for the CI gate and its uploaded artifact.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files.len()));
+    out.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        report.violations.len()
+    ));
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"message\": {}, \"snippet\": {}}}{}\n",
+            json_string(&v.file),
+            v.line,
+            v.col,
+            json_string(v.rule),
+            json_string(&v.message),
+            json_string(&v.snippet),
+            if i + 1 < report.violations.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,488 @@
+//! The determinism rules, and per-file rule application.
+//!
+//! Every rule operates on the lexed token stream (so string literals,
+//! comments, and char literals can never produce false positives) with
+//! `#[cfg(test)]` / `#[test]` items masked out — test code is the
+//! *dynamic* enforcement layer and measures time or spawns threads on
+//! purpose.
+//!
+//! | rule | rejects |
+//! |------|---------|
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` outside sanctioned clock sites |
+//! | `iteration-order` | `HashMap`/`HashSet` (and iteration over them) in ordered-output modules |
+//! | `atomics` | `Ordering::Relaxed` outside counter modules; other orderings without a rationale comment |
+//! | `ambient` | `thread::spawn/scope/Builder` outside the pool, entropy-seeded RNGs, `static mut`, `unsafe` |
+//!
+//! Two pseudo-rules report suppression hygiene and are themselves not
+//! suppressible: `bad-pragma` (malformed or unknown-rule pragma) and
+//! `unused-pragma` (a pragma that suppressed nothing must be deleted).
+
+use crate::config::Config;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma::parse_pragmas;
+
+/// Rules a pragma or allowlist entry may suppress.
+pub const RULE_NAMES: [&str; 4] = ["wall-clock", "iteration-order", "atomics", "ambient"];
+
+/// Suppression-hygiene pseudo-rules (never suppressible).
+pub const META_RULE_NAMES: [&str; 2] = ["bad-pragma", "unused-pragma"];
+
+/// One rule violation with a `file:line:col` span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule name (one of [`RULE_NAMES`] or [`META_RULE_NAMES`]).
+    pub rule: &'static str,
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Lexed file plus the token subset rules look at.
+struct FileView<'a> {
+    src: &'a str,
+    /// Tokens outside `#[cfg(test)]` / `#[test]` items.
+    active: Vec<Token>,
+}
+
+impl<'a> FileView<'a> {
+    fn new(src: &'a str, tokens: &[Token]) -> Self {
+        let skip = test_item_mask(src, tokens);
+        FileView {
+            src,
+            active: tokens
+                .iter()
+                .zip(&skip)
+                .filter(|&(_, s)| !s)
+                .map(|(t, _)| *t)
+                .collect(),
+        }
+    }
+
+    fn ident(&self, k: usize) -> Option<&'a str> {
+        let t = self.active.get(k)?;
+        (t.kind == TokenKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn punct(&self, k: usize) -> Option<char> {
+        match self.active.get(k)?.kind {
+            TokenKind::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// `Some((head, tail))` when tokens `k..k+4` spell `head::tail`.
+    fn path2(&self, k: usize) -> Option<(&'a str, &'a str)> {
+        let head = self.ident(k)?;
+        if self.punct(k + 1) != Some(':') || self.punct(k + 2) != Some(':') {
+            return None;
+        }
+        Some((head, self.ident(k + 3)?))
+    }
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`- or `#[test]`-gated
+/// item (attributes included).
+fn test_item_mask(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some((attr_end, is_test)) = scan_attribute(src, tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Consume any further attributes, then the item itself.
+        let mut j = attr_end;
+        while let Some((next_end, _)) = scan_attribute(src, tokens, j) {
+            j = next_end;
+        }
+        j = item_end(tokens, j);
+        for s in skip.iter_mut().take(j).skip(i) {
+            *s = true;
+        }
+        i = j;
+    }
+    skip
+}
+
+/// If an attribute `#[…]` (or `#![…]`) starts at token `i`, returns the
+/// index one past its closing `]` and whether it is test-gating
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, …).
+fn scan_attribute(src: &str, tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if tokens.get(i)?.kind != TokenKind::Punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.kind == TokenKind::Punct('!') {
+        j += 1;
+    }
+    if tokens.get(j)?.kind != TokenKind::Punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while let Some(tok) = tokens.get(j) {
+        match tok.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = match idents.first() {
+                        Some(&"test") => true,
+                        Some(&"cfg") => idents.contains(&"test"),
+                        _ => false,
+                    };
+                    return Some((j + 1, is_test));
+                }
+            }
+            TokenKind::Ident => idents.push(tok.text(src)),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((tokens.len(), false)) // unterminated attribute: skip it, gate nothing
+}
+
+/// Index one past the end of the item starting at token `i`: through the
+/// matching `}` of its body, or through the `;` that ends a bodiless
+/// item.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut body = false;
+    let mut j = i;
+    while let Some(tok) = tokens.get(j) {
+        match tok.kind {
+            TokenKind::Punct('{') => {
+                if depth == 0 {
+                    body = true;
+                }
+                depth += 1;
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth = (depth - 1).max(0);
+                if depth == 0 && body && tok.kind == TokenKind::Punct('}') {
+                    return j + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Runs every rule over one file and applies suppressions: allowlist
+/// entries from `config`, then inline pragmas. Unused and malformed
+/// pragmas come back as violations of the meta rules.
+pub fn scan_file(rel_path: &str, src: &str, config: &Config) -> Vec<Violation> {
+    let lexed = lex(src);
+    let view = FileView::new(src, &lexed.tokens);
+    let mut violations = Vec::new();
+    rule_wall_clock(&view, &mut violations);
+    if config.is_ordered_module(rel_path) {
+        rule_iteration_order(&view, &mut violations);
+    }
+    rule_atomics(&view, &lexed.comments, &mut violations);
+    rule_ambient(&view, &mut violations);
+
+    violations.retain(|(rule, _, _)| !config.allowed(rule, rel_path));
+
+    let (pragmas, errors) = parse_pragmas(src, &lexed.comments);
+    let mut used = vec![false; pragmas.len()];
+    violations.retain(|(rule, tok, _)| {
+        match pragmas.iter().position(|p| p.covers(rule, tok.line)) {
+            Some(at) => {
+                used[at] = true;
+                false
+            }
+            None => true,
+        }
+    });
+
+    let mut out: Vec<Violation> = violations
+        .into_iter()
+        .map(|(rule, tok, message)| Violation {
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+            snippet: snippet_at(src, tok.line),
+        })
+        .collect();
+    for err in errors {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: err.line,
+            col: 1,
+            rule: "bad-pragma",
+            message: err.message,
+            snippet: snippet_at(src, err.line),
+        });
+    }
+    for (pragma, used) in pragmas.iter().zip(&used) {
+        if !used {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: pragma.line,
+                col: 1,
+                rule: "unused-pragma",
+                message: format!(
+                    "pragma for `{}` suppresses nothing — delete it",
+                    pragma.rules.join(", ")
+                ),
+                snippet: snippet_at(src, pragma.line),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.line, a.col, a.rule, &a.message).cmp(&(b.line, b.col, b.rule, &b.message))
+    });
+    out.dedup_by(|a, b| (a.line, a.rule, &a.message) == (b.line, b.rule, &b.message));
+    out
+}
+
+fn snippet_at(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+type Raw = (&'static str, Token, String);
+
+fn rule_wall_clock(view: &FileView, out: &mut Vec<Raw>) {
+    for k in 0..view.active.len() {
+        if let Some((head @ ("Instant" | "SystemTime"), "now")) = view.path2(k) {
+            out.push((
+                "wall-clock",
+                view.active[k],
+                format!(
+                    "`{head}::now()` outside a sanctioned clock site — wall-clock time must \
+                     never reach fingerprints, stats, events, or persisted images"
+                ),
+            ));
+        }
+    }
+}
+
+fn rule_iteration_order(view: &FileView, out: &mut Vec<Raw>) {
+    // Any unordered container in an ordered-output module is a hazard:
+    // its iteration order could reach a persisted image, an emitted
+    // event stream, or a report.
+    for k in 0..view.active.len() {
+        if let Some(name @ ("HashMap" | "HashSet")) = view.ident(k) {
+            out.push((
+                "iteration-order",
+                view.active[k],
+                format!(
+                    "`{name}` in an ordered-output module — iteration order can reach \
+                     persisted or emitted output; use BTreeMap/BTreeSet or an explicit sort"
+                ),
+            ));
+        }
+    }
+    // Precise diagnostics for direct iteration over bindings this file
+    // declares as unordered containers.
+    let tracked = tracked_unordered_bindings(view);
+    if tracked.is_empty() {
+        return;
+    }
+    let flag = |out: &mut Vec<Raw>, tok: Token, name: &str, how: &str| {
+        out.push((
+            "iteration-order",
+            tok,
+            format!("{how} over unordered `{name}` in an ordered-output module"),
+        ));
+    };
+    for k in 0..view.active.len() {
+        if let Some(name) = view.ident(k) {
+            if tracked.iter().any(|t| t == name)
+                && view.punct(k + 1) == Some('.')
+                && view.ident(k + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+            {
+                flag(out, view.active[k], name, "iteration");
+            }
+            if name == "for" {
+                // `for … in … { …`: any tracked name before the body
+                // opens is being iterated.
+                let mut saw_in = false;
+                for j in k + 1..(k + 40).min(view.active.len()) {
+                    if view.punct(j) == Some('{') {
+                        break;
+                    }
+                    match view.ident(j) {
+                        Some("in") => saw_in = true,
+                        Some(name) if saw_in && tracked.iter().any(|t| t == name) => {
+                            flag(out, view.active[j], name, "`for` loop");
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names this file binds to `HashMap`/`HashSet` values: typed bindings
+/// and fields (`name: HashMap<…>`) and inferred lets
+/// (`let name = HashMap::new()`). Lexical and file-local by design —
+/// the container-mention check above is the soundness net.
+fn tracked_unordered_bindings(view: &FileView) -> Vec<String> {
+    let mut tracked = Vec::new();
+    for k in 0..view.active.len() {
+        let Some(name) = view.ident(k) else { continue };
+        if name == "let" {
+            let mut j = k + 1;
+            if view.ident(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(bound) = view.ident(j) {
+                if view.punct(j + 1) == Some('=')
+                    && matches!(view.ident(j + 2), Some("HashMap" | "HashSet"))
+                {
+                    tracked.push(bound.to_string());
+                }
+            }
+            continue;
+        }
+        // `name: …HashMap…` in a type position (single colon).
+        if view.punct(k + 1) != Some(':')
+            || view.punct(k + 2) == Some(':')
+            || view.punct(k.wrapping_sub(1)) == Some(':')
+        {
+            continue;
+        }
+        for j in k + 2..(k + 24).min(view.active.len()) {
+            if let Some(';' | '=' | '{' | '}' | '(' | ')') = view.punct(j) {
+                break;
+            }
+            if matches!(view.ident(j), Some("HashMap" | "HashSet")) {
+                tracked.push(name.to_string());
+                break;
+            }
+        }
+    }
+    tracked.sort();
+    tracked.dedup();
+    tracked
+}
+
+fn rule_atomics(view: &FileView, comments: &[crate::lexer::Comment], out: &mut Vec<Raw>) {
+    for k in 0..view.active.len() {
+        let Some(("Ordering", ord)) = view.path2(k) else {
+            continue;
+        };
+        if !ATOMIC_ORDERINGS.contains(&ord) {
+            continue; // `cmp::Ordering::Less` and friends
+        }
+        let tok = view.active[k];
+        if ord == "Relaxed" {
+            out.push((
+                "atomics",
+                tok,
+                "`Ordering::Relaxed` outside a counter module — relaxed atomics must not \
+                 carry results, only observability counters"
+                    .to_string(),
+            ));
+        } else {
+            // Stronger orderings are load-bearing synchronization; the
+            // reasoning must be written down next to the site.
+            let documented = comments
+                .iter()
+                .any(|c| c.end_line + 2 >= tok.line && c.end_line <= tok.line);
+            if !documented {
+                out.push((
+                    "atomics",
+                    tok,
+                    format!(
+                        "`Ordering::{ord}` without an adjacent rationale comment — document \
+                         what this ordering synchronizes (same line or the two lines above)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn rule_ambient(view: &FileView, out: &mut Vec<Raw>) {
+    for k in 0..view.active.len() {
+        if let Some(("thread", m @ ("spawn" | "scope" | "Builder"))) = view.path2(k) {
+            out.push((
+                "ambient",
+                view.active[k],
+                format!(
+                    "`thread::{m}` outside the runtime pool/scheduler — ad-hoc threads \
+                     bypass order-preserving submission and observation-ordered publication"
+                ),
+            ));
+        }
+        if let Some(("rand", "random")) = view.path2(k) {
+            out.push((
+                "ambient",
+                view.active[k],
+                "`rand::random()` draws from ambient entropy — construct RNGs with \
+                 `SmallRng::seed_from_u64` from problem parameters"
+                    .to_string(),
+            ));
+        }
+        match view.ident(k) {
+            Some(name @ ("from_entropy" | "thread_rng" | "OsRng" | "getrandom")) => {
+                out.push((
+                    "ambient",
+                    view.active[k],
+                    format!(
+                        "`{name}` seeds randomness from the environment — every RNG must be \
+                         seeded from problem parameters so results replay bit-identically"
+                    ),
+                ));
+            }
+            Some("static") if view.ident(k + 1) == Some("mut") => {
+                out.push((
+                    "ambient",
+                    view.active[k],
+                    "`static mut` is unsynchronized global state — use an atomic, a lock, \
+                     or `OnceLock`"
+                        .to_string(),
+                ));
+            }
+            Some("unsafe") => {
+                out.push((
+                    "ambient",
+                    view.active[k],
+                    "`unsafe` outside the allowlist — the workspace is safe Rust; \
+                     un-auditable aliasing can hide scheduling-dependent behavior"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace walking: which files the lint reads, and the aggregate
+//! report.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::rules::{scan_file, Violation};
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// The workspace root the scan ran against.
+    pub root: PathBuf,
+    /// Workspace-relative paths of every file scanned, sorted.
+    pub files: Vec<String>,
+    /// Every surviving violation, sorted by file then position.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under the configured scan roots. File order —
+/// and therefore report order — is sorted, so the output is a pure
+/// function of the tree's content.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for scan_root in &config.scan_roots {
+        collect_rust_files(root, &root.join(scan_root), config, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        violations.extend(scan_file(rel, &src, config));
+    }
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(Report {
+        root: root.to_path_buf(),
+        files,
+        violations,
+    })
+}
+
+fn collect_rust_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !config.skip_dir_names.contains(&name) && !name.starts_with('.') {
+                collect_rust_files(root, &path, config, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — how the binary finds the tree to lint
+/// when invoked from a subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if let Ok(manifest) = std::fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

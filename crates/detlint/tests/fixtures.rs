@@ -1,0 +1,161 @@
+//! Fixture-driven tests: known sources with known expected diagnostics.
+//!
+//! The fixtures live under `tests/fixtures/` (a directory the workspace
+//! scan deliberately skips) and are linted in-memory via
+//! [`detlint::lint_source`], so each test controls the path the file is
+//! "at" — which is what decides ordered-module and allowlist matching.
+
+use detlint::{lint_source, Config, Violation};
+
+const TRICKY: &str = include_str!("fixtures/tricky_clean.rs");
+const VIOLATIONS: &str = include_str!("fixtures/violations.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+const HYGIENE: &str = include_str!("fixtures/hygiene.rs");
+
+const ORDERED_PATH: &str = "crates/x/src/fingerprint/mod.rs";
+const NEUTRAL_PATH: &str = "crates/x/src/plain.rs";
+
+fn lint(path: &str, src: &str) -> Vec<Violation> {
+    lint_source(path, src, &Config::default())
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn tricky_sources_stay_clean_under_any_path() {
+    for path in [NEUTRAL_PATH, ORDERED_PATH] {
+        let found = lint(path, TRICKY);
+        assert!(found.is_empty(), "{path}: {found:?}");
+    }
+}
+
+#[test]
+fn every_rule_fires_in_an_ordered_module() {
+    let found = lint(ORDERED_PATH, VIOLATIONS);
+    assert_eq!(
+        rules_of(&found),
+        vec!["ambient", "atomics", "iteration-order", "wall-clock"]
+    );
+    // Spans point at the offending token, 1-based.
+    let clock = found
+        .iter()
+        .find(|v| v.rule == "wall-clock")
+        .expect("wall-clock violation");
+    assert_eq!((clock.file.as_str(), clock.line), (ORDERED_PATH, 9));
+    assert!(clock.snippet.contains("Instant::now()"), "{clock:?}");
+    // Both the tracked `.keys()` iteration and the `for … in seen.iter()`
+    // loop are called out precisely, beyond the bare type mentions.
+    let precise: Vec<&str> = found
+        .iter()
+        .filter(|v| v.rule == "iteration-order" && v.message.contains("unordered"))
+        .map(|v| v.snippet.as_str())
+        .collect();
+    assert!(
+        precise.iter().any(|s| s.contains("map.keys()")),
+        "{precise:?}"
+    );
+    assert!(
+        precise.iter().any(|s| s.contains("seen.iter()")),
+        "{precise:?}"
+    );
+    // Relaxed is rejected outright; SeqCst for the missing rationale.
+    assert!(found
+        .iter()
+        .any(|v| v.rule == "atomics" && v.message.contains("Relaxed")));
+    assert!(found
+        .iter()
+        .any(|v| v.rule == "atomics" && v.message.contains("rationale")));
+}
+
+#[test]
+fn neutral_paths_skip_the_iteration_order_rule() {
+    let found = lint(NEUTRAL_PATH, VIOLATIONS);
+    assert_eq!(rules_of(&found), vec!["ambient", "atomics", "wall-clock"]);
+}
+
+#[test]
+fn pragmas_of_every_shape_suppress_and_are_all_used() {
+    let found = lint(NEUTRAL_PATH, SUPPRESSED);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn deleting_any_pragma_resurfaces_its_violation() {
+    let lines: Vec<&str> = SUPPRESSED.lines().collect();
+    let mut deleted = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let Some(at) = line
+            .find("// detlint-allow")
+            .or_else(|| line.starts_with("/* detlint-allow").then_some(0))
+        else {
+            continue;
+        };
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        if line[..at].trim().is_empty() && at > 0 {
+            mutated.remove(i); // own-line pragma: drop the line
+        } else {
+            // Trailing or block pragma: defuse the marker, keep the line.
+            mutated[i] = line.replacen("detlint-allow", "detlint-disabled", 1);
+        }
+        let found = lint(NEUTRAL_PATH, &mutated.join("\n"));
+        assert!(
+            !found.is_empty(),
+            "deleting the pragma on fixture line {} went unnoticed",
+            i + 1
+        );
+        deleted += 1;
+    }
+    assert_eq!(deleted, 4, "expected all four pragma shapes exercised");
+}
+
+#[test]
+fn hygiene_failures_are_reported_and_unsuppressible() {
+    let found = lint(NEUTRAL_PATH, HYGIENE);
+    let rules: Vec<&str> = found.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["unused-pragma", "bad-pragma", "bad-pragma"]);
+    assert!(found[1].message.contains("unknown rule"), "{found:?}");
+    assert!(found[2].message.contains("rationale"), "{found:?}");
+    // The meta rules are not in the suppressible set, so even naming
+    // them in a pragma is itself a bad-pragma.
+    let meta = lint(
+        NEUTRAL_PATH,
+        "// detlint-allow(bad-pragma): trying to silence the lint\nfn f() {}\n",
+    );
+    assert_eq!(rules_of(&meta), vec!["bad-pragma"]);
+}
+
+#[test]
+fn allowlist_entries_suppress_by_path_and_win_over_pragmas() {
+    let mut config = Config::default();
+    config
+        .merge_toml(concat!(
+            "[[allow]]\n",
+            "rule = \"wall-clock\"\n",
+            "path = \"crates/x/src/fingerprint/mod.rs\"\n",
+            "reason = \"fixture: sanctioned clock module\"\n",
+        ))
+        .expect("valid allowlist");
+    let found = lint_source(ORDERED_PATH, VIOLATIONS, &config);
+    assert!(
+        found.iter().all(|v| v.rule != "wall-clock"),
+        "allowlisted rule still fired: {found:?}"
+    );
+    // The entry is path-scoped: the same source elsewhere still fails.
+    let elsewhere = lint_source(NEUTRAL_PATH, VIOLATIONS, &config);
+    assert!(elsewhere.iter().any(|v| v.rule == "wall-clock"));
+    // Precedence: the allowlist runs first, so an inline pragma for an
+    // already-allowlisted violation suppresses nothing and is flagged.
+    let redundant = concat!(
+        "fn clock() -> std::time::Instant {\n",
+        "    // detlint-allow(wall-clock): redundant under the allowlist\n",
+        "    std::time::Instant::now()\n",
+        "}\n",
+    );
+    let found = lint_source(ORDERED_PATH, redundant, &config);
+    assert_eq!(rules_of(&found), vec!["unused-pragma"]);
+}

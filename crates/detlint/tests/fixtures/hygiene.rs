@@ -1,0 +1,13 @@
+//! Fixture: suppression-hygiene failures. A pragma that suppresses
+//! nothing, an unknown rule, and a missing rationale each produce a
+//! meta-rule violation — and the meta rules themselves cannot be
+//! suppressed.
+
+// detlint-allow(wall-clock): nothing below reads the clock
+fn noop() {}
+
+// detlint-allow(not-a-rule): unknown rule name
+fn still_noop() {}
+
+// detlint-allow(atomics)
+fn also_noop() {}

@@ -1,0 +1,29 @@
+//! Fixture: the same violations as `violations.rs`, each silenced by a
+//! differently-shaped pragma — file-scope, own-line, trailing, and
+//! block-comment. Expected violations: none, and every pragma is used
+//! (an unused one would itself be a violation).
+
+// detlint-allow-file(ambient): fixture — exercises file-scope suppression
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn clock() -> std::time::Instant {
+    // detlint-allow(wall-clock): fixture — own-line pragma above the site
+    std::time::Instant::now()
+}
+
+fn relaxed(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) // detlint-allow(atomics): fixture — trailing pragma
+}
+
+/* detlint-allow(atomics): fixture — a block-comment pragma
+   covers through the line after its closing delimiter */
+fn also_relaxed(flag: &AtomicBool) -> bool { flag.load(Ordering::Relaxed) }
+
+fn spawner() {
+    std::thread::spawn(|| {});
+}
+
+fn another_spawner() {
+    std::thread::Builder::new();
+}

@@ -1,0 +1,64 @@
+//! Fixture: every forbidden spelling, hidden where the lexer must not
+//! look — strings, raw strings, comments, doc comments, char literals —
+//! plus the classic lexical traps. Expected violations: none.
+//!
+//! Doc-comment mentions are inert: Instant::now(), HashMap, thread::spawn.
+
+// A plain comment mentioning SystemTime::now() and Ordering::Relaxed is fine.
+
+const COOKED: &str = "Instant::now() inside a string, with \" an escaped quote";
+const RAW: &str = r#"thread::spawn and Ordering::Relaxed in a raw "string""#;
+const DEEPER: &str = r##"nested r#"HashMap::new()"# at depth two"##;
+const BYTES: &[u8] = b"SystemTime::now()";
+const QUOTE: char = '"';
+const ESCAPED: char = '\'';
+const NEWLINE: u8 = b'\n';
+
+/// `'static` followed by `mut` is a lifetime plus a keyword, not
+/// `static mut` — the ambient rule must read token kinds, not text.
+fn takes_static_mut_ref(x: &'static mut u8) -> u8 {
+    *x
+}
+
+/// `cmp::Ordering::Less` must not trip the atomics rule.
+fn ordering_enum(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+/// Raw identifiers keep their `r#` prefix, so `r#unsafe` is not `unsafe`.
+fn raw_idents() {
+    let r#unsafe = 1u8;
+    let _ = r#unsafe;
+}
+
+/// Nested token trees: generics, arrays, closures inside closures.
+fn nested() -> Vec<Vec<(u32, [u8; 4])>> {
+    let xs = vec![vec![(1, [0; 4])]];
+    xs.iter()
+        .map(|v| v.iter().map(|t| (t.0, t.1)).collect())
+        .collect()
+}
+
+/// Loose numbers must not swallow range punctuation.
+fn ranges() -> u32 {
+    (0..10).chain(0..=3).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    //! Test code is the dynamic layer — it measures time, spawns
+    //! threads, and hashes freely, and the lint must mask all of it.
+    use std::collections::HashMap;
+
+    #[test]
+    fn measures_time_on_purpose() {
+        let start = std::time::Instant::now();
+        let handle = std::thread::spawn(move || start.elapsed());
+        let _ = handle.join();
+        let mut map = HashMap::new();
+        map.insert(1, 2);
+        for (k, v) in map.iter() {
+            assert!(k < v);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: one genuine violation of every rule, nothing suppressed.
+//! Linted under an ordered-output path (`…/fingerprint/…`) all four
+//! rules fire; under a neutral path, iteration-order stays quiet.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn unordered() -> Vec<u32> {
+    let map: HashMap<u32, u32> = HashMap::new();
+    map.keys().copied().collect()
+}
+
+fn sweep(seen: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in seen.iter() {
+        total += v;
+    }
+    total
+}
+
+fn relaxed(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+fn undocumented(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+fn ambient() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,82 @@
+//! Property tests: the lexer (and the whole lint pipeline above it) is
+//! total. Arbitrary token soup — unterminated strings, stray quotes,
+//! half-open block comments, broken pragmas, raw-string openers with no
+//! close — must never panic, and every reported span must be a valid,
+//! in-bounds slice of the input.
+
+use detlint::lexer::{lex, TokenKind};
+use detlint::{lint_source, Config};
+use proptest::prelude::*;
+
+/// Concatenations of the nastiest lexical fragments plus arbitrary
+/// characters: far denser in delimiter edge cases than uniform noise.
+fn token_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("\"".to_string()),
+        Just("'".to_string()),
+        Just("\\".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r##\"".to_string()),
+        Just("r#ident".to_string()),
+        Just("b'".to_string()),
+        Just("b\"".to_string()),
+        Just("c\"".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("//".to_string()),
+        Just("///".to_string()),
+        Just("\n".to_string()),
+        Just("'a".to_string()),
+        Just("'static".to_string()),
+        Just("0..10".to_string()),
+        Just("1.5e-3".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("#[test]".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("Instant::now".to_string()),
+        Just("SystemTime".to_string()),
+        Just("HashMap".to_string()),
+        Just("Ordering::Relaxed".to_string()),
+        Just("static mut".to_string()),
+        Just("detlint-allow(".to_string()),
+        Just("detlint-allow(wall-clock):".to_string()),
+        Just("detlint-allow-file".to_string()),
+        any::<u32>().prop_map(|c| char::from_u32(c % 0x11_0000)
+            .unwrap_or('\u{FFFD}')
+            .to_string()),
+    ];
+    prop::collection::vec(fragment, 0..48).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_arbitrary_soup_never_panics(src in token_soup()) {
+        let out = lex(&src);
+        for t in &out.tokens {
+            prop_assert!(t.start < t.end && t.end <= src.len(), "bad span {t:?}");
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prop_assert!(t.line >= 1 && t.col >= 1, "positions are 1-based: {t:?}");
+            if t.kind == TokenKind::Ident {
+                prop_assert!(!t.text(&src).is_empty());
+            }
+        }
+        for c in &out.comments {
+            prop_assert!(c.start < c.end && c.end <= src.len(), "bad span {c:?}");
+            prop_assert!(src.is_char_boundary(c.start) && src.is_char_boundary(c.end));
+            prop_assert!(c.line <= c.end_line);
+        }
+    }
+
+    #[test]
+    fn linting_arbitrary_soup_never_panics(src in token_soup()) {
+        // The full pipeline: lex, test-mask, rules, pragmas. Paths chosen
+        // so both the ordered-module branch and the neutral branch run.
+        let config = Config::default();
+        let _ = lint_source("crates/x/src/fingerprint/soup.rs", &src, &config);
+        let _ = lint_source("crates/x/src/soup.rs", &src, &config);
+    }
+}

@@ -29,6 +29,7 @@
 //! duplicated work is the price of never blocking a whole shard on one
 //! slow evaluation.
 
+// detlint-allow(iteration-order): shard maps are keyed lookups only; every snapshot/persist order comes from each shard's FIFO `order` vec
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,7 +45,15 @@ const PERSIST_MAGIC: &[u8; 8] = b"HASCOMC2";
 const PERSIST_MAGIC_V1: &[u8; 8] = b"HASCOMC1";
 
 /// Seconds since the Unix epoch (0 if the clock is before the epoch).
+///
+/// Clock audit: these stamps exist solely for age-based GC (`compact` /
+/// `save_merged_with_max_age`). They ride alongside values, are clamped
+/// to "now" by `insert_stamped` on insert/load/merge so a skewed clock
+/// cannot predate or post-date an entry, and are never hashed into
+/// fingerprints, counted in `CacheStats` compares, or returned to
+/// callers — cached *values* are byte-identical whatever the clock says.
 fn now_secs() -> u64 {
+    // detlint-allow(wall-clock): age stamps for GC only; clamped on insert/load/merge and never reach fingerprints, stats, or results
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -79,6 +88,7 @@ impl CacheStats {
 #[derive(Debug)]
 struct Shard<K, V> {
     /// Value plus insertion timestamp (Unix seconds).
+    // detlint-allow(iteration-order): lookup-only; iteration for output always goes through `order` below
     map: HashMap<K, (V, u64)>,
     /// Keys in insertion order, for FIFO eviction.
     order: std::collections::VecDeque<K>,
@@ -87,6 +97,7 @@ struct Shard<K, V> {
 impl<K, V> Default for Shard<K, V> {
     fn default() -> Self {
         Shard {
+            // detlint-allow(iteration-order): see the field rationale above
             map: HashMap::new(),
             order: std::collections::VecDeque::new(),
         }
@@ -267,7 +278,10 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         let mut removed = 0;
         for shard in &self.shards {
             let mut s = shard.lock().expect("shard poisoned");
+            // order-insensitive: this collects the stale-key *set* for a
+            // batch removal; survivor order is preserved by `order`.
             let stale: Vec<K> = s
+                // detlint-allow(iteration-order): stale-key set collection, order-insensitive (see above)
                 .map
                 .iter()
                 .filter(|(_, (_, stamp))| *stamp < cutoff)
@@ -421,6 +435,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
         // stamp.
         let now = now_secs();
         let mut slots: Vec<Option<(K, V, u64)>> = Vec::new();
+        // detlint-allow(iteration-order): collision index, keyed lookups only; merged order comes from the input chain
         let mut index: HashMap<K, usize> = HashMap::new();
         for (k, v, mut stamp) in existing.into_iter().chain(self.snapshot_stamped()) {
             // Same clamp as the insert path: a future-stamped file entry

@@ -96,6 +96,7 @@ impl JobScheduler {
         if let Some(tx) = &self.tx {
             let job = if self.telemetry.is_enabled() {
                 let telemetry = self.telemetry.clone();
+                // detlint-allow(wall-clock): queue-wait telemetry; the duration feeds a histogram and never reaches job results
                 let queued_at = Instant::now();
                 Box::new(move || {
                     telemetry.record_queue_wait(queued_at.elapsed());

@@ -39,6 +39,7 @@ pub fn write_atomic(path: &Path, image: &[u8]) -> std::io::Result<()> {
     let tmp = dir.join(format!(
         ".{name}.tmp.{}.{}",
         std::process::id(),
+        // detlint-allow(atomics): process-local uniqueness counter for temp-file names; never persisted, never ordered
         TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
     ));
     std::fs::write(&tmp, image)?;

@@ -156,6 +156,7 @@ impl WorkerPool {
         let observed = self
             .telemetry
             .is_enabled()
+            // detlint-allow(wall-clock): per-batch steal/latency telemetry, read only when a recorder is enabled; never reaches results
             .then(|| (Instant::now(), self.stats.steals.load(Ordering::Relaxed)));
         let out = self.dispatch(items, f);
         if let Some((start, steals_before)) = observed {

@@ -25,7 +25,11 @@
 //! into memo fingerprints, `RunStats`, event streams, or any persisted
 //! image; enabling or disabling telemetry must never change a result
 //! bit. The determinism suite pins this
-//! (`telemetry_never_changes_results`).
+//! (`telemetry_never_changes_results`), and `detlint` enforces it
+//! statically: this file is the one sanctioned clock owner in
+//! `detlint.toml`, so any `Instant::now`/`SystemTime::now` appearing
+//! elsewhere fails the lint unless its site carries a written
+//! rationale.
 //!
 //! # Cost model
 //!

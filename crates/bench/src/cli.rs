@@ -27,6 +27,13 @@
 //! * `--metrics-out FILE` — write the run's telemetry snapshot (spans,
 //!   counters, per-shard cache stats, per-tier latency histograms) as
 //!   versioned JSON (`hasco-telemetry-v1`) at `FILE`;
+//! * `--connect ADDR` — run campaigns against the `hasco-serve`
+//!   front-end at `ADDR` instead of an in-process engine (results are
+//!   bit-identical; the warm state lives server-side);
+//! * `--serve ADDR` — don't run the experiment: serve a network engine
+//!   built from this binary's persistence flags at `ADDR` until a client
+//!   sends shutdown (`--workers-remote N` holds jobs until `N` remote
+//!   workers registered);
 //! * `--help` — usage.
 //!
 //! `HASCO_THREADS` is honored when `--threads` is absent, so
@@ -88,6 +95,12 @@ fn usage(bin: &str, artifact: &str) -> String {
          \x20                     (campaign binaries: fig10, table3)\n\
          \x20   --metrics-out FILE  write the telemetry snapshot (spans, counters, cache\n\
          \x20                     shards, per-tier latency histograms) as JSON at FILE\n\
+         \x20   --connect ADDR    run campaigns against the hasco-serve front-end at ADDR\n\
+         \x20                     (bit-identical results; warm state lives server-side)\n\
+         \x20   --serve ADDR      serve a network engine at ADDR instead of running the\n\
+         \x20                     experiment (exits when a client sends shutdown)\n\
+         \x20   --workers-remote N  with --serve: hold jobs until N remote workers have\n\
+         \x20                     registered (throughput gate only — never changes results)\n\
          \x20   --help            this message"
     )
 }
@@ -107,6 +120,8 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
     let mut refine_top_k = 0usize;
     let mut adaptive = false;
     let mut tech_sweep = false;
+    let mut serve: Option<String> = None;
+    let mut workers_remote = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -151,6 +166,18 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
                 Some(path) => common::set_metrics_out(path.into()),
                 None => bail(bin, artifact, "--metrics-out expects a file path"),
             },
+            "--connect" => match it.next() {
+                Some(addr) => common::set_connect(addr.clone()),
+                None => bail(bin, artifact, "--connect expects HOST:PORT"),
+            },
+            "--serve" => match it.next() {
+                Some(addr) => serve = Some(addr.clone()),
+                None => bail(bin, artifact, "--serve expects HOST:PORT"),
+            },
+            "--workers-remote" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => workers_remote = n,
+                None => bail(bin, artifact, "--workers-remote expects a number"),
+            },
             "--help" | "-h" => {
                 println!("{}", usage(bin, artifact));
                 std::process::exit(0);
@@ -187,6 +214,37 @@ pub fn parse(bin: &str, artifact: &str) -> BenchCli {
     common::set_refine_top_k(refine_top_k);
     common::set_adaptive(adaptive);
     common::set_tech_sweep(tech_sweep);
+    if workers_remote > 0 && serve.is_none() {
+        bail(
+            bin,
+            artifact,
+            "--workers-remote only makes sense with --serve",
+        );
+    }
+    if let Some(addr) = serve {
+        if common::connect_addr().is_some() {
+            bail(
+                bin,
+                artifact,
+                "--serve and --connect are mutually exclusive",
+            );
+        }
+        // Serve mode: this process becomes the network front-end for its
+        // persistence flags and never runs the experiment itself.
+        let opts = hasco_net::ServerOptions {
+            min_workers: workers_remote,
+            ..hasco_net::ServerOptions::default()
+        };
+        match hasco_net::Server::bind(&addr, common::engine_config(), opts) {
+            Ok(server) => {
+                println!("hasco-serve: listening on {}", server.addr());
+                server.wait_for_shutdown();
+                println!("hasco-serve: drained, exiting");
+                std::process::exit(0);
+            }
+            Err(e) => bail(bin, artifact, &format!("--serve {addr}: bind failed: {e}")),
+        }
+    }
     BenchCli {
         scale,
         threads,

@@ -49,6 +49,10 @@ static SURROGATE_STORE: OnceLock<Option<PathBuf>> = OnceLock::new();
 /// The process-wide telemetry registry every bench engine reports into.
 static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
 
+/// `--connect` address: run campaigns against a remote `hasco-serve`
+/// front-end instead of an in-process engine (None = in-process).
+static CONNECT: OnceLock<Option<String>> = OnceLock::new();
+
 /// Where `--metrics-out` writes the JSON snapshot (None = don't write).
 static METRICS_OUT: OnceLock<Option<PathBuf>> = OnceLock::new();
 
@@ -161,18 +165,19 @@ pub fn metrics_out() -> Option<PathBuf> {
     METRICS_OUT.get_or_init(|| None).clone()
 }
 
-/// The resident co-design engine for this experiment process, built from
-/// the CLI flags: two concurrent job slots, the `--cache` file as the
-/// shared store image, `--cache-max-age` as its GC bound, and
-/// `--surrogate-store` as the surrogate-registry image, so repeat
-/// invocations start with the previous run's surrogate generation.
-/// Campaign results never depend on slot count or job interleaving —
-/// only wall-clock time and cache statistics do.
-///
-/// With any persistence flag set, a warm-start report line is printed so
-/// the operator (and the CI smoke) can tell a restored run from a cold
-/// one.
-pub fn engine() -> Engine {
+/// Installs the `--connect` serving address (first caller wins).
+pub fn set_connect(addr: String) {
+    let _ = CONNECT.set(Some(addr));
+}
+
+/// The configured `--connect` address, if any.
+pub fn connect_addr() -> Option<String> {
+    CONNECT.get_or_init(|| None).clone()
+}
+
+/// The engine configuration the CLI flags describe — shared between the
+/// in-process engine, `--serve` mode, and nothing else.
+pub fn engine_config() -> EngineConfig {
     let mut config = EngineConfig::default().with_job_slots(2);
     if let Some(path) = cache_path() {
         config = config.with_cache_path(path);
@@ -183,8 +188,102 @@ pub fn engine() -> Engine {
     if let Some(path) = surrogate_store() {
         config = config.with_surrogate_store(path);
     }
-    config = config.with_metrics(telemetry().clone());
-    let engine = Engine::new(config);
+    config.with_metrics(telemetry().clone())
+}
+
+/// The campaign surface the experiment harnesses actually use, local or
+/// served. With `--connect` the work (and the warm state) lives in the
+/// `hasco-serve` process; results are bit-identical either way — that is
+/// the serving determinism contract, pinned by the loopback axis of
+/// `tests/runtime_determinism.rs` and the CI smoke.
+pub enum EngineHandle {
+    /// An in-process engine (the default).
+    Local(Engine),
+    /// A client of a remote `hasco-serve` front-end.
+    Remote(hasco_net::Client),
+}
+
+impl EngineHandle {
+    /// [`Engine::campaign`], local or served.
+    ///
+    /// # Errors
+    /// The first failing scenario's error (plus transport errors when
+    /// serving).
+    pub fn campaign(
+        &self,
+        requests: Vec<hasco::CoDesignRequest>,
+    ) -> Result<Vec<hasco::CampaignOutcome>, hasco::HascoError> {
+        match self {
+            EngineHandle::Local(engine) => engine.campaign(requests),
+            EngineHandle::Remote(client) => client.campaign(requests),
+        }
+    }
+
+    /// [`Engine::campaign_events`], local or served. The served stream
+    /// carries the identical bits.
+    ///
+    /// # Errors
+    /// The first failing scenario's error (plus transport errors when
+    /// serving).
+    pub fn campaign_events(
+        &self,
+        requests: Vec<hasco::CoDesignRequest>,
+    ) -> Result<(Vec<hasco::CampaignOutcome>, hasco::CampaignEvents), hasco::HascoError> {
+        match self {
+            EngineHandle::Local(engine) => engine.campaign_events(requests),
+            EngineHandle::Remote(client) => client.campaign_events(requests),
+        }
+    }
+
+    /// Persists warm state (locally or server-side); returns memo
+    /// entries written. Failures cost future warmth, never correctness.
+    pub fn persist(&self) -> Result<u64, String> {
+        match self {
+            EngineHandle::Local(engine) => engine.persist().map_err(|e| e.to_string()),
+            EngineHandle::Remote(client) => client.persist().map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Flushes engine-level telemetry gauges into the local registry.
+    /// Served runs return `None`: their telemetry lives (correctly) in
+    /// the serving process, which is where the wall clocks ticked.
+    pub fn metrics(&self) -> Option<runtime::TelemetrySnapshot> {
+        match self {
+            EngineHandle::Local(engine) => engine.metrics(),
+            EngineHandle::Remote(_) => None,
+        }
+    }
+}
+
+/// The resident co-design engine for this experiment process, built from
+/// the CLI flags: two concurrent job slots, the `--cache` file as the
+/// shared store image, `--cache-max-age` as its GC bound, and
+/// `--surrogate-store` as the surrogate-registry image, so repeat
+/// invocations start with the previous run's surrogate generation.
+/// Campaign results never depend on slot count or job interleaving —
+/// only wall-clock time and cache statistics do.
+///
+/// With `--connect ADDR`, no local engine is built at all: the handle
+/// fronts the `hasco-serve` process at `ADDR` (whose own flags configured
+/// persistence), and this process never pays for evaluation.
+///
+/// With any persistence flag set, a warm-start report line is printed so
+/// the operator (and the CI smoke) can tell a restored run from a cold
+/// one.
+pub fn engine() -> EngineHandle {
+    if let Some(addr) = connect_addr() {
+        match hasco_net::Client::connect(&addr) {
+            Ok(client) => {
+                println!("[campaigns served by {addr}]");
+                return EngineHandle::Remote(client);
+            }
+            Err(e) => {
+                eprintln!("cannot reach hasco-serve at {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let engine = Engine::new(engine_config());
     if cache_path().is_some() || surrogate_store().is_some() {
         println!(
             "[engine warm start: {} cache entries, {} surrogate backend(s), \
@@ -194,7 +293,7 @@ pub fn engine() -> Engine {
             engine.restored_surrogate_generation(),
         );
     }
-    engine
+    EngineHandle::Local(engine)
 }
 
 /// The one code path mapping CLI flags onto co-design options: every

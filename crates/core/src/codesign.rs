@@ -360,6 +360,20 @@ struct RefineTier {
     /// Memo-key bases for this tier (distinct from the screen tier's via
     /// the backend fingerprint).
     bases: Vec<(Fingerprinter, Fingerprinter)>,
+    /// Remote dispatch for this tier's fresh evaluations, when installed
+    /// and the tier's backend is remote-eligible.
+    remote: Option<RemoteTierHook>,
+}
+
+/// One tier's remote-dispatch hook: the evaluator that ships batches out
+/// of process, plus the `(backend, tech)` recipe workers rebuild the
+/// tier's cost backend from. Results are bit-identical to the in-process
+/// path because per-pair evaluations are pure (see [`crate::remote`]).
+#[derive(Clone)]
+pub struct RemoteTierHook {
+    evaluator: crate::remote::SharedPairEvaluator,
+    kind: BackendKind,
+    tech: TechParams,
 }
 
 /// The hardware design space wrapped as a [`dse::problem::Problem`].
@@ -412,6 +426,9 @@ pub struct HwProblem<'a> {
     screen_fp: runtime::Fingerprint,
     /// The optional high-fidelity stage.
     refine: Option<RefineTier>,
+    /// Remote dispatch for the screen tier's fresh evaluations, when
+    /// installed and the screen backend is remote-eligible.
+    remote_screen: Option<RemoteTierHook>,
     /// Total (design point, workload) evaluations requested through the
     /// screen tier, memoized or not.
     sw_requests: usize,
@@ -457,6 +474,7 @@ impl<'a> HwProblem<'a> {
             pair_bases,
             screen_fp,
             refine: None,
+            remote_screen: None,
             sw_requests: 0,
             refine_requests: 0,
             staged_batches: 0,
@@ -531,7 +549,37 @@ impl<'a> HwProblem<'a> {
             top_k,
             controller: None,
             bases,
+            remote: None,
         });
+        self
+    }
+
+    /// Installs remote batch dispatch: fresh (non-memoized) evaluations
+    /// of a tier whose `(BackendKind, TechParams)` recipe is given flow
+    /// through `evaluator` instead of the local worker pool. Call after
+    /// [`HwProblem::with_backend`] / [`HwProblem::with_refinement`] so
+    /// the hooks attach to the installed tiers. Memo probing, in-batch
+    /// deduplication, and submission-order reassembly are unchanged, and
+    /// per-pair evaluations are pure, so results are bit-identical to
+    /// local execution at any worker count.
+    pub fn with_remote_evaluator(
+        mut self,
+        evaluator: crate::remote::SharedPairEvaluator,
+        screen: Option<(BackendKind, TechParams)>,
+        refine: Option<(BackendKind, TechParams)>,
+    ) -> Self {
+        self.remote_screen = screen.map(|(kind, tech)| RemoteTierHook {
+            evaluator: Arc::clone(&evaluator),
+            kind,
+            tech,
+        });
+        if let (Some(tier), Some((kind, tech))) = (&mut self.refine, refine) {
+            tier.remote = Some(RemoteTierHook {
+                evaluator,
+                kind,
+                tech,
+            });
+        }
         self
     }
 
@@ -794,6 +842,8 @@ impl<'a> HwProblem<'a> {
         sw_opts: &ExplorerOptions,
         configs: &[&AcceleratorConfig],
         tier: &TierRecorder,
+        remote: Option<&RemoteTierHook>,
+        seed: u64,
     ) -> Vec<Vec<Option<Metrics>>> {
         let mut results: Vec<Vec<Option<Option<Metrics>>>> = configs
             .iter()
@@ -824,13 +874,35 @@ impl<'a> HwProblem<'a> {
 
         // Only real (non-memoized) evaluations are timed, so the tier's
         // latency histogram measures the backend, not the cache.
-        let outcomes = workers.map(&jobs, |_, &(ci, wi, _)| {
-            tier.time(|| {
-                explorer
-                    .best_metrics(&workloads[wi], configs[ci], sw_opts)
-                    .ok()
-            })
-        });
+        //
+        // With a remote hook installed, the deduplicated fresh jobs ship
+        // through the remote evaluator instead of the local pool. The
+        // evaluator contract (order-preserving, pure per item) makes the
+        // two paths bit-identical: everything around the dispatch — memo
+        // probes, duplicate resolution, reassembly — is shared code.
+        let outcomes = match remote {
+            Some(hook) if !jobs.is_empty() => {
+                let items: Vec<crate::remote::RemoteEvalRequest> = jobs
+                    .iter()
+                    .map(|&(ci, wi, _)| crate::remote::RemoteEvalRequest {
+                        backend: hook.kind,
+                        tech: hook.tech.clone(),
+                        seed,
+                        sw_opts: sw_opts.clone(),
+                        workload: workloads[wi].clone(),
+                        config: configs[ci].clone(),
+                    })
+                    .collect();
+                hook.evaluator.evaluate_batch(&items)
+            }
+            _ => workers.map(&jobs, |_, &(ci, wi, _)| {
+                tier.time(|| {
+                    explorer
+                        .best_metrics(&workloads[wi], configs[ci], sw_opts)
+                        .ok()
+                })
+            }),
+        };
 
         let mut fresh_outcomes: BTreeMap<(u64, u64), Option<Metrics>> = BTreeMap::new();
         for (&(ci, wi, key), outcome) in jobs.iter().zip(outcomes) {
@@ -906,6 +978,8 @@ impl Problem for HwProblem<'_> {
             &self.sw_opts,
             &configs,
             &self.telemetry.tier(self.explorer.backend().name()),
+            self.remote_screen.as_ref(),
+            self.seed,
         );
         drop(screen_span);
         let mut fresh_metrics: Vec<Option<Metrics>> = screened
@@ -965,6 +1039,8 @@ impl Problem for HwProblem<'_> {
                     &self.sw_opts,
                     &sub,
                     &self.telemetry.tier(tier.explorer.backend().name()),
+                    tier.remote.as_ref(),
+                    self.seed,
                 );
                 drop(refine_span);
                 for (&fi, per) in survivors.iter().zip(refined) {
@@ -1072,6 +1148,11 @@ pub(crate) struct ExecCtx {
     /// was configured with metrics). Observation-only: nothing recorded
     /// through it feeds back into results, stats, or events.
     pub telemetry: Telemetry,
+    /// Engine-provided remote batch evaluator. Remote-eligible tiers
+    /// (see [`crate::remote::remote_eligible`]) dispatch their fresh
+    /// evaluations through it instead of the local worker pool; results
+    /// stay bit-identical either way.
+    pub remote: Option<crate::remote::SharedPairEvaluator>,
 }
 
 /// What one executed job hands back to the engine.
@@ -1184,6 +1265,19 @@ fn execute_inner(
     } else {
         problem.with_refinement(refine_backend, opts.refine_top_k)
     };
+    // Remote dispatch, tier by tier: only backends reconstructible from
+    // (kind, tech) alone leave the process. A surrogate screen keeps its
+    // training local; the analytic tier is cheaper than a round trip.
+    if let Some(remote) = &ctx.remote {
+        let screen_hook =
+            crate::remote::remote_eligible(opts.backend).then(|| (opts.backend, opts.tech.clone()));
+        let refine_hook = (opts.refine_top_k > 0
+            && crate::remote::remote_eligible(opts.refine_backend))
+        .then(|| (opts.refine_backend, opts.tech.clone()));
+        if screen_hook.is_some() || refine_hook.is_some() {
+            problem = problem.with_remote_evaluator(Arc::clone(remote), screen_hook, refine_hook);
+        }
+    }
     problem = problem.with_telemetry(ctx.telemetry.clone());
     problem.seed_memo(&ctx.warm);
     let warm_cache_entries = ctx.warm.len() as u64;

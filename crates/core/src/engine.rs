@@ -62,7 +62,7 @@ use crate::solution::Solution;
 use crate::HascoError;
 
 /// Engine construction knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Concurrent job slots (queued jobs wait FIFO for a free one).
     pub job_slots: usize,
@@ -87,6 +87,25 @@ pub struct EngineConfig {
     /// default; always out-of-band — enabling it never changes a result
     /// bit.
     pub metrics: Telemetry,
+    /// Remote batch evaluator for remote-eligible tiers
+    /// ([`EngineConfig::with_remote_evaluator`]). `None` (the default)
+    /// evaluates everything in-process. Dispatch routing only — results
+    /// are bit-identical with or without it, at any worker count.
+    pub remote: Option<crate::remote::SharedPairEvaluator>,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("job_slots", &self.job_slots)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_path", &self.cache_path)
+            .field("cache_max_age", &self.cache_max_age)
+            .field("surrogate_store", &self.surrogate_store)
+            .field("metrics", &self.metrics)
+            .field("remote", &self.remote.as_ref().map(|_| "installed"))
+            .finish()
+    }
 }
 
 impl Default for EngineConfig {
@@ -98,6 +117,7 @@ impl Default for EngineConfig {
             cache_max_age: None,
             surrogate_store: None,
             metrics: Telemetry::disabled(),
+            remote: None,
         }
     }
 }
@@ -114,6 +134,7 @@ impl EngineConfig {
             cache_max_age: None,
             surrogate_store: None,
             metrics: Telemetry::disabled(),
+            remote: None,
         }
     }
 
@@ -161,6 +182,19 @@ impl EngineConfig {
         self.metrics = metrics;
         self
     }
+
+    /// Routes remote-eligible evaluation batches (trace-sim and
+    /// calibrated tiers — see [`crate::remote::remote_eligible`])
+    /// through the given [`crate::remote::PairEvaluator`] instead of the
+    /// in-process worker pool. The production evaluator is the network
+    /// crate's worker-sharding `RemoteEvaluator`; because per-pair
+    /// evaluations are pure and batches reassemble in submission order,
+    /// installing one changes where the work runs, never what it
+    /// computes.
+    pub fn with_remote_evaluator(mut self, evaluator: crate::remote::SharedPairEvaluator) -> Self {
+        self.remote = Some(evaluator);
+        self
+    }
 }
 
 /// One co-design request: the input description plus the run options,
@@ -200,8 +234,9 @@ impl CoDesignRequest {
     /// Stable 128-bit identity of everything that can change the
     /// produced [`Solution`] or its statistics — the campaign dedup key.
     /// The label and the (engine-ignored) options `cache_path` are
-    /// excluded.
-    fn fingerprint(&self) -> (u64, u64) {
+    /// excluded. Public so transport layers can assert that a request
+    /// survived serialization bit-for-bit.
+    pub fn fingerprint(&self) -> (u64, u64) {
         let mut lo = Fingerprinter::new();
         let mut hi = Fingerprinter::new();
         hi.write_u64(0x9e3779b97f4a7c15);
@@ -295,6 +330,9 @@ struct EngineShared {
     /// The engine-wide telemetry handle (no-op unless the configuration
     /// attached an enabled one).
     telemetry: Telemetry,
+    /// Remote batch evaluator handed to every job's [`ExecCtx`] (see
+    /// [`EngineConfig::with_remote_evaluator`]).
+    remote: Option<crate::remote::SharedPairEvaluator>,
 }
 
 impl EngineShared {
@@ -428,7 +466,11 @@ fn surrogate_key_for_tech(tech: &TechParams) -> (u64, u64) {
 }
 
 /// A handle to one submitted job. Dropping the handle does not cancel
-/// the job, but an unobserved job never publishes warm state.
+/// the job, but an unobserved job never publishes warm state. Handles
+/// are cheaply cloneable and clones share the job: the live event stream
+/// is still taken once across all clones, and the first `wait` anywhere
+/// publishes.
+#[derive(Clone)]
 pub struct JobHandle {
     state: Arc<JobState>,
     shared: Arc<EngineShared>,
@@ -586,6 +628,7 @@ impl Engine {
                 jobs_executed: AtomicU64::new(0),
                 next_job_id: AtomicU64::new(1),
                 telemetry: config.metrics.clone(),
+                remote: config.remote,
             }),
             scheduler: JobScheduler::new(config.job_slots).with_telemetry(config.metrics),
         }
@@ -717,6 +760,7 @@ impl Engine {
             warm,
             screen_backend,
             telemetry: self.shared.telemetry.clone(),
+            remote: self.shared.remote.clone(),
         };
         self.scheduler.spawn(Box::new(move || {
             // A job cancelled while still queued is discarded without

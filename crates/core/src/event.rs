@@ -152,13 +152,16 @@ pub struct EventStream {
 }
 
 impl EventStream {
-    /// A live stream over the given channel.
-    pub(crate) fn live(rx: Receiver<RunEvent>) -> Self {
+    /// A live stream over the given channel. Public for transport layers
+    /// (the network client) that rebuild a job's stream on the consuming
+    /// side of a connection; in-process callers obtain streams from
+    /// [`JobHandle::events`](crate::engine::JobHandle::events).
+    pub fn live(rx: Receiver<RunEvent>) -> Self {
         EventStream { rx: Some(rx) }
     }
 
     /// A stream that yields nothing (the events were already taken).
-    pub(crate) fn empty() -> Self {
+    pub fn empty() -> Self {
         EventStream { rx: None }
     }
 }
@@ -224,8 +227,11 @@ pub struct CampaignEvents {
 }
 
 impl CampaignEvents {
-    /// A live stream over the given channel.
-    pub(crate) fn live(rx: Receiver<CampaignEvent>) -> Self {
+    /// A live stream over the given channel. Public for transport layers
+    /// (the network client) that rebuild a campaign's stream on the
+    /// consuming side of a connection; in-process callers obtain streams
+    /// from [`Engine::campaign_events`](crate::engine::Engine::campaign_events).
+    pub fn live(rx: Receiver<CampaignEvent>) -> Self {
         CampaignEvents { rx }
     }
 }

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod event;
 pub mod input;
 pub mod partition;
+pub mod remote;
 pub mod report;
 pub mod solution;
 pub mod tuning;
@@ -73,6 +74,10 @@ pub enum HascoError {
     Software(String),
     /// Hardware generation failed.
     Hardware(String),
+    /// A network transport failure between a remote client/worker and the
+    /// serving engine (connection loss, protocol violation). Never raised
+    /// by in-process runs.
+    Transport(String),
 }
 
 impl std::fmt::Display for HascoError {
@@ -86,6 +91,7 @@ impl std::fmt::Display for HascoError {
             }
             HascoError::Software(msg) => write!(f, "software exploration failed: {msg}"),
             HascoError::Hardware(msg) => write!(f, "hardware generation failed: {msg}"),
+            HascoError::Transport(msg) => write!(f, "transport failed: {msg}"),
         }
     }
 }

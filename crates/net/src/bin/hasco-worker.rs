@@ -1,0 +1,69 @@
+//! `hasco-worker` — a remote evaluation worker process.
+//!
+//! Connects to a `hasco-serve` front-end, registers, and evaluates
+//! shards of expensive screening/refinement batches until released.
+//!
+//! ```text
+//! hasco-worker --connect 127.0.0.1:4477
+//! ```
+
+use std::process::ExitCode;
+
+use hasco_net::worker::{self, WorkerOptions};
+
+const USAGE: &str = "\
+hasco-worker: HASCO remote evaluation worker
+
+USAGE:
+    hasco-worker --connect ADDR [OPTIONS]
+
+OPTIONS:
+    --connect ADDR         Front-end address (required)
+    --die-after-batches N  Test hook: drop the connection without
+                           replying to batch N+1 (simulated crash)
+    --help                 Show this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hasco-worker: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut opts = WorkerOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(v) => addr = Some(v),
+                None => return fail("--connect needs an address"),
+            },
+            "--die-after-batches" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => opts.die_after_batches = Some(n),
+                _ => return fail("--die-after-batches needs an integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("--connect is required");
+    };
+
+    match worker::run(&addr, &opts) {
+        Ok(served) => {
+            println!("hasco-worker: released after {served} batches");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hasco-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Network serving for the HASCO engine: a front-end process that owns
+//! the warm state, serving clients that submit work to it, and worker
+//! processes that absorb the expensive evaluation batches.
+//!
+//! Three layers, std-only (no async runtime, no serialization crates):
+//!
+//! 1. **[`wire`] / [`proto`]** — a hand-rolled binary codec for every
+//!    type that crosses a process boundary, carried in the same
+//!    checksummed `magic ++ length ++ payload ++ fingerprint` frames the
+//!    on-disk images use ([`runtime::persist`]), pointed at a socket.
+//! 2. **[`server`] / [`client`]** — `hasco-serve` wraps a long-lived
+//!    [`hasco::Engine`]; [`client::Client`] gives other processes the
+//!    engine's submit / events / campaign / persist surface over TCP.
+//! 3. **[`dispatch`] / [`worker`]** — `hasco-worker` processes register
+//!    with the front-end and evaluate shards of screening/refinement
+//!    batches through the [`runtime::BatchEvaluator`] seam
+//!    ([`dispatch::RemoteBatchEvaluator`]).
+//!
+//! **The determinism contract survives the network.** A served run is
+//! bit-identical to an in-process run of the same request — solutions,
+//! `RunStats`, and event streams — at any worker count, including
+//! workers dying mid-batch. The argument is short: remote work is
+//! restricted to items whose result is a pure function of the shipped
+//! request (fresh explorer, fresh RNG, backend rebuilt from its
+//! parameters — see [`hasco::remote`]), every item has a fixed
+//! reassembly slot, and anything the fleet fails to answer is evaluated
+//! in-process by the very same function. Sharding and worker death only
+//! decide *where* each pure function runs.
+
+pub mod client;
+pub mod dispatch;
+pub mod proto;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use client::{Client, RemoteJob};
+pub use dispatch::{RemoteBatchEvaluator, WorkerRegistry};
+pub use server::{Server, ServerOptions};
+pub use worker::{WorkerHandle, WorkerOptions};

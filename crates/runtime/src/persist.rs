@@ -1,22 +1,30 @@
-//! Shared persistence machinery for warm-state images.
+//! Shared persistence machinery for warm-state images and wire frames.
 //!
 //! Two kinds of warm state survive engine restarts: the memo cache
 //! ([`crate::MemoCache`]'s own format, which predates this module) and the
-//! surrogate-registry store. Both want the same plumbing:
+//! surrogate-registry store. The network layer (`crates/net`) speaks the
+//! same framing over sockets. All of them want the same plumbing:
 //!
 //! * **atomic replacement** ([`write_atomic`]) — bytes land in a uniquely
 //!   named temp file in the target directory, then rename into place, so a
 //!   crash mid-save or a concurrent saver never leaves a torn image;
-//! * **checksummed framing** ([`frame`] / [`parse_frame`]) — an 8-byte
-//!   magic (carrying a format version), the payload, and a trailing
-//!   fingerprint of the payload, so any corruption is detected instead of
-//!   decoded;
+//! * **checksummed framing** ([`write_frame`] / [`read_frame`]) — an
+//!   8-byte magic (carrying a format version), a little-endian `u64`
+//!   payload length, the payload, and a trailing fingerprint of the
+//!   payload, so any corruption is detected instead of decoded. The
+//!   streaming forms work over any `io::Read` / `io::Write` (a socket, a
+//!   file, an in-memory buffer); [`frame`] / [`parse_frame`] are the
+//!   whole-buffer wrappers;
 //! * **tolerant loading** ([`load_frame`]) — a missing file or a corrupt
 //!   image is the expected cold-start case (`Ok(None)`), while real I/O
 //!   failures (permissions, a directory at the path) stay errors.
 
+use std::io::{self, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Frame overhead in bytes: magic (8) + payload length (8) + checksum (8).
+const FRAME_OVERHEAD: usize = 24;
 
 /// Writes `image` to `path` atomically: the bytes land in a uniquely
 /// named temp file in the same directory, then rename into place. A crash
@@ -50,29 +58,109 @@ pub fn write_atomic(path: &Path, image: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Wraps `payload` in the checksummed frame: `magic ++ payload ++
-/// fingerprint(payload)`.
-pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
-    let mut image = Vec::with_capacity(payload.len() + 16);
-    image.extend_from_slice(magic);
-    image.extend_from_slice(payload);
+fn checksum(payload: &[u8]) -> u64 {
     let mut fp = crate::Fingerprinter::new();
     fp.write_bytes(payload);
-    image.extend_from_slice(&fp.finish().0.to_le_bytes());
+    fp.finish().0
+}
+
+/// Writes one checksummed frame — `magic ++ len ++ payload ++
+/// fingerprint(payload)` — to any `io::Write` (a socket, a file, a
+/// `Vec<u8>`). The length prefix makes frames self-delimiting, so a
+/// stream can carry many of them back to back.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(w: &mut W, magic: &[u8; 8], payload: &[u8]) -> io::Result<()> {
+    w.write_all(magic)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&checksum(payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads one checksummed frame from any `io::Read`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first
+/// magic byte) — the "no more frames" case. A frame that *starts* but
+/// doesn't check out is an error: `UnexpectedEof` for truncation
+/// mid-frame, `InvalidData` for a wrong magic, a length above
+/// `max_payload` (the allocation guard — a corrupt length field must not
+/// drive an unbounded allocation), or a checksum mismatch.
+///
+/// # Errors
+/// Propagates I/O errors from the reader, plus the validation errors
+/// above.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    magic: &[u8; 8],
+    max_payload: u64,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut got = [0u8; 8];
+    // Distinguish "stream ended cleanly" (0 bytes) from "died mid-magic".
+    let mut filled = 0;
+    while filled < got.len() {
+        match r.read(&mut got[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "frame truncated inside magic",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    if &got != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame magic mismatch",
+        ));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > max_payload {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload length {len} exceeds limit {max_payload}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut stored = [0u8; 8];
+    r.read_exact(&mut stored)?;
+    if checksum(&payload) != u64::from_le_bytes(stored) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Wraps `payload` in one checksummed frame, in memory — the
+/// whole-buffer form of [`write_frame`].
+pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut image = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    write_frame(&mut image, magic, payload).expect("Vec<u8> writes are infallible");
     image
 }
 
 /// Validates a framed image and returns its payload; `None` on a wrong
-/// magic, truncation, or checksum mismatch.
+/// magic, truncation, trailing garbage, or checksum mismatch — the
+/// whole-buffer form of [`read_frame`].
 pub fn parse_frame<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Option<&'a [u8]> {
-    if bytes.len() < magic.len() + 8 || &bytes[..magic.len()] != magic {
+    if bytes.len() < FRAME_OVERHEAD || &bytes[..8] != magic {
         return None;
     }
-    let payload = &bytes[magic.len()..bytes.len() - 8];
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().ok()?);
-    let mut fp = crate::Fingerprinter::new();
-    fp.write_bytes(payload);
-    (fp.finish().0 == stored).then_some(payload)
+    let len = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+    if bytes.len() != FRAME_OVERHEAD + len {
+        return None;
+    }
+    let payload = &bytes[16..16 + len];
+    let stored = u64::from_le_bytes(bytes[16 + len..].try_into().ok()?);
+    (checksum(payload) == stored).then_some(payload)
 }
 
 /// Reads and validates a framed image. A missing file or any corruption
@@ -166,5 +254,72 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["image.bin".to_string()], "temp files leaked");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_frames_stack_on_one_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MAGIC, b"first").unwrap();
+        write_frame(&mut buf, MAGIC, b"").unwrap();
+        write_frame(&mut buf, MAGIC, b"third frame").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, MAGIC, 1024).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r, MAGIC, 1024).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, MAGIC, 1024).unwrap().unwrap(),
+            b"third frame"
+        );
+        // Clean end of stream: no more frames, not an error.
+        assert!(read_frame(&mut r, MAGIC, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_truncation_and_short_reads_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MAGIC, b"will be cut short").unwrap();
+        // Truncation at every interior boundary: inside the magic, inside
+        // the length, inside the payload, inside the checksum. All died
+        // mid-frame, so all must surface as UnexpectedEof — never a
+        // silent `None`.
+        for cut in [3, 12, 20, buf.len() - 2] {
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r, MAGIC, 1024).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn streaming_corruption_is_invalid_data() {
+        let mut good = Vec::new();
+        write_frame(&mut good, MAGIC, b"checksummed payload").unwrap();
+
+        // Wrong magic.
+        let err = read_frame(&mut &good[..], b"WRONGMAG", 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Flipped payload byte -> checksum mismatch.
+        let mut flipped = good.clone();
+        flipped[18] ^= 0xff;
+        let err = read_frame(&mut &flipped[..], MAGIC, 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A corrupt (huge) length field must hit the allocation guard,
+        // not attempt a multi-exabyte Vec.
+        let mut huge = good.clone();
+        huge[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_frame(&mut &huge[..], MAGIC, 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Payload over the caller's limit is rejected before reading it.
+        let err = read_frame(&mut &good[..], MAGIC, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parse_frame_rejects_trailing_garbage() {
+        let mut image = frame(MAGIC, b"exact");
+        assert_eq!(parse_frame(MAGIC, &image).unwrap(), b"exact");
+        image.push(0);
+        assert_eq!(parse_frame(MAGIC, &image), None);
     }
 }

@@ -156,4 +156,64 @@ fn main() {
         engine.jobs_executed(),
         engine.warm_entries()
     );
+
+    // --- Network serving ------------------------------------------------
+    // The same engine shape behind a TCP front-end: `hasco-serve` wraps a
+    // resident engine, worker processes register to absorb the expensive
+    // trace-sim batches, and a thin client submits jobs from another
+    // process. Here everything runs over loopback in one process, but the
+    // wire is the real one — and the solution is bit-identical to running
+    // the request in-process, because sharding only moves pure functions.
+    println!("\n== network serving ==");
+    let staged = || {
+        CoDesignRequest::new(
+            edge_input(),
+            CoDesignOptions::quick(7).with_refinement(accel_model::BackendKind::TraceSim, 2),
+        )
+    };
+
+    // Reference leg: a fresh local engine, no network anywhere.
+    let local = Engine::new(EngineConfig::default())
+        .submit(staged())
+        .expect("valid request")
+        .wait()
+        .expect("local leg succeeds");
+
+    // Served leg: front-end + one remote worker + client, all loopback.
+    let server = hasco_net::Server::bind(
+        "127.0.0.1:0",
+        EngineConfig::default(),
+        hasco_net::ServerOptions {
+            min_workers: 1,
+            ..hasco_net::ServerOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let worker = hasco_net::WorkerHandle::spawn(&addr);
+    let client = hasco_net::Client::connect(&addr).expect("reach server");
+
+    let job = client.submit(staged()).expect("server accepts");
+    let mut served_batches = 0;
+    for event in job.events() {
+        if matches!(event, RunEvent::BatchEvaluated { .. }) {
+            served_batches += 1;
+        }
+    }
+    let served = job.wait().expect("served leg succeeds");
+    server.shutdown();
+    let worker_batches = worker.join().expect("worker exits cleanly");
+
+    assert_eq!(served.accelerator, local.accelerator);
+    assert_eq!(
+        served.total.latency_ms.to_bits(),
+        local.total.latency_ms.to_bits(),
+        "remote dispatch must be bit-identical to in-process evaluation"
+    );
+    assert!(worker_batches > 0, "the worker should have served batches");
+    println!(
+        "served: {} ({} DSE batches streamed, {} evaluation shards on the worker) \
+         — bit-identical to the in-process run",
+        served.accelerator, served_batches, worker_batches
+    );
 }

@@ -723,3 +723,181 @@ mod engine_concurrency {
         }
     }
 }
+
+mod network_serving {
+    //! The network extension of the invariant: *remote worker dispatch
+    //! never changes any job's results*. A campaign served over TCP with
+    //! expensive batches sharded across worker processes — any number of
+    //! them, including one dying mid-batch — is bit-identical to the
+    //! same requests run in-process: solutions, `RunStats`, and event
+    //! streams.
+
+    use super::mixed_input;
+    use hasco::codesign::CoDesignOptions;
+    use hasco::engine::{CoDesignRequest, Engine, EngineConfig};
+    use hasco::event::{CampaignEvent, RunEvent};
+    use hasco_net::{Client, Server, ServerOptions, WorkerHandle};
+
+    /// A staged run whose refine tier (TraceSim) is remote-eligible, so
+    /// served legs actually ship batches to workers.
+    fn staged_request(seed: u64) -> CoDesignRequest {
+        CoDesignRequest::new(
+            mixed_input(2),
+            CoDesignOptions::quick(seed).with_refinement(accel_model::BackendKind::TraceSim, 2),
+        )
+        .with_label("net-probe")
+    }
+
+    fn reference(seed: u64) -> (hasco::Solution, Vec<RunEvent>) {
+        let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+        let handle = engine.submit(staged_request(seed)).unwrap();
+        let events: Vec<RunEvent> = handle.events().collect();
+        (handle.wait().unwrap(), events)
+    }
+
+    /// Runs the same request through a fresh server with the given
+    /// worker fleet; returns (solution, events, batches the fleet
+    /// actually served).
+    fn served(seed: u64, workers: usize, flaky: bool) -> (hasco::Solution, Vec<RunEvent>, u64) {
+        let opts = ServerOptions {
+            min_workers: workers + usize::from(flaky),
+            ..ServerOptions::default()
+        };
+        let server = Server::bind(
+            "127.0.0.1:0",
+            EngineConfig::default().with_job_slots(1),
+            opts,
+        )
+        .expect("bind loopback");
+        let addr = server.addr().to_string();
+        let mut fleet = Vec::new();
+        if flaky {
+            // Reads its first BatchRequest, then drops the connection
+            // without replying: a deterministic mid-batch death.
+            fleet.push(WorkerHandle::spawn_flaky(&addr, 0));
+        }
+        for _ in 0..workers {
+            fleet.push(WorkerHandle::spawn(&addr));
+        }
+
+        let client = Client::connect(&addr).expect("hello handshake");
+        let job = client.submit(staged_request(seed)).expect("remote submit");
+        let events: Vec<RunEvent> = job.events().collect();
+        let solution = job.wait().expect("remote job solves");
+        server.shutdown();
+        let batches = fleet
+            .into_iter()
+            .map(|w| w.join().unwrap_or(0))
+            .sum::<u64>();
+        (solution, events, batches)
+    }
+
+    fn assert_identical(
+        reference: &(hasco::Solution, Vec<RunEvent>),
+        solution: &hasco::Solution,
+        events: &[RunEvent],
+        leg: &str,
+    ) {
+        let (expected, expected_events) = reference;
+        assert_eq!(expected.accelerator, solution.accelerator, "{leg}");
+        assert_eq!(expected.hw_history, solution.hw_history, "{leg}");
+        assert_eq!(
+            expected.total.latency_cycles.to_bits(),
+            solution.total.latency_cycles.to_bits(),
+            "{leg}"
+        );
+        for (a, b) in expected.per_workload.iter().zip(&solution.per_workload) {
+            assert_eq!(a.program, b.program, "{leg}");
+            assert_eq!(
+                a.metrics.latency_cycles.to_bits(),
+                b.metrics.latency_cycles.to_bits(),
+                "{leg}"
+            );
+        }
+        // Bit-identical statistics: same eval counts, same memo hit/miss
+        // pattern — dispatch routing is invisible to RunStats.
+        assert_eq!(&expected.stats, &solution.stats, "{leg}");
+        assert_eq!(expected_events, &events, "event stream diverged: {leg}");
+    }
+
+    #[test]
+    fn remote_dispatch_is_bit_identical_at_any_worker_count() {
+        let expected = reference(23);
+        assert!(expected.0.stats.refine_explorations > 0);
+
+        for workers in [0, 1, 3] {
+            let (solution, events, batches) = served(23, workers, false);
+            assert_identical(&expected, &solution, &events, &format!("{workers} workers"));
+            if workers > 0 {
+                assert!(
+                    batches > 0,
+                    "{workers}-worker leg never dispatched remotely"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_worker_dying_mid_batch_changes_nothing() {
+        let expected = reference(23);
+        // One healthy worker plus one that dies without replying to its
+        // first batch: the dead worker's shard re-dispatches to the
+        // survivor (or in-process), bit-identically.
+        let (solution, events, batches) = served(23, 1, true);
+        assert_identical(&expected, &solution, &events, "flaky leg");
+        assert!(batches > 0, "survivor served nothing");
+    }
+
+    #[test]
+    fn served_campaigns_match_in_process_campaigns_bit_for_bit() {
+        // A matrix with a deduplicated scenario, served vs in-process.
+        let matrix = || {
+            vec![
+                staged_request(23),
+                CoDesignRequest::new(
+                    mixed_input(1),
+                    CoDesignOptions::quick(7)
+                        .with_refinement(accel_model::BackendKind::TraceSim, 2),
+                )
+                .with_label("small"),
+                staged_request(23).with_label("dup-of-net-probe"),
+            ]
+        };
+
+        let engine = Engine::new(EngineConfig::default().with_job_slots(1));
+        let (expected, expected_events) = engine.campaign_events(matrix()).unwrap();
+        let expected_events: Vec<CampaignEvent> = expected_events.collect();
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            EngineConfig::default().with_job_slots(1),
+            ServerOptions {
+                min_workers: 2,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = server.addr().to_string();
+        let fleet = [WorkerHandle::spawn(&addr), WorkerHandle::spawn(&addr)];
+        let client = Client::connect(&addr).expect("hello handshake");
+        let (outcomes, events) = client.campaign_events(matrix()).expect("remote campaign");
+        let events: Vec<CampaignEvent> = events.collect();
+        server.shutdown();
+        let batches: u64 = fleet.into_iter().map(|w| w.join().unwrap_or(0)).sum();
+        assert!(batches > 0, "campaign never dispatched remotely");
+
+        assert_eq!(expected_events, events, "campaign stream diverged");
+        assert_eq!(expected.len(), outcomes.len());
+        for (a, b) in expected.iter().zip(&outcomes) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.shared_with, b.shared_with);
+            assert_eq!(a.solution.accelerator, b.solution.accelerator);
+            assert_eq!(a.solution.hw_history, b.solution.hw_history);
+            assert_eq!(a.solution.stats, b.solution.stats);
+            assert_eq!(
+                a.solution.total.latency_cycles.to_bits(),
+                b.solution.total.latency_cycles.to_bits()
+            );
+        }
+    }
+}

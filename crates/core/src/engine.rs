@@ -42,7 +42,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use std::collections::BTreeMap;
@@ -60,6 +60,16 @@ use crate::event::{CampaignEvent, CampaignEvents, EventSink, EventStream, RunEve
 use crate::input::InputDescription;
 use crate::solution::Solution;
 use crate::HascoError;
+
+/// Locks an engine mutex, recovering from poisoning instead of
+/// panicking. Every structure these mutexes guard — the surrogate
+/// registry map, a job's outcome/event slots, the save serializer — is
+/// written in single whole-value steps, so a peer that panicked cannot
+/// have left it torn; propagating its panic here would kill a second
+/// serving thread and silently drop the job it carries.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Engine construction knobs.
 #[derive(Clone)]
@@ -351,10 +361,7 @@ impl EngineShared {
             self.dirty.store(true, Ordering::Relaxed);
         }
         if let (Some(key), Some(surrogate)) = (surrogate_key, &outcome.surrogate) {
-            self.surrogates
-                .lock()
-                .expect("surrogate registry poisoned")
-                .insert(key, Arc::clone(surrogate));
+            lock_recover(&self.surrogates).insert(key, Arc::clone(surrogate));
             // detlint-allow(atomics): same contract as the memo dirty flag above — save scheduling only
             self.surrogate_dirty.store(true, Ordering::Relaxed);
         }
@@ -376,10 +383,7 @@ impl EngineShared {
         // interleave with another wait()'s save, or the later writer's
         // pre-publication registry snapshot could clobber the earlier
         // writer's published surrogate on disk.
-        let _saving = self
-            .surrogate_save
-            .lock()
-            .expect("surrogate saver poisoned");
+        let _saving = lock_recover(&self.surrogate_save);
         // Clear the dirty flag before snapshotting the registry: a
         // publication landing after the snapshot re-raises it, so a later
         // persist/drop knows this save missed it.
@@ -393,7 +397,7 @@ impl EngineShared {
             .map(|snap| (surrogate_key_for_tech(&snap.tech), snap))
             .collect();
         {
-            let registry = self.surrogates.lock().expect("surrogate registry poisoned");
+            let registry = lock_recover(&self.surrogates);
             for backend in registry.values() {
                 if let Some(surrogate) = backend.as_surrogate() {
                     let snap = surrogate.snapshot();
@@ -435,13 +439,13 @@ fn load_surrogate_snapshots(path: &std::path::Path) -> Option<Vec<SurrogateSnaps
     let payload = persist::load_frame(path, SURROGATE_STORE_MAGIC).ok()??;
     let mut rest = payload.as_slice();
     let count = u64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
-    rest = &rest[8..];
+    rest = rest.get(8..)?;
     let mut out = Vec::new();
     for _ in 0..count {
         let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
-        rest = &rest[4..];
+        rest = rest.get(4..)?;
         out.push(SurrogateSnapshot::decode(rest.get(..len)?)?);
-        rest = &rest[len..];
+        rest = rest.get(len..)?;
     }
     rest.is_empty().then_some(out)
 }
@@ -501,18 +505,14 @@ impl JobHandle {
 
     /// True once the job has a result (`wait` would not block).
     pub fn is_finished(&self) -> bool {
-        self.state
-            .outcome
-            .lock()
-            .expect("job state poisoned")
-            .is_some()
+        lock_recover(&self.state.outcome).is_some()
     }
 
     /// The job's [`RunEvent`] stream: a blocking iterator yielding events
     /// as the job emits them, ending after the terminal event. The live
     /// stream can be taken once; later calls return an empty stream.
     pub fn events(&self) -> EventStream {
-        match self.state.events.lock().expect("job state poisoned").take() {
+        match lock_recover(&self.state.events).take() {
             Some(rx) => EventStream::live(rx),
             None => EventStream::empty(),
         }
@@ -531,10 +531,15 @@ impl JobHandle {
     /// retract the result: a computed solution is returned as `Ok`, never
     /// converted into [`HascoError::Cancelled`].
     pub fn wait(&self) -> Result<Solution, HascoError> {
-        let mut guard = self.state.outcome.lock().expect("job state poisoned");
+        let mut guard = lock_recover(&self.state.outcome);
         while guard.is_none() {
-            guard = self.state.done.wait(guard).expect("job state poisoned");
+            guard = self
+                .state
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+        // detlint-allow(panic-safety): the loop above exits only once the slot is Some, and no other thread ever takes the outcome back out
         match guard.as_mut().expect("checked above") {
             Completion::Panicked(payload) => {
                 let payload = std::mem::replace(payload, Box::new("panic already re-raised"));
@@ -653,11 +658,7 @@ impl Engine {
     /// Trained surrogate backends currently in the registry (restored
     /// ones included).
     pub fn surrogate_backends(&self) -> usize {
-        self.shared
-            .surrogates
-            .lock()
-            .expect("surrogate registry poisoned")
-            .len()
+        lock_recover(&self.shared.surrogates).len()
     }
 
     /// Surrogate backends restored from the persisted store at engine
@@ -713,11 +714,7 @@ impl Engine {
         let (screen_backend, job_surrogate_key) =
             if request.options.backend == BackendKind::Surrogate {
                 let key = surrogate_key(&request.options);
-                let forked = self
-                    .shared
-                    .surrogates
-                    .lock()
-                    .expect("surrogate registry poisoned")
+                let forked = lock_recover(&self.shared.surrogates)
                     .get(&key)
                     .and_then(|prev| prev.as_surrogate())
                     .map(|prev| {
@@ -784,7 +781,7 @@ impl Engine {
                     Err(payload) => Completion::Panicked(payload),
                 }
             };
-            *job_state.outcome.lock().expect("job state poisoned") = Some(completion);
+            *lock_recover(&job_state.outcome) = Some(completion);
             job_state.done.notify_all();
         }));
 
@@ -904,6 +901,11 @@ impl Engine {
                 *label = format!("scenario-{slot}");
             }
         }
+        // Slot indices below come from `enumerate()` over `unique`, and
+        // `labels` was built with one entry per `unique` element — a
+        // missing label degrades to an empty string instead of panicking
+        // a serving thread.
+        let label_of = |slot: usize| labels.get(slot).cloned().unwrap_or_default();
         let wave_size = self.job_slots().max(1);
         let mut pending: Vec<(usize, CoDesignRequest)> = unique.into_iter().enumerate().collect();
         let mut completed = 0usize;
@@ -917,6 +919,7 @@ impl Engine {
                 handles.push((slot, self.submit_inner(request, sink.is_some())?));
             }
             for (slot, handle) in handles {
+                // detlint-allow(panic-safety): slot < unique.len() by construction (enumerate over unique) and solutions was sized to unique.len()
                 solutions[slot] = Some(handle.wait()?);
                 if sink.is_some() {
                     // The job is complete, so its stream is a finished
@@ -924,7 +927,7 @@ impl Engine {
                     // run.
                     for event in handle.events() {
                         emit(CampaignEvent::Job {
-                            label: labels[slot].clone(),
+                            label: label_of(slot),
                             event,
                         });
                     }
@@ -937,8 +940,8 @@ impl Engine {
                         }
                         completed += 1;
                         emit(CampaignEvent::ScenarioDone {
-                            label: own_label.clone().unwrap_or_else(|| labels[slot].clone()),
-                            shared_with: own_label.is_some().then(|| labels[slot].clone()),
+                            label: own_label.clone().unwrap_or_else(|| label_of(slot)),
+                            shared_with: own_label.is_some().then(|| label_of(slot)),
                             completed,
                             total: assignment.len(),
                         });
@@ -950,9 +953,10 @@ impl Engine {
         Ok(assignment
             .into_iter()
             .map(|(slot, own_label)| CampaignOutcome {
+                // detlint-allow(panic-safety): every assignment slot was drained through a wave above, which filled solutions[slot] before returning
                 solution: solutions[slot].clone().expect("every wave was awaited"),
-                shared_with: own_label.is_some().then(|| labels[slot].clone()),
-                label: own_label.unwrap_or_else(|| labels[slot].clone()),
+                shared_with: own_label.is_some().then(|| label_of(slot)),
+                label: own_label.unwrap_or_else(|| label_of(slot)),
             })
             .collect())
     }

@@ -19,6 +19,9 @@ pub struct AllowEntry {
     /// Workspace-relative path (suffix match, `/`-separated).
     pub path: String,
     pub reason: String,
+    /// 1-based `detlint.toml` line of the `[[allow]]` header — the span
+    /// an `unused-allowlist` diagnostic points at.
+    pub line: u32,
 }
 
 /// The effective lint configuration.
@@ -30,6 +33,10 @@ pub struct Config {
     /// covered when its workspace-relative path contains any of these
     /// substrings.
     pub ordered_modules: Vec<String>,
+    /// Serving-path modules for the `panic-safety` rule, same contains
+    /// matching: connection handlers, worker dispatch, persistence, and
+    /// the engine driver — code where a panic silently drops a job.
+    pub panic_modules: Vec<String>,
     /// Directories (relative to the root) the scan descends into.
     pub scan_roots: Vec<String>,
     /// Directory *names* skipped anywhere in the tree.
@@ -46,6 +53,16 @@ impl Default for Config {
             ordered_modules: ["fingerprint", "persist", "event", "report"]
                 .map(String::from)
                 .to_vec(),
+            // The serving stack end to end: every `crates/net` file, the
+            // frame codec, and the engine driver. detlint.toml extends
+            // the list as serving paths grow.
+            panic_modules: [
+                "crates/net/",
+                "crates/runtime/src/persist.rs",
+                "crates/core/src/engine.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
             scan_roots: ["crates", "src"].map(String::from).to_vec(),
             // The contract binds shipped library code; tests and benches
             // are the *dynamic* layer and measure wall-clock on purpose.
@@ -88,6 +105,7 @@ impl Config {
                     rule: String::new(),
                     path: String::new(),
                     reason: String::new(),
+                    line: lineno as u32,
                 });
                 section = "allow".into();
                 continue;
@@ -128,6 +146,10 @@ impl Config {
                 }
                 ("rules.iteration-order", "modules") => {
                     self.ordered_modules
+                        .extend(parse_string_array(&value, lineno)?);
+                }
+                ("rules.panic-safety", "modules") => {
+                    self.panic_modules
                         .extend(parse_string_array(&value, lineno)?);
                 }
                 ("scan", "include") => {
@@ -173,15 +195,29 @@ impl Config {
 
     /// File-scope suppressions applying to `rel_path` (slash-separated).
     pub fn allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.allow_index(rule, rel_path).is_some()
+    }
+
+    /// Index into [`Config::allows`] of the first entry suppressing
+    /// `rule` at `rel_path` — the workspace scan uses it to track which
+    /// entries are load-bearing (`unused-allowlist`).
+    pub fn allow_index(&self, rule: &str, rel_path: &str) -> Option<usize> {
         self.allows
             .iter()
-            .any(|a| a.rule == rule && path_matches(rel_path, &a.path))
+            .position(|a| a.rule == rule && path_matches(rel_path, &a.path))
     }
 
     /// Whether `rel_path` is an ordered-output module for
     /// `iteration-order`.
     pub fn is_ordered_module(&self, rel_path: &str) -> bool {
         self.ordered_modules
+            .iter()
+            .any(|m| rel_path.contains(m.as_str()))
+    }
+
+    /// Whether `rel_path` is a serving-path module for `panic-safety`.
+    pub fn is_panic_module(&self, rel_path: &str) -> bool {
+        self.panic_modules
             .iter()
             .any(|m| rel_path.contains(m.as_str()))
     }

@@ -1,0 +1,429 @@
+//! Layer 2: a syntax-aware item tree recovered from the layer-1 token
+//! stream.
+//!
+//! The lexer gives the rules tokens; this module gives them *structure*:
+//! a brace/bracket-matched recursive parse that recovers `impl` blocks
+//! (with trait and self-type), `fn` items (with name and body span),
+//! and `mod`/`trait` containers, nested to any depth. The serving-stack
+//! rules are built on it — `wire-drift` pairs the `encode`/`decode`
+//! bodies of each `impl Wire for T`, and `panic-safety` /
+//! `lock-discipline` walk method-call chains and let-binding scopes
+//! inside recovered `fn` bodies.
+//!
+//! Like the lexer below it, the parser is deliberately **total**:
+//! malformed input (unbalanced braces, truncated items, macro soup)
+//! produces a best-effort tree whose every span is in bounds — never a
+//! panic, never an out-of-range index. Pinned by the token-soup
+//! proptests in `tests/itemtree_props.rs`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What an [`Item`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free function, method, or trait default method).
+    Fn {
+        /// The function's name.
+        name: String,
+    },
+    /// An `impl` block.
+    Impl {
+        /// The implemented trait's rendered path (`None` for inherent
+        /// impls), e.g. `Wire` or `crate::wire::Wire`.
+        trait_path: Option<String>,
+        /// The rendered self type, e.g. `Msg` or `BTreeMap<K,V>`.
+        self_ty: String,
+    },
+    /// A named braced container: `mod name { … }` or `trait Name { … }`.
+    Container {
+        /// `mod` or `trait`.
+        keyword: &'static str,
+        /// The container's name.
+        name: String,
+    },
+}
+
+/// One recovered item with its token range and (optional) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Index (into the parsed token slice) of the introducing keyword.
+    pub start: usize,
+    /// Index one past the item's last token.
+    pub end: usize,
+    /// Interior token range of the braced body, exclusive of the braces
+    /// themselves. `None` for bodiless items (`fn f();`, `mod m;`).
+    pub body: Option<(usize, usize)>,
+    /// Nested items, in source order.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// The trait path's final segment (`crate::wire::Wire` → `Wire`),
+    /// with any generic arguments stripped. `None` for non-impl items
+    /// and inherent impls.
+    pub fn trait_name(&self) -> Option<&str> {
+        match &self.kind {
+            ItemKind::Impl {
+                trait_path: Some(path),
+                ..
+            } => {
+                let last = path.rsplit("::").next().unwrap_or(path);
+                Some(last.split('<').next().unwrap_or(last))
+            }
+            _ => None,
+        }
+    }
+
+    /// The direct child `fn` named `name`, if any.
+    pub fn fn_named(&self, name: &str) -> Option<&Item> {
+        self.children
+            .iter()
+            .find(|c| matches!(&c.kind, ItemKind::Fn { name: n } if n == name))
+    }
+}
+
+/// The recovered item tree of one file (or token range).
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Top-level items, in source order.
+    pub items: Vec<Item>,
+}
+
+impl ItemTree {
+    /// Every item in the tree, preorder.
+    pub fn walk(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Item> = self.items.iter().rev().collect();
+        while let Some(item) = stack.pop() {
+            out.push(item);
+            stack.extend(item.children.iter().rev());
+        }
+        out
+    }
+}
+
+/// Parses an item tree from a token slice. Spans in the returned tree
+/// index into `tokens`; `src` is only needed to read identifier text.
+pub fn parse(src: &str, tokens: &[Token]) -> ItemTree {
+    let p = Parser { src, tokens };
+    ItemTree {
+        items: p.items(0, tokens.len()),
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+}
+
+impl<'a> Parser<'a> {
+    fn ident(&self, k: usize) -> Option<&'a str> {
+        let t = self.tokens.get(k)?;
+        (t.kind == TokenKind::Ident).then(|| t.text(self.src))
+    }
+
+    fn punct(&self, k: usize) -> Option<char> {
+        match self.tokens.get(k)?.kind {
+            TokenKind::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Recovers the items in `i..end` (recursing into bodies).
+    fn items(&self, mut i: usize, end: usize) -> Vec<Item> {
+        let end = end.min(self.tokens.len());
+        let mut items = Vec::new();
+        while i < end {
+            let next = match self.ident(i) {
+                // `fn name` introduces a fn item; a bare `fn` is a
+                // pointer type (`fn(u32) -> u32`) and stays opaque.
+                Some("fn") if self.ident(i + 1).is_some() => self.parse_fn(i, end),
+                Some("impl") => self.parse_impl(i, end),
+                Some(kw @ ("mod" | "trait")) if self.ident(i + 1).is_some() => {
+                    self.parse_container(i, end, if kw == "mod" { "mod" } else { "trait" })
+                }
+                _ => None,
+            };
+            match next {
+                Some(item) => {
+                    let at = item.end.max(i + 1);
+                    items.push(item);
+                    i = at;
+                }
+                None => i += 1,
+            }
+        }
+        items
+    }
+
+    /// Finds the `{` opening an item's body, or the `;` ending a
+    /// bodiless one, scanning from `i` at bracket depth 0. Angle
+    /// brackets nest too (generics), with `->` arrows exempt and depth
+    /// clamped so stray comparisons cannot wedge the scan.
+    fn find_body_open(&self, mut i: usize, end: usize) -> Option<(usize, bool)> {
+        let mut depth = 0usize;
+        while i < end {
+            match self.punct(i) {
+                Some('(' | '[' | '<') => depth += 1,
+                Some(')' | ']') => depth = depth.saturating_sub(1),
+                // `->` is an arrow, not a closing angle.
+                Some('>') if self.punct(i.wrapping_sub(1)) != Some('-') => {
+                    depth = depth.saturating_sub(1);
+                }
+                Some('{') => {
+                    if depth == 0 {
+                        return Some((i, true));
+                    }
+                    // A brace inside generics (const-generic default):
+                    // skip its matched extent.
+                    i = self.match_brace(i);
+                    continue;
+                }
+                Some(';') if depth == 0 => return Some((i, false)),
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the `}` matching the `{` at `open` (counting only
+    /// braces), or the end of input when unbalanced.
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.tokens.len() {
+            match self.punct(i) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.tokens.len()
+    }
+
+    fn parse_fn(&self, i: usize, end: usize) -> Option<Item> {
+        let name = self.ident(i + 1)?.to_string();
+        let (at, has_body) = self.find_body_open(i + 2, end)?;
+        if !has_body {
+            return Some(Item {
+                kind: ItemKind::Fn { name },
+                start: i,
+                end: at + 1,
+                body: None,
+                children: Vec::new(),
+            });
+        }
+        let close = self.match_brace(at);
+        Some(Item {
+            kind: ItemKind::Fn { name },
+            start: i,
+            end: (close + 1).min(self.tokens.len()),
+            body: Some((at + 1, close)),
+            children: self.items(at + 1, close),
+        })
+    }
+
+    fn parse_impl(&self, i: usize, end: usize) -> Option<Item> {
+        // Skip the optional generic parameter list right after `impl`.
+        let mut j = i + 1;
+        if self.punct(j) == Some('<') {
+            let mut depth = 0usize;
+            while j < end {
+                match self.punct(j) {
+                    Some('<') => depth += 1,
+                    Some('>') if self.punct(j.wrapping_sub(1)) != Some('-') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let head_start = j;
+        let (open, has_body) = self.find_body_open(j, end)?;
+        // Within the head, locate `for` (trait impl) and `where` (end of
+        // the type head) at angle/bracket depth 0.
+        let mut depth = 0usize;
+        let mut for_at = None;
+        let mut head_end = open;
+        let mut k = head_start;
+        while k < open {
+            match self.punct(k) {
+                Some('(' | '[' | '<') => depth += 1,
+                Some(')' | ']') => depth = depth.saturating_sub(1),
+                Some('>') => {
+                    if self.punct(k.wrapping_sub(1)) != Some('-') {
+                        depth = depth.saturating_sub(1);
+                    }
+                }
+                _ => {
+                    if depth == 0 {
+                        match self.ident(k) {
+                            Some("for") if for_at.is_none() => for_at = Some(k),
+                            Some("where") => {
+                                head_end = k;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+        let (trait_path, ty_start) = match for_at {
+            Some(at) => (Some(self.render(head_start, at)), at + 1),
+            None => (None, head_start),
+        };
+        let self_ty = self.render(ty_start, head_end);
+        let kind = ItemKind::Impl {
+            trait_path,
+            self_ty,
+        };
+        if !has_body {
+            return Some(Item {
+                kind,
+                start: i,
+                end: open + 1,
+                body: None,
+                children: Vec::new(),
+            });
+        }
+        let close = self.match_brace(open);
+        Some(Item {
+            kind,
+            start: i,
+            end: (close + 1).min(self.tokens.len()),
+            body: Some((open + 1, close)),
+            children: self.items(open + 1, close),
+        })
+    }
+
+    fn parse_container(&self, i: usize, end: usize, keyword: &'static str) -> Option<Item> {
+        let name = self.ident(i + 1)?.to_string();
+        let (at, has_body) = self.find_body_open(i + 2, end)?;
+        let kind = ItemKind::Container { keyword, name };
+        if !has_body {
+            return Some(Item {
+                kind,
+                start: i,
+                end: at + 1,
+                body: None,
+                children: Vec::new(),
+            });
+        }
+        let close = self.match_brace(at);
+        Some(Item {
+            kind,
+            start: i,
+            end: (close + 1).min(self.tokens.len()),
+            body: Some((at + 1, close)),
+            children: self.items(at + 1, close),
+        })
+    }
+
+    /// The concatenated source text of tokens `from..to` — compact
+    /// rendering for trait paths and self types (`BTreeMap<K,V>`).
+    fn render(&self, from: usize, to: usize) -> String {
+        let mut out = String::new();
+        for t in self
+            .tokens
+            .iter()
+            .take(to.min(self.tokens.len()))
+            .skip(from)
+        {
+            out.push_str(t.text(self.src));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> ItemTree {
+        parse(src, &lex(src).tokens)
+    }
+
+    #[test]
+    fn recovers_impl_fn_structure() {
+        let src = "
+            impl Wire for Msg {
+                fn encode(&self, out: &mut Vec<u8>) { out.push(0); }
+                fn decode(r: &mut Reader<'_>) -> Option<Self> { None }
+            }
+            fn free() {}
+            mod inner { fn nested() {} }
+        ";
+        let tree = tree_of(src);
+        assert_eq!(tree.items.len(), 3);
+        let imp = &tree.items[0];
+        assert_eq!(imp.trait_name(), Some("Wire"));
+        assert!(matches!(&imp.kind, ItemKind::Impl { self_ty, .. } if self_ty == "Msg"));
+        assert!(imp.fn_named("encode").is_some());
+        assert!(imp.fn_named("decode").unwrap().body.is_some());
+        assert!(imp.fn_named("missing").is_none());
+        assert!(matches!(&tree.items[1].kind, ItemKind::Fn { name } if name == "free"));
+        assert_eq!(tree.items[2].children.len(), 1);
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_parse() {
+        let src =
+            "impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> where K: Clone { fn f() {} }";
+        let tree = tree_of(src);
+        let imp = &tree.items[0];
+        assert_eq!(imp.trait_name(), Some("Wire"));
+        assert!(matches!(&imp.kind, ItemKind::Impl { self_ty, .. } if self_ty == "BTreeMap<K,V>"));
+        assert_eq!(imp.children.len(), 1);
+    }
+
+    #[test]
+    fn inherent_impls_have_no_trait() {
+        let tree = tree_of("impl<'a> Reader<'a> { fn take(&mut self) {} }");
+        assert_eq!(tree.items[0].trait_name(), None);
+        assert!(tree.items[0].fn_named("take").is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let tree = tree_of("fn real(f: fn(u32) -> u32) -> u32 { f(1) }");
+        assert_eq!(tree.items.len(), 1);
+        assert!(tree.items[0].children.is_empty());
+    }
+
+    #[test]
+    fn impl_trait_in_signatures_stays_inside_the_fn() {
+        let tree = tree_of("fn make() -> impl Iterator<Item = u32> { 0..3 }");
+        assert_eq!(tree.items.len(), 1);
+        assert!(matches!(&tree.items[0].kind, ItemKind::Fn { name } if name == "make"));
+    }
+
+    #[test]
+    fn unbalanced_braces_clamp_to_end_of_input() {
+        for src in ["impl Wire for X { fn encode() {", "fn f() { { {", "mod m {"] {
+            let tokens = lex(src).tokens;
+            let tree = parse(src, &tokens);
+            for item in tree.walk() {
+                assert!(item.end <= tokens.len(), "{src}: {item:?}");
+                if let Some((b, e)) = item.body {
+                    assert!(b <= e && e <= tokens.len(), "{src}: {item:?}");
+                }
+            }
+        }
+    }
+}

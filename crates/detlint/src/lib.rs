@@ -1,4 +1,4 @@
-//! `detlint` — a workspace-wide determinism lint.
+//! `detlint` — a workspace-wide determinism and serving-safety lint.
 //!
 //! The repo's core contract — bit-identical results across thread
 //! counts, work-stealing, concurrent-job interleavings, and warm
@@ -7,15 +7,21 @@
 //! invariants *statically*, as named source-level rules over every crate
 //! at once, so whole classes of regression (wall-clock leaking into
 //! fingerprints, `HashMap` order reaching a persisted image, `Relaxed`
-//! atomics spreading beyond telemetry) are rejected before any test
-//! runs. See [`rules`] for the catalog.
+//! atomics spreading beyond telemetry, an `encode` field its `decode`
+//! never reads) are rejected before any test runs. See [`rules`] for
+//! the catalog.
 //!
-//! Built hand-rolled on a small total Rust [`lexer`] (no dependencies,
-//! in the spirit of the `vendor/` shims): rules see tokens, never raw
-//! text, so strings and comments cannot produce false positives.
-//! Suppressions are inline pragmas ([`pragma`]) or entries in the
-//! checked-in `detlint.toml` ([`config`]) — both require a written
-//! rationale, and a pragma that suppresses nothing is itself an error.
+//! The analyzer is two-layered and hand-rolled (no dependencies, in the
+//! spirit of the `vendor/` shims): a small total Rust [`lexer`]
+//! (layer 1 — rules see tokens, never raw text, so strings and comments
+//! cannot produce false positives) and a brace-matched [item
+//! tree](itemtree) recovered over those tokens (layer 2 — `impl`/`fn`
+//! structure, method chains, and let-binding scopes for the
+//! serving-stack rules). Both layers are total: malformed input
+//! degrades, it never panics. Suppressions are inline pragmas
+//! ([`pragma`]) or entries in the checked-in `detlint.toml`
+//! ([`config`]) — both require a written rationale, and a pragma or
+//! allowlist entry that suppresses nothing is itself an error.
 //!
 //! Three ways to run it:
 //! * `cargo run -p detlint` (CI adds `--format json` and gates on it);
@@ -24,6 +30,7 @@
 //!   fixture tests.
 
 pub mod config;
+pub mod itemtree;
 pub mod lexer;
 pub mod pragma;
 pub mod report;

@@ -30,12 +30,17 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "detlint — workspace determinism lint\n\n\
+                    "detlint — workspace determinism and serving-safety lint\n\n\
                      USAGE: detlint [--root DIR] [--config FILE] [--format text|json] \
                      [--list-rules]\n\n\
-                     Scans every workspace source file and enforces the determinism\n\
-                     contract statically. See README \"Static analysis\" for the rule\n\
-                     catalog and the suppression pragma syntax."
+                     A two-layer static analyzer: a total Rust lexer plus a\n\
+                     brace-matched item tree recovered over its tokens. Seven rules\n\
+                     enforce the determinism contract (wall-clock, iteration-order,\n\
+                     atomics, ambient) and the serving stack's safety invariants\n\
+                     (panic-safety, wire-drift, lock-discipline); three meta rules\n\
+                     keep suppressions honest. See --list-rules for one-liners and\n\
+                     README \"Static analysis\" for the full catalog and the\n\
+                     suppression pragma syntax."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -101,12 +106,28 @@ fn rule_catalog() -> String {
             "no ad-hoc threads, entropy-seeded RNGs, static mut, or unsafe",
         ),
         (
+            "panic-safety",
+            "no unwrap/expect/panic!/bare indexing in serving-path modules",
+        ),
+        (
+            "wire-drift",
+            "every impl Wire's encode/decode halves agree on tags and field order",
+        ),
+        (
+            "lock-discipline",
+            "no blocking I/O under a live lock guard; consistent lock order",
+        ),
+        (
             "bad-pragma",
             "malformed suppression pragma (not suppressible)",
         ),
         (
             "unused-pragma",
             "pragma that suppresses nothing (not suppressible)",
+        ),
+        (
+            "unused-allowlist",
+            "detlint.toml entry that suppresses nothing (not suppressible)",
         ),
     ]
     .iter()

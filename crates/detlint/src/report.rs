@@ -1,9 +1,12 @@
 //! Human-text and machine-JSON rendering of a lint [`Report`].
 
+use crate::rules::{META_RULE_NAMES, RULE_NAMES};
 use crate::scan::Report;
 
 /// Schema identifier of the JSON layout (bump on breaking change).
-pub const JSON_SCHEMA: &str = "hasco-detlint-v1";
+/// v2: the seven-rule catalog plus a per-rule `rules` count object the
+/// CI gate asserts on.
+pub const JSON_SCHEMA: &str = "hasco-detlint-v2";
 
 /// `file:line:col: rule: message` diagnostics plus a summary line.
 pub fn render_text(report: &Report) -> String {
@@ -38,6 +41,24 @@ pub fn render_json(report: &Report) -> String {
         "  \"violation_count\": {},\n",
         report.violations.len()
     ));
+    // Per-rule counts over the full catalog (zeros included), so the CI
+    // gate can assert the three serving-stack rules actually ran.
+    out.push_str("  \"rules\": {\n");
+    let catalog: Vec<&str> = RULE_NAMES
+        .iter()
+        .chain(META_RULE_NAMES.iter())
+        .copied()
+        .collect();
+    for (i, name) in catalog.iter().enumerate() {
+        let count = report.violations.iter().filter(|v| v.rule == *name).count();
+        out.push_str(&format!(
+            "    {}: {}{}\n",
+            json_string(name),
+            count,
+            if i + 1 < catalog.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
     out.push_str("  \"violations\": [\n");
     for (i, v) in report.violations.iter().enumerate() {
         out.push_str(&format!(

@@ -1,10 +1,12 @@
-//! The determinism rules, and per-file rule application.
+//! The determinism and serving-safety rules, and per-file rule
+//! application.
 //!
 //! Every rule operates on the lexed token stream (so string literals,
 //! comments, and char literals can never produce false positives) with
 //! `#[cfg(test)]` / `#[test]` items masked out — test code is the
-//! *dynamic* enforcement layer and measures time or spawns threads on
-//! purpose.
+//! *dynamic* enforcement layer and measures time, spawns threads, and
+//! unwraps on purpose. The serving-stack rules additionally consult the
+//! layer-2 [item tree](crate::itemtree) recovered over the same tokens.
 //!
 //! | rule | rejects |
 //! |------|---------|
@@ -12,20 +14,38 @@
 //! | `iteration-order` | `HashMap`/`HashSet` (and iteration over them) in ordered-output modules |
 //! | `atomics` | `Ordering::Relaxed` outside counter modules; other orderings without a rationale comment |
 //! | `ambient` | `thread::spawn/scope/Builder` outside the pool, entropy-seeded RNGs, `static mut`, `unsafe` |
+//! | `panic-safety` | `unwrap`/`expect`/`panic!`-family/bare indexing in serving-path modules |
+//! | `wire-drift` | `impl Wire for T` whose `encode`/`decode` write and read different field sequences |
+//! | `lock-discipline` | blocking I/O under a live lock guard; inconsistent lock-acquisition order |
 //!
-//! Two pseudo-rules report suppression hygiene and are themselves not
-//! suppressible: `bad-pragma` (malformed or unknown-rule pragma) and
-//! `unused-pragma` (a pragma that suppressed nothing must be deleted).
+//! Three pseudo-rules report suppression hygiene and are themselves not
+//! suppressible: `bad-pragma` (malformed or unknown-rule pragma),
+//! `unused-pragma` (a pragma that suppressed nothing must be deleted),
+//! and `unused-allowlist` (a `detlint.toml` entry that suppressed
+//! nothing across the whole scan must be deleted).
+
+mod lock_discipline;
+mod panic_safety;
+mod wire_drift;
 
 use crate::config::Config;
+use crate::itemtree;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::pragma::parse_pragmas;
 
 /// Rules a pragma or allowlist entry may suppress.
-pub const RULE_NAMES: [&str; 4] = ["wall-clock", "iteration-order", "atomics", "ambient"];
+pub const RULE_NAMES: [&str; 7] = [
+    "wall-clock",
+    "iteration-order",
+    "atomics",
+    "ambient",
+    "panic-safety",
+    "wire-drift",
+    "lock-discipline",
+];
 
 /// Suppression-hygiene pseudo-rules (never suppressible).
-pub const META_RULE_NAMES: [&str; 2] = ["bad-pragma", "unused-pragma"];
+pub const META_RULE_NAMES: [&str; 3] = ["bad-pragma", "unused-pragma", "unused-allowlist"];
 
 /// One rule violation with a `file:line:col` span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,10 +78,10 @@ const ITER_METHODS: [&str; 10] = [
 ];
 
 /// Lexed file plus the token subset rules look at.
-struct FileView<'a> {
-    src: &'a str,
+pub(crate) struct FileView<'a> {
+    pub(crate) src: &'a str,
     /// Tokens outside `#[cfg(test)]` / `#[test]` items.
-    active: Vec<Token>,
+    pub(crate) active: Vec<Token>,
 }
 
 impl<'a> FileView<'a> {
@@ -78,16 +98,22 @@ impl<'a> FileView<'a> {
         }
     }
 
-    fn ident(&self, k: usize) -> Option<&'a str> {
+    pub(crate) fn ident(&self, k: usize) -> Option<&'a str> {
         let t = self.active.get(k)?;
         (t.kind == TokenKind::Ident).then(|| t.text(self.src))
     }
 
-    fn punct(&self, k: usize) -> Option<char> {
+    pub(crate) fn punct(&self, k: usize) -> Option<char> {
         match self.active.get(k)?.kind {
             TokenKind::Punct(c) => Some(c),
             _ => None,
         }
+    }
+
+    /// The numeric literal's text at `k`, if token `k` is a number.
+    pub(crate) fn number(&self, k: usize) -> Option<&'a str> {
+        let t = self.active.get(k)?;
+        (t.kind == TokenKind::Number).then(|| t.text(self.src))
     }
 
     /// `Some((head, tail))` when tokens `k..k+4` spell `head::tail`.
@@ -200,8 +226,22 @@ fn item_end(tokens: &[Token], i: usize) -> usize {
 /// entries from `config`, then inline pragmas. Unused and malformed
 /// pragmas come back as violations of the meta rules.
 pub fn scan_file(rel_path: &str, src: &str, config: &Config) -> Vec<Violation> {
+    let mut allow_used = vec![false; config.allows.len()];
+    scan_file_tracking(rel_path, src, config, &mut allow_used)
+}
+
+/// [`scan_file`] that additionally marks which `config.allows` entries
+/// suppressed something, so the workspace scan can report entries that
+/// suppressed nothing anywhere (`unused-allowlist`).
+pub fn scan_file_tracking(
+    rel_path: &str,
+    src: &str,
+    config: &Config,
+    allow_used: &mut [bool],
+) -> Vec<Violation> {
     let lexed = lex(src);
     let view = FileView::new(src, &lexed.tokens);
+    let tree = itemtree::parse(src, &view.active);
     let mut violations = Vec::new();
     rule_wall_clock(&view, &mut violations);
     if config.is_ordered_module(rel_path) {
@@ -209,8 +249,21 @@ pub fn scan_file(rel_path: &str, src: &str, config: &Config) -> Vec<Violation> {
     }
     rule_atomics(&view, &lexed.comments, &mut violations);
     rule_ambient(&view, &mut violations);
+    if config.is_panic_module(rel_path) {
+        panic_safety::run(&view, &mut violations);
+    }
+    wire_drift::run(&view, &tree, rel_path, &mut violations);
+    lock_discipline::run(&view, &mut violations);
 
-    violations.retain(|(rule, _, _)| !config.allowed(rule, rel_path));
+    violations.retain(|(rule, _, _)| match config.allow_index(rule, rel_path) {
+        Some(at) => {
+            if let Some(used) = allow_used.get_mut(at) {
+                *used = true;
+            }
+            false
+        }
+        None => true,
+    });
 
     let (pragmas, errors) = parse_pragmas(src, &lexed.comments);
     let mut used = vec![false; pragmas.len()];
@@ -275,7 +328,7 @@ fn snippet_at(src: &str, line: u32) -> String {
         .to_string()
 }
 
-type Raw = (&'static str, Token, String);
+pub(crate) type Raw = (&'static str, Token, String);
 
 fn rule_wall_clock(view: &FileView, out: &mut Vec<Raw>) {
     for k in 0..view.active.len() {

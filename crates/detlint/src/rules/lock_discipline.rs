@@ -1,0 +1,359 @@
+//! `lock-discipline`: no blocking I/O under a live lock guard, and no
+//! inconsistent acquisition order between named locks.
+//!
+//! The rule walks each file's brace scopes tracking guard bindings —
+//! `let guard = thing.lock()…;` (or a condvar `.wait(g)` re-binding),
+//! where the acquisition sits at the top level of the initializer and
+//! only `?`/`.unwrap()`/`.expect(…)`/`.unwrap_or_else(…)` follow it, so
+//! the binding provably holds the guard itself (not the result of a
+//! method chained through it, a match arm, or a closure). The guard
+//! holds the lock named by the receiver field until its scope closes or
+//! an explicit `drop(guard)`. While any guard is live:
+//!
+//! * a blocking transport call — `read_frame` / `write_frame` /
+//!   `TcpStream::connect` / `.accept(` / `proto::send` / `proto::recv` /
+//!   `recv_expect` — is flagged: a slow or dead peer would hold the
+//!   lock against every other thread;
+//! * acquiring the *same* named lock again is flagged as re-entrant
+//!   (self-deadlock with `std::sync::Mutex`);
+//! * acquiring a *different* named lock records an order edge, and two
+//!   edges in opposite directions within one file are flagged as an
+//!   inversion (the classic AB/BA deadlock).
+//!
+//! Scope tracking is lexical and per-file by design: a temporary guard
+//! (`m.lock().unwrap().insert(…)`) dies within its statement and is
+//! deliberately not tracked, and cross-function holds are out of scope
+//! for a total, dependency-free lint. The rule exists to catch the
+//! shape that actually deadlocks fleets — a held guard wrapped around a
+//! socket conversation.
+
+use super::{FileView, Raw};
+use crate::lexer::Token;
+
+/// Receiver methods that produce (or re-produce) a guard binding.
+const GUARD_METHODS: [&str; 3] = ["lock", "wait", "wait_timeout"];
+
+#[derive(Debug)]
+struct Guard {
+    binding: String,
+    /// The receiver field the guard locks (`jobs` in
+    /// `self.inner.jobs.lock()`).
+    lock: String,
+    line: u32,
+}
+
+pub(crate) fn run(view: &FileView, out: &mut Vec<Raw>) {
+    // One Vec<Guard> per open brace scope; index 0 is file scope.
+    let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
+    // (held, acquired, token) order edges seen in this file.
+    let mut edges: Vec<(String, String, Token)> = Vec::new();
+    // `.lock()` sites already consumed by a `let` guard binding — the
+    // generic acquisition handler must not see them twice.
+    let mut bound_sites: Vec<usize> = Vec::new();
+
+    let len = view.active.len();
+    let mut k = 0;
+    while k < len {
+        match view.punct(k) {
+            Some('{') => scopes.push(Vec::new()),
+            Some('}') if scopes.len() > 1 => {
+                scopes.pop();
+            }
+            _ => {}
+        }
+        let Some(word) = view.ident(k) else {
+            k += 1;
+            continue;
+        };
+        match word {
+            // `drop(guard)` releases early.
+            "drop" if view.punct(k + 1) == Some('(') && view.punct(k + 3) == Some(')') => {
+                if let Some(name) = view.ident(k + 2) {
+                    for scope in scopes.iter_mut() {
+                        scope.retain(|g| g.binding != name);
+                    }
+                }
+            }
+            // `let [mut] name = …lock()…;` — a guard binding.
+            "let" => {
+                if let Some((binding, lock, site, line)) = parse_guard_let(view, k) {
+                    check_acquire(view, &scopes, &lock, site, &mut edges, out);
+                    bound_sites.push(site);
+                    if let Some(scope) = scopes.last_mut() {
+                        // Rebinding the same name (condvar wait loops)
+                        // replaces the old guard.
+                        scope.retain(|g| g.binding != binding);
+                        scope.push(Guard {
+                            binding,
+                            lock,
+                            line,
+                        });
+                    }
+                }
+            }
+            // A lock acquired while guards are live, outside a guard
+            // `let`: re-entrancy and ordering still apply even though
+            // the temporary guard itself is statement-scoped.
+            "lock"
+                if k >= 2
+                    && view.punct(k - 1) == Some('.')
+                    && view.punct(k + 1) == Some('(')
+                    && !bound_sites.contains(&k) =>
+            {
+                if let Some(lock) = view.ident(k - 2) {
+                    check_acquire(view, &scopes, lock, k, &mut edges, out);
+                }
+            }
+            // Blocking transport calls under a live guard.
+            "read_frame" | "write_frame"
+                if view.punct(k + 1) == Some('(')
+                    && view.ident(k.wrapping_sub(1)) != Some("fn") =>
+            {
+                check_blocking(view, &scopes, word, k, out);
+            }
+            "accept"
+                if k >= 1 && view.punct(k - 1) == Some('.') && view.punct(k + 1) == Some('(') =>
+            {
+                check_blocking(view, &scopes, word, k, out);
+            }
+            "connect"
+                if view.ident(k.wrapping_sub(3)) == Some("TcpStream")
+                    && view.punct(k - 1) == Some(':')
+                    && view.punct(k + 1) == Some('(') =>
+            {
+                check_blocking(view, &scopes, "TcpStream::connect", k, out);
+            }
+            "send" | "recv" | "recv_expect"
+                if view.ident(k.wrapping_sub(3)) == Some("proto")
+                    && view.punct(k.wrapping_sub(1)) == Some(':')
+                    && view.punct(k + 1) == Some('(') =>
+            {
+                check_blocking(view, &scopes, &format!("proto::{word}"), k, out);
+            }
+            "recv_expect" if view.punct(k + 1) == Some('(') => {
+                check_blocking(view, &scopes, word, k, out);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+
+    // Inversions: the same two locks acquired in both orders.
+    let mut flagged: Vec<(String, String)> = Vec::new();
+    for (i, (a, b, tok)) in edges.iter().enumerate() {
+        for (c, d, other) in edges.iter().skip(i + 1) {
+            if a == d
+                && b == c
+                && !flagged
+                    .iter()
+                    .any(|(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+            {
+                flagged.push((a.clone(), b.clone()));
+                out.push((
+                    "lock-discipline",
+                    *other,
+                    format!(
+                        "lock `{c}` acquired while holding `{d}`, but line {} acquires \
+                         `{b}` while holding `{a}` — inconsistent lock order deadlocks \
+                         under contention",
+                        tok.line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// If the `let` at token `k` binds a guard, returns
+/// `(binding, lock name, lock-method token index, line)`.
+fn parse_guard_let(view: &FileView, k: usize) -> Option<(String, String, usize, u32)> {
+    let mut j = k + 1;
+    if view.ident(j) == Some("mut") {
+        j += 1;
+    }
+    let binding = view.ident(j)?;
+    // Only plain bindings: `let (a, b) = …` and `let Some(x) = …`
+    // destructure, and a destructured guard has no single name to track.
+    j += 1;
+    match view.punct(j) {
+        Some('=') => j += 1,
+        Some(':') => {
+            // Typed binding: skip the type annotation to the `=`.
+            let mut depth = 0usize;
+            loop {
+                j += 1;
+                match view.punct(j) {
+                    Some('(' | '[' | '<') => depth += 1,
+                    Some(')' | ']') => depth = depth.saturating_sub(1),
+                    Some('>') if view.punct(j.wrapping_sub(1)) != Some('-') => {
+                        depth = depth.saturating_sub(1);
+                    }
+                    Some('=') if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    Some(';' | '{') if depth == 0 => return None,
+                    None => return None,
+                    _ => {}
+                }
+            }
+        }
+        _ => return None,
+    }
+    // Scan the initializer for a guard-producing call. The call must sit
+    // at depth 0 of the initializer — a lock taken inside a block, match
+    // arm, or closure is a temporary, and the binding holds the *result*
+    // of that branch, not the guard. `match`/`if` at depth 0 mean the
+    // same thing for the whole initializer.
+    let mut depth = 0usize;
+    while j < view.active.len() {
+        match view.punct(j) {
+            Some('(' | '[' | '{') => depth += 1,
+            Some(')' | ']' | '}') => {
+                if depth == 0 {
+                    return None; // ran off the enclosing scope
+                }
+                depth -= 1;
+            }
+            Some(';') if depth == 0 => return None,
+            // A `|` at depth 0 opens a closure: the guard (if any) lives
+            // inside it, not in the binding.
+            Some('|') if depth == 0 => return None,
+            _ => {
+                if depth == 0 {
+                    if let Some(m) = view.ident(j) {
+                        if m == "match" || m == "if" {
+                            return None;
+                        }
+                        if GUARD_METHODS.contains(&m)
+                            && view.punct(j.wrapping_sub(1)) == Some('.')
+                            && view.punct(j + 1) == Some('(')
+                        {
+                            // `.lock()` is nullary; `Condvar::wait` and
+                            // `wait_timeout` consume the guard they're
+                            // given. A nullary `.wait()` is some domain
+                            // method (a join handle, a barrier wrapper),
+                            // not a lock acquisition.
+                            let nullary = view.punct(j + 2) == Some(')');
+                            if (m == "lock") == nullary {
+                                if let Some(got) = finish_guard_call(view, binding, j, k) {
+                                    return Some(got);
+                                }
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The guard method at `j` produces the binding's value only when
+/// nothing but unwrapping follows it before the `;` — any further
+/// method call (`.recv()`, `.begin_batch()`, …) consumes the temporary
+/// guard within the statement.
+fn finish_guard_call(
+    view: &FileView,
+    binding: &str,
+    j: usize,
+    let_k: usize,
+) -> Option<(String, String, usize, u32)> {
+    let lock = view.ident(j.wrapping_sub(2))?;
+    let line = view.active.get(let_k)?.line;
+    let mut p = match_delims(view, j + 1)? + 1;
+    loop {
+        match view.punct(p) {
+            Some(';') => return Some((binding.to_string(), lock.to_string(), j, line)),
+            Some('?') => p += 1,
+            Some('.')
+                if matches!(
+                    view.ident(p + 1),
+                    Some("unwrap" | "expect" | "unwrap_or_else")
+                ) && view.punct(p + 2) == Some('(') =>
+            {
+                p = match_delims(view, p + 2)? + 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Index of the delimiter closing the one opened at `open`, or `None`
+/// when the stream ends first.
+fn match_delims(view: &FileView, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < view.active.len() {
+        match view.punct(j) {
+            Some('(' | '[' | '{') => depth += 1,
+            Some(')' | ']' | '}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn live_guards(scopes: &[Vec<Guard>]) -> impl Iterator<Item = &Guard> {
+    scopes.iter().flatten()
+}
+
+fn check_acquire(
+    view: &FileView,
+    scopes: &[Vec<Guard>],
+    lock: &str,
+    site: usize,
+    edges: &mut Vec<(String, String, Token)>,
+    out: &mut Vec<Raw>,
+) {
+    let Some(&tok) = view.active.get(site) else {
+        return;
+    };
+    for g in live_guards(scopes) {
+        if g.lock == lock {
+            out.push((
+                "lock-discipline",
+                tok,
+                format!(
+                    "re-entrant `.lock()` on `{lock}` while guard `{}` (line {}) is still \
+                     live — `std::sync::Mutex` self-deadlocks here",
+                    g.binding, g.line
+                ),
+            ));
+        } else {
+            edges.push((g.lock.clone(), lock.to_string(), tok));
+        }
+    }
+}
+
+fn check_blocking(
+    view: &FileView,
+    scopes: &[Vec<Guard>],
+    what: &str,
+    site: usize,
+    out: &mut Vec<Raw>,
+) {
+    let Some(&tok) = view.active.get(site) else {
+        return;
+    };
+    // One diagnostic per site, naming the innermost (latest) guard.
+    if let Some(g) = live_guards(scopes).last() {
+        out.push((
+            "lock-discipline",
+            tok,
+            format!(
+                "blocking I/O `{what}` while lock guard `{}` on `{}` (line {}) is live — a \
+                 slow or dead peer stalls every thread contending for `{}`",
+                g.binding, g.lock, g.line, g.lock
+            ),
+        ));
+    }
+}

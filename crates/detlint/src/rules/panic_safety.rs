@@ -1,0 +1,73 @@
+//! `panic-safety`: no panicking constructs in serving-path modules.
+//!
+//! A panic in a connection handler, worker thread, or the persistence
+//! path does not crash the process — it silently kills one thread,
+//! poisons whatever locks it held, and drops the job on the floor. In
+//! the modules `detlint.toml` names as serving paths (`crates/net`, the
+//! persistence layer, the engine driver), every potentially panicking
+//! construct must either become a typed error or carry a
+//! `detlint-allow(panic-safety)` pragma with a written rationale
+//! ("poisoned mutex = prior panic, propagating is correct").
+//!
+//! Flagged, in non-test code only:
+//! * `.unwrap()` / `.expect(…)` method calls;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros;
+//! * bare `name[…]` indexing (use `.get(…)` and handle the `None`).
+//!
+//! The indexing check is lexical: it sees `ident[`, so chained or
+//! call-result indexing (`f()[0]`) passes. That asymmetry is deliberate
+//! — the simple form is by far the common one, and a total lexer-level
+//! rule must not guess at expression structure it cannot see.
+
+use super::{FileView, Raw};
+
+/// Keywords that can directly precede `[` without being an indexed
+/// binding (`let [a, b] = …`, `for [x, y] in …`, `&mut [0u8; 4]`).
+const NONINDEX_KEYWORDS: [&str; 24] = [
+    "let", "mut", "ref", "in", "return", "break", "continue", "match", "if", "else", "as", "move",
+    "static", "const", "dyn", "box", "fn", "where", "use", "pub", "unsafe", "while", "loop", "for",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub(crate) fn run(view: &FileView, out: &mut Vec<Raw>) {
+    for k in 0..view.active.len() {
+        let Some(name) = view.ident(k) else { continue };
+        match name {
+            "unwrap" | "expect"
+                if k > 0 && view.punct(k - 1) == Some('.') && view.punct(k + 1) == Some('(') =>
+            {
+                out.push((
+                    "panic-safety",
+                    view.active[k],
+                    format!(
+                        "`.{name}()` in a serving-path module — a panic here kills the \
+                         connection or worker thread and drops its job silently; return a \
+                         typed error, recover the poisoned guard, or pragma with a rationale"
+                    ),
+                ));
+            }
+            _ if PANIC_MACROS.contains(&name) && view.punct(k + 1) == Some('!') => {
+                out.push((
+                    "panic-safety",
+                    view.active[k],
+                    format!(
+                        "`{name}!` in a serving-path module — serving code must degrade to a \
+                         typed error, never take down a handler thread"
+                    ),
+                ));
+            }
+            _ if view.punct(k + 1) == Some('[') && !NONINDEX_KEYWORDS.contains(&name) => {
+                out.push((
+                    "panic-safety",
+                    view.active[k],
+                    format!(
+                        "indexing `{name}[…]` can panic out of bounds — use `.get(…)` and \
+                         handle `None`, or pragma with the bounds argument written down"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
-use crate::rules::{scan_file, Violation};
+use crate::rules::{scan_file_tracking, Violation};
 
 /// The result of linting a workspace.
 #[derive(Debug)]
@@ -35,9 +35,27 @@ pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
     files.sort();
     files.dedup();
     let mut violations = Vec::new();
+    let mut allow_used = vec![false; config.allows.len()];
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))?;
-        violations.extend(scan_file(rel, &src, config));
+        violations.extend(scan_file_tracking(rel, &src, config, &mut allow_used));
+    }
+    // An allowlist entry that suppressed nothing across the whole scan
+    // is stale configuration — the file-scope parallel of unused-pragma.
+    for (entry, used) in config.allows.iter().zip(&allow_used) {
+        if !used {
+            violations.push(Violation {
+                file: "detlint.toml".to_string(),
+                line: entry.line,
+                col: 1,
+                rule: "unused-allowlist",
+                message: format!(
+                    "[[allow]] for `{}` on `{}` suppresses nothing anywhere — delete it",
+                    entry.rule, entry.path
+                ),
+                snippet: format!("rule = \"{}\", path = \"{}\"", entry.rule, entry.path),
+            });
+        }
     }
     violations
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));

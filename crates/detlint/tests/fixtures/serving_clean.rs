@@ -1,0 +1,163 @@
+//! Fixture: serving-stack code that is tricky but clean — panic-free
+//! patterns a careless rule would flag, a `Wire` impl whose halves
+//! agree, and lock usage that never wraps blocking I/O. Linted under a
+//! serving path (`crates/net/…`) all three serving rules stay quiet.
+
+use std::io::Read;
+use std::sync::{Mutex, PoisonError};
+
+fn read_frame(_r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    Ok(Vec::new())
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+}
+
+trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader<'_>) -> Option<Self>;
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        r.take(8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+    }
+}
+
+struct Frame {
+    seq: u64,
+    len: u64,
+}
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.len.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(Frame {
+            seq: Wire::decode(r)?,
+            len: Wire::decode(r)?,
+        })
+    }
+}
+
+enum Note {
+    Ping,
+    Data(Frame),
+}
+
+impl Wire for Note {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Note::Ping => out.push(0),
+            Note::Data(frame) => {
+                out.push(1);
+                frame.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(Note::Ping),
+            1 => Some(Note::Data(Frame::decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        r.take(1).and_then(|b| b.first()).copied()
+    }
+}
+
+/// Poison recovery instead of unwrap: the panic-safety-clean idiom.
+fn counter_value(counter: &Mutex<usize>) -> usize {
+    *counter.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `.get` instead of indexing, `in`/array syntax that only looks like
+/// indexing, and slicing pushed through `Option`.
+fn first_word(buf: &[u8]) -> Option<u64> {
+    let mut total = 0u64;
+    for step in [1usize, 2, 4] {
+        total = total.wrapping_add(step as u64);
+    }
+    let head: [u8; 8] = buf.get(..8)?.try_into().ok()?;
+    let _ = total;
+    Some(u64::from_le_bytes(head))
+}
+
+/// The binding takes the match result; the guard is a temporary that
+/// dies inside the arm, so no lock is live afterwards.
+fn queue_depth(queue: &Mutex<Vec<u8>>, r: &mut impl Read) -> std::io::Result<usize> {
+    let depth = match queue.lock() {
+        Ok(guard) => guard.len(),
+        Err(_) => 0,
+    };
+    let _ = read_frame(r)?;
+    Ok(depth)
+}
+
+struct JoinHandle;
+
+impl JoinHandle {
+    fn wait(&self) -> u64 {
+        7
+    }
+}
+
+/// A nullary `.wait()` is a domain method (join, barrier wrapper), not
+/// a `Condvar` acquisition — no guard registers here.
+fn join_then_read(h: &JoinHandle, r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let result = h.wait();
+    let _ = result;
+    read_frame(r)
+}
+
+/// The guard lives in an inner block and is gone before the I/O.
+fn snapshot_then_read(m: &Mutex<u64>, r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let seq = {
+        let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard
+    };
+    let _ = seq;
+    read_frame(r)
+}
+
+/// An explicit `drop` releases the guard before the I/O.
+fn drop_then_read(m: &Mutex<u64>, r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = *guard;
+    drop(guard);
+    read_frame(r)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_and_indexing_are_fine_in_test_code() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], *v.first().unwrap());
+    }
+}

@@ -1,0 +1,55 @@
+//! Fixture: one suppressed violation of each serving rule. Linted under
+//! a serving path (`crates/net/…`) the file is clean — and deleting any
+//! single pragma must resurface its violation (every pragma here is
+//! load-bearing, or the unused-pragma meta rule would fire instead).
+
+use std::io::Read;
+use std::sync::Mutex;
+
+fn read_frame(_r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    Ok(Vec::new())
+}
+
+fn poisoned_is_fatal_here(m: &Mutex<u64>) -> u64 {
+    // detlint-allow(panic-safety): fixture — this counter's poisoning is unrecoverable by design
+    *m.lock().unwrap()
+}
+
+fn first(v: &[u8]) -> u8 {
+    v[0] // detlint-allow(panic-safety): fixture — caller guarantees at least one byte
+}
+
+struct Reader2;
+
+trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader2) -> Option<Self>;
+}
+
+enum Tagged {
+    Ping,
+    Legacy,
+}
+
+impl Wire for Tagged {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Tagged::Ping => out.push(0),
+            // detlint-allow(wire-drift): fixture — tag 1 is consumed by the previous protocol generation only
+            Tagged::Legacy => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader2) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(Tagged::Ping),
+            _ => None,
+        }
+    }
+}
+
+fn heartbeat_under_lock(m: &Mutex<u64>, r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *guard;
+    // detlint-allow(lock-discipline): fixture — single-threaded harness, nothing contends for this lock
+    read_frame(r)
+}

@@ -1,0 +1,117 @@
+//! Fixture: genuine serving-stack violations, nothing suppressed.
+//! Under a serving path (`crates/net/…`) all three serving rules fire;
+//! under a neutral path panic-safety stays quiet (it is module-scoped)
+//! while wire-drift and lock-discipline still fire.
+
+use std::io::Read;
+use std::sync::Mutex;
+
+fn read_frame(_r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    Ok(Vec::new())
+}
+
+fn kills_the_thread(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+fn expects(v: &[u8]) -> u8 {
+    *v.first().expect("caller checked")
+}
+
+fn panics(flag: bool) -> u8 {
+    if flag {
+        panic!("connection state corrupted");
+    }
+    unreachable!()
+}
+
+fn indexes(v: &[u8]) -> u8 {
+    v[0]
+}
+
+struct Reader2;
+
+trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader2) -> Option<Self>;
+}
+
+enum Tagged {
+    Ping,
+    Stop,
+}
+
+/// Encode writes tag 1, decode has no `1 =>` arm: missing-arm drift.
+impl Wire for Tagged {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Tagged::Ping => out.push(0),
+            Tagged::Stop => out.push(1),
+        }
+    }
+    fn decode(r: &mut Reader2) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(Tagged::Ping),
+            _ => None,
+        }
+    }
+}
+
+struct Skewed {
+    a: u64,
+    b: u64,
+}
+
+/// Encode writes `a` then `b`; decode only reads `a`: a dropped read.
+impl Wire for Skewed {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.a.encode(out);
+        self.b.encode(out);
+    }
+    fn decode(r: &mut Reader2) -> Option<Self> {
+        let a = u64::decode(r)?;
+        Some(Skewed { a, b: 0 })
+    }
+}
+
+struct Swapped {
+    x: u64,
+    y: u64,
+}
+
+/// Encode writes `x` then `y`; decode reads `y` then `x`: a reorder.
+impl Wire for Swapped {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+        self.y.encode(out);
+    }
+    fn decode(r: &mut Reader2) -> Option<Self> {
+        let y = u64::decode(r)?;
+        let x = u64::decode(r)?;
+        Some(Swapped { x, y })
+    }
+}
+
+fn blocking_under_guard(m: &Mutex<u64>, r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let guard = m.lock().unwrap();
+    let _ = *guard;
+    read_frame(r)
+}
+
+fn relocks(m: &Mutex<u64>) -> u64 {
+    let first = m.lock().unwrap();
+    let second = m.lock().unwrap();
+    *first + *second
+}
+
+fn locks_ab(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+fn locks_ba(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    *ga + *gb
+}

@@ -1,0 +1,90 @@
+//! Property tests: the layer-2 item-tree parser is total. Arbitrary
+//! token soup — now seeded with item keywords, unbalanced delimiters,
+//! generics, and fn-pointer syntax — must never panic the parser, every
+//! recovered item must carry in-bounds token spans, and nesting must be
+//! well-formed (children inside their parent's range).
+//!
+//! The soup strategy is duplicated from `lexer_props.rs` (test binaries
+//! cannot import from each other) and extended with the structural
+//! fragments the item tree cares about.
+
+use detlint::itemtree;
+use detlint::lexer::lex;
+use proptest::prelude::*;
+
+fn token_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("fn ".to_string()),
+        Just("fn name".to_string()),
+        Just("impl ".to_string()),
+        Just("impl Wire for ".to_string()),
+        Just("impl<T: Clone> ".to_string()),
+        Just("mod m".to_string()),
+        Just("trait T".to_string()),
+        Just("for ".to_string()),
+        Just("where ".to_string()),
+        Just("-> ".to_string()),
+        Just("Fn(u8) -> u8".to_string()),
+        Just("BTreeMap<K, V>".to_string()),
+        Just("Vec<Vec<u8>>".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just(";".to_string()),
+        Just("::".to_string()),
+        Just("\"".to_string()),
+        Just("/*".to_string()),
+        Just("//".to_string()),
+        Just("\n".to_string()),
+        Just("'a".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("self.x.encode(out)".to_string()),
+        Just("u8::decode(r)?".to_string()),
+        Just("let g = m.lock().unwrap();".to_string()),
+        any::<u32>().prop_map(|c| char::from_u32(c % 0x11_0000)
+            .unwrap_or('\u{FFFD}')
+            .to_string()),
+    ];
+    prop::collection::vec(fragment, 0..48).prop_map(|v| v.concat())
+}
+
+fn check_items(items: &[itemtree::Item], token_count: usize) {
+    for item in items {
+        assert!(item.start <= item.end, "inverted span: {item:?}");
+        assert!(item.end <= token_count, "span past the end: {item:?}");
+        if let Some((open, close)) = item.body {
+            assert!(open <= close, "inverted body: {item:?}");
+            assert!(close <= token_count, "body past the end: {item:?}");
+            assert!(
+                item.start <= open && close <= item.end,
+                "body outside its item: {item:?}"
+            );
+        }
+        for child in &item.children {
+            assert!(
+                item.start <= child.start && child.end <= item.end,
+                "child outside its parent: parent {item:?}"
+            );
+        }
+        check_items(&item.children, token_count);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parsing_arbitrary_soup_never_panics(src in token_soup()) {
+        let out = lex(&src);
+        let tree = itemtree::parse(&src, &out.tokens);
+        check_items(&tree.items, out.tokens.len());
+        // The preorder walk terminates and only yields checked items.
+        let walked = tree.walk().len();
+        prop_assert!(walked >= tree.items.len());
+    }
+}

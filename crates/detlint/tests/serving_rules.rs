@@ -1,0 +1,199 @@
+//! Fixture-driven tests for the serving-stack rules: `panic-safety`,
+//! `wire-drift`, and `lock-discipline`.
+//!
+//! Same scheme as `fixtures.rs`: known sources linted in-memory under
+//! controlled paths, because the path decides whether `panic-safety`
+//! applies (it is scoped to serving modules) while `wire-drift` and
+//! `lock-discipline` bind everywhere.
+
+use detlint::{lint_source, Config, Violation};
+
+const CLEAN: &str = include_str!("fixtures/serving_clean.rs");
+const VIOLATIONS: &str = include_str!("fixtures/serving_violations.rs");
+const SUPPRESSED: &str = include_str!("fixtures/serving_suppressed.rs");
+
+/// Matches the default `panic-safety` module list (`crates/net/…`).
+const SERVING_PATH: &str = "crates/net/src/fixture.rs";
+/// Matches neither the serving nor the ordered module lists.
+const NEUTRAL_PATH: &str = "crates/x/src/plain.rs";
+
+fn lint(path: &str, src: &str) -> Vec<Violation> {
+    lint_source(path, src, &Config::default())
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn tricky_serving_sources_stay_clean() {
+    for path in [SERVING_PATH, NEUTRAL_PATH] {
+        let found = lint(path, CLEAN);
+        assert!(found.is_empty(), "{path}: {found:#?}");
+    }
+}
+
+#[test]
+fn all_three_serving_rules_fire_with_expected_spans() {
+    let found = lint(SERVING_PATH, VIOLATIONS);
+    assert_eq!(
+        rules_of(&found),
+        vec!["lock-discipline", "panic-safety", "wire-drift"]
+    );
+
+    // panic-safety: every panic shape is caught — unwrap, expect, the
+    // panic!/unreachable! macros, and bare indexing.
+    let panic_msgs: Vec<&str> = found
+        .iter()
+        .filter(|v| v.rule == "panic-safety")
+        .map(|v| v.message.as_str())
+        .collect();
+    for needle in [
+        "`.unwrap()`",
+        "`.expect()`",
+        "`panic!`",
+        "`unreachable!`",
+        "indexing",
+    ] {
+        assert!(
+            panic_msgs.iter().any(|m| m.contains(needle)),
+            "no panic-safety message mentions {needle}: {panic_msgs:#?}"
+        );
+    }
+
+    // wire-drift, shape 1: encode writes tag 1, decode has no arm. The
+    // span sits on the encode half; the message carries the decode
+    // half's file:line (two-span diagnostic).
+    let missing_arm = found
+        .iter()
+        .find(|v| v.rule == "wire-drift" && v.message.contains("no `1 =>` arm"))
+        .expect("missing-arm drift reported");
+    assert_eq!(missing_arm.file, SERVING_PATH);
+    assert!(
+        missing_arm.snippet.contains("out.push(1)"),
+        "{missing_arm:?}"
+    );
+    let decode_line = line_of(VIOLATIONS, "fn decode(r: &mut Reader2) -> Option<Self> {");
+    assert!(
+        missing_arm
+            .message
+            .contains(&format!("{SERVING_PATH}:{decode_line}")),
+        "message lacks the decode span: {missing_arm:?}"
+    );
+
+    // wire-drift, shape 2: a field written by encode that decode never
+    // reads, anchored at the encode write.
+    let dropped = found
+        .iter()
+        .find(|v| v.rule == "wire-drift" && v.message.contains("field `b`"))
+        .expect("dropped-read drift reported");
+    assert!(dropped.snippet.contains("self.b.encode"), "{dropped:?}");
+    assert!(dropped.message.contains("Skewed"), "{dropped:?}");
+
+    // wire-drift, shape 3: both halves name both fields but in swapped
+    // order, anchored at the decode read with the encode line in the
+    // message.
+    let swapped = found
+        .iter()
+        .find(|v| v.rule == "wire-drift" && v.message.contains("disagree on field order"))
+        .expect("reorder drift reported");
+    assert!(swapped.message.contains("reads `y`"), "{swapped:?}");
+    assert!(swapped.message.contains("writes `x`"), "{swapped:?}");
+
+    // lock-discipline: blocking I/O under a guard, a re-entrant lock,
+    // and an AB/BA inversion.
+    let lock_msgs: Vec<&str> = found
+        .iter()
+        .filter(|v| v.rule == "lock-discipline")
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(
+        lock_msgs
+            .iter()
+            .any(|m| m.contains("blocking I/O `read_frame`")),
+        "{lock_msgs:#?}"
+    );
+    assert!(
+        lock_msgs.iter().any(|m| m.contains("re-entrant")),
+        "{lock_msgs:#?}"
+    );
+    assert!(
+        lock_msgs
+            .iter()
+            .any(|m| m.contains("inconsistent lock order")),
+        "{lock_msgs:#?}"
+    );
+}
+
+#[test]
+fn panic_safety_is_scoped_to_serving_modules() {
+    let found = lint(NEUTRAL_PATH, VIOLATIONS);
+    assert_eq!(rules_of(&found), vec!["lock-discipline", "wire-drift"]);
+    // …and the module list is configurable, like iteration-order's.
+    let mut config = Config::default();
+    config
+        .merge_toml("[rules.panic-safety]\nmodules = [\"crates/x/\"]\n")
+        .expect("valid config");
+    let widened = lint_source(NEUTRAL_PATH, VIOLATIONS, &config);
+    assert!(
+        widened.iter().any(|v| v.rule == "panic-safety"),
+        "{widened:#?}"
+    );
+}
+
+#[test]
+fn suppressed_serving_fixture_is_clean_and_every_pragma_load_bearing() {
+    let found = lint(SERVING_PATH, SUPPRESSED);
+    assert!(found.is_empty(), "{found:#?}");
+
+    // Defusing any single pragma must resurface its violation.
+    let lines: Vec<&str> = SUPPRESSED.lines().collect();
+    let mut defused = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if !line.contains("// detlint-allow") {
+            continue;
+        }
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        mutated[i] = line.replacen("detlint-allow", "detlint-disabled", 1);
+        let found = lint(SERVING_PATH, &mutated.join("\n"));
+        assert!(
+            !found.is_empty(),
+            "defusing the pragma on fixture line {} went unnoticed",
+            i + 1
+        );
+        defused += 1;
+    }
+    assert_eq!(defused, 4, "expected one pragma per serving rule shape");
+}
+
+#[test]
+fn tampering_with_a_clean_decode_impl_is_caught_with_both_spans() {
+    // Delete the `len` read from the clean fixture's `Frame` decode and
+    // the missing read must be reported against the encode half, with
+    // the decode fn's line in the message.
+    let tampered: Vec<&str> = CLEAN
+        .lines()
+        .filter(|l| !l.contains("len: Wire::decode(r)?,"))
+        .collect();
+    let found = lint(SERVING_PATH, &tampered.join("\n"));
+    let drift = found
+        .iter()
+        .find(|v| v.rule == "wire-drift")
+        .expect("tampered decode must produce wire-drift");
+    assert!(drift.message.contains("field `len`"), "{drift:?}");
+    assert!(drift.snippet.contains("self.len.encode"), "{drift:?}");
+    assert!(
+        drift.message.contains(&format!("{SERVING_PATH}:")),
+        "message lacks the other half's span: {drift:?}"
+    );
+}
+
+fn line_of(src: &str, needle: &str) -> usize {
+    src.lines()
+        .position(|l| l.contains(needle))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("fixture line not found: {needle}"))
+}

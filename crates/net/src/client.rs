@@ -14,7 +14,7 @@
 
 use std::net::TcpStream;
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use hasco::engine::{CampaignOutcome, CoDesignRequest};
 use hasco::event::{CampaignEvents, RunEvent};
@@ -265,11 +265,16 @@ impl RemoteJob {
     /// Exactly what `JobHandle::wait` would return in-process, plus
     /// [`HascoError::Transport`] when the connection died first.
     pub fn wait(&self) -> Result<Solution, HascoError> {
-        let mut shared = self.shared.lock().expect("remote job lock poisoned");
-        while shared.result.is_none() {
+        // A poisoned lock means a peer thread panicked mid-call;
+        // `JobShared` is updated in whole-value steps, so recover the
+        // guard rather than killing this caller too.
+        let mut shared = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = shared.result.clone() {
+                return result;
+            }
             shared.next_event();
         }
-        shared.result.clone().expect("loop ensures a result")
     }
 
     /// Requests cancellation via a fresh connection (the event stream
@@ -303,7 +308,7 @@ impl Iterator for RemoteEvents {
     fn next(&mut self) -> Option<RunEvent> {
         self.shared
             .lock()
-            .expect("remote job lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .next_event()
     }
 }

@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -159,9 +159,16 @@ impl WorkerRegistry {
         Self::default()
     }
 
+    /// Locks the pool, recovering from poisoning: the queue and
+    /// counters are whole-value updates, and a panicked dispatch thread
+    /// must not wedge worker checkout for every later batch.
+    fn locked(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Admits a handshake-complete worker stream; returns its id.
     pub fn register(&self, stream: TcpStream) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let id = inner.next_id;
         inner.next_id += 1;
         inner.available.push_back(WorkerConn::new(id, stream));
@@ -170,14 +177,14 @@ impl WorkerRegistry {
 
     /// Live workers right now (available plus mid-exchange).
     pub fn live(&self) -> usize {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         inner.available.len() + inner.checked_out
     }
 
     /// Checks out every currently-available worker and reserves a
     /// contiguous block of batch sequence numbers for the round.
     fn checkout_all(&self) -> (Vec<WorkerConn>, u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let workers: Vec<WorkerConn> = inner.available.drain(..).collect();
         inner.checked_out += workers.len();
         let base = inner.batch_seq;
@@ -187,21 +194,21 @@ impl WorkerRegistry {
 
     /// Returns one checked-out worker to the pool.
     fn checkin(&self, worker: WorkerConn) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.checked_out -= 1;
+        let mut inner = self.locked();
+        inner.checked_out = inner.checked_out.saturating_sub(1);
         inner.available.push_back(worker);
     }
 
     /// Forgets one checked-out worker (its connection just failed).
     fn discard(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.checked_out -= 1;
+        let mut inner = self.locked();
+        inner.checked_out = inner.checked_out.saturating_sub(1);
     }
 
     /// Drains the pool, asking every available worker to exit.
     pub fn release_all(&self) {
         let workers: Vec<WorkerConn> = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.locked();
             inner.available.drain(..).collect()
         };
         for w in workers {
@@ -276,25 +283,42 @@ impl BatchEvaluator for RemoteBatchEvaluator {
             let shards: Vec<Vec<usize>> = pending.chunks(per).map(|c| c.to_vec()).collect();
             let mut workers = workers.into_iter();
             let mut outcomes: Vec<ShardOutcome> = Vec::new();
+            // Shards whose dispatch thread panicked: their items go back
+            // on the pending list like any failed exchange.
+            let mut lost: Vec<Vec<usize>> = Vec::new();
             // Dispatch fan-out is I/O concurrency over sockets; results
             // land in index-fixed slots, so join order and thread
             // scheduling cannot reach results.
             // detlint-allow(ambient): socket fan-out with index-fixed result slots
             thread::scope(|s| {
                 let mut handles = Vec::new();
-                for (k, shard) in shards.into_iter().enumerate() {
-                    let mut worker = workers.next().expect("shards never outnumber workers");
-                    let items: Vec<RemoteEvalRequest> =
-                        shard.iter().map(|&i| batch[i].clone()).collect();
+                // `per` is `pending.len()` divided by the worker count
+                // rounded up, so there are never more shards than
+                // workers — `zip` pairs every shard with one.
+                for (k, (shard, mut worker)) in shards.into_iter().zip(workers.by_ref()).enumerate()
+                {
+                    let items: Vec<RemoteEvalRequest> = shard
+                        .iter()
+                        .filter_map(|&i| batch.get(i).cloned())
+                        .collect();
                     let seq = seq_base + k as u64;
                     let timeout = self.exchange_timeout;
-                    handles.push(s.spawn(move || {
-                        let res = worker.exchange(seq, &items, timeout);
-                        (worker, shard, res)
-                    }));
+                    let backup = shard.clone();
+                    handles.push((
+                        backup,
+                        s.spawn(move || {
+                            let res = worker.exchange(seq, &items, timeout);
+                            (worker, shard, res)
+                        }),
+                    ));
                 }
-                for h in handles {
-                    outcomes.push(h.join().expect("dispatch thread never panics"));
+                for (backup, h) in handles {
+                    match h.join() {
+                        Ok(outcome) => outcomes.push(outcome),
+                        // The thread (and the worker connection it owned)
+                        // is gone; recover its shard from the backup.
+                        Err(_) => lost.push(backup),
+                    }
                 }
             });
             // Workers beyond the shard count idled this round.
@@ -302,11 +326,17 @@ impl BatchEvaluator for RemoteBatchEvaluator {
                 self.registry.checkin(w);
             }
             pending.clear();
+            for shard in lost {
+                pending.extend(shard);
+                self.registry.discard();
+            }
             for (worker, shard, res) in outcomes {
                 match res {
                     Ok(results) => {
                         for (i, m) in shard.into_iter().zip(results) {
-                            slots[i] = Some(m);
+                            if let Some(slot) = slots.get_mut(i) {
+                                *slot = Some(m);
+                            }
                         }
                         self.registry.checkin(worker);
                     }
@@ -325,10 +355,13 @@ impl BatchEvaluator for RemoteBatchEvaluator {
         // In-process fallback: the same pure per-item function the
         // workers run, so a dead fleet degrades throughput, not results.
         for i in pending {
-            slots[i] = Some(batch[i].evaluate());
+            if let (Some(slot), Some(request)) = (slots.get_mut(i), batch.get(i)) {
+                *slot = Some(request.evaluate());
+            }
         }
         slots
             .into_iter()
+            // detlint-allow(panic-safety): every index 0..batch.len() is either filled by a dispatch round or still in pending, and the fallback loop above fills all of pending
             .map(|s| s.expect("every slot filled by dispatch or fallback"))
             .collect()
     }

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Duration;
 
@@ -60,6 +60,15 @@ impl Default for ServerOptions {
             drain_timeout: Duration::from_secs(30),
         }
     }
+}
+
+/// Locks a supervision structure (connection counters, the job table,
+/// the stop latch), recovering from poisoning: every one of them is
+/// updated in single whole-value steps, and a handler that panicked
+/// must not take the server's shutdown path or cancel routing down
+/// with it.
+fn lock_live<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct ServerInner {
@@ -160,20 +169,20 @@ impl Server {
         // full grace period and a timed-out pass gives up. A handler
         // finishing notifies the condvar, so the common case exits
         // immediately; only a genuine straggler costs the grace period.
-        let mut active = self.inner.active.lock().unwrap();
+        let mut active = lock_live(&self.inner.active);
         while *active > 0 {
             let (guard, wait) = self
                 .inner
                 .drained
                 .wait_timeout(active, self.inner.opts.drain_timeout)
-                .expect("drain lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             active = guard;
             if wait.timed_out() {
                 break;
             }
         }
         drop(active);
-        *self.inner.stopped.lock().unwrap() = true;
+        *lock_live(&self.inner.stopped) = true;
         self.inner.stopped_cv.notify_all();
     }
 
@@ -181,13 +190,13 @@ impl Server {
     /// triggered by a client's `Shutdown` frame). The serve binary's
     /// main thread lives here.
     pub fn wait_for_shutdown(&self) {
-        let mut stopped = self.inner.stopped.lock().unwrap();
+        let mut stopped = lock_live(&self.inner.stopped);
         while !*stopped {
             stopped = self
                 .inner
                 .stopped_cv
                 .wait(stopped)
-                .expect("stop lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -201,7 +210,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
         }
         let Ok(stream) = stream else { continue };
         {
-            let mut active = inner.active.lock().unwrap();
+            let mut active = lock_live(&inner.active);
             *active += 1;
         }
         let inner = Arc::clone(&inner);
@@ -210,8 +219,8 @@ fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
         // detlint-allow(ambient): connection handlers relay, never compute
         thread::spawn(move || {
             handle_connection(stream, &Arc::clone(&inner));
-            let mut active = inner.active.lock().unwrap();
-            *active -= 1;
+            let mut active = lock_live(&inner.active);
+            *active = active.saturating_sub(1);
             if *active == 0 {
                 inner.drained.notify_all();
             }
@@ -289,7 +298,7 @@ fn serve_client(mut stream: TcpStream, inner: &Arc<ServerInner>) {
         Msg::CampaignPlan { requests } => serve_campaign(stream, inner, requests),
         Msg::Cancel { job_id } => {
             let found = {
-                let jobs = inner.jobs.lock().unwrap();
+                let jobs = lock_live(&inner.jobs);
                 jobs.get(&job_id).map(JobHandle::cancel).is_some()
             };
             let _ = proto::send(&mut stream, &Msg::CancelOk { found });
@@ -340,11 +349,11 @@ fn serve_submit(mut stream: TcpStream, inner: &ServerInner, request: hasco::CoDe
         }
     };
     let job_id = handle.id();
-    inner.jobs.lock().unwrap().insert(job_id, handle.clone());
+    lock_live(&inner.jobs).insert(job_id, handle.clone());
     if proto::send(&mut stream, &Msg::Accepted { job_id }).is_err() {
         handle.cancel();
         let _ = handle.wait();
-        inner.jobs.lock().unwrap().remove(&job_id);
+        lock_live(&inner.jobs).remove(&job_id);
         return;
     }
     // Stream events live. A client that stops reading (or disconnects)
@@ -360,7 +369,7 @@ fn serve_submit(mut stream: TcpStream, inner: &ServerInner, request: hasco::CoDe
     // `wait` also publishes the job's warm state into the engine — the
     // serving process observes every job it runs.
     let result = handle.wait();
-    inner.jobs.lock().unwrap().remove(&job_id);
+    lock_live(&inner.jobs).remove(&job_id);
     if !client_lost {
         let _ = proto::send(&mut stream, &Msg::Done { result });
     }

@@ -47,10 +47,7 @@ impl<'a> Reader<'a> {
     /// Takes the next `n` bytes, or `None` past the end.
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
-        if end > self.buf.len() {
-            return None;
-        }
-        let slice = &self.buf[self.pos..end];
+        let slice = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(slice)
     }
@@ -77,7 +74,7 @@ impl Wire for u8 {
         out.push(*self);
     }
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
-        r.take(1).map(|b| b[0])
+        r.take(1).and_then(|b| b.first()).copied()
     }
 }
 
@@ -86,7 +83,7 @@ impl Wire for u32 {
         out.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
-        r.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        r.take(4).and_then(|b| b.try_into().ok()).map(u32::from_le_bytes)
     }
 }
 
@@ -95,7 +92,7 @@ impl Wire for u64 {
         out.extend_from_slice(&self.to_le_bytes());
     }
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
-        r.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        r.take(8).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes)
     }
 }
 

@@ -131,9 +131,12 @@ impl WorkerHandle {
 
     /// Waits for the worker to exit; returns batches served.
     pub fn join(mut self) -> io::Result<u64> {
-        self.join
-            .take()
-            .expect("join consumed once")
+        // `join` consumes self, so the slot is only ever empty if Drop
+        // ran first — report it instead of panicking the caller.
+        let Some(handle) = self.join.take() else {
+            return Err(io::Error::other("worker handle already joined"));
+        };
+        handle
             .join()
             .unwrap_or_else(|_| Err(io::Error::other("worker thread panicked")))
     }

@@ -100,6 +100,7 @@ pub fn read_frame<R: Read>(
     // Distinguish "stream ended cleanly" (0 bytes) from "died mid-magic".
     let mut filled = 0;
     while filled < got.len() {
+        // detlint-allow(panic-safety): `filled < got.len()` is the loop condition, so the range start is in bounds
         match r.read(&mut got[filled..])? {
             0 if filled == 0 => return Ok(None),
             0 => {
@@ -143,6 +144,7 @@ pub fn read_frame<R: Read>(
 /// whole-buffer form of [`write_frame`].
 pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
     let mut image = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    // detlint-allow(panic-safety): io::Write for Vec<u8> cannot fail, so this expect is unreachable — and quieter than threading io::Result through every in-memory framing call
     write_frame(&mut image, magic, payload).expect("Vec<u8> writes are infallible");
     image
 }
@@ -151,15 +153,15 @@ pub fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
 /// magic, truncation, trailing garbage, or checksum mismatch — the
 /// whole-buffer form of [`read_frame`].
 pub fn parse_frame<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Option<&'a [u8]> {
-    if bytes.len() < FRAME_OVERHEAD || &bytes[..8] != magic {
+    if bytes.get(..8)? != magic {
         return None;
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
-    if bytes.len() != FRAME_OVERHEAD + len {
+    let len = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?) as usize;
+    if bytes.len() != FRAME_OVERHEAD.checked_add(len)? {
         return None;
     }
-    let payload = &bytes[16..16 + len];
-    let stored = u64::from_le_bytes(bytes[16 + len..].try_into().ok()?);
+    let payload = bytes.get(16..16 + len)?;
+    let stored = u64::from_le_bytes(bytes.get(16 + len..)?.try_into().ok()?);
     (checksum(payload) == stored).then_some(payload)
 }
 

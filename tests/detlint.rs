@@ -99,6 +99,114 @@ fn every_suppression_pragma_is_load_bearing() {
 }
 
 #[test]
+fn desynchronizing_a_real_wire_impl_fails_with_both_spans() {
+    // Delete one field read from the real `CoDesignOptions` decode impl
+    // in `crates/net/src/wire.rs` and the wire-drift rule must report
+    // the now-unread field with a two-span diagnostic: the violation
+    // anchors on the encode half, and the message carries the decode
+    // half's own `file:line`.
+    let root = workspace_root();
+    let config = workspace_config();
+    let rel = "crates/net/src/wire.rs";
+    let clean = fs::read_to_string(root.join(rel)).expect("file exists");
+    let drop_line = |needle: &str| -> String {
+        assert!(clean.contains(needle), "tamper target moved: {needle}");
+        clean
+            .lines()
+            .filter(|l| !l.contains(needle))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // Dropping the final field read leaves a field encode writes but
+    // decode never consumes.
+    let found = lint_source(
+        rel,
+        &drop_line("opts.surrogate_full_refit = Wire::decode(r)?;"),
+        &config,
+    );
+    let drift = found
+        .iter()
+        .find(|v| v.rule == "wire-drift" && v.message.contains("field `surrogate_full_refit`"))
+        .unwrap_or_else(|| panic!("desynchronized decode went unnoticed: {found:#?}"));
+    assert_eq!(drift.file, rel);
+    assert!(
+        drift.snippet.contains("self.surrogate_full_refit.encode"),
+        "{drift:?}"
+    );
+    assert!(
+        drift.message.contains(&format!("{rel}:")),
+        "message lacks the decode half's span: {drift:?}"
+    );
+
+    // Dropping a mid-sequence read shifts every later field and shows up
+    // as an order disagreement at the first divergence.
+    let found = lint_source(rel, &drop_line("opts.seed = Wire::decode(r)?;"), &config);
+    let drift = found
+        .iter()
+        .find(|v| v.rule == "wire-drift")
+        .unwrap_or_else(|| panic!("shifted decode sequence went unnoticed: {found:#?}"));
+    assert!(
+        drift.message.contains("disagree on field order"),
+        "{drift:?}"
+    );
+    assert!(
+        drift.message.contains(&format!("{rel}:")),
+        "message lacks the encode half's span: {drift:?}"
+    );
+}
+
+#[test]
+fn json_report_carries_schema_and_per_rule_counts() {
+    // CI asserts on this exact layout; pin it from the test side too so
+    // a schema change cannot slip past both gates.
+    let report = lint_workspace(&workspace_root(), &workspace_config()).expect("scan succeeds");
+    let json = detlint::render_json(&report);
+    assert!(json.contains("\"schema\": \"hasco-detlint-v2\""), "{json}");
+    for rule in [
+        "wall-clock",
+        "iteration-order",
+        "atomics",
+        "ambient",
+        "panic-safety",
+        "wire-drift",
+        "lock-discipline",
+        "bad-pragma",
+        "unused-pragma",
+        "unused-allowlist",
+    ] {
+        assert!(
+            json.contains(&format!("\"{rule}\": ")),
+            "missing count for {rule}: {json}"
+        );
+    }
+}
+
+#[test]
+fn stale_allowlist_entries_are_reported_at_their_toml_line() {
+    // An [[allow]] entry that suppresses nothing anywhere must fail the
+    // scan, pointing back at its own header line in detlint.toml.
+    let mut config = workspace_config();
+    let bogus = "\n[[allow]]\nrule = \"wall-clock\"\npath = \"crates/nonexistent.rs\"\nreason = \"stale entry for the unused-allowlist test\"\n";
+    config.merge_toml(bogus).expect("well-formed entry");
+    let entry_line = config
+        .allows
+        .iter()
+        .find(|a| a.path == "crates/nonexistent.rs")
+        .expect("entry merged")
+        .line;
+    let report = lint_workspace(&workspace_root(), &config).expect("scan succeeds");
+    let stale = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "unused-allowlist")
+        .unwrap_or_else(|| panic!("stale entry went unnoticed: {}", render_text(&report)));
+    assert_eq!(stale.file, "detlint.toml");
+    assert_eq!(stale.line, entry_line);
+    assert!(stale.message.contains("crates/nonexistent.rs"), "{stale:?}");
+}
+
+#[test]
 fn binary_and_test_agree_on_the_config() {
     // The checked-in detlint.toml must load, and its allowlist must be
     // non-trivial: the sanctioned clock owner is listed, with a reason.
